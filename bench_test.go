@@ -1,0 +1,315 @@
+// Benchmarks regenerating every figure of the paper's evaluation. Absolute
+// numbers differ from the paper (different substrate, different scale); the
+// *shape* — which system wins and by roughly what factor — is what these
+// reproduce. See EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Run: go test -bench=. -benchmem
+package sparksql_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	sparksql "repro"
+	"repro/internal/experiments"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 4: expression evaluation — interpreted vs codegen vs hand-written.
+
+func BenchmarkFig4(b *testing.B) {
+	f := experiments.NewFig4()
+	var sink int64
+	b.Run("Interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = f.Interpreted(int64(i))
+		}
+	})
+	b.Run("Generated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = f.Generated(int64(i))
+		}
+	})
+	b.Run("GeneratedUnboxed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = f.GeneratedUnboxed(int64(i))
+		}
+	})
+	b.Run("HandWritten", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = f.HandWritten(int64(i))
+		}
+	})
+	_ = sink
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: AMPLab big data benchmark — Shark vs Spark SQL vs native.
+
+const (
+	fig8Rankings = 20_000
+	fig8Visits   = 60_000
+)
+
+var (
+	fig8Once  sync.Once
+	fig8Data  *experiments.AMPLab
+	fig8Shark *sparksql.Context
+	fig8Spark *sparksql.Context
+	fig8Err   error
+)
+
+func fig8Setup(b *testing.B) (*experiments.AMPLab, *sparksql.Context, *sparksql.Context) {
+	b.Helper()
+	fig8Once.Do(func() {
+		dir, err := os.MkdirTemp("", "amplab")
+		if err != nil {
+			fig8Err = err
+			return
+		}
+		fig8Data, fig8Err = experiments.NewAMPLab(dir, fig8Rankings, fig8Visits)
+		if fig8Err != nil {
+			return
+		}
+		fig8Shark, fig8Err = fig8Data.NewContext(true)
+		if fig8Err != nil {
+			return
+		}
+		fig8Spark, fig8Err = fig8Data.NewContext(false)
+	})
+	if fig8Err != nil {
+		b.Fatal(fig8Err)
+	}
+	return fig8Data, fig8Shark, fig8Spark
+}
+
+func benchSQL(b *testing.B, ctx *sparksql.Context, query string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSQL(ctx, query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	data, shark, spark := fig8Setup(b)
+
+	for qi, x := range experiments.Q1Params {
+		name := fmt.Sprintf("Q1%c", 'a'+qi)
+		q := experiments.Q1(x)
+		x := x
+		b.Run(name+"/Shark", func(b *testing.B) { benchSQL(b, shark, q) })
+		b.Run(name+"/SparkSQL", func(b *testing.B) { benchSQL(b, spark, q) })
+		b.Run(name+"/Native", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				data.NativeQ1(x)
+			}
+		})
+	}
+	for qi, p := range experiments.Q2Params {
+		name := fmt.Sprintf("Q2%c", 'a'+qi)
+		q := experiments.Q2(p)
+		p := p
+		b.Run(name+"/Shark", func(b *testing.B) { benchSQL(b, shark, q) })
+		b.Run(name+"/SparkSQL", func(b *testing.B) { benchSQL(b, spark, q) })
+		b.Run(name+"/Native", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				data.NativeQ2(p)
+			}
+		})
+	}
+	for qi, cutoff := range experiments.Q3Params {
+		name := fmt.Sprintf("Q3%c", 'a'+qi)
+		q := experiments.Q3(cutoff)
+		days := experiments.Q3Cutoffs[qi]
+		b.Run(name+"/Shark", func(b *testing.B) { benchSQL(b, shark, q) })
+		b.Run(name+"/SparkSQL", func(b *testing.B) { benchSQL(b, spark, q) })
+		b.Run(name+"/Native", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				data.NativeQ3(days)
+			}
+		})
+	}
+	b.Run("Q4/Shark", func(b *testing.B) { benchSQL(b, shark, experiments.Q4Query) })
+	b.Run("Q4/SparkSQL", func(b *testing.B) { benchSQL(b, spark, experiments.Q4Query) })
+	b.Run("Q4/Native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			data.NativeQ4()
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: aggregation — Python-style vs Scala-style vs DataFrame.
+
+const (
+	fig9N    = 300_000
+	fig9Keys = 10_000
+)
+
+func BenchmarkFig9(b *testing.B) {
+	f := experiments.NewFig9(fig9N, fig9Keys)
+	b.Run("PythonRDD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.RunPython()
+		}
+	})
+	b.Run("ScalaRDD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.RunScala()
+		}
+	})
+	b.Run("DataFrame", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.RunDataFrame(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: two-stage pipeline — separate engines vs integrated DataFrame.
+
+const fig10Messages = 30_000
+
+func BenchmarkFig10(b *testing.B) {
+	f := experiments.NewFig10(fig10Messages)
+	b.Run("SeparateSQLThenSpark", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.RunSeparate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("IntegratedDataFrame", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.RunIntegrated(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices called out in DESIGN.md).
+
+// Codegen on/off over the same plan (beyond Fig 4's micro view: a whole
+// query).
+func BenchmarkAblationCodegen(b *testing.B) {
+	_, shark, spark := fig8Setup(b)
+	q := experiments.Q2(8)
+	b.Run("CodegenOff", func(b *testing.B) { benchSQL(b, shark, q) })
+	b.Run("CodegenOn", func(b *testing.B) { benchSQL(b, spark, q) })
+}
+
+// Filter pushdown into the columnar file on/off.
+func BenchmarkAblationPushdown(b *testing.B) {
+	data, _, _ := fig8Setup(b)
+	q := experiments.Q1(1000) // selective: pushdown skips row groups
+
+	mk := func(pushdown bool) *sparksql.Context {
+		cfg := sparksql.DefaultConfig()
+		cfg.SourcePushdown = pushdown
+		ctx := sparksql.NewContextWithConfig(cfg)
+		df, err := ctx.Read().ColFile(data.RankingsPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		df.RegisterTempTable("rankings")
+		return ctx
+	}
+	off := mk(false)
+	on := mk(true)
+	b.Run("PushdownOff", func(b *testing.B) { benchSQL(b, off, q) })
+	b.Run("PushdownOn", func(b *testing.B) { benchSQL(b, on, q) })
+}
+
+// Broadcast vs shuffled hash join for the Q3 join.
+func BenchmarkAblationJoin(b *testing.B) {
+	data, _, _ := fig8Setup(b)
+	q := experiments.Q3(experiments.Q3Params[0])
+
+	mk := func(threshold int64) *sparksql.Context {
+		cfg := sparksql.DefaultConfig()
+		cfg.BroadcastThreshold = threshold
+		ctx := sparksql.NewContextWithConfig(cfg)
+		for name, path := range map[string]string{
+			"rankings": data.RankingsPath, "uservisits": data.VisitsPath,
+		} {
+			df, err := ctx.Read().ColFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			df.RegisterTempTable(name)
+		}
+		return ctx
+	}
+	shuffled := mk(1) // nothing broadcasts
+	broadcast := mk(1 << 30)
+	// Warm both engines so a single cold iteration can't skew the ratio.
+	if _, err := experiments.RunSQL(shuffled, q); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.RunSQL(broadcast, q); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ShuffledHashJoin", func(b *testing.B) { benchSQL(b, shuffled, q) })
+	b.Run("BroadcastHashJoin", func(b *testing.B) { benchSQL(b, broadcast, q) })
+}
+
+// Columnar cache vs re-running the scan, plus the footprint ratio.
+func BenchmarkAblationCache(b *testing.B) {
+	study, err := experiments.NewCacheStudy(50_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("cache footprint: columnar=%dB objects=%dB ratio=%.1fx",
+		study.Info.ColumnarBytes, study.Info.ObjectBytes,
+		float64(study.Info.ObjectBytes)/float64(study.Info.ColumnarBytes))
+	b.Run("ObjectCacheScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := study.ScanAggregateObjectCache(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CachedColumnarScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := study.ScanAggregate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Federation pushdown: time plus bytes over the simulated link.
+func BenchmarkAblationFederation(b *testing.B) {
+	fed, err := experiments.NewFederation(5_000, 20_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("PushdownOff", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			_, bytes, err = fed.Run(false)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(bytes), "link-bytes")
+	})
+	b.Run("PushdownOn", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			_, bytes, err = fed.Run(true)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(bytes), "link-bytes")
+	})
+}

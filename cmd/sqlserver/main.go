@@ -1,0 +1,75 @@
+// Command sqlserver serves SQL over TCP with a line protocol — the paper's
+// Figure 1 JDBC/ODBC access path. Tables are registered from files at
+// startup:
+//
+//	sqlserver -addr 127.0.0.1:7433 -table people=people.csv -table logs=logs.json
+//
+// Then from any client:
+//
+//	printf 'SELECT count(*) FROM people\n' | nc 127.0.0.1 7433
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	sparksql "repro"
+	"repro/internal/sqlserver"
+)
+
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7433", "listen address")
+	maxRows := flag.Int("maxrows", 10000, "maximum rows returned per query")
+	var tables tableFlags
+	flag.Var(&tables, "table", "name=path registration (csv, json or gcf by extension); repeatable")
+	flag.Parse()
+
+	ctx := sparksql.NewContext()
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal("invalid -table %q; want name=path", spec)
+		}
+		var df *sparksql.DataFrame
+		var err error
+		switch {
+		case strings.HasSuffix(path, ".csv"):
+			df, err = ctx.Read().CSV(path)
+		case strings.HasSuffix(path, ".json"):
+			df, err = ctx.Read().JSON(path)
+		case strings.HasSuffix(path, ".gcf"):
+			df, err = ctx.Read().ColFile(path)
+		default:
+			fatal("unknown table format for %q (want .csv/.json/.gcf)", path)
+		}
+		if err != nil {
+			fatal("loading %s: %v", path, err)
+		}
+		df.RegisterTempTable(name)
+		fmt.Printf("registered %s from %s (%d columns)\n", name, path, len(df.Columns()))
+	}
+
+	srv := sqlserver.New(ctx)
+	srv.MaxRows = *maxRows
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	fmt.Printf("serving SQL on %s\n", bound)
+	select {} // serve forever
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sqlserver: "+format+"\n", args...)
+	os.Exit(1)
+}

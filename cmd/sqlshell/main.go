@@ -1,0 +1,117 @@
+// Command sqlshell is an interactive SQL console over the Spark SQL engine
+// (the paper's command-line interface in Figure 1). Register data sources
+// with CREATE TEMPORARY TABLE ... USING csv|json|colfile OPTIONS(path '...')
+// and query them; dot-commands control the session:
+//
+//	.tables            list registered tables
+//	.schema <table>    print a table's schema
+//	.explain <query>   show all Catalyst plan phases
+//	.mode shark|sparksql  switch engine mode
+//	.quit              exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	sparksql "repro"
+)
+
+func main() {
+	ctx := sparksql.NewContext()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+
+	fmt.Println("sparksql-go shell — SQL statements end with ';', .help for commands")
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("  -> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if !command(ctx, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
+			pending.Reset()
+			run(ctx, stmt)
+		}
+		prompt()
+	}
+}
+
+func command(ctx *sparksql.Context, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".help":
+		fmt.Println(".tables | .schema <t> | .explain <query> | .quit")
+	case ".tables":
+		for _, t := range ctx.TableNames() {
+			fmt.Println(t)
+		}
+	case ".schema":
+		if len(fields) < 2 {
+			fmt.Println("usage: .schema <table>")
+			break
+		}
+		df, err := ctx.Table(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		for _, f := range df.Schema().Fields {
+			fmt.Printf("  %s\n", f)
+		}
+	case ".explain":
+		query := strings.TrimSpace(strings.TrimPrefix(cmd, ".explain"))
+		df, err := ctx.SQL(query)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		out, err := df.Explain()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(out)
+	default:
+		fmt.Println("unknown command; .help for help")
+	}
+	return true
+}
+
+func run(ctx *sparksql.Context, stmt string) {
+	df, err := ctx.SQL(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(df.Columns()) == 0 {
+		fmt.Println("ok")
+		return
+	}
+	out, err := df.Show(50)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(out)
+}

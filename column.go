@@ -1,0 +1,267 @@
+package sparksql
+
+import (
+	"repro/internal/expr"
+)
+
+// Column is an expression in the DataFrame DSL (paper §3.3). Operators on
+// Columns build an abstract syntax tree that Catalyst optimizes, rather
+// than opaque host-language functions — the core difference from the
+// native RDD API.
+type Column struct {
+	e expr.Expression
+}
+
+// Col references a column by (possibly dotted) name: "age", "users.age",
+// "loc.lat".
+func Col(name string) Column {
+	return Column{e: expr.UnresolvedAttr(splitDots(name)...)}
+}
+
+func splitDots(name string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			parts = append(parts, name[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, name[start:])
+}
+
+// Lit builds a literal Column from a Go value (nil for SQL NULL).
+func Lit(v any) Column { return Column{e: expr.Lit(v)} }
+
+// Expr exposes the underlying expression for advanced integrations.
+func (c Column) Expr() expr.Expression { return c.e }
+
+// String renders the expression.
+func (c Column) String() string { return c.e.String() }
+
+// toCol converts string (column name) / Column / literal-ish arguments.
+func toCol(v any) Column {
+	switch x := v.(type) {
+	case Column:
+		return x
+	case string:
+		return Col(x)
+	default:
+		return Lit(v)
+	}
+}
+
+// lit coerces the operand of a binary operator: Columns pass through,
+// anything else becomes a literal.
+func operand(v any) expr.Expression {
+	if c, ok := v.(Column); ok {
+		return c.e
+	}
+	return expr.Lit(v)
+}
+
+// --- comparisons (the paper's ===, >, etc.) ---
+
+// EQ is the equality test (the paper's === operator).
+func (c Column) EQ(other any) Column { return Column{e: expr.EQ(c.e, operand(other))} }
+
+// NEQ is inequality.
+func (c Column) NEQ(other any) Column { return Column{e: expr.NEQ(c.e, operand(other))} }
+
+// Lt is less-than.
+func (c Column) Lt(other any) Column { return Column{e: expr.LT(c.e, operand(other))} }
+
+// Le is less-or-equal.
+func (c Column) Le(other any) Column { return Column{e: expr.LE(c.e, operand(other))} }
+
+// Gt is greater-than.
+func (c Column) Gt(other any) Column { return Column{e: expr.GT(c.e, operand(other))} }
+
+// Ge is greater-or-equal.
+func (c Column) Ge(other any) Column { return Column{e: expr.GE(c.e, operand(other))} }
+
+// --- arithmetic ---
+
+// Plus is addition.
+func (c Column) Plus(other any) Column { return Column{e: expr.Add(c.e, operand(other))} }
+
+// Minus is subtraction.
+func (c Column) Minus(other any) Column { return Column{e: expr.Sub(c.e, operand(other))} }
+
+// Times is multiplication.
+func (c Column) Times(other any) Column { return Column{e: expr.Mul(c.e, operand(other))} }
+
+// Divide is division.
+func (c Column) Divide(other any) Column { return Column{e: expr.Div(c.e, operand(other))} }
+
+// Mod is modulo.
+func (c Column) Mod(other any) Column { return Column{e: expr.Mod(c.e, operand(other))} }
+
+// --- logic ---
+
+// And is conjunction.
+func (c Column) And(other Column) Column { return Column{e: &expr.And{Left: c.e, Right: other.e}} }
+
+// Or is disjunction.
+func (c Column) Or(other Column) Column { return Column{e: &expr.Or{Left: c.e, Right: other.e}} }
+
+// Not negates.
+func (c Column) Not() Column { return Column{e: &expr.Not{Child: c.e}} }
+
+// --- predicates ---
+
+// IsNull tests for SQL NULL.
+func (c Column) IsNull() Column { return Column{e: &expr.IsNull{Child: c.e}} }
+
+// IsNotNull tests for non-NULL.
+func (c Column) IsNotNull() Column { return Column{e: &expr.IsNotNull{Child: c.e}} }
+
+// Like applies a SQL LIKE pattern.
+func (c Column) Like(pattern string) Column {
+	return Column{e: &expr.Like{Left: c.e, Pattern: expr.Lit(pattern)}}
+}
+
+// Contains tests substring containment.
+func (c Column) Contains(sub any) Column {
+	return Column{e: expr.Contains(c.e, operand(sub))}
+}
+
+// StartsWith tests a prefix.
+func (c Column) StartsWith(prefix any) Column {
+	return Column{e: expr.StartsWith(c.e, operand(prefix))}
+}
+
+// EndsWith tests a suffix.
+func (c Column) EndsWith(suffix any) Column {
+	return Column{e: expr.EndsWith(c.e, operand(suffix))}
+}
+
+// In tests membership in a literal list.
+func (c Column) In(values ...any) Column {
+	list := make([]expr.Expression, len(values))
+	for i, v := range values {
+		list[i] = operand(v)
+	}
+	return Column{e: &expr.In{Value: c.e, List: list}}
+}
+
+// --- naming, ordering, casting ---
+
+// As names the column (SELECT expr AS name).
+func (c Column) As(name string) Column { return Column{e: expr.NewAlias(c.e, name)} }
+
+// Asc orders ascending (for OrderBy).
+func (c Column) Asc() Column { return Column{e: expr.Asc(c.e)} }
+
+// Desc orders descending.
+func (c Column) Desc() Column { return Column{e: expr.Desc(c.e)} }
+
+// Cast converts to a target type.
+func (c Column) Cast(to DataType) Column { return Column{e: expr.NewCast(c.e, to)} }
+
+// GetField drills into a struct column (loc.lat on inferred JSON).
+func (c Column) GetField(name string) Column {
+	return Column{e: &expr.GetField{Child: c.e, FieldName: name}}
+}
+
+// GetItem indexes an array column.
+func (c Column) GetItem(i int) Column {
+	return Column{e: &expr.GetArrayItem{Child: c.e, Index: expr.Lit(i)}}
+}
+
+// Substr takes the 1-based substring.
+func (c Column) Substr(pos, length int) Column {
+	return Column{e: &expr.Substring{Str: c.e, Pos: expr.Lit(pos), Len: expr.Lit(length)}}
+}
+
+// --- aggregate builders ---
+
+// Count aggregates non-NULL values of a column.
+func Count(c Column) Column { return Column{e: &expr.Count{Child: c.e}} }
+
+// CountStar counts rows.
+func CountStar() Column { return Column{e: expr.NewCountStar()} }
+
+// Sum aggregates a numeric column.
+func Sum(c Column) Column { return Column{e: &expr.Sum{Child: c.e}} }
+
+// Avg averages a numeric column.
+func Avg(c Column) Column { return Column{e: &expr.Avg{Child: c.e}} }
+
+// Min takes the minimum.
+func Min(c Column) Column { return Column{e: expr.NewMin(c.e)} }
+
+// Max takes the maximum.
+func Max(c Column) Column { return Column{e: expr.NewMax(c.e)} }
+
+// First takes the first non-NULL value.
+func First(c Column) Column { return Column{e: &expr.First{Child: c.e}} }
+
+// --- scalar function builders ---
+
+// Upper upper-cases a string column.
+func Upper(c Column) Column { return Column{e: expr.Upper(c.e)} }
+
+// Lower lower-cases a string column.
+func Lower(c Column) Column { return Column{e: expr.Lower(c.e)} }
+
+// Length returns the byte length of a string column.
+func Length(c Column) Column { return Column{e: expr.Length(c.e)} }
+
+// Concat concatenates string columns.
+func Concat(cols ...Column) Column {
+	args := make([]expr.Expression, len(cols))
+	for i, cc := range cols {
+		args[i] = cc.e
+	}
+	return Column{e: &expr.Concat{Args: args}}
+}
+
+// Coalesce returns the first non-NULL argument.
+func Coalesce(cols ...Column) Column {
+	args := make([]expr.Expression, len(cols))
+	for i, cc := range cols {
+		args[i] = cc.e
+	}
+	return Column{e: &expr.Coalesce{Args: args}}
+}
+
+// Abs takes the absolute value.
+func Abs(c Column) Column { return Column{e: &expr.Abs{Child: c.e}} }
+
+// UDFColumn builds a column applying an arbitrary Go function with
+// explicit SQL types — the building block libraries like the ML pipeline
+// (paper §5.2) use for transformations whose results are arrays, structs
+// or user-defined types. args receive SQL values (NULL as nil).
+func UDFColumn(name string, fn func(args []any) any, in []DataType, ret DataType, args ...Column) Column {
+	exprs := make([]expr.Expression, len(args))
+	for i, a := range args {
+		exprs[i] = a.e
+	}
+	return Column{e: &expr.ScalarUDF{Name: name, Fn: fn, In: in, Ret: ret, Args: exprs}}
+}
+
+// When starts a CASE expression: When(cond, value).Otherwise(v).
+func When(cond Column, value any) CaseBuilder {
+	return CaseBuilder{branches: [][2]expr.Expression{{cond.e, operand(value)}}}
+}
+
+// CaseBuilder accumulates CASE WHEN branches.
+type CaseBuilder struct {
+	branches [][2]expr.Expression
+}
+
+// When adds another branch.
+func (b CaseBuilder) When(cond Column, value any) CaseBuilder {
+	return CaseBuilder{branches: append(b.branches, [2]expr.Expression{cond.e, operand(value)})}
+}
+
+// Otherwise finishes with an ELSE value.
+func (b CaseBuilder) Otherwise(value any) Column {
+	return Column{e: expr.NewCaseWhen(b.branches, operand(value))}
+}
+
+// End finishes without an ELSE (unmatched rows yield NULL).
+func (b CaseBuilder) End() Column {
+	return Column{e: expr.NewCaseWhen(b.branches, nil)}
+}

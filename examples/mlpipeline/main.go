@@ -1,0 +1,100 @@
+// ML pipeline: the paper's Figure 7 — a (text, label) DataFrame flows
+// through Tokenizer → HashingTF → LogisticRegression, with vectors stored
+// as a user-defined type (§4.4.2, §5.2), and the trained model registered
+// as a SQL UDF (§3.7's MADLib-style exposure).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sparksql "repro"
+	"repro/internal/ml"
+	"repro/internal/row"
+)
+
+func main() {
+	ctx := sparksql.NewContext()
+	if err := ctx.RegisterUDT(ml.VectorUDT{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Training data: (text, label) records, as in Figure 7.
+	schema := sparksql.StructType{}.
+		Add("text", sparksql.StringType, false).
+		Add("label", sparksql.DoubleType, false)
+	train, err := ctx.CreateDataFrame(schema, []sparksql.Row{
+		{"spark sql is fast and declarative", 1.0},
+		{"catalyst optimizes query plans", 1.0},
+		{"dataframes mix relational and procedural", 1.0},
+		{"the quick brown fox jumps", 0.0},
+		{"lazy dogs sleep all day", 0.0},
+		{"foxes and dogs are animals", 0.0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipeline := &ml.Pipeline{Stages: []any{
+		&ml.Tokenizer{InputCol: "text", OutputCol: "words"},
+		&ml.HashingTF{InputCol: "words", OutputCol: "features", NumFeatures: 256},
+		&ml.LogisticRegression{FeaturesCol: "features", LabelCol: "label", MaxIter: 200},
+	}}
+	model, err := pipeline.Fit(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score new documents.
+	test, err := ctx.CreateDataFrame(schema, []sparksql.Row{
+		{"spark plans queries with catalyst", 1.0},
+		{"the brown dog sleeps", 0.0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scored, err := model.Transform(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := scored.Select("text", "label", "prediction")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sel.Show(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pipeline predictions:")
+	fmt.Print(out)
+
+	// Expose the model to SQL users (paper §3.7): register predict as a
+	// UDF over the vector UDT and call it from a query.
+	lrModel := model.Stages[2].(*ml.LogisticRegressionModel)
+	featurizer := &ml.PipelineModel{Stages: model.Stages[:2]}
+	feats, err := featurizer.Transform(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feats.RegisterTempTable("docs")
+	predictCol := sparksql.UDFColumn("predict",
+		func(args []any) any {
+			if args[0] == nil {
+				return nil
+			}
+			return lrModel.PredictProb(ml.DeserializeVector(args[0].(row.Row)))
+		},
+		[]sparksql.DataType{ml.VectorUDT{}.SQLType()},
+		sparksql.DoubleType,
+		sparksql.Col("features"))
+	probs, err := feats.Select(sparksql.Col("text"), predictCol.As("p_spark"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err = probs.Show(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("P(label=1) via model-as-UDF:")
+	fmt.Print(out)
+}

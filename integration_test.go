@@ -1,0 +1,667 @@
+package sparksql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/datasource"
+	"repro/internal/expr"
+	"repro/internal/memdb"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// setupBenchTables registers a deterministic pair of tables exercising
+// every operator family.
+func setupBenchTables(t *testing.T, ctx *Context) {
+	t.Helper()
+	emp := StructType{}.
+		Add("id", IntType, false).
+		Add("name", StringType, false).
+		Add("deptId", IntType, true).
+		Add("salary", DoubleType, false).
+		Add("hired", DateType, false)
+	var rows []Row
+	for i := 0; i < 200; i++ {
+		var dept any
+		if i%17 != 0 {
+			dept = int32(i % 5)
+		}
+		rows = append(rows, Row{
+			int32(i),
+			fmt.Sprintf("emp%03d", i),
+			dept,
+			float64(1000 + i*7%900),
+			int32(15000 + i*3),
+		})
+	}
+	df, err := ctx.CreateDataFrame(emp, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.RegisterTempTable("emp")
+
+	dept := StructType{}.
+		Add("id", IntType, false).
+		Add("dname", StringType, false)
+	drows := []Row{
+		{int32(0), "eng"}, {int32(1), "sales"}, {int32(2), "hr"},
+		{int32(3), "ops"}, {int32(4), "legal"}, {int32(9), "ghost"},
+	}
+	ddf, err := ctx.CreateDataFrame(dept, drows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddf.RegisterTempTable("dept")
+}
+
+// differentialQueries covers filters, projections, joins of all types,
+// aggregation, HAVING, sorting, limits, unions, DISTINCT, CASE, IN, LIKE,
+// subqueries — each must produce identical results on every engine config.
+var differentialQueries = []string{
+	"SELECT * FROM emp WHERE salary > 1500",
+	"SELECT name, salary * 1.1 AS raised FROM emp WHERE deptId = 2",
+	"SELECT count(*), avg(salary), min(name), max(hired) FROM emp",
+	"SELECT deptId, count(*) AS n, sum(salary) FROM emp GROUP BY deptId",
+	"SELECT deptId, count(*) AS n FROM emp GROUP BY deptId HAVING count(*) > 30",
+	"SELECT e.name, d.dname FROM emp e JOIN dept d ON e.deptId = d.id WHERE e.salary > 1200",
+	"SELECT e.name, d.dname FROM emp e LEFT JOIN dept d ON e.deptId = d.id",
+	"SELECT e.name, d.dname FROM emp e RIGHT JOIN dept d ON e.deptId = d.id",
+	"SELECT e.name, d.dname FROM emp e FULL OUTER JOIN dept d ON e.deptId = d.id",
+	"SELECT name FROM emp e LEFT SEMI JOIN dept d ON e.deptId = d.id",
+	"SELECT d.dname, avg(e.salary) AS pay FROM emp e JOIN dept d ON e.deptId = d.id GROUP BY d.dname ORDER BY pay DESC",
+	"SELECT name FROM emp WHERE deptId IS NULL",
+	"SELECT name FROM emp WHERE deptId IN (1, 3) AND salary BETWEEN 1200 AND 1600 ORDER BY name LIMIT 10",
+	"SELECT name FROM emp WHERE name LIKE 'emp00%' ORDER BY name",
+	"SELECT CASE WHEN salary > 1700 THEN 'high' WHEN salary > 1300 THEN 'mid' ELSE 'low' END AS band, count(*) FROM emp GROUP BY CASE WHEN salary > 1700 THEN 'high' WHEN salary > 1300 THEN 'mid' ELSE 'low' END",
+	"SELECT DISTINCT deptId FROM emp",
+	"SELECT name FROM emp WHERE salary > 1800 UNION ALL SELECT dname FROM dept",
+	"SELECT x.n FROM (SELECT deptId AS d, count(*) AS n FROM emp GROUP BY deptId) x WHERE x.n > 10",
+	"SELECT upper(name), length(name), substr(name, 1, 3) FROM emp LIMIT 5",
+	"SELECT a.name, b.name FROM emp a JOIN emp b ON a.deptId = b.deptId WHERE a.id < b.id AND a.salary > 1850",
+	"SELECT hired, count(*) FROM emp WHERE hired > '2011-01-01' GROUP BY hired ORDER BY hired LIMIT 5",
+	"SELECT coalesce(deptId, -1), count(*) FROM emp GROUP BY coalesce(deptId, -1)",
+}
+
+func canonical(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			if f, ok := v.(float64); ok {
+				parts[j] = fmt.Sprintf("%.6f", f)
+			} else {
+				parts[j] = row.FormatValue(v)
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestOptimizationPreservesSemantics is the repository's core differential
+// test: every query returns identical rows with all Catalyst optimizations
+// and codegen enabled, with everything disabled, and in Shark mode.
+func TestOptimizationPreservesSemantics(t *testing.T) {
+	configs := map[string]Config{
+		"full":  DefaultConfig(),
+		"shark": SharkConfig(),
+		"bare": {
+			Codegen: false, LogicalOptimization: false,
+			SourcePushdown: false, PipelineCollapse: false,
+			BroadcastThreshold: 1, // force shuffled joins
+		},
+		"broadcastAll": func() Config {
+			c := DefaultConfig()
+			c.BroadcastThreshold = 1 << 40
+			return c
+		}(),
+	}
+	results := map[string]map[string][]string{}
+	for name, cfg := range configs {
+		ctx := NewContextWithConfig(cfg)
+		setupBenchTables(t, ctx)
+		results[name] = map[string][]string{}
+		for _, q := range differentialQueries {
+			df, err := ctx.SQL(q)
+			if err != nil {
+				t.Fatalf("[%s] %s: %v", name, q, err)
+			}
+			rows, err := df.Collect()
+			if err != nil {
+				t.Fatalf("[%s] %s: %v", name, q, err)
+			}
+			results[name][q] = canonical(rows)
+		}
+	}
+	base := results["full"]
+	for name, byQuery := range results {
+		for q, rows := range byQuery {
+			if len(rows) != len(base[q]) {
+				t.Errorf("[%s] %s: %d rows vs %d (full)", name, q, len(rows), len(base[q]))
+				continue
+			}
+			for i := range rows {
+				if rows[i] != base[q][i] {
+					t.Errorf("[%s] %s: row %d differs:\n  %s\n  %s", name, q, i, rows[i], base[q][i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The paper's §4.4.2 Point UDT, verbatim: two-dimensional points stored as
+// two DOUBLEs, recognized inside native objects, queryable, cacheable.
+
+type Point struct {
+	X, Y float64
+}
+
+type PointUDT struct{}
+
+func (PointUDT) TypeName() string { return "Point" }
+func (PointUDT) SQLType() types.DataType {
+	return types.StructType{}.
+		Add("x", types.Double, false).
+		Add("y", types.Double, false)
+}
+func (PointUDT) Serialize(obj any) (any, error) {
+	p := obj.(Point)
+	return row.Row{p.X, p.Y}, nil
+}
+func (PointUDT) Deserialize(v any) (any, error) {
+	r := v.(row.Row)
+	return Point{X: r[0].(float64), Y: r[1].(float64)}, nil
+}
+
+type Place struct {
+	Name string
+	Loc  Point
+}
+
+func TestPointUDTEndToEnd(t *testing.T) {
+	ctx := NewContext()
+	if err := ctx.RegisterUDT(PointUDT{}); err != nil {
+		t.Fatal(err)
+	}
+	// Points are recognized within native objects (paper: "Points will be
+	// recognized within native objects that Spark SQL is asked to convert
+	// to DataFrames").
+	df, err := ctx.CreateDataFrameFromStructs([]Place{
+		{"a", Point{1, 2}},
+		{"b", Point{3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The column is queryable as its built-in structure.
+	df.RegisterTempTable("places")
+	res, err := ctx.SQL("SELECT Loc.x, Loc.y FROM places WHERE Loc.x > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != 3.0 || rows[0][1] != 4.0 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Caching stores the point's fields as separate columns (the paper:
+	// "compressing x and y as separate columns").
+	info, err := df.Cache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 2 {
+		t.Fatalf("cache info = %+v", info)
+	}
+	n, err := df.Count()
+	if err != nil || n != 2 {
+		t.Fatalf("count after cache = %d, %v", n, err)
+	}
+	// UDFs can operate on the type (deserializing the struct form).
+	dist := UDFColumn("dist", func(args []any) any {
+		r := args[0].(row.Row)
+		p := Point{X: r[0].(float64), Y: r[1].(float64)}
+		return p.X + p.Y
+	}, []DataType{PointUDT{}.SQLType()}, DoubleType, Col("Loc"))
+	sel, err := df.Select(dist.As("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err = sel.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != 3.0 || rows[1][0] != 7.0 {
+		t.Fatalf("udf over UDT = %v", rows)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DECIMAL end-to-end: the §4.3.2 DecimalAggregates rewrite must not change
+// SUM results.
+
+func TestDecimalSumEndToEnd(t *testing.T) {
+	schema := StructType{}.Add("amount", DecimalType(5, 2), true)
+	rows := []Row{
+		{types.NewDecimal(1050, 2)}, // 10.50
+		{types.NewDecimal(299, 2)},  // 2.99
+		{nil},
+		{types.NewDecimal(-151, 2)}, // -1.51
+	}
+	for _, optimized := range []bool{true, false} {
+		cfg := DefaultConfig()
+		cfg.LogicalOptimization = optimized
+		ctx := NewContextWithConfig(cfg)
+		df, err := ctx.CreateDataFrame(schema, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		df.RegisterTempTable("sales")
+		res, err := ctx.SQL("SELECT sum(amount) FROM sales")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := got[0][0].(types.Decimal)
+		if d.String() != "11.98" {
+			t.Fatalf("optimized=%v sum = %s, want 11.98", optimized, d)
+		}
+	}
+	// The optimized plan really uses the unscaled-LONG rewrite.
+	ctx := NewContext()
+	df, _ := ctx.CreateDataFrame(schema, rows)
+	df.RegisterTempTable("sales")
+	res, _ := ctx.SQL("SELECT sum(amount) FROM sales")
+	explain, err := res.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "unscaled") {
+		t.Fatalf("DecimalAggregates not visible in plan:\n%s", explain)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Additional facade behaviours.
+
+func TestWithColumnAndSelectExpr(t *testing.T) {
+	ctx := NewContext()
+	setupBenchTables(t, ctx)
+	df, _ := ctx.Table("emp")
+	df2, err := df.WithColumn("bonus", Col("salary").Times(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(df2.Columns()) != 6 {
+		t.Fatalf("columns = %v", df2.Columns())
+	}
+	// Replacing an existing column keeps the arity.
+	df3, err := df2.WithColumn("bonus", Col("salary").Times(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(df3.Columns()) != 6 {
+		t.Fatalf("columns = %v", df3.Columns())
+	}
+	se, err := df.SelectExpr("salary * 2 AS dbl", "upper(name)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := se.Take(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].(float64) <= 0 {
+		t.Fatalf("selectExpr = %v", rows)
+	}
+}
+
+func TestDSLSelfJoinViaAlias(t *testing.T) {
+	ctx := NewContext()
+	setupBenchTables(t, ctx)
+	df, _ := ctx.Table("emp")
+	a, err := df.Alias("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := df.Alias("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := a.Join(b, Col("a.id").EQ(Col("b.id")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := joined.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("self equi-join rows = %d", n)
+	}
+}
+
+func TestSampleAndDistinctDSL(t *testing.T) {
+	ctx := NewContext()
+	setupBenchTables(t, ctx)
+	df, _ := ctx.Table("emp")
+	s, err := df.Sample(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := s.Count()
+	n2, _ := s.Count()
+	if n1 != n2 {
+		t.Fatal("sampling must be deterministic")
+	}
+	if n1 < 50 || n1 > 150 {
+		t.Fatalf("sample = %d of 200", n1)
+	}
+	d, err := df.Select("deptId")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := d.Distinct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := dd.Count()
+	if n != 6 { // 5 departments + NULL
+		t.Fatalf("distinct deptIds = %d", n)
+	}
+}
+
+func TestWriterCSVRoundTrip(t *testing.T) {
+	ctx := NewContext()
+	setupBenchTables(t, ctx)
+	df, _ := ctx.Table("emp")
+	sel, _ := df.Select("name", "salary")
+	path := t.TempDir() + "/out.csv"
+	if err := sel.Write().CSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ctx.Read().CSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := back.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("round-trip rows = %d", n)
+	}
+}
+
+func TestRangeDataFrame(t *testing.T) {
+	ctx := NewContext()
+	df := ctx.Range(1000)
+	agg, err := df.Agg(Sum(Col("id")).As("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := agg.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != int64(499500) {
+		t.Fatalf("sum(range(1000)) = %v", rows[0][0])
+	}
+}
+
+func TestExplainPhases(t *testing.T) {
+	ctx := NewContext()
+	setupBenchTables(t, ctx)
+	df, err := ctx.SQL("SELECT name FROM emp WHERE salary > 1500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	explain, err := df.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{"Logical Plan", "Analyzed Plan", "Optimized Plan", "Physical Plan"} {
+		if !strings.Contains(explain, section) {
+			t.Errorf("explain missing %q", section)
+		}
+	}
+	if !strings.Contains(explain, "WholeStagePipeline") {
+		t.Errorf("project+filter should fuse:\n%s", explain)
+	}
+}
+
+func TestBadSQLReportsPosition(t *testing.T) {
+	ctx := NewContext()
+	if _, err := ctx.SQL("SELEC name FROM emp"); err == nil {
+		t.Fatal("typo must fail")
+	}
+	setupBenchTables(t, ctx)
+	_, err := ctx.SQL("SELECT nosuch FROM emp")
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupedDataConvenience(t *testing.T) {
+	ctx := NewContext()
+	setupBenchTables(t, ctx)
+	df, _ := ctx.Table("emp")
+	for _, f := range []func() (*DataFrame, error){
+		func() (*DataFrame, error) { return df.GroupBy("deptId").Count() },
+		func() (*DataFrame, error) { return df.GroupBy("deptId").Sum("salary") },
+		func() (*DataFrame, error) { return df.GroupBy("deptId").Max("salary") },
+		func() (*DataFrame, error) { return df.GroupBy("deptId").Min("salary") },
+		func() (*DataFrame, error) { return df.GroupBy("deptId").Avg("salary") },
+	} {
+		g, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := g.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 6 {
+			t.Fatalf("groups = %d", n)
+		}
+	}
+}
+
+// TestTableUDF exercises the paper's §3.7 MADLib-style table functions:
+// a table-valued function registered inline, used in FROM, whose body uses
+// the full DataFrame API.
+func TestTableUDF(t *testing.T) {
+	ctx := NewContext()
+	setupBenchTables(t, ctx)
+
+	// topPaid(emp): the three best-paid employees per department.
+	ctx.RegisterTableUDF("wellpaid", func(args []*DataFrame) (*DataFrame, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("wellpaid expects 1 table, got %d", len(args))
+		}
+		return args[0].Where(Col("salary").Gt(1800.0))
+	})
+
+	df, err := ctx.SQL("SELECT count(*) FROM wellpaid(emp)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ctx.SQL("SELECT count(*) FROM emp WHERE salary > 1800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrows, _ := want.Collect()
+	if rows[0][0] != wrows[0][0] {
+		t.Fatalf("table UDF result %v != direct %v", rows[0][0], wrows[0][0])
+	}
+
+	// Composes with the rest of the query (join against the function's
+	// output, qualified references work via the function-name alias).
+	df, err = ctx.SQL(`
+		SELECT d.dname, count(*) FROM wellpaid(emp) w
+		JOIN dept d ON w.deptId = d.id
+		GROUP BY d.dname`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.Collect(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown function and unknown argument table produce clear errors.
+	if _, err := ctx.SQL("SELECT * FROM nosuchfn(emp)"); err == nil ||
+		!strings.Contains(err.Error(), "nosuchfn") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ctx.SQL("SELECT * FROM wellpaid(nosuchtable)"); err == nil {
+		t.Fatal("unknown argument table must fail")
+	}
+	// Error from the function body surfaces.
+	if _, err := ctx.SQL("SELECT * FROM wellpaid(emp, dept)"); err == nil ||
+		!strings.Contains(err.Error(), "expects 1 table") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestInsertIntoDataSource exercises the §4.4.1 write-side interface:
+// DataFrame rows flow into an InsertableRelation (here the federated
+// database).
+func TestInsertIntoDataSource(t *testing.T) {
+	db := memdb.New()
+	db.CreateTable("sink", types.StructType{}.
+		Add("id", types.Long, false).
+		Add("name", types.String, false), nil)
+	ctx := NewContext()
+	ctx.RegisterDataSource("jdbc", memdb.Provider(db))
+	if _, err := ctx.SQL("CREATE TEMPORARY TABLE sink USING jdbc OPTIONS(`table` 'sink')"); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := ctx.CreateDataFrame(
+		StructType{}.Add("id", LongType, false).Add("name", StringType, false),
+		[]Row{{int64(1), "a"}, {int64(2), "b"}, {int64(3), "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Write().InsertInto("sink"); err != nil {
+		t.Fatal(err)
+	}
+	// Read back through SQL.
+	got, err := ctx.SQL("SELECT count(*) FROM sink WHERE id > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := got.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != int64(2) {
+		t.Fatalf("rows after insert = %v", rows)
+	}
+	// Arity mismatch is rejected.
+	narrow, _ := src.Select("id")
+	if err := narrow.Write().InsertInto("sink"); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	// Non-source tables are rejected.
+	src.RegisterTempTable("plain")
+	if err := src.Write().InsertInto("plain"); err == nil {
+		t.Fatal("non-datasource target must fail")
+	}
+}
+
+// catalystProbe is a CatalystScan relation recording the expression trees
+// pushed to it — §4.4.1's fourth, most powerful interface.
+type catalystProbe struct {
+	schema   types.StructType
+	rows     []Row
+	gotCols  []string
+	gotPreds int
+	sawLike  bool
+}
+
+func (c *catalystProbe) Schema() types.StructType { return c.schema }
+func (c *catalystProbe) ScanCatalyst(columns []string, predicates []expr.Expression) (datasource.Scan, error) {
+	c.gotCols = columns
+	c.gotPreds = len(predicates)
+	for _, p := range predicates {
+		if strings.Contains(p.String(), "LIKE") {
+			c.sawLike = true
+		}
+	}
+	rows := c.rows
+	schema := c.schema
+	ords := make([]int, len(columns))
+	for i, col := range columns {
+		ords[i] = schema.FieldIndex(col)
+	}
+	return datasource.Scan{
+		NumPartitions: 1,
+		Partition: func(int) []Row {
+			out := make([]Row, len(rows))
+			for i, r := range rows {
+				proj := make(Row, len(ords))
+				for j, o := range ords {
+					proj[j] = r[o]
+				}
+				out[i] = proj
+			}
+			return out
+		},
+	}, nil
+}
+
+func TestCatalystScanReceivesExpressionTrees(t *testing.T) {
+	probe := &catalystProbe{
+		schema: types.StructType{}.
+			Add("name", types.String, false).
+			Add("v", types.Int, false),
+		rows: []Row{{"a%b_c", int32(1)}, {"plain", int32(2)}},
+	}
+	ctx := NewContext()
+	ctx.RegisterDataSource("probe", datasource.ProviderFunc(
+		func(map[string]string) (datasource.Relation, error) { return probe, nil }))
+	if _, err := ctx.SQL("CREATE TEMPORARY TABLE p USING probe"); err != nil {
+		t.Fatal(err)
+	}
+	// An interior-wildcard LIKE cannot be expressed in the simple Filter
+	// algebra — only CatalystScan sees it, as a full expression tree.
+	df, err := ctx.SQL("SELECT name FROM p WHERE name LIKE 'a%b%c' AND v > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicates are advisory: the engine keeps the residual filter, so
+	// results are exact even if the source ignored them.
+	if len(rows) != 1 || rows[0][0] != "a%b_c" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if probe.gotPreds < 2 || !probe.sawLike {
+		t.Fatalf("CatalystScan should receive expression trees: n=%d sawLike=%v",
+			probe.gotPreds, probe.sawLike)
+	}
+	// Column pruning also flows through.
+	for _, col := range probe.gotCols {
+		if col != "name" && col != "v" {
+			t.Fatalf("cols = %v", probe.gotCols)
+		}
+	}
+}

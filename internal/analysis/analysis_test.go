@@ -1,0 +1,523 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalyst"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func usersCatalog() (*Catalog, *plan.LocalRelation) {
+	rel := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "name", Type: types.String, Nullable: false},
+		types.StructField{Name: "age", Type: types.Int, Nullable: true},
+		types.StructField{Name: "deptId", Type: types.Int, Nullable: false},
+	), []row.Row{{"A", int32(20), int32(1)}})
+	cat := NewCatalog()
+	cat.RegisterTable("users", rel)
+	return cat, rel
+}
+
+func TestResolveRelationAndReferences(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Filter{
+		Cond:  expr.LT(expr.UnresolvedAttr("age"), expr.Lit(21)),
+		Child: &plan.UnresolvedRelation{Name: "Users"}, // case-insensitive
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Resolved() {
+		t.Fatalf("plan not resolved:\n%s", out)
+	}
+	// The resolved attribute must be the catalog relation's (same ID).
+	f := out.(*plan.Filter)
+	cond := f.Cond.(*expr.Comparison)
+	attr := cond.Left.(*expr.AttributeReference)
+	if attr.ID_ != rel.Attrs[1].ID_ {
+		t.Errorf("resolved to %v, want id %d", attr, rel.Attrs[1].ID_)
+	}
+}
+
+func TestUnknownTableError(t *testing.T) {
+	cat, _ := usersCatalog()
+	_, err := Analyze(cat, &plan.UnresolvedRelation{Name: "nope"})
+	if err == nil || !strings.Contains(err.Error(), "table not found") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "users") {
+		t.Errorf("error should list known tables: %v", err)
+	}
+}
+
+func TestUnknownColumnError(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Project{
+		List:  []expr.Expression{expr.UnresolvedAttr("salary")},
+		Child: rel,
+	}
+	_, err := Analyze(cat, lp)
+	if err == nil || !strings.Contains(err.Error(), "salary") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQualifiedResolution(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Project{
+		List: []expr.Expression{expr.UnresolvedAttr("u", "age")},
+		Child: &plan.SubqueryAlias{
+			Name:  "u",
+			Child: rel,
+		},
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Resolved() {
+		t.Fatal("qualified reference should resolve")
+	}
+	// Wrong qualifier fails.
+	bad := &plan.Project{
+		List:  []expr.Expression{expr.UnresolvedAttr("x", "age")},
+		Child: &plan.SubqueryAlias{Name: "u", Child: rel},
+	}
+	if _, err := Analyze(cat, bad); err == nil {
+		t.Fatal("wrong qualifier should fail")
+	}
+}
+
+func TestStructFieldPathResolution(t *testing.T) {
+	loc := types.StructType{}.Add("lat", types.Double, false).Add("long", types.Double, false)
+	rel := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "loc", Type: loc, Nullable: true},
+	), nil)
+	cat := NewCatalog()
+	lp := &plan.Project{
+		List:  []expr.Expression{expr.UnresolvedAttr("loc", "lat")},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := out.(*plan.Project)
+	named, ok := proj.List[0].(expr.Named)
+	if !ok {
+		t.Fatalf("projected field should be aliased: %v", proj.List[0])
+	}
+	if !named.ToAttribute().Type.Equals(types.Double) {
+		t.Errorf("loc.lat type = %s", named.ToAttribute().Type.Name())
+	}
+	// Nonexistent struct field errors.
+	bad := &plan.Project{
+		List:  []expr.Expression{expr.UnresolvedAttr("loc", "altitude")},
+		Child: rel,
+	}
+	if _, err := Analyze(cat, bad); err == nil {
+		t.Fatal("missing struct field should fail")
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Project{
+		List:  []expr.Expression{&expr.Star{}},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Output()) != 3 {
+		t.Fatalf("star expanded to %d columns", len(out.Output()))
+	}
+	// Qualified star over a join picks one side.
+	other := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "id", Type: types.Int, Nullable: false},
+	), nil)
+	j := &plan.Join{
+		Left:  plan.LogicalPlan(&plan.SubqueryAlias{Name: "u", Child: rel}),
+		Right: &plan.SubqueryAlias{Name: "d", Child: other},
+		Type:  plan.CrossJoin,
+	}
+	q := &plan.Project{List: []expr.Expression{&expr.Star{Qualifier: "d"}}, Child: j}
+	out, err = Analyze(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Output()) != 1 || out.Output()[0].Name != "id" {
+		t.Fatalf("d.* = %v", out.Output())
+	}
+}
+
+func TestFunctionResolutionAndUDF(t *testing.T) {
+	cat, rel := usersCatalog()
+	cat.RegisterUDF(&UDF{
+		Name: "double_age",
+		Fn:   func(args []any) any { return args[0].(int32) * 2 },
+		In:   []types.DataType{types.Int},
+		Ret:  types.Int,
+	})
+	// The UDF resolves by name (case-insensitively) to a typed ScalarUDF.
+	lp := &plan.Project{
+		List: []expr.Expression{
+			&expr.UnresolvedFunction{Name: "DOUBLE_AGE", Args: []expr.Expression{expr.UnresolvedAttr("age")}},
+		},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Output()[0].Type.Equals(types.Int) {
+		t.Errorf("udf result type = %s", out.Output()[0].Type.Name())
+	}
+
+	// Mixing an aggregate with a non-aggregated scalar column is a SQL
+	// error the checker must catch.
+	bad := &plan.Project{
+		List: []expr.Expression{
+			&expr.UnresolvedFunction{Name: "COUNT", Star: true},
+			&expr.UnresolvedFunction{Name: "double_age", Args: []expr.Expression{expr.UnresolvedAttr("age")}},
+		},
+		Child: rel,
+	}
+	if _, err := Analyze(cat, bad); err == nil || !strings.Contains(err.Error(), "grouped") {
+		t.Fatalf("expected grouping error, got %v", err)
+	}
+}
+
+func TestUndefinedFunctionError(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Project{
+		List:  []expr.Expression{&expr.UnresolvedFunction{Name: "frobnicate", Args: []expr.Expression{expr.Lit(1)}}},
+		Child: rel,
+	}
+	_, err := Analyze(cat, lp)
+	if err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGlobalAggregateLifting(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Project{
+		List:  []expr.Expression{&expr.UnresolvedFunction{Name: "count", Star: true}},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.(*plan.Aggregate); !ok {
+		t.Fatalf("expected Aggregate, got %T", out)
+	}
+}
+
+func TestTypeCoercionInsertsCasts(t *testing.T) {
+	cat, rel := usersCatalog()
+	// age (INT) + 1.5 (DOUBLE) -> both cast to DOUBLE.
+	lp := &plan.Project{
+		List:  []expr.Expression{expr.Add(expr.UnresolvedAttr("age"), expr.Lit(1.5))},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Output()[0].Type.Equals(types.Double) {
+		t.Errorf("INT + DOUBLE = %s, want DOUBLE", out.Output()[0].Type.Name())
+	}
+	hasCast := catalyst.Exists[plan.LogicalPlan](out, func(n plan.LogicalPlan) bool {
+		for _, e := range n.Expressions() {
+			if catalyst.Exists[expr.Expression](e, func(x expr.Expression) bool {
+				_, isCast := x.(*expr.Cast)
+				return isCast
+			}) {
+				return true
+			}
+		}
+		return false
+	})
+	if !hasCast {
+		t.Errorf("expected a cast in:\n%s", out)
+	}
+}
+
+func TestIntegerDivisionBecomesDouble(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Project{
+		List:  []expr.Expression{expr.Div(expr.UnresolvedAttr("age"), expr.Lit(2))},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Output()[0].Type.Equals(types.Double) {
+		t.Errorf("INT / INT = %s, want DOUBLE (Spark semantics)", out.Output()[0].Type.Name())
+	}
+}
+
+func TestStringDateComparisonCoercion(t *testing.T) {
+	rel := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "d", Type: types.Date, Nullable: false},
+	), nil)
+	cat := NewCatalog()
+	lp := &plan.Filter{
+		Cond:  expr.GT(expr.UnresolvedAttr("d"), expr.Lit("2015-01-01")),
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := out.(*plan.Filter).Cond.(*expr.Comparison)
+	if !cond.Right.DataType().Equals(types.Date) {
+		t.Errorf("string literal should coerce to DATE, got %s", cond.Right.DataType().Name())
+	}
+	// Literal folding at coercion time: the cast collapsed to a literal.
+	if lit, ok := cond.Right.(*expr.Literal); !ok || lit.Value != int32(16436) {
+		t.Errorf("expected folded date literal, got %v", cond.Right)
+	}
+}
+
+func TestUngroupedColumnRejected(t *testing.T) {
+	cat, rel := usersCatalog()
+	agg := &plan.Aggregate{
+		Grouping: []expr.Expression{rel.Attrs[2]},
+		Aggs: []expr.Expression{
+			rel.Attrs[0], // name: neither grouped nor aggregated
+			expr.NewAlias(expr.NewCountStar(), "n"),
+		},
+		Child: rel,
+	}
+	_, err := Analyze(cat, agg)
+	if err == nil || !strings.Contains(err.Error(), "neither grouped nor aggregated") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNonBooleanFilterRejected(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Filter{Cond: expr.UnresolvedAttr("age"), Child: rel}
+	_, err := Analyze(cat, lp)
+	if err == nil || !strings.Contains(err.Error(), "BOOLEAN") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHavingRewrite(t *testing.T) {
+	cat, rel := usersCatalog()
+	// Filter over Aggregate with an aggregate in the condition.
+	agg := &plan.Aggregate{
+		Grouping: []expr.Expression{expr.UnresolvedAttr("deptId")},
+		Aggs: []expr.Expression{
+			expr.UnresolvedAttr("deptId"),
+		},
+		Child: rel,
+	}
+	lp := &plan.Filter{
+		Cond:  expr.GT(&expr.UnresolvedFunction{Name: "count", Star: true}, expr.Lit(int64(1))),
+		Child: agg,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewrite produces Project(Filter(Aggregate)) with the hidden
+	// aggregate column projected away.
+	proj, ok := out.(*plan.Project)
+	if !ok {
+		t.Fatalf("expected Project on top, got %T:\n%s", out, out)
+	}
+	if len(proj.Output()) != 1 {
+		t.Fatalf("HAVING column must be hidden: %v", proj.Output())
+	}
+	if _, ok := proj.Child.(*plan.Filter); !ok {
+		t.Fatalf("expected Filter below Project:\n%s", out)
+	}
+}
+
+func TestSelfJoinDeduplication(t *testing.T) {
+	cat, rel := usersCatalog()
+	j := &plan.Join{
+		Left:  plan.LogicalPlan(&plan.SubqueryAlias{Name: "a", Child: rel}),
+		Right: &plan.SubqueryAlias{Name: "b", Child: rel},
+		Type:  plan.InnerJoin,
+		Cond: expr.EQ(
+			expr.UnresolvedAttr("a", "deptId"),
+			expr.UnresolvedAttr("b", "deptId")),
+	}
+	out, err := Analyze(cat, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := out.(*plan.Join)
+	leftIDs := expr.NewAttributeSet(join.Left.Output()...)
+	for _, a := range join.Right.Output() {
+		if leftIDs.Contains(a.ID_) {
+			t.Fatalf("join sides share attribute id %v", a)
+		}
+	}
+	// And the condition references one attr from each side.
+	cond := join.Cond.(*expr.Comparison)
+	l := cond.Left.(*expr.AttributeReference)
+	r := cond.Right.(*expr.AttributeReference)
+	if !leftIDs.Contains(l.ID_) || leftIDs.Contains(r.ID_) {
+		t.Fatalf("condition not split across sides: %v", cond)
+	}
+}
+
+func TestAmbiguousReferenceError(t *testing.T) {
+	cat, rel := usersCatalog()
+	other := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "age", Type: types.Int, Nullable: false},
+	), nil)
+	j := &plan.Join{Left: rel, Right: other, Type: plan.CrossJoin}
+	lp := &plan.Project{List: []expr.Expression{expr.UnresolvedAttr("age")}, Child: j}
+	_, err := Analyze(cat, lp)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAliasedExpressionsGetNames(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Project{
+		List:  []expr.Expression{expr.Add(expr.UnresolvedAttr("age"), expr.Lit(1))},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := out.Output()[0].Name
+	if name == "" || strings.Contains(name, "#") {
+		t.Errorf("generated name should be pretty, got %q", name)
+	}
+}
+
+func TestInListCoercion(t *testing.T) {
+	cat, rel := usersCatalog()
+	// List items of a different integer width coerce to the value's type.
+	lp := &plan.Filter{
+		Cond: &expr.In{
+			Value: expr.UnresolvedAttr("age"),
+			List:  []expr.Expression{expr.Lit(int64(21)), expr.Lit(int32(30))},
+		},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := out.(*plan.Filter).Cond.(*expr.In)
+	// Value side widened to BIGINT to absorb the int64 literal.
+	if !in.Value.DataType().Equals(types.Long) {
+		t.Errorf("IN value type = %s", in.Value.DataType().Name())
+	}
+	for i, item := range in.List {
+		if !item.DataType().Equals(types.Long) {
+			t.Errorf("IN list[%d] type = %s", i, item.DataType().Name())
+		}
+	}
+}
+
+func TestCaseWhenBranchCoercion(t *testing.T) {
+	cat, rel := usersCatalog()
+	cw := expr.NewCaseWhen([][2]expr.Expression{
+		{expr.GT(expr.UnresolvedAttr("age"), expr.Lit(21)), expr.Lit(int32(1))},
+	}, expr.Lit(2.5))
+	lp := &plan.Project{List: []expr.Expression{cw}, Child: rel}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Output()[0].Type.Equals(types.Double) {
+		t.Errorf("CASE branches should widen to DOUBLE, got %s", out.Output()[0].Type.Name())
+	}
+}
+
+func TestCoalesceCoercion(t *testing.T) {
+	cat, rel := usersCatalog()
+	co := &expr.Coalesce{Args: []expr.Expression{
+		expr.UnresolvedAttr("age"), // INT
+		expr.Lit(int64(0)),         // BIGINT
+	}}
+	lp := &plan.Project{List: []expr.Expression{co}, Child: rel}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Output()[0].Type.Equals(types.Long) {
+		t.Errorf("coalesce type = %s", out.Output()[0].Type.Name())
+	}
+}
+
+func TestUDFArgumentCoercion(t *testing.T) {
+	cat, rel := usersCatalog()
+	cat.RegisterUDF(&UDF{
+		Name: "needs_double",
+		Fn:   func(args []any) any { return args[0] },
+		In:   []types.DataType{types.Double},
+		Ret:  types.Double,
+	})
+	lp := &plan.Project{
+		List: []expr.Expression{
+			&expr.UnresolvedFunction{Name: "needs_double", Args: []expr.Expression{expr.UnresolvedAttr("age")}},
+		},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udf, _ := catalyst.Find[expr.Expression](out.Expressions()[0], func(e expr.Expression) bool {
+		_, ok := e.(*expr.ScalarUDF)
+		return ok
+	})
+	arg := udf.(*expr.ScalarUDF).Args[0]
+	if !arg.DataType().Equals(types.Double) {
+		t.Errorf("udf arg should be cast to DOUBLE, got %s", arg)
+	}
+}
+
+func TestStringNumericArithmeticCoercion(t *testing.T) {
+	cat, rel := usersCatalog()
+	// name (STRING) + age (INT): lenient Hive-style arithmetic via DOUBLE.
+	lp := &plan.Project{
+		List:  []expr.Expression{expr.Add(expr.UnresolvedAttr("name"), expr.UnresolvedAttr("age"))},
+		Child: rel,
+	}
+	out, err := Analyze(cat, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Output()[0].Type.Equals(types.Double) {
+		t.Errorf("STRING + INT = %s, want DOUBLE", out.Output()[0].Type.Name())
+	}
+}
+
+func TestWrongArgCountErrors(t *testing.T) {
+	cat, rel := usersCatalog()
+	lp := &plan.Project{
+		List: []expr.Expression{
+			&expr.UnresolvedFunction{Name: "upper", Args: []expr.Expression{
+				expr.UnresolvedAttr("name"), expr.UnresolvedAttr("name"),
+			}},
+		},
+		Child: rel,
+	}
+	_, err := Analyze(cat, lp)
+	if err == nil || !strings.Contains(err.Error(), "expects 1 argument") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package analysis implements the Catalyst analyzer (paper §4.3.1): it
+// turns an "unresolved logical plan" — attribute names and relation names
+// without types — into a resolved plan, by looking up relations in a
+// Catalog, mapping named attributes to operator inputs, giving attributes
+// unique IDs, resolving function calls to built-ins or registered UDFs, and
+// propagating/coercing types through expressions. It runs as a catalyst
+// RuleExecutor batch to fixed point, followed by CheckAnalysis.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Catalog tracks temporary tables/views and registered functions — the
+// "Catalog object that tracks the tables in all data sources" of §4.3.1.
+// Registered DataFrames remain unmaterialized logical plans, so
+// optimizations happen across SQL and the original DataFrame expressions
+// (paper §3.3). It is safe for concurrent use.
+type Catalog struct {
+	mu         sync.RWMutex
+	tables     map[string]plan.LogicalPlan
+	funcs      map[string]*UDF
+	tableFuncs map[string]TableFunction
+	udts       *types.UDTRegistry
+}
+
+// TableFunction is a MADLib-style table UDF (paper §3.7): it receives the
+// resolved plans of its argument tables and returns the plan of its result
+// relation. Registered functions may build arbitrary relational or
+// procedural pipelines.
+type TableFunction func(args []plan.LogicalPlan) (plan.LogicalPlan, error)
+
+// UDF is a registered user-defined scalar function (paper §3.7).
+type UDF struct {
+	Name string
+	Fn   func(args []any) any
+	In   []types.DataType
+	Ret  types.DataType
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:     make(map[string]plan.LogicalPlan),
+		funcs:      make(map[string]*UDF),
+		tableFuncs: make(map[string]TableFunction),
+		udts:       types.NewUDTRegistry(),
+	}
+}
+
+// RegisterTable binds a name to a logical plan (registerTempTable).
+func (c *Catalog) RegisterTable(name string, p plan.LogicalPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(name)] = p
+}
+
+// DropTable removes a temp table.
+func (c *Catalog) DropTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, strings.ToLower(name))
+}
+
+// LookupTable resolves a table name.
+func (c *Catalog) LookupTable(name string) (plan.LogicalPlan, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.tables[strings.ToLower(name)]
+	return p, ok
+}
+
+// TableNames lists registered tables, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterUDF adds a scalar UDF under a (case-insensitive) name.
+func (c *Catalog) RegisterUDF(u *UDF) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.funcs[strings.ToLower(u.Name)] = u
+}
+
+// LookupUDF resolves a UDF by name.
+func (c *Catalog) LookupUDF(name string) (*UDF, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	u, ok := c.funcs[strings.ToLower(name)]
+	return u, ok
+}
+
+// RegisterTableFunction adds a table-valued function under a name.
+func (c *Catalog) RegisterTableFunction(name string, f TableFunction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tableFuncs[strings.ToLower(name)] = f
+}
+
+// LookupTableFunction resolves a table-valued function by name.
+func (c *Catalog) LookupTableFunction(name string) (TableFunction, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.tableFuncs[strings.ToLower(name)]
+	return f, ok
+}
+
+// UDTs exposes the user-defined-type registry (paper §4.4.2).
+func (c *Catalog) UDTs() *types.UDTRegistry { return c.udts }
+
+// resolveError is the typed error CheckAnalysis surfaces.
+type resolveError struct{ msg string }
+
+func (e *resolveError) Error() string { return e.msg }
+
+// Errorf builds an analysis error.
+func Errorf(format string, args ...any) error {
+	return &resolveError{msg: fmt.Sprintf("analysis: "+format, args...)}
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// typeCoercion inserts casts so that operators see operands of matching
+// types (paper §4.3.1: "we cannot know the type of 1 + col until we have
+// resolved col and possibly cast its subexpressions to compatible types").
+// Each rewrite is idempotent — once types match no further casts are added,
+// so the batch reaches a fixed point.
+func (a *Analyzer) typeCoercion(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformExpressionsUp(p, func(e expr.Expression) (expr.Expression, bool) {
+		switch x := e.(type) {
+		case *expr.BinaryArith:
+			return coerceArith(x)
+		case *expr.Comparison:
+			return coerceComparison(x)
+		case *expr.In:
+			return coerceIn(x)
+		case *expr.CaseWhen:
+			return coerceCaseWhen(x)
+		case *expr.Coalesce:
+			return coerceCoalesce(x)
+		case *expr.ScalarUDF:
+			return coerceUDF(x)
+		case *expr.Like:
+			return nil, false
+		}
+		return nil, false
+	})
+}
+
+func bothTyped(l, r expr.Expression) bool {
+	return l.Resolved() && r.Resolved()
+}
+
+func castTo(e expr.Expression, t types.DataType) expr.Expression {
+	if e.DataType().Equals(t) {
+		return e
+	}
+	// Fold casts of literals immediately; keeps plans readable and makes
+	// pushdown see plain constants.
+	if lit, ok := e.(*expr.Literal); ok {
+		if lit.Value == nil {
+			return &expr.Literal{Value: nil, Type: t}
+		}
+		if v := expr.CastValue(lit.Value, t); v != nil {
+			return &expr.Literal{Value: v, Type: t}
+		}
+	}
+	return expr.NewCast(e, t)
+}
+
+func coerceArith(x *expr.BinaryArith) (expr.Expression, bool) {
+	if !bothTyped(x.Left, x.Right) {
+		return nil, false
+	}
+	lt, rt := x.Left.DataType(), x.Right.DataType()
+	// Integer division yields DOUBLE (Spark SQL's `/` semantics).
+	if x.Op == expr.OpDiv && types.IsIntegral(lt) && types.IsIntegral(rt) {
+		return &expr.BinaryArith{
+			Op:   expr.OpDiv,
+			Left: castTo(x.Left, types.Double), Right: castTo(x.Right, types.Double),
+		}, true
+	}
+	if lt.Equals(rt) {
+		return nil, false
+	}
+	target, ok := arithTarget(lt, rt)
+	if !ok {
+		return nil, false // CheckAnalysis reports the type error
+	}
+	return &expr.BinaryArith{Op: x.Op, Left: castTo(x.Left, target), Right: castTo(x.Right, target)}, true
+}
+
+// arithTarget picks the common type for mixed operands, treating strings as
+// doubles (Hive-compatible lenient arithmetic).
+func arithTarget(lt, rt types.DataType) (types.DataType, bool) {
+	if lt.Equals(types.String) && types.IsNumeric(rt) {
+		return types.Double, true
+	}
+	if rt.Equals(types.String) && types.IsNumeric(lt) {
+		return types.Double, true
+	}
+	if t, ok := types.TightestCommonType(lt, rt); ok && types.IsNumeric(t) {
+		return t, true
+	}
+	return nil, false
+}
+
+func coerceComparison(x *expr.Comparison) (expr.Expression, bool) {
+	if !bothTyped(x.Left, x.Right) {
+		return nil, false
+	}
+	lt, rt := x.Left.DataType(), x.Right.DataType()
+	if lt.Equals(rt) {
+		return nil, false
+	}
+	var target types.DataType
+	switch {
+	case lt.Equals(types.String) && (rt.Equals(types.Date) || rt.Equals(types.Timestamp)):
+		target = rt
+	case rt.Equals(types.String) && (lt.Equals(types.Date) || lt.Equals(types.Timestamp)):
+		target = lt
+	case lt.Equals(types.String) && types.IsNumeric(rt):
+		target = types.Double
+	case rt.Equals(types.String) && types.IsNumeric(lt):
+		target = types.Double
+	default:
+		t, ok := types.TightestCommonType(lt, rt)
+		if !ok {
+			return nil, false
+		}
+		target = t
+	}
+	return &expr.Comparison{Op: x.Op, Left: castTo(x.Left, target), Right: castTo(x.Right, target)}, true
+}
+
+func coerceIn(x *expr.In) (expr.Expression, bool) {
+	if !x.Value.Resolved() {
+		return nil, false
+	}
+	target := x.Value.DataType()
+	changed := false
+	list := make([]expr.Expression, len(x.List))
+	for i, e := range x.List {
+		if !e.Resolved() {
+			return nil, false
+		}
+		if !e.DataType().Equals(target) {
+			if t, ok := types.TightestCommonType(e.DataType(), target); ok && t.Equals(target) {
+				list[i] = castTo(e, target)
+				changed = true
+				continue
+			}
+			// Value side may need widening instead (col IN (1.5, 2)): use
+			// string-free common type across all.
+			return coerceInWiden(x)
+		}
+		list[i] = e
+	}
+	if !changed {
+		return nil, false
+	}
+	return &expr.In{Value: x.Value, List: list}, true
+}
+
+func coerceInWiden(x *expr.In) (expr.Expression, bool) {
+	target := x.Value.DataType()
+	for _, e := range x.List {
+		t, ok := types.TightestCommonType(e.DataType(), target)
+		if !ok {
+			return nil, false
+		}
+		target = t
+	}
+	if target.Equals(x.Value.DataType()) {
+		return nil, false
+	}
+	list := make([]expr.Expression, len(x.List))
+	for i, e := range x.List {
+		list[i] = castTo(e, target)
+	}
+	return &expr.In{Value: castTo(x.Value, target), List: list}, true
+}
+
+func coerceCaseWhen(x *expr.CaseWhen) (expr.Expression, bool) {
+	branches := x.Branches()
+	elseV := x.ElseValue()
+	var target types.DataType
+	for _, b := range branches {
+		if !b[1].Resolved() {
+			return nil, false
+		}
+		target = widen(target, b[1].DataType())
+	}
+	if elseV != nil {
+		if !elseV.Resolved() {
+			return nil, false
+		}
+		target = widen(target, elseV.DataType())
+	}
+	if target == nil {
+		return nil, false
+	}
+	changed := false
+	newBranches := make([][2]expr.Expression, len(branches))
+	for i, b := range branches {
+		nv := castTo(b[1], target)
+		if nv != b[1] {
+			changed = true
+		}
+		newBranches[i] = [2]expr.Expression{b[0], nv}
+	}
+	var newElse expr.Expression
+	if elseV != nil {
+		newElse = castTo(elseV, target)
+		if newElse != elseV {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil, false
+	}
+	return expr.NewCaseWhen(newBranches, newElse), true
+}
+
+func widen(acc types.DataType, t types.DataType) types.DataType {
+	if acc == nil {
+		return t
+	}
+	if w, ok := types.TightestCommonType(acc, t); ok {
+		return w
+	}
+	return acc
+}
+
+func coerceCoalesce(x *expr.Coalesce) (expr.Expression, bool) {
+	var target types.DataType
+	for _, e := range x.Args {
+		if !e.Resolved() {
+			return nil, false
+		}
+		target = widen(target, e.DataType())
+	}
+	if target == nil {
+		return nil, false
+	}
+	changed := false
+	args := make([]expr.Expression, len(x.Args))
+	for i, e := range x.Args {
+		args[i] = castTo(e, target)
+		if args[i] != e {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil, false
+	}
+	return &expr.Coalesce{Args: args}, true
+}
+
+func coerceUDF(x *expr.ScalarUDF) (expr.Expression, bool) {
+	if len(x.Args) != len(x.In) {
+		return nil, false
+	}
+	changed := false
+	args := make([]expr.Expression, len(x.Args))
+	for i, e := range x.Args {
+		if !e.Resolved() {
+			return nil, false
+		}
+		args[i] = castTo(e, x.In[i])
+		if args[i] != e {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil, false
+	}
+	return &expr.ScalarUDF{Name: x.Name, Fn: x.Fn, In: x.In, Ret: x.Ret, Args: args}, true
+}

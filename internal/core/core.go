@@ -1,0 +1,180 @@
+// Package core ties the Catalyst phases together (paper Figure 3): a
+// QueryExecution carries a query from logical plan through analysis,
+// logical optimization and physical planning to RDD execution. The Engine
+// owns the catalog, the RDD execution context and the configuration knobs
+// that the evaluation section's baselines toggle (code generation, logical
+// optimization, pipelining, pushdown).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// Config selects an engine operating mode.
+type Config struct {
+	// Codegen compiles expressions to fused closures (the paper's §4.3.4
+	// code generation); false falls back to the tree-walking interpreter.
+	Codegen bool
+	// Optimizer toggles logical optimization groups.
+	Optimizer optimizer.Config
+	// Planner carries physical-planning knobs (broadcast threshold,
+	// pipeline collapse).
+	Planner physical.PlannerConfig
+	// ShufflePartitions is the reducer count for exchanges.
+	ShufflePartitions int
+	// Parallelism is the task concurrency (defaults to GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultConfig is the full Spark SQL feature set.
+func DefaultConfig() Config {
+	return Config{
+		Codegen:           true,
+		Optimizer:         optimizer.DefaultConfig(),
+		Planner:           physical.DefaultPlannerConfig(),
+		ShufflePartitions: runtime.GOMAXPROCS(0),
+		Parallelism:       runtime.GOMAXPROCS(0),
+	}
+}
+
+// SharkConfig models the paper's Shark baseline: same engine and storage,
+// but no Catalyst code generation, no whole-stage pipelining, and no
+// pushdown into data sources — the features §6.1 credits for Spark SQL's
+// win over Shark.
+func SharkConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Codegen = false
+	cfg.Planner.CollapsePipelines = false
+	cfg.Optimizer.SourcePushdown = false
+	cfg.Optimizer.DecimalAggregates = false
+	return cfg
+}
+
+// Engine is the shared query-execution machinery under a Context.
+type Engine struct {
+	Catalog *analysis.Catalog
+	RDDCtx  *rdd.Context
+	Cfg     Config
+	planner *physical.Planner
+	opt     *optimizer.Optimizer
+}
+
+// NewEngine builds an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ShufflePartitions <= 0 {
+		cfg.ShufflePartitions = cfg.Parallelism
+	}
+	pl := physical.NewPlanner(cfg.Planner)
+	pl.TranslateFilter = optimizer.TranslateFilter
+	return &Engine{
+		Catalog: analysis.NewCatalog(),
+		RDDCtx:  rdd.NewContext(cfg.Parallelism),
+		Cfg:     cfg,
+		planner: pl,
+		opt:     optimizer.New(cfg.Optimizer),
+	}
+}
+
+// AddStrategy registers a custom planner strategy (the §7 extension point).
+func (e *Engine) AddStrategy(s physical.Strategy) {
+	e.planner.Strategies = append(e.planner.Strategies, s)
+}
+
+// Analyze resolves a logical plan against the catalog.
+func (e *Engine) Analyze(lp plan.LogicalPlan) (plan.LogicalPlan, error) {
+	return analysis.Analyze(e.Catalog, lp)
+}
+
+// QueryExecution is the Figure 3 pipeline for one query, with every
+// intermediate plan retained for EXPLAIN and tests.
+type QueryExecution struct {
+	engine    *Engine
+	Logical   plan.LogicalPlan
+	Analyzed  plan.LogicalPlan
+	Optimized plan.LogicalPlan
+	Physical  physical.SparkPlan
+}
+
+// Execute runs analysis, optimization and physical planning.
+func (e *Engine) Execute(lp plan.LogicalPlan) (*QueryExecution, error) {
+	analyzed, err := e.Analyze(lp)
+	if err != nil {
+		return nil, err
+	}
+	optimized, err := e.opt.Optimize(analyzed)
+	if err != nil {
+		return nil, fmt.Errorf("core: optimization: %w", err)
+	}
+	phys, err := e.planner.Plan(optimized)
+	if err != nil {
+		return nil, fmt.Errorf("core: physical planning: %w", err)
+	}
+	return &QueryExecution{
+		engine:    e,
+		Logical:   lp,
+		Analyzed:  analyzed,
+		Optimized: optimized,
+		Physical:  phys,
+	}, nil
+}
+
+// ExecContext builds the physical execution context.
+func (e *Engine) ExecContext() *physical.ExecContext {
+	return &physical.ExecContext{
+		RDD:               e.RDDCtx,
+		Codegen:           e.Cfg.Codegen,
+		ShufflePartitions: e.Cfg.ShufflePartitions,
+	}
+}
+
+// RDD lazily builds the result RDD.
+func (q *QueryExecution) RDD() *rdd.RDD[row.Row] {
+	return q.Physical.Execute(q.engine.ExecContext())
+}
+
+// Collect materializes the full result. Runtime panics from task execution
+// are converted to errors.
+func (q *QueryExecution) Collect() (rows []row.Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: execution failed: %v", r)
+		}
+	}()
+	return q.RDD().Collect(), nil
+}
+
+// Count counts result rows without materializing them centrally.
+func (q *QueryExecution) Count() (n int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: execution failed: %v", r)
+		}
+	}()
+	return q.RDD().Count(), nil
+}
+
+// Explain renders all plan phases.
+func (q *QueryExecution) Explain() string {
+	var sb strings.Builder
+	sb.WriteString("== Logical Plan ==\n")
+	sb.WriteString(q.Logical.String())
+	sb.WriteString("== Analyzed Plan ==\n")
+	sb.WriteString(q.Analyzed.String())
+	sb.WriteString("== Optimized Plan ==\n")
+	sb.WriteString(q.Optimized.String())
+	sb.WriteString("== Physical Plan ==\n")
+	sb.WriteString(q.Physical.String())
+	return sb.String()
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func TestExplainShowsAllPhases(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	rel := usersRelation()
+	qe, err := e.Execute(&plan.Filter{
+		Cond:  expr.GT(rel.Attrs[1], expr.Lit(int32(20))),
+		Child: rel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := qe.Explain()
+	for _, section := range []string{"Logical Plan", "Analyzed Plan", "Optimized Plan", "Physical Plan"} {
+		if !strings.Contains(out, section) {
+			t.Errorf("explain missing %s:\n%s", section, out)
+		}
+	}
+	// All four plan snapshots are retained.
+	if qe.Logical == nil || qe.Analyzed == nil || qe.Optimized == nil || qe.Physical == nil {
+		t.Fatal("QueryExecution must retain every phase")
+	}
+}
+
+func TestConfigKnobsChangePhysicalPlans(t *testing.T) {
+	rel := usersRelation()
+	build := func(cfg Config) string {
+		e := NewEngine(cfg)
+		qe, err := e.Execute(&plan.Project{
+			List:  []expr.Expression{rel.Attrs[0]},
+			Child: &plan.Filter{Cond: expr.GT(rel.Attrs[1], expr.Lit(int32(20))), Child: rel},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qe.Physical.String()
+	}
+	full := build(DefaultConfig())
+	if !strings.Contains(full, "WholeStagePipeline") {
+		t.Errorf("default config should fuse pipelines:\n%s", full)
+	}
+	shark := build(SharkConfig())
+	if strings.Contains(shark, "WholeStagePipeline") {
+		t.Errorf("shark config must not fuse pipelines:\n%s", shark)
+	}
+}
+
+func TestExecutionErrorsSurfaceAsErrors(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	rel := usersRelation()
+	// A UDF that panics at runtime: Collect must return an error, not
+	// crash the process (tasks run on worker goroutines).
+	udf := &expr.ScalarUDF{
+		Name: "boom",
+		Fn:   func([]any) any { panic("kaboom") },
+		In:   []types.DataType{types.Int},
+		Ret:  types.Int,
+		Args: []expr.Expression{rel.Attrs[1]},
+	}
+	qe, err := e.Execute(&plan.Project{
+		List:  []expr.Expression{expr.NewAlias(udf, "b")},
+		Child: rel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qe.Collect(); err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := qe.Count(); err == nil {
+		t.Fatal("Count must surface task panics too")
+	}
+}
+
+func TestTaskFailureInjectionSurfaces(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	rel := usersRelation()
+	e.RDDCtx.SetFailureHook(func(name string, p, attempt int) error {
+		return errors.New("node down") // every attempt fails
+	})
+	qe, err := e.Execute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qe.Collect(); err == nil || !strings.Contains(err.Error(), "node down") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddStrategyInterceptsPlanning(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	rel := usersRelation()
+	hits := 0
+	e.AddStrategy(func(pl *physical.Planner, lp plan.LogicalPlan) (physical.SparkPlan, bool, error) {
+		hits++
+		return nil, false, nil
+	})
+	if _, err := e.Execute(rel); err != nil {
+		t.Fatal(err)
+	}
+	if hits == 0 {
+		t.Fatal("strategies must be consulted")
+	}
+}
+
+func TestEngineParallelismDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = 0
+	cfg.ShufflePartitions = 0
+	e := NewEngine(cfg)
+	if e.RDDCtx.Parallelism() < 1 {
+		t.Fatal("parallelism must default to a positive value")
+	}
+	if e.Cfg.ShufflePartitions < 1 {
+		t.Fatal("shuffle partitions must default")
+	}
+	_ = rdd.NewContext(0) // zero-clamped too
+}
+
+func TestCollectEmptyRelation(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	empty := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "x", Type: types.Int, Nullable: false},
+	), nil)
+	qe, err := e.Execute(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := qe.Collect()
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows = %v, err = %v", rows, err)
+	}
+	var _ row.Row
+}

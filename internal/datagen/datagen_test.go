@@ -1,0 +1,126 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/row"
+)
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	for i := int64(0); i < 100; i++ {
+		a := RankingRow(1, i)
+		b := RankingRow(1, i)
+		for j := range a {
+			if !row.Equal(a[j], b[j]) {
+				t.Fatalf("rankings not deterministic at %d", i)
+			}
+		}
+		if !row.Equal(UserVisitRow(2, i, 100)[0], UserVisitRow(2, i, 100)[0]) {
+			t.Fatal("uservisits not deterministic")
+		}
+		if MessageText(3, i, 10, 0.9) != MessageText(3, i, 10, 0.9) {
+			t.Fatal("messages not deterministic")
+		}
+		if TweetJSON(4, i) != TweetJSON(4, i) {
+			t.Fatal("tweets not deterministic")
+		}
+	}
+	// Different seeds diverge.
+	if RankingRow(1, 5)[1] == RankingRow(99, 5)[1] &&
+		RankingRow(1, 6)[1] == RankingRow(99, 6)[1] &&
+		RankingRow(1, 7)[1] == RankingRow(99, 7)[1] {
+		t.Fatal("seeds should change the data")
+	}
+}
+
+func TestRankingsShape(t *testing.T) {
+	schema := RankingsSchema()
+	if len(schema.Fields) != 3 {
+		t.Fatal("rankings schema")
+	}
+	counts := map[string]int{}
+	for i := int64(0); i < 20_000; i++ {
+		r := RankingRow(7, i)
+		rank := r[1].(int32)
+		if rank < 1 || rank > 10000 {
+			t.Fatalf("rank out of range: %d", rank)
+		}
+		switch {
+		case rank > 1000:
+			counts["a"]++
+		case rank > 100:
+			counts["b"]++
+		case rank > 10:
+			counts["c"]++
+		}
+	}
+	// The selectivity ladder must be monotonic: 1a selects fewer rows
+	// than 1b than 1c (paper: "1a ... most selective, 1c ... least").
+	if !(counts["a"] < counts["a"]+counts["b"] && counts["b"] < counts["b"]+counts["c"]) {
+		t.Fatalf("selectivity ladder broken: %v", counts)
+	}
+	if counts["a"] == 0 {
+		t.Fatal("heavy tail must produce some very high ranks")
+	}
+}
+
+func TestUserVisitsReferenceRankings(t *testing.T) {
+	const numURLs = 500
+	for i := int64(0); i < 1000; i++ {
+		r := UserVisitRow(7, i, numURLs)
+		dest := r[1].(string)
+		if !strings.HasPrefix(dest, "url_") {
+			t.Fatalf("dest = %q", dest)
+		}
+		date := r[2].(int32)
+		if date < 3653 || date > 3653+365 {
+			t.Fatalf("visitDate out of 1980 range: %d", date)
+		}
+		rev := r[3].(float64)
+		if rev < 0 || rev > 100 {
+			t.Fatalf("revenue out of range: %f", rev)
+		}
+	}
+}
+
+func TestMessageKeepFraction(t *testing.T) {
+	const n = 20_000
+	kept := 0
+	for i := int64(0); i < n; i++ {
+		if strings.Contains(MessageText(9, i, 10, 0.9), "spark") {
+			kept++
+		}
+	}
+	frac := float64(kept) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("keep fraction = %f, want ≈0.9 (Figure 10's 90%% filter)", frac)
+	}
+}
+
+func TestPartitionedCoversAllRows(t *testing.T) {
+	gen := Partitioned(1000, 7, func(i int64) row.Row { return row.Row{i} })
+	seen := map[int64]bool{}
+	for p := 0; p < 7; p++ {
+		for _, r := range gen(p) {
+			i := r[0].(int64)
+			if seen[i] {
+				t.Fatalf("row %d generated twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("covered %d rows", len(seen))
+	}
+}
+
+func TestPairValueMatchesPairRow(t *testing.T) {
+	for i := int64(0); i < 100; i++ {
+		r := PairRow(5, i, 50)
+		v := PairValue(5, i, 50)
+		if r[0] != v.A || r[1] != v.B {
+			t.Fatalf("boxed and unboxed generators diverge at %d", i)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package colfile
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasource"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func testSchema() types.StructType {
+	return types.StructType{}.
+		Add("flag", types.Boolean, true).
+		Add("i", types.Int, true).
+		Add("l", types.Long, true).
+		Add("d", types.Double, true).
+		Add("s", types.String, true).
+		Add("when", types.Date, true)
+}
+
+func randomRows(rng *rand.Rand, n int) []row.Row {
+	out := make([]row.Row, n)
+	for i := range out {
+		r := row.Row{
+			rng.Intn(2) == 0,
+			int32(rng.Intn(1000)),
+			int64(rng.Intn(100000)),
+			rng.Float64() * 100,
+			[]string{"", "x", "hello world", "çüé"}[rng.Intn(4)],
+			int32(16000 + rng.Intn(700)),
+		}
+		if rng.Intn(6) == 0 {
+			r[rng.Intn(len(r))] = nil
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func scanAll(t *testing.T, rel *Relation, cols []string, filters []datasource.Filter) []row.Row {
+	t.Helper()
+	scan, err := rel.ScanPrunedFiltered(cols, filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []row.Row
+	for p := 0; p < scan.NumPartitions; p++ {
+		out = append(out, scan.Partition(p)...)
+	}
+	return out
+}
+
+// Property: write-then-read returns the data exactly, for random rows and
+// row-group sizes.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dir := t.TempDir()
+	for trial := 0; trial < 10; trial++ {
+		rows := randomRows(rng, 1+rng.Intn(400))
+		path := filepath.Join(dir, "t.gcf")
+		if err := Write(path, testSchema(), rows, 1+rng.Intn(100)); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rel.Schema().Equals(testSchema()) {
+			t.Fatalf("schema round-trip: %s", rel.Schema().Name())
+		}
+		got := scanAll(t, rel, testSchema().FieldNames(), nil)
+		if len(got) != len(rows) {
+			t.Fatalf("trial %d: %d rows, want %d", trial, len(got), len(rows))
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				if !row.Equal(got[i][j], rows[i][j]) {
+					t.Fatalf("trial %d row %d col %d: %v != %v", trial, i, j, got[i][j], rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestColumnPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rows := randomRows(rng, 100)
+	path := filepath.Join(t.TempDir(), "t.gcf")
+	if err := Write(path, testSchema(), rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, rel, []string{"s", "i"}, nil)
+	for i := range rows {
+		if !row.Equal(got[i][0], rows[i][4]) || !row.Equal(got[i][1], rows[i][1]) {
+			t.Fatalf("pruned row %d = %v", i, got[i])
+		}
+	}
+	if _, err := rel.ScanPrunedFiltered([]string{"nope"}, nil); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestFilterPushdownIsExact(t *testing.T) {
+	rows := make([]row.Row, 1000)
+	for i := range rows {
+		rows[i] = row.Row{i%2 == 0, int32(i), int64(i), float64(i), "s", int32(16000)}
+	}
+	path := filepath.Join(t.TempDir(), "t.gcf")
+	if err := Write(path, testSchema(), rows, 100); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRowGroups() != 10 {
+		t.Fatalf("groups = %d", rel.NumRowGroups())
+	}
+	filters := []datasource.Filter{
+		datasource.GreaterOrEqual{Col: "i", Value: int32(950)},
+	}
+	got := scanAll(t, rel, []string{"i"}, filters)
+	if len(got) != 50 {
+		t.Fatalf("filtered rows = %d, want 50 (exact evaluation)", len(got))
+	}
+	// HandledFilters reports everything handled.
+	if handled := rel.HandledFilters(filters); len(handled) != 1 {
+		t.Fatal("colfile evaluates filters exactly")
+	}
+}
+
+func TestRowGroupSkipping(t *testing.T) {
+	// Row groups have disjoint ranges; a selective filter must not decode
+	// non-matching groups. We detect skipping via the returned partitions:
+	// skipped groups yield nil slices.
+	rows := make([]row.Row, 1000)
+	for i := range rows {
+		rows[i] = row.Row{true, int32(i), int64(i), 0.0, "s", int32(16000)}
+	}
+	path := filepath.Join(t.TempDir(), "t.gcf")
+	if err := Write(path, testSchema(), rows, 100); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := rel.ScanPrunedFiltered([]string{"i"}, []datasource.Filter{
+		datasource.GreaterThan{Col: "i", Value: int32(899)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for p := 0; p < scan.NumPartitions; p++ {
+		if len(scan.Partition(p)) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("stats skipping failed: %d groups produced rows", nonEmpty)
+	}
+}
+
+func TestTypedColumnReaders(t *testing.T) {
+	rows := []row.Row{
+		{true, int32(1), int64(10), 1.5, "a", int32(100)},
+		{false, nil, int64(20), 2.5, "b", int32(200)},
+	}
+	path := filepath.Join(t.TempDir(), "t.gcf")
+	if err := Write(path, testSchema(), rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints, valid, err := rel.Int32Column("i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ints[0] != 1 || !valid[0] || valid[1] {
+		t.Fatalf("ints = %v valid = %v", ints, valid)
+	}
+	ds, _, err := rel.Float64Column("d")
+	if err != nil || ds[1] != 2.5 {
+		t.Fatalf("doubles = %v (%v)", ds, err)
+	}
+	ss, _, err := rel.StringColumn("s")
+	if err != nil || ss[0] != "a" {
+		t.Fatalf("strings = %v (%v)", ss, err)
+	}
+	if _, _, err := rel.Int32Column("s"); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+	if _, _, err := rel.StringColumn("zz"); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.gcf")
+	os.WriteFile(bad, []byte("not a columnar file at all"), 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	// Truncated real file.
+	rows := []row.Row{{true, int32(1), int64(1), 1.0, "x", int32(1)}}
+	good := filepath.Join(dir, "good.gcf")
+	if err := Write(good, testSchema(), rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(good)
+	trunc := filepath.Join(dir, "trunc.gcf")
+	os.WriteFile(trunc, data[:len(data)/2], 0o644)
+	if _, err := Open(trunc); err == nil {
+		t.Fatal("truncated file must be rejected")
+	}
+}
+
+func TestUnsupportedTypeRejected(t *testing.T) {
+	schema := types.StructType{}.Add("x", types.ArrayType{Elem: types.Int}, false)
+	err := Write(filepath.Join(t.TempDir(), "t.gcf"), schema, nil, 0)
+	if err == nil {
+		t.Fatal("nested types are not supported by the file format")
+	}
+}
+
+func TestSizeInBytes(t *testing.T) {
+	rows := randomRows(rand.New(rand.NewSource(9)), 50)
+	path := filepath.Join(t.TempDir(), "t.gcf")
+	if err := Write(path, testSchema(), rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	if rel.SizeInBytes() != st.Size() {
+		t.Fatalf("size = %d, file = %d", rel.SizeInBytes(), st.Size())
+	}
+}

@@ -1,0 +1,314 @@
+package colfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/datasource"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// Provider returns the colfile relation provider. Options:
+//
+//	path (required) file path
+func Provider() datasource.Provider {
+	return datasource.ProviderFunc(func(options map[string]string) (datasource.Relation, error) {
+		path := options["path"]
+		if path == "" {
+			return nil, fmt.Errorf("colfile: missing required option 'path'")
+		}
+		return Open(path)
+	})
+}
+
+// chunk is a decoded column chunk location within the raw file bytes.
+type chunk struct {
+	mn, mx any
+	// bitmap of non-null rows, then the value bytes.
+	bitmap []byte
+	data   []byte
+}
+
+// rowGroup holds per-column chunks.
+type rowGroup struct {
+	numRows int
+	chunks  []chunk
+}
+
+// Relation is an opened columnar file.
+type Relation struct {
+	path   string
+	schema types.StructType
+	groups []rowGroup
+	size   int64
+}
+
+var (
+	_ datasource.PrunedFilteredScan = (*Relation)(nil)
+	_ datasource.ExactFilterScan    = (*Relation)(nil)
+	_ datasource.SizedRelation      = (*Relation)(nil)
+)
+
+// Open memory-maps (reads) the file and indexes row groups and chunks.
+func Open(path string) (*Relation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("colfile: %w", err)
+	}
+	r := &reader{data: data}
+	var m [4]byte
+	copy(m[:], r.bytes(4))
+	if m != magic {
+		return nil, fmt.Errorf("colfile: %s is not a columnar file", path)
+	}
+	nFields := int(r.u32())
+	var schema types.StructType
+	for i := 0; i < nFields; i++ {
+		name := r.str()
+		t, err := typeOf(r.byte())
+		if err != nil {
+			return nil, err
+		}
+		nullable := r.byte() == 1
+		schema = schema.Add(name, t, nullable)
+	}
+	nGroups := int(r.u32())
+	rel := &Relation{path: path, schema: schema, size: int64(len(data))}
+	for g := 0; g < nGroups; g++ {
+		numRows := int(r.u32())
+		rg := rowGroup{numRows: numRows, chunks: make([]chunk, nFields)}
+		for j := 0; j < nFields; j++ {
+			t := schema.Fields[j].Type
+			c := chunk{bitmap: r.bytes((numRows + 7) / 8)}
+			nonNull := 0
+			for i := 0; i < numRows; i++ {
+				if c.bitmap[i/8]&(1<<(uint(i)%8)) != 0 {
+					nonNull++
+				}
+			}
+			if r.byte() == 1 {
+				c.mn = r.value(t)
+			}
+			if r.byte() == 1 {
+				c.mx = r.value(t)
+			}
+			c.data = r.valueBlock(t, nonNull)
+			rg.chunks[j] = c
+		}
+		rel.groups = append(rel.groups, rg)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("colfile: corrupt file %s: %w", path, r.err)
+	}
+	return rel, nil
+}
+
+// Schema implements datasource.Relation.
+func (rel *Relation) Schema() types.StructType { return rel.schema }
+
+// SizeInBytes implements datasource.SizedRelation.
+func (rel *Relation) SizeInBytes() int64 { return rel.size }
+
+// HandledFilters implements datasource.ExactFilterScan: every filter in the
+// simple algebra is evaluated exactly.
+func (rel *Relation) HandledFilters(filters []datasource.Filter) []datasource.Filter {
+	return filters
+}
+
+// NumRowGroups reports the group count (tests).
+func (rel *Relation) NumRowGroups() int { return len(rel.groups) }
+
+// ScanPrunedFiltered implements datasource.PrunedFilteredScan. Each row
+// group is one partition; groups whose stats cannot match are skipped, and
+// only requested columns are decoded.
+func (rel *Relation) ScanPrunedFiltered(columns []string, filters []datasource.Filter) (datasource.Scan, error) {
+	ords := make([]int, len(columns))
+	for i, c := range columns {
+		j := rel.schema.FieldIndex(c)
+		if j < 0 {
+			return datasource.Scan{}, fmt.Errorf("colfile: unknown column %q", c)
+		}
+		ords[i] = j
+	}
+	// Columns needed only for filtering.
+	filterOrds := map[int]int{} // schema ordinal -> position in decode set
+	decodeOrds := append([]int{}, ords...)
+	for _, f := range filters {
+		j := rel.schema.FieldIndex(f.Attribute())
+		if j < 0 {
+			return datasource.Scan{}, fmt.Errorf("colfile: filter on unknown column %q", f.Attribute())
+		}
+		pos := -1
+		for k, o := range decodeOrds {
+			if o == j {
+				pos = k
+				break
+			}
+		}
+		if pos < 0 {
+			pos = len(decodeOrds)
+			decodeOrds = append(decodeOrds, j)
+		}
+		filterOrds[j] = pos
+	}
+
+	groups := rel.groups
+	return datasource.Scan{
+		NumPartitions: len(groups),
+		Partition: func(p int) []row.Row {
+			g := groups[p]
+			if !rel.groupMayMatch(g, filters) {
+				return nil
+			}
+			// Decode needed columns once.
+			cols := make([][]any, len(decodeOrds))
+			for k, j := range decodeOrds {
+				cols[k] = rel.decodeChunk(g, j)
+			}
+			out := make([]row.Row, 0, g.numRows)
+			for i := 0; i < g.numRows; i++ {
+				ok := true
+				for _, f := range filters {
+					pos := filterOrds[rel.schema.FieldIndex(f.Attribute())]
+					if !f.Matches(cols[pos][i]) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				rr := make(row.Row, len(ords))
+				for k := range ords {
+					rr[k] = cols[k][i]
+				}
+				out = append(out, rr)
+			}
+			return out
+		},
+	}, nil
+}
+
+// groupMayMatch tests filters against chunk min/max stats.
+func (rel *Relation) groupMayMatch(g rowGroup, filters []datasource.Filter) bool {
+	for _, f := range filters {
+		j := rel.schema.FieldIndex(f.Attribute())
+		if j < 0 {
+			continue
+		}
+		c := g.chunks[j]
+		if c.mn == nil || c.mx == nil {
+			// All-NULL chunk: only IS NOT NULL filters prune it.
+			if _, ok := f.(datasource.IsNotNull); ok {
+				return false
+			}
+			continue
+		}
+		switch x := f.(type) {
+		case datasource.EqualTo:
+			if row.Compare(x.Value, c.mn) < 0 || row.Compare(x.Value, c.mx) > 0 {
+				return false
+			}
+		case datasource.GreaterThan:
+			if row.Compare(c.mx, x.Value) <= 0 {
+				return false
+			}
+		case datasource.GreaterOrEqual:
+			if row.Compare(c.mx, x.Value) < 0 {
+				return false
+			}
+		case datasource.LessThan:
+			if row.Compare(c.mn, x.Value) >= 0 {
+				return false
+			}
+		case datasource.LessOrEqual:
+			if row.Compare(c.mn, x.Value) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// decodeChunk materializes one column of a group as []any with NULLs.
+func (rel *Relation) decodeChunk(g rowGroup, j int) []any {
+	t := rel.schema.Fields[j].Type
+	c := g.chunks[j]
+	out := make([]any, g.numRows)
+	r := &reader{data: c.data}
+	for i := 0; i < g.numRows; i++ {
+		if c.bitmap[i/8]&(1<<(uint(i)%8)) == 0 {
+			continue
+		}
+		out[i] = r.value(t)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Low-level reader
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.pos+n > len(r.data) {
+		r.err = fmt.Errorf("unexpected EOF at %d", r.pos)
+		r.pos = len(r.data)
+		return make([]byte, n)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) byte() byte  { return r.bytes(1)[0] }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }
+func (r *reader) str() string { return string(r.bytes(int(r.u32()))) }
+
+func (r *reader) value(t types.DataType) any {
+	switch {
+	case t.Equals(types.Boolean):
+		return r.byte() == 1
+	case t.Equals(types.Int), t.Equals(types.Date):
+		return int32(r.u32())
+	case t.Equals(types.Long), t.Equals(types.Timestamp):
+		return int64(r.u64())
+	case t.Equals(types.Double):
+		return math.Float64frombits(r.u64())
+	case t.Equals(types.String):
+		return r.str()
+	}
+	r.err = fmt.Errorf("unsupported type %s", t.Name())
+	return nil
+}
+
+// valueBlock slices out the raw bytes for nonNull values of type t.
+func (r *reader) valueBlock(t types.DataType, nonNull int) []byte {
+	start := r.pos
+	switch {
+	case t.Equals(types.Boolean):
+		r.bytes(nonNull)
+	case t.Equals(types.Int), t.Equals(types.Date):
+		r.bytes(4 * nonNull)
+	case t.Equals(types.Long), t.Equals(types.Timestamp), t.Equals(types.Double):
+		r.bytes(8 * nonNull)
+	case t.Equals(types.String):
+		for i := 0; i < nonNull; i++ {
+			r.bytes(int(r.u32()))
+		}
+	default:
+		r.err = fmt.Errorf("unsupported type %s", t.Name())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return r.data[start:r.pos]
+}

@@ -1,0 +1,175 @@
+package csvds
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHeaderInference(t *testing.T) {
+	path := writeFile(t, "name,age,score,member\nAlice,30,9.5,true\nBob,25,8.0,false\n")
+	rel, err := Open(path, map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rel.Schema()
+	wantTypes := []types.DataType{types.String, types.Int, types.Double, types.Boolean}
+	for i, w := range wantTypes {
+		if !s.Fields[i].Type.Equals(w) {
+			t.Errorf("col %d = %s, want %s", i, s.Fields[i].Type.Name(), w.Name())
+		}
+	}
+	scan, err := rel.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for p := 0; p < scan.NumPartitions; p++ {
+		for _, r := range scan.Partition(p) {
+			n++
+			if len(r) != 4 {
+				t.Fatalf("row = %v", r)
+			}
+		}
+	}
+	if n != 2 {
+		t.Fatalf("rows = %d", n)
+	}
+}
+
+func TestExplicitSchema(t *testing.T) {
+	path := writeFile(t, "id,when\n1,2015-03-04\n")
+	rel, err := Open(path, map[string]string{"schema": "id BIGINT, when DATE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Schema().Fields[0].Type.Equals(types.Long) {
+		t.Error("declared BIGINT")
+	}
+	scan, _ := rel.ScanAll()
+	r := scan.Partition(0)[0]
+	if r[0] != int64(1) {
+		t.Errorf("id = %v", r[0])
+	}
+	if r[1] != int32(16498) { // 2015-03-04
+		t.Errorf("date = %v", r[1])
+	}
+}
+
+func TestPrunedScanConvertsOnlyRequested(t *testing.T) {
+	path := writeFile(t, "a,b,c\n1,x,2.5\n2,y,3.5\n")
+	rel, err := Open(path, map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := rel.ScanPruned([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	for p := 0; p < scan.NumPartitions; p++ {
+		for _, r := range scan.Partition(p) {
+			rows++
+			if len(r) != 2 {
+				t.Fatalf("row = %v", r)
+			}
+			if _, ok := r[0].(float64); !ok {
+				t.Fatalf("c should be DOUBLE: %v", r)
+			}
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("rows = %d", rows)
+	}
+	if _, err := rel.ScanPruned([]string{"zzz"}); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+}
+
+func TestNoHeaderMode(t *testing.T) {
+	path := writeFile(t, "1,foo\n2,bar\n")
+	rel, err := Open(path, map[string]string{"header": "false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema().Fields[0].Name != "_c0" {
+		t.Errorf("generated names = %v", rel.Schema().FieldNames())
+	}
+	scan, _ := rel.ScanAll()
+	total := 0
+	for p := 0; p < scan.NumPartitions; p++ {
+		total += len(scan.Partition(p))
+	}
+	if total != 2 {
+		t.Fatalf("rows = %d", total)
+	}
+}
+
+func TestEmptyAndInvalidCellsBecomeNull(t *testing.T) {
+	path := writeFile(t, "a,b\n1,\nnotanum,2\n")
+	rel, err := Open(path, map[string]string{"schema": "a INT, b INT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := rel.ScanAll()
+	var rows [][]any
+	for p := 0; p < scan.NumPartitions; p++ {
+		for _, r := range scan.Partition(p) {
+			rows = append(rows, r)
+		}
+	}
+	if rows[0][1] != nil {
+		t.Error("empty cell is NULL")
+	}
+	if rows[1][0] != nil {
+		t.Error("unparseable cell is NULL")
+	}
+}
+
+func TestDelimiterOption(t *testing.T) {
+	path := writeFile(t, "a|b\n1|2\n")
+	rel, err := Open(path, map[string]string{"delimiter": "|"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Schema().Fields) != 2 {
+		t.Fatalf("fields = %v", rel.Schema().FieldNames())
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	if _, err := ParseSchema("a WAT"); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+	if _, err := ParseSchema("justaname"); err == nil {
+		t.Fatal("missing type must fail")
+	}
+}
+
+func TestInferenceWidening(t *testing.T) {
+	path := writeFile(t, "v\n1\n3000000000\n2.5\n")
+	rel, err := Open(path, map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Schema().Fields[0].Type.Equals(types.Double) {
+		t.Errorf("mixed numerics -> %s, want DOUBLE", rel.Schema().Fields[0].Type.Name())
+	}
+}
+
+func TestProviderRequiresPath(t *testing.T) {
+	if _, err := Provider().CreateRelation(map[string]string{}); err == nil {
+		t.Fatal("missing path must fail")
+	}
+}

@@ -1,0 +1,145 @@
+// Package datasource defines the Spark SQL data source API (paper §4.4.1):
+// relations loaded by name with key-value options, exposing progressively
+// smarter scan interfaces — TableScan, PrunedScan, PrunedFilteredScan and
+// CatalystScan — that let the optimizer push column pruning and predicates
+// into the source. Concrete sources (CSV, JSON, the columnar file format,
+// and the federated in-memory database) live in subpackages and in
+// internal/memdb.
+package datasource
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// Relation is the object a provider returns for a successfully loaded data
+// source: at minimum a schema, optionally a size estimate (paper: "each
+// BaseRelation contains a schema and an optional estimated size in bytes").
+type Relation interface {
+	Schema() types.StructType
+}
+
+// SizedRelation lets a relation report its estimated size in bytes, feeding
+// the broadcast-join cost model.
+type SizedRelation interface {
+	Relation
+	SizeInBytes() int64
+}
+
+// Scan is partitioned row output from a relation. Partition functions run
+// lazily inside RDD tasks.
+type Scan struct {
+	NumPartitions int
+	// Partition produces the rows of partition p. It must be safe to call
+	// concurrently for distinct p and repeatedly for the same p (lineage
+	// recomputation).
+	Partition func(p int) []row.Row
+	// PreferredLocations optionally exposes data locality per partition
+	// (paper: "all data sources can also expose network locality
+	// information"); the in-process scheduler records but does not need it.
+	PreferredLocations func(p int) []string
+}
+
+// TableScan is the simplest interface: return all rows of all columns.
+type TableScan interface {
+	Relation
+	ScanAll() (Scan, error)
+}
+
+// PrunedScan adds projection pushdown: return rows containing only the
+// requested columns, in the requested order.
+type PrunedScan interface {
+	Relation
+	ScanPruned(columns []string) (Scan, error)
+}
+
+// PrunedFilteredScan adds predicate pushdown with the simple Filter algebra.
+// Filters are advisory: the source should try to apply them but may return
+// false positives; the engine keeps a residual filter unless the source
+// also implements ExactFilterScan.
+type PrunedFilteredScan interface {
+	Relation
+	ScanPrunedFiltered(columns []string, filters []Filter) (Scan, error)
+}
+
+// CatalystScan hands the source complete Catalyst expression trees for
+// pushdown — the most powerful (and least stable) interface.
+type CatalystScan interface {
+	Relation
+	ScanCatalyst(columns []string, predicates []expr.Expression) (Scan, error)
+}
+
+// ExactFilterScan marks a PrunedFilteredScan whose filter evaluation is
+// exact for the returned filters, allowing the engine to drop the residual
+// predicate. HandledFilters reports which of the candidate filters the
+// source will fully evaluate.
+type ExactFilterScan interface {
+	HandledFilters(filters []Filter) []Filter
+}
+
+// InsertableRelation supports writing: the engine provides partitioned rows
+// to append (paper: "similar interfaces exist for writing data ... simpler
+// because Spark SQL just provides an RDD of Row objects to be written").
+type InsertableRelation interface {
+	Relation
+	Insert(partitions [][]row.Row) error
+}
+
+// Provider constructs relations from key-value options — the createRelation
+// entry point keyed by the USING name in SQL.
+type Provider interface {
+	CreateRelation(options map[string]string) (Relation, error)
+}
+
+// ProviderFunc adapts a function to Provider.
+type ProviderFunc func(options map[string]string) (Relation, error)
+
+// CreateRelation implements Provider.
+func (f ProviderFunc) CreateRelation(options map[string]string) (Relation, error) {
+	return f(options)
+}
+
+// Registry maps USING names (e.g. "csv", "json", "jdbc") to providers. A
+// Context owns one; it is safe for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	providers map[string]Provider
+}
+
+// NewRegistry returns an empty provider registry.
+func NewRegistry() *Registry {
+	return &Registry{providers: make(map[string]Provider)}
+}
+
+// Register adds a provider under a name, replacing any previous entry.
+func (r *Registry) Register(name string, p Provider) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.providers[name] = p
+}
+
+// Lookup resolves a provider by name.
+func (r *Registry) Lookup(name string) (Provider, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.providers[name]
+	if !ok {
+		return nil, fmt.Errorf("datasource: no provider registered as %q", name)
+	}
+	return p, nil
+}
+
+// Names lists the registered provider names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.providers))
+	for n := range r.providers {
+		out = append(out, n)
+	}
+	return out
+}

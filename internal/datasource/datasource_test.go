@@ -1,0 +1,71 @@
+package datasource
+
+import (
+	"testing"
+
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func TestFilterAlgebra(t *testing.T) {
+	cases := []struct {
+		f    Filter
+		v    any
+		want bool
+	}{
+		{EqualTo{"c", int32(5)}, int32(5), true},
+		{EqualTo{"c", int32(5)}, int32(6), false},
+		{EqualTo{"c", int32(5)}, nil, false},
+		{GreaterThan{"c", int32(5)}, int32(6), true},
+		{GreaterThan{"c", int32(5)}, int32(5), false},
+		{GreaterOrEqual{"c", int32(5)}, int32(5), true},
+		{LessThan{"c", "m"}, "a", true},
+		{LessOrEqual{"c", 2.5}, 2.5, true},
+		{In{"c", []any{int32(1), int32(3)}}, int32(3), true},
+		{In{"c", []any{int32(1), int32(3)}}, int32(2), false},
+		{IsNotNull{"c"}, int32(0), true},
+		{IsNotNull{"c"}, nil, false},
+		{StringStartsWith{"c", "ab"}, "abc", true},
+		{StringStartsWith{"c", "ab"}, "ba", false},
+	}
+	for _, c := range cases {
+		if got := c.f.Matches(c.v); got != c.want {
+			t.Errorf("%s.Matches(%v) = %v, want %v", c.f, c.v, got, c.want)
+		}
+	}
+}
+
+func TestApplyFilters(t *testing.T) {
+	schema := types.StructType{}.
+		Add("a", types.Int, false).
+		Add("b", types.String, true)
+	r := row.Row{int32(10), "hello"}
+	ok := ApplyFilters([]Filter{
+		GreaterThan{"a", int32(5)},
+		StringStartsWith{"b", "he"},
+	}, schema, r)
+	if !ok {
+		t.Error("all filters match")
+	}
+	if ApplyFilters([]Filter{LessThan{"a", int32(5)}}, schema, r) {
+		t.Error("failing filter rejects")
+	}
+	// Unknown columns are advisory and skipped.
+	if !ApplyFilters([]Filter{EqualTo{"zz", int32(1)}}, schema, r) {
+		t.Error("unknown-column filters are skipped")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("x", ProviderFunc(func(map[string]string) (Relation, error) { return nil, nil }))
+	if _, err := reg.Lookup("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Lookup("nope"); err == nil {
+		t.Fatal("missing provider must error")
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,267 @@
+// Package jsonds is the JSON data source with automatic schema inference
+// (paper §5.1): a single pass over the records computes, for each distinct
+// field path, the most specific Spark SQL type matching every observed
+// instance, merging per-record schemata with an associative
+// most-specific-supertype function. Fields that display incompatible types
+// generalize to STRING; fields absent from some records become nullable.
+package jsonds
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/datasource"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// Provider returns the json relation provider. Options:
+//
+//	path       (required) file of newline- or stream-delimited JSON objects
+//	samplesize optional max records used for inference (default all)
+func Provider() datasource.Provider {
+	return datasource.ProviderFunc(func(options map[string]string) (datasource.Relation, error) {
+		path := options["path"]
+		if path == "" {
+			return nil, fmt.Errorf("json: missing required option 'path'")
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("json: %w", err)
+		}
+		records, err := DecodeRecords(data)
+		if err != nil {
+			return nil, err
+		}
+		return NewRelation(records, int64(len(data))), nil
+	})
+}
+
+// DecodeRecords parses a stream of JSON objects (newline-delimited or
+// back-to-back), preserving integer-vs-float distinctions via json.Number.
+func DecodeRecords(data []byte) ([]map[string]any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var records []map[string]any
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("json: record %d: %w", len(records)+1, err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// Relation is a JSON dataset with an inferred schema.
+type Relation struct {
+	schema  types.StructType
+	records []map[string]any
+	size    int64
+}
+
+var _ datasource.PrunedScan = (*Relation)(nil)
+var _ datasource.SizedRelation = (*Relation)(nil)
+
+// NewRelation infers the schema and wraps the records.
+func NewRelation(records []map[string]any, sizeHint int64) *Relation {
+	return &Relation{schema: InferSchema(records), records: records, size: sizeHint}
+}
+
+// Schema implements datasource.Relation.
+func (r *Relation) Schema() types.StructType { return r.schema }
+
+// SizeInBytes implements datasource.SizedRelation.
+func (r *Relation) SizeInBytes() int64 { return r.size }
+
+// ScanAll implements datasource.TableScan.
+func (r *Relation) ScanAll() (datasource.Scan, error) {
+	return r.ScanPruned(r.schema.FieldNames())
+}
+
+// ScanPruned implements datasource.PrunedScan.
+func (r *Relation) ScanPruned(columns []string) (datasource.Scan, error) {
+	fields := make([]types.StructField, len(columns))
+	for i, c := range columns {
+		j := r.schema.FieldIndex(c)
+		if j < 0 {
+			return datasource.Scan{}, fmt.Errorf("json: unknown column %q", c)
+		}
+		fields[i] = r.schema.Fields[j]
+	}
+	records := r.records
+	numPart := 4
+	if len(records) < numPart {
+		numPart = 1
+	}
+	return datasource.Scan{
+		NumPartitions: numPart,
+		Partition: func(p int) []row.Row {
+			lo := len(records) * p / numPart
+			hi := len(records) * (p + 1) / numPart
+			out := make([]row.Row, 0, hi-lo)
+			for _, rec := range records[lo:hi] {
+				rr := make(row.Row, len(fields))
+				for i, f := range fields {
+					rr[i] = convert(rec[f.Name], f.Type)
+				}
+				out = append(out, rr)
+			}
+			return out
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Schema inference (paper §5.1)
+
+// InferSchema computes the most specific schema matching every record, in
+// one pass, by reducing per-record schemata with the associative
+// most-specific-supertype merge. Field names are sorted for determinism
+// (Go's JSON maps are unordered).
+func InferSchema(records []map[string]any) types.StructType {
+	merged := types.DataType(types.StructType{})
+	first := true
+	for _, rec := range records {
+		s := recordSchema(rec)
+		if first {
+			merged = s
+			first = false
+			continue
+		}
+		merged = types.MostSpecificSupertype(merged, s)
+	}
+	st, ok := merged.(types.StructType)
+	if !ok {
+		return types.StructType{}
+	}
+	return st
+}
+
+// recordSchema derives the schema tree of a single record.
+func recordSchema(rec map[string]any) types.StructType {
+	names := make([]string, 0, len(rec))
+	for k := range rec {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var schema types.StructType
+	for _, name := range names {
+		t, nullable := valueType(rec[name])
+		schema = schema.Add(name, t, nullable)
+	}
+	return schema
+}
+
+// valueType infers the type of one JSON value: integers fitting 32 bits →
+// INT, larger → BIGINT, fractional → DOUBLE (paper §5.1's widening chain;
+// DECIMAL is reserved for integers beyond 64 bits, which we map to DOUBLE).
+func valueType(v any) (types.DataType, bool) {
+	switch x := v.(type) {
+	case nil:
+		return types.Null, true
+	case bool:
+		return types.Boolean, false
+	case string:
+		return types.String, false
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			if i >= -2147483648 && i <= 2147483647 {
+				return types.Int, false
+			}
+			return types.Long, false
+		}
+		return types.Double, false
+	case []any:
+		elem := types.DataType(types.Null)
+		containsNull := false
+		for _, e := range x {
+			et, en := valueType(e)
+			elem = types.MostSpecificSupertype(elem, et)
+			containsNull = containsNull || en
+		}
+		return types.ArrayType{Elem: elem, ContainsNull: containsNull}, false
+	case map[string]any:
+		return recordSchema(x), false
+	default:
+		return types.String, false
+	}
+}
+
+// convert coerces a decoded JSON value to the inferred SQL type.
+func convert(v any, t types.DataType) any {
+	if v == nil {
+		return nil
+	}
+	switch tt := t.(type) {
+	case types.ArrayType:
+		arr, ok := v.([]any)
+		if !ok {
+			return nil
+		}
+		out := make([]any, len(arr))
+		for i, e := range arr {
+			out[i] = convert(e, tt.Elem)
+		}
+		return out
+	case types.StructType:
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return nil
+		}
+		rr := make(row.Row, len(tt.Fields))
+		for i, f := range tt.Fields {
+			rr[i] = convert(obj[f.Name], f.Type)
+		}
+		return rr
+	}
+	switch {
+	case t.Equals(types.String):
+		// Fields that generalized to STRING preserve the original JSON
+		// representation (paper §5.1).
+		switch s := v.(type) {
+		case string:
+			return s
+		case json.Number:
+			return s.String()
+		default:
+			b, _ := json.Marshal(v)
+			return string(b)
+		}
+	case t.Equals(types.Boolean):
+		b, ok := v.(bool)
+		if !ok {
+			return nil
+		}
+		return b
+	case t.Equals(types.Int):
+		if n, ok := v.(json.Number); ok {
+			if i, err := n.Int64(); err == nil {
+				return int32(i)
+			}
+		}
+		return nil
+	case t.Equals(types.Long):
+		if n, ok := v.(json.Number); ok {
+			if i, err := n.Int64(); err == nil {
+				return i
+			}
+		}
+		return nil
+	case t.Equals(types.Double), t.Equals(types.Float):
+		if n, ok := v.(json.Number); ok {
+			if f, err := n.Float64(); err == nil {
+				if t.Equals(types.Float) {
+					return float32(f)
+				}
+				return f
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}

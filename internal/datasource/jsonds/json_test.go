@@ -1,0 +1,200 @@
+package jsonds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// paperTweets is Figure 5 verbatim.
+const paperTweets = `
+{"text": "This is a tweet about #Spark", "tags": ["#Spark"], "loc": {"lat": 45.1, "long": 90}}
+{"text": "This is another tweet", "tags": [], "loc": {"lat": 39, "long": 88.5}}
+{"text": "A #tweet without #location", "tags": ["#tweet", "#location"]}
+`
+
+func TestFigure6SchemaShape(t *testing.T) {
+	records, err := DecodeRecords([]byte(paperTweets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := InferSchema(records)
+
+	// text STRING NOT NULL
+	i := schema.FieldIndex("text")
+	if i < 0 || !schema.Fields[i].Type.Equals(types.String) || schema.Fields[i].Nullable {
+		t.Errorf("text = %+v", schema.Fields[i])
+	}
+	// tags ARRAY<STRING NOT NULL> NOT NULL
+	i = schema.FieldIndex("tags")
+	want := types.ArrayType{Elem: types.String, ContainsNull: false}
+	if i < 0 || !schema.Fields[i].Type.Equals(want) || schema.Fields[i].Nullable {
+		t.Errorf("tags = %+v", schema.Fields[i])
+	}
+	// loc STRUCT<lat DOUBLE NOT NULL, long DOUBLE NOT NULL>, nullable
+	// because record 3 lacks it. (The paper infers FLOAT; our lattice
+	// widens fractional JSON numbers to DOUBLE — same generalization.)
+	i = schema.FieldIndex("loc")
+	if i < 0 || !schema.Fields[i].Nullable {
+		t.Fatalf("loc = %+v", schema.Fields)
+	}
+	loc, ok := schema.Fields[i].Type.(types.StructType)
+	if !ok {
+		t.Fatalf("loc type = %s", schema.Fields[i].Type.Name())
+	}
+	// lat appears as 45.1 (fractional) and 39 (integer): generalizes to
+	// DOUBLE — the exact example the paper walks through.
+	lat := loc.Fields[loc.FieldIndex("lat")]
+	if !lat.Type.Equals(types.Double) {
+		t.Errorf("lat generalization = %s", lat.Type.Name())
+	}
+}
+
+func TestIntegerWideningChain(t *testing.T) {
+	records, err := DecodeRecords([]byte(`
+		{"v": 5}
+		{"v": 3000000000}
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := InferSchema(records)
+	if !s.Fields[0].Type.Equals(types.Long) {
+		t.Errorf("INT+big -> %s, want BIGINT", s.Fields[0].Type.Name())
+	}
+
+	records, _ = DecodeRecords([]byte(`
+		{"v": 5}
+		{"v": 2.5}
+	`))
+	s = InferSchema(records)
+	if !s.Fields[0].Type.Equals(types.Double) {
+		t.Errorf("INT+frac -> %s, want DOUBLE", s.Fields[0].Type.Name())
+	}
+}
+
+func TestIncompatibleTypesGeneralizeToString(t *testing.T) {
+	records, _ := DecodeRecords([]byte(`
+		{"v": 5}
+		{"v": "five"}
+		{"v": {"nested": true}}
+	`))
+	s := InferSchema(records)
+	if !s.Fields[0].Type.Equals(types.String) {
+		t.Errorf("mixed types -> %s, want STRING", s.Fields[0].Type.Name())
+	}
+	// Conversion preserves the original JSON representation.
+	rel := NewRelation(records, 0)
+	scan, err := rel.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []row.Row
+	for p := 0; p < scan.NumPartitions; p++ {
+		all = append(all, scan.Partition(p)...)
+	}
+	if all[0][0] != "5" || all[1][0] != "five" {
+		t.Errorf("string preservation: %v", all)
+	}
+	if all[2][0] != `{"nested":true}` {
+		t.Errorf("nested preservation: %v", all[2][0])
+	}
+}
+
+func TestNullAndMissingFieldNullability(t *testing.T) {
+	records, _ := DecodeRecords([]byte(`
+		{"a": 1, "b": null}
+		{"a": 2}
+	`))
+	s := InferSchema(records)
+	ai := s.FieldIndex("a")
+	bi := s.FieldIndex("b")
+	if s.Fields[ai].Nullable {
+		t.Error("a present and non-null everywhere: NOT NULL")
+	}
+	if !s.Fields[bi].Nullable {
+		t.Error("b is null/missing: nullable")
+	}
+	// A field that is always null gets the NULL type and stays queryable.
+	if !s.Fields[bi].Type.Equals(types.Null) {
+		t.Errorf("b type = %s", s.Fields[bi].Type.Name())
+	}
+}
+
+func TestMergeIsOrderInsensitive(t *testing.T) {
+	a := `{"x": 1, "y": "s"}
+{"x": 2.5}`
+	b := `{"x": 2.5}
+{"x": 1, "y": "s"}`
+	ra, _ := DecodeRecords([]byte(a))
+	rb, _ := DecodeRecords([]byte(b))
+	if !InferSchema(ra).Equals(InferSchema(rb)) {
+		t.Errorf("merge should be order-insensitive:\n%s\n%s",
+			InferSchema(ra).Name(), InferSchema(rb).Name())
+	}
+}
+
+// Property: inference + conversion never loses rows and always produces
+// values matching the inferred schema, for randomized record shapes.
+func TestInferenceTotalOnRandomRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		var data []byte
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				data = append(data, fmt.Sprintf(`{"a": %d, "b": "s%d"}`+"\n", rng.Intn(100), i)...)
+			case 1:
+				data = append(data, fmt.Sprintf(`{"a": %f}`+"\n", rng.Float64())...)
+			case 2:
+				data = append(data, fmt.Sprintf(`{"b": null, "c": [%d, %d]}`+"\n", i, i+1)...)
+			case 3:
+				data = append(data, fmt.Sprintf(`{"c": ["mixed", %d]}`+"\n", i)...)
+			default:
+				data = append(data, fmt.Sprintf(`{"d": {"x": %d}}`+"\n", i)...)
+			}
+		}
+		records, err := DecodeRecords(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := NewRelation(records, 0)
+		scan, err := rel.ScanAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for p := 0; p < scan.NumPartitions; p++ {
+			total += len(scan.Partition(p))
+		}
+		if total != n {
+			t.Fatalf("trial %d: %d rows, want %d", trial, total, n)
+		}
+	}
+}
+
+func TestMalformedJSONRejected(t *testing.T) {
+	if _, err := DecodeRecords([]byte(`{"a": }`)); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestPrunedScan(t *testing.T) {
+	records, _ := DecodeRecords([]byte(`{"a": 1, "b": "x"}`))
+	rel := NewRelation(records, 0)
+	scan, err := rel.ScanPruned([]string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := scan.Partition(0)
+	if len(rows) != 1 || len(rows[0]) != 1 || rows[0][0] != "x" {
+		t.Fatalf("pruned = %v", rows)
+	}
+	if _, err := rel.ScanPruned([]string{"zz"}); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}

@@ -1,0 +1,63 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	fs.WriteNanosPerByte = 0 // no simulated latency in unit tests
+	fs.ReadNanosPerByte = 0
+	parts := [][]byte{[]byte("hello"), []byte("world")}
+	fs.Write("/x", parts)
+	got, err := fs.Read("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0]) != "hello" || string(got[1]) != "world" {
+		t.Fatalf("got %q", got)
+	}
+	// Writes are copies: mutating the source must not affect storage.
+	parts[0][0] = 'X'
+	got, _ = fs.Read("/x")
+	if string(got[0]) != "hello" {
+		t.Fatal("write must copy blocks")
+	}
+	if !fs.Exists("/x") || fs.Exists("/y") {
+		t.Fatal("Exists wrong")
+	}
+	fs.Delete("/x")
+	if fs.Exists("/x") {
+		t.Fatal("Delete failed")
+	}
+	if _, err := fs.Read("/x"); err == nil {
+		t.Fatal("reading a deleted file must fail")
+	}
+}
+
+func TestMetering(t *testing.T) {
+	fs := New()
+	fs.WriteNanosPerByte = 0
+	fs.ReadNanosPerByte = 0
+	fs.Write("/a", [][]byte{make([]byte, 100)})
+	if fs.BytesWritten() != 100 {
+		t.Fatalf("written = %d", fs.BytesWritten())
+	}
+	fs.Read("/a")
+	fs.Read("/a")
+	if fs.BytesRead() != 200 {
+		t.Fatalf("read = %d", fs.BytesRead())
+	}
+}
+
+func TestSimulatedIOCost(t *testing.T) {
+	fs := New()
+	fs.WriteNanosPerByte = 10_000 // 10µs per byte for a measurable test
+	fs.ReadNanosPerByte = 0
+	start := time.Now()
+	fs.Write("/slow", [][]byte{make([]byte, 1000)})
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("write should cost ~10ms, took %v", elapsed)
+	}
+}

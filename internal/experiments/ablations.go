@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	sparksql "repro"
+	"repro/internal/datagen"
+	"repro/internal/memdb"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// Ablation: query federation (paper §5.3). A "remote" users database joins
+// local logs; with pushdown the registrationDate predicate and the column
+// list ship to the database, so only matching users' (id, name) cross the
+// link. Without pushdown every column of every user does.
+type Federation struct {
+	DB       *memdb.Database
+	NumUsers int64
+	NumLogs  int64
+	ctx      *sparksql.Context
+}
+
+// NewFederation builds the remote database and local logs.
+func NewFederation(numUsers, numLogs int64) (*Federation, error) {
+	db := memdb.New()
+	userSchema := types.StructType{}.
+		Add("id", types.Long, false).
+		Add("name", types.String, false).
+		Add("registrationDate", types.Date, false).
+		Add("bio", types.String, false) // bulky column pushdown avoids shipping
+	users := make([]row.Row, numUsers)
+	for i := int64(0); i < numUsers; i++ {
+		// Registration dates spread over 2014-2015; epoch day 16071 is
+		// 2014-01-01, 16436 is 2015-01-01.
+		users[i] = row.Row{
+			i,
+			fmt.Sprintf("user%06d", i),
+			int32(16071 + (i*7)%730),
+			fmt.Sprintf("this is a long biography string for user %06d padding padding padding", i),
+		}
+	}
+	db.CreateTable("users", userSchema, users)
+
+	f := &Federation{DB: db, NumUsers: numUsers, NumLogs: numLogs}
+	return f, nil
+}
+
+// Query is the paper's federation join: traffic log messages for recently
+// registered users.
+const federationQuery = `
+	SELECT users.id, users.name, logs.message
+	FROM users JOIN logs ON users.id = logs.userId
+	WHERE users.registrationDate > '2015-01-01'`
+
+// Run executes the federated query with or without pushdown, returning the
+// result size and the bytes that crossed the link.
+func (f *Federation) Run(pushdown bool) (rows int64, bytesTransferred int64, err error) {
+	ctx := sparksql.NewContext()
+	ctx.RegisterDataSource("jdbc", memdb.Provider(f.DB))
+	pd := "true"
+	if !pushdown {
+		pd = "false"
+	}
+	if _, err := ctx.SQL(fmt.Sprintf(
+		"CREATE TEMPORARY TABLE users USING jdbc OPTIONS(`table` 'users', pushdown '%s')", pd)); err != nil {
+		return 0, 0, err
+	}
+
+	logSchema := types.StructType{}.
+		Add("userId", types.Long, false).
+		Add("message", types.String, false)
+	logRows := make([]row.Row, f.NumLogs)
+	for i := int64(0); i < f.NumLogs; i++ {
+		logRows[i] = row.Row{(i * 13) % f.NumUsers, fmt.Sprintf("GET /page/%d", i%97)}
+	}
+	logs, err := ctx.CreateDataFrame(logSchema, logRows)
+	if err != nil {
+		return 0, 0, err
+	}
+	logs.RegisterTempTable("logs")
+
+	f.DB.ResetMeter()
+	df, err := ctx.SQL(federationQuery)
+	if err != nil {
+		return 0, 0, err
+	}
+	out, err := df.Collect()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(len(out)), f.DB.BytesTransferred(), nil
+}
+
+// RemoteQueryLog exposes the queries the database saw (for the example).
+func (f *Federation) RemoteQueryLog() []string { return f.DB.QueryLog() }
+
+// ---------------------------------------------------------------------------
+// Ablation: columnar cache vs boxed-object cache (paper §3.6).
+
+// CacheStudy builds an n-row uservisits-like table and caches it columnar,
+// keeping a row-cached ("JVM object") twin for comparison — the two cache
+// regimes §3.6 contrasts. The columnar cache trades a small per-scan decode
+// cost for an order-of-magnitude memory saving.
+type CacheStudy struct {
+	Ctx *sparksql.Context
+	// DF is columnar-cached; ObjectCached holds the same rows as boxed
+	// in-memory objects (Spark's native cache model).
+	DF           *sparksql.DataFrame
+	ObjectCached *sparksql.DataFrame
+	Info         sparksql.CacheInfo
+}
+
+// NewCacheStudy caches n synthetic rows and records the footprints.
+func NewCacheStudy(n int64) (*CacheStudy, error) {
+	ctx := sparksql.NewContext()
+	rows := make([]row.Row, n)
+	for i := int64(0); i < n; i++ {
+		rows[i] = datagen.UserVisitRow(42, i, 1000)
+	}
+	df, err := ctx.CreateDataFrame(datagen.UserVisitsSchema(), rows)
+	if err != nil {
+		return nil, err
+	}
+	objectCached, err := ctx.CreateDataFrame(datagen.UserVisitsSchema(), rows)
+	if err != nil {
+		return nil, err
+	}
+	info, err := df.Cache()
+	if err != nil {
+		return nil, err
+	}
+	return &CacheStudy{Ctx: ctx, DF: df, ObjectCached: objectCached, Info: info}, nil
+}
+
+// ScanAggregate runs a two-column aggregate over the cached data (column
+// pruning means only two columns decode).
+func (c *CacheStudy) ScanAggregate() (float64, error) {
+	return scanAggregate(c.DF)
+}
+
+// ScanAggregateObjectCache runs the same aggregate over the boxed-row
+// cache.
+func (c *CacheStudy) ScanAggregateObjectCache() (float64, error) {
+	return scanAggregate(c.ObjectCached)
+}
+
+func scanAggregate(df *sparksql.DataFrame) (float64, error) {
+	agg, err := df.GroupBy("countryCode").Avg("adRevenue")
+	if err != nil {
+		return 0, err
+	}
+	rows, err := agg.Collect()
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, r := range rows {
+		total += r[1].(float64)
+	}
+	return total, nil
+}

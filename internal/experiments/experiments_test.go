@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFig4AllStrategiesAgree(t *testing.T) {
+	f := NewFig4()
+	for _, x := range []int64{0, 1, -7, 1 << 40} {
+		want := 3 * x
+		if got := f.Interpreted(x); got != want {
+			t.Fatalf("interpreted(%d) = %d", x, got)
+		}
+		if got := f.Generated(x); got != want {
+			t.Fatalf("generated(%d) = %d", x, got)
+		}
+		if got := f.GeneratedUnboxed(x); got != want {
+			t.Fatalf("unboxed(%d) = %d", x, got)
+		}
+		if got := f.HandWritten(x); got != want {
+			t.Fatalf("hand(%d) = %d", x, got)
+		}
+	}
+}
+
+func TestFig9ImplementationsAgree(t *testing.T) {
+	f := NewFig9(20_000, 500)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10PipelinesAgree(t *testing.T) {
+	f := NewFig10(3_000)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if f.BytesThroughDFS() == 0 {
+		t.Fatal("separate pipeline should move bytes through the DFS")
+	}
+}
+
+func TestAMPLabEnginesAgree(t *testing.T) {
+	a, err := NewAMPLab(t.TempDir(), 2_000, 6_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shark, err := a.NewContext(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spark, err := a.NewContext(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Q1: all engines agree on the row count for each selectivity.
+	for _, x := range Q1Params {
+		want := a.NativeQ1(x)
+		nShark, err := RunSQL(shark, Q1(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nSpark, err := RunSQL(spark, Q1(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nShark != want || nSpark != want {
+			t.Fatalf("Q1(%d): native=%d shark=%d spark=%d", x, want, nShark, nSpark)
+		}
+	}
+
+	// Q2: group counts agree.
+	for _, p := range Q2Params {
+		want := a.NativeQ2(p)
+		got, err := RunSQL(spark, Q2(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Q2(%d): native=%d spark=%d", p, want, got)
+		}
+	}
+
+	// Q3: the winning source IP's revenue agrees.
+	for i, cutoff := range Q3Params {
+		ip, rev := a.NativeQ3(Q3Cutoffs[i])
+		df, err := spark.SQL(Q3(cutoff))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := df.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 {
+			t.Fatalf("Q3(%s): got %d rows", cutoff, len(rows))
+		}
+		gotRev := rows[0][1].(float64)
+		if diff := gotRev - rev; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("Q3(%s): native (%s, %f) vs spark %v", cutoff, ip, rev, rows[0])
+		}
+	}
+
+	// Q4: bucket counts agree.
+	want := a.NativeQ4()
+	got, err := RunSQL(spark, Q4Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Q4: native=%d spark=%d", want, got)
+	}
+}
+
+func TestFederationPushdownReducesTransfer(t *testing.T) {
+	fed, err := NewFederation(1_000, 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsOff, bytesOff, err := fed.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsOn, bytesOn, err := fed.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsOff != rowsOn {
+		t.Fatalf("result rows differ: %d vs %d", rowsOff, rowsOn)
+	}
+	if rowsOn == 0 {
+		t.Fatal("federated query returned no rows")
+	}
+	if bytesOn*2 >= bytesOff {
+		t.Fatalf("pushdown should cut link bytes substantially: on=%d off=%d", bytesOn, bytesOff)
+	}
+	log := fed.RemoteQueryLog()
+	if len(log) == 0 {
+		t.Fatal("remote database saw no queries")
+	}
+}
+
+func TestCacheStudyFootprint(t *testing.T) {
+	study, err := NewCacheStudy(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Info.ObjectBytes < 4*study.Info.ColumnarBytes {
+		t.Fatalf("columnar cache should be several times smaller: columnar=%d objects=%d",
+			study.Info.ColumnarBytes, study.Info.ObjectBytes)
+	}
+	if _, err := study.ScanAggregate(); err != nil {
+		t.Fatal(err)
+	}
+	// Both cache regimes compute identical results.
+	a, err := study.ScanAggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := study.ScanAggregateObjectCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cache regimes disagree: %f vs %f", a, b)
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	sparksql "repro"
+	"repro/internal/datagen"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// Figure 9: a distributed aggregation over N (a, b) integer pairs with K
+// distinct values of a, computing AVG(b) per a, implemented three ways:
+//
+//   - "Python" — the paper's native Spark Python API: boxed tuples, user
+//     lambdas run by a bytecode interpreter (our mini VM), map +
+//     reduceByKey. Paper: ~173 s.
+//   - "Scala" — typed RDD code: still allocates a key-value pair per
+//     record but runs compiled. Paper: ~30 s.
+//   - "DataFrame" — df.groupBy("a").avg("b"): the logical plan is built in
+//     the host language but execution is planned and compiled by Catalyst.
+//     Paper: ~4 s (12x over Python, 2x over Scala).
+type Fig9 struct {
+	ctx     *sparksql.Context
+	n       int64
+	numKeys int64
+	parts   int
+	// objects is the shared source: an RDD of heap-allocated native
+	// records, cached in memory — the paper's dataset is an RDD of
+	// Java/Python objects that every implementation consumes.
+	objects *rdd.RDD[*datagen.Pair]
+}
+
+// NewFig9 prepares the workload; n rows, numKeys distinct keys.
+func NewFig9(n, numKeys int64) *Fig9 {
+	ctx := sparksql.NewContext()
+	f := &Fig9{ctx: ctx, n: n, numKeys: numKeys, parts: ctx.RDDContext().Parallelism()}
+	f.objects = rdd.Generate(ctx.RDDContext(), "pairs", f.parts, func(p int) []*datagen.Pair {
+		lo := n * int64(p) / int64(f.parts)
+		hi := n * int64(p+1) / int64(f.parts)
+		out := make([]*datagen.Pair, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			v := datagen.PairValue(fig9Seed, i, numKeys)
+			out = append(out, &v)
+		}
+		return out
+	}).Cache()
+	return f
+}
+
+const fig9Seed = 0x5eed
+
+// RunPython runs the interpreted, boxed implementation:
+// data.map(lambda x: (x.a, (x.b, 1))).reduceByKey(lambda x, y: (x[0]+y[0], x[1]+y[1]))
+// with the lambdas executed on the mini bytecode VM.
+func (f *Fig9) RunPython() map[int32]float64 {
+	mapFn := pyMapLambda()
+	redFn := pyReduceLambda()
+	// Records cross into the "Python worker" as boxed tuples (the
+	// pickling boundary).
+	boxed := rdd.Map(f.objects, func(p *datagen.Pair) pyValue {
+		return pyTuple{int64(p.A), int64(p.B)}
+	})
+	kv := rdd.Map(boxed, func(v pyValue) rdd.Pair[int64, pyValue] {
+		t := mapFn.call(v).(pyTuple)
+		return rdd.Pair[int64, pyValue]{Key: t[0].(int64), Value: t[1]}
+	})
+	reduced := rdd.ReduceByKey(kv, func(a, b pyValue) pyValue {
+		return redFn.call(a, b)
+	}, f.parts)
+	out := make(map[int32]float64, f.numKeys)
+	for _, p := range reduced.Collect() {
+		t := p.Value.(pyTuple)
+		out[int32(p.Key)] = float64(t[0].(int64)) / float64(t[1].(int64))
+	}
+	return out
+}
+
+// sumCount is the Scala version's per-key accumulator tuple; it is
+// allocated per record, the overhead the paper attributes to hand-written
+// Scala ("expensive allocation of key-value pairs").
+type sumCount struct {
+	sum   int64
+	count int64
+}
+
+// RunScala runs the compiled RDD implementation with JVM semantics: Scala
+// generics erase to Object, so reduceByKey's keys and values are boxed and
+// the combiner hash map keys on boxed integers — exactly the "expensive
+// allocation of key-value pairs that occurs in hand-written Scala code"
+// the paper's §6.2 analysis names. (A fully monomorphized Go version would
+// be faster than anything the JVM ran; see EXPERIMENTS.md.)
+func (f *Fig9) RunScala() map[int32]float64 {
+	kv := rdd.Map(f.objects, func(p *datagen.Pair) rdd.Pair[any, any] {
+		return rdd.Pair[any, any]{Key: p.A, Value: &sumCount{sum: int64(p.B), count: 1}}
+	})
+	reduced := rdd.ReduceByKey(kv, func(a, b any) any {
+		x, y := a.(*sumCount), b.(*sumCount)
+		return &sumCount{sum: x.sum + y.sum, count: x.count + y.count}
+	}, f.parts)
+	out := make(map[int32]float64, f.numKeys)
+	for _, p := range reduced.Collect() {
+		sc := p.Value.(*sumCount)
+		out[p.Key.(int32)] = float64(sc.sum) / float64(sc.count)
+	}
+	return out
+}
+
+// DataFrame builds the df.groupBy("a").avg("b") DataFrame (lazy) over the
+// same native-object RDD, extracting fields in place (paper §3.5).
+func (f *Fig9) DataFrame() (*sparksql.DataFrame, error) {
+	rows := rdd.Map(f.objects, func(p *datagen.Pair) row.Row {
+		return row.Row{p.A, p.B}
+	})
+	df, err := f.ctx.CreateDataFrameFromRDD(datagen.PairSchema(), rows)
+	if err != nil {
+		return nil, err
+	}
+	return df.GroupBy("a").Avg("b")
+}
+
+// RunDataFrame executes the DataFrame implementation.
+func (f *Fig9) RunDataFrame() (map[int32]float64, error) {
+	df, err := f.DataFrame()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int32]float64, len(rows))
+	for _, r := range rows {
+		out[r[0].(int32)] = r[1].(float64)
+	}
+	return out, nil
+}
+
+// Verify cross-checks that all three implementations agree.
+func (f *Fig9) Verify() error {
+	py := f.RunPython()
+	sc := f.RunScala()
+	dfr, err := f.RunDataFrame()
+	if err != nil {
+		return err
+	}
+	if len(py) != len(sc) || len(py) != len(dfr) {
+		return fmt.Errorf("fig9: group counts differ: py=%d scala=%d df=%d", len(py), len(sc), len(dfr))
+	}
+	for k, v := range py {
+		if sc[k] != v {
+			return fmt.Errorf("fig9: scala disagrees at key %d: %v vs %v", k, sc[k], v)
+		}
+		if diff := dfr[k] - v; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("fig9: dataframe disagrees at key %d: %v vs %v", k, dfr[k], v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+// Package memdb is an embedded miniature RDBMS standing in for the MySQL
+// behind the paper's JDBC federation example (§5.3). It owns its tables,
+// evaluates pushed-down column lists and predicates with its own scan
+// engine, and meters every byte that crosses the simulated network link —
+// so the federation experiments can show how predicate pushdown reduces
+// the data transferred, exactly the effect the paper describes.
+package memdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/datasource"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// Database is a named collection of tables plus a transfer meter.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	bytesTransferred atomic.Int64
+	queriesRun       atomic.Int64
+	queryLog         []string
+	logMu            sync.Mutex
+}
+
+// Table is schema + rows.
+type Table struct {
+	Schema types.StructType
+	Rows   []row.Row
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a table.
+func (db *Database) CreateTable(name string, schema types.StructType, rows []row.Row) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[strings.ToLower(name)] = &Table{Schema: schema, Rows: rows}
+}
+
+// BytesTransferred reports bytes shipped over the simulated link.
+func (db *Database) BytesTransferred() int64 { return db.bytesTransferred.Load() }
+
+// ResetMeter zeroes the transfer meter.
+func (db *Database) ResetMeter() { db.bytesTransferred.Store(0) }
+
+// QueriesRun reports remote queries executed.
+func (db *Database) QueriesRun() int64 { return db.queriesRun.Load() }
+
+// QueryLog returns the remote queries the database served — the analogue
+// of the paper's "the JDBC data source will run the following query on
+// MySQL" illustration.
+func (db *Database) QueryLog() []string {
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
+	return append([]string(nil), db.queryLog...)
+}
+
+// Query is the wire-protocol entry point: it projects columns, applies
+// filters server-side with the database's own engine, and meters the
+// result bytes as they cross the link.
+func (db *Database) Query(table string, columns []string, filters []datasource.Filter) ([]row.Row, error) {
+	db.mu.RLock()
+	t, ok := db.tables[strings.ToLower(table)]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("memdb: no such table %q", table)
+	}
+	db.queriesRun.Add(1)
+	db.logQuery(table, columns, filters)
+
+	ords := make([]int, len(columns))
+	for i, c := range columns {
+		j := t.Schema.FieldIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("memdb: no column %q in %q", c, table)
+		}
+		ords[i] = j
+	}
+	var out []row.Row
+	var transferred int64
+	for _, r := range t.Rows {
+		if !datasource.ApplyFilters(filters, t.Schema, r) {
+			continue
+		}
+		proj := make(row.Row, len(ords))
+		for i, j := range ords {
+			proj[i] = r[j]
+		}
+		out = append(out, proj)
+		transferred += proj.FlatSize()
+	}
+	db.bytesTransferred.Add(transferred)
+	return out, nil
+}
+
+func (db *Database) logQuery(table string, columns []string, filters []datasource.Filter) {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(strings.Join(columns, ", "))
+	sb.WriteString(" FROM ")
+	sb.WriteString(table)
+	if len(filters) > 0 {
+		sb.WriteString(" WHERE ")
+		parts := make([]string, len(filters))
+		for i, f := range filters {
+			parts[i] = f.String()
+		}
+		sb.WriteString(strings.Join(parts, " AND "))
+	}
+	db.logMu.Lock()
+	db.queryLog = append(db.queryLog, sb.String())
+	db.logMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Data source adapter (the "JDBC data source" of §5.3)
+
+// Relation adapts one memdb table to the Spark SQL data source API using
+// PrunedFilteredScan: both requested columns and simple predicates are
+// shipped to the database. Filters are exact (the database evaluates them
+// fully), so the engine drops residual predicates.
+type Relation struct {
+	DB    *Database
+	Table string
+	// Pushdown disables filter shipping when false — the federation
+	// ablation's baseline (all rows cross the link).
+	Pushdown bool
+	// ShardColumn/NumShards enable the paper's footnote-8 sharding: the
+	// source table is split by ranges of a column and read over parallel
+	// connections, one remote query per shard.
+	ShardColumn string
+	NumShards   int
+	schema      types.StructType
+}
+
+var (
+	_ datasource.PrunedFilteredScan = (*Relation)(nil)
+	_ datasource.SizedRelation      = (*Relation)(nil)
+	_ datasource.InsertableRelation = (*Relation)(nil)
+)
+
+// NewRelation builds an adapter for a table.
+func NewRelation(db *Database, table string, pushdown bool) (*Relation, error) {
+	db.mu.RLock()
+	t, ok := db.tables[strings.ToLower(table)]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("memdb: no such table %q", table)
+	}
+	return &Relation{DB: db, Table: table, Pushdown: pushdown, schema: t.Schema}, nil
+}
+
+// Provider exposes memdb tables under USING jdbc semantics. Options:
+//
+//	table       (required) remote table name
+//	pushdown    "false" to disable predicate pushdown (default true)
+//	shardcolumn optional numeric column to shard ranges of (footnote 8)
+//	numshards   shard/connection count (default 4 when sharding)
+func Provider(db *Database) datasource.Provider {
+	return datasource.ProviderFunc(func(options map[string]string) (datasource.Relation, error) {
+		table := options["table"]
+		if table == "" {
+			return nil, fmt.Errorf("memdb: missing required option 'table'")
+		}
+		rel, err := NewRelation(db, table, options["pushdown"] != "false")
+		if err != nil {
+			return nil, err
+		}
+		if col := options["shardcolumn"]; col != "" {
+			rel.ShardColumn = col
+			rel.NumShards = 4
+			if n := options["numshards"]; n != "" {
+				if _, err := fmt.Sscanf(n, "%d", &rel.NumShards); err != nil || rel.NumShards < 1 {
+					return nil, fmt.Errorf("memdb: invalid numshards %q", n)
+				}
+			}
+		}
+		return rel, nil
+	})
+}
+
+// Schema implements datasource.Relation.
+func (r *Relation) Schema() types.StructType { return r.schema }
+
+// SizeInBytes implements datasource.SizedRelation: ask the remote database
+// for an estimate (paper §4.4.1: "a data source representing MySQL may ...
+// ask MySQL for an estimate of the table size").
+func (r *Relation) SizeInBytes() int64 {
+	r.DB.mu.RLock()
+	defer r.DB.mu.RUnlock()
+	t := r.DB.tables[strings.ToLower(r.Table)]
+	var n int64
+	for _, rr := range t.Rows {
+		n += rr.FlatSize()
+	}
+	return n
+}
+
+// HandledFilters implements datasource.ExactFilterScan when pushdown is on.
+func (r *Relation) HandledFilters(filters []datasource.Filter) []datasource.Filter {
+	if !r.Pushdown {
+		return nil
+	}
+	return filters
+}
+
+// Insert implements datasource.InsertableRelation: partitioned rows are
+// appended to the remote table over the metered link (paper §4.4.1:
+// "similar interfaces exist for writing data to an existing or new table").
+func (r *Relation) Insert(partitions [][]row.Row) error {
+	db := r.DB
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(r.Table)]
+	if !ok {
+		return fmt.Errorf("memdb: no such table %q", r.Table)
+	}
+	var transferred int64
+	for _, part := range partitions {
+		for _, rr := range part {
+			if len(rr) != len(t.Schema.Fields) {
+				return fmt.Errorf("memdb: row arity %d does not match table %q (%d columns)",
+					len(rr), r.Table, len(t.Schema.Fields))
+			}
+			t.Rows = append(t.Rows, rr.Copy())
+			transferred += rr.FlatSize()
+		}
+	}
+	db.bytesTransferred.Add(transferred)
+	return nil
+}
+
+// ScanPrunedFiltered implements datasource.PrunedFilteredScan. Without
+// sharding, one remote connection fetches everything; with sharding, each
+// partition issues a range query on the shard column over its own
+// connection (paper footnote 8: "reading different ranges of it in
+// parallel").
+func (r *Relation) ScanPrunedFiltered(columns []string, filters []datasource.Filter) (datasource.Scan, error) {
+	if !r.Pushdown {
+		filters = nil
+	}
+	table, cols, db := r.Table, columns, r.DB
+	if r.ShardColumn == "" || r.NumShards <= 1 {
+		return datasource.Scan{
+			NumPartitions: 1, // one remote connection
+			Partition: func(p int) []row.Row {
+				rows, err := db.Query(table, cols, filters)
+				if err != nil {
+					panic(fmt.Sprintf("memdb: %v", err))
+				}
+				return rows
+			},
+		}, nil
+	}
+	lo, hi, err := db.columnRange(table, r.ShardColumn)
+	if err != nil {
+		return datasource.Scan{}, err
+	}
+	shardCol := r.ShardColumn
+	n := r.NumShards
+	span := hi - lo + 1
+	return datasource.Scan{
+		NumPartitions: n,
+		Partition: func(p int) []row.Row {
+			from := lo + span*int64(p)/int64(n)
+			to := lo + span*int64(p+1)/int64(n)
+			shardFilters := append([]datasource.Filter{
+				datasource.GreaterOrEqual{Col: shardCol, Value: from},
+				datasource.LessThan{Col: shardCol, Value: to},
+			}, filters...)
+			rows, err := db.Query(table, cols, shardFilters)
+			if err != nil {
+				panic(fmt.Sprintf("memdb: %v", err))
+			}
+			return rows
+		},
+	}, nil
+}
+
+// columnRange asks the database for min/max of a BIGINT column — the
+// range-discovery query a sharding JDBC source issues.
+func (db *Database) columnRange(table, col string) (lo, hi int64, err error) {
+	db.mu.RLock()
+	t, ok := db.tables[strings.ToLower(table)]
+	db.mu.RUnlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("memdb: no such table %q", table)
+	}
+	j := t.Schema.FieldIndex(col)
+	if j < 0 {
+		return 0, 0, fmt.Errorf("memdb: no column %q to shard by", col)
+	}
+	first := true
+	for _, r := range t.Rows {
+		v, ok := r[j].(int64)
+		if !ok {
+			return 0, 0, fmt.Errorf("memdb: shard column %q must be BIGINT", col)
+		}
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,194 @@
+package memdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datasource"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func testDB() *Database {
+	db := New()
+	schema := types.StructType{}.
+		Add("id", types.Long, false).
+		Add("name", types.String, false).
+		Add("score", types.Int, false)
+	db.CreateTable("people", schema, []row.Row{
+		{int64(1), "alice", int32(90)},
+		{int64(2), "bob", int32(40)},
+		{int64(3), "carol", int32(75)},
+	})
+	return db
+}
+
+func TestQueryProjectionAndFilters(t *testing.T) {
+	db := testDB()
+	rows, err := db.Query("people", []string{"name"}, []datasource.Filter{
+		datasource.GreaterThan{Col: "score", Value: int32(50)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if db.QueriesRun() != 1 {
+		t.Fatalf("queries = %d", db.QueriesRun())
+	}
+	if got := db.QueryLog()[0]; !strings.Contains(got, "WHERE score > 50") {
+		t.Fatalf("query log = %q", got)
+	}
+}
+
+func TestTransferMetering(t *testing.T) {
+	db := testDB()
+	db.Query("people", []string{"id", "name", "score"}, nil)
+	all := db.BytesTransferred()
+	db.ResetMeter()
+	db.Query("people", []string{"id"}, nil)
+	narrow := db.BytesTransferred()
+	if narrow >= all {
+		t.Fatalf("projection should shrink transfer: %d vs %d", narrow, all)
+	}
+	db.ResetMeter()
+	db.Query("people", []string{"id"}, []datasource.Filter{
+		datasource.EqualTo{Col: "id", Value: int64(1)},
+	})
+	if filtered := db.BytesTransferred(); filtered >= narrow {
+		t.Fatalf("filters should shrink transfer further: %d vs %d", filtered, narrow)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := testDB()
+	if _, err := db.Query("nope", []string{"id"}, nil); err == nil {
+		t.Fatal("missing table must fail")
+	}
+	if _, err := db.Query("people", []string{"zzz"}, nil); err == nil {
+		t.Fatal("missing column must fail")
+	}
+}
+
+func TestRelationAdapter(t *testing.T) {
+	db := testDB()
+	rel, err := NewRelation(db, "people", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Schema().Fields) != 3 {
+		t.Fatalf("schema = %v", rel.Schema().FieldNames())
+	}
+	if rel.SizeInBytes() <= 0 {
+		t.Fatal("size estimate required (broadcast cost model)")
+	}
+	filters := []datasource.Filter{datasource.GreaterThan{Col: "score", Value: int32(50)}}
+	scan, err := rel.ScanPrunedFiltered([]string{"name"}, filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := scan.Partition(0)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if len(rel.HandledFilters(filters)) != 1 {
+		t.Fatal("pushdown-enabled relation handles filters exactly")
+	}
+
+	// Pushdown disabled: filters are not shipped and not handled.
+	noPush, _ := NewRelation(db, "people", false)
+	if len(noPush.HandledFilters(filters)) != 0 {
+		t.Fatal("pushdown-disabled relation handles nothing")
+	}
+	scan, _ = noPush.ScanPrunedFiltered([]string{"name"}, filters)
+	if got := scan.Partition(0); len(got) != 3 {
+		t.Fatalf("without pushdown all rows cross the link: %v", got)
+	}
+}
+
+func TestProvider(t *testing.T) {
+	db := testDB()
+	p := Provider(db)
+	if _, err := p.CreateRelation(map[string]string{}); err == nil {
+		t.Fatal("missing table option must fail")
+	}
+	rel, err := p.CreateRelation(map[string]string{"table": "people"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Schema().Fields) != 3 {
+		t.Fatal("provider wiring broken")
+	}
+}
+
+func TestShardedScan(t *testing.T) {
+	db := New()
+	schema := types.StructType{}.
+		Add("id", types.Long, false).
+		Add("v", types.Int, false)
+	rows := make([]row.Row, 100)
+	for i := range rows {
+		rows[i] = row.Row{int64(i), int32(i % 10)}
+	}
+	db.CreateTable("big", schema, rows)
+
+	rel, err := Provider(db).CreateRelation(map[string]string{
+		"table": "big", "shardcolumn": "id", "numshards": "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := rel.(*Relation).ScanPrunedFiltered([]string{"id"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.NumPartitions != 4 {
+		t.Fatalf("shards = %d", scan.NumPartitions)
+	}
+	seen := map[int64]bool{}
+	for p := 0; p < 4; p++ {
+		part := scan.Partition(p)
+		if len(part) == 0 {
+			t.Fatalf("shard %d empty", p)
+		}
+		for _, r := range part {
+			id := r[0].(int64)
+			if seen[id] {
+				t.Fatalf("row %d served by two shards", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("shards cover %d rows", len(seen))
+	}
+	// One range query per shard reached the database.
+	if db.QueriesRun() != 4 {
+		t.Fatalf("remote queries = %d", db.QueriesRun())
+	}
+	// Shard ranges combine with user filters.
+	scan, _ = rel.(*Relation).ScanPrunedFiltered([]string{"id"}, []datasource.Filter{
+		datasource.EqualTo{Col: "v", Value: int32(3)},
+	})
+	total := 0
+	for p := 0; p < scan.NumPartitions; p++ {
+		total += len(scan.Partition(p))
+	}
+	if total != 10 {
+		t.Fatalf("filtered sharded rows = %d", total)
+	}
+	// Invalid shard configuration errors.
+	if _, err := Provider(db).CreateRelation(map[string]string{
+		"table": "big", "shardcolumn": "id", "numshards": "zero",
+	}); err == nil {
+		t.Fatal("bad numshards must fail")
+	}
+	if rel, _ := NewRelation(db, "big", true); rel != nil {
+		rel.ShardColumn = "nope"
+		rel.NumShards = 2
+		if _, err := rel.ScanPrunedFiltered([]string{"id"}, nil); err == nil {
+			t.Fatal("unknown shard column must fail")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package ml
+
+import (
+	"fmt"
+
+	sparksql "repro"
+	"repro/internal/row"
+)
+
+// LogisticRegression trains a binary classifier with batch gradient
+// descent over (features Vector, label DOUBLE) columns — the final stage
+// of the paper's Figure 7 pipeline.
+type LogisticRegression struct {
+	FeaturesCol, LabelCol string
+	// MaxIter is the number of gradient steps (default 50); StepSize the
+	// learning rate (default 1.0); RegParam an L2 penalty (default 0).
+	MaxIter  int
+	StepSize float64
+	RegParam float64
+}
+
+// Fit implements Estimator.
+func (lr *LogisticRegression) Fit(df *sparksql.DataFrame) (Transformer, error) {
+	maxIter := lr.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	step := lr.StepSize
+	if step <= 0 {
+		step = 1.0
+	}
+	sel, err := df.Select(sparksql.Col(lr.FeaturesCol), sparksql.Col(lr.LabelCol))
+	if err != nil {
+		return nil, err
+	}
+	rows, err := sel.Collect()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ml: LogisticRegression.Fit on empty dataset")
+	}
+	examples := make([]Vector, 0, len(rows))
+	labels := make([]float64, 0, len(rows))
+	var dim int32
+	for _, r := range rows {
+		if r[0] == nil || r[1] == nil {
+			continue
+		}
+		v := DeserializeVector(r[0].(row.Row))
+		if v.Size > dim {
+			dim = v.Size
+		}
+		examples = append(examples, v)
+		labels = append(labels, asFloat(r[1]))
+	}
+	weights := make([]float64, dim)
+	intercept := 0.0
+	n := float64(len(examples))
+	grad := make([]float64, dim)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		gradB := 0.0
+		for i, x := range examples {
+			p := Sigmoid(x.Dot(weights) + intercept)
+			e := p - labels[i]
+			x.AddScaledInto(grad, e)
+			gradB += e
+		}
+		lrate := step / (1.0 + float64(iter)/10.0)
+		for i := range weights {
+			weights[i] -= lrate * (grad[i]/n + lr.RegParam*weights[i])
+		}
+		intercept -= lrate * gradB / n
+	}
+	return &LogisticRegressionModel{
+		Weights:       weights,
+		Intercept:     intercept,
+		FeaturesCol:   lr.FeaturesCol,
+		PredictionCol: "prediction",
+	}, nil
+}
+
+func asFloat(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case float32:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	}
+	return 0
+}
+
+// LogisticRegressionModel is the fitted classifier.
+type LogisticRegressionModel struct {
+	Weights       []float64
+	Intercept     float64
+	FeaturesCol   string
+	PredictionCol string
+}
+
+// Predict scores one feature vector (usable directly or registered as a
+// UDF, the paper's §3.7 model-as-UDF example).
+func (m *LogisticRegressionModel) Predict(v Vector) float64 {
+	if Sigmoid(v.Dot(m.Weights)+m.Intercept) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// PredictProb returns the positive-class probability.
+func (m *LogisticRegressionModel) PredictProb(v Vector) float64 {
+	return Sigmoid(v.Dot(m.Weights) + m.Intercept)
+}
+
+// Transform implements Transformer: appends the prediction column.
+func (m *LogisticRegressionModel) Transform(df *sparksql.DataFrame) (*sparksql.DataFrame, error) {
+	in, err := df.Col(m.FeaturesCol)
+	if err != nil {
+		return nil, err
+	}
+	udt := VectorUDT{}
+	out := sparksql.UDFColumn("predict",
+		func(args []any) any {
+			if args[0] == nil {
+				return nil
+			}
+			return m.Predict(DeserializeVector(args[0].(row.Row)))
+		},
+		[]sparksql.DataType{udt.SQLType()},
+		sparksql.DoubleType,
+		in)
+	return df.WithColumn(m.PredictionCol, out)
+}

@@ -1,0 +1,240 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	sparksql "repro"
+	"repro/internal/row"
+)
+
+func TestVectorOps(t *testing.T) {
+	d := NewDense(1, 2, 3)
+	if d.At(1) != 2 || d.Size != 3 {
+		t.Fatalf("dense = %+v", d)
+	}
+	s := NewSparse(5, []int32{1, 4}, []float64{10, 20})
+	if s.At(1) != 10 || s.At(2) != 0 || s.At(4) != 20 {
+		t.Fatalf("sparse access wrong")
+	}
+	w := []float64{1, 1, 1, 1, 1}
+	if s.Dot(w) != 30 {
+		t.Fatalf("sparse dot = %f", s.Dot(w))
+	}
+	if d.Dot([]float64{1, 0, 1}) != 4 {
+		t.Fatalf("dense dot = %f", d.Dot([]float64{1, 0, 1}))
+	}
+	acc := make([]float64, 5)
+	s.AddScaledInto(acc, 2)
+	if acc[1] != 20 || acc[4] != 40 || acc[0] != 0 {
+		t.Fatalf("acc = %v", acc)
+	}
+}
+
+// Property: UDT serialize/deserialize round-trips both dense and sparse
+// vectors (paper §4.4.2's mapping contract).
+func TestVectorUDTRoundTrip(t *testing.T) {
+	udt := VectorUDT{}
+	f := func(vals []float64, sparse bool) bool {
+		if len(vals) == 0 {
+			vals = []float64{0}
+		}
+		var v Vector
+		if sparse {
+			idx := make([]int32, len(vals))
+			for i := range idx {
+				idx[i] = int32(i * 2)
+			}
+			v = NewSparse(int32(len(vals)*2), idx, vals)
+		} else {
+			v = NewDense(vals...)
+		}
+		ser, err := udt.Serialize(v)
+		if err != nil {
+			return false
+		}
+		back, err := udt.Deserialize(ser)
+		if err != nil {
+			return false
+		}
+		got := back.(Vector)
+		if got.Dense != v.Dense || got.Size != v.Size || len(got.Values) != len(v.Values) {
+			return false
+		}
+		for i := range v.Values {
+			if got.Values[i] != v.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorUDTSQLShape(t *testing.T) {
+	// The paper's four-field representation: dense flag, size, indices,
+	// values.
+	st := VectorUDT{}.SQLType()
+	s := st.Name()
+	for _, field := range []string{"dense", "size", "indices", "values"} {
+		if !contains(s, field) {
+			t.Errorf("SQL type missing %q: %s", field, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func textFrame(t *testing.T, rows []sparksql.Row) *sparksql.DataFrame {
+	t.Helper()
+	ctx := sparksql.NewContext()
+	schema := sparksql.StructType{}.
+		Add("text", sparksql.StringType, false).
+		Add("label", sparksql.DoubleType, false)
+	df, err := ctx.CreateDataFrame(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df
+}
+
+func TestTokenizer(t *testing.T) {
+	df := textFrame(t, []sparksql.Row{{"Hello World hello", 1.0}})
+	tok := &Tokenizer{InputCol: "text", OutputCol: "words"}
+	out, err := tok.Transform(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := out.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := rows[0][2].([]any)
+	if len(words) != 3 || words[0] != "hello" || words[1] != "world" {
+		t.Fatalf("words = %v", words)
+	}
+}
+
+func TestHashingTFDeterministicAndSized(t *testing.T) {
+	df := textFrame(t, []sparksql.Row{{"a b a c a", 1.0}})
+	pipe := &Pipeline{Stages: []any{
+		&Tokenizer{InputCol: "text", OutputCol: "words"},
+		&HashingTF{InputCol: "words", OutputCol: "features", NumFeatures: 64},
+	}}
+	model, err := pipe.Fit(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := model.Transform(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := out.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := DeserializeVector(rows[0][3].(row.Row))
+	if vec.Size != 64 || vec.Dense {
+		t.Fatalf("vector = %+v", vec)
+	}
+	var total float64
+	maxCount := 0.0
+	for _, v := range vec.Values {
+		total += v
+		if v > maxCount {
+			maxCount = v
+		}
+	}
+	if total != 5 || maxCount != 3 { // 5 words, "a" appears 3 times
+		t.Fatalf("term frequencies wrong: %+v", vec)
+	}
+}
+
+func TestLogisticRegressionLearnsSeparableData(t *testing.T) {
+	// Positive docs mention "spark"; negatives don't. The Figure 7
+	// pipeline must classify held-out docs correctly.
+	rng := rand.New(rand.NewSource(4))
+	pos := []string{"spark", "sql", "catalyst", "plan"}
+	neg := []string{"dog", "cat", "fox", "cow"}
+	var train []sparksql.Row
+	for i := 0; i < 60; i++ {
+		var words string
+		var label float64
+		if i%2 == 0 {
+			words = pos[rng.Intn(4)] + " " + pos[rng.Intn(4)] + " spark"
+			label = 1
+		} else {
+			words = neg[rng.Intn(4)] + " " + neg[rng.Intn(4)] + " dog"
+			label = 0
+		}
+		train = append(train, sparksql.Row{words, label})
+	}
+	df := textFrame(t, train)
+	pipeline := &Pipeline{Stages: []any{
+		&Tokenizer{InputCol: "text", OutputCol: "words"},
+		&HashingTF{InputCol: "words", OutputCol: "features", NumFeatures: 128},
+		&LogisticRegression{FeaturesCol: "features", LabelCol: "label", MaxIter: 100},
+	}}
+	model, err := pipeline.Fit(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := textFrame(t, []sparksql.Row{
+		{"spark catalyst sql", 1.0},
+		{"dog cat cow", 0.0},
+		{"spark spark", 1.0},
+		{"fox fox fox", 0.0},
+	})
+	scored, err := model.Transform(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := scored.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		label := r[1].(float64)
+		pred := r[len(r)-1].(float64)
+		if label != pred {
+			t.Errorf("misclassified %q: label=%v pred=%v", r[0], label, pred)
+		}
+	}
+}
+
+func TestPipelineRejectsBadStage(t *testing.T) {
+	df := textFrame(t, []sparksql.Row{{"x", 0.0}})
+	p := &Pipeline{Stages: []any{42}}
+	if _, err := p.Fit(df); err == nil {
+		t.Fatal("non-stage values must be rejected")
+	}
+	tok := &Tokenizer{InputCol: "missing", OutputCol: "w"}
+	if _, err := (&Pipeline{Stages: []any{tok}}).Fit(df); err == nil {
+		t.Fatal("missing input column must fail (eager analysis)")
+	}
+}
+
+func TestLogisticRegressionEmptyDataFails(t *testing.T) {
+	ctx := sparksql.NewContext()
+	schema := sparksql.StructType{}.
+		Add("features", VectorUDT{}.SQLType(), true).
+		Add("label", sparksql.DoubleType, false)
+	df, err := ctx.CreateDataFrame(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := &LogisticRegression{FeaturesCol: "features", LabelCol: "label"}
+	if _, err := lr.Fit(df); err == nil {
+		t.Fatal("empty training set must fail")
+	}
+}

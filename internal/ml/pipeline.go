@@ -1,0 +1,168 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+
+	sparksql "repro"
+)
+
+// Transformer is a pipeline stage mapping a DataFrame to a DataFrame
+// (feature extraction, model application).
+type Transformer interface {
+	Transform(df *sparksql.DataFrame) (*sparksql.DataFrame, error)
+}
+
+// Estimator is a stage that learns a Transformer from data (model
+// training).
+type Estimator interface {
+	Fit(df *sparksql.DataFrame) (Transformer, error)
+}
+
+// Pipeline is a sequence of stages, each a Transformer or an Estimator
+// (paper §5.2: "a pipeline is a graph of transformations on data ... each
+// of which exchange datasets"). Fit threads the DataFrame through the
+// stages, fitting estimators on the data produced so far.
+type Pipeline struct {
+	Stages []any
+}
+
+// PipelineModel is a fitted pipeline: all stages are transformers.
+type PipelineModel struct {
+	Stages []Transformer
+}
+
+// Fit fits the pipeline on a training DataFrame.
+func (p *Pipeline) Fit(df *sparksql.DataFrame) (*PipelineModel, error) {
+	model := &PipelineModel{}
+	cur := df
+	for i, stage := range p.Stages {
+		switch s := stage.(type) {
+		case Transformer:
+			next, err := s.Transform(cur)
+			if err != nil {
+				return nil, fmt.Errorf("ml: pipeline stage %d: %w", i, err)
+			}
+			model.Stages = append(model.Stages, s)
+			cur = next
+		case Estimator:
+			fitted, err := s.Fit(cur)
+			if err != nil {
+				return nil, fmt.Errorf("ml: fitting stage %d: %w", i, err)
+			}
+			next, err := fitted.Transform(cur)
+			if err != nil {
+				return nil, fmt.Errorf("ml: pipeline stage %d: %w", i, err)
+			}
+			model.Stages = append(model.Stages, fitted)
+			cur = next
+		default:
+			return nil, fmt.Errorf("ml: stage %d (%T) is neither Transformer nor Estimator", i, stage)
+		}
+	}
+	return model, nil
+}
+
+// Transform runs the fitted pipeline on new data.
+func (m *PipelineModel) Transform(df *sparksql.DataFrame) (*sparksql.DataFrame, error) {
+	cur := df
+	for i, s := range m.Stages {
+		next, err := s.Transform(cur)
+		if err != nil {
+			return nil, fmt.Errorf("ml: model stage %d: %w", i, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Tokenizer splits a string column into lowercase words.
+type Tokenizer struct {
+	InputCol, OutputCol string
+}
+
+// Transform implements Transformer.
+func (t *Tokenizer) Transform(df *sparksql.DataFrame) (*sparksql.DataFrame, error) {
+	in, err := df.Col(t.InputCol)
+	if err != nil {
+		return nil, err
+	}
+	out := sparksql.UDFColumn("tokenize",
+		func(args []any) any {
+			if args[0] == nil {
+				return nil
+			}
+			words := strings.Fields(strings.ToLower(args[0].(string)))
+			arr := make([]any, len(words))
+			for i, w := range words {
+				arr[i] = w
+			}
+			return arr
+		},
+		[]sparksql.DataType{sparksql.StringType},
+		sparksql.ArrayType(sparksql.StringType, false),
+		in)
+	return df.WithColumn(t.OutputCol, out)
+}
+
+// HashingTF maps a word array to a sparse term-frequency vector of
+// NumFeatures dimensions (the paper Figure 7 featurizer).
+type HashingTF struct {
+	InputCol, OutputCol string
+	NumFeatures         int32
+}
+
+// Transform implements Transformer.
+func (h *HashingTF) Transform(df *sparksql.DataFrame) (*sparksql.DataFrame, error) {
+	n := h.NumFeatures
+	if n <= 0 {
+		n = 1 << 10
+	}
+	in, err := df.Col(h.InputCol)
+	if err != nil {
+		return nil, err
+	}
+	udt := VectorUDT{}
+	out := sparksql.UDFColumn("hashingTF",
+		func(args []any) any {
+			if args[0] == nil {
+				return nil
+			}
+			words := args[0].([]any)
+			counts := map[int32]float64{}
+			for _, w := range words {
+				counts[hashWord(w.(string), n)]++
+			}
+			indices := make([]int32, 0, len(counts))
+			for idx := range counts {
+				indices = append(indices, idx)
+			}
+			sortInt32(indices)
+			values := make([]float64, len(indices))
+			for i, idx := range indices {
+				values[i] = counts[idx]
+			}
+			return SerializeVector(NewSparse(n, indices, values))
+		},
+		[]sparksql.DataType{sparksql.ArrayType(sparksql.StringType, false)},
+		udt.SQLType(),
+		in)
+	return df.WithColumn(h.OutputCol, out)
+}
+
+func hashWord(w string, n int32) int32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(w); i++ {
+		h ^= uint32(w[i])
+		h *= 16777619
+	}
+	return int32(h % uint32(n))
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

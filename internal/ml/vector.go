@@ -1,0 +1,155 @@
+// Package ml reproduces the DataFrame-based ML pipeline API of paper §5.2:
+// Transformer/Estimator stages exchanging DataFrames, a Tokenizer, a
+// HashingTF term-frequency featurizer, logistic regression trained by
+// gradient descent, and the vector user-defined type MLlib registered with
+// Spark SQL — "a boolean for the type (dense or sparse), a size for the
+// vector, an array of indices, and an array of double values".
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// Vector is a dense or sparse numeric vector.
+type Vector struct {
+	Dense   bool
+	Size    int32
+	Indices []int32   // sparse coordinates (nil when dense)
+	Values  []float64 // all coordinates (dense) or non-zero values (sparse)
+}
+
+// NewDense builds a dense vector.
+func NewDense(values ...float64) Vector {
+	return Vector{Dense: true, Size: int32(len(values)), Values: values}
+}
+
+// NewSparse builds a sparse vector.
+func NewSparse(size int32, indices []int32, values []float64) Vector {
+	return Vector{Dense: false, Size: size, Indices: indices, Values: values}
+}
+
+// At returns coordinate i.
+func (v Vector) At(i int32) float64 {
+	if v.Dense {
+		return v.Values[i]
+	}
+	for k, idx := range v.Indices {
+		if idx == i {
+			return v.Values[k]
+		}
+	}
+	return 0
+}
+
+// Dot computes the inner product with a dense weight slice.
+func (v Vector) Dot(w []float64) float64 {
+	var s float64
+	if v.Dense {
+		for i, x := range v.Values {
+			s += x * w[i]
+		}
+		return s
+	}
+	for k, idx := range v.Indices {
+		s += v.Values[k] * w[idx]
+	}
+	return s
+}
+
+// AddScaledInto accumulates alpha*v into acc (gradient updates).
+func (v Vector) AddScaledInto(acc []float64, alpha float64) {
+	if v.Dense {
+		for i, x := range v.Values {
+			acc[i] += alpha * x
+		}
+		return
+	}
+	for k, idx := range v.Indices {
+		acc[idx] += alpha * v.Values[k]
+	}
+}
+
+func (v Vector) String() string {
+	if v.Dense {
+		return fmt.Sprintf("dense%v", v.Values)
+	}
+	return fmt.Sprintf("sparse(%d)%v@%v", v.Size, v.Values, v.Indices)
+}
+
+// VectorUDT maps Vector onto built-in Catalyst types (paper §4.4.2, §5.2):
+// STRUCT<dense BOOLEAN, size INT, indices ARRAY<INT>, values ARRAY<DOUBLE>>.
+type VectorUDT struct{}
+
+var _ types.UserDefinedType = VectorUDT{}
+
+// TypeName implements types.UserDefinedType; the name matches the Go type
+// so reflection-based schema inference recognizes Vector fields.
+func (VectorUDT) TypeName() string { return "Vector" }
+
+// SQLType implements types.UserDefinedType.
+func (VectorUDT) SQLType() types.DataType {
+	return types.StructType{}.
+		Add("dense", types.Boolean, false).
+		Add("size", types.Int, false).
+		Add("indices", types.ArrayType{Elem: types.Int, ContainsNull: false}, true).
+		Add("values", types.ArrayType{Elem: types.Double, ContainsNull: false}, false)
+}
+
+// Serialize implements types.UserDefinedType.
+func (VectorUDT) Serialize(obj any) (any, error) {
+	v, ok := obj.(Vector)
+	if !ok {
+		return nil, fmt.Errorf("ml: expected Vector, got %T", obj)
+	}
+	return SerializeVector(v), nil
+}
+
+// Deserialize implements types.UserDefinedType.
+func (VectorUDT) Deserialize(v any) (any, error) {
+	r, ok := v.(row.Row)
+	if !ok {
+		return nil, fmt.Errorf("ml: expected struct row, got %T", v)
+	}
+	return DeserializeVector(r), nil
+}
+
+// SerializeVector converts to the SQL struct representation.
+func SerializeVector(v Vector) row.Row {
+	var indices []any
+	if !v.Dense {
+		indices = make([]any, len(v.Indices))
+		for i, x := range v.Indices {
+			indices[i] = x
+		}
+	}
+	values := make([]any, len(v.Values))
+	for i, x := range v.Values {
+		values[i] = x
+	}
+	return row.Row{v.Dense, v.Size, indices, values}
+}
+
+// DeserializeVector converts the SQL struct representation back.
+func DeserializeVector(r row.Row) Vector {
+	v := Vector{Dense: r[0].(bool), Size: r[1].(int32)}
+	if r[2] != nil {
+		arr := r[2].([]any)
+		v.Indices = make([]int32, len(arr))
+		for i, x := range arr {
+			v.Indices[i] = x.(int32)
+		}
+	}
+	arr := r[3].([]any)
+	v.Values = make([]float64, len(arr))
+	for i, x := range arr {
+		v.Values[i] = x.(float64)
+	}
+	return v
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(z float64) float64 { return 1.0 / (1.0 + math.Exp(-z)) }

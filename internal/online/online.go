@@ -1,0 +1,238 @@
+// Package online reproduces the generalized online aggregation of paper
+// §7.1 (Zeng et al.'s G-OLA built on Catalyst): the input relation is
+// broken into sampled batches by a plan transform, standard aggregation is
+// replaced with stateful counterparts that fold each batch into running
+// state, and every batch emits partial results with accuracy measures so
+// the user can stop when the estimate is good enough.
+package online
+
+import (
+	"fmt"
+	"math"
+
+	sparksql "repro"
+	"repro/internal/catalyst"
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// BatchScan is a logical operator produced by the batch-splitting
+// transform: it passes through only the rows of its child that fall into
+// batch Index of NumBatches (a deterministic hash split, so batches are
+// disjoint and exhaustive). It is defined OUTSIDE the plan package and
+// planned by a custom Strategy — demonstrating the §7.1 claim that
+// extensions add operators without touching the core.
+type BatchScan struct {
+	Index, NumBatches int
+	Child             plan.LogicalPlan
+}
+
+// Children implements plan.LogicalPlan.
+func (b *BatchScan) Children() []plan.LogicalPlan { return []plan.LogicalPlan{b.Child} }
+
+// WithNewChildren implements plan.LogicalPlan.
+func (b *BatchScan) WithNewChildren(children []plan.LogicalPlan) plan.LogicalPlan {
+	return &BatchScan{Index: b.Index, NumBatches: b.NumBatches, Child: children[0]}
+}
+
+// Output implements plan.LogicalPlan.
+func (b *BatchScan) Output() []*expr.AttributeReference { return b.Child.Output() }
+
+// Expressions implements plan.LogicalPlan.
+func (b *BatchScan) Expressions() []expr.Expression { return nil }
+
+// WithNewExpressions implements plan.LogicalPlan.
+func (b *BatchScan) WithNewExpressions(exprs []expr.Expression) plan.LogicalPlan { return b }
+
+// Resolved implements plan.LogicalPlan.
+func (b *BatchScan) Resolved() bool { return b.Child.Resolved() }
+
+// SimpleString implements plan.LogicalPlan.
+func (b *BatchScan) SimpleString() string {
+	return fmt.Sprintf("BatchScan %d/%d", b.Index, b.NumBatches)
+}
+
+// String implements plan.LogicalPlan.
+func (b *BatchScan) String() string { return plan.Format(b) }
+
+// batchScanExec executes BatchScan by hashing a per-partition row counter.
+type batchScanExec struct {
+	index, numBatches int
+	child             physical.SparkPlan
+}
+
+func (e *batchScanExec) Children() []physical.SparkPlan { return []physical.SparkPlan{e.child} }
+func (e *batchScanExec) WithNewChildren(children []physical.SparkPlan) physical.SparkPlan {
+	return &batchScanExec{index: e.index, numBatches: e.numBatches, child: children[0]}
+}
+func (e *batchScanExec) Output() []*expr.AttributeReference { return e.child.Output() }
+func (e *batchScanExec) SimpleString() string {
+	return fmt.Sprintf("BatchScan %d/%d", e.index, e.numBatches)
+}
+func (e *batchScanExec) String() string { return physical.Format(e) }
+func (e *batchScanExec) Execute(ctx *physical.ExecContext) *rdd.RDD[row.Row] {
+	idx, n := e.index, e.numBatches
+	return rdd.MapPartitions(e.child.Execute(ctx), func(p int, in []row.Row) []row.Row {
+		out := make([]row.Row, 0, len(in)/n+1)
+		for i, r := range in {
+			if int(splitmix(uint64(p)<<32|uint64(i)))%n == idx {
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return (x ^ (x >> 31)) & 0x7fffffff
+}
+
+// Strategy plans BatchScan nodes; install with engine.AddStrategy.
+func Strategy() physical.Strategy {
+	return func(pl *physical.Planner, lp plan.LogicalPlan) (physical.SparkPlan, bool, error) {
+		b, ok := lp.(*BatchScan)
+		if !ok {
+			return nil, false, nil
+		}
+		child, err := pl.Plan(b.Child)
+		if err != nil {
+			return nil, false, err
+		}
+		return &batchScanExec{index: b.Index, numBatches: b.NumBatches, child: child}, true, nil
+	}
+}
+
+// Estimate is one group's running average with a confidence interval.
+type Estimate struct {
+	Group Group
+	Avg   float64
+	// CI is the 95 % confidence half-width (1.96 σ/√n).
+	CI float64
+	N  int64
+}
+
+// Group is the rendered group key.
+type Group string
+
+// Progress is the partial result after a batch.
+type Progress struct {
+	BatchesSeen int
+	Fraction    float64
+	Estimates   map[Group]Estimate
+}
+
+// state is the stateful counterpart of AVG: count, mean and M2 (Welford).
+type state struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (s *state) add(n2 int64, mean2, m2two float64) {
+	if n2 == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n, s.mean, s.m2 = n2, mean2, m2two
+		return
+	}
+	delta := mean2 - s.mean
+	total := s.n + n2
+	s.m2 += m2two + delta*delta*float64(s.n)*float64(n2)/float64(total)
+	s.mean += delta * float64(n2) / float64(total)
+	s.n = total
+}
+
+// Avg runs an online grouped average of valueCol by groupCol: the query is
+// executed once per batch against a sampled subset (via a transform that
+// splices BatchScan over the base relation), and running state folds each
+// batch in, emitting an estimate with an accuracy measure after every
+// batch.
+func Avg(ctx *sparksql.Context, df *sparksql.DataFrame, groupCol, valueCol string, batches int) ([]Progress, error) {
+	if batches < 1 {
+		batches = 10
+	}
+	ctx.Engine().AddStrategy(Strategy())
+
+	base := df.LogicalPlan()
+	states := map[Group]*state{}
+	var out []Progress
+
+	for b := 0; b < batches; b++ {
+		// "During query planning a call to transform is used to replace
+		// the original full query with several queries, each of which
+		// operates on a successive sample of the data" (§7.1).
+		batchPlan := catalyst.TransformUp[plan.LogicalPlan](base, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+			if len(n.Children()) == 0 && n.Resolved() {
+				return &BatchScan{Index: b, NumBatches: batches, Child: n}, true
+			}
+			return nil, false
+		})
+		bdf, err := ctx.FromPlan(batchPlan)
+		if err != nil {
+			return nil, err
+		}
+		// Per-batch partial aggregation: count, sum, sum of squares.
+		val := sparksql.Col(valueCol).Cast(sparksql.DoubleType)
+		agg, err := bdf.GroupBy(sparksql.Col(groupCol)).Agg(
+			sparksql.Count(sparksql.Col(valueCol)).As("n"),
+			sparksql.Sum(val).As("s"),
+			sparksql.Sum(val.Times(val)).As("ss"),
+		)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := agg.Collect()
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			key := Group(row.FormatValue(r[0]))
+			n := r[1].(int64)
+			if n == 0 {
+				continue
+			}
+			sum := asF(r[2])
+			ss := asF(r[3])
+			mean := sum / float64(n)
+			m2 := ss - sum*sum/float64(n)
+			st, ok := states[key]
+			if !ok {
+				st = &state{}
+				states[key] = st
+			}
+			st.add(n, mean, m2)
+		}
+		prog := Progress{
+			BatchesSeen: b + 1,
+			Fraction:    float64(b+1) / float64(batches),
+			Estimates:   map[Group]Estimate{},
+		}
+		for g, st := range states {
+			est := Estimate{Group: g, Avg: st.mean, N: st.n}
+			if st.n > 1 {
+				variance := st.m2 / float64(st.n-1)
+				est.CI = 1.96 * math.Sqrt(variance/float64(st.n))
+			}
+			prog.Estimates[g] = est
+		}
+		out = append(out, prog)
+	}
+	return out, nil
+}
+
+func asF(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	sparksql "repro"
+	"repro/internal/datagen"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+func pairFrame(t *testing.T, n int64) (*sparksql.Context, *sparksql.DataFrame) {
+	t.Helper()
+	ctx := sparksql.NewContext()
+	parts := ctx.RDDContext().Parallelism()
+	rows := rdd.Generate(ctx.RDDContext(), "pairs", parts, func(p int) []row.Row {
+		lo := n * int64(p) / int64(parts)
+		hi := n * int64(p+1) / int64(parts)
+		out := make([]row.Row, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, datagen.PairRow(99, i, 4))
+		}
+		return out
+	})
+	df, err := ctx.CreateDataFrameFromRDD(datagen.PairSchema(), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, df
+}
+
+func TestBatchesArePartitionAndExhaustive(t *testing.T) {
+	ctx, df := pairFrame(t, 5000)
+	ctx.Engine().AddStrategy(Strategy())
+	total := int64(0)
+	const batches = 7
+	for b := 0; b < batches; b++ {
+		bdf, err := ctx.FromPlan(&BatchScan{Index: b, NumBatches: batches, Child: df.AnalyzedPlan()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := bdf.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("batch %d empty", b)
+		}
+		total += n
+	}
+	if total != 5000 {
+		t.Fatalf("batches must partition the data: %d", total)
+	}
+}
+
+func TestOnlineAvgConvergesWithTighteningCI(t *testing.T) {
+	ctx, df := pairFrame(t, 20000)
+	progress, err := Avg(ctx, df, "a", "b", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progress) != 5 {
+		t.Fatalf("progress entries = %d", len(progress))
+	}
+	// Exact answer for comparison.
+	exact := map[string]float64{}
+	full, err := df.GroupBy("a").Avg("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := full.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		exact[row.FormatValue(r[0])] = r[1].(float64)
+	}
+
+	first := progress[0]
+	last := progress[len(progress)-1]
+	if len(last.Estimates) != len(exact) {
+		t.Fatalf("final estimates cover %d groups, want %d", len(last.Estimates), len(exact))
+	}
+	for g, est := range last.Estimates {
+		want := exact[string(g)]
+		// After all batches the estimate IS the exact average.
+		if math.Abs(est.Avg-want) > 1e-9 {
+			t.Errorf("group %s: final %f vs exact %f", g, est.Avg, want)
+		}
+		// Every intermediate estimate is within its own CI of the truth
+		// (a soft statistical property; allow 3x slack).
+		if fe, ok := first.Estimates[g]; ok && fe.CI > 0 {
+			if math.Abs(fe.Avg-want) > 3*fe.CI+1 {
+				t.Errorf("group %s: first estimate %f ± %f too far from %f",
+					g, fe.Avg, fe.CI, want)
+			}
+		}
+	}
+	// Confidence intervals tighten as data accumulates.
+	for g, fe := range first.Estimates {
+		le := last.Estimates[g]
+		if le.CI >= fe.CI {
+			t.Errorf("group %s: CI did not tighten (%f -> %f)", g, fe.CI, le.CI)
+		}
+	}
+	// Fractions ascend to 1.
+	if progress[0].Fraction >= progress[4].Fraction || progress[4].Fraction != 1.0 {
+		t.Errorf("fractions = %v..%v", progress[0].Fraction, progress[4].Fraction)
+	}
+}
+
+func TestWelfordMergeMatchesDirect(t *testing.T) {
+	// state.add must match a single-pass computation.
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100}
+	var whole state
+	for _, v := range vals {
+		whole.add(1, v, 0)
+	}
+	var a, b state
+	for _, v := range vals[:4] {
+		a.add(1, v, 0)
+	}
+	for _, v := range vals[4:] {
+		b.add(1, v, 0)
+	}
+	a.add(b.n, b.mean, b.m2)
+	if math.Abs(a.mean-whole.mean) > 1e-9 || math.Abs(a.m2-whole.m2) > 1e-6 {
+		t.Fatalf("merged (%f, %f) vs whole (%f, %f)", a.mean, a.m2, whole.mean, whole.m2)
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if math.Abs(whole.mean-mean) > 1e-9 {
+		t.Fatalf("mean = %f, want %f", whole.mean, mean)
+	}
+}

@@ -1,0 +1,214 @@
+package optimizer
+
+import (
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Expression-level rules, applied to every expression in the plan via
+// transformAllExpressions (paper §4.3.2).
+
+// constantFolding evaluates expression subtrees whose inputs are all
+// literals at plan time.
+func constantFolding(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformExpressionsUp(p, func(e expr.Expression) (expr.Expression, bool) {
+		if !foldable(e) {
+			return nil, false
+		}
+		v := e.Eval(nil)
+		return &expr.Literal{Value: v, Type: e.DataType()}, true
+	})
+}
+
+// foldable: resolved, non-leaf, non-aggregate, non-named, with all-literal
+// children. (Named expressions keep their identity; folding under them is
+// handled when the child itself folds.)
+func foldable(e expr.Expression) bool {
+	switch e.(type) {
+	case *expr.Literal, *expr.AttributeReference, *expr.BoundReference,
+		*expr.UnresolvedAttribute, *expr.Star, *expr.Alias, *expr.SortOrder,
+		*expr.ScalarUDF: // UDFs are opaque; do not fold
+		return false
+	}
+	if _, isAgg := e.(expr.AggregateFunc); isAgg {
+		return false
+	}
+	if !e.Resolved() || len(e.Children()) == 0 {
+		return false
+	}
+	for _, c := range e.Children() {
+		if _, ok := c.(*expr.Literal); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// nullPropagation rewrites operations on literal NULLs: arithmetic and
+// comparisons with a NULL side are NULL; IS NULL on non-nullable inputs is
+// false, and on literal NULL is true.
+func nullPropagation(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformExpressionsUp(p, func(e expr.Expression) (expr.Expression, bool) {
+		switch x := e.(type) {
+		case *expr.BinaryArith:
+			if isNullLit(x.Left) || isNullLit(x.Right) {
+				if x.Resolved() {
+					return &expr.Literal{Value: nil, Type: x.DataType()}, true
+				}
+			}
+		case *expr.Comparison:
+			if isNullLit(x.Left) || isNullLit(x.Right) {
+				return &expr.Literal{Value: nil, Type: types.Boolean}, true
+			}
+		case *expr.IsNull:
+			if isNullLit(x.Child) {
+				return expr.Lit(true), true
+			}
+			if x.Child.Resolved() && !x.Child.Nullable() {
+				return expr.Lit(false), true
+			}
+		case *expr.IsNotNull:
+			if isNullLit(x.Child) {
+				return expr.Lit(false), true
+			}
+			if x.Child.Resolved() && !x.Child.Nullable() {
+				return expr.Lit(true), true
+			}
+		}
+		return nil, false
+	})
+}
+
+func isNullLit(e expr.Expression) bool {
+	lit, ok := e.(*expr.Literal)
+	return ok && lit.Value == nil
+}
+
+func isTrueLit(e expr.Expression) bool {
+	lit, ok := e.(*expr.Literal)
+	return ok && lit.Value == true
+}
+
+func isFalseLit(e expr.Expression) bool {
+	lit, ok := e.(*expr.Literal)
+	return ok && lit.Value == false
+}
+
+// booleanSimplification applies the identities of three-valued logic that
+// hold regardless of NULLs: x AND true = x, x AND false = false, x OR true
+// = true, x OR false = x, NOT NOT x = x, NOT literal.
+func booleanSimplification(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformExpressionsUp(p, func(e expr.Expression) (expr.Expression, bool) {
+		switch x := e.(type) {
+		case *expr.And:
+			switch {
+			case isTrueLit(x.Left):
+				return x.Right, true
+			case isTrueLit(x.Right):
+				return x.Left, true
+			case isFalseLit(x.Left) || isFalseLit(x.Right):
+				return expr.Lit(false), true
+			case expr.Equivalent(x.Left, x.Right):
+				return x.Left, true
+			}
+		case *expr.Or:
+			switch {
+			case isFalseLit(x.Left):
+				return x.Right, true
+			case isFalseLit(x.Right):
+				return x.Left, true
+			case isTrueLit(x.Left) || isTrueLit(x.Right):
+				return expr.Lit(true), true
+			case expr.Equivalent(x.Left, x.Right):
+				return x.Left, true
+			}
+		case *expr.Not:
+			if inner, ok := x.Child.(*expr.Not); ok {
+				return inner.Child, true
+			}
+			if lit, ok := x.Child.(*expr.Literal); ok && lit.Value != nil {
+				return expr.Lit(!lit.Value.(bool)), true
+			}
+		}
+		return nil, false
+	})
+}
+
+// simplifyLike rewrites LIKE with simple constant patterns into the fast
+// string predicates — the paper's 12-line example rule: 'abc%' becomes
+// startsWith, '%abc' endsWith, '%abc%' contains, and a wildcard-free
+// pattern becomes equality.
+func simplifyLike(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformExpressionsUp(p, func(e expr.Expression) (expr.Expression, bool) {
+		like, ok := e.(*expr.Like)
+		if !ok {
+			return nil, false
+		}
+		lit, ok := like.Pattern.(*expr.Literal)
+		if !ok || lit.Value == nil {
+			return nil, false
+		}
+		pattern := lit.Value.(string)
+		if strings.ContainsRune(pattern, '_') {
+			return nil, false
+		}
+		inner := strings.Trim(pattern, "%")
+		if strings.Contains(inner, "%") {
+			return nil, false // interior wildcards stay as LIKE
+		}
+		starts := strings.HasSuffix(pattern, "%")
+		ends := strings.HasPrefix(pattern, "%")
+		litInner := expr.Lit(inner)
+		switch {
+		case starts && ends:
+			return expr.Contains(like.Left, litInner), true
+		case starts:
+			return expr.StartsWith(like.Left, litInner), true
+		case ends:
+			return expr.EndsWith(like.Left, litInner), true
+		default:
+			return expr.EQ(like.Left, litInner), true
+		}
+	})
+}
+
+// simplifyCasts removes casts to the value's existing type.
+func simplifyCasts(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformExpressionsUp(p, func(e expr.Expression) (expr.Expression, bool) {
+		c, ok := e.(*expr.Cast)
+		if !ok || !c.Child.Resolved() {
+			return nil, false
+		}
+		if c.Child.DataType().Equals(c.To) {
+			return c.Child, true
+		}
+		return nil, false
+	})
+}
+
+// decimalAggregates is the paper's §4.3.2 example rule: sums over
+// small-precision decimals are computed on the unscaled 64-bit LONG and the
+// result converted back, avoiding per-row decimal arithmetic.
+func decimalAggregates(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformExpressionsUp(p, func(e expr.Expression) (expr.Expression, bool) {
+		sum, ok := e.(*expr.Sum)
+		if !ok || !sum.Child.Resolved() {
+			return nil, false
+		}
+		dt, ok := sum.Child.DataType().(types.DecimalType)
+		if !ok || dt.Precision+10 > types.MaxLongDigits {
+			return nil, false
+		}
+		if _, already := sum.Child.(*expr.UnscaledValue); already {
+			return nil, false
+		}
+		return &expr.MakeDecimal{
+			Child:     &expr.Sum{Child: &expr.UnscaledValue{Child: sum.Child}},
+			Precision: dt.Precision + 10,
+			Scale:     dt.Scale,
+		}, true
+	})
+}

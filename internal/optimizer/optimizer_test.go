@@ -1,0 +1,488 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalyst"
+	"repro/internal/datasource"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func relation() *plan.LocalRelation {
+	return plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "a", Type: types.Int, Nullable: false},
+		types.StructField{Name: "b", Type: types.String, Nullable: true},
+		types.StructField{Name: "c", Type: types.Double, Nullable: false},
+	), []row.Row{{int32(1), "x", 1.0}})
+}
+
+func optimize(t *testing.T, p plan.LogicalPlan) plan.LogicalPlan {
+	t.Helper()
+	out, err := New(DefaultConfig()).Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestConstantFolding(t *testing.T) {
+	rel := relation()
+	p := &plan.Project{
+		List: []expr.Expression{
+			expr.NewAlias(expr.Add(expr.Lit(int32(1)), expr.Mul(expr.Lit(int32(2)), expr.Lit(int32(3)))), "x"),
+		},
+		Child: rel,
+	}
+	out := optimize(t, p)
+	lit, ok := out.(*plan.Project).List[0].(*expr.Alias).Child.(*expr.Literal)
+	if !ok || lit.Value != int32(7) {
+		t.Fatalf("folded = %v", out.(*plan.Project).List[0])
+	}
+}
+
+func TestConstantFoldingSkipsUDFs(t *testing.T) {
+	rel := relation()
+	udf := &expr.ScalarUDF{
+		Name: "f", Fn: func([]any) any { return int32(1) },
+		In: []types.DataType{types.Int}, Ret: types.Int,
+		Args: []expr.Expression{expr.Lit(int32(1))},
+	}
+	p := &plan.Project{List: []expr.Expression{expr.NewAlias(udf, "u")}, Child: rel}
+	out := optimize(t, p)
+	if _, stillUDF := out.(*plan.Project).List[0].(*expr.Alias).Child.(*expr.ScalarUDF); !stillUDF {
+		t.Fatal("UDFs are opaque and must not fold")
+	}
+}
+
+func TestBooleanSimplification(t *testing.T) {
+	rel := relation()
+	a := rel.Attrs[0]
+	cond := &expr.And{
+		Left:  expr.Lit(true),
+		Right: &expr.Or{Left: expr.GT(a, expr.Lit(int32(1))), Right: expr.Lit(false)},
+	}
+	out := optimize(t, &plan.Filter{Cond: cond, Child: rel})
+	f, ok := out.(*plan.Filter)
+	if !ok {
+		t.Fatalf("got %T", out)
+	}
+	if _, isCmp := f.Cond.(*expr.Comparison); !isCmp {
+		t.Fatalf("condition should reduce to the comparison, got %s", f.Cond)
+	}
+}
+
+func TestPruneFilters(t *testing.T) {
+	rel := relation()
+	// Always-true filter disappears.
+	out := optimize(t, &plan.Filter{Cond: expr.Lit(true), Child: rel})
+	if _, isRel := out.(*plan.LocalRelation); !isRel {
+		t.Fatalf("true filter should vanish, got %T", out)
+	}
+	// Always-false filter becomes an empty relation with the same schema.
+	out = optimize(t, &plan.Filter{Cond: expr.Lit(false), Child: rel})
+	empty, ok := out.(*plan.LocalRelation)
+	if !ok || len(empty.Rows) != 0 || len(empty.Attrs) != 3 {
+		t.Fatalf("false filter = %v", out)
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	rel := relation()
+	nullLit := &expr.Literal{Value: nil, Type: types.Int}
+	p := &plan.Project{
+		List:  []expr.Expression{expr.NewAlias(expr.Add(rel.Attrs[0], nullLit), "x")},
+		Child: rel,
+	}
+	out := optimize(t, p)
+	lit, ok := out.(*plan.Project).List[0].(*expr.Alias).Child.(*expr.Literal)
+	if !ok || lit.Value != nil {
+		t.Fatalf("x + NULL should fold to NULL, got %v", out.(*plan.Project).List[0])
+	}
+	// IS NULL on a non-nullable column folds to false; the filter becomes
+	// an empty relation.
+	out = optimize(t, &plan.Filter{Cond: &expr.IsNull{Child: rel.Attrs[0]}, Child: rel})
+	if empty, ok := out.(*plan.LocalRelation); !ok || len(empty.Rows) != 0 {
+		t.Fatalf("IS NULL on NOT NULL column should empty the relation, got:\n%s", out)
+	}
+}
+
+func TestSimplifyLike(t *testing.T) {
+	rel := relation()
+	b := rel.Attrs[1]
+	cases := []struct {
+		pattern string
+		want    string
+	}{
+		{"abc%", "startswith"},
+		{"%abc", "endswith"},
+		{"%abc%", "contains"},
+		{"abc", "="},
+	}
+	for _, c := range cases {
+		p := &plan.Filter{Cond: &expr.Like{Left: b, Pattern: expr.Lit(c.pattern)}, Child: rel}
+		out := optimize(t, p)
+		if !strings.Contains(out.String(), c.want) {
+			t.Errorf("LIKE %q should become %s:\n%s", c.pattern, c.want, out)
+		}
+	}
+	// Underscores and interior %% stay LIKE.
+	for _, pattern := range []string{"a_c", "a%b%c"} {
+		p := &plan.Filter{Cond: &expr.Like{Left: b, Pattern: expr.Lit(pattern)}, Child: rel}
+		out := optimize(t, p)
+		if !strings.Contains(out.String(), "LIKE") {
+			t.Errorf("LIKE %q must not simplify:\n%s", pattern, out)
+		}
+	}
+}
+
+func TestDecimalAggregates(t *testing.T) {
+	dec := types.DecimalType{Precision: 5, Scale: 2}
+	rel := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "amount", Type: dec, Nullable: true},
+	), nil)
+	agg := &plan.Aggregate{
+		Aggs:  []expr.Expression{expr.NewAlias(&expr.Sum{Child: rel.Attrs[0]}, "s")},
+		Child: rel,
+	}
+	out := optimize(t, agg)
+	s := out.String()
+	if !strings.Contains(s, "makedecimal") || !strings.Contains(s, "unscaled") {
+		t.Fatalf("DecimalAggregates did not fire:\n%s", s)
+	}
+	// The output type is unchanged by the rewrite.
+	if !out.Output()[0].Type.Equals(types.DecimalType{Precision: 15, Scale: 2}) {
+		t.Errorf("output type = %s", out.Output()[0].Type.Name())
+	}
+	// Precision beyond the LONG range must NOT rewrite.
+	big := types.DecimalType{Precision: 12, Scale: 2}
+	rel2 := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "amount", Type: big, Nullable: true},
+	), nil)
+	agg2 := &plan.Aggregate{
+		Aggs:  []expr.Expression{expr.NewAlias(&expr.Sum{Child: rel2.Attrs[0]}, "s")},
+		Child: rel2,
+	}
+	if s := optimize(t, agg2).String(); strings.Contains(s, "unscaled") {
+		t.Fatalf("prec+10 > 18 must not rewrite:\n%s", s)
+	}
+}
+
+func TestPushPredicateThroughProject(t *testing.T) {
+	rel := relation()
+	a := rel.Attrs[0]
+	alias := expr.NewAlias(expr.Add(a, expr.Lit(int32(1))), "a1")
+	p := &plan.Filter{
+		Cond: expr.GT(alias.ToAttribute(), expr.Lit(int32(10))),
+		Child: &plan.Project{
+			List:  []expr.Expression{alias},
+			Child: rel,
+		},
+	}
+	out := optimize(t, p)
+	proj, ok := out.(*plan.Project)
+	if !ok {
+		t.Fatalf("expected Project on top:\n%s", out)
+	}
+	f, ok := proj.Child.(*plan.Filter)
+	if !ok {
+		t.Fatalf("filter should sit under the project:\n%s", out)
+	}
+	// The alias was substituted: the filter references a, not a1.
+	if !plan.OutputSet(rel).ContainsAll(expr.References(f.Cond)) {
+		t.Fatalf("substituted condition references: %s", f.Cond)
+	}
+}
+
+func TestPushPredicateThroughJoin(t *testing.T) {
+	left := relation()
+	right := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "id", Type: types.Int, Nullable: false},
+	), nil)
+	cond := &expr.And{
+		Left:  expr.GT(left.Attrs[0], expr.Lit(int32(1))), // left-only
+		Right: expr.EQ(left.Attrs[0], right.Attrs[0]),     // join key
+	}
+	p := &plan.Filter{
+		Cond:  &expr.And{Left: cond, Right: expr.LT(right.Attrs[0], expr.Lit(int32(9)))},
+		Child: &plan.Join{Left: left, Right: right, Type: plan.InnerJoin},
+	}
+	out := optimize(t, p)
+	j, ok := out.(*plan.Join)
+	if !ok {
+		t.Fatalf("single-side conjuncts should leave only the join (cond absorbed):\n%s", out)
+	}
+	if _, isFilter := j.Left.(*plan.Filter); !isFilter {
+		t.Fatalf("left-side conjunct should push:\n%s", out)
+	}
+	if _, isFilter := j.Right.(*plan.Filter); !isFilter {
+		t.Fatalf("right-side conjunct should push:\n%s", out)
+	}
+}
+
+func TestPushPredicateThroughAggregate(t *testing.T) {
+	rel := relation()
+	a := rel.Attrs[0]
+	agg := &plan.Aggregate{
+		Grouping: []expr.Expression{a},
+		Aggs: []expr.Expression{
+			a,
+			expr.NewAlias(expr.NewCountStar(), "n"),
+		},
+		Child: rel,
+	}
+	p := &plan.Filter{Cond: expr.GT(a, expr.Lit(int32(5))), Child: agg}
+	out := optimize(t, p)
+	// The group-key predicate lands below the aggregate.
+	found := false
+	catalyst.Foreach[plan.LogicalPlan](out, func(n plan.LogicalPlan) {
+		if f, ok := n.(*plan.Filter); ok {
+			if _, underAgg := f.Child.(*plan.LocalRelation); underAgg {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("grouping predicate should push below the aggregate:\n%s", out)
+	}
+}
+
+func TestPushPredicateThroughUnion(t *testing.T) {
+	a, b := relation(), relation()
+	u := &plan.Union{Kids: []plan.LogicalPlan{a, b}}
+	p := &plan.Filter{Cond: expr.GT(a.Attrs[0], expr.Lit(int32(1))), Child: u}
+	out := optimize(t, p)
+	union, ok := out.(*plan.Union)
+	if !ok {
+		t.Fatalf("expected union on top:\n%s", out)
+	}
+	for i, kid := range union.Kids {
+		f, ok := kid.(*plan.Filter)
+		if !ok {
+			t.Fatalf("branch %d lacks pushed filter:\n%s", i, out)
+		}
+		// Branch 2's filter must reference branch 2's attributes.
+		kidSet := plan.OutputSet(f.Child)
+		if !kidSet.ContainsAll(expr.References(f.Cond)) {
+			t.Fatalf("branch %d filter references foreign attrs: %s", i, f.Cond)
+		}
+	}
+}
+
+func TestCollapseProjects(t *testing.T) {
+	rel := relation()
+	a := rel.Attrs[0]
+	inner := expr.NewAlias(expr.Add(a, expr.Lit(int32(1))), "a1")
+	outer := expr.NewAlias(expr.Mul(inner.ToAttribute(), expr.Lit(int32(2))), "a2")
+	p := &plan.Project{
+		List: []expr.Expression{outer},
+		Child: &plan.Project{
+			List:  []expr.Expression{inner},
+			Child: rel,
+		},
+	}
+	out := optimize(t, p)
+	proj, ok := out.(*plan.Project)
+	if !ok || len(proj.Children()) != 1 {
+		t.Fatalf("projects did not collapse:\n%s", out)
+	}
+	if _, isRel := proj.Child.(*plan.LocalRelation); !isRel {
+		t.Fatalf("expected single project over relation:\n%s", out)
+	}
+	if !proj.Output()[0].Type.Equals(types.Int) || proj.Output()[0].Name != "a2" {
+		t.Errorf("collapsed output = %v", proj.Output())
+	}
+}
+
+func TestColumnPruningUnderAggregate(t *testing.T) {
+	rel := relation()
+	agg := &plan.Aggregate{
+		Grouping: []expr.Expression{rel.Attrs[0]},
+		Aggs: []expr.Expression{
+			rel.Attrs[0],
+			expr.NewAlias(expr.NewCountStar(), "n"),
+		},
+		Child: rel,
+	}
+	out := optimize(t, agg)
+	proj, ok := out.(*plan.Aggregate).Child.(*plan.Project)
+	if !ok {
+		t.Fatalf("pruning project not inserted:\n%s", out)
+	}
+	if len(proj.List) != 1 {
+		t.Fatalf("should keep only the grouped column: %v", proj.List)
+	}
+}
+
+func TestCombineLimitsAndUnions(t *testing.T) {
+	rel := relation()
+	p := &plan.Limit{N: 10, Child: &plan.Limit{N: 3, Child: rel}}
+	out := optimize(t, p)
+	if l, ok := out.(*plan.Limit); !ok || l.N != 3 {
+		t.Fatalf("limits should combine to 3:\n%s", out)
+	}
+	u := &plan.Union{Kids: []plan.LogicalPlan{
+		relation(),
+		&plan.Union{Kids: []plan.LogicalPlan{relation(), relation()}},
+	}}
+	out = optimize(t, u)
+	if got := len(out.(*plan.Union).Kids); got != 3 {
+		t.Fatalf("nested unions should flatten to 3 kids, got %d", got)
+	}
+}
+
+// fakeSource implements PrunedFilteredScan + ExactFilterScan for pushdown
+// tests.
+type fakeSource struct {
+	schema types.StructType
+	exact  bool
+}
+
+func (f *fakeSource) Schema() types.StructType { return f.schema }
+func (f *fakeSource) ScanPrunedFiltered(cols []string, filters []datasource.Filter) (datasource.Scan, error) {
+	return datasource.Scan{NumPartitions: 1, Partition: func(int) []row.Row { return nil }}, nil
+}
+func (f *fakeSource) HandledFilters(filters []datasource.Filter) []datasource.Filter {
+	if f.exact {
+		return filters
+	}
+	return nil
+}
+
+func sourcePlan(exact bool) *plan.DataSourceRelation {
+	schema := types.StructType{}.
+		Add("x", types.Int, false).
+		Add("y", types.String, true).
+		Add("z", types.Double, false)
+	attrs := []*expr.AttributeReference{
+		expr.NewAttribute("x", types.Int, false),
+		expr.NewAttribute("y", types.String, true),
+		expr.NewAttribute("z", types.Double, false),
+	}
+	return &plan.DataSourceRelation{
+		Name:  "fake",
+		Rel:   &fakeSource{schema: schema, exact: exact},
+		Attrs: attrs,
+	}
+}
+
+func TestSourceColumnPruning(t *testing.T) {
+	src := sourcePlan(true)
+	p := &plan.Project{List: []expr.Expression{src.Attrs[0]}, Child: src}
+	out := optimize(t, p)
+	pruned := out.(*plan.Project).Child.(*plan.DataSourceRelation)
+	if len(pruned.PushedColumns) != 1 || pruned.PushedColumns[0] != "x" {
+		t.Fatalf("pushed columns = %v", pruned.PushedColumns)
+	}
+	if len(pruned.Attrs) != 1 {
+		t.Fatalf("pruned attrs = %v", pruned.Attrs)
+	}
+}
+
+func TestSourceFilterPushdownExact(t *testing.T) {
+	src := sourcePlan(true)
+	p := &plan.Filter{
+		Cond:  expr.GT(src.Attrs[0], expr.Lit(int32(5))),
+		Child: src,
+	}
+	out := optimize(t, p)
+	// Exact source: the residual filter disappears entirely.
+	rel, ok := out.(*plan.DataSourceRelation)
+	if !ok {
+		t.Fatalf("residual filter should be dropped for exact sources:\n%s", out)
+	}
+	if len(rel.PushedFilters) != 1 {
+		t.Fatalf("pushed = %v", rel.PushedFilters)
+	}
+	if rel.PushedFilters[0].String() != "x > 5" {
+		t.Errorf("pushed filter = %s", rel.PushedFilters[0])
+	}
+}
+
+func TestSourceFilterPushdownAdvisory(t *testing.T) {
+	src := sourcePlan(false) // advisory: filters may return false positives
+	p := &plan.Filter{
+		Cond:  expr.GT(src.Attrs[0], expr.Lit(int32(5))),
+		Child: src,
+	}
+	out := optimize(t, p)
+	f, ok := out.(*plan.Filter)
+	if !ok {
+		t.Fatalf("advisory source must keep the residual filter:\n%s", out)
+	}
+	rel := f.Child.(*plan.DataSourceRelation)
+	if len(rel.PushedFilters) != 1 {
+		t.Fatalf("filter should still be pushed (advisory): %v", rel.PushedFilters)
+	}
+}
+
+func TestUntranslatableConjunctsStayAbove(t *testing.T) {
+	src := sourcePlan(true)
+	p := &plan.Filter{
+		Cond: &expr.And{
+			Left:  expr.GT(src.Attrs[0], expr.Lit(int32(5))),
+			Right: expr.EQ(src.Attrs[0], src.Attrs[0]), // attr=attr: untranslatable
+		},
+		Child: src,
+	}
+	out := optimize(t, p)
+	f, ok := out.(*plan.Filter)
+	if !ok {
+		t.Fatalf("untranslatable conjunct must remain:\n%s", out)
+	}
+	if strings.Contains(f.Cond.String(), "> 5") {
+		t.Errorf("translated conjunct should be gone from the residual: %s", f.Cond)
+	}
+}
+
+func TestTranslateFilterShapes(t *testing.T) {
+	x := expr.NewAttribute("x", types.Int, false)
+	cases := []struct {
+		e    expr.Expression
+		want string
+	}{
+		{expr.EQ(x, expr.Lit(int32(3))), "x = 3"},
+		{expr.GT(x, expr.Lit(int32(3))), "x > 3"},
+		{expr.LT(expr.Lit(int32(3)), x), "x > 3"}, // flipped
+		{expr.GE(x, expr.Lit(int32(3))), "x >= 3"},
+		{&expr.In{Value: x, List: []expr.Expression{expr.Lit(int32(1)), expr.Lit(int32(2))}}, "x IN (1, 2)"},
+		{&expr.IsNotNull{Child: x}, "x IS NOT NULL"},
+	}
+	for _, c := range cases {
+		f, ok := TranslateFilter(c.e)
+		if !ok || f.String() != c.want {
+			t.Errorf("TranslateFilter(%s) = %v, want %q", c.e, f, c.want)
+		}
+	}
+	// Untranslatable shapes.
+	for _, e := range []expr.Expression{
+		expr.NEQ(x, expr.Lit(int32(3))),
+		expr.EQ(x, x),
+		expr.GT(expr.Add(x, expr.Lit(int32(1))), expr.Lit(int32(3))),
+	} {
+		if _, ok := TranslateFilter(e); ok {
+			t.Errorf("TranslateFilter(%s) should fail", e)
+		}
+	}
+}
+
+func TestSharkConfigSkipsSourcePushdown(t *testing.T) {
+	src := sourcePlan(true)
+	p := &plan.Filter{Cond: expr.GT(src.Attrs[0], expr.Lit(int32(5))), Child: src}
+	cfg := DefaultConfig()
+	cfg.SourcePushdown = false
+	out, err := New(cfg).Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := out.(*plan.Filter)
+	if !ok {
+		t.Fatalf("filter must remain:\n%s", out)
+	}
+	if rel := f.Child.(*plan.DataSourceRelation); rel.PushedFilters != nil {
+		t.Error("no filters should push with pushdown disabled")
+	}
+}

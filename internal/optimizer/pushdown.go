@@ -1,0 +1,708 @@
+package optimizer
+
+import (
+	"repro/internal/datasource"
+	"repro/internal/expr"
+	"repro/internal/plan"
+)
+
+// Plan-structure rules: predicate pushdown, projection pruning, operator
+// combination (paper §4.3.2 "predicate pushdown, projection pruning").
+
+// combineFilters merges adjacent filters into one conjunction.
+func combineFilters(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		outer, ok := n.(*plan.Filter)
+		if !ok {
+			return nil, false
+		}
+		inner, ok := outer.Child.(*plan.Filter)
+		if !ok {
+			return nil, false
+		}
+		return &plan.Filter{
+			Cond:  &expr.And{Left: inner.Cond, Right: outer.Cond},
+			Child: inner.Child,
+		}, true
+	})
+}
+
+// pushPredicateThroughProject moves a filter below a projection,
+// substituting aliases with their defining expressions.
+func pushPredicateThroughProject(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		f, ok := n.(*plan.Filter)
+		if !ok {
+			return nil, false
+		}
+		proj, ok := f.Child.(*plan.Project)
+		if !ok || !proj.Resolved() || !f.Cond.Resolved() {
+			return nil, false
+		}
+		aliasMap := buildAliasMap(proj.List)
+		cond := substituteAliases(f.Cond, aliasMap)
+		if !plan.OutputSet(proj.Child).ContainsAll(expr.References(cond)) {
+			return nil, false
+		}
+		return &plan.Project{List: proj.List, Child: &plan.Filter{Cond: cond, Child: proj.Child}}, true
+	})
+}
+
+func buildAliasMap(list []expr.Expression) map[expr.ID]expr.Expression {
+	m := make(map[expr.ID]expr.Expression, len(list))
+	for _, e := range list {
+		if a, ok := e.(*expr.Alias); ok {
+			m[a.ID_] = a.Child
+		}
+	}
+	return m
+}
+
+func substituteAliases(e expr.Expression, aliasMap map[expr.ID]expr.Expression) expr.Expression {
+	if len(aliasMap) == 0 {
+		return e
+	}
+	return expr.TransformUp(e, func(x expr.Expression) (expr.Expression, bool) {
+		attr, ok := x.(*expr.AttributeReference)
+		if !ok {
+			return nil, false
+		}
+		if def, hit := aliasMap[attr.ID_]; hit {
+			return def, true
+		}
+		return nil, false
+	})
+}
+
+// pushPredicateThroughJoin pushes single-side conjuncts of a filter (and of
+// an inner join's own condition) into the join inputs.
+func pushPredicateThroughJoin(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		// Pattern 1: Filter over inner/cross join. Single-side conjuncts
+		// push into the inputs; cross-side conjuncts merge into the join
+		// condition (so WHERE-based equi-joins become hash-joinable).
+		if f, ok := n.(*plan.Filter); ok {
+			j, ok := f.Child.(*plan.Join)
+			if !ok || (j.Type != plan.InnerJoin && j.Type != plan.CrossJoin) || !f.Cond.Resolved() {
+				return nil, false
+			}
+			left, right, rest := splitBySide(expr.SplitConjuncts(f.Cond), j)
+			if len(left) == 0 && len(right) == 0 && len(rest) == 0 {
+				return nil, false
+			}
+			cond := j.Cond
+			t := j.Type
+			if len(rest) > 0 {
+				conjuncts := rest
+				if cond != nil {
+					conjuncts = append(expr.SplitConjuncts(cond), rest...)
+				}
+				cond = expr.JoinConjuncts(conjuncts)
+				t = plan.InnerJoin
+			}
+			return &plan.Join{
+				Left:  filterIf(left, j.Left),
+				Right: filterIf(right, j.Right),
+				Type:  t,
+				Cond:  cond,
+			}, true
+		}
+		// Pattern 2: inner join whose condition has single-side conjuncts.
+		if j, ok := n.(*plan.Join); ok {
+			if j.Type != plan.InnerJoin || j.Cond == nil || !j.Cond.Resolved() {
+				return nil, false
+			}
+			left, right, rest := splitBySide(expr.SplitConjuncts(j.Cond), j)
+			if len(left) == 0 && len(right) == 0 {
+				return nil, false
+			}
+			t := j.Type
+			if len(rest) == 0 {
+				t = plan.CrossJoin
+			}
+			return &plan.Join{
+				Left:  filterIf(left, j.Left),
+				Right: filterIf(right, j.Right),
+				Type:  t,
+				Cond:  expr.JoinConjuncts(rest),
+			}, true
+		}
+		return nil, false
+	})
+}
+
+func splitBySide(conjuncts []expr.Expression, j *plan.Join) (left, right, rest []expr.Expression) {
+	leftSet := plan.OutputSet(j.Left)
+	rightSet := plan.OutputSet(j.Right)
+	for _, c := range conjuncts {
+		refs := expr.References(c)
+		switch {
+		case len(refs) > 0 && leftSet.ContainsAll(refs) && expr.IsDeterministic(c):
+			left = append(left, c)
+		case len(refs) > 0 && rightSet.ContainsAll(refs) && expr.IsDeterministic(c):
+			right = append(right, c)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return left, right, rest
+}
+
+func filterIf(conjuncts []expr.Expression, child plan.LogicalPlan) plan.LogicalPlan {
+	if len(conjuncts) == 0 {
+		return child
+	}
+	return &plan.Filter{Cond: expr.JoinConjuncts(conjuncts), Child: child}
+}
+
+// pushPredicateThroughAggregate pushes conjuncts that reference only
+// group-by columns below the aggregate.
+func pushPredicateThroughAggregate(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		f, ok := n.(*plan.Filter)
+		if !ok {
+			return nil, false
+		}
+		agg, ok := f.Child.(*plan.Aggregate)
+		if !ok || !agg.Resolved() || !f.Cond.Resolved() {
+			return nil, false
+		}
+		// Output attrs that are pure pass-throughs of grouping attributes.
+		passthrough := make(map[expr.ID]expr.Expression)
+		for _, e := range agg.Aggs {
+			switch x := e.(type) {
+			case *expr.AttributeReference:
+				if isGroupingAttr(x, agg.Grouping) {
+					passthrough[x.ID_] = x
+				}
+			case *expr.Alias:
+				if inner, ok := x.Child.(*expr.AttributeReference); ok && isGroupingAttr(inner, agg.Grouping) {
+					passthrough[x.ID_] = inner
+				}
+			}
+		}
+		childSet := plan.OutputSet(agg.Child)
+		var pushed, kept []expr.Expression
+		for _, c := range expr.SplitConjuncts(f.Cond) {
+			sub := substituteAliases(c, passthrough)
+			if childSet.ContainsAll(expr.References(sub)) && expr.IsDeterministic(sub) && !expr.ContainsAggregate(sub) {
+				pushed = append(pushed, sub)
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		if len(pushed) == 0 {
+			return nil, false
+		}
+		newAgg := &plan.Aggregate{
+			Grouping: agg.Grouping,
+			Aggs:     agg.Aggs,
+			Child:    &plan.Filter{Cond: expr.JoinConjuncts(pushed), Child: agg.Child},
+		}
+		if len(kept) == 0 {
+			return newAgg, true
+		}
+		return &plan.Filter{Cond: expr.JoinConjuncts(kept), Child: newAgg}, true
+	})
+}
+
+func isGroupingAttr(a *expr.AttributeReference, grouping []expr.Expression) bool {
+	for _, g := range grouping {
+		if ga, ok := g.(*expr.AttributeReference); ok && ga.ID_ == a.ID_ {
+			return true
+		}
+	}
+	return false
+}
+
+// pushPredicateThroughUnion copies the filter into every union branch,
+// remapping attributes positionally.
+func pushPredicateThroughUnion(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		f, ok := n.(*plan.Filter)
+		if !ok {
+			return nil, false
+		}
+		u, ok := f.Child.(*plan.Union)
+		if !ok || !u.Resolved() || !f.Cond.Resolved() {
+			return nil, false
+		}
+		out := u.Output()
+		kids := make([]plan.LogicalPlan, len(u.Kids))
+		for i, kid := range u.Kids {
+			kidOut := kid.Output()
+			remap := make(map[expr.ID]expr.Expression, len(out))
+			for j, a := range out {
+				remap[a.ID_] = kidOut[j]
+			}
+			kids[i] = &plan.Filter{Cond: substituteAliases(f.Cond, remap), Child: kid}
+		}
+		return &plan.Union{Kids: kids}, true
+	})
+}
+
+// pruneFilters drops always-true filters and replaces always-false ones
+// with an empty relation.
+func pruneFilters(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		f, ok := n.(*plan.Filter)
+		if !ok {
+			return nil, false
+		}
+		if isTrueLit(f.Cond) {
+			return f.Child, true
+		}
+		if isFalseLit(f.Cond) || isNullLit(f.Cond) {
+			return plan.NewLocalRelationFromAttrs(f.Output(), nil), true
+		}
+		return nil, false
+	})
+}
+
+// collapseProjects merges adjacent projections by substituting the inner
+// project's aliases into the outer list.
+func collapseProjects(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		outer, ok := n.(*plan.Project)
+		if !ok {
+			return nil, false
+		}
+		inner, ok := outer.Child.(*plan.Project)
+		if !ok || !inner.Resolved() || !outer.Resolved() {
+			return nil, false
+		}
+		aliasMap := buildAliasMap(inner.List)
+		newList := make([]expr.Expression, len(outer.List))
+		for i, e := range outer.List {
+			sub := substituteAliases(e, aliasMap)
+			// Keep the outer column's name and identity when the outer
+			// item was a bare attribute that now points at an expression.
+			if attr, wasAttr := e.(*expr.AttributeReference); wasAttr {
+				if any(sub) != any(e) {
+					sub = &expr.Alias{Child: sub, Name: attr.Name, ID_: attr.ID_}
+				}
+			}
+			newList[i] = sub
+		}
+		return &plan.Project{List: newList, Child: inner.Child}, true
+	})
+}
+
+// columnPruning inserts narrow projections below aggregates and around join
+// inputs so only referenced columns flow up (paper: "projection pruning").
+func columnPruning(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		switch node := n.(type) {
+		case *plan.Aggregate:
+			if !node.Resolved() {
+				return nil, false
+			}
+			if _, isProj := node.Child.(*plan.Project); isProj {
+				return nil, false
+			}
+			needed := expr.ReferencesAll(node.Expressions())
+			pruned, changed := pruneTo(node.Child, needed)
+			if !changed {
+				return nil, false
+			}
+			return &plan.Aggregate{Grouping: node.Grouping, Aggs: node.Aggs, Child: pruned}, true
+
+		case *plan.Project:
+			j, isJoin := node.Child.(*plan.Join)
+			if !isJoin || !node.Resolved() {
+				return nil, false
+			}
+			needed := expr.ReferencesAll(node.List)
+			if j.Cond != nil {
+				needed = needed.Union(expr.References(j.Cond))
+			}
+			left, lchanged := pruneTo(j.Left, needed)
+			right, rchanged := pruneTo(j.Right, needed)
+			if !lchanged && !rchanged {
+				return nil, false
+			}
+			return &plan.Project{
+				List:  node.List,
+				Child: &plan.Join{Left: left, Right: right, Type: j.Type, Cond: j.Cond},
+			}, true
+		}
+		return nil, false
+	})
+}
+
+// pruneTo wraps child in an attribute-only Project keeping the needed
+// columns, if that is strictly narrower than the child's output.
+func pruneTo(child plan.LogicalPlan, needed expr.AttributeSet) (plan.LogicalPlan, bool) {
+	if _, isProj := child.(*plan.Project); isProj {
+		return child, false
+	}
+	out := child.Output()
+	var keep []expr.Expression
+	for _, a := range out {
+		if needed.Contains(a.ID_) {
+			keep = append(keep, a)
+		}
+	}
+	if len(keep) == len(out) || len(keep) == 0 {
+		return child, false
+	}
+	return &plan.Project{List: keep, Child: child}, true
+}
+
+// removeNoopProject drops projections that pass through exactly their
+// child's output.
+func removeNoopProject(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		proj, ok := n.(*plan.Project)
+		if !ok || !proj.Resolved() {
+			return nil, false
+		}
+		childOut := proj.Child.Output()
+		if len(proj.List) != len(childOut) {
+			return nil, false
+		}
+		for i, e := range proj.List {
+			attr, isAttr := e.(*expr.AttributeReference)
+			if !isAttr || attr.ID_ != childOut[i].ID_ {
+				return nil, false
+			}
+		}
+		return proj.Child, true
+	})
+}
+
+// combineLimits merges stacked limits and pushes limits below projections.
+func combineLimits(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		outer, ok := n.(*plan.Limit)
+		if !ok {
+			return nil, false
+		}
+		switch child := outer.Child.(type) {
+		case *plan.Limit:
+			return &plan.Limit{N: min(outer.N, child.N), Child: child.Child}, true
+		case *plan.Project:
+			if _, alreadyLimited := child.Child.(*plan.Limit); alreadyLimited {
+				return nil, false
+			}
+			return &plan.Project{
+				List:  child.List,
+				Child: &plan.Limit{N: outer.N, Child: child.Child},
+			}, true
+		}
+		return nil, false
+	})
+}
+
+// combineUnions flattens nested unions.
+func combineUnions(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		u, ok := n.(*plan.Union)
+		if !ok {
+			return nil, false
+		}
+		flat := make([]plan.LogicalPlan, 0, len(u.Kids))
+		changed := false
+		for _, k := range u.Kids {
+			if inner, isUnion := k.(*plan.Union); isUnion {
+				flat = append(flat, inner.Kids...)
+				changed = true
+			} else {
+				flat = append(flat, k)
+			}
+		}
+		if !changed {
+			return nil, false
+		}
+		return &plan.Union{Kids: flat}, true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Pushdown into data sources (paper §4.4.1, §5.3)
+
+// scanSupportsPruning reports whether the relation accepts column lists.
+func scanSupportsPruning(rel datasource.Relation) bool {
+	switch rel.(type) {
+	case datasource.PrunedScan, datasource.PrunedFilteredScan, datasource.CatalystScan:
+		return true
+	}
+	return false
+}
+
+// scanSupportsFilters reports whether the relation accepts pushed filters.
+func scanSupportsFilters(rel datasource.Relation) bool {
+	switch rel.(type) {
+	case datasource.PrunedFilteredScan, datasource.CatalystScan:
+		return true
+	}
+	return false
+}
+
+// pruneSourceColumns pushes projection pruning into data source relations:
+// Project [needed] over (optional Filter over) Relation.
+func pruneSourceColumns(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		proj, ok := n.(*plan.Project)
+		if !ok || !proj.Resolved() {
+			return nil, false
+		}
+		needed := expr.ReferencesAll(proj.List)
+		switch child := proj.Child.(type) {
+		case *plan.DataSourceRelation:
+			rel, changed := pruneRelation(child, needed)
+			if !changed {
+				return nil, false
+			}
+			return &plan.Project{List: proj.List, Child: rel}, true
+		case *plan.Filter:
+			src, isSrc := child.Child.(*plan.DataSourceRelation)
+			if !isSrc || !child.Cond.Resolved() {
+				return nil, false
+			}
+			rel, changed := pruneRelation(src, needed.Union(expr.References(child.Cond)))
+			if !changed {
+				return nil, false
+			}
+			return &plan.Project{
+				List:  proj.List,
+				Child: &plan.Filter{Cond: child.Cond, Child: rel},
+			}, true
+		}
+		return nil, false
+	})
+}
+
+func pruneRelation(src *plan.DataSourceRelation, needed expr.AttributeSet) (*plan.DataSourceRelation, bool) {
+	if src.PushedColumns != nil || !scanSupportsPruning(src.Rel) {
+		return src, false
+	}
+	var attrs []*expr.AttributeReference
+	var cols []string
+	for _, a := range src.Attrs {
+		if needed.Contains(a.ID_) {
+			attrs = append(attrs, a)
+			cols = append(cols, a.Name)
+		}
+	}
+	if len(attrs) == len(src.Attrs) || len(attrs) == 0 {
+		return src, false
+	}
+	c := *src
+	c.Attrs = attrs
+	c.PushedColumns = cols
+	return &c, true
+}
+
+// pushFiltersIntoSource translates filter conjuncts into the simple Filter
+// algebra and hands them to PrunedFilteredScan sources. Translated filters
+// remain in the plan (they are advisory) unless the source reports exact
+// handling via ExactFilterScan.
+func pushFiltersIntoSource(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		f, ok := n.(*plan.Filter)
+		if !ok || !f.Cond.Resolved() {
+			return nil, false
+		}
+		src, ok := f.Child.(*plan.DataSourceRelation)
+		if !ok || !scanSupportsFilters(src.Rel) {
+			return nil, false
+		}
+		// CatalystScan sources receive the complete expression trees
+		// (paper: "a CatalystScan interface is given a complete sequence
+		// of Catalyst expression trees to use in predicate pushdown,
+		// though they are again advisory").
+		if _, isCatalyst := src.Rel.(datasource.CatalystScan); isCatalyst {
+			if src.PushedPredicates != nil {
+				return nil, false
+			}
+			c := *src
+			c.PushedPredicates = expr.SplitConjuncts(f.Cond)
+			// Advisory: the residual filter always remains.
+			return &plan.Filter{Cond: f.Cond, Child: &c}, true
+		}
+		if src.PushedFilters != nil {
+			return nil, false
+		}
+		conjuncts := expr.SplitConjuncts(f.Cond)
+		var pushed []datasource.Filter
+		pushedIdx := make([]int, 0, len(conjuncts))
+		for i, c := range conjuncts {
+			if df, ok := TranslateFilter(c); ok {
+				pushed = append(pushed, df)
+				pushedIdx = append(pushedIdx, i)
+			}
+		}
+		if len(pushed) == 0 {
+			return nil, false
+		}
+		// Exact sources let us drop handled conjuncts from the residual.
+		dropped := make(map[int]bool)
+		if exact, isExact := src.Rel.(datasource.ExactFilterScan); isExact {
+			handled := exact.HandledFilters(pushed)
+			handledSet := make(map[string]bool, len(handled))
+			for _, h := range handled {
+				handledSet[h.String()] = true
+			}
+			for k, df := range pushed {
+				if handledSet[df.String()] {
+					dropped[pushedIdx[k]] = true
+				}
+			}
+		}
+		var residual []expr.Expression
+		for i, c := range conjuncts {
+			if !dropped[i] {
+				residual = append(residual, c)
+			}
+		}
+		c := *src
+		c.PushedFilters = pushed
+		var out plan.LogicalPlan = &c
+		if len(residual) > 0 {
+			out = &plan.Filter{Cond: expr.JoinConjuncts(residual), Child: out}
+		}
+		return out, true
+	})
+}
+
+// TranslateFilter converts a Catalyst predicate on a single attribute and
+// constants into the data source Filter algebra; ok is false for shapes the
+// algebra cannot express.
+func TranslateFilter(e expr.Expression) (datasource.Filter, bool) {
+	switch x := e.(type) {
+	case *expr.Comparison:
+		attr, lit, flipped := attrLit(x.Left, x.Right)
+		if attr == nil || lit == nil || lit.Value == nil {
+			return nil, false
+		}
+		op := x.Op
+		if flipped {
+			op = flipCmp(op)
+		}
+		switch op {
+		case expr.OpEQ:
+			return datasource.EqualTo{Col: attr.Name, Value: lit.Value}, true
+		case expr.OpGT:
+			return datasource.GreaterThan{Col: attr.Name, Value: lit.Value}, true
+		case expr.OpGE:
+			return datasource.GreaterOrEqual{Col: attr.Name, Value: lit.Value}, true
+		case expr.OpLT:
+			return datasource.LessThan{Col: attr.Name, Value: lit.Value}, true
+		case expr.OpLE:
+			return datasource.LessOrEqual{Col: attr.Name, Value: lit.Value}, true
+		}
+	case *expr.In:
+		attr, ok := x.Value.(*expr.AttributeReference)
+		if !ok {
+			return nil, false
+		}
+		vals := make([]any, 0, len(x.List))
+		for _, item := range x.List {
+			lit, isLit := item.(*expr.Literal)
+			if !isLit || lit.Value == nil {
+				return nil, false
+			}
+			vals = append(vals, lit.Value)
+		}
+		return datasource.In{Col: attr.Name, Values: vals}, true
+	case *expr.IsNotNull:
+		if attr, ok := x.Child.(*expr.AttributeReference); ok {
+			return datasource.IsNotNull{Col: attr.Name}, true
+		}
+	case *expr.StringMatch:
+		if !x.IsStartsWith() {
+			return nil, false
+		}
+		attr, lit, flipped := attrLit(x.Left, x.Right)
+		if attr == nil || lit == nil || lit.Value == nil || flipped {
+			return nil, false
+		}
+		return datasource.StringStartsWith{Col: attr.Name, Prefix: lit.Value.(string)}, true
+	}
+	return nil, false
+}
+
+func attrLit(l, r expr.Expression) (*expr.AttributeReference, *expr.Literal, bool) {
+	if a, ok := l.(*expr.AttributeReference); ok {
+		if lit, ok := r.(*expr.Literal); ok {
+			return a, lit, false
+		}
+	}
+	if a, ok := r.(*expr.AttributeReference); ok {
+		if lit, ok := l.(*expr.Literal); ok {
+			return a, lit, true
+		}
+	}
+	return nil, nil, false
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.OpLT:
+		return expr.OpGT
+	case expr.OpLE:
+		return expr.OpGE
+	case expr.OpGT:
+		return expr.OpLT
+	case expr.OpGE:
+		return expr.OpLE
+	}
+	return op
+}
+
+// pruneInMemoryColumns restricts columnar cache scans to referenced
+// columns — the cache analogue of source projection pushdown (paper §3.1's
+// "only scanning the age column").
+func pruneInMemoryColumns(p plan.LogicalPlan) plan.LogicalPlan {
+	return plan.TransformUp(p, func(n plan.LogicalPlan) (plan.LogicalPlan, bool) {
+		proj, ok := n.(*plan.Project)
+		if !ok || !proj.Resolved() {
+			return nil, false
+		}
+		needed := expr.ReferencesAll(proj.List)
+		switch child := proj.Child.(type) {
+		case *plan.InMemoryRelation:
+			rel, changed := pruneInMemory(child, needed)
+			if !changed {
+				return nil, false
+			}
+			return &plan.Project{List: proj.List, Child: rel}, true
+		case *plan.Filter:
+			mem, isMem := child.Child.(*plan.InMemoryRelation)
+			if !isMem || !child.Cond.Resolved() {
+				return nil, false
+			}
+			rel, changed := pruneInMemory(mem, needed.Union(expr.References(child.Cond)))
+			if !changed {
+				return nil, false
+			}
+			return &plan.Project{
+				List:  proj.List,
+				Child: &plan.Filter{Cond: child.Cond, Child: rel},
+			}, true
+		}
+		return nil, false
+	})
+}
+
+func pruneInMemory(m *plan.InMemoryRelation, needed expr.AttributeSet) (*plan.InMemoryRelation, bool) {
+	if m.PrunedOrdinals != nil {
+		return m, false
+	}
+	var attrs []*expr.AttributeReference
+	var ords []int
+	for i, a := range m.Attrs {
+		if needed.Contains(a.ID_) {
+			attrs = append(attrs, a)
+			ords = append(ords, i)
+		}
+	}
+	if len(attrs) == len(m.Attrs) || len(attrs) == 0 {
+		return m, false
+	}
+	c := *m
+	c.Attrs = attrs
+	c.PrunedOrdinals = ords
+	return &c, true
+}

@@ -1,0 +1,373 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// Join execution. The planner extracts equi-join keys from the join
+// condition; the residual (non-equi) condition is evaluated on each
+// candidate pair. Broadcast-vs-shuffled selection is the planner's
+// cost-based decision (paper §4.3.3).
+
+// joinOutput computes the output attributes for a join type.
+func joinOutput(t plan.JoinType, left, right []*expr.AttributeReference) []*expr.AttributeReference {
+	switch t {
+	case plan.LeftSemiJoin:
+		return left
+	case plan.LeftOuterJoin:
+		return append(append([]*expr.AttributeReference{}, left...), nullable(right)...)
+	case plan.RightOuterJoin:
+		return append(nullable(left), right...)
+	case plan.FullOuterJoin:
+		return append(nullable(left), nullable(right)...)
+	default:
+		return append(append([]*expr.AttributeReference{}, left...), right...)
+	}
+}
+
+func nullable(attrs []*expr.AttributeReference) []*expr.AttributeReference {
+	out := make([]*expr.AttributeReference, len(attrs))
+	for i, a := range attrs {
+		out[i] = a.WithNullable(true)
+	}
+	return out
+}
+
+// keyFunc builds the grouping key of a row under bound key evaluators.
+func keyFunc(evals []func(row.Row) any) func(row.Row) (string, bool) {
+	ords := make([]int, len(evals))
+	for i := range ords {
+		ords[i] = i
+	}
+	return func(r row.Row) (string, bool) {
+		kv := make(row.Row, len(evals))
+		for i, ev := range evals {
+			v := ev(r)
+			if v == nil {
+				return "", false // NULL keys never match in equi-joins
+			}
+			kv[i] = v
+		}
+		return row.GroupKey(kv, ords), true
+	}
+}
+
+func bindKeys(ctx *ExecContext, keys []expr.Expression, input []*expr.AttributeReference) []func(row.Row) any {
+	out := make([]func(row.Row) any, len(keys))
+	for i, k := range keys {
+		out[i] = ctx.evaluator(bind(k, input))
+	}
+	return out
+}
+
+// residualPred binds the residual condition over the concatenated
+// (left ++ right) row; nil condition means always true.
+func residualPred(ctx *ExecContext, cond expr.Expression, left, right []*expr.AttributeReference) func(l, r row.Row) bool {
+	if cond == nil {
+		return func(l, r row.Row) bool { return true }
+	}
+	input := append(append([]*expr.AttributeReference{}, left...), right...)
+	pred := ctx.predicate(bind(cond, input))
+	nl := len(left)
+	return func(l, r row.Row) bool {
+		joined := make(row.Row, nl+len(r))
+		copy(joined, l)
+		copy(joined[nl:], r)
+		return pred(joined)
+	}
+}
+
+func concatRows(l, r row.Row) row.Row {
+	out := make(row.Row, len(l)+len(r))
+	copy(out, l)
+	copy(out[len(l):], r)
+	return out
+}
+
+func nullRow(n int) row.Row { return make(row.Row, n) }
+
+// BroadcastHashJoinExec collects the build side once, broadcasts the hash
+// table, and streams the probe side with no shuffle — chosen when the build
+// side's estimated size is under the broadcast threshold (paper §4.3.3,
+// "for relations that are known to be small, Spark SQL uses a broadcast
+// join, using a peer-to-peer broadcast facility available in Spark").
+type BroadcastHashJoinExec struct {
+	Left, Right         SparkPlan
+	LeftKeys, RightKeys []expr.Expression
+	Type                plan.JoinType
+	Residual            expr.Expression
+	// BuildRight marks which side is collected (true = right).
+	BuildRight bool
+}
+
+func (j *BroadcastHashJoinExec) Children() []SparkPlan { return []SparkPlan{j.Left, j.Right} }
+func (j *BroadcastHashJoinExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	c := *j
+	c.Left, c.Right = children[0], children[1]
+	return &c
+}
+func (j *BroadcastHashJoinExec) Output() []*expr.AttributeReference {
+	return joinOutput(j.Type, j.Left.Output(), j.Right.Output())
+}
+func (j *BroadcastHashJoinExec) SimpleString() string {
+	side := "left"
+	if j.BuildRight {
+		side = "right"
+	}
+	return fmt.Sprintf("BroadcastHashJoin %s build=%s keys=[%s]=[%s]",
+		j.Type, side, exprListString(j.LeftKeys), exprListString(j.RightKeys))
+}
+func (j *BroadcastHashJoinExec) String() string { return Format(j) }
+
+func (j *BroadcastHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	leftOut, rightOut := j.Left.Output(), j.Right.Output()
+	match := residualPred(ctx, j.Residual, leftOut, rightOut)
+
+	if j.BuildRight {
+		buildKey := keyFunc(bindKeys(ctx, j.RightKeys, rightOut))
+		probeKey := keyFunc(bindKeys(ctx, j.LeftKeys, leftOut))
+		table := buildHashTable(j.Right.Execute(ctx).Collect(), buildKey)
+		bc := rdd.NewBroadcast(table)
+		nRight := len(rightOut)
+		return rdd.MapPartitions(j.Left.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+			var out []row.Row
+			for _, l := range in {
+				out = appendProbeRight(out, l, bc.Value(), probeKey, match, j.Type, nRight)
+			}
+			return out
+		})
+	}
+
+	// Build left, probe right (right-outer joins stream the right side).
+	buildKey := keyFunc(bindKeys(ctx, j.LeftKeys, leftOut))
+	probeKey := keyFunc(bindKeys(ctx, j.RightKeys, rightOut))
+	table := buildHashTable(j.Left.Execute(ctx).Collect(), buildKey)
+	bc := rdd.NewBroadcast(table)
+	nLeft := len(leftOut)
+	return rdd.MapPartitions(j.Right.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+		var out []row.Row
+		for _, r := range in {
+			out = appendProbeLeft(out, r, bc.Value(), probeKey, match, j.Type, nLeft)
+		}
+		return out
+	})
+}
+
+func buildHashTable(rows []row.Row, key func(row.Row) (string, bool)) map[string][]row.Row {
+	t := make(map[string][]row.Row, len(rows))
+	for _, r := range rows {
+		if k, ok := key(r); ok {
+			t[k] = append(t[k], r)
+		}
+	}
+	return t
+}
+
+// appendProbeRight joins probe row l (left) against a right-side hash table.
+func appendProbeRight(out []row.Row, l row.Row, table map[string][]row.Row,
+	probeKey func(row.Row) (string, bool), match func(l, r row.Row) bool,
+	t plan.JoinType, nRight int) []row.Row {
+	matched := false
+	if k, ok := probeKey(l); ok {
+		for _, r := range table[k] {
+			if match(l, r) {
+				matched = true
+				if t == plan.LeftSemiJoin {
+					return append(out, l)
+				}
+				out = append(out, concatRows(l, r))
+			}
+		}
+	}
+	if !matched && t == plan.LeftOuterJoin {
+		out = append(out, concatRows(l, nullRow(nRight)))
+	}
+	return out
+}
+
+// appendProbeLeft joins probe row r (right) against a left-side hash table.
+func appendProbeLeft(out []row.Row, r row.Row, table map[string][]row.Row,
+	probeKey func(row.Row) (string, bool), match func(l, r row.Row) bool,
+	t plan.JoinType, nLeft int) []row.Row {
+	matched := false
+	if k, ok := probeKey(r); ok {
+		for _, l := range table[k] {
+			if match(l, r) {
+				matched = true
+				out = append(out, concatRows(l, r))
+			}
+		}
+	}
+	if !matched && t == plan.RightOuterJoin {
+		out = append(out, concatRows(nullRow(nLeft), r))
+	}
+	return out
+}
+
+// ShuffledHashJoinExec hash-partitions both sides on the join keys and
+// joins partition-by-partition — the general path when neither side is
+// small enough to broadcast.
+type ShuffledHashJoinExec struct {
+	Left, Right         SparkPlan
+	LeftKeys, RightKeys []expr.Expression
+	Type                plan.JoinType
+	Residual            expr.Expression
+}
+
+func (j *ShuffledHashJoinExec) Children() []SparkPlan { return []SparkPlan{j.Left, j.Right} }
+func (j *ShuffledHashJoinExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	c := *j
+	c.Left, c.Right = children[0], children[1]
+	return &c
+}
+func (j *ShuffledHashJoinExec) Output() []*expr.AttributeReference {
+	return joinOutput(j.Type, j.Left.Output(), j.Right.Output())
+}
+func (j *ShuffledHashJoinExec) SimpleString() string {
+	return fmt.Sprintf("ShuffledHashJoin %s keys=[%s]=[%s]",
+		j.Type, exprListString(j.LeftKeys), exprListString(j.RightKeys))
+}
+func (j *ShuffledHashJoinExec) String() string { return Format(j) }
+
+func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	leftOut, rightOut := j.Left.Output(), j.Right.Output()
+	leftKey := keyFunc(bindKeys(ctx, j.LeftKeys, leftOut))
+	rightKey := keyFunc(bindKeys(ctx, j.RightKeys, rightOut))
+	match := residualPred(ctx, j.Residual, leftOut, rightOut)
+	n := ctx.ShufflePartitions
+
+	leftShuf := rdd.PartitionByHash(j.Left.Execute(ctx), n, func(r row.Row) uint64 {
+		k, ok := leftKey(r)
+		if !ok {
+			return 0
+		}
+		return row.HashValue(k)
+	})
+	rightShuf := rdd.PartitionByHash(j.Right.Execute(ctx), n, func(r row.Row) uint64 {
+		k, ok := rightKey(r)
+		if !ok {
+			return 0
+		}
+		return row.HashValue(k)
+	})
+
+	nLeft, nRight := len(leftOut), len(rightOut)
+	t := j.Type
+	return rdd.ZipPartitions(leftShuf, rightShuf, func(_ int, ls, rs []row.Row) []row.Row {
+		table := buildHashTable(rs, rightKey)
+		var out []row.Row
+		rightMatched := make(map[string][]bool)
+		if t == plan.FullOuterJoin {
+			for k, rows := range table {
+				rightMatched[k] = make([]bool, len(rows))
+			}
+			// NULL-key right rows never enter the hash table but must
+			// still appear null-extended in a full outer join.
+			for _, r := range rs {
+				if _, ok := rightKey(r); !ok {
+					out = append(out, concatRows(nullRow(nLeft), r))
+				}
+			}
+		}
+		for _, l := range ls {
+			matched := false
+			if k, ok := leftKey(l); ok {
+				for i, r := range table[k] {
+					if match(l, r) {
+						matched = true
+						if t == plan.LeftSemiJoin {
+							break
+						}
+						if t == plan.FullOuterJoin {
+							rightMatched[k][i] = true
+						}
+						out = append(out, concatRows(l, r))
+					}
+				}
+			}
+			switch {
+			case t == plan.LeftSemiJoin && matched:
+				out = append(out, l)
+			case !matched && (t == plan.LeftOuterJoin || t == plan.FullOuterJoin):
+				out = append(out, concatRows(l, nullRow(nRight)))
+			}
+		}
+		if t == plan.RightOuterJoin {
+			// Re-probe from the right for unmatched right rows.
+			ltable := buildHashTable(ls, leftKey)
+			out = out[:0]
+			for _, r := range rs {
+				out = appendProbeLeft(out, r, ltable, rightKey, match, t, nLeft)
+			}
+		}
+		if t == plan.FullOuterJoin {
+			for k, rows := range table {
+				for i, r := range rows {
+					if !rightMatched[k][i] {
+						out = append(out, concatRows(nullRow(nLeft), r))
+					}
+				}
+			}
+		}
+		return out
+	})
+}
+
+// NestedLoopJoinExec handles joins without equi-keys by collecting the
+// right side and testing every pair — the fallback the paper's §7.2 range-
+// join research motivates replacing.
+type NestedLoopJoinExec struct {
+	Left, Right SparkPlan
+	Type        plan.JoinType
+	Cond        expr.Expression
+}
+
+func (j *NestedLoopJoinExec) Children() []SparkPlan { return []SparkPlan{j.Left, j.Right} }
+func (j *NestedLoopJoinExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	c := *j
+	c.Left, c.Right = children[0], children[1]
+	return &c
+}
+func (j *NestedLoopJoinExec) Output() []*expr.AttributeReference {
+	return joinOutput(j.Type, j.Left.Output(), j.Right.Output())
+}
+func (j *NestedLoopJoinExec) SimpleString() string {
+	return fmt.Sprintf("NestedLoopJoin %s %v", j.Type, j.Cond)
+}
+func (j *NestedLoopJoinExec) String() string { return Format(j) }
+
+func (j *NestedLoopJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	leftOut, rightOut := j.Left.Output(), j.Right.Output()
+	match := residualPred(ctx, j.Cond, leftOut, rightOut)
+	rightRows := j.Right.Execute(ctx).Collect()
+	bc := rdd.NewBroadcast(rightRows)
+	nRight := len(rightOut)
+	t := j.Type
+	return rdd.MapPartitions(j.Left.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+		var out []row.Row
+		for _, l := range in {
+			matched := false
+			for _, r := range bc.Value() {
+				if match(l, r) {
+					matched = true
+					if t == plan.LeftSemiJoin {
+						break
+					}
+					out = append(out, concatRows(l, r))
+				}
+			}
+			switch {
+			case t == plan.LeftSemiJoin && matched:
+				out = append(out, l)
+			case !matched && t == plan.LeftOuterJoin:
+				out = append(out, concatRows(l, nullRow(nRight)))
+			}
+		}
+		return out
+	})
+}

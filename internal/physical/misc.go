@@ -1,0 +1,145 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// SortExec orders rows. A global sort coalesces to a single partition (this
+// in-process engine's stand-in for Spark's range-partitioned sort); a local
+// sort orders within each partition.
+type SortExec struct {
+	Orders []*expr.SortOrder
+	Global bool
+	Child  SparkPlan
+}
+
+func (s *SortExec) Children() []SparkPlan { return []SparkPlan{s.Child} }
+func (s *SortExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return &SortExec{Orders: s.Orders, Global: s.Global, Child: children[0]}
+}
+func (s *SortExec) Output() []*expr.AttributeReference { return s.Child.Output() }
+func (s *SortExec) SimpleString() string {
+	os := make([]expr.Expression, len(s.Orders))
+	for i, o := range s.Orders {
+		os[i] = o
+	}
+	return fmt.Sprintf("Sort [%s] global=%v", exprListString(os), s.Global)
+}
+func (s *SortExec) String() string { return Format(s) }
+
+func (s *SortExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	input := s.Child.Output()
+	evals := make([]func(row.Row) any, len(s.Orders))
+	desc := make([]bool, len(s.Orders))
+	for i, o := range s.Orders {
+		evals[i] = ctx.evaluator(bind(o.Child, input))
+		desc[i] = o.Descending
+	}
+	less := func(a, b row.Row) bool {
+		for i, ev := range evals {
+			c := row.Compare(ev(a), ev(b))
+			if desc[i] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+	child := s.Child.Execute(ctx)
+	if s.Global {
+		child = rdd.Coalesce(child, 1)
+	}
+	return rdd.MapPartitions(child, func(_ int, in []row.Row) []row.Row {
+		out := make([]row.Row, len(in))
+		copy(out, in)
+		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+		return out
+	})
+}
+
+// LimitExec keeps the first N rows, scanning partitions in order.
+type LimitExec struct {
+	N     int
+	Child SparkPlan
+}
+
+func (l *LimitExec) Children() []SparkPlan { return []SparkPlan{l.Child} }
+func (l *LimitExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return &LimitExec{N: l.N, Child: children[0]}
+}
+func (l *LimitExec) Output() []*expr.AttributeReference { return l.Child.Output() }
+func (l *LimitExec) SimpleString() string               { return fmt.Sprintf("Limit %d", l.N) }
+func (l *LimitExec) String() string                     { return Format(l) }
+
+func (l *LimitExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	taken := rdd.Take(l.Child.Execute(ctx), l.N)
+	return rdd.Parallelize(ctx.RDD, taken, 1)
+}
+
+// UnionExec concatenates children partitions.
+type UnionExec struct {
+	Kids []SparkPlan
+}
+
+func (u *UnionExec) Children() []SparkPlan { return u.Kids }
+func (u *UnionExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return &UnionExec{Kids: children}
+}
+func (u *UnionExec) Output() []*expr.AttributeReference { return u.Kids[0].Output() }
+func (u *UnionExec) SimpleString() string               { return "Union" }
+func (u *UnionExec) String() string                     { return Format(u) }
+
+func (u *UnionExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	out := u.Kids[0].Execute(ctx)
+	for _, k := range u.Kids[1:] {
+		out = rdd.Union(out, k.Execute(ctx))
+	}
+	return out
+}
+
+// SampleExec keeps a deterministic pseudo-random fraction of rows using a
+// splittable hash of (seed, partition, index).
+type SampleExec struct {
+	Fraction float64
+	Seed     int64
+	Child    SparkPlan
+}
+
+func (s *SampleExec) Children() []SparkPlan { return []SparkPlan{s.Child} }
+func (s *SampleExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return &SampleExec{Fraction: s.Fraction, Seed: s.Seed, Child: children[0]}
+}
+func (s *SampleExec) Output() []*expr.AttributeReference { return s.Child.Output() }
+func (s *SampleExec) SimpleString() string {
+	return fmt.Sprintf("Sample %.3f seed=%d", s.Fraction, s.Seed)
+}
+func (s *SampleExec) String() string { return Format(s) }
+
+func (s *SampleExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	frac := s.Fraction
+	seed := uint64(s.Seed)
+	return rdd.MapPartitions(s.Child.Execute(ctx), func(p int, in []row.Row) []row.Row {
+		out := make([]row.Row, 0, int(float64(len(in))*frac)+1)
+		for i, r := range in {
+			if splitmix(seed^uint64(p)<<32^uint64(i)) < uint64(float64(^uint64(0))*frac) {
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+}
+
+// splitmix is SplitMix64 — a cheap, deterministic, well-distributed hash.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,503 @@
+package physical
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func execCtx(codegen bool) *ExecContext {
+	return &ExecContext{RDD: rdd.NewContext(4), Codegen: codegen, ShufflePartitions: 3}
+}
+
+func attrsOf(names []string, ts []types.DataType) []*expr.AttributeReference {
+	out := make([]*expr.AttributeReference, len(names))
+	for i := range names {
+		out[i] = expr.NewAttribute(names[i], ts[i], true)
+	}
+	return out
+}
+
+func collect(t *testing.T, p SparkPlan, ctx *ExecContext) []row.Row {
+	t.Helper()
+	return p.Execute(ctx).Collect()
+}
+
+func sortRows(rows []row.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		return row.Compare(rows[i], rows[j]) < 0
+	})
+}
+
+func rowsEqual(a, b []row.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortRows(a)
+	sortRows(b)
+	for i := range a {
+		if row.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProjectAndFilterExec(t *testing.T) {
+	attrs := attrsOf([]string{"a"}, []types.DataType{types.Int})
+	scan := NewLocalScan(attrs, []row.Row{{int32(1)}, {int32(2)}, {int32(3)}, {nil}})
+	p := &ProjectExec{
+		List:  []expr.Expression{expr.NewAlias(expr.Add(attrs[0], expr.Lit(int32(10))), "a10")},
+		Child: &FilterExec{Cond: expr.GT(attrs[0], expr.Lit(int32(1))), Child: scan},
+	}
+	for _, codegen := range []bool{true, false} {
+		got := collect(t, p, execCtx(codegen))
+		if len(got) != 2 {
+			t.Fatalf("codegen=%v rows=%v", codegen, got)
+		}
+	}
+}
+
+func TestPipelineCollapseEquivalence(t *testing.T) {
+	attrs := attrsOf([]string{"a", "b"}, []types.DataType{types.Int, types.Int})
+	var rows []row.Row
+	for i := 0; i < 100; i++ {
+		rows = append(rows, row.Row{int32(i), int32(i % 7)})
+	}
+	scan := NewLocalScan(attrs, rows)
+	f1 := &FilterExec{Cond: expr.GT(attrs[0], expr.Lit(int32(10))), Child: scan}
+	p1 := &ProjectExec{
+		List: []expr.Expression{
+			attrs[0],
+			expr.NewAlias(expr.Mul(attrs[1], expr.Lit(int32(2))), "b2"),
+		},
+		Child: f1,
+	}
+	var plain SparkPlan = &FilterExec{Cond: expr.LT(p1.Output()[1], expr.Lit(int32(10))), Child: p1}
+	// Collapse builds a new tree (operators are immutable), so the same
+	// plan can execute both ways.
+	collapsed := Collapse(plain)
+	if _, isPipe := collapsed.(*PipelineExec); !isPipe {
+		t.Fatalf("chain should fuse into a pipeline, got %T", collapsed)
+	}
+	if got := len(collapsed.(*PipelineExec).Stages); got != 3 {
+		t.Fatalf("fused stages = %d, want 3", got)
+	}
+	a := collect(t, plain, execCtx(true))
+	b := collect(t, collapsed, execCtx(true))
+	if !rowsEqual(a, b) {
+		t.Fatalf("collapse changed results: %v vs %v", a, b)
+	}
+	// Output schema matches too.
+	if attrsString(plain.Output()) != attrsString(collapsed.Output()) {
+		t.Fatalf("output mismatch: %v vs %v", plain.Output(), collapsed.Output())
+	}
+}
+
+func TestHashAggregateGroupedAndGlobal(t *testing.T) {
+	attrs := attrsOf([]string{"k", "v"}, []types.DataType{types.Int, types.Int})
+	rows := []row.Row{
+		{int32(1), int32(10)},
+		{int32(2), int32(20)},
+		{int32(1), int32(30)},
+		{int32(2), nil},
+	}
+	scan := NewLocalScan(attrs, rows)
+	agg := &HashAggregateExec{
+		Grouping: []expr.Expression{attrs[0]},
+		Aggs: []expr.Expression{
+			attrs[0],
+			expr.NewAlias(&expr.Sum{Child: attrs[1]}, "s"),
+			expr.NewAlias(&expr.Count{Child: attrs[1]}, "c"),
+			expr.NewAlias(&expr.Avg{Child: attrs[1]}, "a"),
+		},
+		Child: scan,
+	}
+	for _, codegen := range []bool{true, false} { // covers fast + generic paths
+		got := collect(t, agg, execCtx(codegen))
+		if len(got) != 2 {
+			t.Fatalf("groups = %v", got)
+		}
+		byKey := map[int32]row.Row{}
+		for _, r := range got {
+			byKey[r[0].(int32)] = r
+		}
+		if byKey[1][1] != int64(40) || byKey[1][2] != int64(2) || byKey[1][3] != 20.0 {
+			t.Fatalf("codegen=%v group1 = %v", codegen, byKey[1])
+		}
+		if byKey[2][1] != int64(20) || byKey[2][2] != int64(1) {
+			t.Fatalf("codegen=%v group2 = %v", codegen, byKey[2])
+		}
+	}
+
+	// Global aggregate over empty input yields a single row.
+	empty := NewLocalScan(attrs, nil)
+	global := &HashAggregateExec{
+		Aggs: []expr.Expression{
+			expr.NewAlias(expr.NewCountStar(), "n"),
+			expr.NewAlias(&expr.Sum{Child: attrs[1]}, "s"),
+		},
+		Child: empty,
+	}
+	got := collect(t, global, execCtx(true))
+	if len(got) != 1 || got[0][0] != int64(0) || got[0][1] != nil {
+		t.Fatalf("empty global agg = %v", got)
+	}
+}
+
+func TestAggregateWithExpressionOverAggs(t *testing.T) {
+	// avg(v) embedded in an arithmetic expression + grouping expr reuse:
+	// the splitAggregates machinery.
+	attrs := attrsOf([]string{"k", "v"}, []types.DataType{types.Int, types.Int})
+	rows := []row.Row{{int32(1), int32(10)}, {int32(1), int32(20)}}
+	agg := &HashAggregateExec{
+		Grouping: []expr.Expression{attrs[0]},
+		Aggs: []expr.Expression{
+			expr.NewAlias(expr.Add(expr.NewCast(attrs[0], types.Double), &expr.Avg{Child: attrs[1]}), "kPlusAvg"),
+		},
+		Child: NewLocalScan(attrs, rows),
+	}
+	got := collect(t, agg, execCtx(true))
+	if len(got) != 1 || got[0][0] != 16.0 { // 1 + 15
+		t.Fatalf("got %v", got)
+	}
+}
+
+// referenceJoin is a straightforward nested-loop implementation used as the
+// oracle for the hash join property tests.
+func referenceJoin(left, right []row.Row, jt plan.JoinType, key func(row.Row) any, match func(l, r row.Row) bool) []row.Row {
+	var out []row.Row
+	rightMatched := make([]bool, len(right))
+	for _, l := range left {
+		matched := false
+		for ri, r := range right {
+			lk, rk := key(l), key(r)
+			if lk == nil || rk == nil || !row.Equal(lk, rk) || !match(l, r) {
+				continue
+			}
+			matched = true
+			rightMatched[ri] = true
+			if jt != plan.LeftSemiJoin {
+				joined := append(append(row.Row{}, l...), r...)
+				out = append(out, joined)
+			}
+		}
+		switch {
+		case jt == plan.LeftSemiJoin && matched:
+			out = append(out, l)
+		case !matched && (jt == plan.LeftOuterJoin || jt == plan.FullOuterJoin):
+			out = append(out, append(append(row.Row{}, l...), make(row.Row, len(right[0]))...))
+		}
+	}
+	if jt == plan.RightOuterJoin || jt == plan.FullOuterJoin {
+		for ri, r := range right {
+			if !rightMatched[ri] {
+				out = append(out, append(make(row.Row, len(left[0])), r...))
+			}
+		}
+	}
+	if jt == plan.RightOuterJoin {
+		// inner pairs plus unmatched right; rebuild inner pairs.
+		out = nil
+		for _, l := range left {
+			for _, r := range right {
+				lk, rk := key(l), key(r)
+				if lk != nil && rk != nil && row.Equal(lk, rk) && match(l, r) {
+					out = append(out, append(append(row.Row{}, l...), r...))
+				}
+			}
+		}
+		for ri, r := range right {
+			if !rightMatched[ri] {
+				out = append(out, append(make(row.Row, len(left[0])), r...))
+			}
+		}
+	}
+	return out
+}
+
+func randomJoinData(rng *rand.Rand, n int) []row.Row {
+	out := make([]row.Row, n)
+	for i := range out {
+		var k any
+		if rng.Intn(8) == 0 {
+			k = nil // NULL keys never match
+		} else {
+			k = int32(rng.Intn(6))
+		}
+		out[i] = row.Row{k, int32(i)}
+	}
+	return out
+}
+
+// Property: broadcast and shuffled hash joins agree with the nested-loop
+// oracle for every join type, including NULL keys.
+func TestHashJoinsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	joinTypes := []plan.JoinType{
+		plan.InnerJoin, plan.LeftOuterJoin, plan.RightOuterJoin,
+		plan.FullOuterJoin, plan.LeftSemiJoin,
+	}
+	for trial := 0; trial < 20; trial++ {
+		leftRows := randomJoinData(rng, 1+rng.Intn(30))
+		rightRows := randomJoinData(rng, 1+rng.Intn(30))
+		leftAttrs := attrsOf([]string{"lk", "lv"}, []types.DataType{types.Int, types.Int})
+		rightAttrs := attrsOf([]string{"rk", "rv"}, []types.DataType{types.Int, types.Int})
+		leftScan := NewLocalScan(leftAttrs, leftRows)
+		rightScan := NewLocalScan(rightAttrs, rightRows)
+
+		for _, jt := range joinTypes {
+			want := referenceJoin(leftRows, rightRows, jt,
+				func(r row.Row) any { return r[0] },
+				func(l, r row.Row) bool { return true })
+
+			shuffled := &ShuffledHashJoinExec{
+				Left: leftScan, Right: rightScan,
+				LeftKeys:  []expr.Expression{leftAttrs[0]},
+				RightKeys: []expr.Expression{rightAttrs[0]},
+				Type:      jt,
+			}
+			got := collect(t, shuffled, execCtx(true))
+			if !rowsEqual(got, append([]row.Row{}, want...)) {
+				t.Fatalf("trial %d %s shuffled: got %d rows, want %d\n%v\n%v",
+					trial, jt, len(got), len(want), got, want)
+			}
+
+			// Broadcast variants where supported.
+			if jt == plan.InnerJoin || jt == plan.LeftOuterJoin || jt == plan.LeftSemiJoin {
+				bc := &BroadcastHashJoinExec{
+					Left: leftScan, Right: rightScan,
+					LeftKeys:  []expr.Expression{leftAttrs[0]},
+					RightKeys: []expr.Expression{rightAttrs[0]},
+					Type:      jt, BuildRight: true,
+				}
+				got := collect(t, bc, execCtx(true))
+				if !rowsEqual(got, append([]row.Row{}, want...)) {
+					t.Fatalf("trial %d %s broadcast-right mismatch", trial, jt)
+				}
+			}
+			if jt == plan.InnerJoin || jt == plan.RightOuterJoin {
+				bc := &BroadcastHashJoinExec{
+					Left: leftScan, Right: rightScan,
+					LeftKeys:  []expr.Expression{leftAttrs[0]},
+					RightKeys: []expr.Expression{rightAttrs[0]},
+					Type:      jt, BuildRight: false,
+				}
+				got := collect(t, bc, execCtx(true))
+				if !rowsEqual(got, append([]row.Row{}, want...)) {
+					t.Fatalf("trial %d %s broadcast-left mismatch", trial, jt)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinResidualCondition(t *testing.T) {
+	leftAttrs := attrsOf([]string{"lk", "lv"}, []types.DataType{types.Int, types.Int})
+	rightAttrs := attrsOf([]string{"rk", "rv"}, []types.DataType{types.Int, types.Int})
+	leftRows := []row.Row{{int32(1), int32(5)}, {int32(1), int32(50)}}
+	rightRows := []row.Row{{int32(1), int32(10)}}
+	j := &ShuffledHashJoinExec{
+		Left:      NewLocalScan(leftAttrs, leftRows),
+		Right:     NewLocalScan(rightAttrs, rightRows),
+		LeftKeys:  []expr.Expression{leftAttrs[0]},
+		RightKeys: []expr.Expression{rightAttrs[0]},
+		Type:      plan.InnerJoin,
+		Residual:  expr.LT(leftAttrs[1], rightAttrs[1]), // lv < rv
+	}
+	got := collect(t, j, execCtx(true))
+	if len(got) != 1 || got[0][1] != int32(5) {
+		t.Fatalf("residual filter wrong: %v", got)
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	leftAttrs := attrsOf([]string{"a"}, []types.DataType{types.Int})
+	rightAttrs := attrsOf([]string{"b"}, []types.DataType{types.Int})
+	left := NewLocalScan(leftAttrs, []row.Row{{int32(1)}, {int32(5)}})
+	right := NewLocalScan(rightAttrs, []row.Row{{int32(3)}, {int32(7)}})
+	j := &NestedLoopJoinExec{
+		Left: left, Right: right,
+		Type: plan.InnerJoin,
+		Cond: expr.LT(leftAttrs[0], rightAttrs[0]),
+	}
+	got := collect(t, j, execCtx(true))
+	// pairs with a<b: (1,3), (1,7), (5,7)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSortExec(t *testing.T) {
+	attrs := attrsOf([]string{"a", "b"}, []types.DataType{types.Int, types.String})
+	rows := []row.Row{
+		{int32(3), "c"}, {int32(1), "a"}, {nil, "n"}, {int32(2), "b"}, {int32(1), "z"},
+	}
+	s := &SortExec{
+		Orders: []*expr.SortOrder{expr.Asc(attrs[0]), expr.Desc(attrs[1])},
+		Global: true,
+		Child:  NewLocalScan(attrs, rows),
+	}
+	got := collect(t, s, execCtx(true))
+	// NULLS FIRST ascending; ties broken by b DESC.
+	if got[0][0] != nil || got[1][1] != "z" || got[2][1] != "a" || got[4][0] != int32(3) {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+func TestLimitAndUnionExec(t *testing.T) {
+	attrs := attrsOf([]string{"a"}, []types.DataType{types.Int})
+	rows := make([]row.Row, 10)
+	for i := range rows {
+		rows[i] = row.Row{int32(i)}
+	}
+	scan := NewLocalScan(attrs, rows)
+	l := &LimitExec{N: 4, Child: scan}
+	if got := collect(t, l, execCtx(true)); len(got) != 4 {
+		t.Fatalf("limit = %v", got)
+	}
+	u := &UnionExec{Kids: []SparkPlan{scan, scan}}
+	if got := collect(t, u, execCtx(true)); len(got) != 20 {
+		t.Fatalf("union = %d rows", len(got))
+	}
+}
+
+func TestDistinctExec(t *testing.T) {
+	attrs := attrsOf([]string{"a", "b"}, []types.DataType{types.Int, types.String})
+	rows := []row.Row{
+		{int32(1), "x"}, {int32(1), "x"}, {int32(1), "y"}, {nil, "x"}, {nil, "x"},
+	}
+	d := &DistinctExec{Child: NewLocalScan(attrs, rows)}
+	got := collect(t, d, execCtx(true))
+	if len(got) != 3 {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestSampleExecDeterministic(t *testing.T) {
+	attrs := attrsOf([]string{"a"}, []types.DataType{types.Int})
+	rows := make([]row.Row, 1000)
+	for i := range rows {
+		rows[i] = row.Row{int32(i)}
+	}
+	s := &SampleExec{Fraction: 0.3, Seed: 11, Child: NewLocalScan(attrs, rows)}
+	a := collect(t, s, execCtx(true))
+	b := collect(t, s, execCtx(true))
+	if !rowsEqual(a, b) {
+		t.Fatal("sampling must be deterministic for a fixed seed")
+	}
+	if len(a) < 200 || len(a) > 400 {
+		t.Fatalf("sample size %d far from 300", len(a))
+	}
+}
+
+func TestRangeScanExec(t *testing.T) {
+	attr := expr.NewAttribute("id", types.Long, false)
+	r := NewRangeScan(attr, 0, 10, 1, 3)
+	got := collect(t, r, execCtx(true))
+	if len(got) != 10 || got[0][0] != int64(0) || got[9][0] != int64(9) {
+		t.Fatalf("range = %v", got)
+	}
+}
+
+// Planner-level tests.
+
+func plannerFor(threshold int64) *Planner {
+	cfg := DefaultPlannerConfig()
+	cfg.BroadcastThreshold = threshold
+	return NewPlanner(cfg)
+}
+
+func TestPlannerJoinSelection(t *testing.T) {
+	left := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "a", Type: types.Int, Nullable: false},
+	), []row.Row{{int32(1)}})
+	right := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "b", Type: types.Int, Nullable: false},
+	), []row.Row{{int32(1)}})
+	j := &plan.Join{
+		Left: left, Right: right, Type: plan.InnerJoin,
+		Cond: expr.EQ(left.Attrs[0], right.Attrs[0]),
+	}
+	// Tiny tables broadcast.
+	p, err := plannerFor(1 << 20).Plan(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*BroadcastHashJoinExec); !ok {
+		t.Fatalf("small table should broadcast, got %T", p)
+	}
+	// Threshold 0: everything shuffles.
+	p, err = plannerFor(0).Plan(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*ShuffledHashJoinExec); !ok {
+		t.Fatalf("expected shuffled join, got %T", p)
+	}
+	// No equi keys: nested loop.
+	nl := &plan.Join{
+		Left: left, Right: right, Type: plan.InnerJoin,
+		Cond: expr.LT(left.Attrs[0], right.Attrs[0]),
+	}
+	p, err = plannerFor(1 << 20).Plan(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*NestedLoopJoinExec); !ok {
+		t.Fatalf("expected nested loop, got %T", p)
+	}
+}
+
+func TestExtractEquiKeys(t *testing.T) {
+	left := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "a", Type: types.Int, Nullable: false},
+	), nil)
+	right := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "b", Type: types.Int, Nullable: false},
+	), nil)
+	j := &plan.Join{
+		Left: left, Right: right, Type: plan.InnerJoin,
+		Cond: &expr.And{
+			Left:  expr.EQ(right.Attrs[0], left.Attrs[0]), // flipped sides
+			Right: expr.LT(left.Attrs[0], expr.Lit(int32(9))),
+		},
+	}
+	lk, rk, residual := ExtractEquiKeys(j)
+	if len(lk) != 1 || len(rk) != 1 {
+		t.Fatalf("keys = %v %v", lk, rk)
+	}
+	if lk[0].(*expr.AttributeReference).ID_ != left.Attrs[0].ID_ {
+		t.Error("flipped equi-key should normalize to left side")
+	}
+	if residual == nil || !strings.Contains(residual.String(), "< 9") {
+		t.Errorf("residual = %v", residual)
+	}
+}
+
+func TestPlannerStrategyExtension(t *testing.T) {
+	rel := plan.NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "a", Type: types.Int, Nullable: false},
+	), nil)
+	pl := plannerFor(1 << 20)
+	claimed := false
+	pl.Strategies = append(pl.Strategies, func(p *Planner, lp plan.LogicalPlan) (SparkPlan, bool, error) {
+		if _, ok := lp.(*plan.LocalRelation); ok {
+			claimed = true
+		}
+		return nil, false, nil // observe but decline
+	})
+	if _, err := pl.Plan(rel); err != nil {
+		t.Fatal(err)
+	}
+	if !claimed {
+		t.Error("custom strategies must be consulted")
+	}
+}

@@ -1,0 +1,188 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// ProjectExec evaluates a projection list per row.
+type ProjectExec struct {
+	List  []expr.Expression
+	Child SparkPlan
+}
+
+func (p *ProjectExec) Children() []SparkPlan { return []SparkPlan{p.Child} }
+func (p *ProjectExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return &ProjectExec{List: p.List, Child: children[0]}
+}
+func (p *ProjectExec) Output() []*expr.AttributeReference {
+	out := make([]*expr.AttributeReference, len(p.List))
+	for i, e := range p.List {
+		out[i] = e.(expr.Named).ToAttribute()
+	}
+	return out
+}
+func (p *ProjectExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	bound := bindAll(p.List, p.Child.Output())
+	evals := make([]func(row.Row) any, len(bound))
+	for i, e := range bound {
+		evals[i] = ctx.evaluator(e)
+	}
+	return rdd.Map(p.Child.Execute(ctx), func(r row.Row) row.Row {
+		out := make(row.Row, len(evals))
+		for i, ev := range evals {
+			out[i] = ev(r)
+		}
+		return out
+	})
+}
+func (p *ProjectExec) SimpleString() string { return "Project [" + exprListString(p.List) + "]" }
+func (p *ProjectExec) String() string       { return Format(p) }
+
+// FilterExec keeps rows matching the predicate.
+type FilterExec struct {
+	Cond  expr.Expression
+	Child SparkPlan
+}
+
+func (f *FilterExec) Children() []SparkPlan { return []SparkPlan{f.Child} }
+func (f *FilterExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return &FilterExec{Cond: f.Cond, Child: children[0]}
+}
+func (f *FilterExec) Output() []*expr.AttributeReference { return f.Child.Output() }
+func (f *FilterExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	pred := ctx.predicate(bind(f.Cond, f.Child.Output()))
+	return rdd.Filter(f.Child.Execute(ctx), func(r row.Row) bool { return pred(r) })
+}
+func (f *FilterExec) SimpleString() string { return fmt.Sprintf("Filter %s", f.Cond) }
+func (f *FilterExec) String() string       { return Format(f) }
+
+// stage is one step of a fused pipeline.
+type stage struct {
+	isFilter bool
+	cond     expr.Expression   // when isFilter
+	list     []expr.Expression // when !isFilter
+}
+
+// PipelineExec fuses a chain of projections and filters into a single
+// MapPartitions pass — the paper's §4.3.3 rule-based physical optimization
+// ("pipelining projections or filters into one Spark map operation"). The
+// CollapsePipelines preparation rule builds these from adjacent
+// Project/Filter operators.
+type PipelineExec struct {
+	// Stages are listed bottom (first applied) to top.
+	Stages []stage
+	Child  SparkPlan
+}
+
+func (p *PipelineExec) Children() []SparkPlan { return []SparkPlan{p.Child} }
+func (p *PipelineExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return &PipelineExec{Stages: p.Stages, Child: children[0]}
+}
+func (p *PipelineExec) Output() []*expr.AttributeReference {
+	attrs := p.Child.Output()
+	for _, st := range p.Stages {
+		if !st.isFilter {
+			out := make([]*expr.AttributeReference, len(st.list))
+			for i, e := range st.list {
+				out[i] = e.(expr.Named).ToAttribute()
+			}
+			attrs = out
+		}
+	}
+	return attrs
+}
+
+// compiledStage is a stage bound and compiled against its input schema.
+type compiledStage struct {
+	isFilter bool
+	pred     func(row.Row) bool
+	evals    []func(row.Row) any
+}
+
+func (p *PipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	attrs := p.Child.Output()
+	stages := make([]compiledStage, len(p.Stages))
+	for i, st := range p.Stages {
+		if st.isFilter {
+			stages[i] = compiledStage{isFilter: true, pred: ctx.predicate(bind(st.cond, attrs))}
+			continue
+		}
+		bound := bindAll(st.list, attrs)
+		evals := make([]func(row.Row) any, len(bound))
+		for j, e := range bound {
+			evals[j] = ctx.evaluator(e)
+		}
+		stages[i] = compiledStage{evals: evals}
+		out := make([]*expr.AttributeReference, len(st.list))
+		for j, e := range st.list {
+			out[j] = e.(expr.Named).ToAttribute()
+		}
+		attrs = out
+	}
+	return rdd.MapPartitions(p.Child.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+		out := make([]row.Row, 0, len(in))
+	rows:
+		for _, r := range in {
+			for _, st := range stages {
+				if st.isFilter {
+					if !st.pred(r) {
+						continue rows
+					}
+					continue
+				}
+				next := make(row.Row, len(st.evals))
+				for i, ev := range st.evals {
+					next[i] = ev(r)
+				}
+				r = next
+			}
+			out = append(out, r)
+		}
+		return out
+	})
+}
+func (p *PipelineExec) SimpleString() string {
+	return fmt.Sprintf("WholeStagePipeline (%d stages)", len(p.Stages))
+}
+func (p *PipelineExec) String() string { return Format(p) }
+
+// Collapse is the physical preparation rule fusing adjacent Project/Filter
+// operators into PipelineExec nodes, bottom-up.
+func Collapse(p SparkPlan) SparkPlan {
+	children := p.Children()
+	if len(children) > 0 {
+		newChildren := make([]SparkPlan, len(children))
+		changed := false
+		for i, c := range children {
+			nc := Collapse(c)
+			newChildren[i] = nc
+			if nc != c {
+				changed = true
+			}
+		}
+		if changed {
+			p = p.WithNewChildren(newChildren)
+		}
+	}
+	switch n := p.(type) {
+	case *ProjectExec:
+		return fuse(stage{list: n.List}, n.Child)
+	case *FilterExec:
+		return fuse(stage{isFilter: true, cond: n.Cond}, n.Child)
+	}
+	return p
+}
+
+func fuse(top stage, child SparkPlan) SparkPlan {
+	if pipe, ok := child.(*PipelineExec); ok {
+		stages := make([]stage, 0, len(pipe.Stages)+1)
+		stages = append(stages, pipe.Stages...)
+		stages = append(stages, top)
+		return &PipelineExec{Stages: stages, Child: pipe.Child}
+	}
+	return &PipelineExec{Stages: []stage{top}, Child: child}
+}

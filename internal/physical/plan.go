@@ -1,0 +1,104 @@
+// Package physical implements physical planning and execution (paper
+// §4.3.3): strategies translate an optimized logical plan into physical
+// operators over the RDD engine, with a cost model selecting broadcast
+// versus shuffled hash joins, rule-based physical optimizations that
+// pipeline projections and filters into one map operation, and a choice
+// between compiled (closure-fused) and interpreted expression evaluation
+// (§4.3.4).
+package physical
+
+import (
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// ExecContext carries execution-wide configuration.
+type ExecContext struct {
+	// RDD is the task execution context.
+	RDD *rdd.Context
+	// Codegen selects compiled closures (true) or the tree-walking
+	// interpreter (false) for expression evaluation — the Figure 4 knob.
+	Codegen bool
+	// ShufflePartitions is the reducer count for exchanges.
+	ShufflePartitions int
+}
+
+// evaluator builds a row evaluator for a bound expression honoring the
+// codegen setting.
+func (ctx *ExecContext) evaluator(e expr.Expression) func(row.Row) any {
+	if ctx.Codegen {
+		return expr.Compile(e)
+	}
+	return e.Eval
+}
+
+// predicate builds a filter (NULL = reject) honoring the codegen setting.
+func (ctx *ExecContext) predicate(e expr.Expression) func(row.Row) bool {
+	if ctx.Codegen {
+		return expr.CompilePredicate(e)
+	}
+	return func(r row.Row) bool { return e.Eval(r) == true }
+}
+
+// SparkPlan is a physical operator. Execute is called once per query; the
+// resulting RDD is lazy.
+type SparkPlan interface {
+	Children() []SparkPlan
+	WithNewChildren(children []SparkPlan) SparkPlan
+	// Output lists the attributes the operator produces, in row order.
+	Output() []*expr.AttributeReference
+	// Execute builds the operator's RDD.
+	Execute(ctx *ExecContext) *rdd.RDD[row.Row]
+	SimpleString() string
+	String() string
+}
+
+// Format renders a physical plan subtree with indentation.
+func Format(p SparkPlan) string {
+	var sb strings.Builder
+	writeTree(&sb, p, 0)
+	return sb.String()
+}
+
+func writeTree(sb *strings.Builder, p SparkPlan, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+	sb.WriteString(p.SimpleString())
+	sb.WriteByte('\n')
+	for _, c := range p.Children() {
+		writeTree(sb, c, depth+1)
+	}
+}
+
+// bind rewrites attributes in e to ordinals of the input attribute list.
+func bind(e expr.Expression, input []*expr.AttributeReference) expr.Expression {
+	return expr.MustBind(e, input)
+}
+
+func bindAll(exprs []expr.Expression, input []*expr.AttributeReference) []expr.Expression {
+	out := make([]expr.Expression, len(exprs))
+	for i, e := range exprs {
+		out[i] = bind(e, input)
+	}
+	return out
+}
+
+func exprListString(exprs []expr.Expression) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func attrsString(attrs []*expr.AttributeReference) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

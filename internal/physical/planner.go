@@ -1,0 +1,308 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/datasource"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/row"
+)
+
+// PlannerConfig carries the knobs of physical planning.
+type PlannerConfig struct {
+	// BroadcastThreshold is the maximum estimated size in bytes for a join
+	// side to be broadcast (paper §4.3.3; Spark's default is 10 MB).
+	BroadcastThreshold int64
+	// CollapsePipelines enables the Project/Filter fusion preparation rule.
+	CollapsePipelines bool
+}
+
+// DefaultPlannerConfig mirrors Spark's defaults.
+func DefaultPlannerConfig() PlannerConfig {
+	return PlannerConfig{
+		BroadcastThreshold: 10 << 20,
+		CollapsePipelines:  true,
+	}
+}
+
+// Strategy is a planner extension point: it may claim a logical node and
+// produce a physical plan for it. Research extensions like the §7.2 range
+// join plug in here.
+type Strategy func(pl *Planner, lp plan.LogicalPlan) (SparkPlan, bool, error)
+
+// Planner translates optimized logical plans to physical plans, choosing
+// join algorithms by cost (paper §4.3.3: "it then selects a plan using a
+// cost model ... cost-based optimization is only used to select join
+// algorithms").
+type Planner struct {
+	Cfg PlannerConfig
+	// Strategies are consulted before the built-in translation.
+	Strategies []Strategy
+	// TranslateFilter converts a predicate into the data source filter
+	// algebra (wired to the optimizer's translator; kept as a function
+	// value to avoid an import cycle).
+	TranslateFilter func(expr.Expression) (datasource.Filter, bool)
+}
+
+// NewPlanner builds a planner with the given config.
+func NewPlanner(cfg PlannerConfig) *Planner {
+	return &Planner{Cfg: cfg}
+}
+
+// Plan translates and prepares the physical plan.
+func (pl *Planner) Plan(lp plan.LogicalPlan) (SparkPlan, error) {
+	p, err := pl.translate(lp)
+	if err != nil {
+		return nil, err
+	}
+	if pl.Cfg.CollapsePipelines {
+		p = Collapse(p)
+	}
+	return p, nil
+}
+
+func (pl *Planner) translate(lp plan.LogicalPlan) (SparkPlan, error) {
+	for _, s := range pl.Strategies {
+		p, claimed, err := s(pl, lp)
+		if err != nil {
+			return nil, err
+		}
+		if claimed {
+			return p, nil
+		}
+	}
+	switch n := lp.(type) {
+	case *plan.LocalRelation:
+		return NewLocalScan(n.Attrs, n.Rows), nil
+	case *plan.OneRowRelation:
+		return NewLocalScan(nil, []row.Row{{}}), nil
+	case *plan.LogicalRDD:
+		return NewRDDScan(n.Attrs, n.RDD), nil
+	case *plan.Range:
+		return NewRangeScan(n.Attr, n.Start, n.End, n.Step, n.Partitions), nil
+	case *plan.DataSourceRelation:
+		return NewSourceScan(n.Name, n.Attrs, n.Rel, n.PushedColumns, n.PushedFilters, n.PushedPredicates), nil
+	case *plan.InMemoryRelation:
+		return NewInMemoryScan(n.Attrs, n.Table, n.PrunedOrdinals, nil), nil
+	case *plan.SubqueryAlias:
+		return pl.translate(n.Child)
+	case *plan.Project:
+		child, err := pl.translate(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &ProjectExec{List: n.List, Child: child}, nil
+	case *plan.Filter:
+		return pl.planFilter(n)
+	case *plan.Join:
+		return pl.planJoin(n)
+	case *plan.Aggregate:
+		child, err := pl.translate(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &HashAggregateExec{Grouping: n.Grouping, Aggs: n.Aggs, Child: child}, nil
+	case *plan.Sort:
+		child, err := pl.translate(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &SortExec{Orders: n.Orders, Global: n.Global, Child: child}, nil
+	case *plan.Limit:
+		child, err := pl.translate(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &LimitExec{N: n.N, Child: child}, nil
+	case *plan.Union:
+		kids := make([]SparkPlan, len(n.Kids))
+		for i, k := range n.Kids {
+			c, err := pl.translate(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = c
+		}
+		return &UnionExec{Kids: kids}, nil
+	case *plan.Distinct:
+		child, err := pl.translate(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &DistinctExec{Child: child}, nil
+	case *plan.Sample:
+		child, err := pl.translate(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &SampleExec{Fraction: n.Fraction, Seed: n.Seed, Child: child}, nil
+	default:
+		return nil, fmt.Errorf("physical: no strategy for logical operator %T (%s)", lp, lp.SimpleString())
+	}
+}
+
+// planFilter builds a FilterExec; filters directly over the columnar cache
+// additionally install a batch-skipping predicate from min/max stats.
+func (pl *Planner) planFilter(f *plan.Filter) (SparkPlan, error) {
+	if mem, ok := f.Child.(*plan.InMemoryRelation); ok && pl.TranslateFilter != nil {
+		keep := pl.batchPredicate(f.Cond, mem)
+		scan := NewInMemoryScan(mem.Attrs, mem.Table, mem.PrunedOrdinals, keep)
+		return &FilterExec{Cond: f.Cond, Child: scan}, nil
+	}
+	child, err := pl.translate(f.Child)
+	if err != nil {
+		return nil, err
+	}
+	return &FilterExec{Cond: f.Cond, Child: child}, nil
+}
+
+// batchPredicate compiles translatable conjuncts into a min/max stats test
+// over cached batches.
+func (pl *Planner) batchPredicate(cond expr.Expression, mem *plan.InMemoryRelation) columnar.BatchPredicate {
+	type check struct {
+		ord int
+		f   datasource.Filter
+	}
+	var checks []check
+	for _, c := range expr.SplitConjuncts(cond) {
+		df, ok := pl.TranslateFilter(c)
+		if !ok {
+			continue
+		}
+		ord := mem.Table.Schema.FieldIndex(df.Attribute())
+		if ord < 0 {
+			continue
+		}
+		checks = append(checks, check{ord: ord, f: df})
+	}
+	if len(checks) == 0 {
+		return nil
+	}
+	return func(stats []columnar.ColStats) bool {
+		for _, c := range checks {
+			if !batchMayMatch(stats[c.ord], c.f) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// batchMayMatch tests a simple filter against a column's min/max range.
+func batchMayMatch(s columnar.ColStats, f datasource.Filter) bool {
+	if s.Min == nil || s.Max == nil {
+		// No range tracked (all NULL or unordered type): only IS NOT NULL
+		// can prune an all-NULL batch.
+		if _, isNotNull := f.(datasource.IsNotNull); isNotNull {
+			return s.Min != nil
+		}
+		return true
+	}
+	switch x := f.(type) {
+	case datasource.EqualTo:
+		return row.Compare(x.Value, s.Min) >= 0 && row.Compare(x.Value, s.Max) <= 0
+	case datasource.GreaterThan:
+		return row.Compare(s.Max, x.Value) > 0
+	case datasource.GreaterOrEqual:
+		return row.Compare(s.Max, x.Value) >= 0
+	case datasource.LessThan:
+		return row.Compare(s.Min, x.Value) < 0
+	case datasource.LessOrEqual:
+		return row.Compare(s.Min, x.Value) <= 0
+	case datasource.In:
+		for _, v := range x.Values {
+			if row.Compare(v, s.Min) >= 0 && row.Compare(v, s.Max) <= 0 {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// planJoin extracts equi-join keys and selects the join algorithm by the
+// cost model: a side whose estimated size is below the broadcast threshold
+// is broadcast; otherwise both sides shuffle.
+func (pl *Planner) planJoin(j *plan.Join) (SparkPlan, error) {
+	left, err := pl.translate(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := pl.translate(j.Right)
+	if err != nil {
+		return nil, err
+	}
+
+	leftKeys, rightKeys, residual := ExtractEquiKeys(j)
+
+	if len(leftKeys) == 0 {
+		switch j.Type {
+		case plan.InnerJoin, plan.CrossJoin, plan.LeftOuterJoin, plan.LeftSemiJoin:
+			return &NestedLoopJoinExec{Left: left, Right: right, Type: j.Type, Cond: j.Cond}, nil
+		default:
+			return nil, fmt.Errorf("physical: %s join without equi-keys is not supported", j.Type)
+		}
+	}
+
+	leftSize := plan.Stats(j.Left).SizeInBytes
+	rightSize := plan.Stats(j.Right).SizeInBytes
+	canBuildRight := j.Type == plan.InnerJoin || j.Type == plan.CrossJoin ||
+		j.Type == plan.LeftOuterJoin || j.Type == plan.LeftSemiJoin
+	canBuildLeft := j.Type == plan.InnerJoin || j.Type == plan.CrossJoin ||
+		j.Type == plan.RightOuterJoin
+
+	switch {
+	case canBuildRight && rightSize <= pl.Cfg.BroadcastThreshold &&
+		(rightSize <= leftSize || !canBuildLeft || leftSize > pl.Cfg.BroadcastThreshold):
+		return &BroadcastHashJoinExec{
+			Left: left, Right: right,
+			LeftKeys: leftKeys, RightKeys: rightKeys,
+			Type: j.Type, Residual: residual, BuildRight: true,
+		}, nil
+	case canBuildLeft && leftSize <= pl.Cfg.BroadcastThreshold:
+		return &BroadcastHashJoinExec{
+			Left: left, Right: right,
+			LeftKeys: leftKeys, RightKeys: rightKeys,
+			Type: j.Type, Residual: residual, BuildRight: false,
+		}, nil
+	default:
+		return &ShuffledHashJoinExec{
+			Left: left, Right: right,
+			LeftKeys: leftKeys, RightKeys: rightKeys,
+			Type: j.Type, Residual: residual,
+		}, nil
+	}
+}
+
+// ExtractEquiKeys splits a join condition into equi-key pairs (left key
+// expression = right key expression) and a residual condition.
+func ExtractEquiKeys(j *plan.Join) (leftKeys, rightKeys []expr.Expression, residual expr.Expression) {
+	if j.Cond == nil {
+		return nil, nil, nil
+	}
+	leftSet := plan.OutputSet(j.Left)
+	rightSet := plan.OutputSet(j.Right)
+	var rest []expr.Expression
+	for _, c := range expr.SplitConjuncts(j.Cond) {
+		eq, ok := c.(*expr.Comparison)
+		if !ok || eq.Op != expr.OpEQ {
+			rest = append(rest, c)
+			continue
+		}
+		lRefs, rRefs := expr.References(eq.Left), expr.References(eq.Right)
+		switch {
+		case len(lRefs) > 0 && len(rRefs) > 0 && leftSet.ContainsAll(lRefs) && rightSet.ContainsAll(rRefs):
+			leftKeys = append(leftKeys, eq.Left)
+			rightKeys = append(rightKeys, eq.Right)
+		case len(lRefs) > 0 && len(rRefs) > 0 && rightSet.ContainsAll(lRefs) && leftSet.ContainsAll(rRefs):
+			leftKeys = append(leftKeys, eq.Right)
+			rightKeys = append(rightKeys, eq.Left)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return leftKeys, rightKeys, expr.JoinConjuncts(rest)
+}

@@ -1,0 +1,158 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/datasource"
+	"repro/internal/expr"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// ScanExec is the generic leaf: it wraps a partition-producing function for
+// local relations, RDDs, ranges, data sources and the columnar cache.
+type ScanExec struct {
+	Name  string
+	Attrs []*expr.AttributeReference
+	// Build produces the RDD when executed.
+	Build func(ctx *ExecContext) *rdd.RDD[row.Row]
+	// Detail annotates EXPLAIN output (pushed filters/columns).
+	Detail string
+}
+
+func (s *ScanExec) Children() []SparkPlan { return nil }
+func (s *ScanExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return s
+}
+func (s *ScanExec) Output() []*expr.AttributeReference { return s.Attrs }
+func (s *ScanExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	return s.Build(ctx)
+}
+func (s *ScanExec) SimpleString() string {
+	if s.Detail != "" {
+		return fmt.Sprintf("Scan %s %s %s", s.Name, attrsString(s.Attrs), s.Detail)
+	}
+	return fmt.Sprintf("Scan %s %s", s.Name, attrsString(s.Attrs))
+}
+func (s *ScanExec) String() string { return Format(s) }
+
+// NewLocalScan scans in-memory rows, splitting them across the default
+// parallelism.
+func NewLocalScan(attrs []*expr.AttributeReference, rows []row.Row) *ScanExec {
+	return &ScanExec{
+		Name:  "LocalRelation",
+		Attrs: attrs,
+		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] {
+			return rdd.Parallelize(ctx.RDD, rows, ctx.RDD.Parallelism())
+		},
+	}
+}
+
+// NewRDDScan scans an existing row RDD (paper §3.5: the logical data scan
+// operator pointing to a native RDD).
+func NewRDDScan(attrs []*expr.AttributeReference, r *rdd.RDD[row.Row]) *ScanExec {
+	return &ScanExec{
+		Name:  "ExistingRDD",
+		Attrs: attrs,
+		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] { return r },
+	}
+}
+
+// NewRangeScan produces [start,end) by step across partitions.
+func NewRangeScan(attr *expr.AttributeReference, start, end, step int64, partitions int) *ScanExec {
+	return &ScanExec{
+		Name:  "Range",
+		Attrs: []*expr.AttributeReference{attr},
+		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] {
+			n := partitions
+			if n <= 0 {
+				n = ctx.RDD.Parallelism()
+			}
+			total := (end - start + step - 1) / step
+			if total < 0 {
+				total = 0
+			}
+			return rdd.Generate(ctx.RDD, "range", n, func(p int) []row.Row {
+				lo := total * int64(p) / int64(n)
+				hi := total * int64(p+1) / int64(n)
+				out := make([]row.Row, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					out = append(out, row.Row{start + i*step})
+				}
+				return out
+			})
+		},
+	}
+}
+
+// NewSourceScan scans a data source relation through the smartest interface
+// it offers, passing pushed columns and filters (paper §4.4.1).
+func NewSourceScan(name string, attrs []*expr.AttributeReference, rel datasource.Relation,
+	cols []string, filters []datasource.Filter, predicates []expr.Expression) *ScanExec {
+	detail := ""
+	if len(cols) > 0 {
+		detail += fmt.Sprintf("columns=%v ", cols)
+	}
+	if len(filters) > 0 {
+		detail += fmt.Sprintf("pushed=%v", filters)
+	}
+	if len(predicates) > 0 {
+		detail += fmt.Sprintf("pushedExprs=%v", predicates)
+	}
+	return &ScanExec{
+		Name:   "Source " + name,
+		Attrs:  attrs,
+		Detail: detail,
+		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] {
+			scan, err := openScan(rel, attrs, cols, filters, predicates)
+			if err != nil {
+				panic(fmt.Sprintf("physical: opening scan of %s: %v", name, err))
+			}
+			return rdd.Generate(ctx.RDD, "scan:"+name, scan.NumPartitions, scan.Partition)
+		},
+	}
+}
+
+// openScan picks the best scan interface available for the pushdown set.
+func openScan(rel datasource.Relation, attrs []*expr.AttributeReference,
+	cols []string, filters []datasource.Filter, predicates []expr.Expression) (datasource.Scan, error) {
+	if len(cols) == 0 {
+		// No pruning was pushed; scan all declared columns.
+		cols = make([]string, len(attrs))
+		for i, a := range attrs {
+			cols[i] = a.Name
+		}
+	}
+	switch r := rel.(type) {
+	case datasource.CatalystScan:
+		return r.ScanCatalyst(cols, predicates)
+	case datasource.PrunedFilteredScan:
+		return r.ScanPrunedFiltered(cols, filters)
+	case datasource.PrunedScan:
+		return r.ScanPruned(cols)
+	case datasource.TableScan:
+		return r.ScanAll()
+	}
+	return datasource.Scan{}, fmt.Errorf("relation %T implements no scan interface", rel)
+}
+
+// NewInMemoryScan scans the columnar cache with optional column pruning and
+// batch skipping (paper §3.6).
+func NewInMemoryScan(attrs []*expr.AttributeReference, table *columnar.CachedTable,
+	ordinals []int, keep columnar.BatchPredicate) *ScanExec {
+	detail := ""
+	if ordinals != nil {
+		detail = fmt.Sprintf("ordinals=%v", ordinals)
+	}
+	return &ScanExec{
+		Name:   "InMemoryColumnar",
+		Attrs:  attrs,
+		Detail: detail,
+		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] {
+			return rdd.Generate(ctx.RDD, "cacheScan", len(table.Partitions), func(p int) []row.Row {
+				return table.ScanPartition(p, ordinals, keep)
+			})
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// everyNode constructs one instance of every logical operator, resolved
+// where possible, for the node-contract invariants below.
+func everyNode() []LogicalPlan {
+	rel := NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "a", Type: types.Int, Nullable: false},
+		types.StructField{Name: "b", Type: types.String, Nullable: true},
+	), []row.Row{{int32(1), "x"}})
+	rel2 := NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "c", Type: types.Int, Nullable: false},
+	), nil)
+	a, b := rel.Attrs[0], rel.Attrs[1]
+
+	return []LogicalPlan{
+		rel,
+		&UnresolvedRelation{Name: "t"},
+		&OneRowRelation{},
+		NewRange(0, 10, 1, 2),
+		&Project{List: []expr.Expression{a, expr.NewAlias(expr.Upper(b), "ub")}, Child: rel},
+		&Filter{Cond: expr.GT(a, expr.Lit(int32(0))), Child: rel},
+		&Join{Left: rel, Right: rel2, Type: InnerJoin, Cond: expr.EQ(a, rel2.Attrs[0])},
+		&Join{Left: rel, Right: rel2, Type: CrossJoin},
+		&Aggregate{
+			Grouping: []expr.Expression{a},
+			Aggs:     []expr.Expression{a, expr.NewAlias(expr.NewCountStar(), "n")},
+			Child:    rel,
+		},
+		&Sort{Orders: []*expr.SortOrder{expr.Asc(a), expr.Desc(b)}, Global: true, Child: rel},
+		&Limit{N: 5, Child: rel},
+		&Union{Kids: []LogicalPlan{rel, rel}},
+		&Distinct{Child: rel},
+		&SubqueryAlias{Name: "s", Child: rel},
+		&Sample{Fraction: 0.5, Seed: 1, Child: rel},
+	}
+}
+
+// The contract the catalyst transform machinery relies on:
+// WithNewChildren(Children()) reproduces an equivalent node, and
+// WithNewExpressions(Expressions()) likewise.
+func TestNodeRebuildContract(t *testing.T) {
+	for _, n := range everyNode() {
+		rebuilt := n.WithNewChildren(n.Children())
+		if rebuilt.String() != n.String() {
+			t.Errorf("%T: WithNewChildren(Children()) changed the tree:\n%s\nvs\n%s",
+				n, n, rebuilt)
+		}
+		if len(rebuilt.Children()) != len(n.Children()) {
+			t.Errorf("%T: child count changed", n)
+		}
+		reExpr := n.WithNewExpressions(n.Expressions())
+		if len(reExpr.Expressions()) != len(n.Expressions()) {
+			t.Errorf("%T: expression count changed (%d -> %d)",
+				n, len(n.Expressions()), len(reExpr.Expressions()))
+		}
+		if n.SimpleString() == "" {
+			t.Errorf("%T: empty SimpleString", n)
+		}
+	}
+}
+
+// TransformUp with a never-matching function must return the identical
+// tree object graph (reuse, not copies).
+func TestTransformIdentity(t *testing.T) {
+	for _, n := range everyNode() {
+		out := TransformUp(n, func(LogicalPlan) (LogicalPlan, bool) { return nil, false })
+		if out != n {
+			t.Errorf("%T: identity transform should reuse the node", n)
+		}
+	}
+}
+
+// Output() must be stable and sized consistently with Schema().
+func TestOutputSchemaConsistency(t *testing.T) {
+	for _, n := range everyNode() {
+		if !n.Resolved() {
+			continue
+		}
+		out := n.Output()
+		schema := Schema(n)
+		if len(out) != len(schema.Fields) {
+			t.Errorf("%T: output %d vs schema %d", n, len(out), len(schema.Fields))
+		}
+		for i, a := range out {
+			if !a.Type.Equals(schema.Fields[i].Type) {
+				t.Errorf("%T field %d: %s vs %s", n, i, a.Type.Name(), schema.Fields[i].Type.Name())
+			}
+		}
+	}
+}
+
+// Stats must be defined (positive size) for every resolved operator.
+func TestStatsTotal(t *testing.T) {
+	for _, n := range everyNode() {
+		if !n.Resolved() {
+			continue
+		}
+		s := Stats(n)
+		if s.SizeInBytes < 0 {
+			t.Errorf("%T: negative size estimate", n)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Project computes a list of named expressions over its child (SELECT list
+// / DataFrame.Select).
+type Project struct {
+	List  []expr.Expression // Named after analysis
+	Child LogicalPlan
+}
+
+func (p *Project) Children() []LogicalPlan { return []LogicalPlan{p.Child} }
+func (p *Project) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Project{List: p.List, Child: children[0]}
+}
+func (p *Project) Output() []*expr.AttributeReference {
+	out := make([]*expr.AttributeReference, len(p.List))
+	for i, e := range p.List {
+		out[i] = e.(expr.Named).ToAttribute()
+	}
+	return out
+}
+func (p *Project) Expressions() []expr.Expression { return p.List }
+func (p *Project) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	return &Project{List: exprs, Child: p.Child}
+}
+func (p *Project) Resolved() bool {
+	if !childrenResolved(p) || !exprsResolved(p.List) {
+		return false
+	}
+	for _, e := range p.List {
+		if _, ok := e.(expr.Named); !ok {
+			return false
+		}
+		if expr.ContainsAggregate(e) {
+			return false // analyzer must lift into an Aggregate
+		}
+	}
+	return true
+}
+func (p *Project) SimpleString() string { return "Project [" + exprListString(p.List) + "]" }
+func (p *Project) String() string       { return Format(p) }
+
+// Filter keeps rows where Cond is true (WHERE).
+type Filter struct {
+	Cond  expr.Expression
+	Child LogicalPlan
+}
+
+func (f *Filter) Children() []LogicalPlan { return []LogicalPlan{f.Child} }
+func (f *Filter) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Filter{Cond: f.Cond, Child: children[0]}
+}
+func (f *Filter) Output() []*expr.AttributeReference { return f.Child.Output() }
+func (f *Filter) Expressions() []expr.Expression     { return []expr.Expression{f.Cond} }
+func (f *Filter) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	return &Filter{Cond: exprs[0], Child: f.Child}
+}
+func (f *Filter) Resolved() bool {
+	return childrenResolved(f) && f.Cond.Resolved()
+}
+func (f *Filter) SimpleString() string { return fmt.Sprintf("Filter %s", f.Cond) }
+func (f *Filter) String() string       { return Format(f) }
+
+// JoinType enumerates supported joins.
+type JoinType int
+
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+	RightOuterJoin
+	FullOuterJoin
+	LeftSemiJoin
+	CrossJoin
+)
+
+func (t JoinType) String() string {
+	switch t {
+	case InnerJoin:
+		return "Inner"
+	case LeftOuterJoin:
+		return "LeftOuter"
+	case RightOuterJoin:
+		return "RightOuter"
+	case FullOuterJoin:
+		return "FullOuter"
+	case LeftSemiJoin:
+		return "LeftSemi"
+	case CrossJoin:
+		return "Cross"
+	}
+	return "?"
+}
+
+// Join combines two relations on a condition.
+type Join struct {
+	Left, Right LogicalPlan
+	Type        JoinType
+	Cond        expr.Expression // nil for cross joins
+}
+
+func (j *Join) Children() []LogicalPlan { return []LogicalPlan{j.Left, j.Right} }
+func (j *Join) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Join{Left: children[0], Right: children[1], Type: j.Type, Cond: j.Cond}
+}
+func (j *Join) Output() []*expr.AttributeReference {
+	left, right := j.Left.Output(), j.Right.Output()
+	switch j.Type {
+	case LeftSemiJoin:
+		return left
+	case LeftOuterJoin:
+		return append(append([]*expr.AttributeReference{}, left...), nullableAttrs(right)...)
+	case RightOuterJoin:
+		return append(nullableAttrs(left), right...)
+	case FullOuterJoin:
+		return append(nullableAttrs(left), nullableAttrs(right)...)
+	default:
+		return append(append([]*expr.AttributeReference{}, left...), right...)
+	}
+}
+func nullableAttrs(attrs []*expr.AttributeReference) []*expr.AttributeReference {
+	out := make([]*expr.AttributeReference, len(attrs))
+	for i, a := range attrs {
+		out[i] = a.WithNullable(true)
+	}
+	return out
+}
+func (j *Join) Expressions() []expr.Expression {
+	if j.Cond == nil {
+		return nil
+	}
+	return []expr.Expression{j.Cond}
+}
+func (j *Join) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	if len(exprs) == 0 {
+		return j
+	}
+	return &Join{Left: j.Left, Right: j.Right, Type: j.Type, Cond: exprs[0]}
+}
+func (j *Join) Resolved() bool {
+	return childrenResolved(j) && (j.Cond == nil || j.Cond.Resolved())
+}
+func (j *Join) SimpleString() string {
+	if j.Cond == nil {
+		return fmt.Sprintf("Join %s", j.Type)
+	}
+	return fmt.Sprintf("Join %s, %s", j.Type, j.Cond)
+}
+func (j *Join) String() string { return Format(j) }
+
+// Aggregate groups by Grouping and computes Aggs (which may mix aggregate
+// functions and grouping expressions; each entry is Named after analysis).
+type Aggregate struct {
+	Grouping []expr.Expression
+	Aggs     []expr.Expression
+	Child    LogicalPlan
+}
+
+func (a *Aggregate) Children() []LogicalPlan { return []LogicalPlan{a.Child} }
+func (a *Aggregate) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Aggregate{Grouping: a.Grouping, Aggs: a.Aggs, Child: children[0]}
+}
+func (a *Aggregate) Output() []*expr.AttributeReference {
+	out := make([]*expr.AttributeReference, len(a.Aggs))
+	for i, e := range a.Aggs {
+		out[i] = e.(expr.Named).ToAttribute()
+	}
+	return out
+}
+func (a *Aggregate) Expressions() []expr.Expression {
+	out := make([]expr.Expression, 0, len(a.Grouping)+len(a.Aggs))
+	out = append(out, a.Grouping...)
+	return append(out, a.Aggs...)
+}
+func (a *Aggregate) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	return &Aggregate{
+		Grouping: exprs[:len(a.Grouping)],
+		Aggs:     exprs[len(a.Grouping):],
+		Child:    a.Child,
+	}
+}
+func (a *Aggregate) Resolved() bool {
+	if !childrenResolved(a) || !exprsResolved(a.Grouping) || !exprsResolved(a.Aggs) {
+		return false
+	}
+	for _, e := range a.Aggs {
+		if _, ok := e.(expr.Named); !ok {
+			return false
+		}
+	}
+	return true
+}
+func (a *Aggregate) SimpleString() string {
+	return fmt.Sprintf("Aggregate [%s], [%s]", exprListString(a.Grouping), exprListString(a.Aggs))
+}
+func (a *Aggregate) String() string { return Format(a) }
+
+// Sort orders rows by the given sort orders; Global distinguishes a total
+// order (ORDER BY) from a per-partition sort.
+type Sort struct {
+	Orders []*expr.SortOrder
+	Global bool
+	Child  LogicalPlan
+}
+
+func (s *Sort) Children() []LogicalPlan { return []LogicalPlan{s.Child} }
+func (s *Sort) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Sort{Orders: s.Orders, Global: s.Global, Child: children[0]}
+}
+func (s *Sort) Output() []*expr.AttributeReference { return s.Child.Output() }
+func (s *Sort) Expressions() []expr.Expression {
+	out := make([]expr.Expression, len(s.Orders))
+	for i, o := range s.Orders {
+		out[i] = o
+	}
+	return out
+}
+func (s *Sort) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	orders := make([]*expr.SortOrder, len(exprs))
+	for i, e := range exprs {
+		if so, ok := e.(*expr.SortOrder); ok {
+			orders[i] = so
+		} else {
+			orders[i] = expr.Asc(e)
+		}
+	}
+	return &Sort{Orders: orders, Global: s.Global, Child: s.Child}
+}
+func (s *Sort) Resolved() bool {
+	if !childrenResolved(s) {
+		return false
+	}
+	for _, o := range s.Orders {
+		if !o.Resolved() {
+			return false
+		}
+	}
+	return true
+}
+func (s *Sort) SimpleString() string {
+	return fmt.Sprintf("Sort [%s], global=%v", exprListString(s.Expressions()), s.Global)
+}
+func (s *Sort) String() string { return Format(s) }
+
+// Limit keeps the first N rows.
+type Limit struct {
+	N     int
+	Child LogicalPlan
+}
+
+func (l *Limit) Children() []LogicalPlan { return []LogicalPlan{l.Child} }
+func (l *Limit) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Limit{N: l.N, Child: children[0]}
+}
+func (l *Limit) Output() []*expr.AttributeReference { return l.Child.Output() }
+func (l *Limit) Expressions() []expr.Expression     { return nil }
+func (l *Limit) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	return l
+}
+func (l *Limit) Resolved() bool       { return childrenResolved(l) }
+func (l *Limit) SimpleString() string { return fmt.Sprintf("Limit %d", l.N) }
+func (l *Limit) String() string       { return Format(l) }
+
+// Union concatenates relations with compatible schemas (UNION ALL). Output
+// attributes are the first child's.
+type Union struct {
+	Kids []LogicalPlan
+}
+
+func (u *Union) Children() []LogicalPlan { return u.Kids }
+func (u *Union) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Union{Kids: children}
+}
+func (u *Union) Output() []*expr.AttributeReference { return u.Kids[0].Output() }
+func (u *Union) Expressions() []expr.Expression     { return nil }
+func (u *Union) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	return u
+}
+func (u *Union) Resolved() bool {
+	if !childrenResolved(u) {
+		return false
+	}
+	first := Schema(u.Kids[0])
+	for _, k := range u.Kids[1:] {
+		s := Schema(k)
+		if len(s.Fields) != len(first.Fields) {
+			return false
+		}
+		for i := range s.Fields {
+			if !s.Fields[i].Type.Equals(first.Fields[i].Type) {
+				return false
+			}
+		}
+	}
+	return true
+}
+func (u *Union) SimpleString() string { return "Union" }
+func (u *Union) String() string       { return Format(u) }
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	Child LogicalPlan
+}
+
+func (d *Distinct) Children() []LogicalPlan { return []LogicalPlan{d.Child} }
+func (d *Distinct) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Distinct{Child: children[0]}
+}
+func (d *Distinct) Output() []*expr.AttributeReference { return d.Child.Output() }
+func (d *Distinct) Expressions() []expr.Expression     { return nil }
+func (d *Distinct) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	return d
+}
+func (d *Distinct) Resolved() bool       { return childrenResolved(d) }
+func (d *Distinct) SimpleString() string { return "Distinct" }
+func (d *Distinct) String() string       { return Format(d) }
+
+// SubqueryAlias names a subtree so qualified references (alias.col)
+// resolve; it qualifies but otherwise passes through its child's output.
+type SubqueryAlias struct {
+	Name  string
+	Child LogicalPlan
+}
+
+func (s *SubqueryAlias) Children() []LogicalPlan { return []LogicalPlan{s.Child} }
+func (s *SubqueryAlias) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &SubqueryAlias{Name: s.Name, Child: children[0]}
+}
+func (s *SubqueryAlias) Output() []*expr.AttributeReference {
+	child := s.Child.Output()
+	out := make([]*expr.AttributeReference, len(child))
+	for i, a := range child {
+		out[i] = a.WithQualifier(s.Name)
+	}
+	return out
+}
+func (s *SubqueryAlias) Expressions() []expr.Expression { return nil }
+func (s *SubqueryAlias) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	return s
+}
+func (s *SubqueryAlias) Resolved() bool       { return childrenResolved(s) }
+func (s *SubqueryAlias) SimpleString() string { return fmt.Sprintf("SubqueryAlias %s", s.Name) }
+func (s *SubqueryAlias) String() string       { return Format(s) }
+
+// Sample keeps a deterministic pseudo-random fraction of rows — the
+// substrate for the online-aggregation extension (paper §7.1).
+type Sample struct {
+	Fraction float64
+	Seed     int64
+	Child    LogicalPlan
+}
+
+func (s *Sample) Children() []LogicalPlan { return []LogicalPlan{s.Child} }
+func (s *Sample) WithNewChildren(children []LogicalPlan) LogicalPlan {
+	return &Sample{Fraction: s.Fraction, Seed: s.Seed, Child: children[0]}
+}
+func (s *Sample) Output() []*expr.AttributeReference { return s.Child.Output() }
+func (s *Sample) Expressions() []expr.Expression     { return nil }
+func (s *Sample) WithNewExpressions(exprs []expr.Expression) LogicalPlan {
+	return s
+}
+func (s *Sample) Resolved() bool       { return childrenResolved(s) }
+func (s *Sample) SimpleString() string { return fmt.Sprintf("Sample %.3f seed=%d", s.Fraction, s.Seed) }
+func (s *Sample) String() string       { return Format(s) }

@@ -1,0 +1,216 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func sampleRelation() *LocalRelation {
+	return NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "a", Type: types.Int, Nullable: false},
+		types.StructField{Name: "b", Type: types.String, Nullable: true},
+	), []row.Row{{int32(1), "x"}, {int32(2), nil}})
+}
+
+func TestSchemaFromOutput(t *testing.T) {
+	rel := sampleRelation()
+	s := Schema(rel)
+	if len(s.Fields) != 2 || s.Fields[0].Name != "a" || !s.Fields[0].Type.Equals(types.Int) {
+		t.Fatalf("schema = %v", s)
+	}
+	if s.Fields[0].Nullable || !s.Fields[1].Nullable {
+		t.Fatal("nullability must propagate")
+	}
+}
+
+func TestProjectOutputNamesAndTypes(t *testing.T) {
+	rel := sampleRelation()
+	p := &Project{
+		List: []expr.Expression{
+			rel.Attrs[0],
+			expr.NewAlias(expr.Add(rel.Attrs[0], expr.Lit(int32(1))), "a1"),
+		},
+		Child: rel,
+	}
+	out := p.Output()
+	if out[0].ID_ != rel.Attrs[0].ID_ {
+		t.Error("pass-through attribute keeps identity")
+	}
+	if out[1].Name != "a1" || !out[1].Type.Equals(types.Int) {
+		t.Errorf("alias output = %v", out[1])
+	}
+	if !p.Resolved() {
+		t.Error("project over resolved inputs should be resolved")
+	}
+}
+
+func TestProjectWithAggregateIsUnresolved(t *testing.T) {
+	rel := sampleRelation()
+	p := &Project{
+		List:  []expr.Expression{expr.NewAlias(&expr.Sum{Child: rel.Attrs[0]}, "s")},
+		Child: rel,
+	}
+	if p.Resolved() {
+		t.Error("projects containing aggregates must stay unresolved (analyzer lifts them)")
+	}
+}
+
+func TestJoinOutputNullability(t *testing.T) {
+	left := sampleRelation()
+	right := NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "c", Type: types.Int, Nullable: false},
+	), nil)
+
+	inner := &Join{Left: left, Right: right, Type: InnerJoin}
+	if len(inner.Output()) != 3 {
+		t.Fatal("inner join output is left ++ right")
+	}
+	if inner.Output()[2].Null {
+		t.Error("inner join keeps nullability")
+	}
+
+	lo := &Join{Left: left, Right: right, Type: LeftOuterJoin}
+	if !lo.Output()[2].Null {
+		t.Error("left outer join makes right side nullable")
+	}
+	if lo.Output()[0].Null {
+		t.Error("left outer join keeps left side nullability")
+	}
+
+	fo := &Join{Left: left, Right: right, Type: FullOuterJoin}
+	for _, a := range fo.Output() {
+		if !a.Null {
+			t.Error("full outer join makes everything nullable")
+		}
+	}
+
+	semi := &Join{Left: left, Right: right, Type: LeftSemiJoin}
+	if len(semi.Output()) != 2 {
+		t.Error("semi join outputs only the left side")
+	}
+}
+
+func TestSubqueryAliasQualifies(t *testing.T) {
+	rel := sampleRelation()
+	sq := &SubqueryAlias{Name: "t", Child: rel}
+	for _, a := range sq.Output() {
+		if a.Qualifier != "t" {
+			t.Errorf("attr %v not qualified", a)
+		}
+	}
+	// Identity is preserved: the alias only decorates.
+	if sq.Output()[0].ID_ != rel.Attrs[0].ID_ {
+		t.Error("qualified attrs keep their IDs")
+	}
+}
+
+func TestTransformExpressionsUp(t *testing.T) {
+	rel := sampleRelation()
+	f := &Filter{Cond: expr.GT(rel.Attrs[0], expr.Lit(int32(0))), Child: rel}
+	rewritten := TransformExpressionsUp(f, func(e expr.Expression) (expr.Expression, bool) {
+		if lit, ok := e.(*expr.Literal); ok && lit.Value == int32(0) {
+			return expr.Lit(int32(5)), true
+		}
+		return nil, false
+	})
+	if !strings.Contains(rewritten.String(), "> 5") {
+		t.Errorf("rewrite failed: %s", rewritten)
+	}
+	// Original is untouched (immutability).
+	if !strings.Contains(f.String(), "> 0") {
+		t.Error("transform must not mutate the source tree")
+	}
+}
+
+func TestMissingReferences(t *testing.T) {
+	rel := sampleRelation()
+	stranger := expr.NewAttribute("z", types.Int, false)
+	f := &Filter{Cond: expr.GT(stranger, expr.Lit(int32(0))), Child: rel}
+	if missing := MissingReferences(f); len(missing) != 1 || missing[0] != stranger.ID_ {
+		t.Errorf("missing = %v", missing)
+	}
+	ok := &Filter{Cond: expr.GT(rel.Attrs[0], expr.Lit(int32(0))), Child: rel}
+	if missing := MissingReferences(ok); len(missing) != 0 {
+		t.Errorf("unexpected missing = %v", missing)
+	}
+}
+
+func TestStatsEstimates(t *testing.T) {
+	rel := sampleRelation()
+	base := Stats(rel)
+	if base.SizeInBytes <= 0 || base.RowCount != 2 {
+		t.Fatalf("base stats = %+v", base)
+	}
+	filtered := Stats(&Filter{Cond: expr.Lit(true), Child: rel})
+	if filtered.SizeInBytes >= base.SizeInBytes {
+		t.Error("filters shrink estimates")
+	}
+	limited := Stats(&Limit{N: 1, Child: rel})
+	if limited.RowCount != 1 {
+		t.Errorf("limit stats = %+v", limited)
+	}
+	// Unknown-size leaves default to enormous (never broadcast).
+	unknown := Stats(&LogicalRDD{Attrs: rel.Attrs})
+	if unknown.SizeInBytes < 1<<39 {
+		t.Errorf("unknown size should be huge, got %d", unknown.SizeInBytes)
+	}
+	// Projection narrowing shrinks size.
+	narrow := Stats(&Project{List: []expr.Expression{rel.Attrs[0]}, Child: rel})
+	if narrow.SizeInBytes >= base.SizeInBytes {
+		t.Error("narrower projection should shrink estimate")
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	cases := []struct {
+		start, end, step int64
+		want             int64
+	}{
+		{0, 10, 1, 10},
+		{0, 10, 3, 4},
+		{5, 5, 1, 0},
+		{10, 0, 1, 0},
+	}
+	for _, c := range cases {
+		r := NewRange(c.start, c.end, c.step, 2)
+		if got := r.Count(); got != c.want {
+			t.Errorf("Range(%d,%d,%d).Count() = %d, want %d", c.start, c.end, c.step, got, c.want)
+		}
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	rel := sampleRelation()
+	p := &Project{
+		List:  []expr.Expression{rel.Attrs[0]},
+		Child: &Filter{Cond: expr.Lit(true), Child: rel},
+	}
+	s := p.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree rendering = %q", s)
+	}
+	if !strings.HasPrefix(lines[1], "  Filter") || !strings.HasPrefix(lines[2], "    LocalRelation") {
+		t.Errorf("indentation wrong:\n%s", s)
+	}
+}
+
+func TestUnionResolution(t *testing.T) {
+	a := sampleRelation()
+	b := sampleRelation()
+	u := &Union{Kids: []LogicalPlan{a, b}}
+	if !u.Resolved() {
+		t.Error("compatible union should resolve")
+	}
+	c := NewLocalRelation(types.NewStruct(
+		types.StructField{Name: "x", Type: types.Double, Nullable: false},
+	), nil)
+	bad := &Union{Kids: []LogicalPlan{a, c}}
+	if bad.Resolved() {
+		t.Error("mismatched union must not resolve")
+	}
+}

@@ -1,0 +1,165 @@
+package rangejoin
+
+import (
+	"math/rand"
+	"testing"
+
+	sparksql "repro"
+)
+
+// bruteStab is the oracle for interval tree queries.
+func bruteStab(intervals []Interval, p int64, strict bool) map[int]bool {
+	out := map[int]bool{}
+	for _, iv := range intervals {
+		if strict {
+			if iv.Start < p && p < iv.End {
+				out[iv.Payload] = true
+			}
+		} else {
+			if iv.Start <= p && p < iv.End {
+				out[iv.Payload] = true
+			}
+		}
+	}
+	return out
+}
+
+// Property: tree stabbing equals brute force for random intervals and
+// probes, both strict and half-open.
+func TestIntervalTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		intervals := make([]Interval, n)
+		for i := range intervals {
+			start := int64(rng.Intn(1000))
+			intervals[i] = Interval{Start: start, End: start + 1 + int64(rng.Intn(100)), Payload: i}
+		}
+		tree := Build(intervals)
+		for probe := 0; probe < 50; probe++ {
+			p := int64(rng.Intn(1200)) - 50
+			got := map[int]bool{}
+			for _, iv := range tree.Stab(p, nil) {
+				got[iv.Payload] = true
+			}
+			want := bruteStab(intervals, p, false)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d p=%d: got %d hits, want %d", trial, p, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("trial %d p=%d: missing interval %d", trial, p, k)
+				}
+			}
+			gotStrict := map[int]bool{}
+			for _, iv := range tree.StabStrict(p, nil) {
+				gotStrict[iv.Payload] = true
+			}
+			wantStrict := bruteStab(intervals, p, true)
+			if len(gotStrict) != len(wantStrict) {
+				t.Fatalf("trial %d p=%d strict: got %d, want %d", trial, p, len(gotStrict), len(wantStrict))
+			}
+		}
+	}
+}
+
+func TestEmptyAndDegenerateTrees(t *testing.T) {
+	if got := Build(nil).Stab(5, nil); len(got) != 0 {
+		t.Fatal("empty tree")
+	}
+	// All-identical intervals (degenerate split path).
+	same := make([]Interval, 50)
+	for i := range same {
+		same[i] = Interval{Start: 10, End: 20, Payload: i}
+	}
+	tree := Build(same)
+	if got := tree.Stab(15, nil); len(got) != 50 {
+		t.Fatalf("identical intervals: %d hits", len(got))
+	}
+	if got := tree.Stab(25, nil); len(got) != 0 {
+		t.Fatal("out of range")
+	}
+}
+
+func setupJoin(t *testing.T, withStrategy bool) *sparksql.DataFrame {
+	t.Helper()
+	ctx := sparksql.NewContext()
+	if withStrategy {
+		ctx.Engine().AddStrategy(Strategy())
+	}
+	type Gene struct {
+		Start, End int64
+		Name       string
+	}
+	type Pos struct {
+		Start, End int64
+		ID         int64
+	}
+	genes := []Gene{{0, 100, "g1"}, {50, 150, "g2"}, {200, 300, "g3"}}
+	reads := []Pos{{10, 20, 1}, {60, 70, 2}, {120, 130, 3}, {500, 510, 4}}
+	a, err := ctx.CreateDataFrameFromStructs(genes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.CreateDataFrameFromStructs(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RegisterTempTable("a")
+	b.RegisterTempTable("b")
+	// The paper's §7.2 range join.
+	df, err := ctx.SQL(`
+		SELECT * FROM a JOIN b
+		ON a.Start < b.Start AND b.Start < a.End
+		WHERE a.Start < a.End AND b.Start < b.End`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df
+}
+
+func TestStrategyMatchesNestedLoop(t *testing.T) {
+	nested, err := setupJoin(t, false).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := setupJoin(t, true).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nested) != len(tree) {
+		t.Fatalf("nested=%d tree=%d", len(nested), len(tree))
+	}
+	// Expected overlaps: g1∋(10,60), g2∋(60,120), g3: none strict... check count.
+	if len(tree) != 4 { // (g1,1),(g1,2),(g2,2),(g2,3)
+		t.Fatalf("overlaps = %d: %v", len(tree), tree)
+	}
+}
+
+func TestStrategyClaimsPlan(t *testing.T) {
+	df := setupJoin(t, true)
+	explain, err := df.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsStr(explain, "IntervalTreeJoin") {
+		t.Fatalf("strategy did not claim the join:\n%s", explain)
+	}
+	// Without the strategy, the fallback is a nested loop.
+	explain, err = setupJoin(t, false).Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsStr(explain, "NestedLoopJoin") {
+		t.Fatalf("fallback should be nested loop:\n%s", explain)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

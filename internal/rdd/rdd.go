@@ -1,0 +1,279 @@
+// Package rdd is a from-scratch, in-process reproduction of Spark's
+// Resilient Distributed Dataset engine (paper §2.1 and [39]): lazily
+// evaluated, partitioned collections with functional transformations,
+// lineage-based fault recovery, hash shuffles for wide dependencies,
+// explicit caching, broadcast values, and a parallel task executor with
+// retry. Partitions run on goroutines instead of cluster nodes; everything
+// else — laziness, lineage, narrow-vs-wide dependencies, shuffle
+// materialization — follows the Spark model.
+package rdd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Context owns the executor and engine-wide metrics — the SparkContext of
+// this mini engine.
+type Context struct {
+	parallelism int
+
+	// metrics
+	tasksRun       atomic.Int64
+	taskRetries    atomic.Int64
+	recomputes     atomic.Int64
+	shuffleRecords atomic.Int64
+
+	// failureHook, when set, lets tests inject task failures: return an
+	// error to fail the given attempt of a task. The executor retries up
+	// to maxTaskAttempts.
+	mu          sync.Mutex
+	failureHook func(rddName string, partition, attempt int) error
+}
+
+const maxTaskAttempts = 4
+
+// NewContext creates an execution context running at most parallelism
+// concurrent tasks.
+func NewContext(parallelism int) *Context {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &Context{parallelism: parallelism}
+}
+
+// Parallelism returns the task concurrency.
+func (c *Context) Parallelism() int { return c.parallelism }
+
+// TasksRun returns the number of task executions (including retries).
+func (c *Context) TasksRun() int64 { return c.tasksRun.Load() }
+
+// TaskRetries returns how many task attempts failed and were retried.
+func (c *Context) TaskRetries() int64 { return c.taskRetries.Load() }
+
+// Recomputes returns how many cached partitions were rebuilt from lineage
+// after being dropped.
+func (c *Context) Recomputes() int64 { return c.recomputes.Load() }
+
+// ShuffleRecords returns the number of records moved through shuffles.
+func (c *Context) ShuffleRecords() int64 { return c.shuffleRecords.Load() }
+
+// SetFailureHook installs (or clears, with nil) the fault-injection hook.
+func (c *Context) SetFailureHook(hook func(rddName string, partition, attempt int) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failureHook = hook
+}
+
+func (c *Context) checkFailure(name string, partition, attempt int) error {
+	c.mu.Lock()
+	hook := c.failureHook
+	c.mu.Unlock()
+	if hook == nil {
+		return nil
+	}
+	return hook(name, partition, attempt)
+}
+
+// RDD is a lazily evaluated, partitioned collection. Each RDD is defined by
+// a compute function that rebuilds any partition from its lineage, so a
+// lost (dropped) cached partition is recoverable by recomputation — the
+// fault-tolerance story of the paper's §2.1.
+type RDD[T any] struct {
+	ctx     *Context
+	name    string
+	numPart int
+	// compute rebuilds partition p from lineage.
+	compute func(p int) []T
+
+	// cache state; nil when not cached.
+	cacheMu   sync.Mutex
+	cached    bool
+	cacheData []*[]T // per-partition; nil entry = not yet materialized
+	dropped   []bool // per-partition; true = lost after materialization
+}
+
+// Ctx returns the owning context.
+func (r *RDD[T]) Ctx() *Context { return r.ctx }
+
+// Name returns the debug name.
+func (r *RDD[T]) Name() string { return r.name }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.numPart }
+
+func newRDD[T any](ctx *Context, name string, numPart int, compute func(p int) []T) *RDD[T] {
+	return &RDD[T]{ctx: ctx, name: name, numPart: numPart, compute: compute}
+}
+
+// Parallelize distributes a slice across numPartitions partitions.
+func Parallelize[T any](ctx *Context, data []T, numPartitions int) *RDD[T] {
+	if numPartitions < 1 {
+		numPartitions = ctx.parallelism
+	}
+	n := len(data)
+	return newRDD(ctx, "parallelize", numPartitions, func(p int) []T {
+		lo := n * p / numPartitions
+		hi := n * (p + 1) / numPartitions
+		out := make([]T, hi-lo)
+		copy(out, data[lo:hi])
+		return out
+	})
+}
+
+// FromPartitions builds an RDD from pre-partitioned data.
+func FromPartitions[T any](ctx *Context, parts [][]T) *RDD[T] {
+	return newRDD(ctx, "fromPartitions", len(parts), func(p int) []T {
+		return parts[p]
+	})
+}
+
+// Generate builds an RDD whose partitions are produced on demand by gen —
+// the hook data sources and synthetic workload generators use, so large
+// inputs need not exist in memory up front.
+func Generate[T any](ctx *Context, name string, numPartitions int, gen func(p int) []T) *RDD[T] {
+	return newRDD(ctx, name, numPartitions, gen)
+}
+
+// partition computes (or serves from cache) one partition, honoring the
+// fault-injection hook with retries.
+func (r *RDD[T]) partition(p int) []T {
+	if r.cached {
+		r.cacheMu.Lock()
+		if r.cacheData != nil && r.cacheData[p] != nil {
+			data := *r.cacheData[p]
+			r.cacheMu.Unlock()
+			return data
+		}
+		wasDropped := r.dropped != nil && r.dropped[p]
+		r.cacheMu.Unlock()
+		if wasDropped {
+			// Lineage recovery: the partition existed and was lost.
+			r.ctx.recomputes.Add(1)
+		}
+		data := r.runTask(p)
+		r.cacheMu.Lock()
+		if r.cacheData == nil {
+			r.cacheData = make([]*[]T, r.numPart)
+			r.dropped = make([]bool, r.numPart)
+		}
+		r.cacheData[p] = &data
+		r.dropped[p] = false
+		r.cacheMu.Unlock()
+		return data
+	}
+	return r.runTask(p)
+}
+
+// runTask executes the compute function as a retryable task.
+func (r *RDD[T]) runTask(p int) []T {
+	var lastErr error
+	for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
+		r.ctx.tasksRun.Add(1)
+		if err := r.ctx.checkFailure(r.name, p, attempt); err != nil {
+			lastErr = err
+			r.ctx.taskRetries.Add(1)
+			continue
+		}
+		return r.compute(p)
+	}
+	panic(fmt.Sprintf("rdd: task %s[%d] failed after %d attempts: %v",
+		r.name, p, maxTaskAttempts, lastErr))
+}
+
+// Cache marks the RDD for in-memory materialization; partitions are stored
+// on first computation and reused afterwards.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.cacheMu.Lock()
+	r.cached = true
+	r.cacheMu.Unlock()
+	return r
+}
+
+// Unpersist drops all cached partitions.
+func (r *RDD[T]) Unpersist() {
+	r.cacheMu.Lock()
+	r.cacheData = nil
+	r.dropped = nil
+	r.cached = false
+	r.cacheMu.Unlock()
+}
+
+// DropCachedPartition simulates losing a cached partition (an executor
+// death); a later access recomputes it from lineage.
+func (r *RDD[T]) DropCachedPartition(p int) {
+	r.cacheMu.Lock()
+	if r.cacheData != nil && r.cacheData[p] != nil {
+		r.cacheData[p] = nil
+		r.dropped[p] = true
+	}
+	r.cacheMu.Unlock()
+}
+
+// computeAll materializes all partitions in parallel under the context's
+// parallelism bound. A panicking task fails the whole job: the panic is
+// captured in the worker goroutine and re-raised in the caller, so actions
+// (Collect/Count) can surface it as an error.
+func (r *RDD[T]) computeAll() [][]T {
+	out := make([][]T, r.numPart)
+	sem := make(chan struct{}, r.ctx.parallelism)
+	var wg sync.WaitGroup
+	var failMu sync.Mutex
+	var failure any
+	for p := 0; p < r.numPart; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					failMu.Lock()
+					if failure == nil {
+						failure = rec
+					}
+					failMu.Unlock()
+				}
+			}()
+			out[p] = r.partition(p)
+		}(p)
+	}
+	wg.Wait()
+	if failure != nil {
+		panic(failure)
+	}
+	return out
+}
+
+// Collect returns all elements, concatenated in partition order.
+func (r *RDD[T]) Collect() []T {
+	parts := r.computeAll()
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() int64 {
+	parts := r.computeAll()
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// ForeachPartition runs f over each computed partition (parallel).
+func (r *RDD[T]) ForeachPartition(f func(p int, data []T)) {
+	parts := r.computeAll()
+	for p, data := range parts {
+		f(p, data)
+	}
+}

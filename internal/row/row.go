@@ -1,0 +1,344 @@
+// Package row implements the Row value representation flowing through the
+// engine: a positional tuple of Go values whose dynamic types correspond to
+// the Spark SQL data model (paper §3.1 footnote 2 — Rows are a view; the
+// storage format underneath may be columnar).
+//
+// Value mapping: BOOLEAN→bool, INT→int32, BIGINT→int64, FLOAT→float32,
+// DOUBLE→float64, STRING→string, DECIMAL→types.Decimal, DATE→int32 (days
+// since epoch), TIMESTAMP→int64 (µs since epoch), BINARY→[]byte,
+// ARRAY→[]any, MAP→map[any]any, STRUCT→Row. SQL NULL is Go nil.
+package row
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Row is a positional tuple. The zero value is an empty row.
+type Row []any
+
+// New builds a row from values.
+func New(values ...any) Row { return Row(values) }
+
+// Copy returns a fresh row sharing no backing array with r.
+func (r Row) Copy() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// IsNullAt reports whether field i is SQL NULL.
+func (r Row) IsNullAt(i int) bool { return r[i] == nil }
+
+// Bool returns field i as a bool; it panics if the field is NULL or not a
+// BOOLEAN, like Spark's typed Row accessors.
+func (r Row) Bool(i int) bool { return r[i].(bool) }
+
+// Int returns field i as an int32.
+func (r Row) Int(i int) int32 { return r[i].(int32) }
+
+// Long returns field i as an int64.
+func (r Row) Long(i int) int64 { return r[i].(int64) }
+
+// Double returns field i as a float64.
+func (r Row) Double(i int) float64 { return r[i].(float64) }
+
+// Str returns field i as a string.
+func (r Row) Str(i int) string { return r[i].(string) }
+
+// Decimal returns field i as a types.Decimal.
+func (r Row) Decimal(i int) types.Decimal { return r[i].(types.Decimal) }
+
+// Struct returns field i as a nested Row.
+func (r Row) Struct(i int) Row { return r[i].(Row) }
+
+// Array returns field i as a []any.
+func (r Row) Array(i int) []any { return r[i].([]any) }
+
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = FormatValue(v)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// FormatValue renders a single SQL value for display.
+func FormatValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return x
+	case Row:
+		return x.String()
+	case []any:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = FormatValue(e)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Equal reports deep equality of two SQL values (NULL equals NULL here;
+// expression-level three-valued logic is handled in the expression layer).
+func Equal(a, b any) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case Row:
+		y, ok := b.(Row)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case []any:
+		y, ok := b.([]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case types.Decimal:
+		y, ok := b.(types.Decimal)
+		return ok && x.Cmp(y) == 0
+	case float64:
+		// Spark SQL semantics: NaN equals NaN.
+		y, ok := b.(float64)
+		return ok && (x == y || (math.IsNaN(x) && math.IsNaN(y)))
+	case float32:
+		y, ok := b.(float32)
+		return ok && (x == y || (math.IsNaN(float64(x)) && math.IsNaN(float64(y))))
+	default:
+		return a == b
+	}
+}
+
+// Compare orders two non-NULL SQL values of the same type: -1, 0 or 1.
+// NULLs sort first (SQL default NULLS FIRST for ascending order).
+func Compare(a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch x := a.(type) {
+	case bool:
+		y := b.(bool)
+		switch {
+		case x == y:
+			return 0
+		case !x:
+			return -1
+		default:
+			return 1
+		}
+	case int32:
+		return cmpOrdered(x, b.(int32))
+	case int64:
+		return cmpOrdered(x, b.(int64))
+	case float32:
+		return cmpFloatNaN(float64(x), float64(b.(float32)))
+	case float64:
+		return cmpFloatNaN(x, b.(float64))
+	case string:
+		return strings.Compare(x, b.(string))
+	case types.Decimal:
+		return x.Cmp(b.(types.Decimal))
+	case Row:
+		y := b.(Row)
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if c := Compare(x[i], y[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpOrdered(len(x), len(y))
+	default:
+		panic(fmt.Sprintf("row: unorderable value of type %T", a))
+	}
+}
+
+// cmpFloatNaN orders doubles with Spark SQL's convention: NaN is greater
+// than every other value and equal to itself.
+func cmpFloatNaN(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpOrdered[T int | int32 | int64 | float32 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash computes a hash of a projection of the row (the fields at ordinals),
+// consistent with Equal: used by hash aggregation, hash joins and the
+// shuffle partitioner.
+func Hash(r Row, ordinals []int) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	for _, i := range ordinals {
+		hashValue(&h, r[i])
+	}
+	return h.Sum64()
+}
+
+// HashValue hashes a single SQL value.
+func HashValue(v any) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	hashValue(&h, v)
+	return h.Sum64()
+}
+
+func hashValue(h *maphash.Hash, v any) {
+	switch x := v.(type) {
+	case nil:
+		h.WriteByte(0)
+	case bool:
+		if x {
+			h.WriteByte(2)
+		} else {
+			h.WriteByte(1)
+		}
+	case int32:
+		writeU64(h, 3, uint64(int64(x)))
+	case int64:
+		writeU64(h, 3, uint64(x)) // int32/int64 of equal value hash alike
+	case float32:
+		writeU64(h, 4, math.Float64bits(float64(x)))
+	case float64:
+		writeU64(h, 4, math.Float64bits(x))
+	case string:
+		h.WriteByte(5)
+		h.WriteString(x)
+	case types.Decimal:
+		n := x.Rescale(x.Scale) // normalize? scale is identity; hash fields
+		writeU64(h, 6, uint64(n.Unscaled))
+		writeU64(h, 6, uint64(int64(n.Scale)))
+	case []byte:
+		h.WriteByte(7)
+		h.Write(x)
+	case Row:
+		h.WriteByte(8)
+		for _, e := range x {
+			hashValue(h, e)
+		}
+	case []any:
+		h.WriteByte(9)
+		for _, e := range x {
+			hashValue(h, e)
+		}
+	default:
+		panic(fmt.Sprintf("row: unhashable value of type %T", v))
+	}
+}
+
+func writeU64(h *maphash.Hash, tag byte, u uint64) {
+	var buf [9]byte
+	buf[0] = tag
+	for i := 0; i < 8; i++ {
+		buf[i+1] = byte(u >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// GroupKey renders the projected fields as a comparable key string for use
+// in Go maps (composite grouping keys). It is injective for the supported
+// atomic types.
+func GroupKey(r Row, ordinals []int) string {
+	var sb strings.Builder
+	for _, i := range ordinals {
+		appendKeyValue(&sb, r[i])
+	}
+	return sb.String()
+}
+
+func appendKeyValue(sb *strings.Builder, v any) {
+	switch x := v.(type) {
+	case nil:
+		sb.WriteByte(0)
+	case bool:
+		if x {
+			sb.WriteString("\x01t")
+		} else {
+			sb.WriteString("\x01f")
+		}
+	case int32:
+		appendU64(sb, 2, uint64(int64(x)))
+	case int64:
+		appendU64(sb, 2, uint64(x))
+	case float32:
+		appendU64(sb, 3, math.Float64bits(float64(x)))
+	case float64:
+		appendU64(sb, 3, math.Float64bits(x))
+	case string:
+		sb.WriteByte(4)
+		appendU64(sb, 4, uint64(len(x)))
+		sb.WriteString(x)
+	case types.Decimal:
+		appendU64(sb, 5, uint64(x.Unscaled))
+		appendU64(sb, 5, uint64(int64(x.Scale)))
+	case Row:
+		sb.WriteByte(6)
+		for _, e := range x {
+			appendKeyValue(sb, e)
+		}
+		sb.WriteByte(7)
+	case []any:
+		sb.WriteByte(8)
+		for _, e := range x {
+			appendKeyValue(sb, e)
+		}
+		sb.WriteByte(9)
+	default:
+		panic(fmt.Sprintf("row: ungroupable value of type %T", v))
+	}
+}
+
+func appendU64(sb *strings.Builder, tag byte, u uint64) {
+	sb.WriteByte(tag)
+	for i := 0; i < 8; i++ {
+		sb.WriteByte(byte(u >> (8 * i)))
+	}
+}

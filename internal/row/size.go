@@ -1,0 +1,112 @@
+package row
+
+import "repro/internal/types"
+
+// This file models the in-memory footprint of data under the two storage
+// regimes the paper contrasts in §3.6: "JVM objects" (Spark's native cache,
+// one boxed object per value plus per-record object headers) versus the
+// columnar cache (packed primitives with compression). The object model is
+// deliberately JVM-like — 16-byte object headers, 8-byte references — so the
+// "order of magnitude" footprint comparison has the same shape as the
+// paper's claim.
+
+const (
+	objectHeader = 16 // JVM object header bytes
+	reference    = 8  // pointer/reference size
+	arrayHeader  = 20 // array object header + length
+)
+
+// ObjectSize estimates the bytes a value occupies when stored as a boxed
+// object graph (the "native Spark cache" model).
+func ObjectSize(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return reference
+	case bool:
+		return objectHeader + 1
+	case int32:
+		return objectHeader + 4
+	case int64:
+		return objectHeader + 8
+	case float32:
+		return objectHeader + 4
+	case float64:
+		return objectHeader + 8
+	case string:
+		// String object + char array (JVM chars are 2 bytes pre-compact-strings).
+		return objectHeader + reference + arrayHeader + 2*int64(len(x))
+	case types.Decimal:
+		return objectHeader + 12
+	case []byte:
+		return arrayHeader + int64(len(x))
+	case Row:
+		return x.ObjectSize()
+	case []any:
+		s := int64(arrayHeader)
+		for _, e := range x {
+			s += reference + ObjectSize(e)
+		}
+		return s
+	default:
+		return objectHeader + 8
+	}
+}
+
+// ObjectSize estimates the boxed footprint of a whole row: an object array
+// of references to boxed field values.
+func (r Row) ObjectSize() int64 {
+	s := int64(objectHeader + arrayHeader)
+	for _, v := range r {
+		s += reference + ObjectSize(v)
+	}
+	return s
+}
+
+// FlatSize estimates the bytes of raw data in the row — what a packed
+// columnar layout stores before compression. Used for table statistics
+// (sizeInBytes) feeding the cost-based broadcast join choice (§4.3.3).
+func FlatSize(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 1
+	case bool:
+		return 1
+	case int32:
+		return 4
+	case int64:
+		return 8
+	case float32:
+		return 4
+	case float64:
+		return 8
+	case string:
+		return 4 + int64(len(x))
+	case types.Decimal:
+		return 12
+	case []byte:
+		return 4 + int64(len(x))
+	case Row:
+		var s int64
+		for _, e := range x {
+			s += FlatSize(e)
+		}
+		return s
+	case []any:
+		s := int64(4)
+		for _, e := range x {
+			s += FlatSize(e)
+		}
+		return s
+	default:
+		return 8
+	}
+}
+
+// FlatSize of a whole row.
+func (r Row) FlatSize() int64 {
+	var s int64
+	for _, v := range r {
+		s += FlatSize(v)
+	}
+	return s
+}

@@ -1,0 +1,222 @@
+// Package sqlserver exposes a Context over TCP with a simple line
+// protocol — the reproduction's stand-in for the JDBC/ODBC server in the
+// paper's Figure 1, through which business-intelligence tools submit SQL
+// (and can call registered UDFs, §3.7).
+//
+// Protocol (text, newline-delimited):
+//
+//	client:  <one SQL statement on a single line>\n
+//	server:  OK <ncols> <nrows>\n
+//	         <tab-separated header>\n
+//	         <tab-separated row>\n × nrows
+//	         \n                      (blank terminator)
+//	or:      ERR <message>\n
+//
+// Statements are executed sequentially per connection; connections are
+// served concurrently.
+package sqlserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	sparksql "repro"
+	"repro/internal/row"
+)
+
+// Server serves SQL over a listener.
+type Server struct {
+	ctx *sparksql.Context
+	// MaxRows caps result sizes per query (0 = unlimited).
+	MaxRows int
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+}
+
+// New builds a server over a context.
+func New(ctx *sparksql.Context) *Server {
+	return &Server{ctx: ctx, MaxRows: 10_000}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves; it reports the bound address through the returned listener.
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(l)
+	return l.Addr(), nil
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(conn)
+	for in.Scan() {
+		query := strings.TrimSpace(in.Text())
+		if query == "" {
+			continue
+		}
+		s.execute(out, query)
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(out *bufio.Writer, query string) {
+	df, err := s.ctx.SQL(query)
+	if err != nil {
+		writeErr(out, err)
+		return
+	}
+	cols := df.Columns()
+	if len(cols) == 0 { // DDL
+		fmt.Fprintf(out, "OK 0 0\n\n")
+		return
+	}
+	if s.MaxRows > 0 {
+		df, err = df.Limit(s.MaxRows)
+		if err != nil {
+			writeErr(out, err)
+			return
+		}
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		writeErr(out, err)
+		return
+	}
+	fmt.Fprintf(out, "OK %d %d\n", len(cols), len(rows))
+	out.WriteString(strings.Join(cols, "\t"))
+	out.WriteByte('\n')
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				out.WriteByte('\t')
+			}
+			out.WriteString(sanitize(row.FormatValue(v)))
+		}
+		out.WriteByte('\n')
+	}
+	out.WriteByte('\n')
+}
+
+func writeErr(out *bufio.Writer, err error) {
+	fmt.Fprintf(out, "ERR %s\n", sanitize(err.Error()))
+}
+
+// sanitize keeps the line protocol intact.
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	return strings.ReplaceAll(s, "\t", " ")
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client is the matching line-protocol client.
+type Client struct {
+	conn net.Conn
+	in   *bufio.Scanner
+	out  *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &Client{conn: conn, in: sc, out: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Result is a query result.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Query runs one SQL statement.
+func (c *Client) Query(sql string) (*Result, error) {
+	if strings.ContainsAny(sql, "\n") {
+		sql = strings.ReplaceAll(sql, "\n", " ")
+	}
+	if _, err := c.out.WriteString(sql + "\n"); err != nil {
+		return nil, err
+	}
+	if err := c.out.Flush(); err != nil {
+		return nil, err
+	}
+	if !c.in.Scan() {
+		return nil, fmt.Errorf("sqlserver: connection closed")
+	}
+	status := c.in.Text()
+	if strings.HasPrefix(status, "ERR ") {
+		return nil, fmt.Errorf("sqlserver: %s", strings.TrimPrefix(status, "ERR "))
+	}
+	var ncols, nrows int
+	if _, err := fmt.Sscanf(status, "OK %d %d", &ncols, &nrows); err != nil {
+		return nil, fmt.Errorf("sqlserver: bad status %q", status)
+	}
+	res := &Result{}
+	if ncols == 0 {
+		c.in.Scan() // blank terminator
+		return res, nil
+	}
+	if !c.in.Scan() {
+		return nil, fmt.Errorf("sqlserver: truncated header")
+	}
+	res.Columns = strings.Split(c.in.Text(), "\t")
+	for i := 0; i < nrows; i++ {
+		if !c.in.Scan() {
+			return nil, fmt.Errorf("sqlserver: truncated results")
+		}
+		res.Rows = append(res.Rows, strings.Split(c.in.Text(), "\t"))
+	}
+	c.in.Scan() // blank terminator
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package sqlserver
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	sparksql "repro"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	ctx := sparksql.NewContext()
+	df, err := ctx.CreateDataFrame(
+		sparksql.StructType{}.
+			Add("name", sparksql.StringType, false).
+			Add("age", sparksql.IntType, false),
+		[]sparksql.Row{{"Alice", int32(34)}, {"Bob", int32(19)}, {"Carol", int32(52)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.RegisterTempTable("people")
+	if err := ctx.RegisterUDF("shout", func(s string) string { return s + "!" }); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ctx)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func TestQueryOverTheWire(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Query("SELECT name, age FROM people WHERE age > 20 ORDER BY age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "name" {
+		t.Fatalf("cols = %v", res.Columns)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "Alice" || res.Rows[1][0] != "Carol" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	// UDFs are reachable over the wire (paper §3.7: "once registered, the
+	// UDF can also be used via the JDBC/ODBC interface by business
+	// intelligence tools").
+	res, err = c.Query("SELECT shout(name) FROM people WHERE age = 19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "Bob!" {
+		t.Fatalf("udf over wire = %v", res.Rows)
+	}
+
+	// Multiple statements on one connection.
+	if _, err := c.Query("SELECT count(*) FROM people"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsOverTheWire(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query("SELECT nosuch FROM people")
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection survives an error.
+	if _, err := c.Query("SELECT 1"); err != nil {
+		t.Fatalf("connection should survive: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				res, err := c.Query("SELECT count(*) FROM people")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rows[0][0] != "3" {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaxRowsCap(t *testing.T) {
+	ctx := sparksql.NewContext()
+	ctx.Range(100).RegisterTempTable("r")
+	srv := New(ctx)
+	srv.MaxRows = 10
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("SELECT id FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("cap not applied: %d rows", len(res.Rows))
+	}
+}
+
+func TestDDLOverTheWire(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("CREATE TEMPORARY TABLE copy AS SELECT * FROM people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 0 {
+		t.Fatalf("DDL result = %v", res)
+	}
+	out, err := c.Query("SELECT count(*) FROM copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0] != "3" {
+		t.Fatalf("copy rows = %v", out.Rows)
+	}
+}

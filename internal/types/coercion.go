@@ -1,0 +1,153 @@
+package types
+
+// This file implements implicit type coercion: the "tightest common type"
+// lattice used both by the analyzer's type-coercion rules (paper §4.3.1,
+// "propagating and coercing types through expressions") and by the JSON
+// schema-inference algorithm's "most specific supertype" merge (paper §5.1).
+
+// TightestCommonType returns the most specific type that both a and b can be
+// widened to without an explicit cast, and whether such a type exists.
+//
+// The lattice follows the paper's JSON inference description: integers widen
+// to LONG, then DECIMAL, then FLOAT/DOUBLE when fractional values appear;
+// incompatible atomic types fall back to STRING only in the inference merge
+// (see PromoteToString), not here.
+func TightestCommonType(a, b DataType) (DataType, bool) {
+	switch {
+	case a.Equals(b):
+		return a, true
+	case a.Equals(Null):
+		return b, true
+	case b.Equals(Null):
+		return a, true
+	}
+
+	an, aok := a.(NumericType)
+	bn, bok := b.(NumericType)
+	if aok && bok && an.numericRank() > 0 && bn.numericRank() > 0 {
+		return widerNumeric(an, bn), true
+	}
+
+	// Date widens to Timestamp.
+	if (a.Equals(Date) && b.Equals(Timestamp)) || (a.Equals(Timestamp) && b.Equals(Date)) {
+		return Timestamp, true
+	}
+
+	// Structurally merge arrays.
+	if aa, ok := a.(ArrayType); ok {
+		if bb, ok := b.(ArrayType); ok {
+			elem, ok := TightestCommonType(aa.Elem, bb.Elem)
+			if !ok {
+				return nil, false
+			}
+			return ArrayType{Elem: elem, ContainsNull: aa.ContainsNull || bb.ContainsNull}, true
+		}
+	}
+
+	// Structurally merge maps.
+	if am, ok := a.(MapType); ok {
+		if bm, ok := b.(MapType); ok {
+			k, ok1 := TightestCommonType(am.Key, bm.Key)
+			v, ok2 := TightestCommonType(am.Value, bm.Value)
+			if !ok1 || !ok2 {
+				return nil, false
+			}
+			return MapType{Key: k, Value: v, ValueContainsNull: am.ValueContainsNull || bm.ValueContainsNull}, true
+		}
+	}
+
+	// Structurally merge structs by field name (union of fields; a field
+	// missing on one side becomes nullable).
+	if as, ok := a.(StructType); ok {
+		if bs, ok := b.(StructType); ok {
+			return mergeStructs(as, bs)
+		}
+	}
+
+	return nil, false
+}
+
+func widerNumeric(a, b NumericType) DataType {
+	// Two decimals merge by widening precision/scale.
+	ad, aIsDec := a.(DecimalType)
+	bd, bIsDec := b.(DecimalType)
+	if aIsDec && bIsDec {
+		scale := max(ad.Scale, bd.Scale)
+		intDigits := max(ad.Precision-ad.Scale, bd.Precision-bd.Scale)
+		return DecimalType{Precision: intDigits + scale, Scale: scale}
+	}
+	if a.numericRank() >= b.numericRank() {
+		return a.(DataType)
+	}
+	return b.(DataType)
+}
+
+func mergeStructs(a, b StructType) (DataType, bool) {
+	merged := StructType{}
+	for _, f := range a.Fields {
+		j := b.FieldIndex(f.Name)
+		if j < 0 {
+			// Present only in a: field may be absent, hence nullable.
+			merged = merged.Add(f.Name, f.Type, true)
+			continue
+		}
+		g := b.Fields[j]
+		t, ok := TightestCommonType(f.Type, g.Type)
+		if !ok {
+			// In analyzer coercion this is an error; the JSON-inference
+			// merge instead falls back to STRING via PromoteToString.
+			return nil, false
+		}
+		merged = merged.Add(f.Name, t, f.Nullable || g.Nullable)
+	}
+	for _, g := range b.Fields {
+		if merged.FieldIndex(g.Name) < 0 {
+			merged = merged.Add(g.Name, g.Type, true)
+		}
+	}
+	return merged, true
+}
+
+// MostSpecificSupertype is the associative merge used by JSON schema
+// inference (paper §5.1): like TightestCommonType, but fields that display
+// multiple incompatible types generalize to STRING, "preserving the original
+// JSON representation", instead of failing.
+func MostSpecificSupertype(a, b DataType) DataType {
+	if t, ok := TightestCommonType(a, b); ok {
+		return t
+	}
+	// Arrays of incompatible elements generalize element-wise.
+	if aa, ok := a.(ArrayType); ok {
+		if bb, ok := b.(ArrayType); ok {
+			return ArrayType{
+				Elem:         MostSpecificSupertype(aa.Elem, bb.Elem),
+				ContainsNull: aa.ContainsNull || bb.ContainsNull,
+			}
+		}
+	}
+	if as, ok := a.(StructType); ok {
+		if bs, ok := b.(StructType); ok {
+			return mergeStructsLenient(as, bs)
+		}
+	}
+	return String
+}
+
+func mergeStructsLenient(a, b StructType) StructType {
+	merged := StructType{}
+	for _, f := range a.Fields {
+		j := b.FieldIndex(f.Name)
+		if j < 0 {
+			merged = merged.Add(f.Name, f.Type, true)
+			continue
+		}
+		g := b.Fields[j]
+		merged = merged.Add(f.Name, MostSpecificSupertype(f.Type, g.Type), f.Nullable || g.Nullable)
+	}
+	for _, g := range b.Fields {
+		if merged.FieldIndex(g.Name) < 0 {
+			merged = merged.Add(g.Name, g.Type, true)
+		}
+	}
+	return merged
+}

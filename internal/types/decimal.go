@@ -1,0 +1,129 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Decimal is a fixed-precision decimal value: an unscaled 64-bit integer
+// plus a scale. DECIMAL(p, s) values with p <= MaxLongDigits fit, which is
+// what the paper's DecimalAggregates rule (§4.3.2) exploits: sums on
+// small-precision decimals are computed on the unscaled LONG directly.
+type Decimal struct {
+	Unscaled int64
+	Scale    int
+}
+
+// NewDecimal builds a Decimal from an unscaled value and scale.
+func NewDecimal(unscaled int64, scale int) Decimal {
+	return Decimal{Unscaled: unscaled, Scale: scale}
+}
+
+// ParseDecimal parses a literal like "123.45" into a Decimal, inferring the
+// scale from the fractional digits.
+func ParseDecimal(s string) (Decimal, error) {
+	neg := false
+	body := s
+	if strings.HasPrefix(body, "-") {
+		neg = true
+		body = body[1:]
+	} else if strings.HasPrefix(body, "+") {
+		body = body[1:]
+	}
+	intPart, fracPart, _ := strings.Cut(body, ".")
+	if intPart == "" {
+		intPart = "0"
+	}
+	digits := intPart + fracPart
+	u, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return Decimal{}, fmt.Errorf("types: invalid decimal literal %q: %w", s, err)
+	}
+	if neg {
+		u = -u
+	}
+	return Decimal{Unscaled: u, Scale: len(fracPart)}, nil
+}
+
+// Float64 converts the decimal to a float64 (lossy for large values).
+func (d Decimal) Float64() float64 {
+	return float64(d.Unscaled) / float64(pow10(d.Scale))
+}
+
+// Rescale returns a decimal equal in value but with the given scale.
+// Scaling down truncates toward zero.
+func (d Decimal) Rescale(scale int) Decimal {
+	switch {
+	case scale == d.Scale:
+		return d
+	case scale > d.Scale:
+		return Decimal{Unscaled: d.Unscaled * pow10(scale-d.Scale), Scale: scale}
+	default:
+		return Decimal{Unscaled: d.Unscaled / pow10(d.Scale-scale), Scale: scale}
+	}
+}
+
+// Add returns d+o at the wider of the two scales.
+func (d Decimal) Add(o Decimal) Decimal {
+	s := max(d.Scale, o.Scale)
+	return Decimal{Unscaled: d.Rescale(s).Unscaled + o.Rescale(s).Unscaled, Scale: s}
+}
+
+// Sub returns d-o at the wider of the two scales.
+func (d Decimal) Sub(o Decimal) Decimal {
+	s := max(d.Scale, o.Scale)
+	return Decimal{Unscaled: d.Rescale(s).Unscaled - o.Rescale(s).Unscaled, Scale: s}
+}
+
+// Mul returns d*o; the result scale is the sum of the operand scales.
+func (d Decimal) Mul(o Decimal) Decimal {
+	return Decimal{Unscaled: d.Unscaled * o.Unscaled, Scale: d.Scale + o.Scale}
+}
+
+// Div returns d/o at d's scale (truncating), matching unscaled LONG
+// division semantics. Division by a zero decimal panics like integer
+// division; callers guard for SQL NULL-on-zero semantics.
+func (d Decimal) Div(o Decimal) Decimal {
+	// Widen the numerator so the quotient keeps d.Scale digits.
+	num := d.Unscaled * pow10(o.Scale)
+	return Decimal{Unscaled: num / o.Unscaled, Scale: d.Scale}
+}
+
+// Cmp compares two decimals numerically: -1, 0 or 1.
+func (d Decimal) Cmp(o Decimal) int {
+	s := max(d.Scale, o.Scale)
+	a, b := d.Rescale(s).Unscaled, o.Rescale(s).Unscaled
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// IsZero reports whether the decimal equals zero.
+func (d Decimal) IsZero() bool { return d.Unscaled == 0 }
+
+func (d Decimal) String() string {
+	if d.Scale == 0 {
+		return strconv.FormatInt(d.Unscaled, 10)
+	}
+	u := d.Unscaled
+	sign := ""
+	if u < 0 {
+		sign = "-"
+		u = -u
+	}
+	p := pow10(d.Scale)
+	return fmt.Sprintf("%s%d.%0*d", sign, u/p, d.Scale, u%p)
+}
+
+func pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}

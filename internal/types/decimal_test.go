@@ -1,0 +1,121 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDecimal(t *testing.T) {
+	cases := []struct {
+		in       string
+		unscaled int64
+		scale    int
+	}{
+		{"123.45", 12345, 2},
+		{"-7.5", -75, 1},
+		{"0.001", 1, 3},
+		{"42", 42, 0},
+		{"+3.14", 314, 2},
+		{".5", 5, 1},
+	}
+	for _, c := range cases {
+		d, err := ParseDecimal(c.in)
+		if err != nil {
+			t.Fatalf("ParseDecimal(%q): %v", c.in, err)
+		}
+		if d.Unscaled != c.unscaled || d.Scale != c.scale {
+			t.Errorf("ParseDecimal(%q) = %+v", c.in, d)
+		}
+	}
+	if _, err := ParseDecimal("abc"); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestDecimalString(t *testing.T) {
+	cases := []struct {
+		d    Decimal
+		want string
+	}{
+		{NewDecimal(12345, 2), "123.45"},
+		{NewDecimal(-75, 1), "-7.5"},
+		{NewDecimal(5, 3), "0.005"},
+		{NewDecimal(42, 0), "42"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDecimalArithmetic(t *testing.T) {
+	a := NewDecimal(1050, 2) // 10.50
+	b := NewDecimal(25, 1)   // 2.5
+	if got := a.Add(b); got.String() != "13.00" {
+		t.Errorf("10.50 + 2.5 = %s", got)
+	}
+	if got := a.Sub(b); got.String() != "8.00" {
+		t.Errorf("10.50 - 2.5 = %s", got)
+	}
+	if got := a.Mul(b); got.String() != "26.250" {
+		t.Errorf("10.50 * 2.5 = %s", got)
+	}
+	if got := a.Div(b); got.String() != "4.20" {
+		t.Errorf("10.50 / 2.5 = %s", got)
+	}
+}
+
+func TestDecimalCompare(t *testing.T) {
+	a := NewDecimal(100, 2) // 1.00
+	b := NewDecimal(1, 0)   // 1
+	if a.Cmp(b) != 0 {
+		t.Error("1.00 == 1 across scales")
+	}
+	if NewDecimal(99, 2).Cmp(b) != -1 || NewDecimal(101, 2).Cmp(b) != 1 {
+		t.Error("ordering wrong")
+	}
+}
+
+func TestDecimalRescale(t *testing.T) {
+	d := NewDecimal(12345, 2) // 123.45
+	if up := d.Rescale(4); up.Unscaled != 1234500 || up.Scale != 4 {
+		t.Errorf("upscale = %+v", up)
+	}
+	if down := d.Rescale(1); down.Unscaled != 1234 || down.Scale != 1 {
+		t.Errorf("downscale truncates: %+v", down)
+	}
+	if same := d.Rescale(2); same != d {
+		t.Error("identity rescale")
+	}
+}
+
+// Property: Add is commutative and Sub inverts Add (within range).
+func TestDecimalAddProperties(t *testing.T) {
+	f := func(ua, ub int32, sa, sb uint8) bool {
+		a := NewDecimal(int64(ua), int(sa%5))
+		b := NewDecimal(int64(ub), int(sb%5))
+		if a.Add(b).Cmp(b.Add(a)) != 0 {
+			return false
+		}
+		return a.Add(b).Sub(b).Cmp(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Float64 and String agree with unscaled math.
+func TestDecimalFloatConsistency(t *testing.T) {
+	f := func(u int32, s uint8) bool {
+		d := NewDecimal(int64(u), int(s%4))
+		parsed, err := ParseDecimal(d.String())
+		if err != nil {
+			return false
+		}
+		return parsed.Cmp(d) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

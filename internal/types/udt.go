@@ -1,0 +1,68 @@
+package types
+
+import (
+	"fmt"
+	"sync"
+)
+
+// UserDefinedType maps a user's Go type onto a structure of built-in
+// Catalyst types (paper §4.4.2). Registering a UDT supplies a serializer to
+// a row of built-in values and a deserializer back; the engine then stores
+// and ships the value as its SQL representation (e.g. a two-DOUBLE struct
+// for a 2-D point), including in the columnar cache and in data sources.
+type UserDefinedType interface {
+	// TypeName is the registered name, e.g. "point".
+	TypeName() string
+	// SQLType is the built-in structure the user type maps to.
+	SQLType() DataType
+	// Serialize converts a user object to its SQL representation. For a
+	// struct SQLType the result is a []any in field order.
+	Serialize(obj any) (any, error)
+	// Deserialize converts the SQL representation back to the user object.
+	Deserialize(v any) (any, error)
+}
+
+// UDTType adapts a UserDefinedType into a DataType so user types flow
+// through schemas like built-in types. Two UDTTypes are equal when their
+// registered names match.
+type UDTType struct {
+	UDT UserDefinedType
+}
+
+func (u UDTType) Name() string { return fmt.Sprintf("UDT<%s>", u.UDT.TypeName()) }
+func (u UDTType) Equals(other DataType) bool {
+	o, ok := other.(UDTType)
+	return ok && o.UDT.TypeName() == u.UDT.TypeName()
+}
+func (u UDTType) String() string { return u.Name() }
+
+// UDTRegistry tracks registered user-defined types by name. It is safe for
+// concurrent use.
+type UDTRegistry struct {
+	mu     sync.RWMutex
+	byName map[string]UserDefinedType
+}
+
+// NewUDTRegistry returns an empty registry.
+func NewUDTRegistry() *UDTRegistry {
+	return &UDTRegistry{byName: make(map[string]UserDefinedType)}
+}
+
+// Register adds a UDT; registering a duplicate name is an error.
+func (r *UDTRegistry) Register(udt UserDefinedType) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[udt.TypeName()]; dup {
+		return fmt.Errorf("types: UDT %q already registered", udt.TypeName())
+	}
+	r.byName[udt.TypeName()] = udt
+	return nil
+}
+
+// Lookup returns the UDT registered under name.
+func (r *UDTRegistry) Lookup(name string) (UserDefinedType, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	udt, ok := r.byName[name]
+	return udt, ok
+}

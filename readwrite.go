@@ -1,0 +1,158 @@
+package sparksql
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+
+	"repro/internal/datasource"
+	"repro/internal/datasource/colfile"
+	"repro/internal/plan"
+	"repro/internal/row"
+)
+
+// Reader builds data source reads (ctx.Read().Option(...).CSV(path)).
+type Reader struct {
+	ctx     *Context
+	options map[string]string
+}
+
+// Option sets a provider option (paper §4.4.1's key-value parameters).
+func (r *Reader) Option(key, value string) *Reader {
+	r.options[key] = value
+	return r
+}
+
+// Schema declares a schema string ("name STRING, age INT") for sources
+// that accept one.
+func (r *Reader) Schema(s string) *Reader { return r.Option("schema", s) }
+
+// Load opens a relation through the named provider.
+func (r *Reader) Load(source string) (*DataFrame, error) {
+	p, err := r.ctx.sources.Lookup(source)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := p.CreateRelation(r.options)
+	if err != nil {
+		return nil, err
+	}
+	return r.ctx.frameForRelation(source, rel)
+}
+
+// CSV reads a CSV file.
+func (r *Reader) CSV(path string) (*DataFrame, error) {
+	return r.Option("path", path).Load("csv")
+}
+
+// JSON reads a file of JSON records, inferring the schema (paper §5.1).
+func (r *Reader) JSON(path string) (*DataFrame, error) {
+	return r.Option("path", path).Load("json")
+}
+
+// ColFile reads this repo's columnar file format (the Parquet stand-in).
+func (r *Reader) ColFile(path string) (*DataFrame, error) {
+	return r.Option("path", path).Load("colfile")
+}
+
+// Write begins building an output operation.
+func (df *DataFrame) Write() *Writer { return &Writer{df: df} }
+
+// Writer persists DataFrames to files.
+type Writer struct {
+	df           *DataFrame
+	rowGroupSize int
+}
+
+// RowGroupSize sets the columnar writer's rows-per-group.
+func (w *Writer) RowGroupSize(n int) *Writer {
+	w.rowGroupSize = n
+	return w
+}
+
+// ColFile writes the DataFrame to the columnar format with row-group
+// statistics for later filter skipping.
+func (w *Writer) ColFile(path string) error {
+	rows, err := w.df.Collect()
+	if err != nil {
+		return err
+	}
+	return colfile.Write(path, w.df.Schema(), rows, w.rowGroupSize)
+}
+
+// InsertInto appends the DataFrame's rows to a registered table backed by
+// a data source implementing datasource.InsertableRelation (paper §4.4.1's
+// write-side interface: "Spark SQL just provides an RDD of Row objects to
+// be written"). Column count must match; values are written positionally.
+func (w *Writer) InsertInto(table string) error {
+	lp, ok := w.df.ctx.engine.Catalog.LookupTable(table)
+	if !ok {
+		return fmt.Errorf("sparksql: no such table %q", table)
+	}
+	src, ok := lp.(*plan.DataSourceRelation)
+	if !ok {
+		return fmt.Errorf("sparksql: table %q is not a data source relation", table)
+	}
+	ins, ok := src.Rel.(datasource.InsertableRelation)
+	if !ok {
+		return fmt.Errorf("sparksql: data source %q does not support writes", table)
+	}
+	if got, want := len(w.df.Columns()), len(src.Attrs); got != want {
+		return fmt.Errorf("sparksql: cannot insert %d columns into %q (%d columns)", got, table, want)
+	}
+	r, err := w.df.ToRDD()
+	if err != nil {
+		return err
+	}
+	parts := make([][]row.Row, r.NumPartitions())
+	var collectErr error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				collectErr = fmt.Errorf("sparksql: insert failed: %v", p)
+			}
+		}()
+		r.ForeachPartition(func(p int, data []row.Row) { parts[p] = data })
+	}()
+	if collectErr != nil {
+		return collectErr
+	}
+	return ins.Insert(parts)
+}
+
+// CSV writes the DataFrame as a CSV file with a header row.
+func (w *Writer) CSV(path string) error {
+	rows, err := w.df.Collect()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sparksql: %w", err)
+	}
+	cw := csv.NewWriter(f)
+	if err := cw.Write(w.df.Columns()); err != nil {
+		f.Close()
+		return err
+	}
+	rec := make([]string, len(w.df.Columns()))
+	for _, r := range rows {
+		for i := range rec {
+			if r[i] == nil {
+				rec[i] = ""
+			} else {
+				rec[i] = row.FormatValue(r[i])
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,305 @@
+package sparksql
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/datasource/jsonds"
+	"repro/internal/plan"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// This file implements schema inference for native Go datasets by
+// reflection — the Go analogue of paper §3.5, where Spark SQL extracts
+// schemas from Scala case classes and JavaBeans so RDDs of native objects
+// can be queried relationally in place — and reflection-based registration
+// of Go functions as UDFs (§3.7).
+
+// CreateDataFrameFromStructs infers a schema from a []T of structs and
+// builds a DataFrame over the converted rows. Supported field types: bool,
+// int/int32/int64, float32/float64, string, types.Decimal, pointers to
+// those (nullable), slices (arrays), nested structs, and any type with a
+// registered UDT.
+func (c *Context) CreateDataFrameFromStructs(slice any) (*DataFrame, error) {
+	v := reflect.ValueOf(slice)
+	if v.Kind() != reflect.Slice {
+		return nil, fmt.Errorf("sparksql: CreateDataFrameFromStructs requires a slice, got %T", slice)
+	}
+	elem := v.Type().Elem()
+	if elem.Kind() == reflect.Ptr {
+		elem = elem.Elem()
+	}
+	if elem.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("sparksql: element type %s is not a struct", elem)
+	}
+	schema, err := c.inferStructSchema(elem)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		ev := v.Index(i)
+		if ev.Kind() == reflect.Ptr {
+			ev = ev.Elem()
+		}
+		r, err := c.structToRow(ev, schema)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = r
+	}
+	return c.newDataFrame(plan.NewLocalRelation(schema, rows))
+}
+
+// inferStructSchema maps exported struct fields to SQL types.
+func (c *Context) inferStructSchema(t reflect.Type) (StructType, error) {
+	var schema StructType
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := f.Name
+		if tag := f.Tag.Get("sql"); tag != "" {
+			name = tag
+		}
+		dt, nullable, err := c.goTypeToSQL(f.Type)
+		if err != nil {
+			return StructType{}, fmt.Errorf("sparksql: field %s.%s: %w", t.Name(), f.Name, err)
+		}
+		schema = schema.Add(name, dt, nullable)
+	}
+	if len(schema.Fields) == 0 {
+		return StructType{}, fmt.Errorf("sparksql: struct %s has no exported fields", t.Name())
+	}
+	return schema, nil
+}
+
+func (c *Context) goTypeToSQL(t reflect.Type) (DataType, bool, error) {
+	// Registered UDTs win over structural mapping (paper §4.4.2: Points
+	// are recognized within native objects).
+	if udt, ok := c.lookupUDTForGoType(t); ok {
+		return udt.SQLType(), true, nil
+	}
+	switch t.Kind() {
+	case reflect.Ptr:
+		dt, _, err := c.goTypeToSQL(t.Elem())
+		return dt, true, err
+	case reflect.Bool:
+		return BooleanType, false, nil
+	case reflect.Int32:
+		return IntType, false, nil
+	case reflect.Int, reflect.Int64:
+		return LongType, false, nil
+	case reflect.Float32:
+		return FloatType, false, nil
+	case reflect.Float64:
+		return DoubleType, false, nil
+	case reflect.String:
+		return StringType, false, nil
+	case reflect.Slice:
+		elem, _, err := c.goTypeToSQL(t.Elem())
+		if err != nil {
+			return nil, false, err
+		}
+		return types.ArrayType{Elem: elem, ContainsNull: t.Elem().Kind() == reflect.Ptr}, false, nil
+	case reflect.Struct:
+		if t == reflect.TypeOf(types.Decimal{}) {
+			return DecimalType(types.MaxLongDigits, 2), false, nil
+		}
+		nested, err := c.inferStructSchema(t)
+		if err != nil {
+			return nil, false, err
+		}
+		return nested, false, nil
+	default:
+		return nil, false, fmt.Errorf("unsupported Go type %s", t)
+	}
+}
+
+// lookupUDTForGoType finds a registered UDT whose serialized sample type
+// name matches; UDTs register under the Go type's name by convention.
+func (c *Context) lookupUDTForGoType(t reflect.Type) (UserDefinedType, bool) {
+	return c.engine.Catalog.UDTs().Lookup(t.Name())
+}
+
+// structToRow converts one struct value, applying UDT serialization where
+// registered.
+func (c *Context) structToRow(v reflect.Value, schema StructType) (Row, error) {
+	t := v.Type()
+	r := make(Row, 0, len(schema.Fields))
+	fi := 0
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		val, err := c.goValueToSQL(v.Field(i), schema.Fields[fi].Type)
+		if err != nil {
+			return nil, err
+		}
+		r = append(r, val)
+		fi++
+	}
+	return r, nil
+}
+
+func (c *Context) goValueToSQL(v reflect.Value, dt DataType) (any, error) {
+	if udt, ok := c.lookupUDTForGoType(v.Type()); ok {
+		return udt.Serialize(v.Interface())
+	}
+	switch v.Kind() {
+	case reflect.Ptr:
+		if v.IsNil() {
+			return nil, nil
+		}
+		return c.goValueToSQL(v.Elem(), dt)
+	case reflect.Bool:
+		return v.Bool(), nil
+	case reflect.Int32:
+		return int32(v.Int()), nil
+	case reflect.Int, reflect.Int64:
+		return v.Int(), nil
+	case reflect.Float32:
+		return float32(v.Float()), nil
+	case reflect.Float64:
+		return v.Float(), nil
+	case reflect.String:
+		return v.String(), nil
+	case reflect.Slice:
+		out := make([]any, v.Len())
+		at := dt.(types.ArrayType)
+		for i := 0; i < v.Len(); i++ {
+			e, err := c.goValueToSQL(v.Index(i), at.Elem)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = e
+		}
+		return out, nil
+	case reflect.Struct:
+		if d, ok := v.Interface().(types.Decimal); ok {
+			return d, nil
+		}
+		st := dt.(StructType)
+		return c.structToRow(v, st)
+	default:
+		return nil, fmt.Errorf("sparksql: unsupported value kind %s", v.Kind())
+	}
+}
+
+// CreateDataFrameFromMaps infers a schema from dynamically-typed records
+// (maps of column name to value) by sampling all of them with the §5.1
+// most-specific-supertype merge — the analogue of paper §3.5's Python path:
+// "In Python, Spark SQL samples the dataset to perform schema inference due
+// to the dynamic type system." Values may be Go numerics, strings, bools,
+// nested maps and slices; missing keys become NULL.
+func (c *Context) CreateDataFrameFromMaps(records []map[string]any) (*DataFrame, error) {
+	// Normalize to the JSON value model and reuse the JSON inference.
+	norm := make([]map[string]any, len(records))
+	for i, rec := range records {
+		m := make(map[string]any, len(rec))
+		for k, v := range rec {
+			m[k] = normalizeDynamic(v)
+		}
+		norm[i] = m
+	}
+	rel := jsonds.NewRelation(norm, 0)
+	return c.frameForRelation("maps", rel)
+}
+
+func normalizeDynamic(v any) any {
+	switch x := v.(type) {
+	case nil, bool, string, json.Number:
+		return x
+	case int:
+		return json.Number(strconv.FormatInt(int64(x), 10))
+	case int32:
+		return json.Number(strconv.FormatInt(int64(x), 10))
+	case int64:
+		return json.Number(strconv.FormatInt(x, 10))
+	case float32:
+		return json.Number(strconv.FormatFloat(float64(x), 'g', -1, 64))
+	case float64:
+		return json.Number(strconv.FormatFloat(x, 'g', -1, 64))
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalizeDynamic(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = normalizeDynamic(e)
+		}
+		return out
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// reflectUDF derives a UDF definition from a Go function's signature.
+func reflectUDF(name string, fn any) (*analysis.UDF, error) {
+	v := reflect.ValueOf(fn)
+	t := v.Type()
+	if t.Kind() != reflect.Func {
+		return nil, fmt.Errorf("sparksql: RegisterUDF(%s): not a function", name)
+	}
+	if t.NumOut() != 1 {
+		return nil, fmt.Errorf("sparksql: RegisterUDF(%s): must return exactly one value", name)
+	}
+	in := make([]DataType, t.NumIn())
+	for i := range in {
+		dt, err := scalarGoType(t.In(i))
+		if err != nil {
+			return nil, fmt.Errorf("sparksql: RegisterUDF(%s) arg %d: %w", name, i, err)
+		}
+		in[i] = dt
+	}
+	ret, err := scalarGoType(t.Out(0))
+	if err != nil {
+		return nil, fmt.Errorf("sparksql: RegisterUDF(%s) result: %w", name, err)
+	}
+	call := func(args []any) any {
+		vals := make([]reflect.Value, len(args))
+		for i, a := range args {
+			if a == nil {
+				// NULL argument: Spark SQL's scalar UDFs see zero values;
+				// NULL-out the result instead for safety.
+				return nil
+			}
+			vals[i] = reflect.ValueOf(a)
+		}
+		out := v.Call(vals)
+		return out[0].Interface()
+	}
+	return &analysis.UDF{Name: name, Fn: call, In: in, Ret: ret}, nil
+}
+
+func scalarGoType(t reflect.Type) (DataType, error) {
+	switch t.Kind() {
+	case reflect.Bool:
+		return BooleanType, nil
+	case reflect.Int32:
+		return IntType, nil
+	case reflect.Int64:
+		return LongType, nil
+	case reflect.Float32:
+		return FloatType, nil
+	case reflect.Float64:
+		return DoubleType, nil
+	case reflect.String:
+		return StringType, nil
+	}
+	if t == reflect.TypeOf(types.Decimal{}) {
+		return DecimalType(types.MaxLongDigits, 2), nil
+	}
+	return nil, fmt.Errorf("unsupported type %s (use bool, int32, int64, float32, float64, string)", t)
+}
+
+var _ = row.Row{}

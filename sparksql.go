@@ -1,0 +1,337 @@
+// Package sparksql is a from-scratch Go reproduction of Spark SQL
+// (Armbrust et al., SIGMOD 2015): a DataFrame API that intermixes
+// relational and procedural processing, backed by the Catalyst extensible
+// optimizer, an RDD execution engine, columnar in-memory caching, a SQL
+// front end, schema inference for JSON and native Go structs, user-defined
+// functions and types, and a data source API with predicate pushdown and
+// query federation.
+//
+// Quick start:
+//
+//	ctx := sparksql.NewContext()
+//	users, _ := ctx.CreateDataFrameFromStructs([]User{{"Alice", 22}, {"Bob", 19}})
+//	young := users.Where(users.Col("Age").Lt(sparksql.Lit(21)))
+//	n, _ := young.Count()
+//
+// DataFrames are lazy — each represents a logical plan — but are analyzed
+// eagerly, so referencing a missing column fails at the line that writes
+// it, not at execution (paper §3.4).
+package sparksql
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/datasource"
+	"repro/internal/datasource/colfile"
+	"repro/internal/datasource/csvds"
+	"repro/internal/datasource/jsonds"
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// Re-exported value and schema types, so callers need only this package.
+type (
+	// Row is a positional result tuple; NULL is nil.
+	Row = row.Row
+	// DataType is a Spark SQL type object.
+	DataType = types.DataType
+	// StructType is a schema.
+	StructType = types.StructType
+	// StructField is one schema column.
+	StructField = types.StructField
+	// Decimal is a fixed-point decimal value.
+	Decimal = types.Decimal
+	// UserDefinedType maps a Go type onto built-in SQL types (paper §4.4.2).
+	UserDefinedType = types.UserDefinedType
+)
+
+// Re-exported type singletons.
+var (
+	BooleanType   = types.Boolean
+	IntType       = types.Int
+	LongType      = types.Long
+	FloatType     = types.Float
+	DoubleType    = types.Double
+	StringType    = types.String
+	DateType      = types.Date
+	TimestampType = types.Timestamp
+)
+
+// DecimalType builds a fixed-precision decimal type.
+func DecimalType(precision, scale int) DataType {
+	return types.DecimalType{Precision: precision, Scale: scale}
+}
+
+// ArrayType builds an array type.
+func ArrayType(elem DataType, containsNull bool) DataType {
+	return types.ArrayType{Elem: elem, ContainsNull: containsNull}
+}
+
+// Config selects the engine's operating mode. The zero value is invalid;
+// start from DefaultConfig (everything on) or SharkConfig (the paper's
+// baseline: no codegen, no pipelining, no source pushdown).
+type Config struct {
+	// Codegen compiles expressions to fused closures (paper §4.3.4).
+	Codegen bool
+	// LogicalOptimization enables the Catalyst optimizer rule batches.
+	LogicalOptimization bool
+	// SourcePushdown enables projection/filter pushdown into data sources.
+	SourcePushdown bool
+	// PipelineCollapse fuses adjacent projects/filters into one map stage.
+	PipelineCollapse bool
+	// BroadcastThreshold is the max estimated bytes for a broadcast join
+	// side (paper §4.3.3).
+	BroadcastThreshold int64
+	// ShufflePartitions is the reducer count; Parallelism the worker count.
+	ShufflePartitions int
+	Parallelism       int
+}
+
+// DefaultConfig enables the full Spark SQL feature set.
+func DefaultConfig() Config {
+	return Config{
+		Codegen:             true,
+		LogicalOptimization: true,
+		SourcePushdown:      true,
+		PipelineCollapse:    true,
+		BroadcastThreshold:  10 << 20,
+	}
+}
+
+// SharkConfig approximates the paper's Shark baseline.
+func SharkConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Codegen = false
+	cfg.SourcePushdown = false
+	cfg.PipelineCollapse = false
+	return cfg
+}
+
+func (c Config) toCore() core.Config {
+	opt := optimizer.DefaultConfig()
+	if !c.LogicalOptimization {
+		opt.ExpressionOptimization = false
+		opt.PlanOptimization = false
+		opt.DecimalAggregates = false
+	}
+	opt.SourcePushdown = c.SourcePushdown && c.LogicalOptimization
+	pcfg := physical.DefaultPlannerConfig()
+	pcfg.CollapsePipelines = c.PipelineCollapse
+	if c.BroadcastThreshold > 0 {
+		pcfg.BroadcastThreshold = c.BroadcastThreshold
+	}
+	return core.Config{
+		Codegen:           c.Codegen,
+		Optimizer:         opt,
+		Planner:           pcfg,
+		ShufflePartitions: c.ShufflePartitions,
+		Parallelism:       c.Parallelism,
+	}
+}
+
+// Context is the entry point — the paper's SQLContext/HiveContext. It owns
+// the catalog of temp tables, registered UDFs/UDTs, the data source
+// provider registry and the execution engine.
+type Context struct {
+	engine  *core.Engine
+	sources *datasource.Registry
+}
+
+// NewContext builds a context with DefaultConfig.
+func NewContext() *Context { return NewContextWithConfig(DefaultConfig()) }
+
+// NewContextWithConfig builds a context in the given mode.
+func NewContextWithConfig(cfg Config) *Context {
+	ctx := &Context{
+		engine:  core.NewEngine(cfg.toCore()),
+		sources: datasource.NewRegistry(),
+	}
+	// Built-in data sources (paper §4.4.1's CSV / JSON / columnar file).
+	ctx.sources.Register("csv", csvds.Provider())
+	ctx.sources.Register("json", jsonds.Provider())
+	ctx.sources.Register("colfile", colfile.Provider())
+	return ctx
+}
+
+// Engine exposes the underlying engine for advanced integrations (planner
+// strategies, metrics); examples and benches use it, typical callers don't.
+func (c *Context) Engine() *core.Engine { return c.engine }
+
+// RDDContext exposes the task execution context for procedural RDD code.
+func (c *Context) RDDContext() *rdd.Context { return c.engine.RDDCtx }
+
+// RegisterDataSource adds a named relation provider, the USING extension
+// point of §4.4.1.
+func (c *Context) RegisterDataSource(name string, p datasource.Provider) {
+	c.sources.Register(name, p)
+}
+
+// RegisterUDT registers a user-defined type (paper §4.4.2).
+func (c *Context) RegisterUDT(udt UserDefinedType) error {
+	return c.engine.Catalog.UDTs().Register(udt)
+}
+
+// SQL runs a SQL statement. Queries return a DataFrame; CREATE TEMPORARY
+// TABLE statements register the table and return an empty DataFrame.
+func (c *Context) SQL(query string) (*DataFrame, error) {
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStatement:
+		return c.newDataFrame(s.Plan)
+	case *sqlparser.CreateTempTable:
+		if s.AsSelect != nil {
+			df, err := c.newDataFrame(s.AsSelect)
+			if err != nil {
+				return nil, err
+			}
+			df.RegisterTempTable(s.Name)
+			return c.emptyFrame(), nil
+		}
+		provider, err := c.sources.Lookup(s.Provider)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := provider.CreateRelation(s.Options)
+		if err != nil {
+			return nil, fmt.Errorf("sparksql: creating relation %q: %w", s.Name, err)
+		}
+		df, err := c.frameForRelation(s.Provider, rel)
+		if err != nil {
+			return nil, err
+		}
+		df.RegisterTempTable(s.Name)
+		return c.emptyFrame(), nil
+	default:
+		return nil, fmt.Errorf("sparksql: unsupported statement")
+	}
+}
+
+// Table returns a DataFrame over a registered temp table.
+func (c *Context) Table(name string) (*DataFrame, error) {
+	return c.newDataFrame(&plan.UnresolvedRelation{Name: name})
+}
+
+// CreateDataFrame builds a DataFrame from a schema and rows. Row values
+// must match the declared types (INT→int32, BIGINT→int64, DOUBLE→float64,
+// STRING→string, ...).
+func (c *Context) CreateDataFrame(schema StructType, rows []Row) (*DataFrame, error) {
+	return c.newDataFrame(plan.NewLocalRelation(schema, rows))
+}
+
+// CreateDataFrameFromRDD views an existing row RDD as a DataFrame (paper
+// §3.5: relational processing over native datasets inside Spark programs).
+func (c *Context) CreateDataFrameFromRDD(schema StructType, r *rdd.RDD[Row]) (*DataFrame, error) {
+	attrs := make([]*expr.AttributeReference, len(schema.Fields))
+	for i, f := range schema.Fields {
+		attrs[i] = expr.NewAttribute(f.Name, f.Type, f.Nullable)
+	}
+	return c.newDataFrame(&plan.LogicalRDD{Attrs: attrs, RDD: r})
+}
+
+// Range produces the integers [0, n) as a single BIGINT column "id".
+func (c *Context) Range(n int64) *DataFrame {
+	df, err := c.newDataFrame(plan.NewRange(0, n, 1, 0))
+	if err != nil {
+		panic(err) // range plans always analyze
+	}
+	return df
+}
+
+// RegisterUDF registers a Go function as a scalar UDF callable from SQL
+// and the DSL (paper §3.7). Parameter and result types are derived from
+// the function signature by reflection; supported Go types are bool,
+// int32, int64, float32, float64, string and types.Decimal.
+func (c *Context) RegisterUDF(name string, fn any) error {
+	udf, err := reflectUDF(name, fn)
+	if err != nil {
+		return err
+	}
+	c.engine.Catalog.RegisterUDF(udf)
+	return nil
+}
+
+// RegisterTableUDF registers a MADLib-style table-valued function (paper
+// §3.7): callable in SQL as `SELECT ... FROM name(table1, table2)`, it
+// receives DataFrames for its argument tables and returns a DataFrame. The
+// function body may use the full relational and procedural API.
+func (c *Context) RegisterTableUDF(name string, fn func(args []*DataFrame) (*DataFrame, error)) {
+	c.engine.Catalog.RegisterTableFunction(name, func(plans []plan.LogicalPlan) (plan.LogicalPlan, error) {
+		dfs := make([]*DataFrame, len(plans))
+		for i, p := range plans {
+			df, err := c.newDataFrame(p)
+			if err != nil {
+				return nil, err
+			}
+			dfs[i] = df
+		}
+		out, err := fn(dfs)
+		if err != nil {
+			return nil, err
+		}
+		return out.logical, nil
+	})
+}
+
+// CallUDF builds a DSL column invoking a registered UDF.
+func (c *Context) CallUDF(name string, args ...Column) Column {
+	exprs := make([]expr.Expression, len(args))
+	for i, a := range args {
+		exprs[i] = a.e
+	}
+	return Column{e: &expr.UnresolvedFunction{Name: name, Args: exprs}}
+}
+
+// DropTempTable removes a temp table registration.
+func (c *Context) DropTempTable(name string) {
+	c.engine.Catalog.DropTable(name)
+}
+
+// TableNames lists registered temp tables.
+func (c *Context) TableNames() []string { return c.engine.Catalog.TableNames() }
+
+// Read begins building a data source read.
+func (c *Context) Read() *Reader { return &Reader{ctx: c, options: map[string]string{}} }
+
+// newDataFrame analyzes eagerly and wraps the plan.
+func (c *Context) newDataFrame(lp plan.LogicalPlan) (*DataFrame, error) {
+	analyzed, err := c.engine.Analyze(lp)
+	if err != nil {
+		return nil, err
+	}
+	return &DataFrame{ctx: c, logical: lp, analyzed: analyzed}, nil
+}
+
+func (c *Context) emptyFrame() *DataFrame {
+	lp := plan.NewLocalRelation(types.StructType{}, nil)
+	return &DataFrame{ctx: c, logical: lp, analyzed: lp}
+}
+
+// frameForRelation wraps a data source relation as a DataFrame.
+func (c *Context) frameForRelation(name string, rel datasource.Relation) (*DataFrame, error) {
+	schema := rel.Schema()
+	attrs := make([]*expr.AttributeReference, len(schema.Fields))
+	for i, f := range schema.Fields {
+		attrs[i] = expr.NewAttribute(f.Name, f.Type, f.Nullable)
+	}
+	var size int64
+	if sized, ok := rel.(datasource.SizedRelation); ok {
+		size = sized.SizeInBytes()
+	}
+	return c.newDataFrame(&plan.DataSourceRelation{
+		Name: name, Rel: rel, Attrs: attrs, SizeHint: size,
+	})
+}
+
+// Catalog grants tests and tools access to the analysis catalog.
+func (c *Context) Catalog() *analysis.Catalog { return c.engine.Catalog }
