@@ -1,0 +1,11 @@
+.PHONY: check test bench
+
+# Full gate: vet + build + race tests + one-iteration benchmark smoke.
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -run '^$$' -bench . -benchmem ./...

@@ -286,6 +286,37 @@ func BenchmarkAblationCache(b *testing.B) {
 	})
 }
 
+// Vectorized vs row-at-a-time vs hand-written native over the cached
+// Figure 8 Q1 shape (filter + project on the columnar cache).
+func BenchmarkAblationVectorized(b *testing.B) {
+	study, err := experiments.NewVectorizedStudy(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := experiments.Q1Params[0] // pageRank > 1000, the selective Q1a shape
+	b.Run("RowAtATime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := study.RunRow(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Vectorized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := study.RunVec(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Native", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink = study.RunNative(x)
+		}
+		_ = sink
+	})
+}
+
 // Federation pushdown: time plus bytes over the simulated link.
 func BenchmarkAblationFederation(b *testing.B) {
 	fed, err := experiments.NewFederation(5_000, 20_000)

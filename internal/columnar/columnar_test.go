@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/datasource"
 	"repro/internal/row"
 	"repro/internal/types"
 )
@@ -187,7 +186,3 @@ func TestRowCountAndSize(t *testing.T) {
 		t.Fatal("size must be positive")
 	}
 }
-
-// Compile-time check that datasource filters can drive BatchPredicate
-// (integration is in physical; this pins the shape).
-var _ = datasource.EqualTo{}

@@ -1,0 +1,390 @@
+package columnar
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// This file adds the batch-at-a-time side of the cache: a Vector is one
+// column of a batch decoded ONCE into a typed Go slice (plus a null
+// bitmap), so downstream kernels can run tight unboxed loops instead of
+// calling Get(i) any per value. Decoding happens per batch, per referenced
+// column; untouched columns are never decoded, preserving the columnar
+// pruning win.
+
+// VecKind is the physical representation of a Vector.
+type VecKind uint8
+
+const (
+	// KindInt64 holds INT, BIGINT, DATE and TIMESTAMP values widened to
+	// int64 (the same widening the scalar compiler uses for comparisons).
+	KindInt64 VecKind = iota
+	// KindFloat64 holds DOUBLE (and FLOAT, which the cache already stores
+	// as float64).
+	KindFloat64
+	// KindString holds STRING values.
+	KindString
+	// KindBool holds BOOLEAN values.
+	KindBool
+	// KindAny is the boxed fallback for decimals, nested and user types.
+	KindAny
+)
+
+// KindOf maps a SQL type to its vector representation.
+func KindOf(t types.DataType) VecKind {
+	switch {
+	case t.Equals(types.Int), t.Equals(types.Long), t.Equals(types.Date), t.Equals(types.Timestamp):
+		return KindInt64
+	case t.Equals(types.Double), t.Equals(types.Float):
+		return KindFloat64
+	case t.Equals(types.String):
+		return KindString
+	case t.Equals(types.Boolean):
+		return KindBool
+	default:
+		return KindAny
+	}
+}
+
+// Vector is a typed, decoded column of one batch. Exactly one of the data
+// slices (selected by Kind) is populated. Indexing is absolute within the
+// batch: selection vectors skip rows without repacking the data.
+type Vector struct {
+	Kind VecKind
+	// Type is the logical SQL type, needed to re-box values faithfully at
+	// the pipeline boundary (INT and DATE box as int32, BIGINT as int64).
+	Type types.DataType
+
+	I64  []int64
+	F64  []float64
+	Str  []string
+	Bool []bool
+	Any  []any
+
+	// nulls has a bit SET for NULL positions; nil means no nulls.
+	nulls []uint64
+	n     int
+	// constant vectors hold one value at index 0 valid for every row.
+	isConst bool
+}
+
+// NewVector allocates a mutable vector of n rows for the given type.
+func NewVector(t types.DataType, n int) *Vector {
+	v := &Vector{Kind: KindOf(t), Type: t, n: n}
+	switch v.Kind {
+	case KindInt64:
+		v.I64 = make([]int64, n)
+	case KindFloat64:
+		v.F64 = make([]float64, n)
+	case KindString:
+		v.Str = make([]string, n)
+	case KindBool:
+		v.Bool = make([]bool, n)
+	default:
+		v.Any = make([]any, n)
+	}
+	return v
+}
+
+// NewAnyVector allocates a boxed vector of n rows regardless of the type's
+// natural representation — the scalar-fallback path uses it to store the
+// interpreter's values verbatim.
+func NewAnyVector(t types.DataType, n int) *Vector {
+	return &Vector{Kind: KindAny, Type: t, n: n, Any: make([]any, n)}
+}
+
+// NewConstVector builds a constant vector: one value (nil = NULL) repeated
+// over n rows. Kernels read index i&Mask() so constants need no expansion.
+func NewConstVector(t types.DataType, value any, n int) *Vector {
+	v := &Vector{Kind: KindOf(t), Type: t, n: n, isConst: true}
+	switch v.Kind {
+	case KindInt64:
+		v.I64 = make([]int64, 1)
+	case KindFloat64:
+		v.F64 = make([]float64, 1)
+	case KindString:
+		v.Str = make([]string, 1)
+	case KindBool:
+		v.Bool = make([]bool, 1)
+	default:
+		v.Any = make([]any, 1)
+	}
+	v.Set(0, value)
+	if value == nil {
+		// All rows are NULL: SetNull(0) marked position 0, and IsNull masks
+		// every lookup to position 0 via the const flag.
+		v.nulls = []uint64{1}
+	}
+	return v
+}
+
+// Len returns the row count.
+func (v *Vector) Len() int { return v.n }
+
+// IsConst reports whether the vector is a broadcast constant.
+func (v *Vector) IsConst() bool { return v.isConst }
+
+// Mask returns -1 for ordinary vectors and 0 for constants, so kernels can
+// index data[i&Mask()] branch-free.
+func (v *Vector) Mask() int {
+	if v.isConst {
+		return 0
+	}
+	return -1
+}
+
+// HasNulls reports whether any position is NULL.
+func (v *Vector) HasNulls() bool { return v.nulls != nil }
+
+// IsNull reports whether position i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	if v.nulls == nil {
+		return false
+	}
+	if v.isConst {
+		i = 0
+	}
+	return v.nulls[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// SetNull marks position i NULL.
+func (v *Vector) SetNull(i int) {
+	if v.nulls == nil {
+		size := v.n
+		if v.isConst {
+			size = 1
+		}
+		v.nulls = make([]uint64, (size+63)/64)
+	}
+	v.nulls[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Set stores a boxed value (nil = NULL) at position i, converting to the
+// vector's physical representation.
+func (v *Vector) Set(i int, value any) {
+	if value == nil {
+		v.SetNull(i)
+		return
+	}
+	switch v.Kind {
+	case KindInt64:
+		v.I64[i] = asInt64(value)
+	case KindFloat64:
+		v.F64[i] = asFloat64(value)
+	case KindString:
+		v.Str[i] = value.(string)
+	case KindBool:
+		v.Bool[i] = value.(bool)
+	default:
+		v.Any[i] = value
+	}
+}
+
+// Get re-boxes the value at position i (nil for NULL), producing exactly
+// the representation the row-at-a-time cache scan produces.
+func (v *Vector) Get(i int) any {
+	if v.IsNull(i) {
+		return nil
+	}
+	if v.isConst {
+		i = 0
+	}
+	switch v.Kind {
+	case KindInt64:
+		if narrowInt(v.Type) {
+			return int32(v.I64[i])
+		}
+		return v.I64[i]
+	case KindFloat64:
+		return v.F64[i]
+	case KindString:
+		return v.Str[i]
+	case KindBool:
+		return v.Bool[i]
+	default:
+		return v.Any[i]
+	}
+}
+
+// narrowInt reports whether the type boxes as int32.
+func narrowInt(t types.DataType) bool {
+	return t.Equals(types.Int) || t.Equals(types.Date)
+}
+
+func asInt64(v any) int64 {
+	switch x := v.(type) {
+	case int32:
+		return int64(x)
+	case int64:
+		return x
+	}
+	panic(fmt.Sprintf("columnar: value %T is not an integer", v))
+}
+
+func asFloat64(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case float32:
+		return float64(x)
+	}
+	panic(fmt.Sprintf("columnar: value %T is not a float", v))
+}
+
+// ---------------------------------------------------------------------------
+// Typed batch accessors: decode a Column once into a Vector.
+
+// DecodeColumn decodes an encoded column into a typed vector, with a fast
+// path per encoding (plain slices are shared, dictionaries decode the
+// dictionary once, runs expand linearly) and a generic Get(i) loop for
+// anything else.
+func DecodeColumn(c Column, t types.DataType) *Vector {
+	kind := KindOf(t)
+	switch col := c.(type) {
+	case *longColumn:
+		if kind == KindInt64 {
+			v := &Vector{Kind: KindInt64, Type: t, I64: col.data, n: len(col.data)}
+			v.nulls = invertValidity(col.valid)
+			return v
+		}
+	case *doubleColumn:
+		if kind == KindFloat64 {
+			v := &Vector{Kind: KindFloat64, Type: t, F64: col.data, n: len(col.data)}
+			v.nulls = invertValidity(col.valid)
+			return v
+		}
+	case *stringColumn:
+		if kind == KindString {
+			n := col.Len()
+			v := &Vector{Kind: KindString, Type: t, Str: make([]string, n), n: n}
+			v.nulls = invertValidity(col.valid)
+			for i := 0; i < n; i++ {
+				if !v.IsNull(i) {
+					v.Str[i] = string(col.bytes[col.offsets[i]:col.offsets[i+1]])
+				}
+			}
+			return v
+		}
+	case *boolColumn:
+		if kind == KindBool {
+			v := &Vector{Kind: KindBool, Type: t, Bool: make([]bool, col.n), n: col.n}
+			v.nulls = invertValidity(col.valid)
+			for i := 0; i < col.n; i++ {
+				v.Bool[i] = col.bits[i/64]&(1<<(uint(i)%64)) != 0
+			}
+			return v
+		}
+	case *dictColumn:
+		return decodeDict(col, t, kind)
+	case *rleColumn:
+		return decodeRLE(col, t)
+	}
+	return decodeGeneric(c, t)
+}
+
+// decodeDict decodes the (small) dictionary once, then fills by code.
+func decodeDict(c *dictColumn, t types.DataType, kind VecKind) *Vector {
+	n := len(c.codes)
+	v := NewVector(t, n)
+	switch kind {
+	case KindInt64:
+		dict := make([]int64, len(c.dict))
+		for i, d := range c.dict {
+			dict[i] = asInt64(d)
+		}
+		for i, code := range c.codes {
+			if code < 0 {
+				v.SetNull(i)
+				continue
+			}
+			v.I64[i] = dict[code]
+		}
+	case KindFloat64:
+		dict := make([]float64, len(c.dict))
+		for i, d := range c.dict {
+			dict[i] = asFloat64(d)
+		}
+		for i, code := range c.codes {
+			if code < 0 {
+				v.SetNull(i)
+				continue
+			}
+			v.F64[i] = dict[code]
+		}
+	case KindString:
+		dict := make([]string, len(c.dict))
+		for i, d := range c.dict {
+			dict[i] = d.(string)
+		}
+		for i, code := range c.codes {
+			if code < 0 {
+				v.SetNull(i)
+				continue
+			}
+			v.Str[i] = dict[code]
+		}
+	default:
+		for i, code := range c.codes {
+			if code < 0 {
+				v.SetNull(i)
+				continue
+			}
+			v.Set(i, c.dict[code])
+		}
+	}
+	return v
+}
+
+// decodeRLE expands runs linearly — no per-row binary search.
+func decodeRLE(c *rleColumn, t types.DataType) *Vector {
+	v := NewVector(t, c.Len())
+	start := 0
+	for ri, end := range c.ends {
+		val := c.values[ri]
+		for i := start; i < int(end); i++ {
+			v.Set(i, val)
+		}
+		start = int(end)
+	}
+	return v
+}
+
+// decodeGeneric is the catch-all: one Get per value (boxed columns, or any
+// future Column implementation).
+func decodeGeneric(c Column, t types.DataType) *Vector {
+	n := c.Len()
+	v := NewVector(t, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, c.Get(i))
+	}
+	return v
+}
+
+// invertValidity converts a validity bitmap (bit set = valid, nil = no
+// nulls) into a null bitmap (bit set = NULL, nil = no nulls). Trailing bits
+// beyond the row count are garbage; accessors never index past Len.
+func invertValidity(valid validity) []uint64 {
+	if valid == nil {
+		return nil
+	}
+	nulls := make([]uint64, len(valid))
+	for i, w := range valid {
+		nulls[i] = ^w
+	}
+	return nulls
+}
+
+// DecodeBatch decodes the given batch columns (by ordinal) into vectors.
+// Ordinals with a negative value are skipped (nil vector) — callers pass
+// -1 for columns no kernel references so they are never decoded.
+func (b *Batch) DecodeBatch(schema []types.DataType, ordinals []int) []*Vector {
+	out := make([]*Vector, len(ordinals))
+	for j, ord := range ordinals {
+		if ord < 0 {
+			continue
+		}
+		out[j] = DecodeColumn(b.Cols[ord], schema[j])
+	}
+	return out
+}

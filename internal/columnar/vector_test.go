@@ -1,0 +1,230 @@
+package columnar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// decodeCheck decodes every batch of a one-column table and asserts each
+// vector agrees exactly with the row-at-a-time Get(i) path. It returns the
+// set of encodings exercised, so tests can assert the intended encoding was
+// actually chosen.
+func decodeCheck(t *testing.T, dt types.DataType, rows []row.Row, batchSize int) map[string]bool {
+	t.Helper()
+	schema := types.StructType{}.Add("c", dt, true)
+	table := BuildTable(schema, [][]row.Row{rows}, batchSize)
+	encodings := map[string]bool{}
+	base := 0
+	for _, b := range table.Partitions[0] {
+		col := b.Cols[0]
+		encodings[col.Encoding()] = true
+		v := DecodeColumn(col, dt)
+		if v.Len() != b.NumRows {
+			t.Fatalf("%s %s: vector len %d, want %d", dt, col.Encoding(), v.Len(), b.NumRows)
+		}
+		for i := 0; i < b.NumRows; i++ {
+			want := col.Get(i)
+			got := v.Get(i)
+			if !row.Equal(got, want) {
+				t.Fatalf("%s %s row %d: vector %v (%T), Get %v (%T)",
+					dt, col.Encoding(), base+i, got, got, want, want)
+			}
+			if (want == nil) != v.IsNull(i) {
+				t.Fatalf("%s %s row %d: IsNull=%v, Get=%v", dt, col.Encoding(), base+i, v.IsNull(i), want)
+			}
+		}
+		base += b.NumRows
+	}
+	return encodings
+}
+
+func withNulls(rows []row.Row, every int) []row.Row {
+	out := make([]row.Row, len(rows))
+	for i, r := range rows {
+		if i%every == 0 {
+			out[i] = row.Row{nil}
+		} else {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+func TestDecodePlainLong(t *testing.T) {
+	rows := make([]row.Row, 500)
+	for i := range rows {
+		rows[i] = row.Row{int64(i*7919 - 250)}
+	}
+	enc := decodeCheck(t, types.Long, rows, 128)
+	if !enc["PLAIN"] {
+		t.Fatalf("expected PLAIN, got %v", enc)
+	}
+	decodeCheck(t, types.Long, withNulls(rows, 5), 128)
+}
+
+func TestDecodePlainIntNarrow(t *testing.T) {
+	rows := make([]row.Row, 300)
+	for i := range rows {
+		rows[i] = row.Row{int32(i * 31)}
+	}
+	decodeCheck(t, types.Int, rows, 64)
+	decodeCheck(t, types.Int, withNulls(rows, 3), 64)
+}
+
+func TestDecodePlainDouble(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([]row.Row, 400)
+	for i := range rows {
+		rows[i] = row.Row{rng.NormFloat64()}
+	}
+	enc := decodeCheck(t, types.Double, rows, 100)
+	if !enc["PLAIN"] {
+		t.Fatalf("expected PLAIN, got %v", enc)
+	}
+	decodeCheck(t, types.Double, withNulls(rows, 4), 100)
+}
+
+func TestDecodeBitpackBool(t *testing.T) {
+	rows := make([]row.Row, 333)
+	for i := range rows {
+		rows[i] = row.Row{i%3 == 0}
+	}
+	enc := decodeCheck(t, types.Boolean, rows, 70)
+	if !enc["BITPACK"] {
+		t.Fatalf("expected BITPACK, got %v", enc)
+	}
+	decodeCheck(t, types.Boolean, withNulls(rows, 7), 70)
+}
+
+func TestDecodeDictString(t *testing.T) {
+	words := []string{"USA-padded-out", "FRA-padded-out", "DEU-padded-out", "JPN-padded-out"}
+	rows := make([]row.Row, 1000)
+	for i := range rows {
+		rows[i] = row.Row{words[(i*13)%len(words)]}
+	}
+	enc := decodeCheck(t, types.String, rows, 0)
+	if !enc["DICT"] {
+		t.Fatalf("expected DICT, got %v", enc)
+	}
+	decodeCheck(t, types.String, withNulls(rows, 9), 0)
+}
+
+func TestDecodeDictLong(t *testing.T) {
+	rows := make([]row.Row, 1000)
+	for i := range rows {
+		rows[i] = row.Row{int64((i * 7) % 5)}
+	}
+	enc := decodeCheck(t, types.Long, rows, 0)
+	if !enc["DICT"] && !enc["RLE"] {
+		t.Fatalf("expected compressed encoding, got %v", enc)
+	}
+	decodeCheck(t, types.Long, withNulls(rows, 6), 0)
+}
+
+func TestDecodeRLE(t *testing.T) {
+	rows := make([]row.Row, 1000)
+	for i := range rows {
+		rows[i] = row.Row{int32(i / 200)} // long runs
+	}
+	enc := decodeCheck(t, types.Int, rows, 0)
+	if !enc["RLE"] {
+		t.Fatalf("expected RLE, got %v", enc)
+	}
+	// Runs of strings too.
+	srows := make([]row.Row, 1000)
+	for i := range srows {
+		srows[i] = row.Row{"run-" + string(rune('A'+i/250))}
+	}
+	enc = decodeCheck(t, types.String, srows, 0)
+	if !enc["RLE"] {
+		t.Fatalf("expected string RLE, got %v", enc)
+	}
+}
+
+func TestDecodeBoxedDecimal(t *testing.T) {
+	dt := types.DecimalType{Precision: 10, Scale: 2}
+	rows := make([]row.Row, 200)
+	for i := range rows {
+		rows[i] = row.Row{types.NewDecimal(int64(i*101), 2)}
+	}
+	enc := decodeCheck(t, dt, rows, 64)
+	if !enc["BOXED"] && !enc["RLE"] && !enc["DICT"] {
+		t.Fatalf("unexpected encodings %v", enc)
+	}
+	decodeCheck(t, dt, withNulls(rows, 4), 64)
+}
+
+func TestDecodeAllNullColumn(t *testing.T) {
+	rows := make([]row.Row, 150)
+	for i := range rows {
+		rows[i] = row.Row{nil}
+	}
+	decodeCheck(t, types.Long, rows, 40)
+	decodeCheck(t, types.String, rows, 40)
+	decodeCheck(t, types.Boolean, rows, 40)
+}
+
+func TestDecodeEmptyBatch(t *testing.T) {
+	schema := types.StructType{}.Add("c", types.Long, true)
+	b := buildBatch(schema, nil)
+	v := DecodeColumn(b.Cols[0], types.Long)
+	if v.Len() != 0 {
+		t.Fatalf("empty batch decoded to %d rows", v.Len())
+	}
+	vs := b.DecodeBatch([]types.DataType{types.Long}, []int{0})
+	if len(vs) != 1 || vs[0].Len() != 0 {
+		t.Fatalf("DecodeBatch on empty batch: %+v", vs)
+	}
+}
+
+func TestDecodeBatchSkipsNegativeOrdinals(t *testing.T) {
+	schema := types.StructType{}.
+		Add("a", types.Int, true).
+		Add("b", types.String, true)
+	rows := []row.Row{{int32(1), "x"}, {int32(2), "y"}}
+	b := buildBatch(schema, rows)
+	vs := b.DecodeBatch([]types.DataType{types.Int, types.String}, []int{-1, 1})
+	if vs[0] != nil {
+		t.Fatal("ordinal -1 must not be decoded")
+	}
+	if vs[1] == nil || vs[1].Get(1) != "y" {
+		t.Fatalf("ordinal 1 decoded wrong: %+v", vs[1])
+	}
+}
+
+// Property test: random typed data through whatever encodings the builder
+// picks must round-trip through the vector path identically.
+func TestDecodeRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dts := []types.DataType{types.Int, types.Long, types.Double, types.String, types.Boolean, types.Date, types.Timestamp}
+	gen := func(dt types.DataType) any {
+		switch {
+		case dt.Equals(types.Int), dt.Equals(types.Date):
+			return int32(rng.Intn(50) - 25)
+		case dt.Equals(types.Long), dt.Equals(types.Timestamp):
+			return int64(rng.Intn(1000))
+		case dt.Equals(types.Double):
+			return rng.Float64()
+		case dt.Equals(types.String):
+			return "s" + string(rune('a'+rng.Intn(26)))
+		default:
+			return rng.Intn(2) == 0
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		dt := dts[rng.Intn(len(dts))]
+		n := rng.Intn(700)
+		rows := make([]row.Row, n)
+		for i := range rows {
+			if rng.Intn(6) == 0 {
+				rows[i] = row.Row{nil}
+			} else {
+				rows[i] = row.Row{gen(dt)}
+			}
+		}
+		decodeCheck(t, dt, rows, 1+rng.Intn(300))
+	}
+}

@@ -54,6 +54,7 @@ func SharkConfig() Config {
 	cfg := DefaultConfig()
 	cfg.Codegen = false
 	cfg.Planner.CollapsePipelines = false
+	cfg.Planner.Vectorize = false
 	cfg.Optimizer.SourcePushdown = false
 	cfg.Optimizer.DecimalAggregates = false
 	return cfg
@@ -135,6 +136,7 @@ func (e *Engine) ExecContext() *physical.ExecContext {
 	return &physical.ExecContext{
 		RDD:               e.RDDCtx,
 		Codegen:           e.Cfg.Codegen,
+		Vectorized:        e.Cfg.Planner.Vectorize,
 		ShufflePartitions: e.Cfg.ShufflePartitions,
 	}
 }

@@ -166,3 +166,13 @@ func TestCacheStudyFootprint(t *testing.T) {
 		t.Fatalf("cache regimes disagree: %f vs %f", a, b)
 	}
 }
+
+func TestVectorizedStudyVerify(t *testing.T) {
+	study, err := NewVectorizedStudy(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

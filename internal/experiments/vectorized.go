@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	sparksql "repro"
+	"repro/internal/datagen"
+	"repro/internal/row"
+)
+
+// Ablation: vectorized batch execution over the columnar cache. Two engines
+// hold the same cached rankings table; one runs fused pipelines
+// row-at-a-time, the other batch-at-a-time with typed vectors and selection
+// vectors. A hand-written loop over pre-extracted typed columns is the
+// native ceiling (the Figure 8 "hand-written" analogue for the Q1 shape).
+type VectorizedStudy struct {
+	RowCtx *sparksql.Context // Vectorized off
+	VecCtx *sparksql.Context // Vectorized on
+	N      int64
+
+	// Native columns: the rankings table decoded once into typed slices.
+	urls  []string
+	ranks []int32
+}
+
+// NewVectorizedStudy builds and caches n rankings rows under both engines.
+func NewVectorizedStudy(n int64) (*VectorizedStudy, error) {
+	s := &VectorizedStudy{N: n}
+	rows := make([]row.Row, n)
+	s.urls = make([]string, n)
+	s.ranks = make([]int32, n)
+	for i := int64(0); i < n; i++ {
+		r := datagen.RankingRow(42, i)
+		rows[i] = r
+		s.urls[i] = r[0].(string)
+		s.ranks[i] = r[1].(int32)
+	}
+	mk := func(vectorized bool) (*sparksql.Context, error) {
+		cfg := sparksql.DefaultConfig()
+		cfg.Vectorized = vectorized
+		ctx := sparksql.NewContextWithConfig(cfg)
+		df, err := ctx.CreateDataFrame(datagen.RankingsSchema(), rows)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := df.Cache(); err != nil {
+			return nil, err
+		}
+		df.RegisterTempTable("rankings")
+		return ctx, nil
+	}
+	var err error
+	if s.RowCtx, err = mk(false); err != nil {
+		return nil, err
+	}
+	if s.VecCtx, err = mk(true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RunRow executes Q1 with the row-at-a-time pipeline.
+func (s *VectorizedStudy) RunRow(x int32) (int64, error) { return RunSQL(s.RowCtx, Q1(x)) }
+
+// RunVec executes Q1 with the vectorized pipeline.
+func (s *VectorizedStudy) RunVec(x int32) (int64, error) { return RunSQL(s.VecCtx, Q1(x)) }
+
+// RunNative is the hand-written ceiling: a tight loop over typed slices.
+func (s *VectorizedStudy) RunNative(x int32) int64 {
+	var n int64
+	for i, rank := range s.ranks {
+		if rank > x {
+			_ = s.urls[i]
+			n++
+		}
+	}
+	return n
+}
+
+// Verify asserts both engines produce identical rows for every Q1
+// selectivity — the correctness contract of the vectorized path.
+func (s *VectorizedStudy) Verify() error {
+	for _, x := range Q1Params {
+		q := Q1(x)
+		rowDF, err := s.RowCtx.SQL(q)
+		if err != nil {
+			return err
+		}
+		vecDF, err := s.VecCtx.SQL(q)
+		if err != nil {
+			return err
+		}
+		rowRes, err := rowDF.Collect()
+		if err != nil {
+			return err
+		}
+		vecRes, err := vecDF.Collect()
+		if err != nil {
+			return err
+		}
+		if len(rowRes) != len(vecRes) {
+			return fmt.Errorf("vectorized: Q1(%d) row-path %d rows, vectorized %d",
+				x, len(rowRes), len(vecRes))
+		}
+		native := s.RunNative(x)
+		if int64(len(rowRes)) != native {
+			return fmt.Errorf("vectorized: Q1(%d) engine %d rows, native %d", x, len(rowRes), native)
+		}
+		for i := range rowRes {
+			for j := range rowRes[i] {
+				if !row.Equal(rowRes[i][j], vecRes[i][j]) {
+					return fmt.Errorf("vectorized: Q1(%d) row %d col %d: %v != %v",
+						x, i, j, rowRes[i][j], vecRes[i][j])
+				}
+			}
+		}
+	}
+	return nil
+}

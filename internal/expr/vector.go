@@ -1,0 +1,561 @@
+package expr
+
+import (
+	"repro/internal/columnar"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// This file is the vectorized analogue of compile.go: instead of fusing an
+// expression tree into a per-row closure, CompileVec and CompileVecPredicate
+// fuse it into BATCH kernels that run tight typed loops over decoded column
+// vectors (columnar.Vector) with selection vectors, deferring all boxing to
+// the pipeline boundary. Exactly like the scalar compiler, coverage is never
+// lost: any node the vector compiler does not know compiles to a per-row
+// fallback that boxes the selected rows and calls the scalar compiled
+// closure, so a single exotic expression does not force a whole pipeline
+// off the vectorized path.
+
+// VecBatch is the kernel input: one decoded vector per input-schema column.
+// Entries no kernel references may be nil (they are never decoded).
+type VecBatch struct {
+	Cols []*columnar.Vector
+	// N is the number of rows in the batch.
+	N int
+}
+
+// Row boxes row i of the batch for scalar-fallback evaluation; nil vectors
+// contribute NULL (they are unreferenced by the expression being evaluated).
+func (b *VecBatch) Row(i int) row.Row {
+	r := make(row.Row, len(b.Cols))
+	for j, v := range b.Cols {
+		if v != nil {
+			r[j] = v.Get(i)
+		}
+	}
+	return r
+}
+
+// VecEval computes a value vector for the selected positions of a batch.
+// Output vectors use absolute indexing: position i of the result aligns
+// with row i of the batch, and only selected positions are defined.
+type VecEval func(b *VecBatch, sel []int32) *columnar.Vector
+
+// VecPred filters a selection vector, returning the surviving positions in
+// order. Implementations must NOT mutate the input selection (OR kernels
+// evaluate both branches over the same input).
+type VecPred func(b *VecBatch, sel []int32) []int32
+
+// value classes the typed kernels specialize on.
+const (
+	classNone = iota
+	classI64  // INT, BIGINT, DATE, TIMESTAMP — widened to int64
+	classF64  // DOUBLE (FLOAT keeps float32 row semantics: fallback)
+	classStr  // STRING
+)
+
+func vecClass(t types.DataType) int {
+	switch {
+	case t.Equals(types.Int), t.Equals(types.Long), t.Equals(types.Date), t.Equals(types.Timestamp):
+		return classI64
+	case t.Equals(types.Double):
+		return classF64
+	case t.Equals(types.String):
+		return classStr
+	default:
+		return classNone
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Value kernels
+
+// CompileVec compiles a bound expression into a batch kernel. The boolean
+// reports whether the kernel is natively vectorized: when false, the
+// returned kernel is the per-row scalar fallback (still correct, and its
+// output vector stores the scalar path's boxed values verbatim).
+func CompileVec(e Expression) (VecEval, bool) {
+	switch x := e.(type) {
+	case *BoundReference:
+		ord := x.Ordinal
+		return func(b *VecBatch, sel []int32) *columnar.Vector {
+			return b.Cols[ord]
+		}, true
+
+	case *Literal:
+		t, v := x.Type, x.Value
+		return func(b *VecBatch, sel []int32) *columnar.Vector {
+			return columnar.NewConstVector(t, v, b.N)
+		}, true
+
+	case *Alias:
+		return CompileVec(x.Child)
+
+	case *BinaryArith:
+		return compileVecArith(x)
+	}
+	return vecFallbackEval(e), false
+}
+
+// vecFallbackEval boxes each selected row and evaluates the scalar compiled
+// closure — the "call into the interpreter" escape hatch of §4.3.4, one
+// level up.
+func vecFallbackEval(e Expression) VecEval {
+	ev := Compile(e)
+	t := e.DataType()
+	return func(b *VecBatch, sel []int32) *columnar.Vector {
+		// KindAny storage keeps the scalar path's boxed representation
+		// exactly, whatever the declared type says.
+		out := columnar.NewAnyVector(t, b.N)
+		for _, i := range sel {
+			ii := int(i)
+			if val := ev(b.Row(ii)); val == nil {
+				out.SetNull(ii)
+			} else {
+				out.Any[ii] = val
+			}
+		}
+		return out
+	}
+}
+
+// compileVecArith builds typed arithmetic kernels for the int64 and float64
+// classes, mirroring the scalar interpreter exactly (INT truncates to 32
+// bits per node; x/0 and x%0 are NULL for integers; float division follows
+// IEEE). Anything else — decimals, FLOAT, mixed classes — falls back.
+func compileVecArith(x *BinaryArith) (VecEval, bool) {
+	t := x.DataType()
+	cls := vecClass(t)
+	if cls != classI64 && cls != classF64 ||
+		vecClass(x.Left.DataType()) != cls || vecClass(x.Right.DataType()) != cls {
+		return vecFallbackEval(x), false
+	}
+	l, lok := CompileVec(x.Left)
+	r, rok := CompileVec(x.Right)
+	if !lok || !rok {
+		return vecFallbackEval(x), false
+	}
+	op := x.Op
+	if cls == classI64 {
+		narrow := t.Equals(types.Int) || t.Equals(types.Date)
+		return func(b *VecBatch, sel []int32) *columnar.Vector {
+			lv, rv := l(b, sel), r(b, sel)
+			out := columnar.NewVector(t, b.N)
+			lm, rm := lv.Mask(), rv.Mask()
+			ld, rd := lv.I64, rv.I64
+			if !lv.HasNulls() && !rv.HasNulls() && op != OpDiv && op != OpMod {
+				switch op {
+				case OpAdd:
+					for _, i := range sel {
+						ii := int(i)
+						out.I64[ii] = ld[ii&lm] + rd[ii&rm]
+					}
+				case OpSub:
+					for _, i := range sel {
+						ii := int(i)
+						out.I64[ii] = ld[ii&lm] - rd[ii&rm]
+					}
+				default: // OpMul
+					for _, i := range sel {
+						ii := int(i)
+						out.I64[ii] = ld[ii&lm] * rd[ii&rm]
+					}
+				}
+				if narrow {
+					for _, i := range sel {
+						ii := int(i)
+						out.I64[ii] = int64(int32(out.I64[ii]))
+					}
+				}
+				return out
+			}
+			for _, i := range sel {
+				ii := int(i)
+				if lv.IsNull(ii) || rv.IsNull(ii) {
+					out.SetNull(ii)
+					continue
+				}
+				v, ok := i64Arith(op, ld[ii&lm], rd[ii&rm])
+				if !ok {
+					out.SetNull(ii)
+					continue
+				}
+				if narrow {
+					v = int64(int32(v))
+				}
+				out.I64[ii] = v
+			}
+			return out
+		}, true
+	}
+	return func(b *VecBatch, sel []int32) *columnar.Vector {
+		lv, rv := l(b, sel), r(b, sel)
+		out := columnar.NewVector(t, b.N)
+		lm, rm := lv.Mask(), rv.Mask()
+		ld, rd := lv.F64, rv.F64
+		if !lv.HasNulls() && !rv.HasNulls() {
+			switch op {
+			case OpAdd:
+				for _, i := range sel {
+					ii := int(i)
+					out.F64[ii] = ld[ii&lm] + rd[ii&rm]
+				}
+			case OpSub:
+				for _, i := range sel {
+					ii := int(i)
+					out.F64[ii] = ld[ii&lm] - rd[ii&rm]
+				}
+			case OpMul:
+				for _, i := range sel {
+					ii := int(i)
+					out.F64[ii] = ld[ii&lm] * rd[ii&rm]
+				}
+			default:
+				for _, i := range sel {
+					ii := int(i)
+					out.F64[ii] = floatArith(op, ld[ii&lm], rd[ii&rm])
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			ii := int(i)
+			if lv.IsNull(ii) || rv.IsNull(ii) {
+				out.SetNull(ii)
+				continue
+			}
+			out.F64[ii] = floatArith(op, ld[ii&lm], rd[ii&rm])
+		}
+		return out
+	}, true
+}
+
+// i64Arith mirrors intArith without boxing; ok=false means SQL NULL.
+func i64Arith(op ArithOp, a, b int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	default: // OpMod
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Predicate kernels
+
+// CompileVecPredicate compiles a bound boolean expression into a selection
+// kernel (WHERE semantics: NULL does not match). The boolean reports
+// whether any part of the predicate is natively vectorized.
+func CompileVecPredicate(e Expression) (VecPred, bool) {
+	switch x := e.(type) {
+	case *Comparison:
+		return compileVecCmp(x)
+
+	case *And:
+		l, lok := CompileVecPredicate(x.Left)
+		r, rok := CompileVecPredicate(x.Right)
+		return func(b *VecBatch, sel []int32) []int32 {
+			sel = l(b, sel)
+			if len(sel) == 0 {
+				return sel
+			}
+			return r(b, sel)
+		}, lok || rok
+
+	case *Or:
+		// a OR b is true exactly when a is true or b is true, so the result
+		// selection is the ordered union of the branch selections (NULL
+		// branches simply do not contribute — matching 3-valued logic).
+		l, lok := CompileVecPredicate(x.Left)
+		r, rok := CompileVecPredicate(x.Right)
+		return func(b *VecBatch, sel []int32) []int32 {
+			return unionSel(l(b, sel), r(b, sel))
+		}, lok || rok
+
+	case *IsNull:
+		child, ok := CompileVec(x.Child)
+		if !ok {
+			return vecFallbackPred(x), false
+		}
+		return func(b *VecBatch, sel []int32) []int32 {
+			v := child(b, sel)
+			if !v.HasNulls() {
+				return nil
+			}
+			out := make([]int32, 0, len(sel))
+			for _, i := range sel {
+				if v.IsNull(int(i)) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}, true
+
+	case *IsNotNull:
+		child, ok := CompileVec(x.Child)
+		if !ok {
+			return vecFallbackPred(x), false
+		}
+		return func(b *VecBatch, sel []int32) []int32 {
+			v := child(b, sel)
+			if !v.HasNulls() {
+				return sel
+			}
+			out := make([]int32, 0, len(sel))
+			for _, i := range sel {
+				if !v.IsNull(int(i)) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}, true
+
+	case *In:
+		return compileVecIn(x)
+
+	case *Literal:
+		if x.Value == true {
+			return func(b *VecBatch, sel []int32) []int32 { return sel }, true
+		}
+		return func(b *VecBatch, sel []int32) []int32 { return nil }, true
+
+	case *BoundReference:
+		if x.Type.Equals(types.Boolean) {
+			ord := x.Ordinal
+			return func(b *VecBatch, sel []int32) []int32 {
+				v := b.Cols[ord]
+				out := make([]int32, 0, len(sel))
+				for _, i := range sel {
+					ii := int(i)
+					if !v.IsNull(ii) && v.Bool[ii] {
+						out = append(out, i)
+					}
+				}
+				return out
+			}, true
+		}
+	}
+	return vecFallbackPred(e), false
+}
+
+// vecFallbackPred boxes each selected row and runs the scalar predicate.
+func vecFallbackPred(e Expression) VecPred {
+	pred := CompilePredicate(e)
+	return func(b *VecBatch, sel []int32) []int32 {
+		out := make([]int32, 0, len(sel))
+		for _, i := range sel {
+			if pred(b.Row(int(i))) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// unionSel merges two ordered selections (each a subsequence of the same
+// input selection) preserving row order.
+func unionSel(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// compileVecCmp specializes comparisons on the operand class with direct
+// typed loops; the hot (column ⋈ constant) int64 shape gets fully unrolled
+// per-operator loops.
+func compileVecCmp(x *Comparison) (VecPred, bool) {
+	cls := vecClass(x.Left.DataType())
+	if cls == classNone || vecClass(x.Right.DataType()) != cls {
+		return vecFallbackPred(x), false
+	}
+	l, lok := CompileVec(x.Left)
+	r, rok := CompileVec(x.Right)
+	if !lok || !rok {
+		return vecFallbackPred(x), false
+	}
+	op := x.Op
+	return func(b *VecBatch, sel []int32) []int32 {
+		lv, rv := l(b, sel), r(b, sel)
+		if cls == classI64 && !lv.IsConst() && !lv.HasNulls() && rv.IsConst() && !rv.HasNulls() {
+			return i64FilterConst(op, lv.I64, rv.I64[0], sel)
+		}
+		out := make([]int32, 0, len(sel))
+		lm, rm := lv.Mask(), rv.Mask()
+		switch cls {
+		case classI64:
+			ld, rd := lv.I64, rv.I64
+			for _, i := range sel {
+				ii := int(i)
+				if lv.IsNull(ii) || rv.IsNull(ii) {
+					continue
+				}
+				if cmpResult(op, ld[ii&lm], rd[ii&rm]) {
+					out = append(out, i)
+				}
+			}
+		case classF64:
+			ld, rd := lv.F64, rv.F64
+			for _, i := range sel {
+				ii := int(i)
+				if lv.IsNull(ii) || rv.IsNull(ii) {
+					continue
+				}
+				if cmpFloat(op, ld[ii&lm], rd[ii&rm]) {
+					out = append(out, i)
+				}
+			}
+		default: // classStr
+			ld, rd := lv.Str, rv.Str
+			for _, i := range sel {
+				ii := int(i)
+				if lv.IsNull(ii) || rv.IsNull(ii) {
+					continue
+				}
+				if cmpString(op, ld[ii&lm], rd[ii&rm]) {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}, true
+}
+
+// i64FilterConst is the fully unrolled hot path: a null-free int64 column
+// against a constant — one branch per row, no calls, no boxing.
+func i64FilterConst(op CmpOp, data []int64, c int64, sel []int32) []int32 {
+	out := make([]int32, 0, len(sel))
+	switch op {
+	case OpEQ:
+		for _, i := range sel {
+			if data[i] == c {
+				out = append(out, i)
+			}
+		}
+	case OpNEQ:
+		for _, i := range sel {
+			if data[i] != c {
+				out = append(out, i)
+			}
+		}
+	case OpLT:
+		for _, i := range sel {
+			if data[i] < c {
+				out = append(out, i)
+			}
+		}
+	case OpLE:
+		for _, i := range sel {
+			if data[i] <= c {
+				out = append(out, i)
+			}
+		}
+	case OpGT:
+		for _, i := range sel {
+			if data[i] > c {
+				out = append(out, i)
+			}
+		}
+	default: // OpGE
+		for _, i := range sel {
+			if data[i] >= c {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// compileVecIn vectorizes constant IN lists over the int64 and string
+// classes as hash-set membership (rows matching NULL list entries yield
+// NULL, which a predicate drops — so only concrete members matter).
+func compileVecIn(x *In) (VecPred, bool) {
+	cls := vecClass(x.Value.DataType())
+	if cls != classI64 && cls != classStr {
+		return vecFallbackPred(x), false
+	}
+	val, ok := CompileVec(x.Value)
+	if !ok {
+		return vecFallbackPred(x), false
+	}
+	i64Set := make(map[int64]struct{}, len(x.List))
+	strSet := make(map[string]struct{}, len(x.List))
+	for _, e := range x.List {
+		lit, isLit := e.(*Literal)
+		if !isLit {
+			return vecFallbackPred(x), false
+		}
+		if lit.Value == nil {
+			continue
+		}
+		switch v := lit.Value.(type) {
+		case int32:
+			i64Set[int64(v)] = struct{}{}
+		case int64:
+			i64Set[v] = struct{}{}
+		case string:
+			strSet[v] = struct{}{}
+		default:
+			return vecFallbackPred(x), false
+		}
+	}
+	return func(b *VecBatch, sel []int32) []int32 {
+		v := val(b, sel)
+		out := make([]int32, 0, len(sel))
+		m := v.Mask()
+		if cls == classI64 {
+			for _, i := range sel {
+				ii := int(i)
+				if v.IsNull(ii) {
+					continue
+				}
+				if _, hit := i64Set[v.I64[ii&m]]; hit {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			ii := int(i)
+			if v.IsNull(ii) {
+				continue
+			}
+			if _, hit := strSet[v.Str[ii&m]]; hit {
+				out = append(out, i)
+			}
+		}
+		return out
+	}, true
+}

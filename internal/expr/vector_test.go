@@ -1,0 +1,247 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/columnar"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// vecSchema matches randomExpr's schema: a INT, b BIGINT, s STRING, d DOUBLE.
+var vecSchema = []types.DataType{types.Int, types.Long, types.String, types.Double}
+
+func rowsToBatch(rows []row.Row) *VecBatch {
+	cols := make([]*columnar.Vector, len(vecSchema))
+	for j, dt := range vecSchema {
+		v := columnar.NewVector(dt, len(rows))
+		for i, r := range rows {
+			v.Set(i, r[j])
+		}
+		cols[j] = v
+	}
+	return &VecBatch{Cols: cols, N: len(rows)}
+}
+
+func randomVecRows(rng *rand.Rand, n int) []row.Row {
+	words := []string{"foo", "bar", "spark", "", "a"}
+	out := make([]row.Row, n)
+	for i := range out {
+		r := row.Row{int32(rng.Intn(10) - 5), int64(rng.Intn(10) - 5), words[rng.Intn(len(words))], float64(rng.Intn(5))}
+		for j := 0; j < 3; j++ {
+			if rng.Intn(4) == 0 {
+				r[j] = nil
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func randomSel(rng *rand.Rand, n int) []int32 {
+	sel := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) != 0 {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+// Property: for any predicate the vector kernel (native or fallback) selects
+// exactly the rows the scalar predicate keeps, without mutating the input
+// selection.
+func TestVecPredicateMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 800; trial++ {
+		e := randomExpr(rng, 3, types.Boolean)
+		rows := randomVecRows(rng, rng.Intn(120))
+		batch := rowsToBatch(rows)
+		sel := randomSel(rng, len(rows))
+		selCopy := append([]int32(nil), sel...)
+
+		pred, _ := CompileVecPredicate(e)
+		got := pred(batch, sel)
+
+		var want []int32
+		for _, i := range selCopy {
+			if e.Eval(rows[i]) == true {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %s\nselected %d rows, want %d", trial, e, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: %s\nposition %d: got row %d, want %d", trial, e, k, got[k], want[k])
+			}
+		}
+		for k := range sel {
+			if sel[k] != selCopy[k] {
+				t.Fatalf("trial %d: %s mutated the input selection", trial, e)
+			}
+		}
+	}
+}
+
+// Property: for any value expression the vector kernel produces, at every
+// selected position, exactly the boxed value the interpreter produces.
+func TestVecEvalMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	wants := []types.DataType{types.Int, types.Long, types.Double, types.String}
+	for trial := 0; trial < 800; trial++ {
+		e := randomExpr(rng, 3, wants[rng.Intn(len(wants))])
+		rows := randomVecRows(rng, rng.Intn(120))
+		batch := rowsToBatch(rows)
+		sel := randomSel(rng, len(rows))
+
+		ev, _ := CompileVec(e)
+		v := ev(batch, sel)
+		for _, i := range sel {
+			want := e.Eval(rows[i])
+			got := v.Get(int(i))
+			if !row.Equal(got, want) {
+				t.Fatalf("trial %d: %s\nrow %d: vector=%v (%T), interpreter=%v (%T)",
+					trial, e, i, got, got, want, want)
+			}
+		}
+	}
+}
+
+// The kernels the issue names must compile natively; exotic nodes must
+// report fallback (still correct, exercised by the properties above).
+func TestVecNativeCoverage(t *testing.T) {
+	a := &BoundReference{Ordinal: 0, Type: types.Int, Null: true}
+	b := &BoundReference{Ordinal: 1, Type: types.Long, Null: true}
+	s := &BoundReference{Ordinal: 2, Type: types.String, Null: true}
+	d := &BoundReference{Ordinal: 3, Type: types.Double, Null: false}
+
+	nativePreds := []Expression{
+		GT(a, Lit(int32(3))),
+		&Comparison{Op: OpLE, Left: d, Right: Lit(2.5)},
+		&Comparison{Op: OpEQ, Left: s, Right: Lit("foo")},
+		&And{GT(a, Lit(int32(0))), &Comparison{Op: OpLT, Left: b, Right: Lit(int64(9))}},
+		&Or{GT(a, Lit(int32(7))), &IsNull{Child: s}},
+		&IsNotNull{Child: a},
+		&In{Value: b, List: []Expression{Lit(int64(1)), Lit(int64(2))}},
+	}
+	for _, e := range nativePreds {
+		if _, ok := CompileVecPredicate(e); !ok {
+			t.Errorf("predicate %s should compile natively", e)
+		}
+	}
+	fallbackPreds := []Expression{
+		&Not{Child: GT(a, Lit(int32(3)))},
+		&StringMatch{Kind: strMatchKind(2), Left: s, Right: Lit("o")},
+	}
+	for _, e := range fallbackPreds {
+		if _, ok := CompileVecPredicate(e); ok {
+			t.Errorf("predicate %s should report fallback", e)
+		}
+	}
+
+	nativeEvals := []Expression{
+		a,
+		Add(b, Lit(int64(2))),
+		Mul(d, d),
+		&Alias{Child: Sub(a, a), Name: "z"},
+	}
+	for _, e := range nativeEvals {
+		if _, ok := CompileVec(e); !ok {
+			t.Errorf("eval %s should compile natively", e)
+		}
+	}
+	if _, ok := CompileVec(Upper(s)); ok {
+		t.Error("Upper should report fallback")
+	}
+}
+
+// Integer division and modulo by zero are NULL; INT arithmetic wraps through
+// int32 per node — both must match the scalar path exactly.
+func TestVecArithEdgeCases(t *testing.T) {
+	a := &BoundReference{Ordinal: 0, Type: types.Int, Null: true}
+	b := &BoundReference{Ordinal: 1, Type: types.Long, Null: true}
+	rows := []row.Row{
+		{int32(10), int64(0), nil, 0.0},
+		{int32(2147483647), int64(3), nil, 0.0},
+		{int32(-5), int64(-2), nil, 0.0},
+		{nil, int64(7), nil, 0.0},
+	}
+	batch := rowsToBatch(rows)
+	sel := []int32{0, 1, 2, 3}
+	exprs := []Expression{
+		Div(a, Lit(int32(0))),           // NULL
+		&BinaryArith{Op: OpMod, Left: b, Right: b}, // 0%0 -> NULL at row 0
+		Add(a, Lit(int32(1))),           // int32 wraparound at row 1
+		Mul(a, a),                       // wraps through int32
+		Div(b, Lit(int64(2))),
+	}
+	for _, e := range exprs {
+		ev, ok := CompileVec(e)
+		if !ok {
+			t.Fatalf("%s should be native", e)
+		}
+		v := ev(batch, sel)
+		for _, i := range sel {
+			want := e.Eval(rows[i])
+			got := v.Get(int(i))
+			if !row.Equal(got, want) {
+				t.Errorf("%s row %d: vector=%v, scalar=%v", e, i, got, want)
+			}
+		}
+	}
+}
+
+// OR keeps rows in input order even when both branches match disjoint and
+// overlapping subsets.
+func TestVecOrUnionOrder(t *testing.T) {
+	a := &BoundReference{Ordinal: 0, Type: types.Int, Null: true}
+	rows := make([]row.Row, 50)
+	for i := range rows {
+		rows[i] = row.Row{int32(i), int64(0), "", 0.0}
+	}
+	batch := rowsToBatch(rows)
+	sel := make([]int32, len(rows))
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	// i < 20 OR i%2-ish overlap via i > 10.
+	e := &Or{&Comparison{Op: OpLT, Left: a, Right: Lit(int32(20))}, GT(a, Lit(int32(10)))}
+	pred, ok := CompileVecPredicate(e)
+	if !ok {
+		t.Fatal("OR of native comparisons should be native")
+	}
+	got := pred(batch, sel)
+	if len(got) != len(rows) {
+		t.Fatalf("union selected %d rows, want all %d", len(got), len(rows))
+	}
+	for i := range got {
+		if got[i] != int32(i) {
+			t.Fatalf("union out of order at %d: %d", i, got[i])
+		}
+	}
+}
+
+// Constant vectors: literal-only predicates and nil literals.
+func TestVecConstants(t *testing.T) {
+	rows := randomVecRows(rand.New(rand.NewSource(3)), 40)
+	batch := rowsToBatch(rows)
+	sel := make([]int32, len(rows))
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	if pred, _ := CompileVecPredicate(Lit(true)); len(pred(batch, sel)) != len(sel) {
+		t.Error("TRUE literal must keep everything")
+	}
+	if pred, _ := CompileVecPredicate(Lit(false)); len(pred(batch, sel)) != 0 {
+		t.Error("FALSE literal must drop everything")
+	}
+	// x > NULL never matches.
+	a := &BoundReference{Ordinal: 0, Type: types.Int, Null: true}
+	nullLit := &Literal{Value: nil, Type: types.Int}
+	if pred, _ := CompileVecPredicate(GT(a, nullLit)); len(pred(batch, sel)) != 0 {
+		t.Error("comparison against NULL literal must select nothing")
+	}
+}

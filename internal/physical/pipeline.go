@@ -83,17 +83,7 @@ func (p *PipelineExec) WithNewChildren(children []SparkPlan) SparkPlan {
 	return &PipelineExec{Stages: p.Stages, Child: children[0]}
 }
 func (p *PipelineExec) Output() []*expr.AttributeReference {
-	attrs := p.Child.Output()
-	for _, st := range p.Stages {
-		if !st.isFilter {
-			out := make([]*expr.AttributeReference, len(st.list))
-			for i, e := range st.list {
-				out[i] = e.(expr.Named).ToAttribute()
-			}
-			attrs = out
-		}
-	}
-	return attrs
+	return stagesOutput(p.Stages, p.Child.Output())
 }
 
 // compiledStage is a stage bound and compiled against its input schema.

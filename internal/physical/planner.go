@@ -17,6 +17,9 @@ type PlannerConfig struct {
 	BroadcastThreshold int64
 	// CollapsePipelines enables the Project/Filter fusion preparation rule.
 	CollapsePipelines bool
+	// Vectorize enables the preparation rule swapping fused pipelines over
+	// the columnar cache for batch-at-a-time execution.
+	Vectorize bool
 }
 
 // DefaultPlannerConfig mirrors Spark's defaults.
@@ -24,6 +27,7 @@ func DefaultPlannerConfig() PlannerConfig {
 	return PlannerConfig{
 		BroadcastThreshold: 10 << 20,
 		CollapsePipelines:  true,
+		Vectorize:          true,
 	}
 }
 
@@ -59,6 +63,9 @@ func (pl *Planner) Plan(lp plan.LogicalPlan) (SparkPlan, error) {
 	}
 	if pl.Cfg.CollapsePipelines {
 		p = Collapse(p)
+	}
+	if pl.Cfg.Vectorize {
+		p = Vectorize(p)
 	}
 	return p, nil
 }

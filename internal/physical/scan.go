@@ -137,22 +137,42 @@ func openScan(rel datasource.Relation, attrs []*expr.AttributeReference,
 	return datasource.Scan{}, fmt.Errorf("relation %T implements no scan interface", rel)
 }
 
-// NewInMemoryScan scans the columnar cache with optional column pruning and
-// batch skipping (paper §3.6).
-func NewInMemoryScan(attrs []*expr.AttributeReference, table *columnar.CachedTable,
-	ordinals []int, keep columnar.BatchPredicate) *ScanExec {
-	detail := ""
-	if ordinals != nil {
-		detail = fmt.Sprintf("ordinals=%v", ordinals)
-	}
-	return &ScanExec{
-		Name:   "InMemoryColumnar",
-		Attrs:  attrs,
-		Detail: detail,
-		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] {
-			return rdd.Generate(ctx.RDD, "cacheScan", len(table.Partitions), func(p int) []row.Row {
-				return table.ScanPartition(p, ordinals, keep)
-			})
-		},
-	}
+// InMemoryScanExec scans the columnar cache with optional column pruning
+// and batch skipping (paper §3.6). Unlike the other leaves it is a concrete
+// struct rather than a closure-configured ScanExec: the Vectorize
+// preparation rule needs access to the table and pruning to swap in the
+// batch-at-a-time path.
+type InMemoryScanExec struct {
+	Attrs []*expr.AttributeReference
+	Table *columnar.CachedTable
+	// Ordinals maps each output position to its cached column (nil = all
+	// columns in schema order).
+	Ordinals []int
+	// Keep skips batches by min/max statistics (nil = keep all).
+	Keep columnar.BatchPredicate
 }
+
+// NewInMemoryScan builds a columnar cache scan.
+func NewInMemoryScan(attrs []*expr.AttributeReference, table *columnar.CachedTable,
+	ordinals []int, keep columnar.BatchPredicate) *InMemoryScanExec {
+	return &InMemoryScanExec{Attrs: attrs, Table: table, Ordinals: ordinals, Keep: keep}
+}
+
+func (s *InMemoryScanExec) Children() []SparkPlan { return nil }
+func (s *InMemoryScanExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	return s
+}
+func (s *InMemoryScanExec) Output() []*expr.AttributeReference { return s.Attrs }
+func (s *InMemoryScanExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	table, ordinals, keep := s.Table, s.Ordinals, s.Keep
+	return rdd.Generate(ctx.RDD, "cacheScan", len(table.Partitions), func(p int) []row.Row {
+		return table.ScanPartition(p, ordinals, keep)
+	})
+}
+func (s *InMemoryScanExec) SimpleString() string {
+	if s.Ordinals != nil {
+		return fmt.Sprintf("Scan InMemoryColumnar %s ordinals=%v", attrsString(s.Attrs), s.Ordinals)
+	}
+	return fmt.Sprintf("Scan InMemoryColumnar %s", attrsString(s.Attrs))
+}
+func (s *InMemoryScanExec) String() string { return Format(s) }

@@ -1,0 +1,236 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/expr"
+	"repro/internal/rdd"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// VectorizedPipelineExec runs a fused filter/project pipeline batch-at-a-time
+// directly over the columnar cache: each batch's referenced columns are
+// decoded ONCE into typed vectors, predicates narrow a selection vector, and
+// rows are materialized only at the pipeline boundary for the surviving
+// positions. This removes the per-row boxing and interface dispatch that the
+// row-at-a-time path pays between the cache and the first operator — the gap
+// EXPERIMENTS.md measures against the native baseline.
+//
+// The Vectorize preparation rule swaps it in for PipelineExec over an
+// InMemoryColumnar scan when at least one stage compiles to native kernels;
+// ExecContext.Vectorized gates execution at runtime (off = identical
+// row-at-a-time semantics through PipelineExec).
+type VectorizedPipelineExec struct {
+	// Stages are listed bottom (first applied) to top, as in PipelineExec.
+	Stages []stage
+	Scan   *InMemoryScanExec
+	// Native counts stages that compiled to native batch kernels (the rest
+	// run through the per-row scalar fallback inside the batch loop).
+	Native int
+}
+
+func (v *VectorizedPipelineExec) Children() []SparkPlan { return []SparkPlan{v.Scan} }
+func (v *VectorizedPipelineExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	if scan, ok := children[0].(*InMemoryScanExec); ok {
+		return &VectorizedPipelineExec{Stages: v.Stages, Scan: scan, Native: v.Native}
+	}
+	// The leaf is no longer a cache scan: degrade to the row pipeline.
+	return &PipelineExec{Stages: v.Stages, Child: children[0]}
+}
+func (v *VectorizedPipelineExec) Output() []*expr.AttributeReference {
+	return stagesOutput(v.Stages, v.Scan.Output())
+}
+func (v *VectorizedPipelineExec) SimpleString() string {
+	return fmt.Sprintf("VectorizedPipeline (%d stages, %d native)", len(v.Stages), v.Native)
+}
+func (v *VectorizedPipelineExec) String() string { return Format(v) }
+
+// vecStage is a stage compiled to batch kernels.
+type vecStage struct {
+	isFilter bool
+	pred     expr.VecPred
+	evals    []expr.VecEval
+	native   bool
+}
+
+// compileVecStages binds and compiles the stage chain against the scan
+// output. It returns the compiled stages, which scan output positions the
+// first batch must decode (everything a stage references before the first
+// projection replaces the batch — or every column when no projection exists,
+// since all of them survive to materialization), and how many stages
+// compiled natively.
+func compileVecStages(stages []stage, attrs []*expr.AttributeReference) ([]vecStage, []bool, int) {
+	used := make([]bool, len(attrs))
+	out := make([]vecStage, len(stages))
+	native := 0
+	projected := false
+	cur := attrs
+	for i, st := range stages {
+		if st.isFilter {
+			cond := bind(st.cond, cur)
+			if !projected {
+				markBoundRefs(cond, used)
+			}
+			pred, ok := expr.CompileVecPredicate(cond)
+			out[i] = vecStage{isFilter: true, pred: pred, native: ok}
+			if ok {
+				native++
+			}
+			continue
+		}
+		bound := bindAll(st.list, cur)
+		evals := make([]expr.VecEval, len(bound))
+		allNative := true
+		for j, e := range bound {
+			if !projected {
+				markBoundRefs(e, used)
+			}
+			ev, ok := expr.CompileVec(e)
+			evals[j] = ev
+			allNative = allNative && ok
+		}
+		out[i] = vecStage{evals: evals, native: allNative}
+		if allNative {
+			native++
+		}
+		projected = true
+		cur = stageAttrs(st)
+	}
+	if !projected {
+		for j := range used {
+			used[j] = true
+		}
+	}
+	return out, used, native
+}
+
+// markBoundRefs records which input ordinals a bound expression touches.
+func markBoundRefs(e expr.Expression, used []bool) {
+	if b, ok := e.(*expr.BoundReference); ok {
+		used[b.Ordinal] = true
+		return
+	}
+	for _, c := range e.Children() {
+		markBoundRefs(c, used)
+	}
+}
+
+func (v *VectorizedPipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	if !ctx.Vectorized {
+		// The knob is off: run the exact row-at-a-time pipeline.
+		return (&PipelineExec{Stages: v.Stages, Child: v.Scan}).Execute(ctx)
+	}
+	scan := v.Scan
+	stages, used, _ := compileVecStages(v.Stages, scan.Attrs)
+
+	// Per scan output position: the cached column ordinal to decode (-1 if
+	// no stage references it before the first projection) and its type.
+	eff := make([]int, len(scan.Attrs))
+	colTypes := make([]types.DataType, len(scan.Attrs))
+	for j := range scan.Attrs {
+		ord := j
+		if scan.Ordinals != nil {
+			ord = scan.Ordinals[j]
+		}
+		colTypes[j] = scan.Table.Schema.Fields[ord].Type
+		if used[j] {
+			eff[j] = ord
+		} else {
+			eff[j] = -1
+		}
+	}
+
+	table, keep := scan.Table, scan.Keep
+	return rdd.Generate(ctx.RDD, "cacheScanVec", len(table.Partitions), func(p int) []row.Row {
+		var out []row.Row
+		for _, b := range table.Partitions[p] {
+			if keep != nil && !keep(b.Stats) {
+				continue
+			}
+			batch := &expr.VecBatch{Cols: b.DecodeBatch(colTypes, eff), N: b.NumRows}
+			live := make([]int32, b.NumRows)
+			for i := range live {
+				live[i] = int32(i)
+			}
+			for _, st := range stages {
+				if st.isFilter {
+					live = st.pred(batch, live)
+					if len(live) == 0 {
+						break
+					}
+					continue
+				}
+				cols := make([]*columnar.Vector, len(st.evals))
+				for j, ev := range st.evals {
+					cols[j] = ev(batch, live)
+				}
+				batch = &expr.VecBatch{Cols: cols, N: b.NumRows}
+			}
+			for _, i := range live {
+				r := make(row.Row, len(batch.Cols))
+				for j, c := range batch.Cols {
+					r[j] = c.Get(int(i))
+				}
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+}
+
+// stageAttrs is the output schema of a projection stage.
+func stageAttrs(st stage) []*expr.AttributeReference {
+	out := make([]*expr.AttributeReference, len(st.list))
+	for i, e := range st.list {
+		out[i] = e.(expr.Named).ToAttribute()
+	}
+	return out
+}
+
+// stagesOutput threads a schema through a stage chain.
+func stagesOutput(stages []stage, attrs []*expr.AttributeReference) []*expr.AttributeReference {
+	for _, st := range stages {
+		if !st.isFilter {
+			attrs = stageAttrs(st)
+		}
+	}
+	return attrs
+}
+
+// Vectorize is the preparation rule (run after Collapse) that swaps
+// PipelineExec for VectorizedPipelineExec wherever the pipeline sits
+// directly on an InMemoryColumnar scan and at least one fused stage
+// compiles to native batch kernels — otherwise vectorization is pure
+// decode overhead and the row pipeline is kept.
+func Vectorize(p SparkPlan) SparkPlan {
+	children := p.Children()
+	if len(children) > 0 {
+		newChildren := make([]SparkPlan, len(children))
+		changed := false
+		for i, c := range children {
+			nc := Vectorize(c)
+			newChildren[i] = nc
+			if nc != c {
+				changed = true
+			}
+		}
+		if changed {
+			p = p.WithNewChildren(newChildren)
+		}
+	}
+	pipe, ok := p.(*PipelineExec)
+	if !ok {
+		return p
+	}
+	scan, ok := pipe.Child.(*InMemoryScanExec)
+	if !ok {
+		return p
+	}
+	_, _, native := compileVecStages(pipe.Stages, scan.Attrs)
+	if native == 0 {
+		return p
+	}
+	return &VectorizedPipelineExec{Stages: pipe.Stages, Scan: scan, Native: native}
+}

@@ -1,0 +1,211 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/columnar"
+	"repro/internal/expr"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func cachedTableForTest(rng *rand.Rand, nRows, parts, batchSize int) (*columnar.CachedTable, []*expr.AttributeReference) {
+	schema := types.StructType{}.
+		Add("id", types.Long, true).
+		Add("score", types.Int, true).
+		Add("name", types.String, true).
+		Add("weight", types.Double, true)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	partitions := make([][]row.Row, parts)
+	for i := 0; i < nRows; i++ {
+		r := row.Row{int64(i), int32(rng.Intn(1000)), words[rng.Intn(len(words))], rng.Float64() * 100}
+		if rng.Intn(11) == 0 {
+			r[rng.Intn(4)] = nil
+		}
+		partitions[i%parts] = append(partitions[i%parts], r)
+	}
+	table := columnar.BuildTable(schema, partitions, batchSize)
+	attrs := make([]*expr.AttributeReference, len(schema.Fields))
+	for i, f := range schema.Fields {
+		attrs[i] = expr.NewAttribute(f.Name, f.Type, f.Nullable)
+	}
+	return table, attrs
+}
+
+// runBoth executes the plan with the vectorized knob off and on and asserts
+// the results are identical including row order — the byte-identical
+// contract of the acceptance criteria.
+func runBoth(t *testing.T, p SparkPlan, label string) {
+	t.Helper()
+	rowCtx := execCtx(true)
+	vecCtx := execCtx(true)
+	vecCtx.Vectorized = true
+	rowRes := collect(t, p, rowCtx)
+	vecRes := collect(t, p, vecCtx)
+	if len(rowRes) != len(vecRes) {
+		t.Fatalf("%s: row path %d rows, vectorized %d", label, len(rowRes), len(vecRes))
+	}
+	for i := range rowRes {
+		if len(rowRes[i]) != len(vecRes[i]) {
+			t.Fatalf("%s row %d: arity %d vs %d", label, i, len(rowRes[i]), len(vecRes[i]))
+		}
+		for j := range rowRes[i] {
+			if !row.Equal(rowRes[i][j], vecRes[i][j]) {
+				t.Fatalf("%s row %d col %d: row-path=%v (%T), vectorized=%v (%T)",
+					label, i, j, rowRes[i][j], rowRes[i][j], vecRes[i][j], vecRes[i][j])
+			}
+		}
+	}
+}
+
+func TestVectorizeRuleSwapsCachePipelines(t *testing.T) {
+	table, attrs := cachedTableForTest(rand.New(rand.NewSource(1)), 500, 3, 64)
+	scan := NewInMemoryScan(attrs, table, nil, nil)
+	pipe := Collapse(&ProjectExec{
+		List:  []expr.Expression{attrs[0], attrs[1]},
+		Child: &FilterExec{Cond: expr.GT(attrs[1], expr.Lit(int32(500))), Child: scan},
+	})
+	p := Vectorize(pipe)
+	v, ok := p.(*VectorizedPipelineExec)
+	if !ok {
+		t.Fatalf("Vectorize did not swap: %T", p)
+	}
+	if v.Native != 2 {
+		t.Errorf("native stages = %d, want 2", v.Native)
+	}
+	if len(v.Output()) != 2 {
+		t.Errorf("output arity = %d", len(v.Output()))
+	}
+}
+
+func TestVectorizeRuleSkipsNonNativePipelines(t *testing.T) {
+	table, attrs := cachedTableForTest(rand.New(rand.NewSource(2)), 100, 2, 32)
+	scan := NewInMemoryScan(attrs, table, nil, nil)
+	// NOT requires 3-valued logic: scalar fallback only, so no native stage.
+	pipe := Collapse(&FilterExec{
+		Cond:  &expr.Not{Child: expr.GT(attrs[1], expr.Lit(int32(10)))},
+		Child: scan,
+	})
+	if _, ok := Vectorize(pipe).(*VectorizedPipelineExec); ok {
+		t.Fatal("pipeline with zero native stages must stay row-at-a-time")
+	}
+	// Non-cache leaves are never vectorized.
+	local := NewLocalScan(attrs, []row.Row{{int64(1), int32(2), "x", 3.0}})
+	pipe2 := Collapse(&FilterExec{Cond: expr.GT(attrs[1], expr.Lit(int32(0))), Child: local})
+	if _, ok := Vectorize(pipe2).(*VectorizedPipelineExec); ok {
+		t.Fatal("non-cache pipelines must not be vectorized")
+	}
+}
+
+func TestVectorizedExecMatchesRowPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	table, attrs := cachedTableForTest(rng, 2000, 4, 128)
+	newScan := func() SparkPlan { return NewInMemoryScan(attrs, table, nil, nil) }
+	id, score, name, weight := attrs[0], attrs[1], attrs[2], attrs[3]
+
+	cases := []struct {
+		label string
+		build func() SparkPlan
+	}{
+		{"filter-project", func() SparkPlan {
+			return &ProjectExec{
+				List:  []expr.Expression{name, expr.NewAlias(expr.Add(score, expr.Lit(int32(5))), "s5")},
+				Child: &FilterExec{Cond: expr.GT(score, expr.Lit(int32(300))), Child: newScan()},
+			}
+		}},
+		{"filter-only-keeps-all-columns", func() SparkPlan {
+			return &FilterExec{Cond: expr.GT(score, expr.Lit(int32(700))), Child: newScan()}
+		}},
+		{"and-or-mix", func() SparkPlan {
+			cond := &expr.Or{
+				Left:  &expr.And{Left: expr.GT(score, expr.Lit(int32(100))), Right: &expr.Comparison{Op: expr.OpLT, Left: score, Right: expr.Lit(int32(200))}},
+				Right: &expr.Comparison{Op: expr.OpEQ, Left: name, Right: expr.Lit("gamma")},
+			}
+			return &FilterExec{Cond: cond, Child: newScan()}
+		}},
+		{"null-handling", func() SparkPlan {
+			return &ProjectExec{
+				List:  []expr.Expression{id, score},
+				Child: &FilterExec{Cond: &expr.IsNotNull{Child: name}, Child: newScan()},
+			}
+		}},
+		{"is-null", func() SparkPlan {
+			return &FilterExec{Cond: &expr.IsNull{Child: score}, Child: newScan()}
+		}},
+		{"in-list", func() SparkPlan {
+			return &FilterExec{
+				Cond:  &expr.In{Value: name, List: []expr.Expression{expr.Lit("alpha"), expr.Lit("delta")}},
+				Child: newScan(),
+			}
+		}},
+		{"double-arith", func() SparkPlan {
+			return &ProjectExec{
+				List:  []expr.Expression{expr.NewAlias(expr.Mul(weight, expr.Lit(2.0)), "w2")},
+				Child: &FilterExec{Cond: &expr.Comparison{Op: expr.OpGE, Left: weight, Right: expr.Lit(50.0)}, Child: newScan()},
+			}
+		}},
+		{"scalar-fallback-stage", func() SparkPlan {
+			// Upper is not kernel-compilable: its stage falls back per-row
+			// inside the batch loop, the filter stays native.
+			return &ProjectExec{
+				List:  []expr.Expression{expr.NewAlias(expr.Upper(name), "u"), score},
+				Child: &FilterExec{Cond: expr.GT(score, expr.Lit(int32(250))), Child: newScan()},
+			}
+		}},
+		{"multi-stage", func() SparkPlan {
+			inner := &ProjectExec{
+				List: []expr.Expression{
+					name,
+					expr.NewAlias(expr.Mul(score, expr.Lit(int32(3))), "s3"),
+				},
+				Child: &FilterExec{Cond: expr.GT(score, expr.Lit(int32(100))), Child: newScan()},
+			}
+			s3 := inner.Output()[1]
+			return &FilterExec{Cond: &expr.Comparison{Op: expr.OpLT, Left: s3, Right: expr.Lit(int32(2000))}, Child: inner}
+		}},
+		{"mod-by-zero-null", func() SparkPlan {
+			mod := &expr.BinaryArith{Op: expr.OpMod, Left: score, Right: &expr.BinaryArith{Op: expr.OpMod, Left: score, Right: expr.Lit(int32(7))}}
+			return &ProjectExec{List: []expr.Expression{expr.NewAlias(mod, "m")}, Child: newScan()}
+		}},
+	}
+	for _, tc := range cases {
+		p := Vectorize(Collapse(tc.build()))
+		runBoth(t, p, tc.label)
+	}
+}
+
+func TestVectorizedExecWithPrunedOrdinalsAndBatchSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	table, attrs := cachedTableForTest(rng, 1000, 2, 50)
+	// Prune to (score, name), as the optimizer would for this query.
+	pruned := []*expr.AttributeReference{attrs[1], attrs[2]}
+	ordinals := []int{1, 2}
+	keep := func(stats []columnar.ColStats) bool {
+		// Skip batches whose score max is below the predicate constant.
+		if stats[1].Max == nil {
+			return true
+		}
+		return row.Compare(stats[1].Max, int32(400)) >= 0
+	}
+	scan := NewInMemoryScan(pruned, table, ordinals, keep)
+	p := Vectorize(Collapse(&ProjectExec{
+		List:  []expr.Expression{pruned[1]},
+		Child: &FilterExec{Cond: expr.GT(pruned[0], expr.Lit(int32(400))), Child: scan},
+	}))
+	if _, ok := p.(*VectorizedPipelineExec); !ok {
+		t.Fatalf("expected vectorized plan, got %T", p)
+	}
+	runBoth(t, p, "pruned+batchskip")
+}
+
+func TestVectorizedExecEmptyTable(t *testing.T) {
+	schema := types.StructType{}.Add("x", types.Int, true)
+	table := columnar.BuildTable(schema, [][]row.Row{nil, {}}, 16)
+	attrs := []*expr.AttributeReference{expr.NewAttribute("x", types.Int, true)}
+	p := Vectorize(Collapse(&FilterExec{
+		Cond:  expr.GT(attrs[0], expr.Lit(int32(0))),
+		Child: NewInMemoryScan(attrs, table, nil, nil),
+	}))
+	runBoth(t, p, "empty")
+}

@@ -292,3 +292,101 @@ func TestPartitionByHashCoLocation(t *testing.T) {
 		t.Fatal("shuffle must preserve all records")
 	}
 }
+
+// Regression: the generic hashKey fallback used to send every non-int,
+// non-string key to bucket 0, collapsing such shuffles onto one reducer.
+func TestHashKeySpreadForGenericKeys(t *testing.T) {
+	type point struct{ X, Y int }
+	const buckets = 8
+	seen := map[int]int{}
+	for i := 0; i < 400; i++ {
+		seen[hashKey(point{X: i, Y: i * 31}, buckets)]++
+	}
+	if len(seen) < buckets/2 {
+		t.Fatalf("generic keys hit only %d/%d buckets: %v", len(seen), buckets, seen)
+	}
+	if seen[0] == 400 {
+		t.Fatal("all generic keys collapsed onto bucket 0")
+	}
+	for b := range seen {
+		if b < 0 || b >= buckets {
+			t.Fatalf("bucket %d out of range", b)
+		}
+	}
+}
+
+func TestPartitionByKeyGenericKeysSpread(t *testing.T) {
+	type point struct{ X, Y int }
+	ctx := NewContext(4)
+	pairs := make([]Pair[point, int], 300)
+	for i := range pairs {
+		pairs[i] = Pair[point, int]{Key: point{X: i, Y: -i}, Value: i}
+	}
+	shuffled := PartitionByKey(Parallelize(ctx, pairs, 6), 4)
+	nonEmpty := 0
+	total := 0
+	shuffled.ForeachPartition(func(p int, kvs []Pair[point, int]) {
+		if len(kvs) > 0 {
+			nonEmpty++
+		}
+		total += len(kvs)
+	})
+	if total != len(pairs) {
+		t.Fatalf("shuffle lost records: %d of %d", total, len(pairs))
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("struct keys landed on %d reducer(s); want spread", nonEmpty)
+	}
+}
+
+// The parallel map side must produce exactly the ordering of a sequential
+// pass: per reducer, records appear in map-partition order, then input order.
+func TestParallelBucketingDeterministicOrder(t *testing.T) {
+	ctx := NewContext(8)
+	const n, reducers = 1000, 5
+	pairs := make([]Pair[string, int], n)
+	for i := range pairs {
+		pairs[i] = Pair[string, int]{Key: "k" + string(rune('a'+i%26)), Value: i}
+	}
+	parent := Parallelize(ctx, pairs, 7)
+
+	// Reference: sequential bucketing over the same partition split.
+	want := make([][]Pair[string, int], reducers)
+	for p := 0; p < 7; p++ {
+		lo, hi := n*p/7, n*(p+1)/7
+		for _, kv := range pairs[lo:hi] {
+			b := hashKey(kv.Key, reducers)
+			want[b] = append(want[b], kv)
+		}
+	}
+
+	shuffled := PartitionByKey(parent, reducers)
+	shuffled.ForeachPartition(func(p int, got []Pair[string, int]) {
+		if len(got) != len(want[p]) {
+			t.Fatalf("reducer %d: %d records, want %d", p, len(got), len(want[p]))
+		}
+		for i := range got {
+			if got[i] != want[p][i] {
+				t.Fatalf("reducer %d record %d: %v, want %v (order must be deterministic)",
+					p, i, got[i], want[p][i])
+			}
+		}
+	})
+}
+
+// A panic inside the map side must propagate to the caller, like computeAll.
+func TestParallelBucketingPanicPropagates(t *testing.T) {
+	ctx := NewContext(4)
+	r := Map(Parallelize(ctx, intsUpTo(100), 4), func(x int) Pair[int, int] {
+		if x == 57 {
+			panic("boom in map side")
+		}
+		return Pair[int, int]{Key: x, Value: x}
+	})
+	defer func() {
+		if rec := recover(); rec == nil {
+			t.Fatal("expected panic to propagate through shuffle")
+		}
+	}()
+	PartitionByKey(r, 3).Collect()
+}

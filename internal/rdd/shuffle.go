@@ -1,6 +1,9 @@
 package rdd
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Wide (shuffle) dependencies. A shuffle materializes the map side once —
 // bucketing every parent partition's records by hash of key — and then
@@ -13,12 +16,11 @@ type Pair[K comparable, V any] struct {
 	Value V
 }
 
-// hashKey spreads comparable keys across reducers via Go's map hash
-// (fallback: FNV on the formatted key for non-hashable edge cases is not
-// needed since K is comparable).
+// hashKey spreads comparable keys across reducers: integer and string keys
+// hash directly, everything else hashes its formatted representation with
+// FNV-1a so exotic key types still spread instead of collapsing onto one
+// reducer.
 func hashKey[K comparable](k K, buckets int) int {
-	// A tiny one-entry map would be slow; use a cheap polynomial over the
-	// bytes of fmt-free conversions where possible.
 	switch v := any(k).(type) {
 	case int:
 		return int(uint64(v) % uint64(buckets))
@@ -29,17 +31,74 @@ func hashKey[K comparable](k K, buckets int) int {
 	case uint64:
 		return int(v % uint64(buckets))
 	case string:
-		var h uint64 = 14695981039346656037
-		for i := 0; i < len(v); i++ {
-			h ^= uint64(v[i])
-			h *= 1099511628211
-		}
-		return int(h % uint64(buckets))
+		return int(fnvHash(v) % uint64(buckets))
 	default:
-		// Generic fallback: route everything to bucket 0 is wrong; use a
-		// map-based spreader seeded per call (rare path).
-		return 0
+		return int(fnvHash(fmt.Sprintf("%v", v)) % uint64(buckets))
 	}
+}
+
+// fnvHash is FNV-1a over the bytes of s.
+func fnvHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// bucketize runs the shuffle map side in parallel: each map partition is
+// bucketed by its own goroutine (bounded by the context's parallelism) into
+// per-partition local buckets, which are then concatenated per reducer in
+// partition order, so output order is identical to a sequential pass. Task
+// panics propagate to the caller like computeAll's.
+func bucketize[T any](ctx *Context, parts [][]T, numPartitions int, bucket func(T) int) [][]T {
+	locals := make([][][]T, len(parts))
+	sem := make(chan struct{}, ctx.parallelism)
+	var wg sync.WaitGroup
+	var failMu sync.Mutex
+	var failure any
+	for pi := range parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					failMu.Lock()
+					if failure == nil {
+						failure = rec
+					}
+					failMu.Unlock()
+				}
+			}()
+			local := make([][]T, numPartitions)
+			for _, v := range parts[pi] {
+				b := bucket(v)
+				local[b] = append(local[b], v)
+			}
+			locals[pi] = local
+			ctx.shuffleRecords.Add(int64(len(parts[pi])))
+		}(pi)
+	}
+	wg.Wait()
+	if failure != nil {
+		panic(failure)
+	}
+	buckets := make([][]T, numPartitions)
+	for b := 0; b < numPartitions; b++ {
+		n := 0
+		for _, local := range locals {
+			n += len(local[b])
+		}
+		merged := make([]T, 0, n)
+		for _, local := range locals {
+			merged = append(merged, local[b]...)
+		}
+		buckets[b] = merged
+	}
+	return buckets
 }
 
 // shuffleState lazily materializes the map-side buckets exactly once.
@@ -59,15 +118,10 @@ func PartitionByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) 
 	parent := r
 	return newRDD(r.ctx, r.name+".shuffle", numPartitions, func(p int) []Pair[K, V] {
 		st.once.Do(func() {
-			st.buckets = make([][]Pair[K, V], numPartitions)
 			parts := parent.computeAll()
-			for _, part := range parts {
-				for _, kv := range part {
-					b := hashKey(kv.Key, numPartitions)
-					st.buckets[b] = append(st.buckets[b], kv)
-				}
-				parent.ctx.shuffleRecords.Add(int64(len(part)))
-			}
+			st.buckets = bucketize(parent.ctx, parts, numPartitions, func(kv Pair[K, V]) int {
+				return hashKey(kv.Key, numPartitions)
+			})
 		})
 		return st.buckets[p]
 	})
@@ -137,15 +191,10 @@ func PartitionByHash[T any](r *RDD[T], numPartitions int, hash func(T) uint64) *
 	parent := r
 	return newRDD(r.ctx, r.name+".exchange", numPartitions, func(p int) []T {
 		once.Do(func() {
-			buckets = make([][]T, numPartitions)
 			parts := parent.computeAll()
-			for _, part := range parts {
-				for _, v := range part {
-					b := int(hash(v) % uint64(numPartitions))
-					buckets[b] = append(buckets[b], v)
-				}
-				parent.ctx.shuffleRecords.Add(int64(len(part)))
-			}
+			buckets = bucketize(parent.ctx, parts, numPartitions, func(v T) int {
+				return int(hash(v) % uint64(numPartitions))
+			})
 		})
 		return buckets[p]
 	})

@@ -87,6 +87,10 @@ type Config struct {
 	SourcePushdown bool
 	// PipelineCollapse fuses adjacent projects/filters into one map stage.
 	PipelineCollapse bool
+	// Vectorized runs fused pipelines over the columnar cache batch-at-a-time
+	// with typed vectors and selection vectors instead of row-at-a-time; it
+	// requires PipelineCollapse (vectorization applies to fused pipelines).
+	Vectorized bool
 	// BroadcastThreshold is the max estimated bytes for a broadcast join
 	// side (paper §4.3.3).
 	BroadcastThreshold int64
@@ -102,6 +106,7 @@ func DefaultConfig() Config {
 		LogicalOptimization: true,
 		SourcePushdown:      true,
 		PipelineCollapse:    true,
+		Vectorized:          true,
 		BroadcastThreshold:  10 << 20,
 	}
 }
@@ -112,6 +117,7 @@ func SharkConfig() Config {
 	cfg.Codegen = false
 	cfg.SourcePushdown = false
 	cfg.PipelineCollapse = false
+	cfg.Vectorized = false
 	return cfg
 }
 
@@ -125,6 +131,7 @@ func (c Config) toCore() core.Config {
 	opt.SourcePushdown = c.SourcePushdown && c.LogicalOptimization
 	pcfg := physical.DefaultPlannerConfig()
 	pcfg.CollapsePipelines = c.PipelineCollapse
+	pcfg.Vectorize = c.Vectorized && c.PipelineCollapse
 	if c.BroadcastThreshold > 0 {
 		pcfg.BroadcastThreshold = c.BroadcastThreshold
 	}
