@@ -1,6 +1,7 @@
 package sparksql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -260,22 +261,36 @@ func (df *DataFrame) queryExecution() (qe queryExec, err error) {
 	return queryExec{q}, nil
 }
 
-// Collect materializes all rows.
+// Collect materializes all rows. Task failures (including recovered
+// compute panics, after retries from lineage) surface as a *rdd.JobError
+// carrying the failing stage, partition, attempt count and cause.
 func (df *DataFrame) Collect() ([]Row, error) {
+	return df.CollectContext(context.Background())
+}
+
+// CollectContext is Collect under a caller context: cancelling ctx (or an
+// expired deadline, or the engine's QueryTimeout) cancels all in-flight
+// and pending tasks of the query and returns the context's error.
+func (df *DataFrame) CollectContext(ctx context.Context) ([]Row, error) {
 	qe, err := df.queryExecution()
 	if err != nil {
 		return nil, err
 	}
-	return qe.q.Collect()
+	return qe.q.CollectContext(ctx)
 }
 
 // Count returns the number of rows.
 func (df *DataFrame) Count() (int64, error) {
+	return df.CountContext(context.Background())
+}
+
+// CountContext is Count under a caller context.
+func (df *DataFrame) CountContext(ctx context.Context) (int64, error) {
 	qe, err := df.queryExecution()
 	if err != nil {
 		return 0, err
 	}
-	return qe.q.Count()
+	return qe.q.CountContext(ctx)
 }
 
 // Take returns up to n leading rows.
@@ -370,17 +385,8 @@ func (df *DataFrame) Cache() (CacheInfo, error) {
 	}
 	r := qe.q.RDD()
 	parts := make([][]row.Row, r.NumPartitions())
-	var collectErr error
-	func() {
-		defer func() {
-			if p := recover(); p != nil {
-				collectErr = fmt.Errorf("sparksql: caching failed: %v", p)
-			}
-		}()
-		r.ForeachPartition(func(p int, data []row.Row) { parts[p] = data })
-	}()
-	if collectErr != nil {
-		return CacheInfo{}, collectErr
+	if err := r.ForeachPartition(func(p int, data []row.Row) { parts[p] = data }); err != nil {
+		return CacheInfo{}, fmt.Errorf("sparksql: caching failed: %w", err)
 	}
 	schema := df.Schema()
 	table := columnar.BuildTable(schema, parts, columnar.DefaultBatchSize)
@@ -478,7 +484,9 @@ func (g *GroupedData) Min(cols ...string) (*DataFrame, error) {
 type queryExec struct {
 	q interface {
 		Collect() ([]row.Row, error)
+		CollectContext(ctx context.Context) ([]row.Row, error)
 		Count() (int64, error)
+		CountContext(ctx context.Context) (int64, error)
 		RDD() *rdd.RDD[row.Row]
 		Explain() string
 	}

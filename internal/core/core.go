@@ -7,9 +7,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/optimizer"
@@ -33,6 +35,19 @@ type Config struct {
 	ShufflePartitions int
 	// Parallelism is the task concurrency (defaults to GOMAXPROCS).
 	Parallelism int
+	// QueryTimeout, when positive, bounds each query execution; a query
+	// exceeding it is cancelled (all in-flight and pending tasks torn
+	// down) and returns context.DeadlineExceeded.
+	QueryTimeout time.Duration
+	// Speculation enables straggler mitigation: a task running longer
+	// than SpeculationMultiplier × the job's median completed-task time
+	// gets a backup attempt, and the first finisher wins.
+	Speculation bool
+	// SpeculationMultiplier is the straggler threshold (0 = default 3x).
+	SpeculationMultiplier float64
+	// SpeculationMin is the minimum elapsed time before a task may be
+	// considered a straggler (0 = default).
+	SpeculationMin time.Duration
 }
 
 // DefaultConfig is the full Spark SQL feature set.
@@ -79,9 +94,13 @@ func NewEngine(cfg Config) *Engine {
 	}
 	pl := physical.NewPlanner(cfg.Planner)
 	pl.TranslateFilter = optimizer.TranslateFilter
+	rddCtx := rdd.NewContext(cfg.Parallelism)
+	if cfg.Speculation {
+		rddCtx.SetSpeculation(true, cfg.SpeculationMultiplier, cfg.SpeculationMin)
+	}
 	return &Engine{
 		Catalog: analysis.NewCatalog(),
-		RDDCtx:  rdd.NewContext(cfg.Parallelism),
+		RDDCtx:  rddCtx,
 		Cfg:     cfg,
 		planner: pl,
 		opt:     optimizer.New(cfg.Optimizer),
@@ -146,25 +165,44 @@ func (q *QueryExecution) RDD() *rdd.RDD[row.Row] {
 	return q.Physical.Execute(q.engine.ExecContext())
 }
 
-// Collect materializes the full result. Runtime panics from task execution
-// are converted to errors.
-func (q *QueryExecution) Collect() (rows []row.Row, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("core: execution failed: %v", r)
-		}
-	}()
-	return q.RDD().Collect(), nil
+// queryContext derives the job context for one query execution, applying
+// the engine's QueryTimeout when set.
+func (e *Engine) queryContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.Cfg.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, e.Cfg.QueryTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Collect materializes the full result. Task failures (including recovered
+// compute panics) surface as a *rdd.JobError; no recover wrapper is needed
+// because no panic crosses the rdd boundary for task failures.
+func (q *QueryExecution) Collect() ([]row.Row, error) {
+	return q.CollectContext(context.Background())
+}
+
+// CollectContext is Collect under a caller context: cancelling it (or the
+// engine's QueryTimeout expiring) tears down all in-flight and pending
+// tasks and returns the context error.
+func (q *QueryExecution) CollectContext(ctx context.Context) ([]row.Row, error) {
+	jc, cancel := q.engine.queryContext(ctx)
+	defer cancel()
+	return q.RDD().CollectContext(jc)
 }
 
 // Count counts result rows without materializing them centrally.
-func (q *QueryExecution) Count() (n int64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("core: execution failed: %v", r)
-		}
-	}()
-	return q.RDD().Count(), nil
+func (q *QueryExecution) Count() (int64, error) {
+	return q.CountContext(context.Background())
+}
+
+// CountContext is Count under a caller context.
+func (q *QueryExecution) CountContext(ctx context.Context) (int64, error) {
+	jc, cancel := q.engine.queryContext(ctx)
+	defer cancel()
+	return q.RDD().CountContext(jc)
 }
 
 // Explain renders all plan phases.

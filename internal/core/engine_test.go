@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/physical"
@@ -144,4 +146,74 @@ func TestCollectEmptyRelation(t *testing.T) {
 		t.Fatalf("rows = %v, err = %v", rows, err)
 	}
 	var _ row.Row
+}
+
+// Acceptance: a terminal task failure is retrievable as *rdd.JobError with
+// errors.As from the engine's Collect and Count.
+func TestJobErrorRetrievableViaErrorsAs(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	rel := usersRelation()
+	e.RDDCtx.SetBackoff(time.Microsecond, 10*time.Microsecond)
+	e.RDDCtx.SetFailureHook(func(name string, p, attempt int) error {
+		return errors.New("node down")
+	})
+	qe, err := e.Execute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = qe.Collect()
+	var je *rdd.JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *rdd.JobError via errors.As, got %T: %v", err, err)
+	}
+	if je.Attempts == 0 || je.RDDName == "" {
+		t.Fatalf("JobError not populated: %+v", je)
+	}
+	if _, err := qe.Count(); !errors.As(err, &je) {
+		t.Fatalf("Count should surface *rdd.JobError too: %v", err)
+	}
+}
+
+// Acceptance: the engine's QueryTimeout cancels a stuck query promptly and
+// surfaces context.DeadlineExceeded.
+func TestQueryTimeoutCancelsStuckQuery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryTimeout = 30 * time.Millisecond
+	e := NewEngine(cfg)
+	rel := usersRelation()
+	// Every first attempt hangs far beyond the timeout; the latency hook
+	// sleeps context-aware, so cancellation tears it down immediately.
+	e.RDDCtx.SetLatencyHook(func(name string, p, attempt int) time.Duration {
+		return 10 * time.Second
+	})
+	qe, err := e.Execute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = qe.Collect()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout not prompt: %v", elapsed)
+	}
+}
+
+// Acceptance: a caller-cancelled context propagates context.Canceled.
+func TestCollectContextCancelled(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	rel := usersRelation()
+	qe, err := e.Execute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := qe.CollectContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := qe.CountContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountContext: want context.Canceled, got %v", err)
+	}
 }

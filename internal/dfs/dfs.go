@@ -26,15 +26,48 @@ type FileSystem struct {
 
 	bytesWritten int64
 	bytesRead    int64
+
+	// Fault injection (chaos testing): readAttempts counts Reads per path
+	// (1-based), so hooks can fail or slow only the first k reads and let a
+	// retry succeed — modelling a flaky datanode rather than a lost file.
+	readAttempts  map[string]int
+	readFaultHook func(path string, attempt int) error
+	readLatency   func(path string, attempt int) time.Duration
 }
 
 // New creates an empty file system with default cost parameters.
 func New() *FileSystem {
 	return &FileSystem{
 		files:             make(map[string][][]byte),
+		readAttempts:      make(map[string]int),
 		WriteNanosPerByte: 20.0, // ≈50 MB/s
 		ReadNanosPerByte:  5.0,  // ≈200 MB/s
 	}
+}
+
+// SetReadFaultHook installs a hook consulted before every Read with the
+// path and the 1-based attempt number for that path; a non-nil return
+// fails that read. nil clears the hook.
+func (fs *FileSystem) SetReadFaultHook(hook func(path string, attempt int) error) {
+	fs.mu.Lock()
+	fs.readFaultHook = hook
+	fs.mu.Unlock()
+}
+
+// SetReadLatencyHook installs a hook that adds a latency spike to a read
+// (on top of the simulated per-byte cost). nil clears the hook.
+func (fs *FileSystem) SetReadLatencyHook(hook func(path string, attempt int) time.Duration) {
+	fs.mu.Lock()
+	fs.readLatency = hook
+	fs.mu.Unlock()
+}
+
+// ReadAttempts returns how many Reads (successful or injected-failed) have
+// been issued against path.
+func (fs *FileSystem) ReadAttempts(path string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.readAttempts[path]
 }
 
 // Write stores a file as partitioned blocks, charging the write cost.
@@ -54,11 +87,27 @@ func (fs *FileSystem) Write(path string, partitions [][]byte) {
 	fs.mu.Unlock()
 }
 
-// Read returns a file's blocks, charging the read cost.
+// Read returns a file's blocks, charging the read cost. Injected faults
+// and latency spikes (see SetReadFaultHook / SetReadLatencyHook) apply
+// before the data is served.
 func (fs *FileSystem) Read(path string) ([][]byte, error) {
 	fs.mu.Lock()
+	fs.readAttempts[path]++
+	attempt := fs.readAttempts[path]
+	fault := fs.readFaultHook
+	latency := fs.readLatency
 	parts, ok := fs.files[path]
 	fs.mu.Unlock()
+	if latency != nil {
+		if d := latency(path, attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if fault != nil {
+		if err := fault(path, attempt); err != nil {
+			return nil, fmt.Errorf("dfs: read %q (attempt %d): %w", path, attempt, err)
+		}
+	}
 	if !ok {
 		return nil, fmt.Errorf("dfs: no such file %q", path)
 	}

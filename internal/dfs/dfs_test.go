@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -59,5 +60,67 @@ func TestSimulatedIOCost(t *testing.T) {
 	fs.Write("/slow", [][]byte{make([]byte, 1000)})
 	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
 		t.Fatalf("write should cost ~10ms, took %v", elapsed)
+	}
+}
+
+func TestReadFaultInjection(t *testing.T) {
+	fs := New()
+	fs.WriteNanosPerByte = 0
+	fs.ReadNanosPerByte = 0
+	fs.Write("/flaky", [][]byte{[]byte("data")})
+	fs.SetReadFaultHook(func(path string, attempt int) error {
+		if path == "/flaky" && attempt <= 2 {
+			return errors.New("injected datanode failure")
+		}
+		return nil
+	})
+	for i := 1; i <= 2; i++ {
+		if _, err := fs.Read("/flaky"); err == nil {
+			t.Fatalf("attempt %d should fail", i)
+		}
+	}
+	got, err := fs.Read("/flaky")
+	if err != nil {
+		t.Fatalf("attempt 3 should succeed: %v", err)
+	}
+	if string(got[0]) != "data" {
+		t.Fatalf("data corrupted across injected failures: %q", got[0])
+	}
+	if fs.ReadAttempts("/flaky") != 3 {
+		t.Fatalf("attempts = %d", fs.ReadAttempts("/flaky"))
+	}
+	// Other paths are untouched by the per-path hook.
+	fs.Write("/ok", [][]byte{[]byte("fine")})
+	if _, err := fs.Read("/ok"); err != nil {
+		t.Fatalf("unrelated path affected: %v", err)
+	}
+	fs.SetReadFaultHook(nil)
+	if _, err := fs.Read("/flaky"); err != nil {
+		t.Fatalf("cleared hook still firing: %v", err)
+	}
+}
+
+func TestReadLatencySpike(t *testing.T) {
+	fs := New()
+	fs.WriteNanosPerByte = 0
+	fs.ReadNanosPerByte = 0
+	fs.Write("/slowread", [][]byte{[]byte("x")})
+	fs.SetReadLatencyHook(func(path string, attempt int) time.Duration {
+		if path == "/slowread" && attempt == 1 {
+			return 20 * time.Millisecond
+		}
+		return 0
+	})
+	start := time.Now()
+	if _, err := fs.Read("/slowread"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("latency spike not applied: %v", elapsed)
+	}
+	start = time.Now()
+	fs.Read("/slowread")
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("spike should only hit attempt 1: %v", elapsed)
 	}
 }

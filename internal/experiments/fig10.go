@@ -79,7 +79,7 @@ func (f *Fig10) RunSeparate() (map[string]int64, error) {
 		return nil, err
 	}
 	blocks := make([][]byte, rddOut.NumPartitions())
-	rddOut.ForeachPartition(func(p int, rows []row.Row) {
+	err = rddOut.ForeachPartition(func(p int, rows []row.Row) {
 		var buf bytes.Buffer
 		for _, r := range rows {
 			s := r[0].(string)
@@ -90,6 +90,9 @@ func (f *Fig10) RunSeparate() (map[string]int64, error) {
 		}
 		blocks[p] = buf.Bytes()
 	})
+	if err != nil {
+		return nil, err
+	}
 	f.fs.Write("/tmp/filtered", blocks)
 
 	// Stage 2: a separate Spark job reads the intermediate back and counts
@@ -109,7 +112,7 @@ func (f *Fig10) RunSeparate() (map[string]int64, error) {
 		}
 		return out
 	})
-	return wordCount(lines, f.parts), nil
+	return wordCount(lines, f.parts)
 }
 
 // RunIntegrated runs the single DataFrame pipeline.
@@ -131,11 +134,11 @@ func (f *Fig10) RunIntegrated() (map[string]int64, error) {
 		return nil, err
 	}
 	lines := rdd.Map(rddOut, func(r row.Row) string { return r[0].(string) })
-	return wordCount(lines, f.parts), nil
+	return wordCount(lines, f.parts)
 }
 
 // wordCount is the procedural second stage, shared by both pipelines.
-func wordCount(lines *rdd.RDD[string], parts int) map[string]int64 {
+func wordCount(lines *rdd.RDD[string], parts int) (map[string]int64, error) {
 	words := rdd.FlatMap(lines, func(s string) []rdd.Pair[string, int64] {
 		fields := strings.Fields(s)
 		out := make([]rdd.Pair[string, int64], len(fields))
@@ -145,11 +148,15 @@ func wordCount(lines *rdd.RDD[string], parts int) map[string]int64 {
 		return out
 	})
 	counts := rdd.ReduceByKey(words, func(a, b int64) int64 { return a + b }, parts)
-	out := make(map[string]int64, 64)
-	for _, p := range counts.Collect() {
+	pairs, err := counts.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(pairs))
+	for _, p := range pairs {
 		out[p.Key] = p.Value
 	}
-	return out
+	return out, nil
 }
 
 // Verify cross-checks the two pipelines.

@@ -53,7 +53,7 @@ const fig9Seed = 0x5eed
 // RunPython runs the interpreted, boxed implementation:
 // data.map(lambda x: (x.a, (x.b, 1))).reduceByKey(lambda x, y: (x[0]+y[0], x[1]+y[1]))
 // with the lambdas executed on the mini bytecode VM.
-func (f *Fig9) RunPython() map[int32]float64 {
+func (f *Fig9) RunPython() (map[int32]float64, error) {
 	mapFn := pyMapLambda()
 	redFn := pyReduceLambda()
 	// Records cross into the "Python worker" as boxed tuples (the
@@ -68,12 +68,16 @@ func (f *Fig9) RunPython() map[int32]float64 {
 	reduced := rdd.ReduceByKey(kv, func(a, b pyValue) pyValue {
 		return redFn.call(a, b)
 	}, f.parts)
+	pairs, err := reduced.Collect()
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int32]float64, f.numKeys)
-	for _, p := range reduced.Collect() {
+	for _, p := range pairs {
 		t := p.Value.(pyTuple)
 		out[int32(p.Key)] = float64(t[0].(int64)) / float64(t[1].(int64))
 	}
-	return out
+	return out, nil
 }
 
 // sumCount is the Scala version's per-key accumulator tuple; it is
@@ -90,7 +94,7 @@ type sumCount struct {
 // allocation of key-value pairs that occurs in hand-written Scala code"
 // the paper's §6.2 analysis names. (A fully monomorphized Go version would
 // be faster than anything the JVM ran; see EXPERIMENTS.md.)
-func (f *Fig9) RunScala() map[int32]float64 {
+func (f *Fig9) RunScala() (map[int32]float64, error) {
 	kv := rdd.Map(f.objects, func(p *datagen.Pair) rdd.Pair[any, any] {
 		return rdd.Pair[any, any]{Key: p.A, Value: &sumCount{sum: int64(p.B), count: 1}}
 	})
@@ -98,12 +102,16 @@ func (f *Fig9) RunScala() map[int32]float64 {
 		x, y := a.(*sumCount), b.(*sumCount)
 		return &sumCount{sum: x.sum + y.sum, count: x.count + y.count}
 	}, f.parts)
+	pairs, err := reduced.Collect()
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int32]float64, f.numKeys)
-	for _, p := range reduced.Collect() {
+	for _, p := range pairs {
 		sc := p.Value.(*sumCount)
 		out[p.Key.(int32)] = float64(sc.sum) / float64(sc.count)
 	}
-	return out
+	return out, nil
 }
 
 // DataFrame builds the df.groupBy("a").avg("b") DataFrame (lazy) over the
@@ -138,8 +146,14 @@ func (f *Fig9) RunDataFrame() (map[int32]float64, error) {
 
 // Verify cross-checks that all three implementations agree.
 func (f *Fig9) Verify() error {
-	py := f.RunPython()
-	sc := f.RunScala()
+	py, err := f.RunPython()
+	if err != nil {
+		return err
+	}
+	sc, err := f.RunScala()
+	if err != nil {
+		return err
+	}
 	dfr, err := f.RunDataFrame()
 	if err != nil {
 		return err

@@ -1,13 +1,31 @@
 package physical
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/rdd"
 	"repro/internal/row"
 )
+
+// lazyBuild memoizes a per-query build-side materialization (broadcast
+// hash table, collected rows, interval tree, ...) that runs as a nested
+// job inside the first probe task — so build-side failures and
+// cancellation flow through the task path instead of panicking at
+// plan-build time.
+type lazyBuild[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (b *lazyBuild[T]) get(jc context.Context, build func(context.Context) (T, error)) (T, error) {
+	b.once.Do(func() { b.val, b.err = build(jc) })
+	return b.val, b.err
+}
 
 // Join execution. The planner extracts equi-join keys from the join
 // condition; the residual (non-equi) condition is evaluated on each
@@ -131,30 +149,50 @@ func (j *BroadcastHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	if j.BuildRight {
 		buildKey := keyFunc(bindKeys(ctx, j.RightKeys, rightOut))
 		probeKey := keyFunc(bindKeys(ctx, j.LeftKeys, leftOut))
-		table := buildHashTable(j.Right.Execute(ctx).Collect(), buildKey)
-		bc := rdd.NewBroadcast(table)
+		build := j.Right.Execute(ctx)
+		lazy := &lazyBuild[map[string][]row.Row]{}
 		nRight := len(rightOut)
-		return rdd.MapPartitions(j.Left.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+		return rdd.MapPartitionsCtx(j.Left.Execute(ctx), func(jc context.Context, _ int, in []row.Row) ([]row.Row, error) {
+			table, err := lazy.get(jc, func(jc context.Context) (map[string][]row.Row, error) {
+				rows, err := build.CollectContext(jc)
+				if err != nil {
+					return nil, err
+				}
+				return buildHashTable(rows, buildKey), nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			var out []row.Row
 			for _, l := range in {
-				out = appendProbeRight(out, l, bc.Value(), probeKey, match, j.Type, nRight)
+				out = appendProbeRight(out, l, table, probeKey, match, j.Type, nRight)
 			}
-			return out
+			return out, nil
 		})
 	}
 
 	// Build left, probe right (right-outer joins stream the right side).
 	buildKey := keyFunc(bindKeys(ctx, j.LeftKeys, leftOut))
 	probeKey := keyFunc(bindKeys(ctx, j.RightKeys, rightOut))
-	table := buildHashTable(j.Left.Execute(ctx).Collect(), buildKey)
-	bc := rdd.NewBroadcast(table)
+	build := j.Left.Execute(ctx)
+	lazy := &lazyBuild[map[string][]row.Row]{}
 	nLeft := len(leftOut)
-	return rdd.MapPartitions(j.Right.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+	return rdd.MapPartitionsCtx(j.Right.Execute(ctx), func(jc context.Context, _ int, in []row.Row) ([]row.Row, error) {
+		table, err := lazy.get(jc, func(jc context.Context) (map[string][]row.Row, error) {
+			rows, err := build.CollectContext(jc)
+			if err != nil {
+				return nil, err
+			}
+			return buildHashTable(rows, buildKey), nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		var out []row.Row
 		for _, r := range in {
-			out = appendProbeLeft(out, r, bc.Value(), probeKey, match, j.Type, nLeft)
+			out = appendProbeLeft(out, r, table, probeKey, match, j.Type, nLeft)
 		}
-		return out
+		return out, nil
 	})
 }
 
@@ -258,7 +296,7 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 
 	nLeft, nRight := len(leftOut), len(rightOut)
 	t := j.Type
-	return rdd.ZipPartitions(leftShuf, rightShuf, func(_ int, ls, rs []row.Row) []row.Row {
+	zipped, err := rdd.ZipPartitions(leftShuf, rightShuf, func(_ int, ls, rs []row.Row) []row.Row {
 		table := buildHashTable(rs, rightKey)
 		var out []row.Row
 		rightMatched := make(map[string][]bool)
@@ -316,6 +354,12 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		}
 		return out
 	})
+	if err != nil {
+		// Both sides are hash-partitioned to n above; unequal counts here
+		// are a planner bug, not a runtime task failure.
+		panic(err)
+	}
+	return zipped
 }
 
 // NestedLoopJoinExec handles joins without equi-keys by collecting the
@@ -344,15 +388,19 @@ func (j *NestedLoopJoinExec) String() string { return Format(j) }
 func (j *NestedLoopJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	leftOut, rightOut := j.Left.Output(), j.Right.Output()
 	match := residualPred(ctx, j.Cond, leftOut, rightOut)
-	rightRows := j.Right.Execute(ctx).Collect()
-	bc := rdd.NewBroadcast(rightRows)
+	build := j.Right.Execute(ctx)
+	lazy := &lazyBuild[[]row.Row]{}
 	nRight := len(rightOut)
 	t := j.Type
-	return rdd.MapPartitions(j.Left.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+	return rdd.MapPartitionsCtx(j.Left.Execute(ctx), func(jc context.Context, _ int, in []row.Row) ([]row.Row, error) {
+		rightRows, err := lazy.get(jc, build.CollectContext)
+		if err != nil {
+			return nil, err
+		}
 		var out []row.Row
 		for _, l := range in {
 			matched := false
-			for _, r := range bc.Value() {
+			for _, r := range rightRows {
 				if match(l, r) {
 					matched = true
 					if t == plan.LeftSemiJoin {
@@ -368,6 +416,6 @@ func (j *NestedLoopJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 				out = append(out, concatRows(l, nullRow(nRight)))
 			}
 		}
-		return out
+		return out, nil
 	})
 }

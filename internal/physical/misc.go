@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -79,8 +80,13 @@ func (l *LimitExec) SimpleString() string               { return fmt.Sprintf("Li
 func (l *LimitExec) String() string                     { return Format(l) }
 
 func (l *LimitExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
-	taken := rdd.Take(l.Child.Execute(ctx), l.N)
-	return rdd.Parallelize(ctx.RDD, taken, 1)
+	child := l.Child.Execute(ctx)
+	n := l.N
+	// Lazy: the scan runs as a nested job inside the limit's single task,
+	// so child failures and cancellation propagate through the task path.
+	return rdd.GenerateCtx(ctx.RDD, "limit", 1, func(jc context.Context, _ int) ([]row.Row, error) {
+		return rdd.TakeContext(jc, child, n)
+	})
 }
 
 // UnionExec concatenates children partitions.

@@ -27,7 +27,11 @@ func attrsOf(names []string, ts []types.DataType) []*expr.AttributeReference {
 
 func collect(t *testing.T, p SparkPlan, ctx *ExecContext) []row.Row {
 	t.Helper()
-	return p.Execute(ctx).Collect()
+	rows, err := p.Execute(ctx).Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return rows
 }
 
 func sortRows(rows []row.Row) {

@@ -1,7 +1,9 @@
 package rangejoin
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/physical"
@@ -160,18 +162,36 @@ func (e *IntervalJoinExec) Execute(ctx *physical.ExecContext) *rdd.RDD[row.Row] 
 	endEval := expr.MustBind(e.LeftEnd, leftOut)
 	pointEval := expr.MustBind(e.RightPoint, e.Right.Output())
 
-	leftRows := e.Left.Execute(ctx).Collect()
-	intervals := make([]Interval, 0, len(leftRows))
-	for i, r := range leftRows {
-		s, en := startEval.Eval(r), endEval.Eval(r)
-		if s == nil || en == nil {
-			continue
-		}
-		intervals = append(intervals, Interval{Start: asLong(s), End: asLong(en), Payload: i})
+	// The build side materializes lazily, as a nested job inside the first
+	// probe task, so build failures and cancellation propagate through the
+	// task path instead of panicking at plan-build time.
+	buildSide := e.Left.Execute(ctx)
+	type builtTree struct {
+		tree *Tree
+		rows []row.Row
 	}
-	tree := Build(intervals)
-	bc := rdd.NewBroadcast(tree)
-	rowsBC := rdd.NewBroadcast(leftRows)
+	var buildOnce sync.Once
+	var built builtTree
+	var buildErr error
+	load := func(jc context.Context) (builtTree, error) {
+		buildOnce.Do(func() {
+			leftRows, err := buildSide.CollectContext(jc)
+			if err != nil {
+				buildErr = err
+				return
+			}
+			intervals := make([]Interval, 0, len(leftRows))
+			for i, r := range leftRows {
+				s, en := startEval.Eval(r), endEval.Eval(r)
+				if s == nil || en == nil {
+					continue
+				}
+				intervals = append(intervals, Interval{Start: asLong(s), End: asLong(en), Payload: i})
+			}
+			built = builtTree{tree: Build(intervals), rows: leftRows}
+		})
+		return built, buildErr
+	}
 
 	var residual func(l, r row.Row) bool
 	if e.Residual != nil {
@@ -186,7 +206,11 @@ func (e *IntervalJoinExec) Execute(ctx *physical.ExecContext) *rdd.RDD[row.Row] 
 		}
 	}
 
-	return rdd.MapPartitions(e.Right.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+	return rdd.MapPartitionsCtx(e.Right.Execute(ctx), func(jc context.Context, _ int, in []row.Row) ([]row.Row, error) {
+		b, err := load(jc)
+		if err != nil {
+			return nil, err
+		}
 		var out []row.Row
 		var hits []Interval
 		for _, r := range in {
@@ -194,9 +218,9 @@ func (e *IntervalJoinExec) Execute(ctx *physical.ExecContext) *rdd.RDD[row.Row] 
 			if p == nil {
 				continue
 			}
-			hits = bc.Value().StabStrict(asLong(p), hits[:0])
+			hits = b.tree.StabStrict(asLong(p), hits[:0])
 			for _, h := range hits {
-				l := rowsBC.Value()[h.Payload]
+				l := b.rows[h.Payload]
 				if residual != nil && !residual(l, r) {
 					continue
 				}
@@ -206,7 +230,7 @@ func (e *IntervalJoinExec) Execute(ctx *physical.ExecContext) *rdd.RDD[row.Row] 
 				out = append(out, joined)
 			}
 		}
-		return out
+		return out, nil
 	})
 }
 

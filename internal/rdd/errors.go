@@ -1,0 +1,74 @@
+package rdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// TaskError describes one failed attempt of one task: which RDD's compute
+// failed, on which partition, on which attempt, and why. Recovered compute
+// panics and fault-injection errors both surface as TaskErrors; the
+// executor retries them with backoff up to maxTaskAttempts.
+type TaskError struct {
+	RDDName   string
+	Partition int
+	Attempt   int
+	Cause     error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("task %s[%d] attempt %d: %v", e.RDDName, e.Partition, e.Attempt, e.Cause)
+}
+
+func (e *TaskError) Unwrap() error { return e.Cause }
+
+// JobError is the terminal failure of a job: a task exhausted its retry
+// budget (or hit a non-retryable error). It carries the failing RDD's name,
+// partition, the number of attempts spent, and the last attempt's error,
+// so callers can identify the lineage stage that failed. No panic crosses
+// the rdd package boundary — actions return JobErrors instead.
+type JobError struct {
+	RDDName   string
+	Partition int
+	Attempts  int
+	Cause     error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("rdd: job failed: %s[%d] after %d attempt(s): %v",
+		e.RDDName, e.Partition, e.Attempts, e.Cause)
+}
+
+func (e *JobError) Unwrap() error { return e.Cause }
+
+// terminalErr reports whether err must not be retried by an enclosing
+// task: context cancellation propagates unchanged (the job is being torn
+// down), and a JobError from a nested job (a shuffle map stage or a
+// broadcast build collected inside a task) has already exhausted its own
+// retry budget — retrying the outer task would multiply attempts without
+// new information.
+func terminalErr(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var je *JobError
+	return errors.As(err, &je)
+}
+
+// sleepCtx waits d or until ctx is cancelled, returning the cancellation
+// error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

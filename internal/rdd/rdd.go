@@ -2,16 +2,28 @@
 // Resilient Distributed Dataset engine (paper §2.1 and [39]): lazily
 // evaluated, partitioned collections with functional transformations,
 // lineage-based fault recovery, hash shuffles for wide dependencies,
-// explicit caching, broadcast values, and a parallel task executor with
-// retry. Partitions run on goroutines instead of cluster nodes; everything
-// else — laziness, lineage, narrow-vs-wide dependencies, shuffle
-// materialization — follows the Spark model.
+// explicit caching, broadcast values, and a structured, cancellable task
+// executor with capped exponential-backoff retries and speculative
+// execution of stragglers. Partitions run on goroutines instead of cluster
+// nodes; everything else — laziness, lineage, narrow-vs-wide dependencies,
+// shuffle materialization, the DAGScheduler's fail-fast job abort — follows
+// the Spark model.
+//
+// Failure semantics: a compute panic or error is one failed task attempt,
+// retried up to maxTaskAttempts with deterministic exponential backoff.
+// The first terminal failure cancels all in-flight and pending sibling
+// tasks and surfaces from actions as a *JobError; no panic crosses the
+// package boundary. A job context (CollectContext and friends) threads
+// into every task, so jobs can be cancelled or time out.
 package rdd
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Context owns the executor and engine-wide metrics — the SparkContext of
@@ -20,19 +32,43 @@ type Context struct {
 	parallelism int
 
 	// metrics
-	tasksRun       atomic.Int64
-	taskRetries    atomic.Int64
-	recomputes     atomic.Int64
-	shuffleRecords atomic.Int64
+	tasksRun            atomic.Int64
+	taskRetries         atomic.Int64
+	recomputes          atomic.Int64
+	shuffleRecords      atomic.Int64
+	speculativeLaunches atomic.Int64
+	speculativeWins     atomic.Int64
 
+	mu sync.Mutex
 	// failureHook, when set, lets tests inject task failures: return an
 	// error to fail the given attempt of a task. The executor retries up
 	// to maxTaskAttempts.
-	mu          sync.Mutex
 	failureHook func(rddName string, partition, attempt int) error
+	// latencyHook, when set, injects a per-attempt latency (a simulated
+	// slow node); the sleep honors the job context, so cancelled jobs do
+	// not wait it out.
+	latencyHook func(rddName string, partition, attempt int) time.Duration
+
+	// retry backoff: retry n waits min(backoffBase << (n-1), backoffMax).
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	// speculation: when a partition has run longer than specMultiplier
+	// times the median completed-task time of its job (and longer than
+	// specMin), a backup attempt is launched and the first finisher wins.
+	specEnabled    bool
+	specMultiplier float64
+	specMin        time.Duration
 }
 
-const maxTaskAttempts = 4
+const (
+	maxTaskAttempts    = 4
+	defaultBackoffBase = time.Millisecond
+	defaultBackoffMax  = 50 * time.Millisecond
+	defaultSpecMult    = 3.0
+	defaultSpecMin     = 20 * time.Millisecond
+	specCheckInterval  = time.Millisecond
+)
 
 // NewContext creates an execution context running at most parallelism
 // concurrent tasks.
@@ -40,7 +76,13 @@ func NewContext(parallelism int) *Context {
 	if parallelism < 1 {
 		parallelism = 1
 	}
-	return &Context{parallelism: parallelism}
+	return &Context{
+		parallelism:    parallelism,
+		backoffBase:    defaultBackoffBase,
+		backoffMax:     defaultBackoffMax,
+		specMultiplier: defaultSpecMult,
+		specMin:        defaultSpecMin,
+	}
 }
 
 // Parallelism returns the task concurrency.
@@ -59,11 +101,56 @@ func (c *Context) Recomputes() int64 { return c.recomputes.Load() }
 // ShuffleRecords returns the number of records moved through shuffles.
 func (c *Context) ShuffleRecords() int64 { return c.shuffleRecords.Load() }
 
+// SpeculativeLaunches returns how many backup task attempts were started
+// for suspected stragglers.
+func (c *Context) SpeculativeLaunches() int64 { return c.speculativeLaunches.Load() }
+
+// SpeculativeWins returns how many backup attempts finished before their
+// straggling primary.
+func (c *Context) SpeculativeWins() int64 { return c.speculativeWins.Load() }
+
 // SetFailureHook installs (or clears, with nil) the fault-injection hook.
 func (c *Context) SetFailureHook(hook func(rddName string, partition, attempt int) error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.failureHook = hook
+}
+
+// SetLatencyHook installs (or clears, with nil) the latency-injection hook
+// used to simulate slow nodes for straggler/speculation studies.
+func (c *Context) SetLatencyHook(hook func(rddName string, partition, attempt int) time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latencyHook = hook
+}
+
+// SetBackoff overrides the retry backoff schedule: retry n waits
+// min(base << (n-1), max). Non-positive arguments keep the defaults.
+func (c *Context) SetBackoff(base, max time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if base > 0 {
+		c.backoffBase = base
+	}
+	if max > 0 {
+		c.backoffMax = max
+	}
+}
+
+// SetSpeculation configures straggler mitigation: when enabled, a
+// partition running longer than multiplier × the job's median completed
+// task time (and longer than min) gets a backup attempt; the first
+// finisher wins. Non-positive multiplier/min keep the defaults.
+func (c *Context) SetSpeculation(enabled bool, multiplier float64, min time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.specEnabled = enabled
+	if multiplier > 0 {
+		c.specMultiplier = multiplier
+	}
+	if min > 0 {
+		c.specMin = min
+	}
 }
 
 func (c *Context) checkFailure(name string, partition, attempt int) error {
@@ -76,6 +163,37 @@ func (c *Context) checkFailure(name string, partition, attempt int) error {
 	return hook(name, partition, attempt)
 }
 
+func (c *Context) checkLatency(name string, partition, attempt int) time.Duration {
+	c.mu.Lock()
+	hook := c.latencyHook
+	c.mu.Unlock()
+	if hook == nil {
+		return 0
+	}
+	return hook(name, partition, attempt)
+}
+
+// backoffFor returns the deterministic wait before retry n (1-based).
+func (c *Context) backoffFor(retry int) time.Duration {
+	c.mu.Lock()
+	base, max := c.backoffBase, c.backoffMax
+	c.mu.Unlock()
+	d := base
+	for i := 1; i < retry && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+func (c *Context) speculation() (bool, float64, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.specEnabled, c.specMultiplier, c.specMin
+}
+
 // RDD is a lazily evaluated, partitioned collection. Each RDD is defined by
 // a compute function that rebuilds any partition from its lineage, so a
 // lost (dropped) cached partition is recoverable by recomputation — the
@@ -84,8 +202,8 @@ type RDD[T any] struct {
 	ctx     *Context
 	name    string
 	numPart int
-	// compute rebuilds partition p from lineage.
-	compute func(p int) []T
+	// compute rebuilds partition p from lineage under a job context.
+	compute func(jc context.Context, p int) ([]T, error)
 
 	// cache state; nil when not cached.
 	cacheMu   sync.Mutex
@@ -103,7 +221,7 @@ func (r *RDD[T]) Name() string { return r.name }
 // NumPartitions returns the partition count.
 func (r *RDD[T]) NumPartitions() int { return r.numPart }
 
-func newRDD[T any](ctx *Context, name string, numPart int, compute func(p int) []T) *RDD[T] {
+func newRDD[T any](ctx *Context, name string, numPart int, compute func(jc context.Context, p int) ([]T, error)) *RDD[T] {
 	return &RDD[T]{ctx: ctx, name: name, numPart: numPart, compute: compute}
 }
 
@@ -113,38 +231,57 @@ func Parallelize[T any](ctx *Context, data []T, numPartitions int) *RDD[T] {
 		numPartitions = ctx.parallelism
 	}
 	n := len(data)
-	return newRDD(ctx, "parallelize", numPartitions, func(p int) []T {
+	return newRDD(ctx, "parallelize", numPartitions, func(_ context.Context, p int) ([]T, error) {
 		lo := n * p / numPartitions
 		hi := n * (p + 1) / numPartitions
 		out := make([]T, hi-lo)
 		copy(out, data[lo:hi])
-		return out
+		return out, nil
 	})
 }
 
 // FromPartitions builds an RDD from pre-partitioned data.
 func FromPartitions[T any](ctx *Context, parts [][]T) *RDD[T] {
-	return newRDD(ctx, "fromPartitions", len(parts), func(p int) []T {
-		return parts[p]
+	return newRDD(ctx, "fromPartitions", len(parts), func(_ context.Context, p int) ([]T, error) {
+		return parts[p], nil
 	})
 }
 
 // Generate builds an RDD whose partitions are produced on demand by gen —
 // the hook data sources and synthetic workload generators use, so large
-// inputs need not exist in memory up front.
+// inputs need not exist in memory up front. A panic in gen is one failed
+// task attempt (retried); use GenerateCtx for generators that should
+// observe cancellation or report errors directly.
 func Generate[T any](ctx *Context, name string, numPartitions int, gen func(p int) []T) *RDD[T] {
+	return newRDD(ctx, name, numPartitions, func(_ context.Context, p int) ([]T, error) {
+		return gen(p), nil
+	})
+}
+
+// GenerateCtx builds an RDD whose generator receives the job context and
+// may return an error — the constructor for sources that do I/O (and so
+// can fail transiently or block) or that must stop promptly when the job
+// is cancelled. Returned errors count as failed task attempts and are
+// retried like any other task failure.
+func GenerateCtx[T any](ctx *Context, name string, numPartitions int, gen func(jc context.Context, p int) ([]T, error)) *RDD[T] {
 	return newRDD(ctx, name, numPartitions, gen)
 }
 
-// partition computes (or serves from cache) one partition, honoring the
-// fault-injection hook with retries.
-func (r *RDD[T]) partition(p int) []T {
-	if r.cached {
+// partition computes (or serves from cache) one partition.
+func (r *RDD[T]) partition(jc context.Context, p int) ([]T, error) {
+	return r.partitionAttempt(jc, p, 1)
+}
+
+// partitionAttempt is partition with an explicit first-attempt number —
+// speculative backups run with attempts numbered from maxTaskAttempts+1 so
+// fault-injection hooks can tell primary and backup attempts apart.
+func (r *RDD[T]) partitionAttempt(jc context.Context, p, firstAttempt int) ([]T, error) {
+	if r.isCached() {
 		r.cacheMu.Lock()
 		if r.cacheData != nil && r.cacheData[p] != nil {
 			data := *r.cacheData[p]
 			r.cacheMu.Unlock()
-			return data
+			return data, nil
 		}
 		wasDropped := r.dropped != nil && r.dropped[p]
 		r.cacheMu.Unlock()
@@ -152,34 +289,78 @@ func (r *RDD[T]) partition(p int) []T {
 			// Lineage recovery: the partition existed and was lost.
 			r.ctx.recomputes.Add(1)
 		}
-		data := r.runTask(p)
-		r.cacheMu.Lock()
-		if r.cacheData == nil {
-			r.cacheData = make([]*[]T, r.numPart)
-			r.dropped = make([]bool, r.numPart)
+		data, err := r.runTask(jc, p, firstAttempt)
+		if err != nil {
+			return nil, err
 		}
-		r.cacheData[p] = &data
-		r.dropped[p] = false
+		r.cacheMu.Lock()
+		if r.cached {
+			if r.cacheData == nil {
+				r.cacheData = make([]*[]T, r.numPart)
+				r.dropped = make([]bool, r.numPart)
+			}
+			r.cacheData[p] = &data
+			r.dropped[p] = false
+		}
 		r.cacheMu.Unlock()
-		return data
+		return data, nil
 	}
-	return r.runTask(p)
+	return r.runTask(jc, p, firstAttempt)
 }
 
-// runTask executes the compute function as a retryable task.
-func (r *RDD[T]) runTask(p int) []T {
+func (r *RDD[T]) isCached() bool {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	return r.cached
+}
+
+// runTask executes the compute function as a retryable task: each failed
+// attempt (error or recovered panic) waits a deterministic, capped
+// exponential backoff and retries, up to maxTaskAttempts. Cancellation and
+// nested terminal JobErrors short-circuit the retry loop.
+func (r *RDD[T]) runTask(jc context.Context, p, firstAttempt int) ([]T, error) {
 	var lastErr error
-	for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
-		r.ctx.tasksRun.Add(1)
-		if err := r.ctx.checkFailure(r.name, p, attempt); err != nil {
-			lastErr = err
-			r.ctx.taskRetries.Add(1)
-			continue
+	for retry := 0; retry < maxTaskAttempts; retry++ {
+		attempt := firstAttempt + retry
+		if retry > 0 {
+			if err := sleepCtx(jc, r.ctx.backoffFor(retry)); err != nil {
+				return nil, err
+			}
+		} else if err := jc.Err(); err != nil {
+			return nil, err
 		}
-		return r.compute(p)
+		r.ctx.tasksRun.Add(1)
+		out, err := r.attemptOnce(jc, p, attempt)
+		if err == nil {
+			return out, nil
+		}
+		if terminalErr(err) {
+			return nil, err
+		}
+		lastErr = &TaskError{RDDName: r.name, Partition: p, Attempt: attempt, Cause: err}
+		r.ctx.taskRetries.Add(1)
 	}
-	panic(fmt.Sprintf("rdd: task %s[%d] failed after %d attempts: %v",
-		r.name, p, maxTaskAttempts, lastErr))
+	return nil, &JobError{RDDName: r.name, Partition: p, Attempts: maxTaskAttempts, Cause: lastErr}
+}
+
+// attemptOnce runs one attempt of a task, converting compute panics into
+// errors so a panicking user function is retried instead of unwinding the
+// whole job.
+func (r *RDD[T]) attemptOnce(jc context.Context, p, attempt int) (out []T, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic in compute: %v", rec)
+		}
+	}()
+	if err := r.ctx.checkFailure(r.name, p, attempt); err != nil {
+		return nil, err
+	}
+	if d := r.ctx.checkLatency(r.name, p, attempt); d > 0 {
+		if err := sleepCtx(jc, d); err != nil {
+			return nil, err
+		}
+	}
+	return r.compute(jc, p)
 }
 
 // Cache marks the RDD for in-memory materialization; partitions are stored
@@ -211,44 +392,181 @@ func (r *RDD[T]) DropCachedPartition(p int) {
 	r.cacheMu.Unlock()
 }
 
+// runRecorder tracks completed-task durations for one job, feeding the
+// speculation heuristic's median.
+type runRecorder struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (rec *runRecorder) record(d time.Duration) {
+	rec.mu.Lock()
+	rec.durs = append(rec.durs, d)
+	rec.mu.Unlock()
+}
+
+// median returns the median completed duration; ok is false with fewer
+// than two samples (no basis to call anything a straggler yet).
+func (rec *runRecorder) median() (time.Duration, bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.durs) < 2 {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), rec.durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2], true
+}
+
 // computeAll materializes all partitions in parallel under the context's
-// parallelism bound. A panicking task fails the whole job: the panic is
-// captured in the worker goroutine and re-raised in the caller, so actions
-// (Collect/Count) can surface it as an error.
-func (r *RDD[T]) computeAll() [][]T {
+// parallelism bound, fail-fast: the first terminal task failure cancels
+// all in-flight tasks (via the derived run context) and stops admitting
+// pending partitions, and the error is returned to the caller. With
+// speculation enabled, partitions running far beyond the median completed
+// time get a backup attempt, first finisher wins.
+func (r *RDD[T]) computeAll(jc context.Context) ([][]T, error) {
+	if jc == nil {
+		jc = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(jc)
+	defer cancel()
+
 	out := make([][]T, r.numPart)
 	sem := make(chan struct{}, r.ctx.parallelism)
 	var wg sync.WaitGroup
 	var failMu sync.Mutex
-	var failure any
+	var firstErr error
+	rec := &runRecorder{}
+
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		failMu.Unlock()
+		cancel() // fail fast: tear down siblings, stop admissions
+	}
+
 	for p := 0; p < r.numPart; p++ {
+		// Stop admitting pending partitions once the job is doomed.
+		if runCtx.Err() != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-runCtx.Done():
+		}
+		if runCtx.Err() != nil {
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(p int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			defer func() {
-				if rec := recover(); rec != nil {
-					failMu.Lock()
-					if failure == nil {
-						failure = rec
-					}
-					failMu.Unlock()
-				}
-			}()
-			out[p] = r.partition(p)
+			data, err := r.runPartition(runCtx, p, rec)
+			if err != nil {
+				fail(err)
+				return
+			}
+			out[p] = data
 		}(p)
 	}
 	wg.Wait()
-	if failure != nil {
-		panic(failure)
+
+	failMu.Lock()
+	err := firstErr
+	failMu.Unlock()
+	if err != nil {
+		return nil, err
 	}
-	return out
+	if err := jc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runPartition runs one partition of a job, with straggler speculation
+// when enabled.
+func (r *RDD[T]) runPartition(jc context.Context, p int, rec *runRecorder) ([]T, error) {
+	enabled, mult, min := r.ctx.speculation()
+	start := time.Now()
+	if !enabled {
+		data, err := r.partition(jc, p)
+		if err == nil {
+			rec.record(time.Since(start))
+		}
+		return data, err
+	}
+
+	type result struct {
+		data   []T
+		err    error
+		backup bool
+	}
+	results := make(chan result, 2)
+	launch := func(firstAttempt int, backup bool) {
+		go func() {
+			data, err := r.partitionAttempt(jc, p, firstAttempt)
+			results <- result{data: data, err: err, backup: backup}
+		}()
+	}
+	launch(1, false)
+	pending := 1
+	backupLaunched := false
+	ticker := time.NewTicker(specCheckInterval)
+	defer ticker.Stop()
+	var firstFailure error
+	for {
+		select {
+		case res := <-results:
+			if res.err == nil {
+				if res.backup {
+					r.ctx.speculativeWins.Add(1)
+				}
+				rec.record(time.Since(start))
+				return res.data, nil
+			}
+			pending--
+			if firstFailure == nil {
+				firstFailure = res.err
+			}
+			if pending == 0 {
+				return nil, firstFailure
+			}
+		case <-ticker.C:
+			if backupLaunched {
+				continue
+			}
+			med, ok := rec.median()
+			if !ok {
+				continue
+			}
+			elapsed := time.Since(start)
+			if elapsed >= min && float64(elapsed) >= mult*float64(med) {
+				backupLaunched = true
+				pending++
+				r.ctx.speculativeLaunches.Add(1)
+				// Backup attempts are numbered from maxTaskAttempts+1 so
+				// hooks can distinguish them from the primary's attempts.
+				launch(maxTaskAttempts+1, true)
+			}
+		}
+	}
 }
 
 // Collect returns all elements, concatenated in partition order.
-func (r *RDD[T]) Collect() []T {
-	parts := r.computeAll()
+func (r *RDD[T]) Collect() ([]T, error) {
+	return r.CollectContext(context.Background())
+}
+
+// CollectContext is Collect under a job context: cancelling jc (or its
+// deadline expiring) cancels the job's pending and in-flight tasks and
+// returns the context's error.
+func (r *RDD[T]) CollectContext(jc context.Context) ([]T, error) {
+	parts, err := r.computeAll(jc)
+	if err != nil {
+		return nil, err
+	}
 	var n int
 	for _, p := range parts {
 		n += len(p)
@@ -257,23 +575,41 @@ func (r *RDD[T]) Collect() []T {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }
 
 // Count returns the number of elements.
-func (r *RDD[T]) Count() int64 {
-	parts := r.computeAll()
+func (r *RDD[T]) Count() (int64, error) {
+	return r.CountContext(context.Background())
+}
+
+// CountContext is Count under a job context.
+func (r *RDD[T]) CountContext(jc context.Context) (int64, error) {
+	parts, err := r.computeAll(jc)
+	if err != nil {
+		return 0, err
+	}
 	var n int64
 	for _, p := range parts {
 		n += int64(len(p))
 	}
-	return n
+	return n, nil
 }
 
-// ForeachPartition runs f over each computed partition (parallel).
-func (r *RDD[T]) ForeachPartition(f func(p int, data []T)) {
-	parts := r.computeAll()
+// ForeachPartition runs f over each computed partition (computed in
+// parallel, f applied in partition order).
+func (r *RDD[T]) ForeachPartition(f func(p int, data []T)) error {
+	return r.ForeachPartitionContext(context.Background(), f)
+}
+
+// ForeachPartitionContext is ForeachPartition under a job context.
+func (r *RDD[T]) ForeachPartitionContext(jc context.Context, f func(p int, data []T)) error {
+	parts, err := r.computeAll(jc)
+	if err != nil {
+		return err
+	}
 	for p, data := range parts {
 		f(p, data)
 	}
+	return nil
 }

@@ -1,11 +1,14 @@
 package rdd
 
 import (
+	"context"
 	"errors"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func intsUpTo(n int) []int {
@@ -16,6 +19,32 @@ func intsUpTo(n int) []int {
 	return out
 }
 
+// collect is a test helper that fails the test on job error.
+func collect[T any](t *testing.T, r *RDD[T]) []T {
+	t.Helper()
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return got
+}
+
+func count[T any](t *testing.T, r *RDD[T]) int64 {
+	t.Helper()
+	n, err := r.Count()
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	return n
+}
+
+func foreachPartition[T any](t *testing.T, r *RDD[T], f func(p int, data []T)) {
+	t.Helper()
+	if err := r.ForeachPartition(f); err != nil {
+		t.Fatalf("ForeachPartition: %v", err)
+	}
+}
+
 func TestParallelizeCollectRoundTrip(t *testing.T) {
 	ctx := NewContext(4)
 	data := intsUpTo(101)
@@ -23,7 +52,7 @@ func TestParallelizeCollectRoundTrip(t *testing.T) {
 	if r.NumPartitions() != 7 {
 		t.Fatalf("partitions = %d", r.NumPartitions())
 	}
-	got := r.Collect()
+	got := collect(t, r)
 	if len(got) != 101 {
 		t.Fatalf("len = %d", len(got))
 	}
@@ -32,8 +61,8 @@ func TestParallelizeCollectRoundTrip(t *testing.T) {
 			t.Fatalf("order not preserved at %d: %d", i, v)
 		}
 	}
-	if r.Count() != 101 {
-		t.Fatalf("count = %d", r.Count())
+	if count(t, r) != 101 {
+		t.Fatalf("count = %d", count(t, r))
 	}
 }
 
@@ -50,7 +79,7 @@ func TestMapFilterFlatMapLazy(t *testing.T) {
 	if evals.Load() != 0 {
 		t.Fatal("transformations must be lazy")
 	}
-	got := flat.Collect()
+	got := collect(t, flat)
 	if evals.Load() != 3 {
 		t.Fatalf("each partition computed once, got %d", evals.Load())
 	}
@@ -70,32 +99,38 @@ func TestUnionCoalesceTake(t *testing.T) {
 	a := Parallelize(ctx, []int{1, 2}, 2)
 	b := Parallelize(ctx, []int{3, 4}, 2)
 	u := Union(a, b)
-	if u.Count() != 4 || u.NumPartitions() != 4 {
-		t.Fatalf("union wrong: %d rows, %d parts", u.Count(), u.NumPartitions())
+	if count(t, u) != 4 || u.NumPartitions() != 4 {
+		t.Fatalf("union wrong: %d rows, %d parts", count(t, u), u.NumPartitions())
 	}
 	c := Coalesce(u, 2)
-	if c.NumPartitions() != 2 || c.Count() != 4 {
+	if c.NumPartitions() != 2 || count(t, c) != 4 {
 		t.Fatal("coalesce wrong")
 	}
-	taken := Take(u, 3)
+	taken, err := Take(u, 3)
+	if err != nil {
+		t.Fatalf("take: %v", err)
+	}
 	if len(taken) != 3 || taken[0] != 1 {
 		t.Fatalf("take = %v", taken)
 	}
-	if got := Take(u, 100); len(got) != 4 {
-		t.Fatalf("take beyond size = %v", got)
+	if got, err := Take(u, 100); err != nil || len(got) != 4 {
+		t.Fatalf("take beyond size = %v, %v", got, err)
 	}
 }
 
 func TestReduce(t *testing.T) {
 	ctx := NewContext(3)
 	r := Parallelize(ctx, intsUpTo(10), 3)
-	sum, ok := Reduce(r, func(a, b int) int { return a + b })
+	sum, ok, err := Reduce(r, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatalf("reduce: %v", err)
+	}
 	if !ok || sum != 45 {
 		t.Fatalf("reduce = %d, %v", sum, ok)
 	}
 	empty := Parallelize(ctx, []int{}, 2)
-	if _, ok := Reduce(empty, func(a, b int) int { return a + b }); ok {
-		t.Fatal("empty reduce should report !ok")
+	if _, ok, err := Reduce(empty, func(a, b int) int { return a + b }); err != nil || ok {
+		t.Fatalf("empty reduce should report !ok without error, got ok=%v err=%v", ok, err)
 	}
 }
 
@@ -108,7 +143,7 @@ func TestReduceByKeyCorrectness(t *testing.T) {
 	r := Parallelize(ctx, pairs, 8)
 	reduced := ReduceByKey(r, func(a, b int) int { return a + b }, 3)
 	got := map[string]int{}
-	for _, kv := range reduced.Collect() {
+	for _, kv := range collect(t, reduced) {
 		if _, dup := got[kv.Key]; dup {
 			t.Fatalf("key %q appeared in two partitions", kv.Key)
 		}
@@ -140,8 +175,12 @@ func TestReduceByKeyProperty(t *testing.T) {
 			want[key] += i
 		}
 		r := Parallelize(ctx, pairs, int(parts%6)+1)
+		reduced, err := ReduceByKey(r, func(a, b int) int { return a + b }, int(parts%4)+1).Collect()
+		if err != nil {
+			return false
+		}
 		got := map[int]int{}
-		for _, kv := range ReduceByKey(r, func(a, b int) int { return a + b }, int(parts%4)+1).Collect() {
+		for _, kv := range reduced {
 			got[kv.Key] = kv.Value
 		}
 		if len(got) != len(want) {
@@ -164,7 +203,7 @@ func TestGroupByKey(t *testing.T) {
 	r := Parallelize(ctx, []Pair[string, int]{
 		{"a", 1}, {"b", 2}, {"a", 3},
 	}, 2)
-	grouped := GroupByKey(r, 2).Collect()
+	grouped := collect(t, GroupByKey(r, 2))
 	byKey := map[string][]int{}
 	for _, kv := range grouped {
 		sort.Ints(kv.Value)
@@ -179,22 +218,33 @@ func TestZipPartitions(t *testing.T) {
 	ctx := NewContext(2)
 	a := Parallelize(ctx, []int{1, 2, 3, 4}, 2)
 	b := Parallelize(ctx, []string{"a", "b", "c", "d"}, 2)
-	zipped := ZipPartitions(a, b, func(p int, xs []int, ys []string) []string {
+	zipped, err := ZipPartitions(a, b, func(p int, xs []int, ys []string) []string {
 		out := make([]string, len(xs))
 		for i := range xs {
 			out[i] = ys[i]
 		}
 		return out
 	})
-	if got := zipped.Collect(); len(got) != 4 || got[0] != "a" {
+	if err != nil {
+		t.Fatalf("zip: %v", err)
+	}
+	if got := collect(t, zipped); len(got) != 4 || got[0] != "a" {
 		t.Fatalf("zip = %v", got)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("mismatched partition counts must panic")
-		}
-	}()
-	ZipPartitions(a, Parallelize(ctx, []int{1}, 1), func(int, []int, []int) []int { return nil })
+}
+
+// Satellite: mismatched partition counts are a constructor error, not a
+// panic at execution time.
+func TestZipPartitionsMismatchedCounts(t *testing.T) {
+	ctx := NewContext(2)
+	a := Parallelize(ctx, []int{1, 2, 3, 4}, 2)
+	_, err := ZipPartitions(a, Parallelize(ctx, []int{1}, 1), func(int, []int, []int) []int { return nil })
+	if err == nil {
+		t.Fatal("mismatched partition counts must return an error")
+	}
+	if !strings.Contains(err.Error(), "equal partition counts") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
 }
 
 func TestCacheAndLineageRecovery(t *testing.T) {
@@ -205,16 +255,16 @@ func TestCacheAndLineageRecovery(t *testing.T) {
 		return []int{p}
 	})
 	cached := Map(src, func(x int) int { return x * 10 }).Cache()
-	if cached.Collect(); computes.Load() != 4 {
+	if collect(t, cached); computes.Load() != 4 {
 		t.Fatalf("first pass computes all: %d", computes.Load())
 	}
-	if cached.Collect(); computes.Load() != 4 {
+	if collect(t, cached); computes.Load() != 4 {
 		t.Fatalf("second pass must hit the cache: %d", computes.Load())
 	}
 	// Simulate losing a cached partition: the engine recomputes it from
 	// lineage (the paper's §2.1 fault-tolerance property).
 	cached.DropCachedPartition(2)
-	got := cached.Collect()
+	got := collect(t, cached)
 	if computes.Load() != 5 {
 		t.Fatalf("exactly the lost partition recomputes: %d", computes.Load())
 	}
@@ -225,7 +275,7 @@ func TestCacheAndLineageRecovery(t *testing.T) {
 		t.Fatalf("recovered data wrong: %v", got)
 	}
 	cached.Unpersist()
-	cached.Collect()
+	collect(t, cached)
 	if computes.Load() != 9 {
 		t.Fatalf("unpersist drops all cached partitions: %d", computes.Load())
 	}
@@ -233,6 +283,7 @@ func TestCacheAndLineageRecovery(t *testing.T) {
 
 func TestTaskRetryOnInjectedFailure(t *testing.T) {
 	ctx := NewContext(2)
+	ctx.SetBackoff(time.Microsecond, 10*time.Microsecond)
 	r := Generate(ctx, "flaky", 2, func(p int) []int { return []int{p} })
 	var failures atomic.Int64
 	ctx.SetFailureHook(func(name string, partition, attempt int) error {
@@ -243,7 +294,7 @@ func TestTaskRetryOnInjectedFailure(t *testing.T) {
 		}
 		return nil
 	})
-	got := r.Collect()
+	got := collect(t, r)
 	if len(got) != 2 {
 		t.Fatalf("collect after retries = %v", got)
 	}
@@ -252,16 +303,231 @@ func TestTaskRetryOnInjectedFailure(t *testing.T) {
 	}
 }
 
-func TestTaskFailsAfterMaxAttempts(t *testing.T) {
+// Tentpole: a permanently failing task surfaces as a typed *JobError
+// carrying the failing RDD, partition and attempt count — no panic.
+func TestTaskFailsAfterMaxAttemptsWithJobError(t *testing.T) {
 	ctx := NewContext(1)
+	ctx.SetBackoff(time.Microsecond, 10*time.Microsecond)
 	r := Generate(ctx, "doomed", 1, func(p int) []int { return nil })
 	ctx.SetFailureHook(func(string, int, int) error { return errors.New("always") })
-	defer func() {
-		if recover() == nil {
-			t.Fatal("permanently failing task must panic")
+	_, err := r.Collect()
+	if err == nil {
+		t.Fatal("permanently failing task must return an error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *JobError via errors.As, got %T: %v", err, err)
+	}
+	if je.RDDName != "doomed" || je.Partition != 0 || je.Attempts != maxTaskAttempts {
+		t.Fatalf("JobError fields wrong: %+v", je)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("cause chain should contain the last *TaskError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "always") {
+		t.Fatalf("root cause lost: %v", err)
+	}
+}
+
+// Satellite: a panic inside the compute function counts as one failed
+// attempt and is retried, not propagated as a panic.
+func TestPanicInComputeIsRetried(t *testing.T) {
+	ctx := NewContext(2)
+	ctx.SetBackoff(time.Microsecond, 10*time.Microsecond)
+	var calls atomic.Int64
+	r := Generate(ctx, "panicky", 2, func(p int) []int {
+		if p == 1 && calls.Add(1) == 1 {
+			panic("transient kaboom")
 		}
+		return []int{p}
+	})
+	got := collect(t, r)
+	if len(got) != 2 || got[1] != 1 {
+		t.Fatalf("collect after panic retry = %v", got)
+	}
+	if ctx.TaskRetries() != 1 {
+		t.Fatalf("retries = %d, want 1", ctx.TaskRetries())
+	}
+}
+
+// A permanently panicking compute becomes a JobError whose cause names the
+// panic.
+func TestPermanentPanicBecomesJobError(t *testing.T) {
+	ctx := NewContext(1)
+	ctx.SetBackoff(time.Microsecond, 10*time.Microsecond)
+	r := Generate(ctx, "kaboom", 1, func(p int) []int { panic("kaboom") })
+	_, err := r.Collect()
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *JobError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "panic in compute: kaboom") {
+		t.Fatalf("panic cause lost: %v", err)
+	}
+}
+
+// Tentpole: cancelling the job context returns promptly with the context
+// error and leaves no task goroutines computing.
+func TestCancellationStopsBlockedTasks(t *testing.T) {
+	ctx := NewContext(4)
+	var active atomic.Int64
+	r := GenerateCtx(ctx, "blocker", 4, func(jc context.Context, p int) ([]int, error) {
+		if p == 0 {
+			return []int{0}, nil
+		}
+		active.Add(1)
+		defer active.Add(-1)
+		<-jc.Done() // blocks until the job is cancelled
+		return nil, jc.Err()
+	})
+	jc, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
 	}()
-	r.Collect()
+	start := time.Now()
+	_, err := r.CollectContext(jc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation not prompt: %v", elapsed)
+	}
+	// All blocked task goroutines must unwind once cancelled.
+	deadline := time.Now().Add(2 * time.Second)
+	for active.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d task goroutines still computing after cancel", active.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// An already-expired deadline fails the job before any task runs.
+func TestDeadlineExceeded(t *testing.T) {
+	ctx := NewContext(2)
+	var computes atomic.Int64
+	r := Generate(ctx, "slow", 2, func(p int) []int {
+		computes.Add(1)
+		return []int{p}
+	})
+	jc, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass
+	_, err := r.CollectContext(jc)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if computes.Load() != 0 {
+		t.Fatalf("no task should run under an expired deadline, ran %d", computes.Load())
+	}
+}
+
+// Backoff schedule is deterministic, exponential and capped.
+func TestBackoffSchedule(t *testing.T) {
+	ctx := NewContext(1)
+	ctx.SetBackoff(time.Millisecond, 5*time.Millisecond)
+	want := []time.Duration{
+		1 * time.Millisecond, // retry 1
+		2 * time.Millisecond, // retry 2
+		4 * time.Millisecond, // retry 3
+		5 * time.Millisecond, // retry 4, capped
+		5 * time.Millisecond, // retry 5, capped
+	}
+	for i, w := range want {
+		if got := ctx.backoffFor(i + 1); got != w {
+			t.Fatalf("backoffFor(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// Satellite: an injected map-output (shuffle fetch) failure retries the map
+// task and loses no data.
+func TestShuffleFetchFailureRetried(t *testing.T) {
+	ctx := NewContext(4)
+	ctx.SetBackoff(time.Microsecond, 10*time.Microsecond)
+	pairs := make([]Pair[string, int], 100)
+	for i := range pairs {
+		pairs[i] = Pair[string, int]{Key: string(rune('a' + i%5)), Value: 1}
+	}
+	src := Generate(ctx, "mapside", 4, func(p int) []Pair[string, int] {
+		lo, hi := 100*p/4, 100*(p+1)/4
+		return pairs[lo:hi]
+	})
+	var injected atomic.Int64
+	ctx.SetFailureHook(func(name string, partition, attempt int) error {
+		// Fail the first fetch of one map task feeding the shuffle.
+		if name == "mapside" && partition == 2 && attempt == 1 {
+			injected.Add(1)
+			return errors.New("injected map output lost")
+		}
+		return nil
+	})
+	reduced := ReduceByKey(src, func(a, b int) int { return a + b }, 3)
+	got := map[string]int{}
+	for _, kv := range collect(t, reduced) {
+		got[kv.Key] += kv.Value
+	}
+	if injected.Load() == 0 {
+		t.Fatal("fault was never injected")
+	}
+	if ctx.TaskRetries() == 0 {
+		t.Fatal("map task should have been retried")
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for k, v := range got {
+		if v != 20 {
+			t.Fatalf("data lost across retry: %q = %d, want 20", k, v)
+		}
+	}
+}
+
+// Tentpole: a straggling task gets a speculative backup attempt; the backup
+// finishes first and the result is unchanged.
+func TestSpeculationMitigatesStraggler(t *testing.T) {
+	ctx := NewContext(8)
+	ctx.SetSpeculation(true, 2.0, 5*time.Millisecond)
+	r := Generate(ctx, "straggly", 8, func(p int) []int { return []int{p} })
+	ctx.SetLatencyHook(func(name string, partition, attempt int) time.Duration {
+		// Attempt 1 of partition 0 hangs far beyond the median; the backup
+		// attempt (numbered > maxTaskAttempts) runs at full speed.
+		if partition == 0 && attempt == 1 {
+			return 10 * time.Second
+		}
+		return 0
+	})
+	done := make(chan struct{})
+	var got []int
+	var err error
+	go func() {
+		got, err = r.Collect()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(8 * time.Second):
+		t.Fatal("speculation did not rescue the straggler")
+	}
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("result = %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("result wrong at %d: %v", i, got)
+		}
+	}
+	if ctx.SpeculativeLaunches() == 0 {
+		t.Fatal("no speculative attempt launched")
+	}
+	if ctx.SpeculativeWins() == 0 {
+		t.Fatal("backup attempt should have won")
+	}
 }
 
 func TestBroadcast(t *testing.T) {
@@ -278,7 +544,7 @@ func TestPartitionByHashCoLocation(t *testing.T) {
 	hashed := PartitionByHash(r, 4, func(x int) uint64 { return uint64(x % 10) })
 	// Values with equal hash must land in the same partition.
 	partOf := map[int]int{}
-	hashed.ForeachPartition(func(p int, xs []int) {
+	foreachPartition(t, hashed, func(p int, xs []int) {
 		for _, x := range xs {
 			partOf[x] = p
 		}
@@ -288,7 +554,7 @@ func TestPartitionByHashCoLocation(t *testing.T) {
 			t.Fatalf("co-location violated for %d", x)
 		}
 	}
-	if hashed.Count() != 200 {
+	if count(t, hashed) != 200 {
 		t.Fatal("shuffle must preserve all records")
 	}
 }
@@ -325,7 +591,7 @@ func TestPartitionByKeyGenericKeysSpread(t *testing.T) {
 	shuffled := PartitionByKey(Parallelize(ctx, pairs, 6), 4)
 	nonEmpty := 0
 	total := 0
-	shuffled.ForeachPartition(func(p int, kvs []Pair[point, int]) {
+	foreachPartition(t, shuffled, func(p int, kvs []Pair[point, int]) {
 		if len(kvs) > 0 {
 			nonEmpty++
 		}
@@ -361,7 +627,7 @@ func TestParallelBucketingDeterministicOrder(t *testing.T) {
 	}
 
 	shuffled := PartitionByKey(parent, reducers)
-	shuffled.ForeachPartition(func(p int, got []Pair[string, int]) {
+	foreachPartition(t, shuffled, func(p int, got []Pair[string, int]) {
 		if len(got) != len(want[p]) {
 			t.Fatalf("reducer %d: %d records, want %d", p, len(got), len(want[p]))
 		}
@@ -374,19 +640,25 @@ func TestParallelBucketingDeterministicOrder(t *testing.T) {
 	})
 }
 
-// A panic inside the map side must propagate to the caller, like computeAll.
-func TestParallelBucketingPanicPropagates(t *testing.T) {
+// A panic on the shuffle map side surfaces as a job error, not a panic.
+func TestParallelBucketingPanicBecomesError(t *testing.T) {
 	ctx := NewContext(4)
+	ctx.SetBackoff(time.Microsecond, 10*time.Microsecond)
 	r := Map(Parallelize(ctx, intsUpTo(100), 4), func(x int) Pair[int, int] {
 		if x == 57 {
 			panic("boom in map side")
 		}
 		return Pair[int, int]{Key: x, Value: x}
 	})
-	defer func() {
-		if rec := recover(); rec == nil {
-			t.Fatal("expected panic to propagate through shuffle")
-		}
-	}()
-	PartitionByKey(r, 3).Collect()
+	_, err := PartitionByKey(r, 3).Collect()
+	if err == nil {
+		t.Fatal("expected shuffle map-side panic to surface as an error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *JobError, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "boom in map side") {
+		t.Fatalf("root cause lost: %v", err)
+	}
 }

@@ -1,6 +1,8 @@
 package rdd
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -8,7 +10,9 @@ import (
 // Wide (shuffle) dependencies. A shuffle materializes the map side once —
 // bucketing every parent partition's records by hash of key — and then
 // serves reduce-side partitions from the buckets, the same two-stage
-// structure as Spark's shuffle.
+// structure as Spark's shuffle. Map-side task failures are retried by the
+// map tasks' own runTask loops; a terminal map-stage failure surfaces to
+// every reduce task as the map stage's JobError.
 
 // Pair is a key-value record for the byKey operations.
 type Pair[K comparable, V any] struct {
@@ -50,27 +54,47 @@ func fnvHash(s string) uint64 {
 // bucketize runs the shuffle map side in parallel: each map partition is
 // bucketed by its own goroutine (bounded by the context's parallelism) into
 // per-partition local buckets, which are then concatenated per reducer in
-// partition order, so output order is identical to a sequential pass. Task
-// panics propagate to the caller like computeAll's.
-func bucketize[T any](ctx *Context, parts [][]T, numPartitions int, bucket func(T) int) [][]T {
+// partition order, so output order is identical to a sequential pass. A
+// panicking bucket function fails the stage with an error (fail-fast, like
+// computeAll).
+func bucketize[T any](jc context.Context, ctx *Context, parts [][]T, numPartitions int, bucket func(T) int) ([][]T, error) {
+	if jc == nil {
+		jc = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(jc)
+	defer cancel()
+
 	locals := make([][][]T, len(parts))
 	sem := make(chan struct{}, ctx.parallelism)
 	var wg sync.WaitGroup
 	var failMu sync.Mutex
-	var failure any
+	var firstErr error
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		failMu.Unlock()
+		cancel()
+	}
 	for pi := range parts {
+		if runCtx.Err() != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-runCtx.Done():
+		}
+		if runCtx.Err() != nil {
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(pi int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			defer func() {
 				if rec := recover(); rec != nil {
-					failMu.Lock()
-					if failure == nil {
-						failure = rec
-					}
-					failMu.Unlock()
+					fail(fmt.Errorf("rdd: panic in shuffle map side: %v", rec))
 				}
 			}()
 			local := make([][]T, numPartitions)
@@ -83,9 +107,16 @@ func bucketize[T any](ctx *Context, parts [][]T, numPartitions int, bucket func(
 		}(pi)
 	}
 	wg.Wait()
-	if failure != nil {
-		panic(failure)
+	failMu.Lock()
+	err := firstErr
+	failMu.Unlock()
+	if err != nil {
+		return nil, err
 	}
+	if err := jc.Err(); err != nil {
+		return nil, err
+	}
+
 	buckets := make([][]T, numPartitions)
 	for b := 0; b < numPartitions; b++ {
 		n := 0
@@ -98,13 +129,53 @@ func bucketize[T any](ctx *Context, parts [][]T, numPartitions int, bucket func(
 		}
 		buckets[b] = merged
 	}
-	return buckets
+	return buckets, nil
 }
 
-// shuffleState lazily materializes the map-side buckets exactly once.
-type shuffleState[K comparable, V any] struct {
-	once    sync.Once
-	buckets [][]Pair[K, V]
+// shuffleState materializes the map-side buckets exactly once per shuffle.
+// Terminal failures are memoized (the stage is dead for this job run), but
+// context-cancellation errors are NOT: a query that timed out must not
+// poison a later run of the same shuffle.
+type shuffleState[T any] struct {
+	mu      sync.Mutex
+	done    bool
+	buckets [][]T
+	err     error
+}
+
+// materialize runs build under the mutex on first use and serves the
+// memoized result afterwards.
+func (st *shuffleState[T]) materialize(jc context.Context, build func(context.Context) ([][]T, error)) ([][]T, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done {
+		return st.buckets, st.err
+	}
+	buckets, err := build(jc)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return nil, err // retryable on the next job run
+	}
+	st.done = true
+	st.buckets, st.err = buckets, err
+	return st.buckets, st.err
+}
+
+// shuffled builds the reduce-side RDD over a lazily materialized map side.
+func shuffled[T any](parent *RDD[T], name string, numPartitions int, bucket func(T) int) *RDD[T] {
+	st := &shuffleState[T]{}
+	return newRDD(parent.ctx, name, numPartitions, func(jc context.Context, p int) ([]T, error) {
+		buckets, err := st.materialize(jc, func(jc context.Context) ([][]T, error) {
+			parts, err := parent.computeAll(jc)
+			if err != nil {
+				return nil, err
+			}
+			return bucketize(jc, parent.ctx, parts, numPartitions, bucket)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return buckets[p], nil
+	})
 }
 
 // PartitionByKey hash-partitions a pair RDD into numPartitions partitions
@@ -114,16 +185,8 @@ func PartitionByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) 
 	if numPartitions < 1 {
 		numPartitions = r.ctx.parallelism
 	}
-	st := &shuffleState[K, V]{}
-	parent := r
-	return newRDD(r.ctx, r.name+".shuffle", numPartitions, func(p int) []Pair[K, V] {
-		st.once.Do(func() {
-			parts := parent.computeAll()
-			st.buckets = bucketize(parent.ctx, parts, numPartitions, func(kv Pair[K, V]) int {
-				return hashKey(kv.Key, numPartitions)
-			})
-		})
-		return st.buckets[p]
+	return shuffled(r, r.name+".shuffle", numPartitions, func(kv Pair[K, V]) int {
+		return hashKey(kv.Key, numPartitions)
 	})
 }
 
@@ -145,8 +208,8 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V, numPar
 		}
 		return out
 	})
-	shuffled := PartitionByKey(combined, numPartitions)
-	return MapPartitions(shuffled, func(_ int, in []Pair[K, V]) []Pair[K, V] {
+	shuffledKV := PartitionByKey(combined, numPartitions)
+	return MapPartitions(shuffledKV, func(_ int, in []Pair[K, V]) []Pair[K, V] {
 		m := make(map[K]V, len(in))
 		for _, kv := range in {
 			if cur, ok := m[kv.Key]; ok {
@@ -166,8 +229,8 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V, numPar
 // GroupByKey gathers all values per key (no combiner — the expensive
 // operation Spark documentation warns about; provided for completeness).
 func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, []V]] {
-	shuffled := PartitionByKey(r, numPartitions)
-	return MapPartitions(shuffled, func(_ int, in []Pair[K, V]) []Pair[K, []V] {
+	shuffledKV := PartitionByKey(r, numPartitions)
+	return MapPartitions(shuffledKV, func(_ int, in []Pair[K, V]) []Pair[K, []V] {
 		m := make(map[K][]V, len(in))
 		for _, kv := range in {
 			m[kv.Key] = append(m[kv.Key], kv.Value)
@@ -186,16 +249,7 @@ func PartitionByHash[T any](r *RDD[T], numPartitions int, hash func(T) uint64) *
 	if numPartitions < 1 {
 		numPartitions = r.ctx.parallelism
 	}
-	var once sync.Once
-	var buckets [][]T
-	parent := r
-	return newRDD(r.ctx, r.name+".exchange", numPartitions, func(p int) []T {
-		once.Do(func() {
-			parts := parent.computeAll()
-			buckets = bucketize(parent.ctx, parts, numPartitions, func(v T) int {
-				return int(hash(v) % uint64(numPartitions))
-			})
-		})
-		return buckets[p]
+	return shuffled(r, r.name+".exchange", numPartitions, func(v T) int {
+		return int(hash(v) % uint64(numPartitions))
 	})
 }

@@ -1,5 +1,10 @@
 package rdd
 
+import (
+	"context"
+	"fmt"
+)
+
 // Transformations are package-level functions because Go methods cannot
 // introduce new type parameters. All are lazy: they build a new RDD whose
 // compute function pulls from the parent (a narrow dependency), except the
@@ -7,39 +12,48 @@ package rdd
 
 // Map applies f to every element.
 func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
-	return newRDD(r.ctx, r.name+".map", r.numPart, func(p int) []U {
-		in := r.partition(p)
+	return newRDD(r.ctx, r.name+".map", r.numPart, func(jc context.Context, p int) ([]U, error) {
+		in, err := r.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
 		out := make([]U, len(in))
 		for i, v := range in {
 			out[i] = f(v)
 		}
-		return out
+		return out, nil
 	})
 }
 
 // Filter keeps elements satisfying pred.
 func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
-	return newRDD(r.ctx, r.name+".filter", r.numPart, func(p int) []T {
-		in := r.partition(p)
+	return newRDD(r.ctx, r.name+".filter", r.numPart, func(jc context.Context, p int) ([]T, error) {
+		in, err := r.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
 		out := make([]T, 0, len(in)/2)
 		for _, v := range in {
 			if pred(v) {
 				out = append(out, v)
 			}
 		}
-		return out
+		return out, nil
 	})
 }
 
 // FlatMap applies f and concatenates the results.
 func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
-	return newRDD(r.ctx, r.name+".flatMap", r.numPart, func(p int) []U {
-		in := r.partition(p)
+	return newRDD(r.ctx, r.name+".flatMap", r.numPart, func(jc context.Context, p int) ([]U, error) {
+		in, err := r.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
 		var out []U
 		for _, v := range in {
 			out = append(out, f(v)...)
 		}
-		return out
+		return out, nil
 	})
 }
 
@@ -48,18 +62,36 @@ func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
 // (paper §4.3.3, "pipelining projections or filters into one Spark map
 // operation").
 func MapPartitions[T, U any](r *RDD[T], f func(p int, in []T) []U) *RDD[U] {
-	return newRDD(r.ctx, r.name+".mapPartitions", r.numPart, func(p int) []U {
-		return f(p, r.partition(p))
+	return newRDD(r.ctx, r.name+".mapPartitions", r.numPart, func(jc context.Context, p int) ([]U, error) {
+		in, err := r.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
+		return f(p, in), nil
+	})
+}
+
+// MapPartitionsCtx is MapPartitions for partition functions that observe
+// the job context or fail with an error — operators that run nested jobs
+// inside a task (a broadcast build side, a limit's scan) use it so nested
+// failures and cancellation propagate instead of panicking.
+func MapPartitionsCtx[T, U any](r *RDD[T], f func(jc context.Context, p int, in []T) ([]U, error)) *RDD[U] {
+	return newRDD(r.ctx, r.name+".mapPartitions", r.numPart, func(jc context.Context, p int) ([]U, error) {
+		in, err := r.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
+		return f(jc, p, in)
 	})
 }
 
 // Union concatenates the partitions of two RDDs.
 func Union[T any](a, b *RDD[T]) *RDD[T] {
-	return newRDD(a.ctx, "union", a.numPart+b.numPart, func(p int) []T {
+	return newRDD(a.ctx, "union", a.numPart+b.numPart, func(jc context.Context, p int) ([]T, error) {
 		if p < a.numPart {
-			return a.partition(p)
+			return a.partition(jc, p)
 		}
-		return b.partition(p - a.numPart)
+		return b.partition(jc, p-a.numPart)
 	})
 }
 
@@ -69,20 +101,28 @@ func Coalesce[T any](r *RDD[T], numPartitions int) *RDD[T] {
 	if numPartitions >= r.numPart {
 		return r
 	}
-	return newRDD(r.ctx, r.name+".coalesce", numPartitions, func(p int) []T {
+	return newRDD(r.ctx, r.name+".coalesce", numPartitions, func(jc context.Context, p int) ([]T, error) {
 		lo := r.numPart * p / numPartitions
 		hi := r.numPart * (p + 1) / numPartitions
 		var out []T
 		for q := lo; q < hi; q++ {
-			out = append(out, r.partition(q)...)
+			part, err := r.partition(jc, q)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
 		}
-		return out
+		return out, nil
 	})
 }
 
 // Reduce folds all elements with f; ok is false for an empty RDD.
-func Reduce[T any](r *RDD[T], f func(T, T) T) (result T, ok bool) {
-	parts := r.computeAll()
+func Reduce[T any](r *RDD[T], f func(T, T) T) (result T, ok bool, err error) {
+	parts, err := r.computeAll(context.Background())
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
 	for _, part := range parts {
 		for _, v := range part {
 			if !ok {
@@ -92,35 +132,53 @@ func Reduce[T any](r *RDD[T], f func(T, T) T) (result T, ok bool) {
 			}
 		}
 	}
-	return result, ok
+	return result, ok, nil
 }
 
 // Take returns up to n leading elements without computing later partitions
 // once enough rows are found (partitions are still computed whole).
-func Take[T any](r *RDD[T], n int) []T {
+func Take[T any](r *RDD[T], n int) ([]T, error) {
+	return TakeContext(context.Background(), r, n)
+}
+
+// TakeContext is Take under a job context.
+func TakeContext[T any](jc context.Context, r *RDD[T], n int) ([]T, error) {
 	out := make([]T, 0, n)
 	for p := 0; p < r.numPart && len(out) < n; p++ {
-		for _, v := range r.partition(p) {
+		part, err := r.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range part {
 			out = append(out, v)
 			if len(out) == n {
 				break
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ZipPartitions combines the corresponding partitions of two RDDs with
 // equal partition counts — the primitive under shuffled hash joins (both
 // sides are hash-partitioned the same way, then joined partition-by-
-// partition).
-func ZipPartitions[A, B, C any](a *RDD[A], b *RDD[B], f func(p int, left []A, right []B) []C) *RDD[C] {
+// partition). Unequal partition counts are a construction error.
+func ZipPartitions[A, B, C any](a *RDD[A], b *RDD[B], f func(p int, left []A, right []B) []C) (*RDD[C], error) {
 	if a.numPart != b.numPart {
-		panic("rdd: ZipPartitions requires equal partition counts")
+		return nil, fmt.Errorf("rdd: ZipPartitions requires equal partition counts (%d vs %d)",
+			a.numPart, b.numPart)
 	}
-	return newRDD(a.ctx, "zipPartitions", a.numPart, func(p int) []C {
-		return f(p, a.partition(p), b.partition(p))
-	})
+	return newRDD(a.ctx, "zipPartitions", a.numPart, func(jc context.Context, p int) ([]C, error) {
+		left, err := a.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
+		right, err := b.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
+		return f(p, left, right), nil
+	}), nil
 }
 
 // Broadcast is a value shipped once to all tasks (paper §4.3.3's

@@ -18,10 +18,12 @@ package sqlserver
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	sparksql "repro"
 	"repro/internal/row"
@@ -32,6 +34,9 @@ type Server struct {
 	ctx *sparksql.Context
 	// MaxRows caps result sizes per query (0 = unlimited).
 	MaxRows int
+	// QueryTimeout bounds each query's execution (0 = unlimited): on
+	// expiry the query's tasks are cancelled and the client gets ERR.
+	QueryTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -102,7 +107,17 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// execute runs one statement. A panic anywhere in parsing, planning or
+// execution is confined to this query: the client gets an ERR line and the
+// connection (and server) stay usable. Task failures arrive as ordinary
+// errors from Collect; this recover is the last line of defense for
+// non-task panics (e.g. a misbehaving UDF evaluated at plan time).
 func (s *Server) execute(out *bufio.Writer, query string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			writeErr(out, fmt.Errorf("panic while executing query: %v", rec))
+		}
+	}()
 	df, err := s.ctx.SQL(query)
 	if err != nil {
 		writeErr(out, err)
@@ -120,7 +135,13 @@ func (s *Server) execute(out *bufio.Writer, query string) {
 			return
 		}
 	}
-	rows, err := df.Collect()
+	qc := context.Background()
+	var cancel context.CancelFunc
+	if s.QueryTimeout > 0 {
+		qc, cancel = context.WithTimeout(qc, s.QueryTimeout)
+		defer cancel()
+	}
+	rows, err := df.CollectContext(qc)
 	if err != nil {
 		writeErr(out, err)
 		return

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	sparksql "repro"
 )
@@ -165,5 +166,92 @@ func TestDDLOverTheWire(t *testing.T) {
 	}
 	if out.Rows[0][0] != "3" {
 		t.Fatalf("copy rows = %v", out.Rows)
+	}
+}
+
+// A query that panics (poisoned UDF) must yield ERR and leave the server —
+// same connection and fresh connections — fully usable.
+func TestPoisonedQueryLeavesServerUsable(t *testing.T) {
+	ctx := sparksql.NewContext()
+	df, err := ctx.CreateDataFrame(
+		sparksql.StructType{}.Add("name", sparksql.StringType, false),
+		[]sparksql.Row{{"Alice"}, {"Bob"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.RegisterTempTable("people")
+	if err := ctx.RegisterUDF("poison", func(s string) string { panic("poisoned UDF") }); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ctx)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("SELECT poison(name) FROM people"); err == nil {
+		t.Fatal("poisoned query must return ERR")
+	} else if !strings.Contains(err.Error(), "poisoned UDF") {
+		t.Fatalf("ERR should carry the panic cause: %v", err)
+	}
+	// Same connection survives.
+	res, err := c.Query("SELECT count(*) FROM people")
+	if err != nil || res.Rows[0][0] != "2" {
+		t.Fatalf("connection poisoned: %v %v", res, err)
+	}
+	// Fresh connections work too.
+	c2, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Query("SELECT name FROM people WHERE name = 'Bob'"); err != nil {
+		t.Fatalf("server poisoned: %v", err)
+	}
+}
+
+// A query exceeding the server's QueryTimeout is cancelled and reported as
+// ERR; the server keeps serving.
+func TestQueryTimeout(t *testing.T) {
+	ctx := sparksql.NewContext()
+	df, err := ctx.CreateDataFrame(
+		sparksql.StructType{}.Add("name", sparksql.StringType, false),
+		[]sparksql.Row{{"a"}, {"b"}, {"c"}, {"d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.RegisterTempTable("people")
+	if err := ctx.RegisterUDF("slow", func(s string) string {
+		time.Sleep(80 * time.Millisecond)
+		return s
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ctx)
+	srv.QueryTimeout = 20 * time.Millisecond
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("SELECT slow(name) FROM people"); err == nil {
+		t.Fatal("slow query should be cancelled by QueryTimeout")
+	} else if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("want a deadline error, got: %v", err)
+	}
+	// Queries under the timeout still work on the same connection.
+	if res, err := c.Query("SELECT count(*) FROM people"); err != nil || res.Rows[0][0] != "4" {
+		t.Fatalf("server unusable after timeout: %v %v", res, err)
 	}
 }

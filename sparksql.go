@@ -20,6 +20,7 @@ package sparksql
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -97,6 +98,17 @@ type Config struct {
 	// ShufflePartitions is the reducer count; Parallelism the worker count.
 	ShufflePartitions int
 	Parallelism       int
+	// QueryTimeout, when positive, bounds every query execution under this
+	// context: a query exceeding it is cancelled (all in-flight and
+	// pending tasks torn down) and returns context.DeadlineExceeded.
+	QueryTimeout time.Duration
+	// Speculation enables straggler mitigation: a task running longer than
+	// SpeculationMultiplier × the job's median completed-task time gets a
+	// backup attempt and the first finisher wins. Off by default — backup
+	// attempts recompute partitions, which perturbs task-count metrics.
+	Speculation bool
+	// SpeculationMultiplier is the straggler threshold (0 = default 3x).
+	SpeculationMultiplier float64
 }
 
 // DefaultConfig enables the full Spark SQL feature set.
@@ -136,11 +148,14 @@ func (c Config) toCore() core.Config {
 		pcfg.BroadcastThreshold = c.BroadcastThreshold
 	}
 	return core.Config{
-		Codegen:           c.Codegen,
-		Optimizer:         opt,
-		Planner:           pcfg,
-		ShufflePartitions: c.ShufflePartitions,
-		Parallelism:       c.Parallelism,
+		Codegen:               c.Codegen,
+		Optimizer:             opt,
+		Planner:               pcfg,
+		ShufflePartitions:     c.ShufflePartitions,
+		Parallelism:           c.Parallelism,
+		QueryTimeout:          c.QueryTimeout,
+		Speculation:           c.Speculation,
+		SpeculationMultiplier: c.SpeculationMultiplier,
 	}
 }
 
