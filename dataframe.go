@@ -395,6 +395,7 @@ func (df *DataFrame) Cache() (CacheInfo, error) {
 		Table:       table,
 		SizeInBytes: table.SizeBytes(),
 		RowCount:    table.RowCount(),
+		TableStats:  table.Stats,
 	}
 	df.logical = mem
 	df.analyzed = mem

@@ -633,13 +633,13 @@ func freshenPlan(p plan.LogicalPlan, taken expr.AttributeSet) (plan.LogicalPlan,
 			if !changed {
 				return nil, false
 			}
-			return &plan.LocalRelation{Attrs: attrs, Rows: leaf.Rows}, true
+			return &plan.LocalRelation{Attrs: attrs, Rows: leaf.Rows, TableStats: leaf.TableStats}, true
 		case *plan.LogicalRDD:
 			attrs, changed := freshenAttrs(leaf.Attrs, taken, mapping)
 			if !changed {
 				return nil, false
 			}
-			return &plan.LogicalRDD{Attrs: attrs, RDD: leaf.RDD, SizeHint: leaf.SizeHint}, true
+			return &plan.LogicalRDD{Attrs: attrs, RDD: leaf.RDD, SizeHint: leaf.SizeHint, TableStats: leaf.TableStats}, true
 		case *plan.DataSourceRelation:
 			attrs, changed := freshenAttrs(leaf.Attrs, taken, mapping)
 			if !changed {

@@ -2,6 +2,7 @@ package columnar
 
 import (
 	"repro/internal/row"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -48,37 +49,47 @@ func (b *Batch) RowPruned(i int, ordinals []int) row.Row {
 type CachedTable struct {
 	Schema     types.StructType
 	Partitions [][]*Batch
+	// Stats are table-level statistics (row count, size, per-column
+	// min/max/NDV/null counts/widths) collected as a side effect of the
+	// build — the cheap collection path of the cost-based optimizer.
+	Stats *stats.Table
 }
 
-// BuildTable encodes partitioned rows into a cached table.
+// BuildTable encodes partitioned rows into a cached table, collecting
+// per-column statistics along the way (the column values are already in
+// hand for encoding, so collection costs one extra pass per batch column).
 func BuildTable(schema types.StructType, partitions [][]row.Row, batchSize int) *CachedTable {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
 	t := &CachedTable{Schema: schema, Partitions: make([][]*Batch, len(partitions))}
+	acc := stats.NewCollector(schema)
 	for p, rows := range partitions {
 		for lo := 0; lo < len(rows); lo += batchSize {
 			hi := min(lo+batchSize, len(rows))
-			t.Partitions[p] = append(t.Partitions[p], buildBatch(schema, rows[lo:hi]))
+			t.Partitions[p] = append(t.Partitions[p], buildBatch(schema, rows[lo:hi], acc))
 		}
 		if len(rows) == 0 {
 			t.Partitions[p] = nil
 		}
 	}
+	t.Stats = acc.Finish(t.SizeBytes())
 	return t
 }
 
-func buildBatch(schema types.StructType, rows []row.Row) *Batch {
+func buildBatch(schema types.StructType, rows []row.Row, acc *stats.Collector) *Batch {
 	b := &Batch{
 		NumRows: len(rows),
 		Cols:    make([]Column, len(schema.Fields)),
 		Stats:   make([]ColStats, len(schema.Fields)),
 	}
+	acc.AddRowCount(int64(len(rows)))
 	col := make([]any, len(rows))
 	for j, f := range schema.Fields {
 		for i, r := range rows {
 			col[i] = r[j]
 		}
+		acc.AddValues(j, col)
 		b.Cols[j], b.Stats[j] = buildColumn(f.Type, col)
 	}
 	return b

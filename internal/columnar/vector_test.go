@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/row"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -169,7 +170,7 @@ func TestDecodeAllNullColumn(t *testing.T) {
 
 func TestDecodeEmptyBatch(t *testing.T) {
 	schema := types.StructType{}.Add("c", types.Long, true)
-	b := buildBatch(schema, nil)
+	b := buildBatch(schema, nil, stats.NewCollector(schema))
 	v := DecodeColumn(b.Cols[0], types.Long)
 	if v.Len() != 0 {
 		t.Fatalf("empty batch decoded to %d rows", v.Len())
@@ -185,7 +186,7 @@ func TestDecodeBatchSkipsNegativeOrdinals(t *testing.T) {
 		Add("a", types.Int, true).
 		Add("b", types.String, true)
 	rows := []row.Row{{int32(1), "x"}, {int32(2), "y"}}
-	b := buildBatch(schema, rows)
+	b := buildBatch(schema, rows, stats.NewCollector(schema))
 	vs := b.DecodeBatch([]types.DataType{types.Int, types.String}, []int{-1, 1})
 	if vs[0] != nil {
 		t.Fatal("ordinal -1 must not be decoded")

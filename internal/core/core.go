@@ -211,9 +211,9 @@ func (q *QueryExecution) Explain() string {
 	sb.WriteString("== Logical Plan ==\n")
 	sb.WriteString(q.Logical.String())
 	sb.WriteString("== Analyzed Plan ==\n")
-	sb.WriteString(q.Analyzed.String())
+	sb.WriteString(plan.FormatEstimated(q.Analyzed))
 	sb.WriteString("== Optimized Plan ==\n")
-	sb.WriteString(q.Optimized.String())
+	sb.WriteString(plan.FormatEstimated(q.Optimized))
 	sb.WriteString("== Physical Plan ==\n")
 	sb.WriteString(q.Physical.String())
 	return sb.String()

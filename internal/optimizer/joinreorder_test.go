@@ -1,0 +1,131 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/row"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// statTable builds a LocalRelation of n rows with one long key column plus
+// a payload string, with collected statistics attached.
+func statTable(name string, n int, keyMod int) *plan.LocalRelation {
+	schema := types.NewStruct(
+		types.StructField{Name: name + "_k", Type: types.Long, Nullable: false},
+		types.StructField{Name: name + "_pay", Type: types.String, Nullable: true},
+	)
+	var rows []row.Row
+	for i := 0; i < n; i++ {
+		rows = append(rows, row.Row{int64(i % keyMod), fmt.Sprintf("%s-%d", name, i)})
+	}
+	rel := plan.NewLocalRelation(schema, rows)
+	rel.TableStats = stats.FromRows(schema, rows)
+	return rel
+}
+
+func attrOf(rel *plan.LocalRelation, i int) *expr.AttributeReference { return rel.Attrs[i] }
+
+// A fact table joined with two dimensions, written fact ⋈ bigDim ⋈ tinyDim:
+// the rule should join the fact against the tiny dimension first.
+func TestReorderJoinsPrefersSmallIntermediate(t *testing.T) {
+	fact := statTable("f", 2000, 100)
+	big := statTable("b", 1000, 1000)
+	tiny := statTable("t", 10, 10)
+
+	j := &plan.Join{
+		Left: &plan.Join{
+			Left: fact, Right: big, Type: plan.InnerJoin,
+			Cond: expr.EQ(attrOf(fact, 0), attrOf(big, 0)),
+		},
+		Right: tiny, Type: plan.InnerJoin,
+		Cond: expr.EQ(attrOf(fact, 0), attrOf(tiny, 0)),
+	}
+	out := reorderJoins(j)
+
+	// Output schema order must be preserved exactly.
+	gotOut := out.Output()
+	wantOut := j.Output()
+	if len(gotOut) != len(wantOut) {
+		t.Fatalf("output arity changed: %d != %d", len(gotOut), len(wantOut))
+	}
+	for i := range gotOut {
+		if gotOut[i].ID_ != wantOut[i].ID_ {
+			t.Fatalf("output attr %d changed: %v != %v", i, gotOut[i], wantOut[i])
+		}
+	}
+
+	// The bottom join should involve the tiny dimension, not the big one.
+	var bottom *plan.Join
+	var find func(p plan.LogicalPlan)
+	find = func(p plan.LogicalPlan) {
+		if jj, ok := p.(*plan.Join); ok {
+			bottom = jj
+		}
+		for _, c := range p.Children() {
+			find(c)
+		}
+	}
+	find(out)
+	if bottom == nil {
+		t.Fatal("no join in reordered plan")
+	}
+	s := bottom.String()
+	if !strings.Contains(s, "t_k") {
+		t.Fatalf("deepest join should involve the tiny dimension:\n%s", plan.Format(out))
+	}
+	if strings.Contains(s, "b_k") {
+		t.Fatalf("deepest join should not involve the big dimension:\n%s", plan.Format(out))
+	}
+
+	// Reordered estimate should not exceed the original's.
+	if plan.Stats(out).SizeInBytes > plan.Stats(j).SizeInBytes {
+		t.Fatalf("reorder increased estimated size: %d > %d",
+			plan.Stats(out).SizeInBytes, plan.Stats(j).SizeInBytes)
+	}
+}
+
+// Without statistics every candidate has the same (unknown) size, so the
+// plan must come out unchanged.
+func TestReorderJoinsNoStatsNoChange(t *testing.T) {
+	a := &plan.LogicalRDD{Attrs: []*expr.AttributeReference{expr.NewAttribute("a", types.Long, false)}}
+	b := &plan.LogicalRDD{Attrs: []*expr.AttributeReference{expr.NewAttribute("b", types.Long, false)}}
+	c := &plan.LogicalRDD{Attrs: []*expr.AttributeReference{expr.NewAttribute("c", types.Long, false)}}
+	j := &plan.Join{
+		Left: &plan.Join{
+			Left: a, Right: b, Type: plan.InnerJoin,
+			Cond: expr.EQ(a.Attrs[0], b.Attrs[0]),
+		},
+		Right: c, Type: plan.InnerJoin,
+		Cond: expr.EQ(b.Attrs[0], c.Attrs[0]),
+	}
+	out := reorderJoins(j)
+	if out.String() != j.String() {
+		t.Fatalf("stats-free plan changed:\nbefore:\n%s\nafter:\n%s", j, out)
+	}
+}
+
+// Outer joins are barriers: the chain must not flatten through them.
+func TestReorderJoinsSkipsOuterJoins(t *testing.T) {
+	fact := statTable("f", 2000, 100)
+	big := statTable("b", 1000, 1000)
+	tiny := statTable("t", 10, 10)
+	j := &plan.Join{
+		Left: &plan.Join{
+			Left: fact, Right: big, Type: plan.LeftOuterJoin,
+			Cond: expr.EQ(attrOf(fact, 0), attrOf(big, 0)),
+		},
+		Right: tiny, Type: plan.InnerJoin,
+		Cond: expr.EQ(attrOf(fact, 0), attrOf(tiny, 0)),
+	}
+	out := reorderJoins(j)
+	// Only 2 items in the inner chain (outer-join subtree is atomic), so
+	// nothing reorders.
+	if out.String() != j.String() {
+		t.Fatalf("outer-join chain must not reorder:\n%s", plan.Format(out))
+	}
+}

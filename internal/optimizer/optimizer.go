@@ -23,6 +23,10 @@ type Config struct {
 	SourcePushdown bool
 	// The DecimalAggregates rule (§4.3.2).
 	DecimalAggregates bool
+	// JoinReorder enables cost-based reordering of inner-join chains by
+	// estimated output size (requires collected statistics to change
+	// anything; plans without stats come out unchanged).
+	JoinReorder bool
 }
 
 // DefaultConfig enables everything.
@@ -32,6 +36,7 @@ func DefaultConfig() Config {
 		PlanOptimization:       true,
 		SourcePushdown:         true,
 		DecimalAggregates:      true,
+		JoinReorder:            true,
 	}
 }
 
@@ -88,6 +93,18 @@ func New(cfg Config) *Optimizer {
 		batches = append(batches, catalyst.Batch[plan.LogicalPlan]{
 			Name:  "Operator Optimization",
 			Rules: ops,
+		})
+	}
+	// Join reordering runs once, after predicate pushdown has moved
+	// single-relation filters onto the base relations (so item estimates
+	// reflect them) and before source pushdown rewrites the leaves.
+	if cfg.JoinReorder {
+		batches = append(batches, catalyst.Batch[plan.LogicalPlan]{
+			Name: "Join Reorder",
+			Once: true,
+			Rules: []catalyst.Rule[plan.LogicalPlan]{
+				{Name: "ReorderJoins", Apply: reorderJoins},
+			},
 		})
 	}
 	if cfg.SourcePushdown {

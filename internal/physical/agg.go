@@ -20,14 +20,21 @@ import (
 // maintains one buffer per function, and evaluates the surrounding
 // expression over [groupValues..., aggResults...] at the end.
 type HashAggregateExec struct {
+	PlanEstimate
 	Grouping []expr.Expression
 	Aggs     []expr.Expression // Named result expressions
 	Child    SparkPlan
+	// Partitions, when positive, caps the exchange's reducer count below
+	// the session default (chosen by the planner from the estimated input
+	// size).
+	Partitions int
 }
 
 func (h *HashAggregateExec) Children() []SparkPlan { return []SparkPlan{h.Child} }
 func (h *HashAggregateExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &HashAggregateExec{Grouping: h.Grouping, Aggs: h.Aggs, Child: children[0]}
+	c := *h
+	c.Child = children[0]
+	return &c
 }
 func (h *HashAggregateExec) Output() []*expr.AttributeReference {
 	out := make([]*expr.AttributeReference, len(h.Aggs))
@@ -144,6 +151,9 @@ func (h *HashAggregateExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	// Global aggregation collapses to one partition; grouped aggregation
 	// hash-exchanges on the key.
 	numPart := ctx.ShufflePartitions
+	if h.Partitions > 0 && h.Partitions < numPart {
+		numPart = h.Partitions
+	}
 	if len(h.Grouping) == 0 {
 		numPart = 1
 	}
@@ -252,12 +262,18 @@ func (h *HashAggregateExec) splitAggregates(input []*expr.AttributeReference) ([
 
 // DistinctExec removes duplicate rows via a hash exchange.
 type DistinctExec struct {
+	PlanEstimate
 	Child SparkPlan
+	// Partitions, when positive, caps the exchange's reducer count below
+	// the session default.
+	Partitions int
 }
 
 func (d *DistinctExec) Children() []SparkPlan { return []SparkPlan{d.Child} }
 func (d *DistinctExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &DistinctExec{Child: children[0]}
+	c := *d
+	c.Child = children[0]
+	return &c
 }
 func (d *DistinctExec) Output() []*expr.AttributeReference { return d.Child.Output() }
 func (d *DistinctExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
@@ -266,7 +282,11 @@ func (d *DistinctExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	for i := range ords {
 		ords[i] = i
 	}
-	shuffled := rdd.PartitionByHash(d.Child.Execute(ctx), ctx.ShufflePartitions, func(r row.Row) uint64 {
+	numPart := ctx.ShufflePartitions
+	if d.Partitions > 0 && d.Partitions < numPart {
+		numPart = d.Partitions
+	}
+	shuffled := rdd.PartitionByHash(d.Child.Execute(ctx), numPart, func(r row.Row) uint64 {
 		return row.Hash(r, ords)
 	})
 	return rdd.MapPartitions(shuffled, func(_ int, in []row.Row) []row.Row {

@@ -1,0 +1,49 @@
+package physical
+
+import "repro/internal/plan"
+
+// PlanEstimate carries the optimizer's cost estimate onto a physical
+// operator so EXPLAIN can annotate the physical tree with the same
+// `est: N rows, M B` figures the logical plan shows. Physical operators
+// embed it; the planner stamps each translated node with the statistics
+// of the logical operator it came from.
+//
+// WithNewChildren implementations copy the receiver (c := *n), so the
+// estimate survives the preparation rules that rewrite the tree.
+type PlanEstimate struct {
+	est    plan.Statistics
+	hasEst bool
+}
+
+// SetEstimate records the estimate.
+func (p *PlanEstimate) SetEstimate(s plan.Statistics) { p.est = s; p.hasEst = true }
+
+// Estimate returns the recorded estimate, if any.
+func (p *PlanEstimate) Estimate() (plan.Statistics, bool) { return p.est, p.hasEst }
+
+// CostAnnotated is implemented by physical operators that carry a cost
+// estimate (all built-in operators, via PlanEstimate).
+type CostAnnotated interface {
+	SetEstimate(plan.Statistics)
+	Estimate() (plan.Statistics, bool)
+}
+
+// transferEstimate copies src's estimate onto dst (when dst lacks one) and
+// returns dst — used by preparation rules that replace an operator with a
+// fused equivalent producing the same output.
+func transferEstimate(dst, src SparkPlan) SparkPlan {
+	sa, ok := src.(CostAnnotated)
+	if !ok {
+		return dst
+	}
+	da, ok := dst.(CostAnnotated)
+	if !ok {
+		return dst
+	}
+	if est, has := sa.Estimate(); has {
+		if _, already := da.Estimate(); !already {
+			da.SetEstimate(est)
+		}
+	}
+	return dst
+}

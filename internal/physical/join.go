@@ -115,6 +115,7 @@ func nullRow(n int) row.Row { return make(row.Row, n) }
 // "for relations that are known to be small, Spark SQL uses a broadcast
 // join, using a peer-to-peer broadcast facility available in Spark").
 type BroadcastHashJoinExec struct {
+	PlanEstimate
 	Left, Right         SparkPlan
 	LeftKeys, RightKeys []expr.Expression
 	Type                plan.JoinType
@@ -251,10 +252,15 @@ func appendProbeLeft(out []row.Row, r row.Row, table map[string][]row.Row,
 // joins partition-by-partition — the general path when neither side is
 // small enough to broadcast.
 type ShuffledHashJoinExec struct {
+	PlanEstimate
 	Left, Right         SparkPlan
 	LeftKeys, RightKeys []expr.Expression
 	Type                plan.JoinType
 	Residual            expr.Expression
+	// Partitions, when positive, caps the exchange's reducer count below
+	// the session default (chosen by the planner from the estimated input
+	// size).
+	Partitions int
 }
 
 func (j *ShuffledHashJoinExec) Children() []SparkPlan { return []SparkPlan{j.Left, j.Right} }
@@ -267,8 +273,12 @@ func (j *ShuffledHashJoinExec) Output() []*expr.AttributeReference {
 	return joinOutput(j.Type, j.Left.Output(), j.Right.Output())
 }
 func (j *ShuffledHashJoinExec) SimpleString() string {
-	return fmt.Sprintf("ShuffledHashJoin %s keys=[%s]=[%s]",
+	s := fmt.Sprintf("ShuffledHashJoin %s keys=[%s]=[%s]",
 		j.Type, exprListString(j.LeftKeys), exprListString(j.RightKeys))
+	if j.Partitions > 0 {
+		s += fmt.Sprintf(" parts=%d", j.Partitions)
+	}
+	return s
 }
 func (j *ShuffledHashJoinExec) String() string { return Format(j) }
 
@@ -278,6 +288,9 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	rightKey := keyFunc(bindKeys(ctx, j.RightKeys, rightOut))
 	match := residualPred(ctx, j.Residual, leftOut, rightOut)
 	n := ctx.ShufflePartitions
+	if j.Partitions > 0 && j.Partitions < n {
+		n = j.Partitions
+	}
 
 	leftShuf := rdd.PartitionByHash(j.Left.Execute(ctx), n, func(r row.Row) uint64 {
 		k, ok := leftKey(r)
@@ -366,6 +379,7 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 // right side and testing every pair — the fallback the paper's §7.2 range-
 // join research motivates replacing.
 type NestedLoopJoinExec struct {
+	PlanEstimate
 	Left, Right SparkPlan
 	Type        plan.JoinType
 	Cond        expr.Expression

@@ -14,6 +14,7 @@ import (
 // in-process engine's stand-in for Spark's range-partitioned sort); a local
 // sort orders within each partition.
 type SortExec struct {
+	PlanEstimate
 	Orders []*expr.SortOrder
 	Global bool
 	Child  SparkPlan
@@ -21,7 +22,9 @@ type SortExec struct {
 
 func (s *SortExec) Children() []SparkPlan { return []SparkPlan{s.Child} }
 func (s *SortExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &SortExec{Orders: s.Orders, Global: s.Global, Child: children[0]}
+	c := *s
+	c.Child = children[0]
+	return &c
 }
 func (s *SortExec) Output() []*expr.AttributeReference { return s.Child.Output() }
 func (s *SortExec) SimpleString() string {
@@ -67,13 +70,16 @@ func (s *SortExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 
 // LimitExec keeps the first N rows, scanning partitions in order.
 type LimitExec struct {
+	PlanEstimate
 	N     int
 	Child SparkPlan
 }
 
 func (l *LimitExec) Children() []SparkPlan { return []SparkPlan{l.Child} }
 func (l *LimitExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &LimitExec{N: l.N, Child: children[0]}
+	c := *l
+	c.Child = children[0]
+	return &c
 }
 func (l *LimitExec) Output() []*expr.AttributeReference { return l.Child.Output() }
 func (l *LimitExec) SimpleString() string               { return fmt.Sprintf("Limit %d", l.N) }
@@ -91,12 +97,15 @@ func (l *LimitExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 
 // UnionExec concatenates children partitions.
 type UnionExec struct {
+	PlanEstimate
 	Kids []SparkPlan
 }
 
 func (u *UnionExec) Children() []SparkPlan { return u.Kids }
 func (u *UnionExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &UnionExec{Kids: children}
+	c := *u
+	c.Kids = children
+	return &c
 }
 func (u *UnionExec) Output() []*expr.AttributeReference { return u.Kids[0].Output() }
 func (u *UnionExec) SimpleString() string               { return "Union" }
@@ -113,6 +122,7 @@ func (u *UnionExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 // SampleExec keeps a deterministic pseudo-random fraction of rows using a
 // splittable hash of (seed, partition, index).
 type SampleExec struct {
+	PlanEstimate
 	Fraction float64
 	Seed     int64
 	Child    SparkPlan
@@ -120,7 +130,9 @@ type SampleExec struct {
 
 func (s *SampleExec) Children() []SparkPlan { return []SparkPlan{s.Child} }
 func (s *SampleExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &SampleExec{Fraction: s.Fraction, Seed: s.Seed, Child: children[0]}
+	c := *s
+	c.Child = children[0]
+	return &c
 }
 func (s *SampleExec) Output() []*expr.AttributeReference { return s.Child.Output() }
 func (s *SampleExec) SimpleString() string {

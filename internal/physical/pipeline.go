@@ -10,13 +10,16 @@ import (
 
 // ProjectExec evaluates a projection list per row.
 type ProjectExec struct {
+	PlanEstimate
 	List  []expr.Expression
 	Child SparkPlan
 }
 
 func (p *ProjectExec) Children() []SparkPlan { return []SparkPlan{p.Child} }
 func (p *ProjectExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &ProjectExec{List: p.List, Child: children[0]}
+	c := *p
+	c.Child = children[0]
+	return &c
 }
 func (p *ProjectExec) Output() []*expr.AttributeReference {
 	out := make([]*expr.AttributeReference, len(p.List))
@@ -44,13 +47,16 @@ func (p *ProjectExec) String() string       { return Format(p) }
 
 // FilterExec keeps rows matching the predicate.
 type FilterExec struct {
+	PlanEstimate
 	Cond  expr.Expression
 	Child SparkPlan
 }
 
 func (f *FilterExec) Children() []SparkPlan { return []SparkPlan{f.Child} }
 func (f *FilterExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &FilterExec{Cond: f.Cond, Child: children[0]}
+	c := *f
+	c.Child = children[0]
+	return &c
 }
 func (f *FilterExec) Output() []*expr.AttributeReference { return f.Child.Output() }
 func (f *FilterExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
@@ -73,6 +79,7 @@ type stage struct {
 // CollapsePipelines preparation rule builds these from adjacent
 // Project/Filter operators.
 type PipelineExec struct {
+	PlanEstimate
 	// Stages are listed bottom (first applied) to top.
 	Stages []stage
 	Child  SparkPlan
@@ -80,7 +87,9 @@ type PipelineExec struct {
 
 func (p *PipelineExec) Children() []SparkPlan { return []SparkPlan{p.Child} }
 func (p *PipelineExec) WithNewChildren(children []SparkPlan) SparkPlan {
-	return &PipelineExec{Stages: p.Stages, Child: children[0]}
+	c := *p
+	c.Child = children[0]
+	return &c
 }
 func (p *PipelineExec) Output() []*expr.AttributeReference {
 	return stagesOutput(p.Stages, p.Child.Output())
@@ -160,9 +169,11 @@ func Collapse(p SparkPlan) SparkPlan {
 	}
 	switch n := p.(type) {
 	case *ProjectExec:
-		return fuse(stage{list: n.List}, n.Child)
+		// The fused pipeline produces the top operator's output, so it
+		// inherits that operator's estimate.
+		return transferEstimate(fuse(stage{list: n.List}, n.Child), n)
 	case *FilterExec:
-		return fuse(stage{isFilter: true, cond: n.Cond}, n.Child)
+		return transferEstimate(fuse(stage{isFilter: true, cond: n.Cond}, n.Child), n)
 	}
 	return p
 }

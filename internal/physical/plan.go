@@ -72,6 +72,13 @@ func writeTree(sb *strings.Builder, p SparkPlan, depth int) {
 		sb.WriteString("  ")
 	}
 	sb.WriteString(p.SimpleString())
+	if ca, ok := p.(CostAnnotated); ok {
+		if est, has := ca.Estimate(); has {
+			sb.WriteString("  (")
+			sb.WriteString(est.EstString())
+			sb.WriteString(")")
+		}
+	}
 	sb.WriteByte('\n')
 	for _, c := range p.Children() {
 		writeTree(sb, c, depth+1)

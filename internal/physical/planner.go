@@ -20,14 +20,21 @@ type PlannerConfig struct {
 	// Vectorize enables the preparation rule swapping fused pipelines over
 	// the columnar cache for batch-at-a-time execution.
 	Vectorize bool
+	// TargetPartitionBytes sizes shuffle exchanges from statistics: when an
+	// exchange's estimated input is known, the planner asks for
+	// ceil(size/target) reducers instead of the fixed session default
+	// (never more than the default — only small inputs shrink). Zero
+	// disables stats-based partition sizing.
+	TargetPartitionBytes int64
 }
 
 // DefaultPlannerConfig mirrors Spark's defaults.
 func DefaultPlannerConfig() PlannerConfig {
 	return PlannerConfig{
-		BroadcastThreshold: 10 << 20,
-		CollapsePipelines:  true,
-		Vectorize:          true,
+		BroadcastThreshold:   10 << 20,
+		CollapsePipelines:    true,
+		Vectorize:            true,
+		TargetPartitionBytes: 4 << 20,
 	}
 }
 
@@ -70,7 +77,23 @@ func (pl *Planner) Plan(lp plan.LogicalPlan) (SparkPlan, error) {
 	return p, nil
 }
 
+// translate converts one logical node (recursively) and stamps the result
+// with the logical operator's statistics estimate so EXPLAIN can annotate
+// the physical tree.
 func (pl *Planner) translate(lp plan.LogicalPlan) (SparkPlan, error) {
+	p, err := pl.translateNode(lp)
+	if err != nil {
+		return nil, err
+	}
+	if ca, ok := p.(CostAnnotated); ok {
+		if _, has := ca.Estimate(); !has {
+			ca.SetEstimate(plan.Stats(lp))
+		}
+	}
+	return p, nil
+}
+
+func (pl *Planner) translateNode(lp plan.LogicalPlan) (SparkPlan, error) {
 	for _, s := range pl.Strategies {
 		p, claimed, err := s(pl, lp)
 		if err != nil {
@@ -110,7 +133,10 @@ func (pl *Planner) translate(lp plan.LogicalPlan) (SparkPlan, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &HashAggregateExec{Grouping: n.Grouping, Aggs: n.Aggs, Child: child}, nil
+		return &HashAggregateExec{
+			Grouping: n.Grouping, Aggs: n.Aggs, Child: child,
+			Partitions: pl.partitionsFor(plan.Stats(n.Child).SizeInBytes),
+		}, nil
 	case *plan.Sort:
 		child, err := pl.translate(n.Child)
 		if err != nil {
@@ -138,7 +164,7 @@ func (pl *Planner) translate(lp plan.LogicalPlan) (SparkPlan, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &DistinctExec{Child: child}, nil
+		return &DistinctExec{Child: child, Partitions: pl.partitionsFor(plan.Stats(n.Child).SizeInBytes)}, nil
 	case *plan.Sample:
 		child, err := pl.translate(n.Child)
 		if err != nil {
@@ -156,6 +182,7 @@ func (pl *Planner) planFilter(f *plan.Filter) (SparkPlan, error) {
 	if mem, ok := f.Child.(*plan.InMemoryRelation); ok && pl.TranslateFilter != nil {
 		keep := pl.batchPredicate(f.Cond, mem)
 		scan := NewInMemoryScan(mem.Attrs, mem.Table, mem.PrunedOrdinals, keep)
+		scan.SetEstimate(plan.Stats(mem))
 		return &FilterExec{Cond: f.Cond, Child: scan}, nil
 	}
 	child, err := pl.translate(f.Child)
@@ -280,8 +307,32 @@ func (pl *Planner) planJoin(j *plan.Join) (SparkPlan, error) {
 			Left: left, Right: right,
 			LeftKeys: leftKeys, RightKeys: rightKeys,
 			Type: j.Type, Residual: residual,
+			Partitions: pl.partitionsFor(addKnownSizes(leftSize, rightSize)),
 		}, nil
 	}
+}
+
+// addKnownSizes sums two size estimates, propagating "unknown".
+func addKnownSizes(a, b int64) int64 {
+	if a >= plan.UnknownSizeInBytes || b >= plan.UnknownSizeInBytes {
+		return plan.UnknownSizeInBytes
+	}
+	return a + b
+}
+
+// partitionsFor derives a reducer count from an exchange's estimated input
+// size: ceil(size/target), at least 1. Returns 0 (keep the session
+// default) when sizing is disabled or the estimate is unknown.
+func (pl *Planner) partitionsFor(sizeInBytes int64) int {
+	target := pl.Cfg.TargetPartitionBytes
+	if target <= 0 || sizeInBytes <= 0 || sizeInBytes >= plan.UnknownSizeInBytes {
+		return 0
+	}
+	n := (sizeInBytes + target - 1) / target
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
 }
 
 // ExtractEquiKeys splits a join condition into equi-key pairs (left key

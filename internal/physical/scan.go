@@ -13,6 +13,7 @@ import (
 // ScanExec is the generic leaf: it wraps a partition-producing function for
 // local relations, RDDs, ranges, data sources and the columnar cache.
 type ScanExec struct {
+	PlanEstimate
 	Name  string
 	Attrs []*expr.AttributeReference
 	// Build produces the RDD when executed.
@@ -143,6 +144,7 @@ func openScan(rel datasource.Relation, attrs []*expr.AttributeReference,
 // preparation rule needs access to the table and pruning to swap in the
 // batch-at-a-time path.
 type InMemoryScanExec struct {
+	PlanEstimate
 	Attrs []*expr.AttributeReference
 	Table *columnar.CachedTable
 	// Ordinals maps each output position to its cached column (nil = all

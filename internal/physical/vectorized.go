@@ -23,6 +23,7 @@ import (
 // ExecContext.Vectorized gates execution at runtime (off = identical
 // row-at-a-time semantics through PipelineExec).
 type VectorizedPipelineExec struct {
+	PlanEstimate
 	// Stages are listed bottom (first applied) to top, as in PipelineExec.
 	Stages []stage
 	Scan   *InMemoryScanExec
@@ -34,10 +35,12 @@ type VectorizedPipelineExec struct {
 func (v *VectorizedPipelineExec) Children() []SparkPlan { return []SparkPlan{v.Scan} }
 func (v *VectorizedPipelineExec) WithNewChildren(children []SparkPlan) SparkPlan {
 	if scan, ok := children[0].(*InMemoryScanExec); ok {
-		return &VectorizedPipelineExec{Stages: v.Stages, Scan: scan, Native: v.Native}
+		c := *v
+		c.Scan = scan
+		return &c
 	}
 	// The leaf is no longer a cache scan: degrade to the row pipeline.
-	return &PipelineExec{Stages: v.Stages, Child: children[0]}
+	return transferEstimate(&PipelineExec{Stages: v.Stages, Child: children[0]}, v)
 }
 func (v *VectorizedPipelineExec) Output() []*expr.AttributeReference {
 	return stagesOutput(v.Stages, v.Scan.Output())
@@ -232,5 +235,5 @@ func Vectorize(p SparkPlan) SparkPlan {
 	if native == 0 {
 		return p
 	}
-	return &VectorizedPipelineExec{Stages: pipe.Stages, Scan: scan, Native: native}
+	return transferEstimate(&VectorizedPipelineExec{Stages: pipe.Stages, Scan: scan, Native: native}, pipe)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/rdd"
 	"repro/internal/row"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -69,6 +70,8 @@ func (u *UnresolvedTableFunction) String() string { return Format(u) }
 type LocalRelation struct {
 	Attrs []*expr.AttributeReference
 	Rows  []row.Row
+	// TableStats carries ANALYZE-collected statistics (nil until analyzed).
+	TableStats *stats.Table
 }
 
 // NewLocalRelation builds a local relation from a schema (allocating fresh
@@ -110,6 +113,8 @@ type LogicalRDD struct {
 	// data report sizes; anonymous RDDs default to "too big to
 	// broadcast").
 	SizeHint int64
+	// TableStats carries ANALYZE-collected statistics (nil until analyzed).
+	TableStats *stats.Table
 }
 
 func (l *LogicalRDD) Children() []LogicalPlan { return nil }
@@ -195,6 +200,8 @@ type DataSourceRelation struct {
 	// CatalystScan sources (paper §4.4.1's most powerful interface);
 	// always advisory.
 	PushedPredicates []expr.Expression
+	// TableStats carries ANALYZE-collected statistics (nil until analyzed).
+	TableStats *stats.Table
 }
 
 func (d *DataSourceRelation) Children() []LogicalPlan { return nil }
@@ -233,6 +240,9 @@ type InMemoryRelation struct {
 	// ordinals of the cached table (Attrs is already pruned to match) —
 	// the "only scanning the age column" optimization of paper §3.1.
 	PrunedOrdinals []int
+	// TableStats carries per-column statistics collected while building
+	// the columnar cache (nil for pre-statistics relations).
+	TableStats *stats.Table
 }
 
 func (m *InMemoryRelation) Children() []LogicalPlan { return nil }

@@ -160,91 +160,8 @@ func exprListString(exprs []expr.Expression) string {
 	return strings.Join(parts, ", ")
 }
 
-// Statistics carries the size estimates driving cost-based decisions
-// (paper §4.3.3: broadcast join selection; "costs can be estimated
-// recursively for a whole tree using a rule").
-type Statistics struct {
-	// SizeInBytes estimates the operator's output volume.
-	SizeInBytes int64
-	// RowCount estimates output cardinality; 0 means unknown.
-	RowCount int64
-}
-
-// Stats estimates statistics for a plan bottom-up with simple rules:
-// leaves report their data size; filters halve size; projections scale by
-// column ratio; limits cap; joins multiply selectivity-free.
-func Stats(p LogicalPlan) Statistics {
-	switch n := p.(type) {
-	case *LocalRelation:
-		var size int64
-		for _, r := range n.Rows {
-			size += r.FlatSize()
-		}
-		return Statistics{SizeInBytes: size, RowCount: int64(len(n.Rows))}
-	case *DataSourceRelation:
-		if n.SizeHint > 0 {
-			return Statistics{SizeInBytes: n.SizeHint}
-		}
-		return Statistics{SizeInBytes: defaultSizeInBytes}
-	case *InMemoryRelation:
-		return Statistics{SizeInBytes: n.SizeInBytes, RowCount: n.RowCount}
-	case *LogicalRDD:
-		if n.SizeHint > 0 {
-			return Statistics{SizeInBytes: n.SizeHint}
-		}
-		return Statistics{SizeInBytes: defaultSizeInBytes}
-	case *Range:
-		return Statistics{SizeInBytes: 8 * n.Count(), RowCount: n.Count()}
-	case *Filter:
-		s := Stats(n.Child)
-		return Statistics{SizeInBytes: s.SizeInBytes / 2, RowCount: s.RowCount / 2}
-	case *Project:
-		s := Stats(n.Child)
-		in := len(n.Child.Output())
-		out := len(n.List)
-		if in == 0 || out >= in {
-			return s
-		}
-		return Statistics{
-			SizeInBytes: s.SizeInBytes * int64(out) / int64(in),
-			RowCount:    s.RowCount,
-		}
-	case *Limit:
-		s := Stats(n.Child)
-		if s.RowCount > 0 && s.RowCount > int64(n.N) {
-			per := s.SizeInBytes / max64(s.RowCount, 1)
-			return Statistics{SizeInBytes: per * int64(n.N), RowCount: int64(n.N)}
-		}
-		return s
-	case *Join:
-		l, r := Stats(n.Left), Stats(n.Right)
-		return Statistics{SizeInBytes: l.SizeInBytes + r.SizeInBytes}
-	case *Aggregate:
-		s := Stats(n.Child)
-		return Statistics{SizeInBytes: s.SizeInBytes / 4}
-	case *Sample:
-		s := Stats(n.Child)
-		return Statistics{
-			SizeInBytes: int64(float64(s.SizeInBytes) * n.Fraction),
-			RowCount:    int64(float64(s.RowCount) * n.Fraction),
-		}
-	default:
-		var total Statistics
-		for _, c := range p.Children() {
-			s := Stats(c)
-			total.SizeInBytes += s.SizeInBytes
-			total.RowCount += s.RowCount
-		}
-		if total.SizeInBytes == 0 {
-			total.SizeInBytes = defaultSizeInBytes
-		}
-		return total
-	}
-}
-
-// defaultSizeInBytes is the "unknown, assume large" estimate — large enough
-// that unknown relations are never broadcast (mirrors Spark's default).
-const defaultSizeInBytes = int64(1) << 40
+// Statistics, Stats and the selectivity/cardinality estimation framework
+// live in estimation.go.
 
 func max64(a, b int64) int64 {
 	if a > b {

@@ -145,9 +145,14 @@ func TestStatsEstimates(t *testing.T) {
 	if base.SizeInBytes <= 0 || base.RowCount != 2 {
 		t.Fatalf("base stats = %+v", base)
 	}
-	filtered := Stats(&Filter{Cond: expr.Lit(true), Child: rel})
+	filtered := Stats(&Filter{Cond: expr.GT(rel.Attrs[0], expr.Lit(int32(1))), Child: rel})
 	if filtered.SizeInBytes >= base.SizeInBytes {
 		t.Error("filters shrink estimates")
+	}
+	// A tautology keeps everything — selectivity is predicate-driven now.
+	always := Stats(&Filter{Cond: expr.Lit(true), Child: rel})
+	if always.SizeInBytes != base.SizeInBytes || always.RowCount != base.RowCount {
+		t.Errorf("TRUE filter should keep stats, got %+v", always)
 	}
 	limited := Stats(&Limit{N: 1, Child: rel})
 	if limited.RowCount != 1 {

@@ -124,6 +124,7 @@ func matchIntervalJoin(j *plan.Join) (match, bool) {
 // IntervalJoinExec builds an interval tree over the left (interval) side
 // and stabs it with each right (point) row.
 type IntervalJoinExec struct {
+	physical.PlanEstimate
 	Left, Right                    physical.SparkPlan
 	LeftStart, LeftEnd, RightPoint *expr.AttributeReference
 	Residual                       expr.Expression

@@ -43,6 +43,7 @@ var keywords = map[string]bool{
 	"INT": true, "INTEGER": true, "BIGINT": true, "LONG": true,
 	"DOUBLE": true, "FLOAT": true, "STRING": true, "BOOLEAN": true,
 	"DATE": true, "TIMESTAMP": true, "DECIMAL": true,
+	"ANALYZE": true, "EXPLAIN": true, "COMPUTE": true, "STATISTICS": true,
 }
 
 type lexError struct {

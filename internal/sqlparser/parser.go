@@ -33,6 +33,23 @@ type CreateTempTable struct {
 
 func (*CreateTempTable) isStatement() {}
 
+// AnalyzeTable is ANALYZE TABLE name [COMPUTE STATISTICS]: it scans the
+// table once and attaches collected statistics to its catalog entry, the
+// input of cost-based optimization.
+type AnalyzeTable struct {
+	Name string
+}
+
+func (*AnalyzeTable) isStatement() {}
+
+// ExplainStatement is EXPLAIN <query>: instead of running the query it
+// returns the annotated plan phases as rows.
+type ExplainStatement struct {
+	Plan plan.LogicalPlan
+}
+
+func (*ExplainStatement) isStatement() {}
+
 // Parse parses a single SQL statement.
 func Parse(sql string) (Statement, error) {
 	toks, err := lex(sql)
@@ -137,7 +154,7 @@ var nonReserved = map[string]bool{
 	"INT": true, "INTEGER": true, "BIGINT": true, "LONG": true,
 	"DOUBLE": true, "FLOAT": true, "STRING": true, "BOOLEAN": true,
 	"DATE": true, "TIMESTAMP": true, "DECIMAL": true, "OPTIONS": true,
-	"TABLE": true, "ALL": true,
+	"TABLE": true, "ALL": true, "COMPUTE": true, "STATISTICS": true,
 	// END doubles as a column name (the paper's §7.2 range join uses
 	// a.end); CASE expressions still terminate correctly because END is
 	// only read as a name where an expression may start or after a dot.
@@ -179,11 +196,41 @@ func (p *parser) parseStatement() (Statement, error) {
 	if p.atKeyword("CREATE") {
 		return p.parseCreateTempTable()
 	}
+	if p.atKeyword("ANALYZE") {
+		return p.parseAnalyzeTable()
+	}
+	if p.acceptKeyword("EXPLAIN") {
+		lp, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStatement{Plan: lp}, nil
+	}
 	lp, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
 	return &SelectStatement{Plan: lp}, nil
+}
+
+func (p *parser) parseAnalyzeTable() (Statement, error) {
+	if err := p.expectKeyword("ANALYZE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// The Spark-compatible long form; the suffix is optional here.
+	if p.acceptKeyword("COMPUTE") {
+		if err := p.expectKeyword("STATISTICS"); err != nil {
+			return nil, err
+		}
+	}
+	return &AnalyzeTable{Name: name}, nil
 }
 
 func (p *parser) parseCreateTempTable() (Statement, error) {

@@ -359,3 +359,57 @@ func TestErrorsMentionOffset(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestParseAnalyzeTable(t *testing.T) {
+	for _, sql := range []string{
+		"ANALYZE TABLE t",
+		"ANALYZE TABLE t COMPUTE STATISTICS",
+		"analyze table t compute statistics",
+	} {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", sql, err)
+		}
+		at, ok := stmt.(*AnalyzeTable)
+		if !ok {
+			t.Fatalf("Parse(%q) = %T, want *AnalyzeTable", sql, stmt)
+		}
+		if at.Name != "t" {
+			t.Fatalf("Parse(%q).Name = %q", sql, at.Name)
+		}
+	}
+	for _, sql := range []string{
+		"ANALYZE t",
+		"ANALYZE TABLE t COMPUTE",
+		"ANALYZE TABLE",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStatement)
+	if !ok {
+		t.Fatalf("stmt = %T, want *ExplainStatement", stmt)
+	}
+	if _, ok := ex.Plan.(*plan.Project); !ok {
+		t.Fatalf("explained plan = %T", ex.Plan)
+	}
+	if _, err := Parse("EXPLAIN"); err == nil {
+		t.Error("bare EXPLAIN should fail")
+	}
+}
+
+// COMPUTE and STATISTICS stay usable as column names.
+func TestAnalyzeKeywordsNonReserved(t *testing.T) {
+	lp := parseQuery(t, "SELECT compute, statistics FROM t")
+	if len(lp.(*plan.Project).List) != 2 {
+		t.Fatalf("plan = %v", lp)
+	}
+}

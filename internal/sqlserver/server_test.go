@@ -255,3 +255,39 @@ func TestQueryTimeout(t *testing.T) {
 		t.Fatalf("server unusable after timeout: %v %v", res, err)
 	}
 }
+
+// ANALYZE TABLE and EXPLAIN work over the wire: after collecting
+// statistics, EXPLAIN output carries est: annotations reflecting the
+// table's real cardinality.
+func TestAnalyzeAndExplainOverTheWire(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query("ANALYZE TABLE people COMPUTE STATISTICS"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("EXPLAIN SELECT name FROM people WHERE age > 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("cols = %v", res.Columns)
+	}
+	text := ""
+	for _, r := range res.Rows {
+		text += r[0] + "\n"
+	}
+	for _, want := range []string{"== Optimized Plan ==", "== Physical Plan ==", "est: "} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("EXPLAIN output missing %q:\n%s", want, text)
+		}
+	}
+	// 3 rows analyzed: the scan's estimate is exact.
+	if !strings.Contains(text, "est: 3 rows") {
+		t.Fatalf("EXPLAIN should reflect analyzed row count:\n%s", text)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func testSchema() types.StructType {
+	return types.StructType{Fields: []types.StructField{
+		{Name: "id", Type: types.Long},
+		{Name: "name", Type: types.String, Nullable: true},
+	}}
+}
+
+func TestFromRows(t *testing.T) {
+	var rows []row.Row
+	for i := 0; i < 1000; i++ {
+		var name any
+		if i%10 == 0 {
+			name = nil
+		} else {
+			name = fmt.Sprintf("name-%d", i%50)
+		}
+		rows = append(rows, row.Row{int64(i), name})
+	}
+	tab := FromRows(testSchema(), rows)
+	if tab.RowCount != 1000 {
+		t.Fatalf("RowCount = %d", tab.RowCount)
+	}
+	if tab.SizeInBytes <= 0 {
+		t.Fatalf("SizeInBytes = %d", tab.SizeInBytes)
+	}
+	id := tab.Columns["id"]
+	if id.Min != int64(0) || id.Max != int64(999) {
+		t.Fatalf("id min/max = %v/%v", id.Min, id.Max)
+	}
+	if id.NDV != 1000 {
+		t.Fatalf("id NDV = %d (exact expected below sketch bound)", id.NDV)
+	}
+	if id.NullCount != 0 {
+		t.Fatalf("id nulls = %d", id.NullCount)
+	}
+	if id.AvgWidth != 8 {
+		t.Fatalf("id avgWidth = %v", id.AvgWidth)
+	}
+	name := tab.Columns["name"]
+	if name.NullCount != 100 {
+		t.Fatalf("name nulls = %d", name.NullCount)
+	}
+	// 45 distinct non-null name values survive (name-0 only at multiples
+	// of 10, which are all NULL... actually i%10==0 implies i%50 in
+	// {0,10,20,30,40}; those remainders also occur at non-multiples of 10).
+	if name.NDV < 45 || name.NDV > 50 {
+		t.Fatalf("name NDV = %d", name.NDV)
+	}
+}
+
+func TestSketchAccuracy(t *testing.T) {
+	for _, n := range []int64{100, 10_000, 200_000} {
+		d := newDistinctSketch()
+		for i := int64(0); i < n; i++ {
+			d.Add(row.HashValue(i))
+		}
+		est := d.Estimate()
+		relErr := math.Abs(float64(est-n)) / float64(n)
+		if n <= maxSketchSize {
+			if est != n {
+				t.Fatalf("n=%d est=%d (should be exact)", n, est)
+			}
+		} else if relErr > 0.10 {
+			t.Fatalf("n=%d est=%d relErr=%.3f", n, est, relErr)
+		}
+	}
+}
+
+func TestCollectorColumnar(t *testing.T) {
+	c := NewCollector(testSchema())
+	c.AddValues(0, []any{int64(5), int64(1), nil})
+	c.AddValues(1, []any{"b", "a", "b"})
+	c.AddRowCount(3)
+	tab := c.Finish(0)
+	if tab.RowCount != 3 {
+		t.Fatalf("RowCount = %d", tab.RowCount)
+	}
+	id := tab.Columns["id"]
+	if id.Min != int64(1) || id.Max != int64(5) || id.NullCount != 1 || id.NDV != 2 {
+		t.Fatalf("id stats = %+v", id)
+	}
+	name := tab.Columns["name"]
+	if name.Min != "a" || name.Max != "b" || name.NDV != 2 {
+		t.Fatalf("name stats = %+v", name)
+	}
+}

@@ -20,6 +20,7 @@ package sparksql
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/rdd"
 	"repro/internal/row"
 	"repro/internal/sqlparser"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -86,6 +88,10 @@ type Config struct {
 	LogicalOptimization bool
 	// SourcePushdown enables projection/filter pushdown into data sources.
 	SourcePushdown bool
+	// JoinReorder enables cost-based reordering of inner-join chains by
+	// estimated output size (uses statistics collected by Cache() or
+	// ANALYZE TABLE; without them plans come out unchanged).
+	JoinReorder bool
 	// PipelineCollapse fuses adjacent projects/filters into one map stage.
 	PipelineCollapse bool
 	// Vectorized runs fused pipelines over the columnar cache batch-at-a-time
@@ -117,6 +123,7 @@ func DefaultConfig() Config {
 		Codegen:             true,
 		LogicalOptimization: true,
 		SourcePushdown:      true,
+		JoinReorder:         true,
 		PipelineCollapse:    true,
 		Vectorized:          true,
 		BroadcastThreshold:  10 << 20,
@@ -141,6 +148,7 @@ func (c Config) toCore() core.Config {
 		opt.DecimalAggregates = false
 	}
 	opt.SourcePushdown = c.SourcePushdown && c.LogicalOptimization
+	opt.JoinReorder = c.JoinReorder && c.LogicalOptimization
 	pcfg := physical.DefaultPlannerConfig()
 	pcfg.CollapsePipelines = c.PipelineCollapse
 	pcfg.Vectorize = c.Vectorized && c.PipelineCollapse
@@ -211,6 +219,27 @@ func (c *Context) SQL(query string) (*DataFrame, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStatement:
 		return c.newDataFrame(s.Plan)
+	case *sqlparser.AnalyzeTable:
+		if err := c.AnalyzeTable(s.Name); err != nil {
+			return nil, err
+		}
+		return c.emptyFrame(), nil
+	case *sqlparser.ExplainStatement:
+		df, err := c.newDataFrame(s.Plan)
+		if err != nil {
+			return nil, err
+		}
+		text, err := df.Explain()
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+		rows := make([]Row, len(lines))
+		for i, l := range lines {
+			rows[i] = Row{l}
+		}
+		schema := types.NewStruct(types.StructField{Name: "plan", Type: types.String, Nullable: false})
+		return c.CreateDataFrame(schema, rows)
 	case *sqlparser.CreateTempTable:
 		if s.AsSelect != nil {
 			df, err := c.newDataFrame(s.AsSelect)
@@ -237,6 +266,33 @@ func (c *Context) SQL(query string) (*DataFrame, error) {
 	default:
 		return nil, fmt.Errorf("sparksql: unsupported statement")
 	}
+}
+
+// AnalyzeTable scans a registered table once, collects per-table and
+// per-column statistics (row count, size, min/max, null count, distinct
+// count estimate) and attaches them to the table's catalog entry, where
+// the cost-based optimizer reads them — the SQL form is
+// `ANALYZE TABLE name [COMPUTE STATISTICS]`.
+func (c *Context) AnalyzeTable(name string) error {
+	lp, ok := c.engine.Catalog.LookupTable(name)
+	if !ok {
+		return fmt.Errorf("sparksql: ANALYZE TABLE: unknown table %q", name)
+	}
+	df, err := c.newDataFrame(lp)
+	if err != nil {
+		return err
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		return err
+	}
+	t := stats.FromRows(df.Schema(), rows)
+	// Attach to the catalog's own plan: its leaf is shared by reference
+	// with every query planned after this point.
+	if !plan.AttachStats(lp, t) {
+		return fmt.Errorf("sparksql: ANALYZE TABLE %q: table is a view, not a base relation", name)
+	}
+	return nil
 }
 
 // Table returns a DataFrame over a registered temp table.
