@@ -317,6 +317,35 @@ func BenchmarkAblationVectorized(b *testing.B) {
 	})
 }
 
+// Instrumentation overhead: the same cached Q1 scan with per-operator
+// metrics on (the default) and off, on both execution paths. The on/off
+// pairs should be indistinguishable — that is what justifies leaving
+// metrics enabled by default.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	study, err := experiments.NewMetricsOverheadStudy(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := experiments.Q1Params[0]
+	for _, bc := range []struct {
+		name string
+		ctx  *sparksql.Context
+	}{
+		{"Row/MetricsOn", study.OnRow},
+		{"Row/MetricsOff", study.OffRow},
+		{"Vectorized/MetricsOn", study.OnVec},
+		{"Vectorized/MetricsOff", study.OffVec},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := study.Run(bc.ctx, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Federation pushdown: time plus bytes over the simulated link.
 func BenchmarkAblationFederation(b *testing.B) {
 	fed, err := experiments.NewFederation(5_000, 20_000)

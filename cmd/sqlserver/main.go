@@ -29,6 +29,7 @@ func (t *tableFlags) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7433", "listen address")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics and /trace (empty = off)")
 	maxRows := flag.Int("maxrows", 10000, "maximum rows returned per query")
 	var tables tableFlags
 	flag.Var(&tables, "table", "name=path registration (csv, json or gcf by extension); repeatable")
@@ -66,6 +67,13 @@ func main() {
 		fatal("listen: %v", err)
 	}
 	fmt.Printf("serving SQL on %s\n", bound)
+	if *metricsAddr != "" {
+		mbound, err := srv.ListenAndServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal("metrics listen: %v", err)
+		}
+		fmt.Printf("serving metrics on http://%s/metrics (trace at /trace)\n", mbound)
+	}
 	select {} // serve forever
 }
 

@@ -321,6 +321,36 @@ func (df *DataFrame) Explain() (string, error) {
 	return qe.q.Explain(), nil
 }
 
+// ExplainAnalyze runs the query with per-operator instrumentation forced
+// on and renders the physical plan annotated with both the optimizer's
+// `est:` prediction and the measured `actual:` rows and wall time per
+// node, plus a runtime summary — the paper ecosystem's SQL metrics tab in
+// text form, and the feedback loop that confronts cost-based estimates
+// with what the run actually did.
+func (df *DataFrame) ExplainAnalyze() (string, error) {
+	return df.ExplainAnalyzeContext(context.Background())
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a caller context.
+func (df *DataFrame) ExplainAnalyzeContext(ctx context.Context) (string, error) {
+	qe, err := df.queryExecution()
+	if err != nil {
+		return "", err
+	}
+	return qe.q.ExplainAnalyzeContext(ctx)
+}
+
+// PlanHash returns a stable fingerprint of the query's physical plan
+// (expression IDs normalized out), correlating log lines that ran the
+// same plan shape.
+func (df *DataFrame) PlanHash() (uint64, error) {
+	qe, err := df.queryExecution()
+	if err != nil {
+		return 0, err
+	}
+	return qe.q.PlanHash(), nil
+}
+
 // Show renders up to n rows as a text table.
 func (df *DataFrame) Show(n int) (string, error) {
 	rows, err := df.Take(n)
@@ -490,6 +520,8 @@ type queryExec struct {
 		CountContext(ctx context.Context) (int64, error)
 		RDD() *rdd.RDD[row.Row]
 		Explain() string
+		ExplainAnalyzeContext(ctx context.Context) (string, error)
+		PlanHash() uint64
 	}
 }
 

@@ -9,6 +9,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"regexp"
 	"runtime"
 	"strings"
 	"time"
@@ -48,6 +50,12 @@ type Config struct {
 	// SpeculationMin is the minimum elapsed time before a task may be
 	// considered a straggler (0 = default).
 	SpeculationMin time.Duration
+	// Metrics enables per-operator instrumentation: every physical exec
+	// node records rows, batches, build sizes and wall time per partition
+	// into its PlanMetrics embed, which EXPLAIN ANALYZE reads back. The
+	// recording cost is a few atomic adds per partition (never per row),
+	// cheap enough to leave on; EXPLAIN ANALYZE forces it on regardless.
+	Metrics bool
 }
 
 // DefaultConfig is the full Spark SQL feature set.
@@ -58,6 +66,7 @@ func DefaultConfig() Config {
 		Planner:           physical.DefaultPlannerConfig(),
 		ShufflePartitions: runtime.GOMAXPROCS(0),
 		Parallelism:       runtime.GOMAXPROCS(0),
+		Metrics:           true,
 	}
 }
 
@@ -157,6 +166,7 @@ func (e *Engine) ExecContext() *physical.ExecContext {
 		Codegen:           e.Cfg.Codegen,
 		Vectorized:        e.Cfg.Planner.Vectorize,
 		ShufflePartitions: e.Cfg.ShufflePartitions,
+		Metrics:           e.Cfg.Metrics,
 	}
 }
 
@@ -217,4 +227,50 @@ func (q *QueryExecution) Explain() string {
 	sb.WriteString("== Physical Plan ==\n")
 	sb.WriteString(q.Physical.String())
 	return sb.String()
+}
+
+// ExplainAnalyze is ExplainAnalyzeContext under a background context.
+func (q *QueryExecution) ExplainAnalyze() (string, error) {
+	return q.ExplainAnalyzeContext(context.Background())
+}
+
+// ExplainAnalyzeContext runs the query with per-operator instrumentation
+// forced on (regardless of Config.Metrics) and renders the optimized plan
+// with cardinality estimates and the physical plan annotated with both
+// `est:` (the CBO's prediction) and `actual:` (what the run measured) per
+// node — the feedback loop that confronts estimates with reality — plus a
+// runtime summary of the result cardinality and wall time.
+func (q *QueryExecution) ExplainAnalyzeContext(ctx context.Context) (string, error) {
+	ec := q.engine.ExecContext()
+	ec.Metrics = true
+	jc, cancel := q.engine.queryContext(ctx)
+	defer cancel()
+	start := time.Now()
+	rows, err := q.Physical.Execute(ec).CollectContext(jc)
+	if err != nil {
+		return "", err
+	}
+	elapsed := time.Since(start)
+	var sb strings.Builder
+	sb.WriteString("== Optimized Plan ==\n")
+	sb.WriteString(plan.FormatEstimated(q.Optimized))
+	sb.WriteString("== Physical Plan ==\n")
+	sb.WriteString(q.Physical.String())
+	fmt.Fprintf(&sb, "== Runtime ==\nresult: %d rows in %.1f ms\n",
+		len(rows), float64(elapsed.Microseconds())/1e3)
+	return sb.String(), nil
+}
+
+// planIDs matches the per-process unique expression IDs (#42) that differ
+// between two plannings of the same query text.
+var planIDs = regexp.MustCompile(`#\d+`)
+
+// PlanHash returns a stable FNV-1a fingerprint of the physical plan with
+// expression IDs normalized out, so identical statements (and identical
+// plan shapes) hash alike across executions — the query log's correlation
+// key for "which plan ran".
+func (q *QueryExecution) PlanHash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(planIDs.ReplaceAllString(q.Physical.String(), "#")))
+	return h.Sum64()
 }

@@ -1,0 +1,431 @@
+// Package metrics is the engine's stdlib-only observability substrate: a
+// shared registry of named counters, gauges and low-overhead histograms
+// (all lock-free atomics on the hot path), labeled scopes for grouping,
+// plus a structured in-memory trace buffer with a JSONL event-log exporter
+// (trace.go) — the reproduction's stand-in for the Spark metrics system and
+// event log behind the web UI's SQL tab.
+//
+// Design constraints: instrumentation stays on by default, so every
+// recording operation must be a handful of atomic ops at most; rendering
+// (Snapshot, WriteText) is the only place that takes locks over the whole
+// registry. All recording methods tolerate a nil receiver so call sites can
+// stay unconditional when a subsystem runs with metrics disabled.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value. Nil-safe (returns 0).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can move in both directions, with a helper to track
+// a running maximum (peak build-side size, high-water marks).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta. Nil-safe.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value (a peak
+// tracker). Nil-safe.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value. Nil-safe (returns 0).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of the power-of-two histogram: bucket i
+// counts observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v <= 0 and
+// v == 1 lands in bucket 1). 64 buckets cover the whole int64 range, so no
+// observation is ever dropped.
+const histBuckets = 64
+
+// Histogram is a low-overhead power-of-two histogram: one atomic add into a
+// bucket plus count/sum/min/max updates per observation, no locks.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if h.count.Add(1) == 1 {
+		// First observation seeds min; racy seeding is tolerable — a
+		// concurrent smaller value still wins via the CAS loop below.
+		h.min.Store(v)
+	}
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// bucketOf maps v to its power-of-two bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	// Buckets holds the non-zero buckets as (upper-bound, count) pairs in
+	// ascending bound order; bound is exclusive (v < bound).
+	Buckets []HistogramBucket
+}
+
+// HistogramBucket is one non-empty histogram bucket.
+type HistogramBucket struct {
+	UpperBound int64 // exclusive; 1<<i for bucket i
+	Count      int64
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
+// interpolating linearly inside the winning bucket.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for _, b := range s.Buckets {
+		if seen+float64(b.Count) >= rank {
+			lo := float64(b.UpperBound) / 2
+			hi := float64(b.UpperBound)
+			if b.UpperBound <= 1 {
+				lo = 0
+				hi = 1
+			}
+			frac := (rank - seen) / float64(b.Count)
+			v := lo + frac*(hi-lo)
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		seen += float64(b.Count)
+	}
+	return float64(s.Max)
+}
+
+// Snapshot copies the histogram state. Nil-safe (returns the zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: 1 << i, Count: n})
+		}
+	}
+	return s
+}
+
+// Kind tags a metric's type in snapshots.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Metric is one named metric in a registry snapshot.
+type Metric struct {
+	Name  string
+	Kind  Kind
+	Value int64             // counters and gauges
+	Hist  HistogramSnapshot // histograms
+}
+
+// Registry is a concurrent map of named metrics. Lookup (get-or-create) is
+// a read-locked map hit in the steady state; recording through the returned
+// handles takes no registry locks at all, so hot paths resolve their
+// handles once and hold them.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe
+// (returns nil, whose methods are no-ops).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Scope is a registry view that prefixes every metric name — the labeled
+// scope mechanism ("rdd.", "query.", "server.") keeping one registry per
+// engine while letting subsystems name metrics locally.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Scoped returns a scope prefixing names with "<prefix>.". Nil-safe.
+func (r *Registry) Scoped(prefix string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{r: r, prefix: prefix + "."}
+}
+
+// Counter returns the scoped counter. Nil-safe.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.r.Counter(s.prefix + name)
+}
+
+// Gauge returns the scoped gauge. Nil-safe.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.r.Gauge(s.prefix + name)
+}
+
+// Histogram returns the scoped histogram. Nil-safe.
+func (s *Scope) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.r.Histogram(s.prefix + name)
+}
+
+// Labels renders a deterministic {k=v,...} suffix for metric names built
+// from key-value pairs: Labels("table", "fact", "op", "scan") →
+// `{op=scan,table=fact}`. Keys are sorted so equal label sets produce equal
+// names.
+func Labels(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, kv[i]+"="+kv[i+1])
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// Snapshot returns all metrics sorted by name. Nil-safe (empty).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: c.Load()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.Load()})
+	}
+	for name, h := range r.hists {
+		out = append(out, Metric{Name: name, Kind: KindHistogram, Hist: h.Snapshot()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText renders the registry in an expfmt-style plain-text form — one
+// metric per line, histograms expanded into _count/_sum/_min/_max/_p50/_p99
+// pseudo-series — served by the SQL server's /metrics endpoint and the
+// SHOW METRICS statement.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		switch m.Kind {
+		case KindHistogram:
+			s := m.Hist
+			if _, err := fmt.Fprintf(w,
+				"%s_count %d\n%s_sum %d\n%s_min %d\n%s_max %d\n%s_p50 %.0f\n%s_p99 %.0f\n",
+				m.Name, s.Count, m.Name, s.Sum, m.Name, s.Min, m.Name, s.Max,
+				m.Name, s.Quantile(0.50), m.Name, s.Quantile(0.99)); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

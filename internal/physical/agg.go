@@ -2,6 +2,7 @@ package physical
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/rdd"
@@ -21,6 +22,7 @@ import (
 // expression over [groupValues..., aggResults...] at the end.
 type HashAggregateExec struct {
 	PlanEstimate
+	PlanMetrics
 	Grouping []expr.Expression
 	Aggs     []expr.Expression // Named result expressions
 	Child    SparkPlan
@@ -162,7 +164,9 @@ func (h *HashAggregateExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	})
 
 	// Phase 2: final merge + result evaluation.
+	om := h.EnableMetrics(ctx.Metrics)
 	return rdd.MapPartitions(shuffled, func(p int, in []aggPartial) []row.Row {
+		start := time.Now()
 		groups := make(map[string]*aggPartial, len(in))
 		order := make([]string, 0, len(in))
 		for i := range in {
@@ -201,6 +205,7 @@ func (h *HashAggregateExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 			}
 			out = append(out, result)
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
 }
@@ -263,6 +268,7 @@ func (h *HashAggregateExec) splitAggregates(input []*expr.AttributeReference) ([
 // DistinctExec removes duplicate rows via a hash exchange.
 type DistinctExec struct {
 	PlanEstimate
+	PlanMetrics
 	Child SparkPlan
 	// Partitions, when positive, caps the exchange's reducer count below
 	// the session default.
@@ -289,7 +295,9 @@ func (d *DistinctExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	shuffled := rdd.PartitionByHash(d.Child.Execute(ctx), numPart, func(r row.Row) uint64 {
 		return row.Hash(r, ords)
 	})
+	om := d.EnableMetrics(ctx.Metrics)
 	return rdd.MapPartitions(shuffled, func(_ int, in []row.Row) []row.Row {
+		start := time.Now()
 		seen := make(map[string]struct{}, len(in))
 		out := make([]row.Row, 0, len(in))
 		for _, r := range in {
@@ -300,6 +308,7 @@ func (d *DistinctExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 			seen[k] = struct{}{}
 			out = append(out, r)
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
 }

@@ -4,12 +4,23 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/rdd"
 	"repro/internal/row"
 )
+
+// rowsSize sums the approximate in-memory size of a materialized build
+// side, for the joins' build-bytes metric.
+func rowsSize(rows []row.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += r.ObjectSize()
+	}
+	return n
+}
 
 // lazyBuild memoizes a per-query build-side materialization (broadcast
 // hash table, collected rows, interval tree, ...) that runs as a nested
@@ -116,6 +127,7 @@ func nullRow(n int) row.Row { return make(row.Row, n) }
 // join, using a peer-to-peer broadcast facility available in Spark").
 type BroadcastHashJoinExec struct {
 	PlanEstimate
+	PlanMetrics
 	Left, Right         SparkPlan
 	LeftKeys, RightKeys []expr.Expression
 	Type                plan.JoinType
@@ -146,6 +158,7 @@ func (j *BroadcastHashJoinExec) String() string { return Format(j) }
 func (j *BroadcastHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	leftOut, rightOut := j.Left.Output(), j.Right.Output()
 	match := residualPred(ctx, j.Residual, leftOut, rightOut)
+	om := j.EnableMetrics(ctx.Metrics)
 
 	if j.BuildRight {
 		buildKey := keyFunc(bindKeys(ctx, j.RightKeys, rightOut))
@@ -159,15 +172,20 @@ func (j *BroadcastHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 				if err != nil {
 					return nil, err
 				}
+				if om != nil {
+					om.RecordBuild(len(rows), rowsSize(rows))
+				}
 				return buildHashTable(rows, buildKey), nil
 			})
 			if err != nil {
 				return nil, err
 			}
+			start := time.Now()
 			var out []row.Row
 			for _, l := range in {
 				out = appendProbeRight(out, l, table, probeKey, match, j.Type, nRight)
 			}
+			om.RecordPartition(len(out), time.Since(start))
 			return out, nil
 		})
 	}
@@ -184,15 +202,20 @@ func (j *BroadcastHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 			if err != nil {
 				return nil, err
 			}
+			if om != nil {
+				om.RecordBuild(len(rows), rowsSize(rows))
+			}
 			return buildHashTable(rows, buildKey), nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		start := time.Now()
 		var out []row.Row
 		for _, r := range in {
 			out = appendProbeLeft(out, r, table, probeKey, match, j.Type, nLeft)
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out, nil
 	})
 }
@@ -253,6 +276,7 @@ func appendProbeLeft(out []row.Row, r row.Row, table map[string][]row.Row,
 // small enough to broadcast.
 type ShuffledHashJoinExec struct {
 	PlanEstimate
+	PlanMetrics
 	Left, Right         SparkPlan
 	LeftKeys, RightKeys []expr.Expression
 	Type                plan.JoinType
@@ -309,7 +333,12 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 
 	nLeft, nRight := len(leftOut), len(rightOut)
 	t := j.Type
+	om := j.EnableMetrics(ctx.Metrics)
 	zipped, err := rdd.ZipPartitions(leftShuf, rightShuf, func(_ int, ls, rs []row.Row) []row.Row {
+		start := time.Now()
+		if om != nil {
+			om.RecordBuild(len(rs), rowsSize(rs))
+		}
 		table := buildHashTable(rs, rightKey)
 		var out []row.Row
 		rightMatched := make(map[string][]bool)
@@ -365,6 +394,7 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 				}
 			}
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
 	if err != nil {
@@ -380,6 +410,7 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 // join research motivates replacing.
 type NestedLoopJoinExec struct {
 	PlanEstimate
+	PlanMetrics
 	Left, Right SparkPlan
 	Type        plan.JoinType
 	Cond        expr.Expression
@@ -406,11 +437,22 @@ func (j *NestedLoopJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	lazy := &lazyBuild[[]row.Row]{}
 	nRight := len(rightOut)
 	t := j.Type
+	om := j.EnableMetrics(ctx.Metrics)
 	return rdd.MapPartitionsCtx(j.Left.Execute(ctx), func(jc context.Context, _ int, in []row.Row) ([]row.Row, error) {
-		rightRows, err := lazy.get(jc, build.CollectContext)
+		rightRows, err := lazy.get(jc, func(jc context.Context) ([]row.Row, error) {
+			rows, err := build.CollectContext(jc)
+			if err != nil {
+				return nil, err
+			}
+			if om != nil {
+				om.RecordBuild(len(rows), rowsSize(rows))
+			}
+			return rows, nil
+		})
 		if err != nil {
 			return nil, err
 		}
+		start := time.Now()
 		var out []row.Row
 		for _, l := range in {
 			matched := false
@@ -430,6 +472,7 @@ func (j *NestedLoopJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 				out = append(out, concatRows(l, nullRow(nRight)))
 			}
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out, nil
 	})
 }

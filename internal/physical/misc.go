@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/rdd"
@@ -15,6 +16,7 @@ import (
 // sort orders within each partition.
 type SortExec struct {
 	PlanEstimate
+	PlanMetrics
 	Orders []*expr.SortOrder
 	Global bool
 	Child  SparkPlan
@@ -60,10 +62,13 @@ func (s *SortExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	if s.Global {
 		child = rdd.Coalesce(child, 1)
 	}
+	om := s.EnableMetrics(ctx.Metrics)
 	return rdd.MapPartitions(child, func(_ int, in []row.Row) []row.Row {
+		start := time.Now()
 		out := make([]row.Row, len(in))
 		copy(out, in)
 		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
 }
@@ -71,6 +76,7 @@ func (s *SortExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 // LimitExec keeps the first N rows, scanning partitions in order.
 type LimitExec struct {
 	PlanEstimate
+	PlanMetrics
 	N     int
 	Child SparkPlan
 }
@@ -90,14 +96,21 @@ func (l *LimitExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	n := l.N
 	// Lazy: the scan runs as a nested job inside the limit's single task,
 	// so child failures and cancellation propagate through the task path.
+	om := l.EnableMetrics(ctx.Metrics)
 	return rdd.GenerateCtx(ctx.RDD, "limit", 1, func(jc context.Context, _ int) ([]row.Row, error) {
-		return rdd.TakeContext(jc, child, n)
+		start := time.Now()
+		out, err := rdd.TakeContext(jc, child, n)
+		if err == nil {
+			om.RecordPartition(len(out), time.Since(start))
+		}
+		return out, err
 	})
 }
 
 // UnionExec concatenates children partitions.
 type UnionExec struct {
 	PlanEstimate
+	PlanMetrics
 	Kids []SparkPlan
 }
 
@@ -116,13 +129,22 @@ func (u *UnionExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	for _, k := range u.Kids[1:] {
 		out = rdd.Union(out, k.Execute(ctx))
 	}
-	return out
+	om := u.EnableMetrics(ctx.Metrics)
+	if om == nil {
+		return out
+	}
+	// Union has no compute of its own; counting needs a pass-through stage.
+	return rdd.MapPartitions(out, func(_ int, in []row.Row) []row.Row {
+		om.RecordPartition(len(in), 0)
+		return in
+	})
 }
 
 // SampleExec keeps a deterministic pseudo-random fraction of rows using a
 // splittable hash of (seed, partition, index).
 type SampleExec struct {
 	PlanEstimate
+	PlanMetrics
 	Fraction float64
 	Seed     int64
 	Child    SparkPlan
@@ -143,13 +165,16 @@ func (s *SampleExec) String() string { return Format(s) }
 func (s *SampleExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	frac := s.Fraction
 	seed := uint64(s.Seed)
+	om := s.EnableMetrics(ctx.Metrics)
 	return rdd.MapPartitions(s.Child.Execute(ctx), func(p int, in []row.Row) []row.Row {
+		start := time.Now()
 		out := make([]row.Row, 0, int(float64(len(in))*frac)+1)
 		for i, r := range in {
 			if splitmix(seed^uint64(p)<<32^uint64(i)) < uint64(float64(^uint64(0))*frac) {
 				out = append(out, r)
 			}
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
 }

@@ -1,0 +1,104 @@
+package physical
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// OperatorMetrics accumulates the runtime counters of one physical operator
+// while its tasks execute: rows and batches produced, wall time spent inside
+// the operator's partition closures, and build-side size for joins. All
+// fields are atomics because partitions run concurrently; all methods are
+// nil-safe so call sites stay unconditional when instrumentation is off.
+//
+// Operators record per partition (or per batch), never per row, which keeps
+// the cost to a handful of atomic adds per task — cheap enough to leave on
+// by default (see BenchmarkMetricsOverhead).
+type OperatorMetrics struct {
+	OutputRows atomic.Int64 // rows the operator produced
+	Partitions atomic.Int64 // partition closures observed
+	Batches    atomic.Int64 // columnar batches scanned (vectorized path)
+	WallNanos  atomic.Int64 // summed wall time inside the operator's closures
+	BuildRows  atomic.Int64 // build-side rows collected (joins)
+	BuildBytes atomic.Int64 // estimated build-side bytes (joins)
+}
+
+// RecordPartition records one partition's output and elapsed wall time.
+func (m *OperatorMetrics) RecordPartition(rows int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.OutputRows.Add(int64(rows))
+	m.Partitions.Add(1)
+	m.WallNanos.Add(elapsed.Nanoseconds())
+}
+
+// RecordBatch records one columnar batch scanned with its decoded row count.
+func (m *OperatorMetrics) RecordBatch(rows int) {
+	if m == nil {
+		return
+	}
+	m.Batches.Add(1)
+	m.OutputRows.Add(int64(rows))
+}
+
+// RecordBuild records a join's materialized build side.
+func (m *OperatorMetrics) RecordBuild(rows int, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.BuildRows.Add(int64(rows))
+	m.BuildBytes.Add(bytes)
+}
+
+// ActualString renders the EXPLAIN ANALYZE annotation, the runtime
+// counterpart of plan.Statistics.EstString.
+func (m *OperatorMetrics) ActualString() string {
+	s := fmt.Sprintf("actual: %d rows, %.1f ms",
+		m.OutputRows.Load(), float64(m.WallNanos.Load())/1e6)
+	if b := m.BuildRows.Load(); b > 0 {
+		s += fmt.Sprintf(", build=%d rows", b)
+	}
+	if n := m.Batches.Load(); n > 0 {
+		s += fmt.Sprintf(", %d batches", n)
+	}
+	return s
+}
+
+// PlanMetrics carries runtime metrics on a physical operator, mirroring
+// PlanEstimate: operators embed it, Execute lazily attaches an
+// OperatorMetrics when the ExecContext has metrics enabled, and EXPLAIN
+// ANALYZE reads it back through Runtime after the query ran.
+//
+// The embed holds a plain pointer (not the atomics themselves) so the
+// WithNewChildren copy idiom (c := *n) stays vet-clean, and so copies made
+// after Execute share the same counters as the executed tree. Execute runs
+// single-threaded during plan building, which is what makes the lazy
+// allocation below safe without locking.
+type PlanMetrics struct {
+	m *OperatorMetrics
+}
+
+// EnableMetrics returns the operator's metrics, allocating them on first
+// use, or nil when enabled is false (every OperatorMetrics method accepts
+// a nil receiver). Operators call this at the top of Execute.
+func (p *PlanMetrics) EnableMetrics(enabled bool) *OperatorMetrics {
+	if !enabled {
+		return nil
+	}
+	if p.m == nil {
+		p.m = &OperatorMetrics{}
+	}
+	return p.m
+}
+
+// Runtime returns the recorded metrics, or nil if the operator never ran
+// with instrumentation enabled.
+func (p *PlanMetrics) Runtime() *OperatorMetrics { return p.m }
+
+// MetricsAnnotated is implemented by physical operators that carry runtime
+// metrics (all built-in operators, via PlanMetrics).
+type MetricsAnnotated interface {
+	Runtime() *OperatorMetrics
+}

@@ -2,6 +2,7 @@ package physical
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/rdd"
@@ -11,6 +12,7 @@ import (
 // ProjectExec evaluates a projection list per row.
 type ProjectExec struct {
 	PlanEstimate
+	PlanMetrics
 	List  []expr.Expression
 	Child SparkPlan
 }
@@ -34,11 +36,18 @@ func (p *ProjectExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	for i, e := range bound {
 		evals[i] = ctx.evaluator(e)
 	}
-	return rdd.Map(p.Child.Execute(ctx), func(r row.Row) row.Row {
-		out := make(row.Row, len(evals))
-		for i, ev := range evals {
-			out[i] = ev(r)
+	om := p.EnableMetrics(ctx.Metrics)
+	return rdd.MapPartitions(p.Child.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+		start := time.Now()
+		out := make([]row.Row, len(in))
+		for i, r := range in {
+			o := make(row.Row, len(evals))
+			for j, ev := range evals {
+				o[j] = ev(r)
+			}
+			out[i] = o
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
 }
@@ -48,6 +57,7 @@ func (p *ProjectExec) String() string       { return Format(p) }
 // FilterExec keeps rows matching the predicate.
 type FilterExec struct {
 	PlanEstimate
+	PlanMetrics
 	Cond  expr.Expression
 	Child SparkPlan
 }
@@ -61,7 +71,18 @@ func (f *FilterExec) WithNewChildren(children []SparkPlan) SparkPlan {
 func (f *FilterExec) Output() []*expr.AttributeReference { return f.Child.Output() }
 func (f *FilterExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	pred := ctx.predicate(bind(f.Cond, f.Child.Output()))
-	return rdd.Filter(f.Child.Execute(ctx), func(r row.Row) bool { return pred(r) })
+	om := f.EnableMetrics(ctx.Metrics)
+	return rdd.MapPartitions(f.Child.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+		start := time.Now()
+		out := make([]row.Row, 0, len(in))
+		for _, r := range in {
+			if pred(r) {
+				out = append(out, r)
+			}
+		}
+		om.RecordPartition(len(out), time.Since(start))
+		return out
+	})
 }
 func (f *FilterExec) SimpleString() string { return fmt.Sprintf("Filter %s", f.Cond) }
 func (f *FilterExec) String() string       { return Format(f) }
@@ -80,6 +101,7 @@ type stage struct {
 // Project/Filter operators.
 type PipelineExec struct {
 	PlanEstimate
+	PlanMetrics
 	// Stages are listed bottom (first applied) to top.
 	Stages []stage
 	Child  SparkPlan
@@ -122,7 +144,9 @@ func (p *PipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		}
 		attrs = out
 	}
+	om := p.EnableMetrics(ctx.Metrics)
 	return rdd.MapPartitions(p.Child.Execute(ctx), func(_ int, in []row.Row) []row.Row {
+		start := time.Now()
 		out := make([]row.Row, 0, len(in))
 	rows:
 		for _, r := range in {
@@ -141,6 +165,7 @@ func (p *PipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 			}
 			out = append(out, r)
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
 }

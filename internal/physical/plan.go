@@ -28,6 +28,10 @@ type ExecContext struct {
 	Vectorized bool
 	// ShufflePartitions is the reducer count for exchanges.
 	ShufflePartitions int
+	// Metrics enables per-operator instrumentation: each exec node attaches
+	// an OperatorMetrics (via its PlanMetrics embed) and records rows,
+	// batches and wall time per partition. EXPLAIN ANALYZE reads them back.
+	Metrics bool
 }
 
 // evaluator builds a row evaluator for a bound expression honoring the
@@ -76,6 +80,13 @@ func writeTree(sb *strings.Builder, p SparkPlan, depth int) {
 		if est, has := ca.Estimate(); has {
 			sb.WriteString("  (")
 			sb.WriteString(est.EstString())
+			sb.WriteString(")")
+		}
+	}
+	if ma, ok := p.(MetricsAnnotated); ok {
+		if m := ma.Runtime(); m != nil {
+			sb.WriteString("  (")
+			sb.WriteString(m.ActualString())
 			sb.WriteString(")")
 		}
 	}

@@ -2,6 +2,7 @@ package physical
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/columnar"
 	"repro/internal/datasource"
@@ -14,6 +15,7 @@ import (
 // local relations, RDDs, ranges, data sources and the columnar cache.
 type ScanExec struct {
 	PlanEstimate
+	PlanMetrics
 	Name  string
 	Attrs []*expr.AttributeReference
 	// Build produces the RDD when executed.
@@ -41,50 +43,68 @@ func (s *ScanExec) String() string { return Format(s) }
 // NewLocalScan scans in-memory rows, splitting them across the default
 // parallelism.
 func NewLocalScan(attrs []*expr.AttributeReference, rows []row.Row) *ScanExec {
-	return &ScanExec{
-		Name:  "LocalRelation",
-		Attrs: attrs,
-		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] {
-			return rdd.Parallelize(ctx.RDD, rows, ctx.RDD.Parallelism())
-		},
+	s := &ScanExec{Name: "LocalRelation", Attrs: attrs}
+	s.Build = func(ctx *ExecContext) *rdd.RDD[row.Row] {
+		om := s.EnableMetrics(ctx.Metrics)
+		n := ctx.RDD.Parallelism()
+		total := len(rows)
+		return rdd.Generate(ctx.RDD, "parallelize", n, func(p int) []row.Row {
+			start := time.Now()
+			lo := total * p / n
+			hi := total * (p + 1) / n
+			out := make([]row.Row, hi-lo)
+			copy(out, rows[lo:hi])
+			om.RecordPartition(len(out), time.Since(start))
+			return out
+		})
 	}
+	return s
 }
 
 // NewRDDScan scans an existing row RDD (paper §3.5: the logical data scan
 // operator pointing to a native RDD).
 func NewRDDScan(attrs []*expr.AttributeReference, r *rdd.RDD[row.Row]) *ScanExec {
-	return &ScanExec{
-		Name:  "ExistingRDD",
-		Attrs: attrs,
-		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] { return r },
+	s := &ScanExec{Name: "ExistingRDD", Attrs: attrs}
+	s.Build = func(ctx *ExecContext) *rdd.RDD[row.Row] {
+		om := s.EnableMetrics(ctx.Metrics)
+		if om == nil {
+			return r
+		}
+		// The RDD pre-exists the scan; counting needs a pass-through stage.
+		return rdd.MapPartitions(r, func(_ int, in []row.Row) []row.Row {
+			om.RecordPartition(len(in), 0)
+			return in
+		})
 	}
+	return s
 }
 
 // NewRangeScan produces [start,end) by step across partitions.
 func NewRangeScan(attr *expr.AttributeReference, start, end, step int64, partitions int) *ScanExec {
-	return &ScanExec{
-		Name:  "Range",
-		Attrs: []*expr.AttributeReference{attr},
-		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] {
-			n := partitions
-			if n <= 0 {
-				n = ctx.RDD.Parallelism()
+	s := &ScanExec{Name: "Range", Attrs: []*expr.AttributeReference{attr}}
+	s.Build = func(ctx *ExecContext) *rdd.RDD[row.Row] {
+		om := s.EnableMetrics(ctx.Metrics)
+		n := partitions
+		if n <= 0 {
+			n = ctx.RDD.Parallelism()
+		}
+		total := (end - start + step - 1) / step
+		if total < 0 {
+			total = 0
+		}
+		return rdd.Generate(ctx.RDD, "range", n, func(p int) []row.Row {
+			t0 := time.Now()
+			lo := total * int64(p) / int64(n)
+			hi := total * int64(p+1) / int64(n)
+			out := make([]row.Row, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, row.Row{start + i*step})
 			}
-			total := (end - start + step - 1) / step
-			if total < 0 {
-				total = 0
-			}
-			return rdd.Generate(ctx.RDD, "range", n, func(p int) []row.Row {
-				lo := total * int64(p) / int64(n)
-				hi := total * int64(p+1) / int64(n)
-				out := make([]row.Row, 0, hi-lo)
-				for i := lo; i < hi; i++ {
-					out = append(out, row.Row{start + i*step})
-				}
-				return out
-			})
-		},
+			om.RecordPartition(len(out), time.Since(t0))
+			return out
+		})
 	}
+	return s
 }
 
 // NewSourceScan scans a data source relation through the smartest interface
@@ -101,18 +121,21 @@ func NewSourceScan(name string, attrs []*expr.AttributeReference, rel datasource
 	if len(predicates) > 0 {
 		detail += fmt.Sprintf("pushedExprs=%v", predicates)
 	}
-	return &ScanExec{
-		Name:   "Source " + name,
-		Attrs:  attrs,
-		Detail: detail,
-		Build: func(ctx *ExecContext) *rdd.RDD[row.Row] {
-			scan, err := openScan(rel, attrs, cols, filters, predicates)
-			if err != nil {
-				panic(fmt.Sprintf("physical: opening scan of %s: %v", name, err))
-			}
-			return rdd.Generate(ctx.RDD, "scan:"+name, scan.NumPartitions, scan.Partition)
-		},
+	s := &ScanExec{Name: "Source " + name, Attrs: attrs, Detail: detail}
+	s.Build = func(ctx *ExecContext) *rdd.RDD[row.Row] {
+		om := s.EnableMetrics(ctx.Metrics)
+		scan, err := openScan(rel, attrs, cols, filters, predicates)
+		if err != nil {
+			panic(fmt.Sprintf("physical: opening scan of %s: %v", name, err))
+		}
+		return rdd.Generate(ctx.RDD, "scan:"+name, scan.NumPartitions, func(p int) []row.Row {
+			t0 := time.Now()
+			out := scan.Partition(p)
+			om.RecordPartition(len(out), time.Since(t0))
+			return out
+		})
 	}
+	return s
 }
 
 // openScan picks the best scan interface available for the pushdown set.
@@ -145,6 +168,7 @@ func openScan(rel datasource.Relation, attrs []*expr.AttributeReference,
 // batch-at-a-time path.
 type InMemoryScanExec struct {
 	PlanEstimate
+	PlanMetrics
 	Attrs []*expr.AttributeReference
 	Table *columnar.CachedTable
 	// Ordinals maps each output position to its cached column (nil = all
@@ -167,8 +191,12 @@ func (s *InMemoryScanExec) WithNewChildren(children []SparkPlan) SparkPlan {
 func (s *InMemoryScanExec) Output() []*expr.AttributeReference { return s.Attrs }
 func (s *InMemoryScanExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	table, ordinals, keep := s.Table, s.Ordinals, s.Keep
+	om := s.EnableMetrics(ctx.Metrics)
 	return rdd.Generate(ctx.RDD, "cacheScan", len(table.Partitions), func(p int) []row.Row {
-		return table.ScanPartition(p, ordinals, keep)
+		t0 := time.Now()
+		out := table.ScanPartition(p, ordinals, keep)
+		om.RecordPartition(len(out), time.Since(t0))
+		return out
 	})
 }
 func (s *InMemoryScanExec) SimpleString() string {

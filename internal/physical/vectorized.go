@@ -2,6 +2,7 @@ package physical
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/columnar"
 	"repro/internal/expr"
@@ -24,6 +25,7 @@ import (
 // row-at-a-time semantics through PipelineExec).
 type VectorizedPipelineExec struct {
 	PlanEstimate
+	PlanMetrics
 	// Stages are listed bottom (first applied) to top, as in PipelineExec.
 	Stages []stage
 	Scan   *InMemoryScanExec
@@ -122,10 +124,16 @@ func markBoundRefs(e expr.Expression, used []bool) {
 
 func (v *VectorizedPipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	if !ctx.Vectorized {
-		// The knob is off: run the exact row-at-a-time pipeline.
-		return (&PipelineExec{Stages: v.Stages, Child: v.Scan}).Execute(ctx)
+		// The knob is off: run the exact row-at-a-time pipeline, sharing
+		// this node's metrics so EXPLAIN ANALYZE annotates the tree it
+		// printed rather than the transient fallback node.
+		pipe := &PipelineExec{Stages: v.Stages, Child: v.Scan}
+		pipe.PlanMetrics.m = v.EnableMetrics(ctx.Metrics)
+		return pipe.Execute(ctx)
 	}
 	scan := v.Scan
+	om := v.EnableMetrics(ctx.Metrics)
+	scanOM := scan.EnableMetrics(ctx.Metrics)
 	stages, used, _ := compileVecStages(v.Stages, scan.Attrs)
 
 	// Per scan output position: the cached column ordinal to decode (-1 if
@@ -147,10 +155,17 @@ func (v *VectorizedPipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 
 	table, keep := scan.Table, scan.Keep
 	return rdd.Generate(ctx.RDD, "cacheScanVec", len(table.Partitions), func(p int) []row.Row {
+		start := time.Now()
 		var out []row.Row
 		for _, b := range table.Partitions[p] {
 			if keep != nil && !keep(b.Stats) {
 				continue
+			}
+			// The scan's rows are never materialized on this path; credit it
+			// with the batches and decoded row counts it fed the pipeline.
+			scanOM.RecordBatch(b.NumRows)
+			if om != nil {
+				om.Batches.Add(1)
 			}
 			batch := &expr.VecBatch{Cols: b.DecodeBatch(colTypes, eff), N: b.NumRows}
 			live := make([]int32, b.NumRows)
@@ -179,6 +194,7 @@ func (v *VectorizedPipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 				out = append(out, r)
 			}
 		}
+		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
 }

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Context owns the executor and engine-wide metrics — the SparkContext of
@@ -31,13 +33,24 @@ import (
 type Context struct {
 	parallelism int
 
-	// metrics
-	tasksRun            atomic.Int64
-	taskRetries         atomic.Int64
-	recomputes          atomic.Int64
-	shuffleRecords      atomic.Int64
-	speculativeLaunches atomic.Int64
-	speculativeWins     atomic.Int64
+	// registry holds every engine counter under the "rdd." scope; trace is
+	// the in-memory event log of job/stage/task/shuffle spans (nil when
+	// tracing is off — all append paths are nil-safe). jobSeq numbers
+	// top-level actions so all spans of one action share a job id.
+	registry *metrics.Registry
+	trace    atomic.Pointer[metrics.TraceBuffer]
+	jobSeq   atomic.Int64
+
+	// executor counters, held as resolved registry handles so the hot path
+	// stays a single atomic add; the accessor methods below preserve the
+	// pre-registry API.
+	tasksRun            *metrics.Counter
+	taskRetries         *metrics.Counter
+	recomputes          *metrics.Counter
+	shuffleRecords      *metrics.Counter
+	shuffleBytes        *metrics.Counter
+	speculativeLaunches *metrics.Counter
+	speculativeWins     *metrics.Counter
 
 	mu sync.Mutex
 	// failureHook, when set, lets tests inject task failures: return an
@@ -76,17 +89,72 @@ func NewContext(parallelism int) *Context {
 	if parallelism < 1 {
 		parallelism = 1
 	}
-	return &Context{
-		parallelism:    parallelism,
-		backoffBase:    defaultBackoffBase,
-		backoffMax:     defaultBackoffMax,
-		specMultiplier: defaultSpecMult,
-		specMin:        defaultSpecMin,
+	reg := metrics.NewRegistry()
+	s := reg.Scoped("rdd")
+	c := &Context{
+		parallelism:         parallelism,
+		registry:            reg,
+		tasksRun:            s.Counter("tasks.run"),
+		taskRetries:         s.Counter("tasks.retries"),
+		recomputes:          s.Counter("cache.recomputes"),
+		shuffleRecords:      s.Counter("shuffle.records"),
+		shuffleBytes:        s.Counter("shuffle.bytes"),
+		speculativeLaunches: s.Counter("speculation.launches"),
+		speculativeWins:     s.Counter("speculation.wins"),
+		backoffBase:         defaultBackoffBase,
+		backoffMax:          defaultBackoffMax,
+		specMultiplier:      defaultSpecMult,
+		specMin:             defaultSpecMin,
 	}
+	c.trace.Store(metrics.NewTraceBuffer(0))
+	return c
 }
 
 // Parallelism returns the task concurrency.
 func (c *Context) Parallelism() int { return c.parallelism }
+
+// Metrics returns the engine-wide metrics registry shared by every
+// subsystem that hangs off this context.
+func (c *Context) Metrics() *metrics.Registry { return c.registry }
+
+// Trace returns the span buffer — the in-memory event log — or nil when
+// tracing is disabled.
+func (c *Context) Trace() *metrics.TraceBuffer { return c.trace.Load() }
+
+// SetTracing enables or disables span collection. Disabling drops the
+// buffered spans; counters are unaffected.
+func (c *Context) SetTracing(enabled bool) {
+	if enabled {
+		if c.trace.Load() == nil {
+			c.trace.Store(metrics.NewTraceBuffer(0))
+		}
+	} else {
+		c.trace.Store(nil)
+	}
+}
+
+// jobIDKey carries the action's job id through job contexts so nested
+// stages (shuffle map sides, broadcast builds) trace under the same job.
+type jobIDKey struct{}
+
+func jobIDFrom(jc context.Context) (int64, bool) {
+	id, ok := jc.Value(jobIDKey{}).(int64)
+	return id, ok
+}
+
+// beginJob tags jc with a fresh job id when it does not already carry one.
+// The bool reports whether this call opened the job (i.e. is the top-level
+// action and should emit the job span).
+func (c *Context) beginJob(jc context.Context) (context.Context, int64, bool) {
+	if jc == nil {
+		jc = context.Background()
+	}
+	if id, ok := jobIDFrom(jc); ok {
+		return jc, id, false
+	}
+	id := c.jobSeq.Add(1)
+	return context.WithValue(jc, jobIDKey{}, id), id, true
+}
 
 // TasksRun returns the number of task executions (including retries).
 func (c *Context) TasksRun() int64 { return c.tasksRun.Load() }
@@ -100,6 +168,10 @@ func (c *Context) Recomputes() int64 { return c.recomputes.Load() }
 
 // ShuffleRecords returns the number of records moved through shuffles.
 func (c *Context) ShuffleRecords() int64 { return c.shuffleRecords.Load() }
+
+// ShuffleBytes returns the estimated (sampled) bytes moved through
+// shuffles; zero when the record type cannot report sizes.
+func (c *Context) ShuffleBytes() int64 { return c.shuffleBytes.Load() }
 
 // SpeculativeLaunches returns how many backup task attempts were started
 // for suspected stragglers.
@@ -319,6 +391,8 @@ func (r *RDD[T]) isCached() bool {
 // exponential backoff and retries, up to maxTaskAttempts. Cancellation and
 // nested terminal JobErrors short-circuit the retry loop.
 func (r *RDD[T]) runTask(jc context.Context, p, firstAttempt int) ([]T, error) {
+	jobID, _ := jobIDFrom(jc)
+	tb := r.ctx.Trace()
 	var lastErr error
 	for retry := 0; retry < maxTaskAttempts; retry++ {
 		attempt := firstAttempt + retry
@@ -330,7 +404,25 @@ func (r *RDD[T]) runTask(jc context.Context, p, firstAttempt int) ([]T, error) {
 			return nil, err
 		}
 		r.ctx.tasksRun.Add(1)
+		start := time.Now()
 		out, err := r.attemptOnce(jc, p, attempt)
+		if tb != nil {
+			span := metrics.Span{
+				Kind:        metrics.SpanTask,
+				Name:        r.name,
+				Job:         jobID,
+				Partition:   p,
+				Attempt:     attempt,
+				Speculative: firstAttempt > maxTaskAttempts,
+				Start:       metrics.Since(start),
+				DurNS:       time.Since(start).Nanoseconds(),
+				Records:     int64(len(out)),
+			}
+			if err != nil {
+				span.Err = err.Error()
+			}
+			tb.Append(span)
+		}
 		if err == nil {
 			return out, nil
 		}
@@ -425,12 +517,12 @@ func (rec *runRecorder) median() (time.Duration, bool) {
 // speculation enabled, partitions running far beyond the median completed
 // time get a backup attempt, first finisher wins.
 func (r *RDD[T]) computeAll(jc context.Context) ([][]T, error) {
-	if jc == nil {
-		jc = context.Background()
-	}
+	jc, jobID, _ := r.ctx.beginJob(jc)
 	runCtx, cancel := context.WithCancel(jc)
 	defer cancel()
 
+	stageStart := time.Now()
+	var queuedNS atomic.Int64 // total time partitions waited for a slot
 	out := make([][]T, r.numPart)
 	sem := make(chan struct{}, r.ctx.parallelism)
 	var wg sync.WaitGroup
@@ -452,10 +544,12 @@ func (r *RDD[T]) computeAll(jc context.Context) ([][]T, error) {
 		if runCtx.Err() != nil {
 			break
 		}
+		semWait := time.Now()
 		select {
 		case sem <- struct{}{}:
 		case <-runCtx.Done():
 		}
+		queuedNS.Add(time.Since(semWait).Nanoseconds())
 		if runCtx.Err() != nil {
 			break
 		}
@@ -476,10 +570,28 @@ func (r *RDD[T]) computeAll(jc context.Context) ([][]T, error) {
 	failMu.Lock()
 	err := firstErr
 	failMu.Unlock()
-	if err != nil {
-		return nil, err
+	if err == nil {
+		err = jc.Err()
 	}
-	if err := jc.Err(); err != nil {
+	if tb := r.ctx.Trace(); tb != nil {
+		span := metrics.Span{
+			Kind:     metrics.SpanStage,
+			Name:     r.name,
+			Job:      jobID,
+			Start:    metrics.Since(stageStart),
+			QueuedNS: queuedNS.Load(),
+			DurNS:    time.Since(stageStart).Nanoseconds(),
+		}
+		if err != nil {
+			span.Err = err.Error()
+		} else {
+			for _, part := range out {
+				span.Records += int64(len(part))
+			}
+		}
+		tb.Append(span)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -559,11 +671,38 @@ func (r *RDD[T]) Collect() ([]T, error) {
 	return r.CollectContext(context.Background())
 }
 
+// emitJobSpan records the end-to-end span of one top-level action.
+func (r *RDD[T]) emitJobSpan(job int64, action string, start time.Time, parts [][]T, err error) {
+	tb := r.ctx.Trace()
+	if tb == nil {
+		return
+	}
+	span := metrics.Span{
+		Kind:  metrics.SpanJob,
+		Name:  action + ":" + r.name,
+		Job:   job,
+		Start: metrics.Since(start),
+		DurNS: time.Since(start).Nanoseconds(),
+	}
+	for _, p := range parts {
+		span.Records += int64(len(p))
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	tb.Append(span)
+}
+
 // CollectContext is Collect under a job context: cancelling jc (or its
 // deadline expiring) cancels the job's pending and in-flight tasks and
 // returns the context's error.
 func (r *RDD[T]) CollectContext(jc context.Context) ([]T, error) {
+	jc, jobID, top := r.ctx.beginJob(jc)
+	start := time.Now()
 	parts, err := r.computeAll(jc)
+	if top {
+		r.emitJobSpan(jobID, "collect", start, parts, err)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -585,7 +724,12 @@ func (r *RDD[T]) Count() (int64, error) {
 
 // CountContext is Count under a job context.
 func (r *RDD[T]) CountContext(jc context.Context) (int64, error) {
+	jc, jobID, top := r.ctx.beginJob(jc)
+	start := time.Now()
 	parts, err := r.computeAll(jc)
+	if top {
+		r.emitJobSpan(jobID, "count", start, parts, err)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -604,7 +748,12 @@ func (r *RDD[T]) ForeachPartition(f func(p int, data []T)) error {
 
 // ForeachPartitionContext is ForeachPartition under a job context.
 func (r *RDD[T]) ForeachPartitionContext(jc context.Context, f func(p int, data []T)) error {
+	jc, jobID, top := r.ctx.beginJob(jc)
+	start := time.Now()
 	parts, err := r.computeAll(jc)
+	if top {
+		r.emitJobSpan(jobID, "foreach", start, parts, err)
+	}
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Wide (shuffle) dependencies. A shuffle materializes the map side once —
@@ -160,6 +163,37 @@ func (st *shuffleState[T]) materialize(jc context.Context, build func(context.Co
 	return st.buckets, st.err
 }
 
+// objectSized is implemented by record types that can report an
+// approximate in-memory size (row.Row does); shuffle byte accounting
+// samples it rather than sizing every record.
+type objectSized interface{ ObjectSize() int64 }
+
+// sampledSize estimates the total bytes of parts by sizing up to 32 records
+// per partition and extrapolating linearly; it returns 0 when the record
+// type cannot report sizes.
+func sampledSize[T any](parts [][]T) int64 {
+	var total int64
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		k := len(part)
+		if k > 32 {
+			k = 32
+		}
+		var s int64
+		for i := 0; i < k; i++ {
+			sz, ok := any(part[i]).(objectSized)
+			if !ok {
+				return 0
+			}
+			s += sz.ObjectSize()
+		}
+		total += s * int64(len(part)) / int64(k)
+	}
+	return total
+}
+
 // shuffled builds the reduce-side RDD over a lazily materialized map side.
 func shuffled[T any](parent *RDD[T], name string, numPartitions int, bucket func(T) int) *RDD[T] {
 	st := &shuffleState[T]{}
@@ -169,7 +203,27 @@ func shuffled[T any](parent *RDD[T], name string, numPartitions int, bucket func
 			if err != nil {
 				return nil, err
 			}
-			return bucketize(jc, parent.ctx, parts, numPartitions, bucket)
+			start := time.Now()
+			buckets, berr := bucketize(jc, parent.ctx, parts, numPartitions, bucket)
+			if tb := parent.ctx.Trace(); tb != nil {
+				span := metrics.Span{
+					Kind:  metrics.SpanShuffle,
+					Name:  name,
+					Start: metrics.Since(start),
+					DurNS: time.Since(start).Nanoseconds(),
+					Bytes: sampledSize(parts),
+				}
+				span.Job, _ = jobIDFrom(jc)
+				for _, part := range parts {
+					span.Records += int64(len(part))
+				}
+				parent.ctx.shuffleBytes.Add(span.Bytes)
+				if berr != nil {
+					span.Err = berr.Error()
+				}
+				tb.Append(span)
+			}
+			return buckets, berr
 		})
 		if err != nil {
 			return nil, err

@@ -43,12 +43,23 @@ type AnalyzeTable struct {
 func (*AnalyzeTable) isStatement() {}
 
 // ExplainStatement is EXPLAIN <query>: instead of running the query it
-// returns the annotated plan phases as rows.
+// returns the annotated plan phases as rows. With Analyze set (EXPLAIN
+// ANALYZE <query>) the query *does* run, instrumented, and every physical
+// node is additionally annotated with the actual rows and wall time it
+// produced next to the optimizer's estimate.
 type ExplainStatement struct {
-	Plan plan.LogicalPlan
+	Plan    plan.LogicalPlan
+	Analyze bool
 }
 
 func (*ExplainStatement) isStatement() {}
+
+// ShowMetrics is SHOW METRICS: it returns the engine's metrics registry —
+// every counter, gauge and histogram accumulated since the context was
+// built — as (metric, value) rows.
+type ShowMetrics struct{}
+
+func (*ShowMetrics) isStatement() {}
 
 // Parse parses a single SQL statement.
 func Parse(sql string) (Statement, error) {
@@ -155,6 +166,7 @@ var nonReserved = map[string]bool{
 	"DOUBLE": true, "FLOAT": true, "STRING": true, "BOOLEAN": true,
 	"DATE": true, "TIMESTAMP": true, "DECIMAL": true, "OPTIONS": true,
 	"TABLE": true, "ALL": true, "COMPUTE": true, "STATISTICS": true,
+	"METRICS": true, "SHOW": true,
 	// END doubles as a column name (the paper's §7.2 range join uses
 	// a.end); CASE expressions still terminate correctly because END is
 	// only read as a name where an expression may start or after a dot.
@@ -200,11 +212,19 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseAnalyzeTable()
 	}
 	if p.acceptKeyword("EXPLAIN") {
+		analyze := p.acceptKeyword("ANALYZE")
 		lp, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStatement{Plan: lp}, nil
+		return &ExplainStatement{Plan: lp, Analyze: analyze}, nil
+	}
+	if p.atKeyword("SHOW") {
+		p.advance()
+		if err := p.expectKeyword("METRICS"); err != nil {
+			return nil, err
+		}
+		return &ShowMetrics{}, nil
 	}
 	lp, err := p.parseSelect()
 	if err != nil {

@@ -404,11 +404,58 @@ func TestParseExplain(t *testing.T) {
 	if _, err := Parse("EXPLAIN"); err == nil {
 		t.Error("bare EXPLAIN should fail")
 	}
+	if ex.Analyze {
+		t.Error("plain EXPLAIN must not set Analyze")
+	}
+}
+
+func TestParseExplainAnalyze(t *testing.T) {
+	stmt, err := Parse("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStatement)
+	if !ok {
+		t.Fatalf("stmt = %T, want *ExplainStatement", stmt)
+	}
+	if !ex.Analyze {
+		t.Error("EXPLAIN ANALYZE must set Analyze")
+	}
+	if _, ok := ex.Plan.(*plan.Project); !ok {
+		t.Fatalf("explained plan = %T", ex.Plan)
+	}
+	if _, err := Parse("EXPLAIN ANALYZE"); err == nil {
+		t.Error("EXPLAIN ANALYZE without a query should fail")
+	}
+}
+
+func TestParseShowMetrics(t *testing.T) {
+	stmt, err := Parse("SHOW METRICS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*ShowMetrics); !ok {
+		t.Fatalf("stmt = %T, want *ShowMetrics", stmt)
+	}
+	if _, err := Parse("SHOW"); err == nil {
+		t.Error("bare SHOW should fail")
+	}
+	if _, err := Parse("SHOW METRICS extra"); err == nil {
+		t.Error("trailing input after SHOW METRICS should fail")
+	}
 }
 
 // COMPUTE and STATISTICS stay usable as column names.
 func TestAnalyzeKeywordsNonReserved(t *testing.T) {
 	lp := parseQuery(t, "SELECT compute, statistics FROM t")
+	if len(lp.(*plan.Project).List) != 2 {
+		t.Fatalf("plan = %v", lp)
+	}
+}
+
+// SHOW and METRICS stay usable as column names.
+func TestShowMetricsKeywordsNonReserved(t *testing.T) {
+	lp := parseQuery(t, "SELECT show, metrics FROM t")
 	if len(lp.(*plan.Project).List) != 2 {
 		t.Fatalf("plan = %v", lp)
 	}

@@ -19,13 +19,19 @@ package sqlserver
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	sparksql "repro"
+	"repro/internal/metrics"
+	"repro/internal/rdd"
 	"repro/internal/row"
 )
 
@@ -37,15 +43,44 @@ type Server struct {
 	// QueryTimeout bounds each query's execution (0 = unlimited): on
 	// expiry the query's tasks are cancelled and the client gets ERR.
 	QueryTimeout time.Duration
+	// Logger receives one structured record per statement: query id, plan
+	// hash, elapsed time, and rows returned or the error — with the failing
+	// stage, partition, attempt count and root cause unwrapped from a
+	// *rdd.JobError when the failure came from task execution. Defaults to
+	// slog.Default().
+	Logger *slog.Logger
+
+	// querySeq numbers statements across all connections for log
+	// correlation.
+	querySeq atomic.Int64
+	// server-scope metrics, resolved once from the engine registry.
+	mQueries *metrics.Counter
+	mErrors  *metrics.Counter
+	mLatency *metrics.Histogram
 
 	mu       sync.Mutex
 	listener net.Listener
+	httpL    net.Listener
 	closed   bool
 }
 
 // New builds a server over a context.
 func New(ctx *sparksql.Context) *Server {
-	return &Server{ctx: ctx, MaxRows: 10_000}
+	scope := ctx.Metrics().Scoped("server")
+	return &Server{
+		ctx:      ctx,
+		MaxRows:  10_000,
+		mQueries: scope.Counter("queries"),
+		mErrors:  scope.Counter("errors"),
+		mLatency: scope.Histogram("query.micros"),
+	}
+}
+
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
 }
 
 // Serve accepts connections until the listener closes.
@@ -79,15 +114,50 @@ func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
 	return l.Addr(), nil
 }
 
-// Close stops accepting connections.
+// Close stops accepting connections (SQL and metrics listeners both).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	if s.httpL != nil {
+		s.httpL.Close()
+	}
 	if s.listener != nil {
 		return s.listener.Close()
 	}
 	return nil
+}
+
+// MetricsHandler serves the engine's observability surfaces over HTTP:
+// GET /metrics returns the registry as plain text (one metric per line,
+// histograms expanded into _count/_sum/_min/_max/_p50/_p99), and
+// GET /trace returns the span buffer — the in-memory event log — as JSONL,
+// one job/stage/task/shuffle span per line.
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.ctx.Metrics().WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		s.ctx.Trace().ExportJSONL(w)
+	})
+	return mux
+}
+
+// ListenAndServeMetrics exposes MetricsHandler on addr ("127.0.0.1:0" for
+// an ephemeral port) and reports the bound address.
+func (s *Server) ListenAndServeMetrics(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.httpL = l
+	s.mu.Unlock()
+	go http.Serve(l, s.MetricsHandler())
+	return l.Addr(), nil
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -107,32 +177,87 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// execute runs one statement. A panic anywhere in parsing, planning or
-// execution is confined to this query: the client gets an ERR line and the
-// connection (and server) stay usable. Task failures arrive as ordinary
-// errors from Collect; this recover is the last line of defense for
-// non-task panics (e.g. a misbehaving UDF evaluated at plan time).
+// execute runs one statement, writes the protocol response, updates the
+// server metrics and emits one structured query-log record.
 func (s *Server) execute(out *bufio.Writer, query string) {
+	qid := s.querySeq.Add(1)
+	start := time.Now()
+	planHash, nrows, err := s.runQuery(out, query)
+	elapsed := time.Since(start)
+	s.mQueries.Inc()
+	s.mLatency.Observe(elapsed.Microseconds())
+	if err != nil {
+		s.mErrors.Inc()
+	}
+	s.logQuery(qid, query, planHash, elapsed, nrows, err)
+}
+
+// logQuery is the structured query log — the replacement for opaque ERR
+// strings: every statement gets a record with its id, plan fingerprint and
+// latency, and failures additionally carry the failing stage, partition,
+// attempt count and root cause when the error chain holds a *rdd.JobError.
+func (s *Server) logQuery(qid int64, query string, planHash uint64, elapsed time.Duration, rows int, err error) {
+	attrs := []any{
+		slog.Int64("query_id", qid),
+		slog.String("query", sanitize(query)),
+		slog.String("plan_hash", fmt.Sprintf("%016x", planHash)),
+		slog.Duration("elapsed", elapsed),
+	}
+	if err == nil {
+		s.logger().Info("query ok", append(attrs, slog.Int("rows", rows))...)
+		return
+	}
+	attrs = append(attrs, slog.String("error", err.Error()))
+	var je *rdd.JobError
+	if errors.As(err, &je) {
+		attrs = append(attrs,
+			slog.String("failed_stage", je.RDDName),
+			slog.Int("partition", je.Partition),
+			slog.Int("attempts", je.Attempts),
+			slog.String("cause", fmt.Sprint(je.Cause)),
+		)
+	}
+	s.logger().Error("query failed", attrs...)
+}
+
+// runQuery executes one statement and writes the protocol response; the
+// returned plan hash, row count and error feed the query log. A panic
+// anywhere in parsing, planning or execution is confined to this query:
+// the client gets an ERR line and the connection (and server) stay usable.
+// Task failures arrive as ordinary errors from Collect; the recover is the
+// last line of defense for non-task panics (e.g. a misbehaving UDF
+// evaluated at plan time).
+func (s *Server) runQuery(out *bufio.Writer, query string) (planHash uint64, nrows int, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			writeErr(out, fmt.Errorf("panic while executing query: %v", rec))
+			err = fmt.Errorf("panic while executing query: %v", rec)
+			writeErr(out, err)
 		}
 	}()
+	// The /metrics line command is an alias for SHOW METRICS, so plain
+	// netcat sessions can inspect the engine without SQL.
+	if query == "/metrics" {
+		query = "SHOW METRICS"
+	}
 	df, err := s.ctx.SQL(query)
 	if err != nil {
 		writeErr(out, err)
-		return
+		return 0, 0, err
 	}
 	cols := df.Columns()
 	if len(cols) == 0 { // DDL
 		fmt.Fprintf(out, "OK 0 0\n\n")
-		return
+		return 0, 0, nil
+	}
+	if planHash, err = df.PlanHash(); err != nil {
+		writeErr(out, err)
+		return 0, 0, err
 	}
 	if s.MaxRows > 0 {
 		df, err = df.Limit(s.MaxRows)
 		if err != nil {
 			writeErr(out, err)
-			return
+			return planHash, 0, err
 		}
 	}
 	qc := context.Background()
@@ -144,7 +269,7 @@ func (s *Server) execute(out *bufio.Writer, query string) {
 	rows, err := df.CollectContext(qc)
 	if err != nil {
 		writeErr(out, err)
-		return
+		return planHash, 0, err
 	}
 	fmt.Fprintf(out, "OK %d %d\n", len(cols), len(rows))
 	out.WriteString(strings.Join(cols, "\t"))
@@ -159,6 +284,7 @@ func (s *Server) execute(out *bufio.Writer, query string) {
 		out.WriteByte('\n')
 	}
 	out.WriteByte('\n')
+	return planHash, len(rows), nil
 }
 
 func writeErr(out *bufio.Writer, err error) {

@@ -1,6 +1,13 @@
 package sqlserver
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -253,6 +260,183 @@ func TestQueryTimeout(t *testing.T) {
 	// Queries under the timeout still work on the same connection.
 	if res, err := c.Query("SELECT count(*) FROM people"); err != nil || res.Rows[0][0] != "4" {
 		t.Fatalf("server unusable after timeout: %v %v", res, err)
+	}
+}
+
+// SHOW METRICS (and its /metrics line-command alias) exposes the engine
+// registry over the wire: after one query the executor's task counter and
+// the server's own query counter are visible and non-zero.
+func TestShowMetricsOverTheWire(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query("SELECT count(*) FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{"SHOW METRICS", "/metrics"} {
+		res, err := c.Query(cmd)
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if len(res.Columns) != 2 || res.Columns[0] != "metric" || res.Columns[1] != "value" {
+			t.Fatalf("%s cols = %v", cmd, res.Columns)
+		}
+		vals := map[string]string{}
+		for _, r := range res.Rows {
+			vals[r[0]] = r[1]
+		}
+		if v := vals["rdd.tasks.run"]; v == "" || v == "0" {
+			t.Fatalf("%s: rdd.tasks.run = %q after a query", cmd, v)
+		}
+		if v := vals["server.queries"]; v == "" || v == "0" {
+			t.Fatalf("%s: server.queries = %q", cmd, v)
+		}
+		if v := vals["server.query.micros_count"]; v == "" || v == "0" {
+			t.Fatalf("%s: latency histogram missing: %q", cmd, v)
+		}
+	}
+}
+
+// The HTTP side serves /metrics as plain text and /trace as a JSONL span
+// log whose records round-trip as JSON.
+func TestMetricsHTTPEndpoint(t *testing.T) {
+	srv, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("SELECT count(*) FROM people"); err != nil {
+		t.Fatal(err)
+	}
+
+	haddr, err := srv.ListenAndServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + haddr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	text := get("/metrics")
+	for _, want := range []string{"rdd.tasks.run ", "server.queries "} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	trace := get("/trace")
+	if strings.TrimSpace(trace) == "" {
+		t.Fatal("/trace is empty after a query")
+	}
+	sc := bufio.NewScanner(strings.NewReader(trace))
+	kinds := map[string]bool{}
+	for sc.Scan() {
+		var span struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			t.Fatalf("trace line not JSON: %v: %s", err, sc.Text())
+		}
+		kinds[span.Kind] = true
+	}
+	for _, want := range []string{"job", "stage", "task"} {
+		if !kinds[want] {
+			t.Fatalf("/trace missing %q spans (have %v)", want, kinds)
+		}
+	}
+}
+
+// Every statement emits one structured query-log record: successes carry
+// query id, plan hash and row count; task failures additionally carry the
+// failing stage, partition, attempts and root cause unwrapped from the
+// *rdd.JobError chain — the satellite fix for the bare ERR strings.
+func TestStructuredQueryLog(t *testing.T) {
+	ctx := sparksql.NewContext()
+	df, err := ctx.CreateDataFrame(
+		sparksql.StructType{}.Add("name", sparksql.StringType, false),
+		[]sparksql.Row{{"Alice"}, {"Bob"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.RegisterTempTable("people")
+	if err := ctx.RegisterUDF("poison", func(s string) string { panic("poisoned UDF") }); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	srv := New(ctx)
+	srv.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query("SELECT name FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT poison(name) FROM people"); err == nil {
+		t.Fatal("poisoned query must fail")
+	}
+
+	type record struct {
+		Msg         string  `json:"msg"`
+		QueryID     int64   `json:"query_id"`
+		PlanHash    string  `json:"plan_hash"`
+		Rows        float64 `json:"rows"`
+		Error       string  `json:"error"`
+		FailedStage string  `json:"failed_stage"`
+		Attempts    float64 `json:"attempts"`
+		Cause       string  `json:"cause"`
+	}
+	var recs []record
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("log line not JSON: %v: %s", err, sc.Text())
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("want 2 log records, got %d", len(recs))
+	}
+	ok, fail := recs[0], recs[1]
+	if ok.Msg != "query ok" || ok.Rows != 2 || ok.QueryID == 0 {
+		t.Fatalf("success record = %+v", ok)
+	}
+	if ok.PlanHash == "" || ok.PlanHash == fmt.Sprintf("%016x", 0) {
+		t.Fatalf("success record lacks a plan hash: %+v", ok)
+	}
+	if fail.Msg != "query failed" || fail.QueryID != ok.QueryID+1 {
+		t.Fatalf("failure record = %+v", fail)
+	}
+	if fail.FailedStage == "" || fail.Attempts == 0 {
+		t.Fatalf("failure record lacks JobError context: %+v", fail)
+	}
+	if !strings.Contains(fail.Cause, "poisoned UDF") {
+		t.Fatalf("failure record lacks the root cause: %+v", fail)
 	}
 }
 

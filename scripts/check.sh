@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Full local gate: vet, build, race-enabled tests, and a one-iteration
+# Full local gate: vet, build, race-enabled tests, a one-iteration
 # smoke pass over every benchmark so perf regressions that *crash* are
-# caught even when nobody reads the numbers.
+# caught even when nobody reads the numbers, and the metrics-overhead
+# gate: fail if instrumented Q1 throughput regresses more than 5%
+# against a metrics-off engine on either execution path.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +12,4 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run '^$' -bench . -benchtime 1x ./...
+PERF_GATE=1 go test -run '^TestMetricsOverheadGate$' -v ./internal/experiments/

@@ -30,6 +30,7 @@ import (
 	"repro/internal/datasource/csvds"
 	"repro/internal/datasource/jsonds"
 	"repro/internal/expr"
+	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/plan"
@@ -115,6 +116,12 @@ type Config struct {
 	Speculation bool
 	// SpeculationMultiplier is the straggler threshold (0 = default 3x).
 	SpeculationMultiplier float64
+	// Metrics enables per-operator instrumentation (rows, batches, build
+	// sizes, wall time per exec node) read back by EXPLAIN ANALYZE. The
+	// cost is a few atomic adds per partition — never per row — so it is
+	// on by default; EXPLAIN ANALYZE forces it on for its own run even
+	// when disabled here.
+	Metrics bool
 }
 
 // DefaultConfig enables the full Spark SQL feature set.
@@ -127,6 +134,7 @@ func DefaultConfig() Config {
 		PipelineCollapse:    true,
 		Vectorized:          true,
 		BroadcastThreshold:  10 << 20,
+		Metrics:             true,
 	}
 }
 
@@ -164,6 +172,7 @@ func (c Config) toCore() core.Config {
 		QueryTimeout:          c.QueryTimeout,
 		Speculation:           c.Speculation,
 		SpeculationMultiplier: c.SpeculationMultiplier,
+		Metrics:               c.Metrics,
 	}
 }
 
@@ -229,7 +238,12 @@ func (c *Context) SQL(query string) (*DataFrame, error) {
 		if err != nil {
 			return nil, err
 		}
-		text, err := df.Explain()
+		var text string
+		if s.Analyze {
+			text, err = df.ExplainAnalyze()
+		} else {
+			text, err = df.Explain()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -240,6 +254,8 @@ func (c *Context) SQL(query string) (*DataFrame, error) {
 		}
 		schema := types.NewStruct(types.StructField{Name: "plan", Type: types.String, Nullable: false})
 		return c.CreateDataFrame(schema, rows)
+	case *sqlparser.ShowMetrics:
+		return c.metricsFrame()
 	case *sqlparser.CreateTempTable:
 		if s.AsSelect != nil {
 			df, err := c.newDataFrame(s.AsSelect)
@@ -293,6 +309,39 @@ func (c *Context) AnalyzeTable(name string) error {
 		return fmt.Errorf("sparksql: ANALYZE TABLE %q: table is a view, not a base relation", name)
 	}
 	return nil
+}
+
+// Metrics returns the engine-wide metrics registry: every counter, gauge
+// and histogram the rdd executor, shuffles and SQL server record. Shared
+// with SHOW METRICS and the server's /metrics endpoint.
+func (c *Context) Metrics() *metrics.Registry { return c.engine.RDDCtx.Metrics() }
+
+// Trace returns the in-memory span buffer (job/stage/task/shuffle events)
+// — the reproduction's Spark event log — or nil when tracing is disabled
+// via RDDContext().SetTracing(false).
+func (c *Context) Trace() *metrics.TraceBuffer { return c.engine.RDDCtx.Trace() }
+
+// metricsFrame renders the registry as (metric, value) rows — the result
+// of SHOW METRICS. Histograms expand into _count/_sum/_min/_max/_p50/_p99
+// pseudo-metrics, matching the /metrics text endpoint line for line.
+func (c *Context) metricsFrame() (*DataFrame, error) {
+	var buf strings.Builder
+	if err := c.Metrics().WriteText(&buf); err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		name, value, _ := strings.Cut(line, " ")
+		rows = append(rows, Row{name, value})
+	}
+	schema := types.NewStruct(
+		types.StructField{Name: "metric", Type: types.String, Nullable: false},
+		types.StructField{Name: "value", Type: types.String, Nullable: false},
+	)
+	return c.CreateDataFrame(schema, rows)
 }
 
 // Table returns a DataFrame over a registered temp table.
