@@ -448,3 +448,38 @@ func BenchmarkJoinReorder(b *testing.B) {
 	b.Run("ReorderOff", func(b *testing.B) { benchSQL(b, off, q) })
 	b.Run("ReorderOn", func(b *testing.B) { benchSQL(b, on, q) })
 }
+
+// Spill benchmarks: the same sort and aggregation with and without a
+// memory budget. The budgeted runs pay encoding plus simulated spill-disk
+// I/O; the gap is the price of bounded memory (Spark's external sort /
+// spillable hash aggregation trade-off).
+
+func spillBenchContexts(b *testing.B) (unlimited, budgeted *sparksql.Context) {
+	b.Helper()
+	s, err := experiments.NewSpillStudy(20_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if unlimited, err = s.Context(0); err != nil {
+		b.Fatal(err)
+	}
+	// 1% of the data size: every blocking operator spills heavily.
+	if budgeted, err = s.Context(s.DataBytes / 100); err != nil {
+		b.Fatal(err)
+	}
+	return unlimited, budgeted
+}
+
+func BenchmarkExternalSort(b *testing.B) {
+	q := "SELECT pageURL, pageRank FROM rankings ORDER BY pageRank, pageURL"
+	unlimited, budgeted := spillBenchContexts(b)
+	b.Run("InMemory", func(b *testing.B) { benchSQL(b, unlimited, q) })
+	b.Run("Spilling", func(b *testing.B) { benchSQL(b, budgeted, q) })
+}
+
+func BenchmarkSpillAggregate(b *testing.B) {
+	q := "SELECT pageRank, COUNT(*), SUM(avgDuration), AVG(avgDuration) FROM rankings GROUP BY pageRank"
+	unlimited, budgeted := spillBenchContexts(b)
+	b.Run("InMemory", func(b *testing.B) { benchSQL(b, unlimited, q) })
+	b.Run("Spilling", func(b *testing.B) { benchSQL(b, budgeted, q) })
+}

@@ -263,7 +263,11 @@ func (df *DataFrame) queryExecution() (qe queryExec, err error) {
 
 // Collect materializes all rows. Task failures (including recovered
 // compute panics, after retries from lineage) surface as a *rdd.JobError
-// carrying the failing stage, partition, attempt count and cause.
+// carrying the failing stage, partition, attempt count and cause. Under
+// Config.MemoryBudget the query executes against a per-query memory pool —
+// blocking operators spill to the engine's DFS when it is exhausted — and
+// every spill file is deleted before Collect returns, whether the query
+// completes, fails or is cancelled.
 func (df *DataFrame) Collect() ([]Row, error) {
 	return df.CollectContext(context.Background())
 }

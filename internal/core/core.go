@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/dfs"
+	"repro/internal/memory"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/plan"
@@ -56,6 +58,13 @@ type Config struct {
 	// recording cost is a few atomic adds per partition (never per row),
 	// cheap enough to leave on; EXPLAIN ANALYZE forces it on regardless.
 	Metrics bool
+	// MemoryBudget bounds each query's execution memory (bytes; zero =
+	// unlimited). When set, every query runs under a memory pool: blocking
+	// operators (sort, aggregation, sort-merge join, distinct) reserve
+	// their buffered state through it and spill encoded runs/partitions to
+	// the engine's spill DFS when the pool is exhausted, with results
+	// byte-identical to the unbounded path.
+	MemoryBudget int64
 }
 
 // DefaultConfig is the full Spark SQL feature set.
@@ -89,6 +98,10 @@ type Engine struct {
 	Catalog *analysis.Catalog
 	RDDCtx  *rdd.Context
 	Cfg     Config
+	// SpillFS receives operator spill files when MemoryBudget is set — a
+	// simulated DFS shared by all queries so spill I/O is metered and
+	// fault-injectable like any other file traffic.
+	SpillFS *dfs.FileSystem
 	planner *physical.Planner
 	opt     *optimizer.Optimizer
 }
@@ -101,6 +114,7 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.ShufflePartitions <= 0 {
 		cfg.ShufflePartitions = cfg.Parallelism
 	}
+	cfg.Planner.MemoryBudget = cfg.MemoryBudget
 	pl := physical.NewPlanner(cfg.Planner)
 	pl.TranslateFilter = optimizer.TranslateFilter
 	rddCtx := rdd.NewContext(cfg.Parallelism)
@@ -111,6 +125,7 @@ func NewEngine(cfg Config) *Engine {
 		Catalog: analysis.NewCatalog(),
 		RDDCtx:  rddCtx,
 		Cfg:     cfg,
+		SpillFS: dfs.New(),
 		planner: pl,
 		opt:     optimizer.New(cfg.Optimizer),
 	}
@@ -159,20 +174,34 @@ func (e *Engine) Execute(lp plan.LogicalPlan) (*QueryExecution, error) {
 	}, nil
 }
 
-// ExecContext builds the physical execution context.
+// ExecContext builds the physical execution context. With a MemoryBudget
+// configured it attaches a fresh per-query memory pool and the engine's
+// spill DFS; the caller then owns spill-file cleanup (CleanupSpills), which
+// Collect/Count/ExplainAnalyze defer.
 func (e *Engine) ExecContext() *physical.ExecContext {
-	return &physical.ExecContext{
+	ec := &physical.ExecContext{
 		RDD:               e.RDDCtx,
 		Codegen:           e.Cfg.Codegen,
 		Vectorized:        e.Cfg.Planner.Vectorize,
 		ShufflePartitions: e.Cfg.ShufflePartitions,
 		Metrics:           e.Cfg.Metrics,
 	}
+	if e.Cfg.MemoryBudget > 0 {
+		ec.Pool = memory.NewPool(e.Cfg.MemoryBudget, e.RDDCtx.Metrics().Scoped("memory"))
+		ec.SpillFS = e.SpillFS
+	}
+	return ec
 }
 
-// RDD lazily builds the result RDD.
+// RDD lazily builds the result RDD. The context it executes under has no
+// memory pool: spill lifecycle needs a query scope to clean up after, which
+// a bare RDD handed to arbitrary caller code does not have. Operators run
+// their unbounded in-memory paths, exactly as before memory management.
 func (q *QueryExecution) RDD() *rdd.RDD[row.Row] {
-	return q.Physical.Execute(q.engine.ExecContext())
+	ec := q.engine.ExecContext()
+	ec.Pool = nil
+	ec.SpillFS = nil
+	return q.Physical.Execute(ec)
 }
 
 // queryContext derives the job context for one query execution, applying
@@ -198,9 +227,11 @@ func (q *QueryExecution) Collect() ([]row.Row, error) {
 // engine's QueryTimeout expiring) tears down all in-flight and pending
 // tasks and returns the context error.
 func (q *QueryExecution) CollectContext(ctx context.Context) ([]row.Row, error) {
+	ec := q.engine.ExecContext()
+	defer ec.CleanupSpills()
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
-	return q.RDD().CollectContext(jc)
+	return q.Physical.Execute(ec).CollectContext(jc)
 }
 
 // Count counts result rows without materializing them centrally.
@@ -210,9 +241,11 @@ func (q *QueryExecution) Count() (int64, error) {
 
 // CountContext is Count under a caller context.
 func (q *QueryExecution) CountContext(ctx context.Context) (int64, error) {
+	ec := q.engine.ExecContext()
+	defer ec.CleanupSpills()
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
-	return q.RDD().CountContext(jc)
+	return q.Physical.Execute(ec).CountContext(jc)
 }
 
 // Explain renders all plan phases.
@@ -243,6 +276,7 @@ func (q *QueryExecution) ExplainAnalyze() (string, error) {
 func (q *QueryExecution) ExplainAnalyzeContext(ctx context.Context) (string, error) {
 	ec := q.engine.ExecContext()
 	ec.Metrics = true
+	defer ec.CleanupSpills()
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
 	start := time.Now()

@@ -9,7 +9,10 @@ package dfs
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,9 +33,15 @@ type FileSystem struct {
 	// Fault injection (chaos testing): readAttempts counts Reads per path
 	// (1-based), so hooks can fail or slow only the first k reads and let a
 	// retry succeed — modelling a flaky datanode rather than a lost file.
-	readAttempts  map[string]int
-	readFaultHook func(path string, attempt int) error
-	readLatency   func(path string, attempt int) time.Duration
+	// writeAttempts and the write-fault hook mirror the read side so spill
+	// writes are chaos-testable too.
+	readAttempts   map[string]int
+	readFaultHook  func(path string, attempt int) error
+	readLatency    func(path string, attempt int) time.Duration
+	writeAttempts  map[string]int
+	writeFaultHook func(path string, attempt int) error
+
+	tempSeq atomic.Int64
 }
 
 // New creates an empty file system with default cost parameters.
@@ -40,6 +49,7 @@ func New() *FileSystem {
 	return &FileSystem{
 		files:             make(map[string][][]byte),
 		readAttempts:      make(map[string]int),
+		writeAttempts:     make(map[string]int),
 		WriteNanosPerByte: 20.0, // ≈50 MB/s
 		ReadNanosPerByte:  5.0,  // ≈200 MB/s
 	}
@@ -70,8 +80,46 @@ func (fs *FileSystem) ReadAttempts(path string) int {
 	return fs.readAttempts[path]
 }
 
+// SetWriteFaultHook installs a hook consulted before every Write and
+// AppendBlock with the path and the 1-based attempt number for that path;
+// a non-nil return fails that write before any state changes, modelling a
+// failed HDFS pipeline. nil clears the hook.
+func (fs *FileSystem) SetWriteFaultHook(hook func(path string, attempt int) error) {
+	fs.mu.Lock()
+	fs.writeFaultHook = hook
+	fs.mu.Unlock()
+}
+
+// WriteAttempts returns how many Writes (successful or injected-failed)
+// have been issued against path.
+func (fs *FileSystem) WriteAttempts(path string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeAttempts[path]
+}
+
+// beginWrite counts the attempt and applies the write-fault hook.
+func (fs *FileSystem) beginWrite(path string) error {
+	fs.mu.Lock()
+	fs.writeAttempts[path]++
+	attempt := fs.writeAttempts[path]
+	fault := fs.writeFaultHook
+	fs.mu.Unlock()
+	if fault != nil {
+		if err := fault(path, attempt); err != nil {
+			return fmt.Errorf("dfs: write %q (attempt %d): %w", path, attempt, err)
+		}
+	}
+	return nil
+}
+
 // Write stores a file as partitioned blocks, charging the write cost.
-func (fs *FileSystem) Write(path string, partitions [][]byte) {
+// Injected faults (see SetWriteFaultHook) fail the write before any state
+// changes.
+func (fs *FileSystem) Write(path string, partitions [][]byte) error {
+	if err := fs.beginWrite(path); err != nil {
+		return err
+	}
 	var n int64
 	for _, p := range partitions {
 		n += int64(len(p))
@@ -85,6 +133,22 @@ func (fs *FileSystem) Write(path string, partitions [][]byte) {
 	fs.files[path] = cp
 	fs.bytesWritten += n
 	fs.mu.Unlock()
+	return nil
+}
+
+// AppendBlock appends one block to a file (creating it if absent),
+// charging the write cost — the primitive spill files are built from.
+func (fs *FileSystem) AppendBlock(path string, block []byte) error {
+	if err := fs.beginWrite(path); err != nil {
+		return err
+	}
+	fs.charge(float64(len(block)) * fs.WriteNanosPerByte)
+	cp := append([]byte(nil), block...)
+	fs.mu.Lock()
+	fs.files[path] = append(fs.files[path], cp)
+	fs.bytesWritten += int64(len(block))
+	fs.mu.Unlock()
+	return nil
 }
 
 // Read returns a file's blocks, charging the read cost. Injected faults
@@ -122,11 +186,105 @@ func (fs *FileSystem) Read(path string) ([][]byte, error) {
 	return parts, nil
 }
 
+// ReadBlock returns one block of a file, charging only that block's read
+// cost — the streaming read under the external sort's k-way merge. The
+// read-fault and latency hooks apply, sharing the path's attempt counter
+// with Read.
+func (fs *FileSystem) ReadBlock(path string, i int) ([]byte, error) {
+	fs.mu.Lock()
+	fs.readAttempts[path]++
+	attempt := fs.readAttempts[path]
+	fault := fs.readFaultHook
+	latency := fs.readLatency
+	parts, ok := fs.files[path]
+	var block []byte
+	if ok && i >= 0 && i < len(parts) {
+		block = parts[i]
+	}
+	fs.mu.Unlock()
+	if latency != nil {
+		if d := latency(path, attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if fault != nil {
+		if err := fault(path, attempt); err != nil {
+			return nil, fmt.Errorf("dfs: read %q block %d (attempt %d): %w", path, i, attempt, err)
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	if block == nil {
+		return nil, fmt.Errorf("dfs: %q has no block %d", path, i)
+	}
+	fs.charge(float64(len(block)) * fs.ReadNanosPerByte)
+	fs.mu.Lock()
+	fs.bytesRead += int64(len(block))
+	fs.mu.Unlock()
+	return block, nil
+}
+
+// NumBlocks returns how many blocks a file holds.
+func (fs *FileSystem) NumBlocks(path string) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: no such file %q", path)
+	}
+	return len(parts), nil
+}
+
 // Delete removes a file.
 func (fs *FileSystem) Delete(path string) {
 	fs.mu.Lock()
 	delete(fs.files, path)
 	fs.mu.Unlock()
+}
+
+// DeletePrefix removes every file whose path starts with prefix and
+// returns how many were removed — how a query drops a spill scope's temp
+// files in one call at task close or query end/cancel.
+func (fs *FileSystem) DeletePrefix(prefix string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			delete(fs.files, p)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns the sorted paths starting with prefix ("" lists everything).
+func (fs *FileSystem) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumFiles returns how many files are stored — the no-temp-file-leak
+// assertion tests make after queries complete or cancel.
+func (fs *FileSystem) NumFiles() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.files)
+}
+
+// TempPath returns a process-unique path under /tmp for scratch files
+// (spill runs, experiment intermediates).
+func (fs *FileSystem) TempPath(prefix string) string {
+	return fmt.Sprintf("/tmp/%s-%d", prefix, fs.tempSeq.Add(1))
 }
 
 // Exists reports whether a path is stored.

@@ -124,3 +124,103 @@ func TestReadLatencySpike(t *testing.T) {
 		t.Fatalf("spike should only hit attempt 1: %v", elapsed)
 	}
 }
+
+func TestAppendBlockAndReadBlock(t *testing.T) {
+	fs := New()
+	fs.WriteNanosPerByte = 0
+	fs.ReadNanosPerByte = 0
+	for i := 0; i < 3; i++ {
+		if err := fs.AppendBlock("/runs/r0", []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := fs.NumBlocks("/runs/r0")
+	if err != nil || n != 3 {
+		t.Fatalf("NumBlocks = %d, %v", n, err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := fs.ReadBlock("/runs/r0", i)
+		if err != nil || string(b) != string(byte('a'+i)) {
+			t.Fatalf("block %d = %q, %v", i, b, err)
+		}
+	}
+	if _, err := fs.ReadBlock("/runs/r0", 3); err == nil {
+		t.Fatal("out-of-range block read must fail")
+	}
+	if _, err := fs.NumBlocks("/nope"); err == nil {
+		t.Fatal("NumBlocks of a missing file must fail")
+	}
+}
+
+func TestWriteFaultInjection(t *testing.T) {
+	fs := New()
+	fs.WriteNanosPerByte = 0
+	fs.ReadNanosPerByte = 0
+	boom := errors.New("boom")
+	fs.SetWriteFaultHook(func(path string, attempt int) error {
+		if path == "/flaky" && attempt <= 2 {
+			return boom
+		}
+		return nil
+	})
+	// A failed write must not create or modify the file.
+	if err := fs.Write("/flaky", [][]byte{[]byte("x")}); !errors.Is(err, boom) {
+		t.Fatalf("attempt 1: %v", err)
+	}
+	if fs.Exists("/flaky") {
+		t.Fatal("failed write must leave no file")
+	}
+	if err := fs.AppendBlock("/flaky", []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("attempt 2: %v", err)
+	}
+	// The third attempt (past the hook's budget) succeeds, like a retried
+	// task writing after a transient datanode fault.
+	if err := fs.Write("/flaky", [][]byte{[]byte("x")}); err != nil {
+		t.Fatalf("attempt 3: %v", err)
+	}
+	if fs.WriteAttempts("/flaky") != 3 {
+		t.Fatalf("WriteAttempts = %d", fs.WriteAttempts("/flaky"))
+	}
+	// Other paths are untouched by the hook.
+	if err := fs.Write("/ok", nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetWriteFaultHook(nil)
+	if err := fs.Write("/flaky2", nil); err != nil {
+		t.Fatal("cleared hook must not fire")
+	}
+}
+
+func TestDeletePrefixAndList(t *testing.T) {
+	fs := New()
+	fs.WriteNanosPerByte = 0
+	fs.ReadNanosPerByte = 0
+	for _, p := range []string{"/spill/q1/a", "/spill/q1/b", "/spill/q2/a", "/data/x"} {
+		fs.Write(p, [][]byte{[]byte("v")})
+	}
+	got := fs.List("/spill/q1/")
+	if len(got) != 2 || got[0] != "/spill/q1/a" || got[1] != "/spill/q1/b" {
+		t.Fatalf("List = %v", got)
+	}
+	if n := fs.DeletePrefix("/spill/q1/"); n != 2 {
+		t.Fatalf("DeletePrefix = %d", n)
+	}
+	if fs.Exists("/spill/q1/a") || !fs.Exists("/spill/q2/a") || !fs.Exists("/data/x") {
+		t.Fatal("DeletePrefix removed the wrong files")
+	}
+	if fs.NumFiles() != 2 {
+		t.Fatalf("NumFiles = %d", fs.NumFiles())
+	}
+}
+
+func TestTempPathUnique(t *testing.T) {
+	fs := New()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		p := fs.TempPath("/spill/sort")
+		if seen[p] {
+			t.Fatalf("TempPath repeated %q", p)
+		}
+		seen[p] = true
+	}
+}

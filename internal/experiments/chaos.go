@@ -107,21 +107,42 @@ func chaosContext(n int64, vectorized, cached bool) (*sparksql.Context, error) {
 	cfg.Parallelism = 4
 	cfg.ShufflePartitions = 4
 	ctx := sparksql.NewContextWithConfig(cfg)
+	if err := loadRankings(ctx, n, cached); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// chaosSpillContext builds the rankings context under a memory budget small
+// enough that every blocking operator in the spill workload spills.
+func chaosSpillContext(n, budget int64) (*sparksql.Context, error) {
+	cfg := sparksql.DefaultConfig()
+	cfg.Parallelism = 4
+	cfg.ShufflePartitions = 4
+	cfg.MemoryBudget = budget
+	ctx := sparksql.NewContextWithConfig(cfg)
+	if err := loadRankings(ctx, n, false); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+func loadRankings(ctx *sparksql.Context, n int64, cached bool) error {
 	rows := make([]row.Row, n)
 	for i := int64(0); i < n; i++ {
 		rows[i] = datagen.RankingRow(42, i)
 	}
 	df, err := ctx.CreateDataFrame(datagen.RankingsSchema(), rows)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if cached {
 		if _, err := df.Cache(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	df.RegisterTempTable("rankings")
-	return ctx, nil
+	return nil
 }
 
 // RunSQLChaos runs the SQL workload in all four engine modes
@@ -176,6 +197,83 @@ func RunSQLChaos(cfg ChaosConfig) (injected int64, err error) {
 		injected += faults.Load()
 	}
 	return injected, nil
+}
+
+// RunSpillChaos combines the task-failure schedule with forced spilling: the
+// chaotic context runs under a memory budget small enough that every blocking
+// operator (sort, aggregation, distinct, sort-merge join) spills to the engine
+// DFS, while ~FailureRate of tasks fail their leading attempts AND a slice of
+// spill-file writes fail transiently too. A failed spill write fails its task;
+// the retried task allocates a fresh spill prefix, so the rewrite lands on new
+// paths and the fault never repeats deterministically. Results must stay
+// byte-identical to an unbudgeted fault-free golden run, spills must actually
+// have happened, and no spill file may survive any query.
+func RunSpillChaos(cfg ChaosConfig) (injected int64, err error) {
+	const budget = 16 << 10
+	// Salt the seed so the spill run's schedule is independent of the plain
+	// SQL chaos run over the same task names.
+	cfg.Seed = fnv64(fmt.Sprintf("%d|spillrun", cfg.Seed))
+	queries := []string{
+		"SELECT pageRank, COUNT(*), SUM(avgDuration) FROM rankings GROUP BY pageRank",
+		"SELECT pageURL, pageRank FROM rankings ORDER BY pageRank, pageURL",
+		"SELECT DISTINCT pageRank FROM rankings",
+		"SELECT a.pageURL, a.pageRank, b.avgDuration FROM rankings a JOIN rankings b ON a.pageURL = b.pageURL",
+	}
+	golden, err := chaosContext(cfg.N, false, false)
+	if err != nil {
+		return 0, err
+	}
+	chaotic, err := chaosSpillContext(cfg.N, budget)
+	if err != nil {
+		return 0, err
+	}
+	rc := chaotic.RDDContext()
+	rc.SetBackoff(time.Microsecond, 50*time.Microsecond)
+	var faults atomic.Int64
+	base := cfg.hook()
+	rc.SetFailureHook(func(name string, partition, attempt int) error {
+		if err := base(name, partition, attempt); err != nil {
+			faults.Add(1)
+			return err
+		}
+		return nil
+	})
+	sfs := chaotic.SpillFS()
+	sfs.WriteNanosPerByte, sfs.ReadNanosPerByte = 0, 0
+	// A spill-write fault fails the owning task's whole attempt, and a tiny
+	// budget writes dozens of spill files per attempt — so an uncapped
+	// per-path schedule would doom every retry too. One injected write fault
+	// keeps recovery guaranteed: a task afflicted by the failure schedule
+	// loses its first FailedAttempts attempts, at most one more to the spill
+	// fault, and still has a clean attempt inside the engine's budget.
+	var spillFaults atomic.Int64
+	sfs.SetWriteFaultHook(func(path string, attempt int) error {
+		if attempt == 1 && cfg.afflicted("spill|"+path, 0) && spillFaults.Add(1) == 1 {
+			faults.Add(1)
+			return fmt.Errorf("chaos: injected spill-write failure of %s", path)
+		}
+		return nil
+	})
+	for _, q := range queries {
+		want, err := collectSQL(golden, q)
+		if err != nil {
+			return faults.Load(), fmt.Errorf("chaos spill golden %q: %w", q, err)
+		}
+		got, err := collectSQL(chaotic, q)
+		if err != nil {
+			return faults.Load(), fmt.Errorf("chaos spill %q: %w", q, err)
+		}
+		if formatRows(got) != formatRows(want) {
+			return faults.Load(), fmt.Errorf("chaos spill: %q diverged under budget %d + injected failures", q, budget)
+		}
+		if nf := sfs.NumFiles(); nf != 0 {
+			return faults.Load(), fmt.Errorf("chaos spill: %d spill files left after %q", nf, q)
+		}
+	}
+	if n := rc.Metrics().Counter("memory.spill.count").Load(); n == 0 {
+		return faults.Load(), fmt.Errorf("chaos spill: budget %d forced no spills", budget)
+	}
+	return faults.Load(), nil
 }
 
 func collectSQL(ctx *sparksql.Context, query string) ([]row.Row, error) {

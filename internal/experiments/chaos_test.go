@@ -17,6 +17,22 @@ func TestChaosSQLWorkload(t *testing.T) {
 	t.Logf("chaos sql: %d task failures injected, results identical", injected)
 }
 
+// Spills under fire: a tiny memory budget forces every blocking operator
+// to spill while tasks and spill-file writes fail transiently; results must
+// stay byte-identical and no spill file may survive.
+func TestChaosSpillWorkload(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.N = 800 // keep the -race run quick
+	injected, err := RunSpillChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected == 0 {
+		t.Fatal("schedule injected no faults; chaos run proved nothing")
+	}
+	t.Logf("chaos spill: %d faults injected, results identical, no spill files leaked", injected)
+}
+
 // The RDD pipeline (flaky DFS reads → shuffle word count → cache with
 // dropped partitions) must match a fault-free run.
 func TestChaosRDDPipeline(t *testing.T) {

@@ -233,3 +233,21 @@ func TestMetricsOverheadGate(t *testing.T) {
 		}
 	}
 }
+
+// The memory-budget ablation doubles as a correctness check: identical
+// results at every budget, real spilling at the bounded ones, zero spill
+// files left behind.
+func TestSpillStudy(t *testing.T) {
+	s, err := NewSpillStudy(6_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		t.Logf("%-12s budget=%-8d agg=%-12v join=%-12v spilled=%d B in %d runs",
+			r.Mode, r.Budget, r.AggTime, r.JoinTime, r.SpillBytes, r.SpillRuns)
+	}
+}

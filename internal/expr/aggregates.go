@@ -2,6 +2,7 @@ package expr
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/row"
 	"repro/internal/types"
@@ -43,6 +44,18 @@ func aggEvalPanic(e Expression) any {
 	panic(fmt.Sprintf("expr: aggregate %s evaluated as a row expression; use buffers", e))
 }
 
+// SpillableAggregate is implemented by aggregates whose buffers round-trip
+// through the row spill codec: EncodeBuffer flattens a buffer into a Row of
+// codec-supported values and DecodeBuffer rebuilds an equivalent buffer.
+// The spillable hash aggregation requires every aggregate in the query to
+// implement it (all built-ins do); a custom aggregate without it simply
+// keeps that query on the unbounded in-memory path.
+type SpillableAggregate interface {
+	AggregateFunc
+	EncodeBuffer(buf any) row.Row
+	DecodeBuffer(r row.Row) any
+}
+
 // ---------------------------------------------------------------------------
 // COUNT
 
@@ -79,6 +92,9 @@ func (c *Count) Update(buf any, r row.Row) any {
 }
 func (c *Count) Merge(a, b any) any { return a.(int64) + b.(int64) }
 func (c *Count) Result(buf any) any { return buf.(int64) }
+
+func (c *Count) EncodeBuffer(buf any) row.Row { return row.New(buf.(int64)) }
+func (c *Count) DecodeBuffer(r row.Row) any   { return r[0].(int64) }
 
 // ---------------------------------------------------------------------------
 // SUM
@@ -176,6 +192,14 @@ func (s *Sum) Result(buf any) any {
 	}
 }
 
+func (s *Sum) EncodeBuffer(buf any) row.Row {
+	b := buf.(*sumBuffer)
+	return row.New(b.seen, b.i, b.f, b.d)
+}
+func (s *Sum) DecodeBuffer(r row.Row) any {
+	return &sumBuffer{seen: r[0].(bool), i: r[1].(int64), f: r[2].(float64), d: r[3].(types.Decimal)}
+}
+
 // ---------------------------------------------------------------------------
 // AVG
 
@@ -226,6 +250,14 @@ func (a *Avg) Result(buf any) any {
 		return nil
 	}
 	return b.sum / float64(b.count)
+}
+
+func (a *Avg) EncodeBuffer(buf any) row.Row {
+	b := buf.(*avgBuffer)
+	return row.New(b.sum, b.count)
+}
+func (a *Avg) DecodeBuffer(r row.Row) any {
+	return &avgBuffer{sum: r[0].(float64), count: r[1].(int64)}
 }
 
 // ---------------------------------------------------------------------------
@@ -280,6 +312,9 @@ func (m *MinMax) Merge(a, b any) any {
 	return x
 }
 func (m *MinMax) Result(buf any) any { return buf.(*minmaxBuffer).v }
+
+func (m *MinMax) EncodeBuffer(buf any) row.Row { return row.New(buf.(*minmaxBuffer).v) }
+func (m *MinMax) DecodeBuffer(r row.Row) any   { return &minmaxBuffer{v: r[0]} }
 func (m *MinMax) pick(cur, v any) any {
 	if cur == nil {
 		return v
@@ -329,6 +364,9 @@ func (f *First) Merge(a, b any) any {
 }
 func (f *First) Result(buf any) any { return buf.(*firstBuffer).v }
 
+func (f *First) EncodeBuffer(buf any) row.Row { return row.New(buf.(*firstBuffer).v) }
+func (f *First) DecodeBuffer(r row.Row) any   { return &firstBuffer{v: r[0]} }
+
 // ---------------------------------------------------------------------------
 // COUNT(DISTINCT)
 
@@ -368,4 +406,26 @@ func (c *CountDistinct) Merge(a, b any) any {
 }
 func (c *CountDistinct) Result(buf any) any {
 	return int64(len(buf.(*distinctBuffer).seen))
+}
+
+func (c *CountDistinct) EncodeBuffer(buf any) row.Row {
+	b := buf.(*distinctBuffer)
+	keys := make([]string, 0, len(b.seen))
+	for k := range b.seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic spill bytes
+	vals := make([]any, len(keys))
+	for i, k := range keys {
+		vals[i] = k
+	}
+	return row.New(any(vals))
+}
+func (c *CountDistinct) DecodeBuffer(r row.Row) any {
+	vals := r[0].([]any)
+	seen := make(map[string]struct{}, len(vals))
+	for _, v := range vals {
+		seen[v.(string)] = struct{}{}
+	}
+	return &distinctBuffer{seen: seen}
 }

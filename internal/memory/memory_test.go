@@ -1,0 +1,186 @@
+package memory
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestUnlimitedPoolNeverFails(t *testing.T) {
+	p := NewPool(0, nil)
+	c := p.NewConsumer("sort", nil)
+	if err := c.Acquire(1 << 40); err != nil {
+		t.Fatalf("unlimited pool refused: %v", err)
+	}
+	if p.Used() != 1<<40 {
+		t.Fatalf("used = %d", p.Used())
+	}
+	c.Free()
+	if p.Used() != 0 {
+		t.Fatalf("used after free = %d", p.Used())
+	}
+}
+
+func TestAcquireSpillsLargestOther(t *testing.T) {
+	p := NewPool(100, nil)
+	var spilledA, spilledB bool
+	var a, b *Consumer
+	a = p.NewConsumer("a", func() int64 {
+		spilledA = true
+		freed := a.Used()
+		a.Release(freed)
+		return freed
+	})
+	b = p.NewConsumer("b", func() int64 {
+		spilledB = true
+		freed := b.Used()
+		b.Release(freed)
+		return freed
+	})
+	if err := a.Acquire(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire(30); err != nil {
+		t.Fatal(err)
+	}
+	c := p.NewConsumer("c", nil)
+	// 90/100 used; c wants 40 -> largest consumer (a, 60 B) must spill.
+	if err := c.Acquire(40); err != nil {
+		t.Fatal(err)
+	}
+	if !spilledA {
+		t.Fatal("largest consumer a was not spilled")
+	}
+	if spilledB {
+		t.Fatal("b spilled although spilling a sufficed")
+	}
+	if got := p.Used(); got != 70 {
+		t.Fatalf("used = %d, want 70 (b:30 + c:40)", got)
+	}
+}
+
+func TestAcquireNeverSelfSpills(t *testing.T) {
+	p := NewPool(10, nil)
+	var selfSpilled bool
+	var c *Consumer
+	c = p.NewConsumer("sorter", func() int64 {
+		selfSpilled = true
+		freed := c.Used()
+		c.Release(freed)
+		return freed
+	})
+	if err := c.Acquire(8); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Acquire(8)
+	if !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+	if selfSpilled {
+		t.Fatal("Acquire invoked the requester's own spill callback")
+	}
+	if !strings.Contains(err.Error(), "sorter") {
+		t.Fatalf("error lacks consumer name: %v", err)
+	}
+	// The self-spill protocol: spill own state, then Grow the minimum.
+	c.Release(8)
+	c.Grow(8)
+	if got := c.Used(); got != 8 {
+		t.Fatalf("used after Grow = %d", got)
+	}
+}
+
+func TestGrowForcesOverBudget(t *testing.T) {
+	p := NewPool(4, nil)
+	c := p.NewConsumer("agg", nil)
+	c.Grow(100) // a single record larger than the whole budget must fit
+	if got := c.Used(); got != 100 {
+		t.Fatalf("used = %d, want 100", got)
+	}
+	if p.Peak() != 100 {
+		t.Fatalf("peak = %d", p.Peak())
+	}
+}
+
+func TestReleaseClampsToReservation(t *testing.T) {
+	p := NewPool(100, nil)
+	c := p.NewConsumer("x", nil)
+	if err := c.Acquire(10); err != nil {
+		t.Fatal(err)
+	}
+	c.Release(1000)
+	if p.Used() != 0 || c.Used() != 0 {
+		t.Fatalf("over-release corrupted accounting: pool=%d consumer=%d", p.Used(), c.Used())
+	}
+}
+
+func TestSpillCountersAndRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := NewPool(50, reg.Scoped("memory"))
+	p.RecordSpill(123)
+	p.RecordSpill(77)
+	if p.SpillCount() != 2 || p.SpillBytes() != 200 {
+		t.Fatalf("pool counters = %d/%d", p.SpillCount(), p.SpillBytes())
+	}
+	if got := reg.Counter("memory.spill.bytes").Load(); got != 200 {
+		t.Fatalf("registry spill.bytes = %d", got)
+	}
+	if got := reg.Counter("memory.spill.count").Load(); got != 2 {
+		t.Fatalf("registry spill.count = %d", got)
+	}
+}
+
+// TestConcurrentCrossSpill drives many consumers that acquire under a tiny
+// budget from separate goroutines, each spilling its own state when asked —
+// the deadlock-prone shape (operator mutex + pool mutex) the package's
+// locking discipline exists for. Run under -race.
+func TestConcurrentCrossSpill(t *testing.T) {
+	p := NewPool(256, nil)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mu sync.Mutex
+			var held int64
+			var c *Consumer
+			c = p.NewConsumer("w", func() int64 {
+				mu.Lock()
+				freed := held
+				held = 0
+				mu.Unlock()
+				c.Release(freed)
+				p.RecordSpill(freed)
+				return freed
+			})
+			defer c.Free()
+			for i := 0; i < 200; i++ {
+				if err := c.Acquire(16); err != nil {
+					// Self-spill protocol.
+					mu.Lock()
+					freed := held
+					held = 0
+					mu.Unlock()
+					c.Release(freed)
+					c.Grow(16)
+				}
+				mu.Lock()
+				held += 16
+				mu.Unlock()
+			}
+			mu.Lock()
+			freed := held
+			held = 0
+			mu.Unlock()
+			c.Release(freed)
+		}()
+	}
+	wg.Wait()
+	if got := p.Used(); got != 0 {
+		t.Fatalf("leaked reservations: %d B", got)
+	}
+}

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -163,8 +164,57 @@ func (h *HashAggregateExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		return row.HashValue(p.key)
 	})
 
-	// Phase 2: final merge + result evaluation.
+	// Phase 2: final merge + result evaluation. Under a memory budget (and
+	// when every aggregate can round-trip its buffer through the spill
+	// codec — all built-ins can) the merge map is a grace hash aggregation
+	// that partitions itself to disk instead of growing unbounded.
 	om := h.EnableMetrics(ctx.Metrics)
+	if fnsS := spillableFns(fns); ctx.SpillEnabled() && fnsS != nil {
+		return rdd.MapPartitionsCtx(shuffled, func(_ context.Context, p int, in []aggPartial) ([]row.Row, error) {
+			start := time.Now()
+			g := newSpillableGroups(ctx, "agg", fnsS)
+			defer g.Close()
+			for i := range in {
+				part := &in[i]
+				err := g.upsert(part.key, part.groupVals, func(st *aggState) {
+					for j, fn := range fns {
+						st.buffers[j] = fn.Merge(st.buffers[j], part.buffers[j])
+					}
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			states, err := g.Finish()
+			if err != nil {
+				return nil, err
+			}
+			// A global aggregate over an empty input still emits one row.
+			if len(h.Grouping) == 0 && len(states) == 0 && p == 0 {
+				bufs := make([]any, len(fns))
+				for i, fn := range fns {
+					bufs[i] = fn.NewBuffer()
+				}
+				states = append(states, &aggState{buffers: bufs})
+			}
+			out := make([]row.Row, 0, len(states))
+			for _, st := range states {
+				synthetic := make(row.Row, len(h.Grouping)+len(fns))
+				copy(synthetic, st.groupVals)
+				for i, fn := range fns {
+					synthetic[len(h.Grouping)+i] = fn.Result(st.buffers[i])
+				}
+				result := make(row.Row, len(resultEvals))
+				for i, ev := range resultEvals {
+					result[i] = ev(synthetic)
+				}
+				out = append(out, result)
+			}
+			om.RecordPartition(len(out), time.Since(start))
+			om.RecordSpill(g.Stats())
+			return out, nil
+		})
+	}
 	return rdd.MapPartitions(shuffled, func(p int, in []aggPartial) []row.Row {
 		start := time.Now()
 		groups := make(map[string]*aggPartial, len(in))
@@ -296,6 +346,32 @@ func (d *DistinctExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		return row.Hash(r, ords)
 	})
 	om := d.EnableMetrics(ctx.Metrics)
+	// Under a memory budget the dedup map is the aggregation machinery with
+	// zero aggregate buffers: grace-partitioned to disk, re-merged on read,
+	// emitted in first-seen order.
+	if ctx.SpillEnabled() {
+		return rdd.MapPartitionsCtx(shuffled, func(_ context.Context, _ int, in []row.Row) ([]row.Row, error) {
+			start := time.Now()
+			g := newSpillableGroups(ctx, "distinct", nil)
+			defer g.Close()
+			for _, r := range in {
+				if err := g.upsert(row.GroupKey(r, ords), r, func(*aggState) {}); err != nil {
+					return nil, err
+				}
+			}
+			states, err := g.Finish()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]row.Row, 0, len(states))
+			for _, st := range states {
+				out = append(out, st.groupVals)
+			}
+			om.RecordPartition(len(out), time.Since(start))
+			om.RecordSpill(g.Stats())
+			return out, nil
+		})
+	}
 	return rdd.MapPartitions(shuffled, func(_ int, in []row.Row) []row.Row {
 		start := time.Now()
 		seen := make(map[string]struct{}, len(in))

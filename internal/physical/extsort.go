@@ -1,0 +1,338 @@
+package physical
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dfs"
+	"repro/internal/memory"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// External merge sort: the disk-backed sort under SortExec and
+// SortMergeJoinExec. Rows accumulate in an in-memory buffer whose bytes are
+// reserved from the query's memory pool; when a reservation fails (or the
+// pool picks this sorter as its largest victim) the buffer is stable-sorted
+// and written to the spill DFS as one encoded run, and the reservation is
+// released. Finishing k-way merges the spilled runs with the final
+// in-memory run through a loser heap that breaks comparison ties by run
+// index — runs are created in input order, so the merged output is exactly
+// the stable sort of the input: byte-identical to the in-memory path.
+
+// spillBlockRows is how many rows one spill block holds; blocks are the
+// unit of streaming reads during the merge phase.
+const spillBlockRows = 256
+
+type externalSorter struct {
+	ctx  *ExecContext
+	less func(a, b row.Row) bool
+	cons *memory.Consumer
+
+	mu       sync.Mutex
+	buf      []row.Row
+	bufBytes int64
+	prefix   string // lazily reserved on first spill
+	runs     []spillRun
+	spillErr error // first spill failure (surfaced on the next Add/Finish)
+
+	spilledBytes int64
+}
+
+type spillRun struct {
+	path   string
+	blocks int
+}
+
+// newExternalSorter creates a sorter; with spilling disabled on ctx it
+// degrades to an in-memory stable sort with zero overhead beyond the
+// buffer append.
+func newExternalSorter(ctx *ExecContext, op string, less func(a, b row.Row) bool) *externalSorter {
+	s := &externalSorter{ctx: ctx, less: less}
+	if ctx.SpillEnabled() {
+		s.cons = ctx.Pool.NewConsumer(op, s.poolSpill)
+	}
+	return s
+}
+
+// poolSpill is the memory pool's victim callback; it may run on any
+// goroutine while the owning task is between Adds.
+func (s *externalSorter) poolSpill() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	freed := s.bufBytes
+	if err := s.spillLocked(); err != nil {
+		if s.spillErr == nil {
+			s.spillErr = err
+		}
+		return 0
+	}
+	return freed
+}
+
+// spillLocked sorts and writes the current buffer as one run, releasing its
+// reservation. Caller holds s.mu.
+func (s *externalSorter) spillLocked() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if s.prefix == "" {
+		s.prefix = s.ctx.newSpillPrefix("sort")
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	path := fmt.Sprintf("%s/run%d", s.prefix, len(s.runs))
+	blocks := 0
+	var runBytes int64
+	for off := 0; off < len(s.buf); off += spillBlockRows {
+		end := off + spillBlockRows
+		if end > len(s.buf) {
+			end = len(s.buf)
+		}
+		enc, err := row.EncodeRows(s.buf[off:end])
+		if err != nil {
+			return err
+		}
+		if err := s.ctx.SpillFS.AppendBlock(path, enc); err != nil {
+			return err
+		}
+		runBytes += int64(len(enc))
+		blocks++
+	}
+	s.runs = append(s.runs, spillRun{path: path, blocks: blocks})
+	s.spilledBytes += runBytes
+	s.ctx.Pool.RecordSpill(runBytes)
+	s.buf = nil
+	freed := s.bufBytes
+	s.bufBytes = 0
+	s.cons.Release(freed)
+	return nil
+}
+
+// Add appends one row, reserving its bytes first; an exhausted pool
+// triggers a self-spill of the current buffer.
+func (s *externalSorter) Add(r row.Row) error {
+	var n int64
+	if s.cons != nil {
+		n = r.ObjectSize()
+		if err := s.cons.Acquire(n); err != nil {
+			if !errors.Is(err, memory.ErrNoMemory) {
+				return err
+			}
+			s.mu.Lock()
+			err = s.spillLocked()
+			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			s.cons.Grow(n)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spillErr != nil {
+		return s.spillErr
+	}
+	s.buf = append(s.buf, r)
+	s.bufBytes += n
+	return nil
+}
+
+// Stats returns the bytes spilled and the number of runs written.
+func (s *externalSorter) Stats() (bytes int64, runs int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilledBytes, int64(len(s.runs))
+}
+
+// Finish returns the fully sorted input. With no spilled runs this is the
+// stable in-memory sort; otherwise the spilled runs and the final
+// in-memory run are k-way merged.
+func (s *externalSorter) Finish() ([]row.Row, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spillErr != nil {
+		return nil, s.spillErr
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	if len(s.runs) == 0 {
+		out := s.buf
+		s.buf = nil
+		return out, nil
+	}
+	total := len(s.buf)
+	cursors := make([]*runCursor, 0, len(s.runs)+1)
+	for i, run := range s.runs {
+		cursors = append(cursors, &runCursor{fs: s.ctx.SpillFS, run: run, idx: i})
+	}
+	// The in-memory leftover is the newest run: highest tie-break index.
+	cursors = append(cursors, &runCursor{rows: s.buf, idx: len(s.runs)})
+	s.buf = nil
+
+	h := &mergeHeap{less: s.less}
+	for _, c := range cursors {
+		ok, err := c.prime()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			h.items = append(h.items, c)
+		}
+	}
+	heap.Init(h)
+	out := make([]row.Row, 0, total)
+	for h.Len() > 0 {
+		c := h.items[0]
+		out = append(out, c.head)
+		ok, err := c.advance()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out, nil
+}
+
+// Close releases the memory reservation and deletes this sorter's spill
+// files; tasks defer it so retries, panics and cancellation all clean up.
+func (s *externalSorter) Close() {
+	s.mu.Lock()
+	prefix := s.prefix
+	s.prefix = ""
+	s.buf = nil
+	s.bufBytes = 0
+	s.mu.Unlock()
+	if s.cons != nil {
+		s.cons.Free()
+	}
+	if prefix != "" {
+		s.ctx.releaseSpillPrefix(prefix)
+	}
+}
+
+// runCursor streams one run: block-by-block from the spill DFS, or directly
+// over the final in-memory run.
+type runCursor struct {
+	fs   *dfs.FileSystem
+	run  spillRun
+	idx  int // run index: the k-way merge's stability tie-break
+	head row.Row
+
+	rows  []row.Row // current decoded block (or the whole in-memory run)
+	pos   int
+	block int // next block to read
+}
+
+func (c *runCursor) prime() (bool, error) { return c.advance() }
+
+func (c *runCursor) advance() (bool, error) {
+	for c.pos >= len(c.rows) {
+		if c.fs == nil || c.block >= c.run.blocks {
+			return false, nil
+		}
+		enc, err := c.fs.ReadBlock(c.run.path, c.block)
+		if err != nil {
+			return false, err
+		}
+		c.block++
+		if c.rows, err = row.DecodeRows(enc); err != nil {
+			return false, err
+		}
+		c.pos = 0
+	}
+	c.head = c.rows[c.pos]
+	c.pos++
+	return true, nil
+}
+
+// mergeHeap orders cursors by their head row, breaking ties by run index so
+// rows from earlier runs (earlier input) win — the invariant that makes the
+// merged order equal the stable in-memory sort.
+type mergeHeap struct {
+	items []*runCursor
+	less  func(a, b row.Row) bool
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.less(a.head, b.head) {
+		return true
+	}
+	if h.less(b.head, a.head) {
+		return false
+	}
+	return a.idx < b.idx
+}
+func (h *mergeHeap) Swap(i, j int)   { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)      { h.items = append(h.items, x.(*runCursor)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// rangePartition replaces the old Coalesce(child, 1) under global sorts:
+// it samples sort keys from the materialized map side to pick numPartitions-1
+// boundary rows and range-partitions every row by binary search, so bucket i
+// holds only rows ordering before every row of bucket i+1. Sorting each
+// bucket then yields a total order across partitions in partition order.
+func rangePartition(ctx *ExecContext, child *rdd.RDD[row.Row], less func(a, b row.Row) bool) *rdd.RDD[row.Row] {
+	n := ctx.ShufflePartitions
+	if n <= 1 {
+		return rdd.Coalesce(child, 1)
+	}
+	return rdd.PartitionByFunc(child, n, func(parts [][]row.Row) func(row.Row) int {
+		bounds := sampleBounds(parts, n, less)
+		if len(bounds) == 0 {
+			return func(row.Row) int { return 0 }
+		}
+		return func(r row.Row) int {
+			// First boundary strictly greater than r; equal rows share a
+			// bucket, preserving stability within it.
+			return sort.Search(len(bounds), func(i int) bool { return less(r, bounds[i]) })
+		}
+	})
+}
+
+// sampleBounds picks numPartitions-1 boundary rows from a deterministic
+// stride sample of the input (Spark's RangePartitioner sampling, made
+// exact-deterministic for reproducibility).
+func sampleBounds(parts [][]row.Row, numPartitions int, less func(a, b row.Row) bool) []row.Row {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	step := total / (numPartitions * 32)
+	if step < 1 {
+		step = 1
+	}
+	sample := make([]row.Row, 0, total/step+1)
+	i := 0
+	for _, p := range parts {
+		for _, r := range p {
+			if i%step == 0 {
+				sample = append(sample, r)
+			}
+			i++
+		}
+	}
+	sort.SliceStable(sample, func(i, j int) bool { return less(sample[i], sample[j]) })
+	bounds := make([]row.Row, 0, numPartitions-1)
+	for k := 1; k < numPartitions; k++ {
+		b := sample[k*len(sample)/numPartitions]
+		bounds = append(bounds, b)
+	}
+	return bounds
+}

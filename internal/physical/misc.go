@@ -11,9 +11,11 @@ import (
 	"repro/internal/row"
 )
 
-// SortExec orders rows. A global sort coalesces to a single partition (this
-// in-process engine's stand-in for Spark's range-partitioned sort); a local
-// sort orders within each partition.
+// SortExec orders rows. A global sort range-partitions the input on
+// sampled sort-key boundaries (Spark's range-partitioned sort) so every
+// partition sorts in parallel and partition order is total order; a local
+// sort orders within each partition. Under a memory budget each
+// partition's sort is an external merge sort spilling runs to the DFS.
 type SortExec struct {
 	PlanEstimate
 	PlanMetrics
@@ -60,16 +62,35 @@ func (s *SortExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	}
 	child := s.Child.Execute(ctx)
 	if s.Global {
-		child = rdd.Coalesce(child, 1)
+		child = rangePartition(ctx, child, less)
 	}
 	om := s.EnableMetrics(ctx.Metrics)
-	return rdd.MapPartitions(child, func(_ int, in []row.Row) []row.Row {
+	if !ctx.SpillEnabled() {
+		return rdd.MapPartitions(child, func(_ int, in []row.Row) []row.Row {
+			start := time.Now()
+			out := make([]row.Row, len(in))
+			copy(out, in)
+			sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+			om.RecordPartition(len(out), time.Since(start))
+			return out
+		})
+	}
+	return rdd.MapPartitionsCtx(child, func(_ context.Context, _ int, in []row.Row) ([]row.Row, error) {
 		start := time.Now()
-		out := make([]row.Row, len(in))
-		copy(out, in)
-		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+		sorter := newExternalSorter(ctx, "sort", less)
+		defer sorter.Close()
+		for _, r := range in {
+			if err := sorter.Add(r); err != nil {
+				return nil, err
+			}
+		}
+		out, err := sorter.Finish()
+		if err != nil {
+			return nil, err
+		}
 		om.RecordPartition(len(out), time.Since(start))
-		return out
+		om.RecordSpill(sorter.Stats())
+		return out, nil
 	})
 }
 

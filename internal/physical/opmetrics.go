@@ -22,6 +22,8 @@ type OperatorMetrics struct {
 	WallNanos  atomic.Int64 // summed wall time inside the operator's closures
 	BuildRows  atomic.Int64 // build-side rows collected (joins)
 	BuildBytes atomic.Int64 // estimated build-side bytes (joins)
+	SpillBytes atomic.Int64 // bytes written to spill files
+	SpillRuns  atomic.Int64 // spill events (sorted runs / hash-partition flushes)
 }
 
 // RecordPartition records one partition's output and elapsed wall time.
@@ -52,6 +54,16 @@ func (m *OperatorMetrics) RecordBuild(rows int, bytes int64) {
 	m.BuildBytes.Add(bytes)
 }
 
+// RecordSpill records bytes written to spill files over some number of
+// spill events (sorted runs or aggregation partition flushes).
+func (m *OperatorMetrics) RecordSpill(bytes int64, runs int64) {
+	if m == nil || runs == 0 {
+		return
+	}
+	m.SpillBytes.Add(bytes)
+	m.SpillRuns.Add(runs)
+}
+
 // ActualString renders the EXPLAIN ANALYZE annotation, the runtime
 // counterpart of plan.Statistics.EstString.
 func (m *OperatorMetrics) ActualString() string {
@@ -62,6 +74,9 @@ func (m *OperatorMetrics) ActualString() string {
 	}
 	if n := m.Batches.Load(); n > 0 {
 		s += fmt.Sprintf(", %d batches", n)
+	}
+	if r := m.SpillRuns.Load(); r > 0 {
+		s += fmt.Sprintf(", spilled: %d B, %d runs", m.SpillBytes.Load(), r)
 	}
 	return s
 }

@@ -8,9 +8,14 @@
 package physical
 
 import (
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/dfs"
 	"repro/internal/expr"
+	"repro/internal/memory"
 	"repro/internal/rdd"
 	"repro/internal/row"
 )
@@ -32,6 +37,68 @@ type ExecContext struct {
 	// an OperatorMetrics (via its PlanMetrics embed) and records rows,
 	// batches and wall time per partition. EXPLAIN ANALYZE reads them back.
 	Metrics bool
+	// Pool is the query's memory budget; when non-nil (and SpillFS is set)
+	// the blocking operators reserve memory through it and spill sorted
+	// runs / hash partitions to SpillFS instead of buffering unbounded.
+	Pool *memory.Pool
+	// SpillFS receives spill files; typically the engine's shared simulated
+	// DFS so spill I/O is metered and chaos-testable like any other file.
+	SpillFS *dfs.FileSystem
+
+	// Spill-scope tracking: every task-local spill scope registers its path
+	// prefix here so CleanupSpills can sweep stragglers at query end even
+	// after cancellation (the per-task defers are the primary cleanup).
+	spillSeq      atomic.Int64
+	spillMu       sync.Mutex
+	spillPrefixes map[string]struct{}
+}
+
+// SpillEnabled reports whether operators should run their spilling paths.
+func (ctx *ExecContext) SpillEnabled() bool {
+	return ctx.Pool != nil && ctx.SpillFS != nil
+}
+
+// newSpillPrefix reserves a query-unique DFS path prefix for one spill
+// scope (one operator instance in one task attempt) and registers it for
+// end-of-query cleanup.
+func (ctx *ExecContext) newSpillPrefix(op string) string {
+	prefix := fmt.Sprintf("/spill/%s-%d", op, ctx.spillSeq.Add(1))
+	ctx.spillMu.Lock()
+	if ctx.spillPrefixes == nil {
+		ctx.spillPrefixes = make(map[string]struct{})
+	}
+	ctx.spillPrefixes[prefix] = struct{}{}
+	ctx.spillMu.Unlock()
+	return prefix
+}
+
+// releaseSpillPrefix deletes a scope's files and drops its registration.
+func (ctx *ExecContext) releaseSpillPrefix(prefix string) {
+	if ctx.SpillFS != nil {
+		ctx.SpillFS.DeletePrefix(prefix)
+	}
+	ctx.spillMu.Lock()
+	delete(ctx.spillPrefixes, prefix)
+	ctx.spillMu.Unlock()
+}
+
+// CleanupSpills deletes every spill file still registered — the query-level
+// backstop run (deferred) by Collect/Count/ExplainAnalyze so no temp files
+// outlive the query, completed or cancelled. Safe to call repeatedly.
+func (ctx *ExecContext) CleanupSpills() {
+	if ctx.SpillFS == nil {
+		return
+	}
+	ctx.spillMu.Lock()
+	prefixes := make([]string, 0, len(ctx.spillPrefixes))
+	for p := range ctx.spillPrefixes {
+		prefixes = append(prefixes, p)
+	}
+	ctx.spillPrefixes = nil
+	ctx.spillMu.Unlock()
+	for _, p := range prefixes {
+		ctx.SpillFS.DeletePrefix(p)
+	}
 }
 
 // evaluator builds a row evaluator for a bound expression honoring the

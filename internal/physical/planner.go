@@ -26,6 +26,11 @@ type PlannerConfig struct {
 	// (never more than the default — only small inputs shrink). Zero
 	// disables stats-based partition sizing.
 	TargetPartitionBytes int64
+	// MemoryBudget is the query execution-memory budget in bytes (zero =
+	// unlimited). When set, shuffled joins whose build side is unknown or
+	// too large to hash within the budget plan as sort-merge joins, whose
+	// state spills gracefully instead of holding a full hash table.
+	MemoryBudget int64
 }
 
 // DefaultPlannerConfig mirrors Spark's defaults.
@@ -288,26 +293,47 @@ func (pl *Planner) planJoin(j *plan.Join) (SparkPlan, error) {
 	canBuildLeft := j.Type == plan.InnerJoin || j.Type == plan.CrossJoin ||
 		j.Type == plan.RightOuterJoin
 
+	// A broadcast hash table is unbounded memory too: under a memory
+	// budget, only sides expected to hash within half of it broadcast.
+	bcast := pl.Cfg.BroadcastThreshold
+	if mb := pl.Cfg.MemoryBudget; mb > 0 && mb/2 < bcast {
+		bcast = mb / 2
+	}
+
 	switch {
-	case canBuildRight && rightSize <= pl.Cfg.BroadcastThreshold &&
-		(rightSize <= leftSize || !canBuildLeft || leftSize > pl.Cfg.BroadcastThreshold):
+	case canBuildRight && rightSize <= bcast &&
+		(rightSize <= leftSize || !canBuildLeft || leftSize > bcast):
 		return &BroadcastHashJoinExec{
 			Left: left, Right: right,
 			LeftKeys: leftKeys, RightKeys: rightKeys,
 			Type: j.Type, Residual: residual, BuildRight: true,
 		}, nil
-	case canBuildLeft && leftSize <= pl.Cfg.BroadcastThreshold:
+	case canBuildLeft && leftSize <= bcast:
 		return &BroadcastHashJoinExec{
 			Left: left, Right: right,
 			LeftKeys: leftKeys, RightKeys: rightKeys,
 			Type: j.Type, Residual: residual, BuildRight: false,
 		}, nil
 	default:
+		parts := pl.partitionsFor(addKnownSizes(leftSize, rightSize))
+		// Under a memory budget, a shuffled hash join whose build side
+		// (the right) is unknown or cannot hash within half the budget
+		// plans as a sort-merge join: sorts degrade to spilled runs, hash
+		// tables cannot.
+		if b := pl.Cfg.MemoryBudget; b > 0 &&
+			(rightSize >= plan.UnknownSizeInBytes || rightSize > b/2) {
+			return &SortMergeJoinExec{
+				Left: left, Right: right,
+				LeftKeys: leftKeys, RightKeys: rightKeys,
+				Type: j.Type, Residual: residual,
+				Partitions: parts,
+			}, nil
+		}
 		return &ShuffledHashJoinExec{
 			Left: left, Right: right,
 			LeftKeys: leftKeys, RightKeys: rightKeys,
 			Type: j.Type, Residual: residual,
-			Partitions: pl.partitionsFor(addKnownSizes(leftSize, rightSize)),
+			Partitions: parts,
 		}, nil
 	}
 }

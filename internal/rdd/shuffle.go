@@ -196,6 +196,15 @@ func sampledSize[T any](parts [][]T) int64 {
 
 // shuffled builds the reduce-side RDD over a lazily materialized map side.
 func shuffled[T any](parent *RDD[T], name string, numPartitions int, bucket func(T) int) *RDD[T] {
+	return shuffledPrep(parent, name, numPartitions, func([][]T) func(T) int { return bucket })
+}
+
+// shuffledPrep is shuffled with a late-bound bucket function: prep sees the
+// fully materialized map-side partitions (in partition order) and returns
+// the bucket function — the hook range partitioning uses to sample key
+// boundaries from the actual data before bucketing, Spark's
+// RangePartitioner two-pass shape collapsed onto one materialization.
+func shuffledPrep[T any](parent *RDD[T], name string, numPartitions int, prep func(parts [][]T) func(T) int) *RDD[T] {
 	st := &shuffleState[T]{}
 	return newRDD(parent.ctx, name, numPartitions, func(jc context.Context, p int) ([]T, error) {
 		buckets, err := st.materialize(jc, func(jc context.Context) ([][]T, error) {
@@ -204,6 +213,7 @@ func shuffled[T any](parent *RDD[T], name string, numPartitions int, bucket func
 				return nil, err
 			}
 			start := time.Now()
+			bucket := prep(parts)
 			buckets, berr := bucketize(jc, parent.ctx, parts, numPartitions, bucket)
 			if tb := parent.ctx.Trace(); tb != nil {
 				span := metrics.Span{
@@ -305,5 +315,30 @@ func PartitionByHash[T any](r *RDD[T], numPartitions int, hash func(T) uint64) *
 	}
 	return shuffled(r, r.name+".exchange", numPartitions, func(v T) int {
 		return int(hash(v) % uint64(numPartitions))
+	})
+}
+
+// PartitionByFunc partitions records by a bucket function derived from the
+// materialized map side: prep receives every parent partition (in order)
+// and returns the bucket assignment. The physical layer's range exchange
+// uses it to sample sort-key boundaries before bucketing, so a global sort
+// parallelizes instead of coalescing onto one partition. Bucket values are
+// clamped into [0, numPartitions).
+func PartitionByFunc[T any](r *RDD[T], numPartitions int, prep func(parts [][]T) func(T) int) *RDD[T] {
+	if numPartitions < 1 {
+		numPartitions = r.ctx.parallelism
+	}
+	return shuffledPrep(r, r.name+".rangeExchange", numPartitions, func(parts [][]T) func(T) int {
+		bucket := prep(parts)
+		return func(v T) int {
+			b := bucket(v)
+			if b < 0 {
+				b = 0
+			}
+			if b >= numPartitions {
+				b = numPartitions - 1
+			}
+			return b
+		}
 	})
 }

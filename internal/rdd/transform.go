@@ -181,6 +181,27 @@ func ZipPartitions[A, B, C any](a *RDD[A], b *RDD[B], f func(p int, left []A, ri
 	}), nil
 }
 
+// ZipPartitionsCtx is ZipPartitions for partition functions that observe
+// the job context or fail with an error — the sort-merge join uses it so
+// spill-file write failures inside a task surface as retryable task errors.
+func ZipPartitionsCtx[A, B, C any](a *RDD[A], b *RDD[B], f func(jc context.Context, p int, left []A, right []B) ([]C, error)) (*RDD[C], error) {
+	if a.numPart != b.numPart {
+		return nil, fmt.Errorf("rdd: ZipPartitions requires equal partition counts (%d vs %d)",
+			a.numPart, b.numPart)
+	}
+	return newRDD(a.ctx, "zipPartitions", a.numPart, func(jc context.Context, p int) ([]C, error) {
+		left, err := a.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
+		right, err := b.partition(jc, p)
+		if err != nil {
+			return nil, err
+		}
+		return f(jc, p, left, right)
+	}), nil
+}
+
 // Broadcast is a value shipped once to all tasks (paper §4.3.3's
 // peer-to-peer broadcast facility; in-process it is a shared pointer, but
 // keeping the explicit type preserves the programming model).

@@ -1,0 +1,70 @@
+package row
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rows := []Row{
+		{nil, true, false, int32(-7), int64(1 << 40), float32(1.5), 2.25, "héllo\x00world", types.Decimal{Unscaled: -12345, Scale: 2}},
+		{[]byte{0, 1, 2}, Row{int32(1), nil, "nested"}, []any{int64(9), "x", nil}},
+		{math.NaN(), math.Inf(1), float32(math.Inf(-1)), ""},
+		{},
+	}
+	b, err := EncodeRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRows(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if len(got[i]) != len(rows[i]) {
+			t.Fatalf("row %d: %d fields, want %d", i, len(got[i]), len(rows[i]))
+		}
+		for j := range rows[i] {
+			if !Equal(got[i][j], rows[i][j]) {
+				t.Fatalf("row %d field %d: %v (%T) != %v (%T)",
+					i, j, got[i][j], got[i][j], rows[i][j], rows[i][j])
+			}
+		}
+	}
+	// Dynamic types must survive exactly (int32 stays int32, etc.).
+	if _, ok := got[0][3].(int32); !ok {
+		t.Fatalf("int32 decoded as %T", got[0][3])
+	}
+	if _, ok := got[0][5].(float32); !ok {
+		t.Fatalf("float32 decoded as %T", got[0][5])
+	}
+	if !math.IsNaN(got[2][0].(float64)) {
+		t.Fatal("NaN did not survive the round trip")
+	}
+}
+
+func TestCodecRejectsUnsupported(t *testing.T) {
+	if _, err := EncodeRows([]Row{{map[any]any{}}}); err == nil {
+		t.Fatal("expected error for map value")
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	b, err := EncodeRows([]Row{{int64(1), "abc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodeRows(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	if _, err := DecodeRows(append(b, 0xFF)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}

@@ -10,6 +10,7 @@
 package row
 
 import (
+	"bytes"
 	"fmt"
 	"hash/maphash"
 	"math"
@@ -119,6 +120,9 @@ func Equal(a, b any) bool {
 	case types.Decimal:
 		y, ok := b.(types.Decimal)
 		return ok && x.Cmp(y) == 0
+	case []byte:
+		y, ok := b.([]byte)
+		return ok && bytes.Equal(x, y)
 	case float64:
 		// Spark SQL semantics: NaN equals NaN.
 		y, ok := b.(float64)

@@ -13,3 +13,10 @@ go build ./...
 go test -race ./...
 go test -run '^$' -bench . -benchtime 1x ./...
 PERF_GATE=1 go test -run '^TestMetricsOverheadGate$' -v ./internal/experiments/
+
+# Small-budget spill suite, explicitly: every blocking operator must stay
+# byte-identical to the in-memory path while spilling under tiny memory
+# budgets (down to one byte), clean up all spill files on completion and
+# cancellation, and survive combined task-failure + spill-write chaos.
+go test -race -v -run '^TestSpill' .
+go test -race -v -run '^TestChaosSpillWorkload$|^TestSpillStudy$' ./internal/experiments/

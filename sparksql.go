@@ -29,6 +29,7 @@ import (
 	"repro/internal/datasource/colfile"
 	"repro/internal/datasource/csvds"
 	"repro/internal/datasource/jsonds"
+	"repro/internal/dfs"
 	"repro/internal/expr"
 	"repro/internal/metrics"
 	"repro/internal/optimizer"
@@ -122,6 +123,15 @@ type Config struct {
 	// on by default; EXPLAIN ANALYZE forces it on for its own run even
 	// when disabled here.
 	Metrics bool
+	// MemoryBudget bounds each query's execution memory in bytes (0 =
+	// unlimited, the default). When set, blocking operators — sort,
+	// aggregation, distinct, and the sort-merge join the planner selects
+	// for oversized build sides — reserve their buffered state from a
+	// per-query pool and spill encoded runs/partitions to the engine's
+	// simulated DFS when it is exhausted. Results are byte-identical to
+	// the unbounded path at any budget; EXPLAIN ANALYZE reports
+	// `spilled: N B, R runs` per operator.
+	MemoryBudget int64
 }
 
 // DefaultConfig enables the full Spark SQL feature set.
@@ -173,6 +183,7 @@ func (c Config) toCore() core.Config {
 		Speculation:           c.Speculation,
 		SpeculationMultiplier: c.SpeculationMultiplier,
 		Metrics:               c.Metrics,
+		MemoryBudget:          c.MemoryBudget,
 	}
 }
 
@@ -206,6 +217,11 @@ func (c *Context) Engine() *core.Engine { return c.engine }
 
 // RDDContext exposes the task execution context for procedural RDD code.
 func (c *Context) RDDContext() *rdd.Context { return c.engine.RDDCtx }
+
+// SpillFS exposes the engine's spill file system (non-nil even without a
+// MemoryBudget). Tests and experiments use it to assert spill files are
+// cleaned up and to inject write faults.
+func (c *Context) SpillFS() *dfs.FileSystem { return c.engine.SpillFS }
 
 // RegisterDataSource adds a named relation provider, the USING extension
 // point of §4.4.1.

@@ -1,0 +1,240 @@
+package sparksql
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/row"
+)
+
+// Spill property tests: under any MemoryBudget — including one byte, where
+// every blocking operator holds at most one row before spilling — query
+// results must be byte-identical to the unbounded in-memory path, and no
+// spill file may survive a query, whether it completes or is cancelled.
+
+const spillRows = 4000
+
+func spillConfig(budget int64) Config {
+	cfg := DefaultConfig()
+	// Fixed fan-out so partitioning (and thus row emission order) is
+	// identical across host core counts and between golden/budgeted runs.
+	cfg.Parallelism = 4
+	cfg.ShufflePartitions = 4
+	cfg.MemoryBudget = budget
+	return cfg
+}
+
+// setupSpillTables registers `events` (spillRows rows, ~100 B of object
+// state each — hundreds of KB total, ≥10× the largest budget under test)
+// and a small `dim` side for joins.
+func setupSpillTables(t testing.TB, ctx *Context) {
+	t.Helper()
+	events := StructType{}.
+		Add("id", IntType, false).
+		Add("grp", IntType, false).
+		Add("name", StringType, false).
+		Add("val", DoubleType, false)
+	rows := make([]Row, spillRows)
+	for i := range rows {
+		// Scrambled names so ORDER BY does real work; 80 groups of ~50
+		// rows each so sorts see heavy duplicate keys.
+		rows[i] = Row{
+			int32(i),
+			int32(i % 80),
+			fmt.Sprintf("n%05d", (i*7919)%spillRows),
+			float64(i%997) * 1.5,
+		}
+	}
+	df, err := ctx.CreateDataFrame(events, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.RegisterTempTable("events")
+
+	dim := StructType{}.
+		Add("grp", IntType, false).
+		Add("label", StringType, false)
+	var drows []Row
+	for g := 0; g < 80; g += 2 {
+		drows = append(drows, Row{int32(g), fmt.Sprintf("label%02d", g)})
+	}
+	ddf, err := ctx.CreateDataFrame(dim, drows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddf.RegisterTempTable("dim")
+}
+
+// spillExactQueries must match the golden run row for row, in order —
+// including the relative order of ORDER BY ties, which only survives
+// spilling because the external sort is stable end to end.
+var spillExactQueries = []string{
+	"SELECT name, grp, val FROM events ORDER BY grp, name",
+	"SELECT grp, val FROM events ORDER BY grp", // tie-heavy: stability must survive spilling
+}
+
+// spillCanonQueries are compared as sorted row sets. Aggregation and
+// DISTINCT emission order is nondeterministic even fully in memory (the
+// partial-aggregation phase iterates a Go map), and the budget switches the
+// join's physical plan to a sort-merge join — so for these the contract is
+// set equality plus deterministic values. first(name) still checks
+// order-sensitivity: its per-group VALUE depends on merge order, which the
+// spill path must reproduce exactly.
+var spillCanonQueries = []string{
+	"SELECT grp, count(*), sum(val), avg(val), min(name), max(name) FROM events GROUP BY grp",
+	"SELECT grp, first(name) FROM events GROUP BY grp",
+	"SELECT DISTINCT grp FROM events",
+	"SELECT e.name, e.grp, d.label FROM events e JOIN dim d ON e.grp = d.grp",
+	"SELECT e.name, d.label FROM events e LEFT JOIN dim d ON e.grp = d.grp WHERE e.id < 500",
+}
+
+func spillCollect(t *testing.T, ctx *Context, query string) []Row {
+	t.Helper()
+	df, err := ctx.SQL(query)
+	if err != nil {
+		t.Fatalf("%q: %v", query, err)
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		t.Fatalf("%q: %v", query, err)
+	}
+	return rows
+}
+
+func rowsText(rows []Row) string {
+	lines := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = row.FormatValue(v)
+		}
+		lines[i] = strings.Join(parts, "\t")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func canonText(rows []Row) string {
+	lines := strings.Split(rowsText(rows), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestSpillPropertyRandomBudgets runs the workload at fixed and seeded
+// random budgets — from one byte to 16 KB against hundreds of KB of data —
+// and checks every result against an unbudgeted golden run, that spilling
+// actually occurred, and that no spill file survives any query.
+func TestSpillPropertyRandomBudgets(t *testing.T) {
+	golden := NewContextWithConfig(spillConfig(0))
+	setupSpillTables(t, golden)
+	wantExact := make(map[string]string, len(spillExactQueries))
+	for _, q := range spillExactQueries {
+		wantExact[q] = rowsText(spillCollect(t, golden, q))
+	}
+	wantCanon := make(map[string]string, len(spillCanonQueries))
+	for _, q := range spillCanonQueries {
+		wantCanon[q] = canonText(spillCollect(t, golden, q))
+	}
+
+	budgets := []int64{1, 127, 1 << 10, 16 << 10}
+	rng := rand.New(rand.NewSource(0x5B111))
+	for i := 0; i < 3; i++ {
+		budgets = append(budgets, 1+rng.Int63n(16<<10))
+	}
+
+	for _, budget := range budgets {
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			if budget == 1 && testing.Short() {
+				t.Skip("one-byte budget spills per row; skipped in -short")
+			}
+			ctx := NewContextWithConfig(spillConfig(budget))
+			setupSpillTables(t, ctx)
+			ctx.SpillFS().WriteNanosPerByte = 0
+			ctx.SpillFS().ReadNanosPerByte = 0
+			for _, q := range spillExactQueries {
+				if got := rowsText(spillCollect(t, ctx, q)); got != wantExact[q] {
+					t.Errorf("%q diverged from in-memory run at budget %d", q, budget)
+				}
+				if nf := ctx.SpillFS().NumFiles(); nf != 0 {
+					t.Fatalf("%q left %d spill files at budget %d", q, nf, budget)
+				}
+			}
+			for _, q := range spillCanonQueries {
+				if got := canonText(spillCollect(t, ctx, q)); got != wantCanon[q] {
+					t.Errorf("%q diverged from in-memory run at budget %d", q, budget)
+				}
+				if nf := ctx.SpillFS().NumFiles(); nf != 0 {
+					t.Fatalf("%q left %d spill files at budget %d", q, nf, budget)
+				}
+			}
+			if n := ctx.Metrics().Counter("memory.spill.count").Load(); n == 0 {
+				t.Fatalf("budget %d forced no spills over %d-row inputs", budget, spillRows)
+			}
+		})
+	}
+}
+
+// TestSpillExplainAnalyze checks the observability contract: a budgeted run
+// annotates spilling operators with `spilled: N B, R runs`, and the analyze
+// run itself leaves no spill files behind.
+func TestSpillExplainAnalyze(t *testing.T) {
+	ctx := NewContextWithConfig(spillConfig(2 << 10))
+	setupSpillTables(t, ctx)
+	ctx.SpillFS().WriteNanosPerByte = 0
+	ctx.SpillFS().ReadNanosPerByte = 0
+	df, err := ctx.SQL("SELECT grp, count(*), sum(val) FROM events GROUP BY grp ORDER BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := df.ExplainAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "spilled:") {
+		t.Fatalf("EXPLAIN ANALYZE missing spill annotation:\n%s", out)
+	}
+	if nf := ctx.SpillFS().NumFiles(); nf != 0 {
+		t.Fatalf("EXPLAIN ANALYZE left %d spill files", nf)
+	}
+	// An unbudgeted run must not mention spilling.
+	g := NewContextWithConfig(spillConfig(0))
+	setupSpillTables(t, g)
+	gdf, err := g.SQL("SELECT grp, count(*), sum(val) FROM events GROUP BY grp ORDER BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gout, err := gdf.ExplainAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(gout, "spilled:") {
+		t.Fatalf("unbudgeted EXPLAIN ANALYZE mentions spilling:\n%s", gout)
+	}
+}
+
+// TestSpillCleanupOnCancel cancels a query mid-spill (slow simulated spill
+// writes guarantee it cannot finish in time) and checks that every spill
+// file is deleted on the cancellation path too.
+func TestSpillCleanupOnCancel(t *testing.T) {
+	ctx := NewContextWithConfig(spillConfig(512))
+	setupSpillTables(t, ctx)
+	ctx.SpillFS().WriteNanosPerByte = 2000 // ~0.5 MB/s: spilling dominates the query
+	ctx.SpillFS().ReadNanosPerByte = 0
+	df, err := ctx.SQL("SELECT name, grp, val FROM events ORDER BY grp, name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if _, err := df.CollectContext(cctx); err == nil {
+		t.Fatal("query with a 15ms deadline over ~1s of simulated spill I/O should have been cancelled")
+	}
+	if nf := ctx.SpillFS().NumFiles(); nf != 0 {
+		t.Fatalf("cancelled query left %d spill files", nf)
+	}
+}
