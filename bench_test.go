@@ -317,6 +317,68 @@ func BenchmarkAblationVectorized(b *testing.B) {
 	})
 }
 
+// Whole-stage fusion: the cached Q1 pipeline feeding a grouped aggregate,
+// with the sink running row-at-a-time, above an (unfused) vectorized
+// pipeline, and fused into the batch loop with type-specialized group
+// tables. The native subbenchmark is the hand-written ceiling.
+func BenchmarkFusedAggregate(b *testing.B) {
+	study, err := experiments.NewFusionStudy(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := experiments.FusedAggQuery()
+	for _, bc := range []struct {
+		name string
+		run  func(string) (int64, error)
+	}{
+		{"RowAtATime", study.RunRow},
+		{"Vectorized", study.RunVec},
+		{"Fused", study.RunFused},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bc.run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("Native", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink = study.NativeAgg()
+		}
+		_ = sink
+	})
+}
+
+// Whole-stage fusion of the broadcast-join probe: the same pipeline probing
+// a sparse broadcast dimension, where the fused probe reads keys off the
+// column vectors and only materializes matching rows.
+func BenchmarkFusedJoinProbe(b *testing.B) {
+	study, err := experiments.NewFusionStudy(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := experiments.FusedJoinQuery()
+	for _, bc := range []struct {
+		name string
+		run  func(string) (int64, error)
+	}{
+		{"RowAtATime", study.RunRow},
+		{"Vectorized", study.RunVec},
+		{"Fused", study.RunFused},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bc.run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Instrumentation overhead: the same cached Q1 scan with per-operator
 // metrics on (the default) and off, on both execution paths. The on/off
 // pairs should be indistinguishable — that is what justifies leaving

@@ -1,6 +1,7 @@
 package columnar
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -228,4 +229,62 @@ func TestDecodeRandomRoundTrip(t *testing.T) {
 		}
 		decodeCheck(t, dt, rows, 1+rng.Intn(300))
 	}
+}
+
+// String vectors must round-trip every encoding with empty strings treated
+// as real values, distinct from NULL.
+func TestDecodeStringRoundTripEmptyAndNulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rows := make([]row.Row, 900)
+	for i := range rows {
+		switch rng.Intn(5) {
+		case 0:
+			rows[i] = row.Row{nil}
+		case 1:
+			rows[i] = row.Row{""} // empty string is NOT null
+		default:
+			rows[i] = row.Row{fmt.Sprintf("v%06d", rng.Intn(1<<16))}
+		}
+	}
+	decodeCheck(t, types.String, rows, 128)
+	// High-cardinality forces the uncompressed path; verify it too.
+	plain := make([]row.Row, 600)
+	for i := range plain {
+		plain[i] = row.Row{fmt.Sprintf("unique-%09d", i*7919)}
+	}
+	enc := decodeCheck(t, types.String, plain, 200)
+	if len(enc) == 0 {
+		t.Fatal("no encodings exercised")
+	}
+	// All-empty column: every value present, none null.
+	empties := make([]row.Row, 200)
+	for i := range empties {
+		empties[i] = row.Row{""}
+	}
+	decodeCheck(t, types.String, empties, 64)
+}
+
+// Date vectors round-trip as int32 days-since-epoch, including pre-epoch
+// (negative) dates and NULLs, across plain and compressed encodings.
+func TestDecodeDateRoundTrip(t *testing.T) {
+	rows := make([]row.Row, 800)
+	for i := range rows {
+		rows[i] = row.Row{int32(i*37 - 12000)} // spans pre- and post-epoch
+	}
+	enc := decodeCheck(t, types.Date, rows, 100)
+	if !enc["PLAIN"] {
+		t.Fatalf("expected PLAIN dates, got %v", enc)
+	}
+	decodeCheck(t, types.Date, withNulls(rows, 4), 100)
+
+	// Long runs of repeated dates compress; the vector path must agree.
+	runs := make([]row.Row, 1000)
+	for i := range runs {
+		runs[i] = row.Row{int32(18000 + i/250)}
+	}
+	enc = decodeCheck(t, types.Date, runs, 0)
+	if !enc["RLE"] && !enc["DICT"] {
+		t.Fatalf("expected compressed dates, got %v", enc)
+	}
+	decodeCheck(t, types.Date, withNulls(runs, 6), 0)
 }

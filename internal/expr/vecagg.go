@@ -1,0 +1,449 @@
+package expr
+
+import (
+	"math"
+
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// This file holds the batch-native aggregation updaters behind the fused
+// pipeline sink (physical.FusedAggregateExec): one VecAggregator per
+// aggregate function accumulates directly out of decoded column vectors
+// into dense per-group typed state, deferring all boxing to the partial
+// flush. The state converts into the exact buffers the scalar
+// AggregateFunc implementations use, so the shuffle, the final merge, and
+// the grace-partitioned spill path downstream are shared bit-for-bit with
+// the row-at-a-time phase 1.
+
+// VecAggregator accumulates one aggregate over selected batch rows into
+// dense per-group state.
+type VecAggregator interface {
+	// Update folds a batch into the group state: sel lists the selected
+	// batch positions, gidx[k] is the dense group index of sel[k], and n is
+	// the current total group count (state grows to n).
+	Update(b *VecBatch, sel []int32, gidx []int32, n int)
+	// Buffer returns group g's state as a standard aggregation buffer —
+	// exactly what fn.Merge and fn.Result accept.
+	Buffer(g int) any
+}
+
+// NewVecAggregator builds a batch-native updater for a bound aggregate.
+// The boolean reports whether the child expression compiled to a native
+// vector kernel; even when false the updater is correct (it reads boxed
+// values back out of the fallback vector), and unknown aggregate types get
+// a per-row scalar escape hatch.
+func NewVecAggregator(fn AggregateFunc) (VecAggregator, bool) {
+	switch x := fn.(type) {
+	case *Count:
+		child, native := CompileVec(x.Child)
+		return &vecCount{child: child}, native
+	case *Sum:
+		child, native := CompileVec(x.Child)
+		cls := classNone
+		if native {
+			cls = vecClass(x.Child.DataType())
+		}
+		return &vecSum{kind: x.kind(), child: child, cls: cls}, native
+	case *Avg:
+		child, native := CompileVec(x.Child)
+		cls := classNone
+		if native {
+			cls = vecClass(x.Child.DataType())
+		}
+		return &vecAvg{child: child, cls: cls}, native
+	case *MinMax:
+		child, native := CompileVec(x.Child)
+		cls := classNone
+		if native {
+			cls = vecClass(x.Child.DataType())
+		}
+		return &vecMinMax{child: child, cls: cls, isMax: x.IsMax, t: x.Child.DataType()}, native
+	case *First:
+		child, native := CompileVec(x.Child)
+		return &vecFirst{child: child}, native
+	case *CountDistinct:
+		child, native := CompileVec(x.Child)
+		return &vecDistinct{child: child}, native
+	}
+	return &vecRowAgg{fn: fn}, false
+}
+
+func growI64(s []int64, n int) []int64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growF64(s []float64, n int) []float64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growBool(s []bool, n int) []bool {
+	for len(s) < n {
+		s = append(s, false)
+	}
+	return s
+}
+
+func growAny(s []any, n int) []any {
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	return s
+}
+
+// vecCount counts non-NULL child values per group (COUNT(*)'s child is a
+// non-null literal, so it takes the same loop).
+type vecCount struct {
+	child  VecEval
+	counts []int64
+}
+
+func (a *vecCount) Update(b *VecBatch, sel []int32, gidx []int32, n int) {
+	a.counts = growI64(a.counts, n)
+	v := a.child(b, sel)
+	if !v.HasNulls() {
+		for k := range sel {
+			a.counts[gidx[k]]++
+		}
+		return
+	}
+	for k, i := range sel {
+		if !v.IsNull(int(i)) {
+			a.counts[gidx[k]]++
+		}
+	}
+}
+func (a *vecCount) Buffer(g int) any { return a.counts[g] }
+
+// vecSum accumulates integral sums in int64, float sums in float64, and
+// decimal sums through boxed Decimal addition.
+type vecSum struct {
+	kind  int // Sum.kind(): 0 integral, 1 float, 2 decimal
+	child VecEval
+	cls   int
+	seen  []bool
+	i     []int64
+	f     []float64
+	d     []types.Decimal
+}
+
+func (a *vecSum) Update(b *VecBatch, sel []int32, gidx []int32, n int) {
+	a.seen = growBool(a.seen, n)
+	v := a.child(b, sel)
+	switch a.kind {
+	case 0:
+		a.i = growI64(a.i, n)
+		if a.cls == classI64 {
+			m := v.Mask()
+			for k, i := range sel {
+				ii := int(i)
+				if v.IsNull(ii) {
+					continue
+				}
+				g := gidx[k]
+				a.seen[g] = true
+				a.i[g] += v.I64[ii&m]
+			}
+			return
+		}
+		for k, i := range sel {
+			val := v.Get(int(i))
+			if val == nil {
+				continue
+			}
+			g := gidx[k]
+			a.seen[g] = true
+			a.i[g] += asInt64(val)
+		}
+	case 1:
+		a.f = growF64(a.f, n)
+		if a.cls == classF64 {
+			m := v.Mask()
+			for k, i := range sel {
+				ii := int(i)
+				if v.IsNull(ii) {
+					continue
+				}
+				g := gidx[k]
+				a.seen[g] = true
+				a.f[g] += v.F64[ii&m]
+			}
+			return
+		}
+		for k, i := range sel {
+			val := v.Get(int(i))
+			if val == nil {
+				continue
+			}
+			g := gidx[k]
+			a.seen[g] = true
+			f, _ := toFloat(val)
+			a.f[g] += f
+		}
+	default:
+		for len(a.d) < n {
+			a.d = append(a.d, types.Decimal{})
+		}
+		for k, i := range sel {
+			val := v.Get(int(i))
+			if val == nil {
+				continue
+			}
+			g := gidx[k]
+			a.seen[g] = true
+			a.d[g] = a.d[g].Add(val.(types.Decimal))
+		}
+	}
+}
+
+func (a *vecSum) Buffer(g int) any {
+	buf := &sumBuffer{seen: a.seen[g]}
+	switch a.kind {
+	case 0:
+		buf.i = a.i[g]
+	case 1:
+		buf.f = a.f[g]
+	default:
+		buf.d = a.d[g]
+	}
+	return buf
+}
+
+// vecAvg keeps (sum, count) pairs, reading the numeric lanes directly when
+// the child vectorized.
+type vecAvg struct {
+	child  VecEval
+	cls    int
+	sums   []float64
+	counts []int64
+}
+
+func (a *vecAvg) Update(b *VecBatch, sel []int32, gidx []int32, n int) {
+	a.sums = growF64(a.sums, n)
+	a.counts = growI64(a.counts, n)
+	v := a.child(b, sel)
+	m := v.Mask()
+	switch a.cls {
+	case classF64:
+		for k, i := range sel {
+			ii := int(i)
+			if v.IsNull(ii) {
+				continue
+			}
+			g := gidx[k]
+			a.sums[g] += v.F64[ii&m]
+			a.counts[g]++
+		}
+	case classI64:
+		for k, i := range sel {
+			ii := int(i)
+			if v.IsNull(ii) {
+				continue
+			}
+			g := gidx[k]
+			a.sums[g] += float64(v.I64[ii&m])
+			a.counts[g]++
+		}
+	default:
+		for k, i := range sel {
+			val := v.Get(int(i))
+			if val == nil {
+				continue
+			}
+			g := gidx[k]
+			f, _ := toFloat(val)
+			a.sums[g] += f
+			a.counts[g]++
+		}
+	}
+}
+
+func (a *vecAvg) Buffer(g int) any {
+	return &avgBuffer{sum: a.sums[g], count: a.counts[g]}
+}
+
+// f64Less orders float64 the way row.Compare does: NaN sorts greatest.
+func f64Less(a, b float64) bool {
+	switch {
+	case math.IsNaN(a):
+		return false
+	case math.IsNaN(b):
+		return true
+	default:
+		return a < b
+	}
+}
+
+// vecMinMax keeps typed extrema for the int64/float64/string classes and
+// boxes once per group at flush; other child types fold boxed values with
+// the interpreter's own comparison.
+type vecMinMax struct {
+	child VecEval
+	cls   int
+	isMax bool
+	t     types.DataType
+	has   []bool
+	vi    []int64
+	vf    []float64
+	vs    []string
+	va    []any // classNone fallback state
+}
+
+func (a *vecMinMax) Update(b *VecBatch, sel []int32, gidx []int32, n int) {
+	a.has = growBool(a.has, n)
+	v := a.child(b, sel)
+	m := v.Mask()
+	switch a.cls {
+	case classI64:
+		a.vi = growI64(a.vi, n)
+		for k, i := range sel {
+			ii := int(i)
+			if v.IsNull(ii) {
+				continue
+			}
+			g := gidx[k]
+			x := v.I64[ii&m]
+			if !a.has[g] || (a.isMax && x > a.vi[g]) || (!a.isMax && x < a.vi[g]) {
+				a.vi[g] = x
+			}
+			a.has[g] = true
+		}
+	case classF64:
+		a.vf = growF64(a.vf, n)
+		for k, i := range sel {
+			ii := int(i)
+			if v.IsNull(ii) {
+				continue
+			}
+			g := gidx[k]
+			x := v.F64[ii&m]
+			if !a.has[g] || (a.isMax && f64Less(a.vf[g], x)) || (!a.isMax && f64Less(x, a.vf[g])) {
+				a.vf[g] = x
+			}
+			a.has[g] = true
+		}
+	case classStr:
+		for len(a.vs) < n {
+			a.vs = append(a.vs, "")
+		}
+		for k, i := range sel {
+			ii := int(i)
+			if v.IsNull(ii) {
+				continue
+			}
+			g := gidx[k]
+			x := v.Str[ii&m]
+			if !a.has[g] || (a.isMax && x > a.vs[g]) || (!a.isMax && x < a.vs[g]) {
+				a.vs[g] = x
+			}
+			a.has[g] = true
+		}
+	default:
+		a.va = growAny(a.va, n)
+		mm := MinMax{IsMax: a.isMax}
+		for k, i := range sel {
+			val := v.Get(int(i))
+			if val == nil {
+				continue
+			}
+			g := gidx[k]
+			a.va[g] = mm.pick(a.va[g], val)
+			a.has[g] = true
+		}
+	}
+}
+
+func (a *vecMinMax) Buffer(g int) any {
+	if !a.has[g] {
+		return &minmaxBuffer{}
+	}
+	switch a.cls {
+	case classI64:
+		if a.t.Equals(types.Int) || a.t.Equals(types.Date) {
+			return &minmaxBuffer{v: int32(a.vi[g])}
+		}
+		return &minmaxBuffer{v: a.vi[g]}
+	case classF64:
+		return &minmaxBuffer{v: a.vf[g]}
+	case classStr:
+		return &minmaxBuffer{v: a.vs[g]}
+	default:
+		return &minmaxBuffer{v: a.va[g]}
+	}
+}
+
+// vecFirst boxes at most once per group: the first non-NULL child value in
+// batch order, matching the scalar First exactly.
+type vecFirst struct {
+	child VecEval
+	vals  []any
+}
+
+func (a *vecFirst) Update(b *VecBatch, sel []int32, gidx []int32, n int) {
+	a.vals = growAny(a.vals, n)
+	v := a.child(b, sel)
+	for k, i := range sel {
+		g := gidx[k]
+		if a.vals[g] != nil {
+			continue
+		}
+		ii := int(i)
+		if !v.IsNull(ii) {
+			a.vals[g] = v.Get(ii)
+		}
+	}
+}
+func (a *vecFirst) Buffer(g int) any { return &firstBuffer{v: a.vals[g]} }
+
+// vecDistinct mirrors CountDistinct's per-group key sets (values box to
+// compute the injective GroupKey encoding, exactly as the scalar path does).
+type vecDistinct struct {
+	child VecEval
+	sets  []map[string]struct{}
+}
+
+var ord0 = []int{0}
+
+func (a *vecDistinct) Update(b *VecBatch, sel []int32, gidx []int32, n int) {
+	for len(a.sets) < n {
+		a.sets = append(a.sets, map[string]struct{}{})
+	}
+	v := a.child(b, sel)
+	for k, i := range sel {
+		ii := int(i)
+		if v.IsNull(ii) {
+			continue
+		}
+		a.sets[gidx[k]][row.GroupKey(row.New(v.Get(ii)), ord0)] = struct{}{}
+	}
+}
+func (a *vecDistinct) Buffer(g int) any { return &distinctBuffer{seen: a.sets[g]} }
+
+// vecRowAgg is the escape hatch for aggregate types this file does not
+// know: it boxes each selected row into a reused scratch and runs the
+// scalar Update — correct for any AggregateFunc, never fast.
+type vecRowAgg struct {
+	fn      AggregateFunc
+	bufs    []any
+	scratch row.Row
+}
+
+func (a *vecRowAgg) Update(b *VecBatch, sel []int32, gidx []int32, n int) {
+	for len(a.bufs) < n {
+		a.bufs = append(a.bufs, a.fn.NewBuffer())
+	}
+	if len(a.scratch) != len(b.Cols) {
+		a.scratch = make(row.Row, len(b.Cols))
+	}
+	for k, i := range sel {
+		g := gidx[k]
+		a.bufs[g] = a.fn.Update(a.bufs[g], b.RowInto(int(i), a.scratch))
+	}
+}
+func (a *vecRowAgg) Buffer(g int) any { return a.bufs[g] }

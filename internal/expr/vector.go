@@ -1,6 +1,8 @@
 package expr
 
 import (
+	"strings"
+
 	"repro/internal/columnar"
 	"repro/internal/row"
 	"repro/internal/types"
@@ -27,10 +29,18 @@ type VecBatch struct {
 // Row boxes row i of the batch for scalar-fallback evaluation; nil vectors
 // contribute NULL (they are unreferenced by the expression being evaluated).
 func (b *VecBatch) Row(i int) row.Row {
-	r := make(row.Row, len(b.Cols))
+	return b.RowInto(i, make(row.Row, len(b.Cols)))
+}
+
+// RowInto boxes row i of the batch into a caller-owned scratch row, so hot
+// fallback loops reuse one allocation per batch instead of one per row. The
+// scratch must not be retained past the next RowInto call.
+func (b *VecBatch) RowInto(i int, r row.Row) row.Row {
 	for j, v := range b.Cols {
 		if v != nil {
 			r[j] = v.Get(i)
+		} else {
+			r[j] = nil
 		}
 	}
 	return r
@@ -67,6 +77,20 @@ func vecClass(t types.DataType) int {
 	}
 }
 
+// Exported value-class codes so the physical layer can make fusion
+// decisions (which specialized hash table a group key or join key fits).
+const (
+	VecClassNone = classNone
+	VecClassI64  = classI64
+	VecClassF64  = classF64
+	VecClassStr  = classStr
+)
+
+// VecClassOf reports the kernel value class of a data type: VecClassI64
+// for the int64-widened types, VecClassF64 for DOUBLE, VecClassStr for
+// STRING, VecClassNone otherwise.
+func VecClassOf(t types.DataType) int { return vecClass(t) }
+
 // ---------------------------------------------------------------------------
 // Value kernels
 
@@ -93,6 +117,9 @@ func CompileVec(e Expression) (VecEval, bool) {
 
 	case *BinaryArith:
 		return compileVecArith(x)
+
+	case *DatePart:
+		return compileVecDatePart(x)
 	}
 	return vecFallbackEval(e), false
 }
@@ -107,9 +134,12 @@ func vecFallbackEval(e Expression) VecEval {
 		// KindAny storage keeps the scalar path's boxed representation
 		// exactly, whatever the declared type says.
 		out := columnar.NewAnyVector(t, b.N)
+		// One scratch row per batch, reused across rows: the scalar closure
+		// reads its inputs before returning, so nothing retains the slice.
+		scratch := make(row.Row, len(b.Cols))
 		for _, i := range sel {
 			ii := int(i)
-			if val := ev(b.Row(ii)); val == nil {
+			if val := ev(b.RowInto(ii, scratch)); val == nil {
 				out.SetNull(ii)
 			} else {
 				out.Any[ii] = val
@@ -117,6 +147,42 @@ func vecFallbackEval(e Expression) VecEval {
 		}
 		return out
 	}
+}
+
+// compileVecDatePart extracts year/month/day from a DATE vector without
+// boxing: days-since-epoch come out of the decoded int64 lane and the civil
+// split runs once per selected row.
+func compileVecDatePart(x *DatePart) (VecEval, bool) {
+	if !x.Child.DataType().Equals(types.Date) {
+		return vecFallbackEval(x), false
+	}
+	child, ok := CompileVec(x.Child)
+	if !ok {
+		return vecFallbackEval(x), false
+	}
+	part := x.Part
+	return func(b *VecBatch, sel []int32) *columnar.Vector {
+		v := child(b, sel)
+		out := columnar.NewVector(types.Int, b.N)
+		m := v.Mask()
+		for _, i := range sel {
+			ii := int(i)
+			if v.IsNull(ii) {
+				out.SetNull(ii)
+				continue
+			}
+			y, mo, d := DaysToCivil(int32(v.I64[ii&m]))
+			switch part {
+			case 0:
+				out.I64[ii] = int64(int32(y))
+			case 1:
+				out.I64[ii] = int64(int32(mo))
+			default:
+				out.I64[ii] = int64(int32(d))
+			}
+		}
+		return out
+	}, true
 }
 
 // compileVecArith builds typed arithmetic kernels for the int64 and float64
@@ -325,6 +391,12 @@ func CompileVecPredicate(e Expression) (VecPred, bool) {
 	case *In:
 		return compileVecIn(x)
 
+	case *StringMatch:
+		return compileVecStrMatch(x)
+
+	case *Like:
+		return compileVecLike(x)
+
 	case *Literal:
 		if x.Value == true {
 			return func(b *VecBatch, sel []int32) []int32 { return sel }, true
@@ -355,13 +427,84 @@ func vecFallbackPred(e Expression) VecPred {
 	pred := CompilePredicate(e)
 	return func(b *VecBatch, sel []int32) []int32 {
 		out := make([]int32, 0, len(sel))
+		scratch := make(row.Row, len(b.Cols))
 		for _, i := range sel {
-			if pred(b.Row(int(i))) {
+			if pred(b.RowInto(int(i), scratch)) {
 				out = append(out, i)
 			}
 		}
 		return out
 	}
+}
+
+// compileVecStrMatch vectorizes StartsWith/EndsWith/Contains — the targets
+// the SimplifyLike rule lowers prefix/suffix/substring LIKE patterns into —
+// as direct loops over the string lanes (no boxing, no per-row dispatch).
+func compileVecStrMatch(x *StringMatch) (VecPred, bool) {
+	if vecClass(x.Left.DataType()) != classStr || vecClass(x.Right.DataType()) != classStr {
+		return vecFallbackPred(x), false
+	}
+	l, lok := CompileVec(x.Left)
+	r, rok := CompileVec(x.Right)
+	if !lok || !rok {
+		return vecFallbackPred(x), false
+	}
+	kind := x.Kind
+	return func(b *VecBatch, sel []int32) []int32 {
+		lv, rv := l(b, sel), r(b, sel)
+		out := make([]int32, 0, len(sel))
+		lm, rm := lv.Mask(), rv.Mask()
+		ld, rd := lv.Str, rv.Str
+		for _, i := range sel {
+			ii := int(i)
+			if lv.IsNull(ii) || rv.IsNull(ii) {
+				continue
+			}
+			s, sub := ld[ii&lm], rd[ii&rm]
+			var hit bool
+			switch kind {
+			case matchStartsWith:
+				hit = strings.HasPrefix(s, sub)
+			case matchEndsWith:
+				hit = strings.HasSuffix(s, sub)
+			default:
+				hit = strings.Contains(s, sub)
+			}
+			if hit {
+				out = append(out, i)
+			}
+		}
+		return out
+	}, true
+}
+
+// compileVecLike vectorizes general LIKE: the backtracking matcher still
+// runs per row, but the operands come straight off the string lanes.
+func compileVecLike(x *Like) (VecPred, bool) {
+	if vecClass(x.Left.DataType()) != classStr || vecClass(x.Pattern.DataType()) != classStr {
+		return vecFallbackPred(x), false
+	}
+	l, lok := CompileVec(x.Left)
+	p, pok := CompileVec(x.Pattern)
+	if !lok || !pok {
+		return vecFallbackPred(x), false
+	}
+	return func(b *VecBatch, sel []int32) []int32 {
+		lv, pv := l(b, sel), p(b, sel)
+		out := make([]int32, 0, len(sel))
+		lm, pm := lv.Mask(), pv.Mask()
+		ld, pd := lv.Str, pv.Str
+		for _, i := range sel {
+			ii := int(i)
+			if lv.IsNull(ii) || pv.IsNull(ii) {
+				continue
+			}
+			if LikeMatch(ld[ii&lm], pd[ii&pm]) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}, true
 }
 
 // unionSel merges two ordered selections (each a subsequence of the same

@@ -24,6 +24,7 @@ import (
 type HashAggregateExec struct {
 	PlanEstimate
 	PlanMetrics
+	FusionNote
 	Grouping []expr.Expression
 	Aggs     []expr.Expression // Named result expressions
 	Child    SparkPlan
@@ -151,6 +152,15 @@ func (h *HashAggregateExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		})
 	}
 
+	return h.finalMerge(ctx, h.EnableMetrics(ctx.Metrics), partials, fns, resultEvals)
+}
+
+// finalMerge is phase 2 shared by the row-at-a-time and fused phase-1
+// implementations: hash-exchange the partials on the group key, then merge
+// per reducer and evaluate result expressions over the synthetic row.
+// Keeping one implementation here is what guarantees the fused path inherits
+// the grace-partitioned spill behavior (and its tests) unchanged.
+func (h *HashAggregateExec) finalMerge(ctx *ExecContext, om *OperatorMetrics, partials *rdd.RDD[aggPartial], fns []expr.AggregateFunc, resultEvals []func(row.Row) any) *rdd.RDD[row.Row] {
 	// Global aggregation collapses to one partition; grouped aggregation
 	// hash-exchanges on the key.
 	numPart := ctx.ShufflePartitions
@@ -168,7 +178,6 @@ func (h *HashAggregateExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	// when every aggregate can round-trip its buffer through the spill
 	// codec — all built-ins can) the merge map is a grace hash aggregation
 	// that partitions itself to disk instead of growing unbounded.
-	om := h.EnableMetrics(ctx.Metrics)
 	if fnsS := spillableFns(fns); ctx.SpillEnabled() && fnsS != nil {
 		return rdd.MapPartitionsCtx(shuffled, func(_ context.Context, p int, in []aggPartial) ([]row.Row, error) {
 			start := time.Now()

@@ -128,6 +128,7 @@ func nullRow(n int) row.Row { return make(row.Row, n) }
 type BroadcastHashJoinExec struct {
 	PlanEstimate
 	PlanMetrics
+	FusionNote
 	Left, Right         SparkPlan
 	LeftKeys, RightKeys []expr.Expression
 	Type                plan.JoinType

@@ -102,6 +102,7 @@ type stage struct {
 type PipelineExec struct {
 	PlanEstimate
 	PlanMetrics
+	FusionNote
 	// Stages are listed bottom (first applied) to top.
 	Stages []stage
 	Child  SparkPlan

@@ -143,6 +143,13 @@ func writeTree(sb *strings.Builder, p SparkPlan, depth int) {
 		sb.WriteString("  ")
 	}
 	sb.WriteString(p.SimpleString())
+	if fa, ok := p.(FusionAnnotated); ok {
+		if note := fa.Fusion(); note != "" {
+			sb.WriteString("  (")
+			sb.WriteString(note)
+			sb.WriteString(")")
+		}
+	}
 	if ca, ok := p.(CostAnnotated); ok {
 		if est, has := ca.Estimate(); has {
 			sb.WriteString("  (")

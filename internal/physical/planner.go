@@ -20,6 +20,11 @@ type PlannerConfig struct {
 	// Vectorize enables the preparation rule swapping fused pipelines over
 	// the columnar cache for batch-at-a-time execution.
 	Vectorize bool
+	// Fuse enables whole-stage fusion: aggregation updates and broadcast
+	// join probes are absorbed into the vectorized pipeline feeding them
+	// (requires Vectorize). Every candidate operator is annotated with the
+	// decision for EXPLAIN.
+	Fuse bool
 	// TargetPartitionBytes sizes shuffle exchanges from statistics: when an
 	// exchange's estimated input is known, the planner asks for
 	// ceil(size/target) reducers instead of the fixed session default
@@ -39,6 +44,7 @@ func DefaultPlannerConfig() PlannerConfig {
 		BroadcastThreshold:   10 << 20,
 		CollapsePipelines:    true,
 		Vectorize:            true,
+		Fuse:                 true,
 		TargetPartitionBytes: 4 << 20,
 	}
 }
@@ -78,6 +84,9 @@ func (pl *Planner) Plan(lp plan.LogicalPlan) (SparkPlan, error) {
 	}
 	if pl.Cfg.Vectorize {
 		p = Vectorize(p)
+		if pl.Cfg.Fuse {
+			p = Fuse(p)
+		}
 	}
 	return p, nil
 }

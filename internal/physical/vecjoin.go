@@ -1,0 +1,257 @@
+package physical
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/columnar"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// FusedBroadcastJoinExec is the whole-stage fusion of a vectorized pipeline
+// with a broadcast-hash-join probe: the build side is loaded once into a
+// type-specialized hash table (int64, string, or (int64, int64) keys — the
+// shapes the Fuse rule admits), and the probe loop reads join keys straight
+// off the decoded column vectors, boxing a probe row only when it actually
+// matches (or needs null-extension under LEFT OUTER). The emitted row order
+// is byte-identical to BroadcastHashJoinExec: probe rows in pipeline order,
+// matches in build-collect order.
+type FusedBroadcastJoinExec struct {
+	PlanEstimate
+	PlanMetrics
+	FusionNote
+	Join *BroadcastHashJoinExec // key/type config; its Left is unused here
+	Pipe *VectorizedPipelineExec
+}
+
+func (f *FusedBroadcastJoinExec) Children() []SparkPlan { return []SparkPlan{f.Pipe, f.Join.Right} }
+func (f *FusedBroadcastJoinExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	j := *f.Join
+	j.Right = children[1]
+	if vp, ok := children[0].(*VectorizedPipelineExec); ok {
+		c := *f
+		c.Join = &j
+		c.Pipe = vp
+		return &c
+	}
+	// The probe pipeline degraded: fall back to the row join.
+	j.Left = children[0]
+	return transferEstimate(&j, f)
+}
+func (f *FusedBroadcastJoinExec) Output() []*expr.AttributeReference {
+	return joinOutput(f.Join.Type, f.Pipe.Output(), f.Join.Right.Output())
+}
+func (f *FusedBroadcastJoinExec) SimpleString() string {
+	j := f.Join
+	return fmt.Sprintf("FusedBroadcastHashJoin %s build=right keys=[%s]=[%s]",
+		j.Type, exprListString(j.LeftKeys), exprListString(j.RightKeys))
+}
+func (f *FusedBroadcastJoinExec) String() string { return Format(f) }
+
+func (f *FusedBroadcastJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	j := f.Join
+	om := f.EnableMetrics(ctx.Metrics)
+	if !ctx.Vectorized {
+		// Runtime knob off: run the identical row join, sharing this node's
+		// metrics so EXPLAIN ANALYZE annotates the printed tree.
+		jr := *j
+		jr.Left = f.Pipe
+		jr.PlanMetrics.m = om
+		return jr.Execute(ctx)
+	}
+
+	leftOut, rightOut := f.Pipe.Output(), j.Right.Output()
+	buildEvals := bindKeys(ctx, j.RightKeys, rightOut)
+	probeVecs := make([]expr.VecEval, len(j.LeftKeys))
+	for i, k := range bindAll(j.LeftKeys, leftOut) {
+		// The Fuse rule only admits keys that compile natively.
+		probeVecs[i], _ = expr.CompileVec(k)
+	}
+	nRight := len(rightOut)
+	leftOuter := j.Type == plan.LeftOuterJoin
+
+	scan := f.Pipe.Scan
+	scanOM := scan.EnableMetrics(ctx.Metrics)
+	stages, used, _ := compileVecStages(f.Pipe.Stages, scan.Attrs)
+	eff, colTypes := scanDecodePlan(scan, used)
+
+	build := j.Right.Execute(ctx)
+	lazy := &lazyBuild[probeTable]{}
+	strKey := len(j.LeftKeys) == 1 && expr.VecClassOf(j.LeftKeys[0].DataType()) == expr.VecClassStr
+	table, keep := scan.Table, scan.Keep
+	return rdd.GenerateCtx(ctx.RDD, "fusedJoinProbe", len(table.Partitions), func(jc context.Context, p int) ([]row.Row, error) {
+		ht, err := lazy.get(jc, func(jc context.Context) (probeTable, error) {
+			rows, err := build.CollectContext(jc)
+			if err != nil {
+				return nil, err
+			}
+			if om != nil {
+				om.RecordBuild(len(rows), rowsSize(rows))
+			}
+			return buildProbeTable(rows, buildEvals, strKey), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var out []row.Row
+		kvecs := make([]*columnar.Vector, len(probeVecs))
+		for _, b := range table.Partitions[p] {
+			if keep != nil && !keep(b.Stats) {
+				continue
+			}
+			scanOM.RecordBatch(b.NumRows)
+			if om != nil {
+				om.Batches.Add(1)
+			}
+			batch := &expr.VecBatch{Cols: b.DecodeBatch(colTypes, eff), N: b.NumRows}
+			live := make([]int32, b.NumRows)
+			for i := range live {
+				live[i] = int32(i)
+			}
+			for _, st := range stages {
+				if st.isFilter {
+					live = st.pred(batch, live)
+					if len(live) == 0 {
+						break
+					}
+					continue
+				}
+				cols := make([]*columnar.Vector, len(st.evals))
+				for jj, ev := range st.evals {
+					cols[jj] = ev(batch, live)
+				}
+				batch = &expr.VecBatch{Cols: cols, N: b.NumRows}
+			}
+			if len(live) == 0 {
+				continue
+			}
+			for i, kv := range probeVecs {
+				kvecs[i] = kv(batch, live)
+			}
+			for _, i := range live {
+				ii := int(i)
+				bucket, keyOK := ht.bucket(kvecs, ii)
+				if !keyOK || len(bucket) == 0 {
+					if leftOuter {
+						out = append(out, concatRows(boxBatchRow(batch, ii), nullRow(nRight)))
+					}
+					continue
+				}
+				l := boxBatchRow(batch, ii)
+				for _, r := range bucket {
+					out = append(out, concatRows(l, r))
+				}
+			}
+		}
+		om.RecordPartition(len(out), time.Since(start))
+		return out, nil
+	})
+}
+
+// boxBatchRow materializes one probe row from the pipeline's final batch.
+func boxBatchRow(b *expr.VecBatch, i int) row.Row {
+	r := make(row.Row, len(b.Cols))
+	for j, c := range b.Cols {
+		r[j] = c.Get(i)
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Specialized build-side tables
+
+// probeTable buckets build rows by join key. bucket returns the rows whose
+// key equals probe row i's key (in build-collect order, matching the row
+// path) and whether the probe key was non-NULL — a NULL key never matches.
+type probeTable interface {
+	bucket(keys []*columnar.Vector, i int) ([]row.Row, bool)
+}
+
+// buildProbeTable loads the collected build side into the specialized table
+// for the plan's key shape. Build keys evaluate through the scalar path —
+// the build side is small (it broadcast) and arbitrary expressions stay
+// supported — and normalize to the probe lanes' representation.
+func buildProbeTable(rows []row.Row, keyEvals []func(row.Row) any, strKey bool) probeTable {
+	switch {
+	case strKey:
+		t := &strTable{m: make(map[string][]row.Row, len(rows))}
+		for _, r := range rows {
+			v := keyEvals[0](r)
+			if v == nil {
+				continue
+			}
+			k := v.(string)
+			t.m[k] = append(t.m[k], r)
+		}
+		return t
+	case len(keyEvals) == 1:
+		t := &i64Table{m: make(map[int64][]row.Row, len(rows))}
+		for _, r := range rows {
+			v := keyEvals[0](r)
+			if v == nil {
+				continue
+			}
+			k := normI64(v)
+			t.m[k] = append(t.m[k], r)
+		}
+		return t
+	default:
+		t := &pairTable{m: make(map[[2]int64][]row.Row, len(rows))}
+		for _, r := range rows {
+			v0, v1 := keyEvals[0](r), keyEvals[1](r)
+			if v0 == nil || v1 == nil {
+				continue
+			}
+			k := [2]int64{normI64(v0), normI64(v1)}
+			t.m[k] = append(t.m[k], r)
+		}
+		return t
+	}
+}
+
+// normI64 widens a boxed int64-class value (INT/DATE box as int32,
+// BIGINT/TIMESTAMP as int64) to the vector lane representation.
+func normI64(v any) int64 {
+	switch x := v.(type) {
+	case int32:
+		return int64(x)
+	case int64:
+		return x
+	}
+	panic(fmt.Sprintf("physical: non-integral build key %T escaped the fusion gate", v))
+}
+
+type i64Table struct{ m map[int64][]row.Row }
+
+func (t *i64Table) bucket(keys []*columnar.Vector, i int) ([]row.Row, bool) {
+	v := keys[0]
+	if v.IsNull(i) {
+		return nil, false
+	}
+	return t.m[v.I64[i&v.Mask()]], true
+}
+
+type strTable struct{ m map[string][]row.Row }
+
+func (t *strTable) bucket(keys []*columnar.Vector, i int) ([]row.Row, bool) {
+	v := keys[0]
+	if v.IsNull(i) {
+		return nil, false
+	}
+	return t.m[v.Str[i&v.Mask()]], true
+}
+
+type pairTable struct{ m map[[2]int64][]row.Row }
+
+func (t *pairTable) bucket(keys []*columnar.Vector, i int) ([]row.Row, bool) {
+	v0, v1 := keys[0], keys[1]
+	if v0.IsNull(i) || v1.IsNull(i) {
+		return nil, false
+	}
+	return t.m[[2]int64{v0.I64[i&v0.Mask()], v1.I64[i&v1.Mask()]}], true
+}

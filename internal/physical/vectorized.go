@@ -26,6 +26,7 @@ import (
 type VectorizedPipelineExec struct {
 	PlanEstimate
 	PlanMetrics
+	FusionNote
 	// Stages are listed bottom (first applied) to top, as in PipelineExec.
 	Stages []stage
 	Scan   *InMemoryScanExec
@@ -135,23 +136,7 @@ func (v *VectorizedPipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	om := v.EnableMetrics(ctx.Metrics)
 	scanOM := scan.EnableMetrics(ctx.Metrics)
 	stages, used, _ := compileVecStages(v.Stages, scan.Attrs)
-
-	// Per scan output position: the cached column ordinal to decode (-1 if
-	// no stage references it before the first projection) and its type.
-	eff := make([]int, len(scan.Attrs))
-	colTypes := make([]types.DataType, len(scan.Attrs))
-	for j := range scan.Attrs {
-		ord := j
-		if scan.Ordinals != nil {
-			ord = scan.Ordinals[j]
-		}
-		colTypes[j] = scan.Table.Schema.Fields[ord].Type
-		if used[j] {
-			eff[j] = ord
-		} else {
-			eff[j] = -1
-		}
-	}
+	eff, colTypes := scanDecodePlan(scan, used)
 
 	table, keep := scan.Table, scan.Keep
 	return rdd.Generate(ctx.RDD, "cacheScanVec", len(table.Partitions), func(p int) []row.Row {
@@ -197,6 +182,26 @@ func (v *VectorizedPipelineExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		om.RecordPartition(len(out), time.Since(start))
 		return out
 	})
+}
+
+// scanDecodePlan maps each scan output position to the cached column
+// ordinal to decode (-1 when no consumer references it) and its type.
+func scanDecodePlan(scan *InMemoryScanExec, used []bool) ([]int, []types.DataType) {
+	eff := make([]int, len(scan.Attrs))
+	colTypes := make([]types.DataType, len(scan.Attrs))
+	for j := range scan.Attrs {
+		ord := j
+		if scan.Ordinals != nil {
+			ord = scan.Ordinals[j]
+		}
+		colTypes[j] = scan.Table.Schema.Fields[ord].Type
+		if used[j] {
+			eff[j] = ord
+		} else {
+			eff[j] = -1
+		}
+	}
+	return eff, colTypes
 }
 
 // stageAttrs is the output schema of a projection stage.

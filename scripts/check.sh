@@ -13,6 +13,13 @@ go build ./...
 go test -race ./...
 go test -run '^$' -bench . -benchtime 1x ./...
 PERF_GATE=1 go test -run '^TestMetricsOverheadGate$' -v ./internal/experiments/
+# Whole-stage fusion gate: fused aggregation must hold its 2x speedup over
+# the unfused vectorized path on the cached Q1 aggregate shape.
+PERF_GATE=1 go test -run '^TestFusionGate$' -v ./internal/experiments/
+
+# Fusion property suite: every fused shape byte-identical to the row path,
+# at budgets down to one byte.
+go test -race -v -run '^TestFused|^TestFusion' .
 
 # Small-budget spill suite, explicitly: every blocking operator must stay
 # byte-identical to the in-memory path while spilling under tiny memory

@@ -100,6 +100,13 @@ type Config struct {
 	// with typed vectors and selection vectors instead of row-at-a-time; it
 	// requires PipelineCollapse (vectorization applies to fused pipelines).
 	Vectorized bool
+	// Fusion extends vectorization to whole-stage fusion: aggregation
+	// updates and broadcast-join probes run inside the batch pipeline over
+	// type-specialized hash tables, never materializing intermediate rows.
+	// Requires Vectorized; results are byte-identical either way, and
+	// EXPLAIN annotates each candidate operator with `fused: true` or
+	// `fallback: <reason>`.
+	Fusion bool
 	// BroadcastThreshold is the max estimated bytes for a broadcast join
 	// side (paper §4.3.3).
 	BroadcastThreshold int64
@@ -143,6 +150,7 @@ func DefaultConfig() Config {
 		JoinReorder:         true,
 		PipelineCollapse:    true,
 		Vectorized:          true,
+		Fusion:              true,
 		BroadcastThreshold:  10 << 20,
 		Metrics:             true,
 	}
@@ -155,6 +163,7 @@ func SharkConfig() Config {
 	cfg.SourcePushdown = false
 	cfg.PipelineCollapse = false
 	cfg.Vectorized = false
+	cfg.Fusion = false
 	return cfg
 }
 
@@ -170,6 +179,7 @@ func (c Config) toCore() core.Config {
 	pcfg := physical.DefaultPlannerConfig()
 	pcfg.CollapsePipelines = c.PipelineCollapse
 	pcfg.Vectorize = c.Vectorized && c.PipelineCollapse
+	pcfg.Fuse = c.Fusion && c.Vectorized && c.PipelineCollapse
 	if c.BroadcastThreshold > 0 {
 		pcfg.BroadcastThreshold = c.BroadcastThreshold
 	}
