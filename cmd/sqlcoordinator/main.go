@@ -1,0 +1,100 @@
+// Command sqlcoordinator is cmd/sqlserver with distributed execution
+// enabled: it serves the SQL line protocol to clients while dispatching
+// query partitions to sqlworker processes that join over TCP. With zero
+// workers registered every query still answers — execution gracefully
+// degrades to local compute.
+//
+//	sqlcoordinator -addr 127.0.0.1:7433 -cluster 127.0.0.1:7077 \
+//	    -table people=people.csv
+//	sqlworker -addr 127.0.0.1:7077 -id w1   # in other terminals
+//	sqlworker -addr 127.0.0.1:7077 -id w2
+//
+// Worker membership, per-worker task counts and blacklist state show up
+// in EXPLAIN ANALYZE output and on the -metrics endpoint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	sparksql "repro"
+	"repro/internal/sqlserver"
+)
+
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7433", "SQL listen address")
+	clusterAddr := flag.String("cluster", "127.0.0.1:7077", "coordinator listen address for workers")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics and /trace (empty = off)")
+	maxRows := flag.Int("maxrows", 10000, "maximum rows returned per query")
+	heartbeat := flag.Duration("heartbeat-timeout", 0, "evict workers silent for this long (0 = default)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+	var tables tableFlags
+	flag.Var(&tables, "table", "name=path registration (csv, json or gcf by extension); repeatable")
+	flag.Parse()
+
+	cfg := sparksql.DefaultConfig()
+	cfg.Cluster = &sparksql.ClusterOptions{
+		Listen:           *clusterAddr,
+		HeartbeatTimeout: *heartbeat,
+	}
+	ctx := sparksql.NewContextWithConfig(cfg)
+	defer ctx.Close()
+
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal("invalid -table %q; want name=path", spec)
+		}
+		var df *sparksql.DataFrame
+		var err error
+		switch {
+		case strings.HasSuffix(path, ".csv"):
+			df, err = ctx.Read().CSV(path)
+		case strings.HasSuffix(path, ".json"):
+			df, err = ctx.Read().JSON(path)
+		case strings.HasSuffix(path, ".gcf"):
+			df, err = ctx.Read().ColFile(path)
+		default:
+			fatal("unknown table format for %q (want .csv/.json/.gcf)", path)
+		}
+		if err != nil {
+			fatal("loading %s: %v", path, err)
+		}
+		df.RegisterTempTable(name)
+		fmt.Printf("registered %s from %s (%d columns)\n", name, path, len(df.Columns()))
+	}
+
+	srv := sqlserver.New(ctx)
+	srv.MaxRows = *maxRows
+	srv.DrainTimeout = *drain
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	fmt.Printf("serving SQL on %s\n", bound)
+	fmt.Printf("workers join at %s (sqlworker -addr %s)\n", ctx.ClusterAddr(), ctx.ClusterAddr())
+	if *metricsAddr != "" {
+		mbound, err := srv.ListenAndServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal("metrics listen: %v", err)
+		}
+		fmt.Printf("serving metrics on http://%s/metrics (trace at /trace)\n", mbound)
+	}
+	select {} // serve forever
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sqlcoordinator: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Command sqlworker runs one SQL executor process against a coordinator —
+// the reproduction's equivalent of a Spark executor. It registers over
+// TCP, receives the coordinator's session (config knobs plus catalog
+// tables), plans dispatched SQL locally, and serves its shuffle map
+// output to peer workers. Worker loss is the coordinator's problem: kill
+// this process and in-flight partitions are retried elsewhere.
+//
+//	sqlworker -addr 127.0.0.1:7077 -id w1
+//
+// The REPRO_WORKER_ADDR / REPRO_WORKER_ID environment variables override
+// the flags so process-spawning harnesses can configure workers without
+// argv plumbing.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/cluster/sqlexec"
+)
+
+func main() {
+	addr := flag.String("addr", "", "coordinator address (host:port)")
+	id := flag.String("id", "", "worker identity (default w-<pid>)")
+	flag.Parse()
+
+	if env := os.Getenv("REPRO_WORKER_ADDR"); env != "" {
+		*addr = env
+	}
+	if env := os.Getenv("REPRO_WORKER_ID"); env != "" {
+		*id = env
+	}
+	if *addr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(sqlexec.RunWorker(*addr, *id))
+}

@@ -21,6 +21,11 @@ type DataFrame struct {
 	ctx      *Context
 	logical  plan.LogicalPlan
 	analyzed plan.LogicalPlan
+	// sqlText is the originating SQL statement when this frame came from
+	// Context.SQL — the shippable form of the query for distributed
+	// execution. Derived frames clear it: a DSL transformation on top of
+	// a SQL frame is no longer the statement the text describes.
+	sqlText string
 }
 
 // derive builds a child DataFrame, eagerly analyzing the new plan.
@@ -280,6 +285,9 @@ func (df *DataFrame) CollectContext(ctx context.Context) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	if df.sqlText != "" && df.ctx.engine.Cluster() != nil {
+		return qe.q.CollectDistributedContext(ctx, df.sqlText)
+	}
 	return qe.q.CollectContext(ctx)
 }
 
@@ -293,6 +301,9 @@ func (df *DataFrame) CountContext(ctx context.Context) (int64, error) {
 	qe, err := df.queryExecution()
 	if err != nil {
 		return 0, err
+	}
+	if df.sqlText != "" && df.ctx.engine.Cluster() != nil {
+		return qe.q.CountDistributedContext(ctx, df.sqlText)
 	}
 	return qe.q.CountContext(ctx)
 }
@@ -526,6 +537,8 @@ type queryExec struct {
 		Explain() string
 		ExplainAnalyzeContext(ctx context.Context) (string, error)
 		PlanHash() uint64
+		CollectDistributedContext(ctx context.Context, sql string) ([]row.Row, error)
+		CountDistributedContext(ctx context.Context, sql string) (int64, error)
 	}
 }
 

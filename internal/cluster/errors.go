@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoWorkers reports that no healthy (registered, non-blacklisted)
+// worker is available; callers degrade to local execution.
+var ErrNoWorkers = errors.New("cluster: no workers available")
+
+// ErrClosed reports an operation against a closed coordinator or worker.
+var ErrClosed = errors.New("cluster: closed")
+
+// WorkerLostError is the failure of a task whose worker died (connection
+// loss, missed heartbeats, or a corrupt frame that forced eviction) while
+// the task was in flight. It is retryable: the dispatcher will place the
+// retried task on a different worker, and the lineage machinery recomputes
+// whatever intermediate state died with the process.
+type WorkerLostError struct {
+	Worker string
+	Reason string
+}
+
+func (e *WorkerLostError) Error() string {
+	return fmt.Sprintf("cluster: worker %s lost (%s)", e.Worker, e.Reason)
+}
+
+// RemoteError is a task failure reported by the worker that executed it.
+// Code CodeRetryable means the attempt failed but another (or another
+// worker) may succeed; CodeFallback means the worker cannot execute this
+// task at all and the caller should run it locally.
+type RemoteError struct {
+	Worker  string
+	Code    byte
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("cluster: worker %s: %s", e.Worker, e.Message)
+}
+
+// IsFallback reports whether err asks the dispatching side to execute the
+// task locally instead (the worker cannot run it: unknown task kind,
+// un-plannable query, mismatched plan shape).
+func IsFallback(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == CodeFallback
+}

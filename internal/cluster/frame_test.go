@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	for _, p := range payloads {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fTask, p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		ft, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if ft != fTask {
+			t.Fatalf("frame type = %d, want %d", ft, fTask)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("payload mismatch: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, fTask, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Fatalf("truncated frame at %d bytes decoded without error", n)
+		}
+	}
+}
+
+func TestFrameBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, fTask, []byte("the quick brown fox")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := frameHeaderSize; i < len(full); i++ {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), full...)
+			flipped[i] ^= 1 << bit
+			_, _, err := ReadFrame(bytes.NewReader(flipped))
+			if !errors.Is(err, ErrFrameCorrupt) {
+				t.Fatalf("payload bit flip at byte %d bit %d: err = %v, want ErrFrameCorrupt", i, bit, err)
+			}
+		}
+	}
+}
+
+func TestFrameOversizedLength(t *testing.T) {
+	hdr := make([]byte, frameHeaderSize)
+	hdr[0] = fTask
+	binary.BigEndian.PutUint32(hdr[1:5], MaxFrameSize+1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	// The bound must trip before allocation: a claimed 4GB-ish payload on a
+	// 9-byte stream must not OOM.
+	binary.BigEndian.PutUint32(hdr[1:5], 0xFFFFFFFF)
+	_, _, err = ReadFrame(bytes.NewReader(hdr))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	err := WriteFrame(io.Discard, fTask, make([]byte, MaxFrameSize+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzReadFrame asserts the frame decoder never panics and never
+// over-allocates on arbitrary input.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, fTask, []byte("seed payload"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{fHeartbeat, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{fTask, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrameSize {
+			t.Fatalf("decoded payload of %d bytes exceeds MaxFrameSize", len(payload))
+		}
+		// Round-trip what we decoded; it must read back identically.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, ft, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		ft2, payload2, err := ReadFrame(&out)
+		if err != nil || ft2 != ft || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip mismatch: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeMessages asserts every message decoder errors cleanly (no
+// panic, no unbounded allocation) on arbitrary bytes.
+func FuzzDecodeMessages(f *testing.F) {
+	f.Add(encodeRegister(registerMsg{ID: "w1", BlockAddr: "127.0.0.1:9", PID: 42}))
+	f.Add(encodeTask(taskMsg{TaskID: 7, Kind: "sql.partition", Payload: []byte("p")}))
+	f.Add(encodeTaskResult(taskResultMsg{TaskID: 7, Payload: []byte("r")}))
+	f.Add(encodeTaskError(taskErrorMsg{TaskID: 7, Code: CodeRetryable, Message: "boom"}))
+	f.Add(encodeLocate(locateMsg{ReqID: 3, Key: "shuffle/1"}))
+	f.Add(encodeLocated(locatedMsg{ReqID: 3, Addrs: []string{"a", "b"}}))
+	f.Add(encodeBlockData(blockDataMsg{OK: true, Data: []byte("d")}))
+	f.Add(encodeBlockData(blockDataMsg{Message: "missing"}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeRegister(data)
+		decodeTask(data)
+		decodeTaskResult(data)
+		decodeTaskError(data)
+		decodeLocate(data)
+		decodeLocated(data)
+		decodeBlockData(data)
+		decodeString(data)
+		decodeUvarint(data)
+	})
+}
+
+func TestMessageDecodersRejectTruncation(t *testing.T) {
+	full := encodeTask(taskMsg{TaskID: 99, Kind: "sql.partition", Payload: bytes.Repeat([]byte("x"), 64)})
+	for n := 0; n < len(full); n++ {
+		if _, err := decodeTask(full[:n]); err == nil {
+			t.Fatalf("truncated task message at %d bytes decoded without error", n)
+		}
+	}
+	// A length claim far beyond the buffer must error, not allocate.
+	var e enc
+	e.u64(3)
+	e.str("k")
+	e.u64(1 << 40)
+	if _, err := decodeTask(e.b); err == nil || !strings.Contains(err.Error(), "claimed") {
+		t.Fatalf("oversized payload claim: err = %v", err)
+	}
+}

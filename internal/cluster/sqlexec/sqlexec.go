@@ -1,0 +1,292 @@
+// Package sqlexec is the worker-process side of distributed SQL: it
+// registers the "sql.init" and "sql.partition" task handlers on a cluster
+// worker. Init rebuilds the coordinator's SQL context from a shipped
+// sqlwire.SessionSpec (tables, config knobs, chaos schedule); partition
+// plans the task's SQL text locally — the planner is deterministic, so
+// every process derives the same physical plan, partition numbering and
+// shuffle ids — and computes exactly one partition of the result, serving
+// shuffle buckets to and fetching them from peer workers along the way.
+package sqlexec
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	sparksql "repro"
+	"repro/internal/cluster"
+	"repro/internal/cluster/sqlwire"
+	"repro/internal/columnar"
+	"repro/internal/experiments"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// builtQuery caches one planned query's result RDD. Partitions of the
+// same query reuse it, which is what makes worker-local shuffle state
+// (memoized map sides, published buckets) shared across that query's
+// tasks instead of rebuilt per partition.
+type builtQuery struct {
+	rdd      *rdd.RDD[row.Row]
+	numPart  int
+	planHash uint64
+}
+
+type session struct {
+	epoch uint64
+	ctx   *sparksql.Context
+	mu    sync.Mutex // serializes query planning (shuffle-scope setup)
+	built map[string]*builtQuery
+}
+
+// Executor holds the sessions a worker has been initialized with and
+// serves query-partition tasks against them.
+type Executor struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// NewExecutor builds an empty executor.
+func NewExecutor() *Executor {
+	return &Executor{sessions: make(map[string]*session)}
+}
+
+// Register installs the SQL task handlers on a worker.
+func (e *Executor) Register(w *cluster.Worker) {
+	w.Register("sql.init", func(ctx context.Context, t *cluster.Task) ([]byte, error) {
+		return e.handleInit(w, t.Payload)
+	})
+	w.Register("sql.partition", func(ctx context.Context, t *cluster.Task) ([]byte, error) {
+		return e.handlePartition(ctx, t.Payload)
+	})
+}
+
+// handleInit (re)builds the session named by the spec. Init failures are
+// fallback errors: a worker that cannot hold the session should not be
+// retried against — the coordinator computes locally instead.
+func (e *Executor) handleInit(w *cluster.Worker, payload []byte) ([]byte, error) {
+	spec, err := sqlwire.DecodeSession(payload)
+	if err != nil {
+		return nil, cluster.Fallback(err)
+	}
+	e.mu.Lock()
+	if s := e.sessions[spec.ID]; s != nil && s.epoch == spec.Epoch {
+		e.mu.Unlock()
+		return nil, nil // already at this epoch
+	}
+	e.mu.Unlock()
+
+	ctx, err := buildContext(w, spec)
+	if err != nil {
+		return nil, cluster.Fallback(fmt.Errorf("sqlexec: init session %s epoch %d: %w", spec.ID, spec.Epoch, err))
+	}
+	e.mu.Lock()
+	e.sessions[spec.ID] = &session{epoch: spec.Epoch, ctx: ctx, built: make(map[string]*builtQuery)}
+	e.mu.Unlock()
+	return nil, nil
+}
+
+// buildContext materializes a SQL context from a session spec — the same
+// constructor path the coordinator used, fed the same inputs.
+func buildContext(w *cluster.Worker, spec *sqlwire.SessionSpec) (*sparksql.Context, error) {
+	cfg := sparksql.DefaultConfig()
+	cfg.Codegen = spec.Codegen
+	cfg.LogicalOptimization = spec.LogicalOptimization
+	cfg.SourcePushdown = spec.SourcePushdown
+	cfg.JoinReorder = spec.JoinReorder
+	cfg.PipelineCollapse = spec.PipelineCollapse
+	cfg.Vectorized = spec.Vectorized
+	cfg.Fusion = spec.Fusion
+	if spec.BroadcastThreshold > 0 {
+		cfg.BroadcastThreshold = spec.BroadcastThreshold
+	}
+	cfg.ShufflePartitions = spec.ShufflePartitions
+	cfg.Parallelism = spec.Parallelism
+	cfg.MemoryBudget = spec.MemoryBudget
+	ctx := sparksql.NewContextWithConfig(cfg)
+
+	rc := ctx.RDDContext()
+	if spec.BackoffBaseNS > 0 || spec.BackoffMaxNS > 0 {
+		rc.SetBackoff(time.Duration(spec.BackoffBaseNS), time.Duration(spec.BackoffMaxNS))
+	}
+	rc.SetBackoffSeed(spec.BackoffSeed)
+	if spec.Chaos.Enabled {
+		// The same deterministic failure schedule the coordinator would run
+		// in-process: afflicted task attempts fail here too, and recover
+		// through this worker's own retry loop.
+		cc := experiments.ChaosConfig{
+			Seed:           spec.Chaos.Seed,
+			FailureRate:    spec.Chaos.FailureRate,
+			FailedAttempts: spec.Chaos.FailedAttempts,
+		}
+		rc.SetFailureHook(cc.Hook())
+	}
+	rc.SetShuffleService(w.Shuffle())
+
+	for _, t := range spec.Tables {
+		if err := loadTable(ctx, t); err != nil {
+			return nil, fmt.Errorf("table %s: %w", t.Name, err)
+		}
+	}
+	return ctx, nil
+}
+
+// loadTable registers one shipped table. Uncached tables go through
+// CreateDataFrame (the worker's deterministic split of the identical row
+// slice reproduces the coordinator's partitioning); cached tables rebuild
+// the columnar cache from the shipped per-partition blocks, preserving
+// the coordinator's partition boundaries exactly.
+func loadTable(ctx *sparksql.Context, t sqlwire.TableSpec) error {
+	schema, err := sqlwire.Schema(t.Fields)
+	if err != nil {
+		return err
+	}
+	if !t.Cached {
+		var rows []row.Row
+		for _, blk := range t.Partitions {
+			part, err := row.DecodeRows(blk)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, part...)
+		}
+		df, err := ctx.CreateDataFrame(schema, rows)
+		if err != nil {
+			return err
+		}
+		df.RegisterTempTable(t.Name)
+		return nil
+	}
+	parts := make([][]row.Row, len(t.Partitions))
+	for i, blk := range t.Partitions {
+		if parts[i], err = row.DecodeRows(blk); err != nil {
+			return err
+		}
+	}
+	table := columnar.BuildTable(schema, parts, columnar.DefaultBatchSize)
+	attrs := make([]*expr.AttributeReference, len(schema.Fields))
+	for i, f := range schema.Fields {
+		attrs[i] = expr.NewAttribute(f.Name, f.Type, f.Nullable)
+	}
+	ctx.Catalog().RegisterTable(t.Name, &plan.InMemoryRelation{
+		Attrs:       attrs,
+		Table:       table,
+		SizeInBytes: table.SizeBytes(),
+		RowCount:    table.RowCount(),
+		TableStats:  table.Stats,
+	})
+	return nil
+}
+
+// handlePartition executes one partition of one query. Unknown sessions
+// are retryable with the uninitialized marker (the coordinator re-ships
+// the session and retries); plan-shape disagreements are fallback errors;
+// execution failures are plain retryable errors.
+func (e *Executor) handlePartition(jc context.Context, payload []byte) ([]byte, error) {
+	q, err := sqlwire.DecodeQuery(payload)
+	if err != nil {
+		return nil, cluster.Fallback(err)
+	}
+	e.mu.Lock()
+	s := e.sessions[q.SessionID]
+	e.mu.Unlock()
+	if s == nil || s.epoch != q.Epoch {
+		return nil, fmt.Errorf("sqlexec: %s %s epoch %d", sqlwire.UninitializedMarker, q.SessionID, q.Epoch)
+	}
+	bq, err := s.query(q.SessionID, q.SQL)
+	if err != nil {
+		// Parse/analysis/planning failures are not transient: this worker
+		// (and every other) cannot run the query; compute it locally.
+		return nil, cluster.Fallback(err)
+	}
+	if bq.numPart != q.NumPartitions || bq.planHash != q.PlanHash {
+		return nil, cluster.Fallback(fmt.Errorf(
+			"sqlexec: plan for %q diverges (%d partitions / hash %x here, %d / %x at coordinator)",
+			q.SQL, bq.numPart, bq.planHash, q.NumPartitions, q.PlanHash))
+	}
+	rows, err := bq.rdd.PartitionContext(jc, q.Partition)
+	if err != nil {
+		return nil, err
+	}
+	return row.EncodeRows(rows)
+}
+
+// query plans (or returns the cached plan of) one SQL text under the
+// session's shuffle scope. The scope string is derived from session,
+// epoch and query text only — every worker planning the same query lands
+// on identical shuffle ids, so reduce tasks can fetch map output that a
+// peer already published.
+func (s *session) query(sessionID, sql string) (*builtQuery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bq, ok := s.built[sql]; ok {
+		return bq, nil
+	}
+	df, err := s.ctx.SQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	// Shuffle ids are allocated while the RDD graph is built, so the scope
+	// must be set for the duration of ToRDD and nothing else; planning is
+	// serialized by s.mu.
+	rc := s.ctx.RDDContext()
+	rc.SetShuffleScope(fmt.Sprintf("%s/e%d/q%016x", sessionID, s.epoch, fnv64(sql)))
+	r, err := df.ToRDD()
+	rc.SetShuffleScope("")
+	if err != nil {
+		return nil, err
+	}
+	hash, err := df.PlanHash()
+	if err != nil {
+		return nil, err
+	}
+	bq := &builtQuery{rdd: r, numPart: r.NumPartitions(), planHash: hash}
+	s.built[sql] = bq
+	return bq, nil
+}
+
+func fnv64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RunIfWorker turns the current process into a cluster worker when the
+// REPRO_WORKER_ADDR environment variable is set, and never returns in
+// that case. Test binaries call it from TestMain so the multi-process
+// harness can respawn *itself* as workers (the standard re-exec pattern);
+// cmd/sqlworker calls it unconditionally via its own flag parsing.
+func RunIfWorker() {
+	addr := os.Getenv("REPRO_WORKER_ADDR")
+	if addr == "" {
+		return
+	}
+	os.Exit(RunWorker(addr, os.Getenv("REPRO_WORKER_ID")))
+}
+
+// RunWorker runs one SQL worker process against the coordinator at addr
+// until the connection ends, returning a process exit code.
+func RunWorker(addr, id string) int {
+	if id == "" {
+		id = fmt.Sprintf("w-%d", os.Getpid())
+	}
+	cfg := cluster.WorkerConfig{ID: id, CoordinatorAddr: addr}
+	if ms, err := strconv.Atoi(os.Getenv("REPRO_WORKER_HEARTBEAT_MS")); err == nil && ms > 0 {
+		cfg.HeartbeatInterval = time.Duration(ms) * time.Millisecond
+	}
+	w := cluster.NewWorker(cfg)
+	NewExecutor().Register(w)
+	if err := w.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "sqlworker %s: %v\n", id, err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,219 @@
+// Package sqlwire defines the payloads the distributed SQL layer ships
+// between coordinator and workers. Go cannot serialize the closures an RDD
+// lineage is made of, so distribution works the way the SQL front end
+// already does: the coordinator ships the *session* (table schemas and
+// rows, engine configuration knobs, fault-injection schedule) once per
+// epoch, and then one tiny QueryTask (SQL text + partition number) per
+// task. Each worker rebuilds a deterministic, bit-identical context from
+// the spec and plans the query itself; the planner being deterministic is
+// what makes partition numbers and shuffle ids line up across processes.
+//
+// Payloads are JSON: they ride inside CRC-checked frames (so integrity is
+// handled a layer down), table rows are pre-encoded with the internal/row
+// codec into opaque byte blocks (so JSON never touches row values), and
+// encoding/json rejects malformed input without panicking, which is the
+// decode-hardening contract this package owes its callers.
+package sqlwire
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// FieldSpec is one column of a shipped table schema. Type is the SQL type
+// name as types.DataType.Name() renders it ("INT", "BIGINT", "DOUBLE",
+// "DECIMAL(10,2)", ...).
+type FieldSpec struct {
+	Name     string `json:"name"`
+	Type     string `json:"type"`
+	Nullable bool   `json:"nullable"`
+}
+
+// TableSpec ships one catalog table: its schema and its rows as
+// internal/row encoded blocks. Uncached tables ship one block (the worker
+// re-partitions them exactly like the coordinator did, since both run the
+// same deterministic split); cached tables ship one block per cached
+// partition, preserving the coordinator's partition boundaries so every
+// process scans identical partitions.
+type TableSpec struct {
+	Name       string      `json:"name"`
+	Cached     bool        `json:"cached"`
+	Fields     []FieldSpec `json:"fields"`
+	Partitions [][]byte    `json:"partitions"`
+}
+
+// ChaosSpec forwards the coordinator's deterministic fault-injection
+// schedule so workers fail the same task attempts an in-process run would.
+type ChaosSpec struct {
+	Enabled        bool    `json:"enabled"`
+	Seed           uint64  `json:"seed"`
+	FailureRate    float64 `json:"failureRate"`
+	FailedAttempts int     `json:"failedAttempts"`
+}
+
+// SessionSpec is everything a worker needs to rebuild the coordinator's
+// SQL context. Epoch increments whenever the catalog contents change; a
+// worker holding an older epoch is re-initialized before the next task.
+type SessionSpec struct {
+	ID    string `json:"id"`
+	Epoch uint64 `json:"epoch"`
+
+	// Engine knobs, mirroring sparksql.Config: plans must come out
+	// identical on every process or partition numbering diverges.
+	Codegen             bool  `json:"codegen"`
+	LogicalOptimization bool  `json:"logicalOptimization"`
+	SourcePushdown      bool  `json:"sourcePushdown"`
+	JoinReorder         bool  `json:"joinReorder"`
+	PipelineCollapse    bool  `json:"pipelineCollapse"`
+	Vectorized          bool  `json:"vectorized"`
+	Fusion              bool  `json:"fusion"`
+	BroadcastThreshold  int64 `json:"broadcastThreshold"`
+	ShufflePartitions   int   `json:"shufflePartitions"`
+	Parallelism         int   `json:"parallelism"`
+	MemoryBudget        int64 `json:"memoryBudget"`
+
+	// Retry shaping, so worker-side internal retries are as deterministic
+	// as the coordinator's.
+	BackoffBaseNS int64  `json:"backoffBaseNS"`
+	BackoffMaxNS  int64  `json:"backoffMaxNS"`
+	BackoffSeed   uint64 `json:"backoffSeed"`
+
+	Chaos  ChaosSpec   `json:"chaos"`
+	Tables []TableSpec `json:"tables"`
+}
+
+// QueryTask asks a worker to execute one partition of one query. The
+// worker plans SQL itself; PlanHash is the coordinator's normalized
+// physical-plan fingerprint and NumPartitions its partition count, and a
+// worker whose own plan disagrees on either must refuse the task
+// (fallback) rather than return rows from a different plan — mixing
+// partitions of two different plans in one result would be silently
+// wrong, while falling back is merely slower.
+type QueryTask struct {
+	SessionID     string `json:"sessionID"`
+	Epoch         uint64 `json:"epoch"`
+	SQL           string `json:"sql"`
+	Partition     int    `json:"partition"`
+	NumPartitions int    `json:"numPartitions"`
+	PlanHash      uint64 `json:"planHash"`
+}
+
+// UninitializedMarker appears in the retryable error a worker returns for
+// a query task naming a session (or epoch) it does not hold — the one
+// legal reason after a worker respawn, since a fresh process under an old
+// id has empty state. The coordinator-side runtime matches on it to clear
+// its init cache so the retry re-ships the session first.
+const UninitializedMarker = "uninitialized session"
+
+// EncodeSession marshals a session spec.
+func EncodeSession(s *SessionSpec) ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSession unmarshals a session spec, rejecting trailing garbage.
+func DecodeSession(b []byte) (*SessionSpec, error) {
+	var s SessionSpec
+	if err := strictUnmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("sqlwire: session spec: %w", err)
+	}
+	return &s, nil
+}
+
+// EncodeQuery marshals a query task.
+func EncodeQuery(q *QueryTask) ([]byte, error) { return json.Marshal(q) }
+
+// DecodeQuery unmarshals a query task, rejecting trailing garbage.
+func DecodeQuery(b []byte) (*QueryTask, error) {
+	var q QueryTask
+	if err := strictUnmarshal(b, &q); err != nil {
+		return nil, fmt.Errorf("sqlwire: query task: %w", err)
+	}
+	return &q, nil
+}
+
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after payload")
+	}
+	return nil
+}
+
+// TypeName renders a data type for a FieldSpec, returning false for types
+// the wire format cannot ship (arrays, structs, UDTs); a table with any
+// unshippable column simply stays coordinator-local.
+func TypeName(t types.DataType) (string, bool) {
+	switch t {
+	case nil:
+		return "", false
+	case types.Null, types.Boolean, types.Int, types.Long, types.Float,
+		types.Double, types.String, types.Binary, types.Date, types.Timestamp:
+		return t.Name(), true
+	}
+	if _, ok := t.(types.DecimalType); ok {
+		return t.Name(), true
+	}
+	return "", false
+}
+
+// TypeFromName is the inverse of TypeName.
+func TypeFromName(name string) (types.DataType, error) {
+	switch name {
+	case "NULL":
+		return types.Null, nil
+	case "BOOLEAN":
+		return types.Boolean, nil
+	case "INT":
+		return types.Int, nil
+	case "BIGINT":
+		return types.Long, nil
+	case "FLOAT":
+		return types.Float, nil
+	case "DOUBLE":
+		return types.Double, nil
+	case "STRING":
+		return types.String, nil
+	case "BINARY":
+		return types.Binary, nil
+	case "DATE":
+		return types.Date, nil
+	case "TIMESTAMP":
+		return types.Timestamp, nil
+	}
+	var p, s int
+	if n, err := fmt.Sscanf(name, "DECIMAL(%d,%d)", &p, &s); err == nil && n == 2 {
+		return types.DecimalType{Precision: p, Scale: s}, nil
+	}
+	return nil, fmt.Errorf("sqlwire: unsupported type name %q", name)
+}
+
+// Schema converts shipped field specs back into a schema.
+func Schema(fields []FieldSpec) (types.StructType, error) {
+	out := make([]types.StructField, len(fields))
+	for i, f := range fields {
+		t, err := TypeFromName(f.Type)
+		if err != nil {
+			return types.StructType{}, err
+		}
+		out[i] = types.StructField{Name: f.Name, Type: t, Nullable: f.Nullable}
+	}
+	return types.NewStruct(out...), nil
+}
+
+// Fields converts a schema into shippable field specs; ok is false when
+// any column's type cannot be shipped.
+func Fields(schema types.StructType) ([]FieldSpec, bool) {
+	out := make([]FieldSpec, len(schema.Fields))
+	for i, f := range schema.Fields {
+		name, ok := TypeName(f.Type)
+		if !ok {
+			return nil, false
+		}
+		out[i] = FieldSpec{Name: f.Name, Type: name, Nullable: f.Nullable}
+	}
+	return out, true
+}

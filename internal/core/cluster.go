@@ -1,0 +1,407 @@
+package core
+
+// Distributed execution: ClusterRuntime adapts internal/cluster's
+// coordinator to the rdd layer's RemoteRunner hook. The runtime ships the
+// engine's catalog to workers as a sqlwire.SessionSpec (bumping an epoch
+// whenever catalog contents change), dispatches "sql.partition" tasks
+// with partition→worker affinity, and translates cluster-level failures
+// into the rdd error vocabulary: worker loss and remote task failures
+// stay retryable (the executor's ordinary backoff/re-pick loop handles
+// them), while "this can never run remotely" conditions map to
+// rdd.ErrRemoteFallback so the partition computes locally from lineage.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/sqlwire"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// ClusterOptions configures distributed execution for an engine.
+type ClusterOptions struct {
+	// Listen is the coordinator's TCP listen address ("" = 127.0.0.1:0).
+	Listen string
+	// HeartbeatTimeout, TaskTimeout, BlacklistThreshold and
+	// BlacklistCooldown forward to cluster.CoordinatorConfig (zero =
+	// that package's defaults).
+	HeartbeatTimeout   time.Duration
+	TaskTimeout        time.Duration
+	BlacklistThreshold int
+	BlacklistCooldown  time.Duration
+	// Session is the config-knob template shipped to workers; the caller
+	// (sparksql) fills it from its Config so worker contexts plan
+	// identically. ID, Epoch and Tables are overwritten by the runtime.
+	Session sqlwire.SessionSpec
+}
+
+// maxSpecBytes caps a shipped session: a spec that does not fit well
+// inside one frame marks the session unshippable and queries run locally.
+const maxSpecBytes = cluster.MaxFrameSize - 4096
+
+var sessionSeq atomic.Uint64
+
+// ClusterRuntime owns the coordinator and the session-shipping state.
+type ClusterRuntime struct {
+	e     *Engine
+	coord *cluster.Coordinator
+
+	mu        sync.Mutex
+	template  sqlwire.SessionSpec
+	sessionID string
+	epoch     uint64
+	fp        uint64
+	specBytes []byte
+	shippable bool
+	inited    map[string]uint64      // workerID → epoch it holds
+	initLocks map[string]*sync.Mutex // serializes init per worker
+}
+
+// EnableCluster starts a coordinator for the engine and installs the
+// runtime as the rdd layer's remote dispatcher.
+func EnableCluster(e *Engine, opts ClusterOptions) (*ClusterRuntime, error) {
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatTimeout:   opts.HeartbeatTimeout,
+		TaskTimeout:        opts.TaskTimeout,
+		BlacklistThreshold: opts.BlacklistThreshold,
+		BlacklistCooldown:  opts.BlacklistCooldown,
+		Registry:           e.RDDCtx.Metrics(),
+	})
+	addr := opts.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if _, err := coord.Start(addr); err != nil {
+		return nil, fmt.Errorf("core: cluster listen: %w", err)
+	}
+	rt := &ClusterRuntime{
+		e:         e,
+		coord:     coord,
+		template:  opts.Session,
+		sessionID: fmt.Sprintf("s%d-%d", os.Getpid(), sessionSeq.Add(1)),
+		inited:    make(map[string]uint64),
+		initLocks: make(map[string]*sync.Mutex),
+	}
+	e.cluster = rt
+	e.RDDCtx.SetRemoteRunner(rt)
+	return rt, nil
+}
+
+// Cluster returns the engine's cluster runtime (nil when not enabled).
+func (e *Engine) Cluster() *ClusterRuntime { return e.cluster }
+
+// Coordinator exposes the underlying coordinator for membership queries
+// and chaos hooks.
+func (rt *ClusterRuntime) Coordinator() *cluster.Coordinator { return rt.coord }
+
+// Addr returns the coordinator's listen address.
+func (rt *ClusterRuntime) Addr() string { return rt.coord.Addr() }
+
+// Close stops the coordinator; workers see a goodbye and exit.
+func (rt *ClusterRuntime) Close() error { return rt.coord.Close() }
+
+// SetChaos forwards a fault-injection schedule to workers (the next
+// refresh bumps the epoch, re-shipping sessions with the new schedule).
+func (rt *ClusterRuntime) SetChaos(c sqlwire.ChaosSpec) {
+	rt.mu.Lock()
+	rt.template.Chaos = c
+	rt.mu.Unlock()
+}
+
+// SetWorkerBackoff shapes worker-side internal retries.
+func (rt *ClusterRuntime) SetWorkerBackoff(base, max time.Duration, seed uint64) {
+	rt.mu.Lock()
+	rt.template.BackoffBaseNS = int64(base)
+	rt.template.BackoffMaxNS = int64(max)
+	rt.template.BackoffSeed = seed
+	rt.mu.Unlock()
+}
+
+// RefreshSession rebuilds the shipped session spec from the catalog. If
+// anything changed since the last refresh the epoch advances and every
+// worker is re-initialized before its next task. Failures only mark the
+// session unshippable — queries then run locally, never wrongly.
+func (rt *ClusterRuntime) RefreshSession() {
+	tables := rt.collectTables()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	spec := rt.template
+	spec.ID = rt.sessionID
+	spec.Epoch = 0
+	spec.Tables = tables
+	probe, err := sqlwire.EncodeSession(&spec)
+	if err != nil {
+		rt.shippable = false
+		return
+	}
+	h := fnv.New64a()
+	h.Write(probe)
+	fp := h.Sum64()
+	if fp != rt.fp || rt.specBytes == nil {
+		rt.epoch++
+		rt.fp = fp
+		spec.Epoch = rt.epoch
+		if rt.specBytes, err = sqlwire.EncodeSession(&spec); err != nil {
+			rt.shippable = false
+			return
+		}
+		rt.inited = make(map[string]uint64)
+	}
+	rt.shippable = len(rt.specBytes) <= maxSpecBytes
+}
+
+// collectTables converts every shippable catalog table into a TableSpec.
+// Tables whose plan or schema cannot ship (views, data sources, exotic
+// column types) are skipped: queries referencing them fail analysis on
+// the worker and fall back to local compute.
+func (rt *ClusterRuntime) collectTables() []sqlwire.TableSpec {
+	names := rt.e.Catalog.TableNames()
+	sort.Strings(names)
+	var out []sqlwire.TableSpec
+	for _, name := range names {
+		lp, ok := rt.e.Catalog.LookupTable(name)
+		if !ok {
+			continue
+		}
+		switch t := lp.(type) {
+		case *plan.LocalRelation:
+			fields, ok := attrFields(t.Attrs)
+			if !ok {
+				continue
+			}
+			blk, err := row.EncodeRows(t.Rows)
+			if err != nil {
+				continue
+			}
+			out = append(out, sqlwire.TableSpec{
+				Name: name, Fields: fields, Partitions: [][]byte{blk},
+			})
+		case *plan.InMemoryRelation:
+			fields, ok := sqlwire.Fields(t.Table.Schema)
+			if !ok {
+				continue
+			}
+			parts := make([][]byte, len(t.Table.Partitions))
+			shippable := true
+			for p := range t.Table.Partitions {
+				blk, err := row.EncodeRows(t.Table.ScanPartition(p, nil, nil))
+				if err != nil {
+					shippable = false
+					break
+				}
+				parts[p] = blk
+			}
+			if !shippable {
+				continue
+			}
+			out = append(out, sqlwire.TableSpec{
+				Name: name, Cached: true, Fields: fields, Partitions: parts,
+			})
+		}
+	}
+	return out
+}
+
+func attrFields(attrs []*expr.AttributeReference) ([]sqlwire.FieldSpec, bool) {
+	fields := make([]types.StructField, len(attrs))
+	for i, a := range attrs {
+		fields[i] = types.StructField{Name: a.Name, Type: a.Type, Nullable: a.Null}
+	}
+	return sqlwire.Fields(types.NewStruct(fields...))
+}
+
+// session snapshots the shipped identity for query payloads.
+func (rt *ClusterRuntime) session() (id string, epoch uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.sessionID, rt.epoch
+}
+
+func (rt *ClusterRuntime) clearInit(workerID string) {
+	rt.mu.Lock()
+	delete(rt.inited, workerID)
+	rt.mu.Unlock()
+}
+
+// ensureInit ships the current session to the worker unless it already
+// holds this epoch. Init is serialized per worker so concurrent partition
+// tasks do not each ship the (potentially large) spec.
+func (rt *ClusterRuntime) ensureInit(jc context.Context, workerID string) error {
+	rt.mu.Lock()
+	if rt.inited[workerID] == rt.epoch {
+		rt.mu.Unlock()
+		return nil
+	}
+	lk := rt.initLocks[workerID]
+	if lk == nil {
+		lk = &sync.Mutex{}
+		rt.initLocks[workerID] = lk
+	}
+	rt.mu.Unlock()
+
+	lk.Lock()
+	defer lk.Unlock()
+	rt.mu.Lock()
+	done := rt.inited[workerID] == rt.epoch
+	spec, epoch := rt.specBytes, rt.epoch
+	rt.mu.Unlock()
+	if done {
+		return nil
+	}
+	if _, err := rt.coord.RunOnWorker(jc, workerID, "sql.init", spec); err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	if rt.epoch == epoch {
+		rt.inited[workerID] = epoch
+	}
+	rt.mu.Unlock()
+	return nil
+}
+
+// Available implements rdd.RemoteRunner.
+func (rt *ClusterRuntime) Available() bool { return rt.coord.Available() }
+
+// RunTask implements rdd.RemoteRunner: pick a worker by partition
+// affinity, make sure it holds the session, dispatch, translate errors.
+func (rt *ClusterRuntime) RunTask(jc context.Context, kind string, partition int, payload []byte) ([]byte, string, error) {
+	rt.mu.Lock()
+	shippable := rt.shippable
+	rt.mu.Unlock()
+	if !shippable {
+		return nil, "", rdd.ErrRemoteFallback
+	}
+	workerID, err := rt.coord.Pick(partition)
+	if err != nil {
+		return nil, "", translateNoWorker(err)
+	}
+	if err := rt.ensureInit(jc, workerID); err != nil {
+		return nil, workerID, translateTaskErr(rt, workerID, err)
+	}
+	res, err := rt.coord.RunOnWorker(jc, workerID, kind, payload)
+	if err != nil {
+		return nil, workerID, translateTaskErr(rt, workerID, err)
+	}
+	return res, workerID, nil
+}
+
+func translateNoWorker(err error) error {
+	if errors.Is(err, cluster.ErrNoWorkers) || errors.Is(err, cluster.ErrClosed) {
+		return fmt.Errorf("%w: %v", rdd.ErrNoWorkers, err)
+	}
+	return err
+}
+
+func translateTaskErr(rt *ClusterRuntime, workerID string, err error) error {
+	var lost *cluster.WorkerLostError
+	if errors.As(err, &lost) {
+		// The worker (or its connection) died: drop our init record so a
+		// respawned process under the same id is re-shipped the session,
+		// and keep the error retryable — the executor re-picks.
+		rt.clearInit(workerID)
+		return err
+	}
+	var re *cluster.RemoteError
+	if errors.As(err, &re) && strings.Contains(re.Message, sqlwire.UninitializedMarker) {
+		// A fresh process re-registered under a known id between our init
+		// and this task: clear the cache so the retry re-initializes.
+		rt.clearInit(workerID)
+		return err
+	}
+	if cluster.IsFallback(err) {
+		return fmt.Errorf("%w: %v", rdd.ErrRemoteFallback, err)
+	}
+	return err
+}
+
+// --- distributed actions -------------------------------------------------
+
+// CollectDistributedContext is CollectContext, but partitions are
+// dispatched to cluster workers when the engine has one attached and the
+// query arrived as SQL text (the only form we can ship). Every failure
+// mode degrades to the local path; results are identical either way.
+func (q *QueryExecution) CollectDistributedContext(ctx context.Context, sql string) ([]row.Row, error) {
+	r, cleanup, jc, ok := q.distributed(ctx, sql)
+	if !ok {
+		return q.CollectContext(ctx)
+	}
+	defer cleanup()
+	return r.CollectContext(jc)
+}
+
+// CountDistributedContext is CountContext over the distributed wrapper.
+func (q *QueryExecution) CountDistributedContext(ctx context.Context, sql string) (int64, error) {
+	r, cleanup, jc, ok := q.distributed(ctx, sql)
+	if !ok {
+		return q.CountContext(ctx)
+	}
+	defer cleanup()
+	return r.CountContext(jc)
+}
+
+// distributed builds the RemoteOrLocal wrapper for this query, or reports
+// ok=false when the query must run locally.
+func (q *QueryExecution) distributed(ctx context.Context, sql string) (*rdd.RDD[row.Row], func(), context.Context, bool) {
+	rt := q.engine.cluster
+	if rt == nil || sql == "" {
+		return nil, nil, nil, false
+	}
+	rt.RefreshSession()
+	sessionID, epoch := rt.session()
+	ec := q.engine.ExecContext()
+	jc, cancel := q.engine.queryContext(ctx)
+	cleanup := func() {
+		cancel()
+		ec.CleanupSpills()
+	}
+	local := q.Physical.Execute(ec)
+	np := local.NumPartitions()
+	planHash := q.PlanHash()
+	payload := func(p int) []byte {
+		b, err := sqlwire.EncodeQuery(&sqlwire.QueryTask{
+			SessionID:     sessionID,
+			Epoch:         epoch,
+			SQL:           sql,
+			Partition:     p,
+			NumPartitions: np,
+			PlanHash:      planHash,
+		})
+		if err != nil {
+			return nil // undecodable payload fails worker-side → fallback
+		}
+		return b
+	}
+	return rdd.RemoteOrLocal(local, "sql.partition", payload, row.DecodeRows), cleanup, jc, true
+}
+
+// ClusterSummary renders current membership and per-worker task counts —
+// the "== Cluster ==" section of EXPLAIN ANALYZE under a cluster engine.
+func (rt *ClusterRuntime) ClusterSummary() string {
+	ws := rt.coord.Workers()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workers: %d registered\n", len(ws))
+	reg := rt.e.RDDCtx.Metrics()
+	for _, w := range ws {
+		status := ""
+		if w.Banned {
+			status = " BLACKLISTED"
+		}
+		fmt.Fprintf(&sb, "  %s pid=%d inflight=%d failures=%d tasks=%d%s\n",
+			w.ID, w.PID, w.Inflight, w.Failures,
+			reg.Counter("cluster.tasks.worker."+w.ID).Load(), status)
+	}
+	return sb.String()
+}

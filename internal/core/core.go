@@ -104,6 +104,9 @@ type Engine struct {
 	SpillFS *dfs.FileSystem
 	planner *physical.Planner
 	opt     *optimizer.Optimizer
+	// cluster is the distributed-execution runtime (nil = local engine);
+	// see cluster.go and EnableCluster.
+	cluster *ClusterRuntime
 }
 
 // NewEngine builds an engine with the given configuration.
@@ -292,6 +295,10 @@ func (q *QueryExecution) ExplainAnalyzeContext(ctx context.Context) (string, err
 	sb.WriteString(q.Physical.String())
 	fmt.Fprintf(&sb, "== Runtime ==\nresult: %d rows in %.1f ms\n",
 		len(rows), float64(elapsed.Microseconds())/1e3)
+	if q.engine.cluster != nil {
+		sb.WriteString("== Cluster ==\n")
+		sb.WriteString(q.engine.cluster.ClusterSummary())
+	}
 	return sb.String(), nil
 }
 
@@ -299,12 +306,19 @@ func (q *QueryExecution) ExplainAnalyzeContext(ctx context.Context) (string, err
 // between two plannings of the same query text.
 var planIDs = regexp.MustCompile(`#\d+`)
 
+// planActuals matches the runtime "(actual: ...)" annotations that
+// instrumentation appends to operator strings once a plan has executed;
+// they must not perturb the plan fingerprint.
+var planActuals = regexp.MustCompile(`  \(actual: [^)]*\)`)
+
 // PlanHash returns a stable FNV-1a fingerprint of the physical plan with
 // expression IDs normalized out, so identical statements (and identical
 // plan shapes) hash alike across executions — the query log's correlation
 // key for "which plan ran".
 func (q *QueryExecution) PlanHash() uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(planIDs.ReplaceAllString(q.Physical.String(), "#")))
+	norm := planIDs.ReplaceAllString(q.Physical.String(), "#")
+	norm = planActuals.ReplaceAllString(norm, "")
+	h.Write([]byte(norm))
 	return h.Sum64()
 }

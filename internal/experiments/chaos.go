@@ -60,6 +60,13 @@ func (c ChaosConfig) hook() func(name string, partition, attempt int) error {
 	}
 }
 
+// Hook exposes the schedule to other packages: worker processes of the
+// distributed chaos harness install the same deterministic hook so the
+// failure schedule is identical whether a task runs in-process or remote.
+func (c ChaosConfig) Hook() func(name string, partition, attempt int) error {
+	return c.hook()
+}
+
 func fnv64(s string) uint64 {
 	var h uint64 = 14695981039346656037
 	for i := 0; i < len(s); i++ {

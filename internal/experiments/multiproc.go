@@ -1,0 +1,327 @@
+package experiments
+
+// Multi-process chaos: the distributed-execution counterpart of the
+// in-process chaos study. The harness runs a coordinator context in this
+// process and 3–5 real worker processes (the current executable re-execed
+// with REPRO_WORKER_ADDR set — callers' TestMain must route that through
+// sqlexec.RunIfWorker), then drives the SQL chaos workload while
+// SIGKILLing workers mid-query, respawning them under the same identity,
+// evicting one via dropped heartbeats and corrupting a task-result frame.
+// Every query's result must stay byte-identical to a fault-free local
+// golden run: worker loss may only ever cost time, never answers.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	sparksql "repro"
+	"repro/internal/cluster"
+	"repro/internal/cluster/sqlwire"
+)
+
+// MultiprocConfig shapes one multi-process chaos run.
+type MultiprocConfig struct {
+	// Workers is how many worker processes to spawn (the issue's 3–5).
+	Workers int
+	// N is the rankings table size.
+	N int64
+	// Chaos is the worker-side injected task-failure schedule, shipped to
+	// every worker and mirrored on the coordinator so local fallback tasks
+	// see the same faults. Zero FailureRate disables injection.
+	Chaos ChaosConfig
+	// KillWorker SIGKILLs one worker mid-query and respawns it under the
+	// same identity (exercising session re-initialization).
+	KillWorker bool
+	// FrameFaults evicts one worker by dropping its heartbeats and then
+	// corrupts a task-result frame, exercising CRC-driven eviction.
+	FrameFaults bool
+	// MemoryBudget, when non-zero, runs the workload under a spill-forcing
+	// budget on the coordinator (the spill suite's distributed variant).
+	MemoryBudget int64
+}
+
+// DefaultMultiprocConfig is the configuration the multiproc tests and
+// scripts/check.sh run: three workers, every fault class enabled.
+func DefaultMultiprocConfig() MultiprocConfig {
+	return MultiprocConfig{
+		Workers:     3,
+		N:           1200,
+		Chaos:       ChaosConfig{Seed: 0xD157, FailureRate: 0.1, FailedAttempts: 2},
+		KillWorker:  true,
+		FrameFaults: true,
+	}
+}
+
+// MultiprocResult summarizes one run for reporting.
+type MultiprocResult struct {
+	// Queries is how many distributed statements were verified.
+	Queries int
+	// RemoteTasks is how many tasks completed on worker processes.
+	RemoteTasks int64
+	// FailedDispatches counts dispatches that errored (worker loss,
+	// injected faults, frame faults) and were recovered from.
+	FailedDispatches int64
+	// Kills is how many worker processes were SIGKILLed or evicted.
+	Kills int
+	// RecoveryMillis is, per kill, the time from the fault to the next
+	// successfully verified query (includes eviction detection, retry and
+	// any local recompute).
+	RecoveryMillis []float64
+}
+
+// multiprocQueries is the distributed workload: filter, aggregation,
+// count, shuffle join and global sort — every exchange flavor.
+func multiprocQueries() []string {
+	return []string{
+		"SELECT pageURL, pageRank FROM rankings WHERE pageRank > 30",
+		"SELECT pageRank, COUNT(*), SUM(avgDuration) FROM rankings GROUP BY pageRank",
+		"SELECT COUNT(*) FROM rankings WHERE pageRank > 50",
+		"SELECT a.pageURL, a.pageRank, b.avgDuration FROM rankings a JOIN rankings b ON a.pageURL = b.pageURL",
+		"SELECT DISTINCT pageRank FROM rankings ORDER BY pageRank",
+	}
+}
+
+// workerProc is one spawned worker process.
+type workerProc struct {
+	id  string
+	cmd *exec.Cmd
+}
+
+// spawnWorker re-execs the current binary as a worker joining addr. The
+// child dies with the parent (PDEATHSIG) so a crashed harness cannot leak
+// processes.
+func spawnWorker(addr, id string) (*workerProc, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"REPRO_WORKER_ADDR="+addr,
+		"REPRO_WORKER_ID="+id,
+		"REPRO_WORKER_HEARTBEAT_MS=100",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	// Reap in the background so kills do not leave zombies.
+	w := &workerProc{id: id, cmd: cmd}
+	go cmd.Wait()
+	return w, nil
+}
+
+func (w *workerProc) kill() {
+	w.cmd.Process.Kill()
+}
+
+// waitWorkers blocks until n workers are registered (or errors out).
+func waitWorkers(ctx *sparksql.Context, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for ctx.Cluster().Coordinator().NumWorkers() < n {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("multiproc: only %d/%d workers registered after %v",
+				ctx.Cluster().Coordinator().NumWorkers(), n, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+// RunMultiprocChaos runs the distributed chaos suite. The calling process
+// must have passed sqlexec.RunIfWorker in its TestMain (or equivalent) so
+// the re-exec spawns workers rather than recursing into the harness.
+func RunMultiprocChaos(cfg MultiprocConfig) (*MultiprocResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	res := &MultiprocResult{}
+	queries := multiprocQueries()
+
+	// Fault-free local golden run.
+	golden, err := chaosContext(cfg.N, false, false)
+	if err != nil {
+		return nil, err
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		rows, err := collectSQL(golden, q)
+		if err != nil {
+			return nil, fmt.Errorf("multiproc golden %q: %w", q, err)
+		}
+		want[i] = formatRows(rows)
+	}
+
+	// Coordinator context: aggressive heartbeat deadline so eviction (and
+	// therefore recovery) is fast enough to measure in a test run.
+	dcfg := sparksql.DefaultConfig()
+	dcfg.Parallelism = 4
+	dcfg.ShufflePartitions = 4
+	dcfg.MemoryBudget = cfg.MemoryBudget
+	dcfg.Cluster = &sparksql.ClusterOptions{
+		HeartbeatTimeout: 700 * time.Millisecond,
+		TaskTimeout:      30 * time.Second,
+	}
+	dist := sparksql.NewContextWithConfig(dcfg)
+	defer dist.Close()
+	if err := loadRankings(dist, cfg.N, false); err != nil {
+		return nil, err
+	}
+	rc := dist.RDDContext()
+	rc.SetBackoff(time.Microsecond, 50*time.Microsecond)
+	if cfg.Chaos.FailureRate > 0 {
+		rc.SetFailureHook(cfg.Chaos.hook())
+		dist.Cluster().SetChaos(sqlwire.ChaosSpec{
+			Enabled:        true,
+			Seed:           cfg.Chaos.Seed,
+			FailureRate:    cfg.Chaos.FailureRate,
+			FailedAttempts: cfg.Chaos.FailedAttempts,
+		})
+		dist.Cluster().SetWorkerBackoff(time.Microsecond, 50*time.Microsecond, cfg.Chaos.Seed)
+	}
+
+	check := func(phase string, idx int) error {
+		rows, err := collectSQL(dist, queries[idx])
+		if err != nil {
+			return fmt.Errorf("multiproc %s %q: %w", phase, queries[idx], err)
+		}
+		if formatRows(rows) != want[idx] {
+			return fmt.Errorf("multiproc %s: %q diverged from local golden", phase, queries[idx])
+		}
+		res.Queries++
+		return nil
+	}
+
+	// Phase 0: zero workers — graceful degradation to local execution.
+	if err := check("zero-workers", 0); err != nil {
+		return nil, err
+	}
+	if n := dist.Metrics().Counter("cluster.tasks.dispatched").Load(); n != 0 {
+		return nil, fmt.Errorf("multiproc: %d tasks dispatched with no workers", n)
+	}
+
+	// Phase 1: spawn the fleet, run everything distributed.
+	addr := dist.ClusterAddr()
+	procs := make(map[string]*workerProc, cfg.Workers)
+	defer func() {
+		for _, p := range procs {
+			p.kill()
+		}
+	}()
+	for i := 0; i < cfg.Workers; i++ {
+		id := fmt.Sprintf("mp-w%d", i)
+		p, err := spawnWorker(addr, id)
+		if err != nil {
+			return nil, fmt.Errorf("multiproc: spawn %s: %w", id, err)
+		}
+		procs[id] = p
+	}
+	if err := waitWorkers(dist, cfg.Workers, 10*time.Second); err != nil {
+		return nil, err
+	}
+	for i := range queries {
+		if err := check("distributed", i); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: SIGKILL one worker while a query is in flight, then verify
+	// the whole workload again. The killed worker's shuffle output and
+	// session state die with the process; lineage recompute and retry must
+	// absorb the loss. Recovery latency is fault → next verified answer.
+	if cfg.KillWorker {
+		victim := procs["mp-w0"]
+		var killed atomic.Bool
+		go func() {
+			time.Sleep(2 * time.Millisecond) // land mid-query, not between
+			victim.kill()
+			killed.Store(true)
+		}()
+		start := time.Now()
+		for i := range queries {
+			if err := check("worker-kill", i); err != nil {
+				return nil, err
+			}
+		}
+		for !killed.Load() {
+			time.Sleep(time.Millisecond)
+		}
+		res.Kills++
+		res.RecoveryMillis = append(res.RecoveryMillis,
+			float64(time.Since(start).Microseconds())/1000)
+
+		// Respawn under the same identity: the coordinator's init cache
+		// still remembers mp-w0, so the first dispatch to the fresh process
+		// must trip the uninitialized-session retry and re-ship the spec.
+		p, err := spawnWorker(addr, "mp-w0")
+		if err != nil {
+			return nil, fmt.Errorf("multiproc: respawn: %w", err)
+		}
+		procs["mp-w0"] = p
+		if err := waitWorkers(dist, cfg.Workers, 10*time.Second); err != nil {
+			return nil, err
+		}
+		if err := check("respawn", 1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: frame faults. Drop every heartbeat from one worker — the
+	// janitor must evict it even though its TCP connection stays healthy —
+	// then corrupt a task-result frame, which reads as a checksum failure
+	// and evicts the sender. Answers still may not change.
+	if cfg.FrameFaults {
+		coord := dist.Cluster().Coordinator()
+		coord.SetFrameFaultHook(func(workerID string, frameType byte) cluster.FrameFault {
+			if workerID == "mp-w1" && frameType == cluster.FrameTypeHeartbeat {
+				return cluster.FrameDrop
+			}
+			return cluster.FramePass
+		})
+		start := time.Now()
+		evictDeadline := time.Now().Add(10 * time.Second)
+		for coord.NumWorkers() > cfg.Workers-1 {
+			if time.Now().After(evictDeadline) {
+				return nil, fmt.Errorf("multiproc: heartbeat-starved worker never evicted")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		coord.SetFrameFaultHook(nil)
+		res.Kills++
+		if err := check("heartbeat-eviction", 2); err != nil {
+			return nil, err
+		}
+		res.RecoveryMillis = append(res.RecoveryMillis,
+			float64(time.Since(start).Microseconds())/1000)
+
+		// One corrupted result frame: the first dispatch after this loses
+		// its worker; the retry (elsewhere or local) still answers.
+		var corrupted atomic.Bool
+		coord.SetFrameFaultHook(func(workerID string, frameType byte) cluster.FrameFault {
+			if frameType == cluster.FrameTypeTaskResult && corrupted.CompareAndSwap(false, true) {
+				return cluster.FrameCorrupt
+			}
+			return cluster.FramePass
+		})
+		if err := check("corrupt-frame", 3); err != nil {
+			return nil, err
+		}
+		coord.SetFrameFaultHook(nil)
+		if corrupted.Load() {
+			res.Kills++
+		}
+	}
+
+	res.RemoteTasks = dist.Metrics().Counter("cluster.tasks.completed").Load()
+	res.FailedDispatches = dist.Metrics().Counter("cluster.tasks.failed").Load()
+	if res.RemoteTasks == 0 {
+		return nil, fmt.Errorf("multiproc: no task ever completed on a worker process")
+	}
+	return res, nil
+}

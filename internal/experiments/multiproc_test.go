@@ -1,0 +1,56 @@
+// The multiproc tests live in the external test package so TestMain can
+// import sqlexec (the worker-side executor): package experiments itself
+// must not, because sqlexec imports experiments for the chaos schedule.
+package experiments_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/cluster/sqlexec"
+	"repro/internal/experiments"
+)
+
+// TestMain lets the test binary re-exec itself as a worker process: when
+// the multiproc harness spawns os.Executable() with REPRO_WORKER_ADDR
+// set, RunIfWorker turns this process into a cluster worker and never
+// returns. Without the variable, tests run normally.
+func TestMain(m *testing.M) {
+	sqlexec.RunIfWorker()
+	os.Exit(m.Run())
+}
+
+func TestMultiprocChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos suite in -short mode")
+	}
+	res, err := experiments.RunMultiprocChaos(experiments.DefaultMultiprocConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteTasks == 0 {
+		t.Fatal("no remote task completed")
+	}
+	if res.Kills < 2 {
+		t.Fatalf("harness reported %d kills, want >= 2 (SIGKILL + eviction)", res.Kills)
+	}
+	t.Logf("multiproc: %d queries verified, %d remote tasks, %d failed dispatches, %d kills, recovery %v ms",
+		res.Queries, res.RemoteTasks, res.FailedDispatches, res.Kills, res.RecoveryMillis)
+}
+
+func TestMultiprocSpill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process spill suite in -short mode")
+	}
+	cfg := experiments.DefaultMultiprocConfig()
+	cfg.MemoryBudget = 16 << 10
+	cfg.KillWorker = false
+	cfg.FrameFaults = false
+	res, err := experiments.RunMultiprocChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteTasks == 0 {
+		t.Fatal("no remote task completed under memory budget")
+	}
+}

@@ -28,6 +28,7 @@ type Span struct {
 	Partition   int      `json:"partition,omitempty"`
 	Attempt     int      `json:"attempt,omitempty"`
 	Speculative bool     `json:"speculative,omitempty"`
+	Worker      string   `json:"worker,omitempty"` // remote worker id; "" = local
 	Start       int64    `json:"start_us"`            // microseconds since process-start reference
 	QueuedNS    int64    `json:"queued_ns,omitempty"` // time waiting for an executor slot
 	DurNS       int64    `json:"dur_ns"`

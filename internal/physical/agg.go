@@ -351,9 +351,9 @@ func (d *DistinctExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	if d.Partitions > 0 && d.Partitions < numPart {
 		numPart = d.Partitions
 	}
-	shuffled := rdd.PartitionByHash(d.Child.Execute(ctx), numPart, func(r row.Row) uint64 {
+	shuffled := rdd.PartitionByHashCodec(d.Child.Execute(ctx), numPart, func(r row.Row) uint64 {
 		return row.Hash(r, ords)
-	})
+	}, rowShuffleCodec)
 	om := d.EnableMetrics(ctx.Metrics)
 	// Under a memory budget the dedup map is the aggregation machinery with
 	// zero aggregate buffers: grace-partitioned to disk, re-merged on read,

@@ -290,7 +290,7 @@ func rangePartition(ctx *ExecContext, child *rdd.RDD[row.Row], less func(a, b ro
 	if n <= 1 {
 		return rdd.Coalesce(child, 1)
 	}
-	return rdd.PartitionByFunc(child, n, func(parts [][]row.Row) func(row.Row) int {
+	return rdd.PartitionByFuncCodec(child, n, func(parts [][]row.Row) func(row.Row) int {
 		bounds := sampleBounds(parts, n, less)
 		if len(bounds) == 0 {
 			return func(row.Row) int { return 0 }
@@ -300,7 +300,7 @@ func rangePartition(ctx *ExecContext, child *rdd.RDD[row.Row], less func(a, b ro
 			// bucket, preserving stability within it.
 			return sort.Search(len(bounds), func(i int) bool { return less(r, bounds[i]) })
 		}
-	})
+	}, rowShuffleCodec)
 }
 
 // sampleBounds picks numPartitions-1 boundary rows from a deterministic

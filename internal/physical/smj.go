@@ -100,20 +100,20 @@ func (j *SortMergeJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		n = j.Partitions
 	}
 
-	leftShuf := rdd.PartitionByHash(j.Left.Execute(ctx), n, func(r row.Row) uint64 {
+	leftShuf := rdd.PartitionByHashCodec(j.Left.Execute(ctx), n, func(r row.Row) uint64 {
 		k, ok := leftKey(r)
 		if !ok {
 			return 0
 		}
 		return row.HashValue(k)
-	})
-	rightShuf := rdd.PartitionByHash(j.Right.Execute(ctx), n, func(r row.Row) uint64 {
+	}, rowShuffleCodec)
+	rightShuf := rdd.PartitionByHashCodec(j.Right.Execute(ctx), n, func(r row.Row) uint64 {
 		k, ok := rightKey(r)
 		if !ok {
 			return 0
 		}
 		return row.HashValue(k)
-	})
+	}, rowShuffleCodec)
 
 	nLeft, nRight := len(leftOut), len(rightOut)
 	k := len(j.LeftKeys)

@@ -15,10 +15,16 @@ type TaskError struct {
 	RDDName   string
 	Partition int
 	Attempt   int
-	Cause     error
+	// Worker identifies the remote worker the attempt ran on; "" for local
+	// execution.
+	Worker string
+	Cause  error
 }
 
 func (e *TaskError) Error() string {
+	if e.Worker != "" {
+		return fmt.Sprintf("task %s[%d] attempt %d on %s: %v", e.RDDName, e.Partition, e.Attempt, e.Worker, e.Cause)
+	}
 	return fmt.Sprintf("task %s[%d] attempt %d: %v", e.RDDName, e.Partition, e.Attempt, e.Cause)
 }
 
@@ -33,10 +39,17 @@ type JobError struct {
 	RDDName   string
 	Partition int
 	Attempts  int
-	Cause     error
+	// Worker identifies the remote worker of the last failing attempt; ""
+	// for local execution.
+	Worker string
+	Cause  error
 }
 
 func (e *JobError) Error() string {
+	if e.Worker != "" {
+		return fmt.Sprintf("rdd: job failed: %s[%d] after %d attempt(s), last on %s: %v",
+			e.RDDName, e.Partition, e.Attempts, e.Worker, e.Cause)
+	}
 	return fmt.Sprintf("rdd: job failed: %s[%d] after %d attempt(s): %v",
 		e.RDDName, e.Partition, e.Attempts, e.Cause)
 }

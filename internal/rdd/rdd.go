@@ -19,6 +19,7 @@ package rdd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -62,9 +63,19 @@ type Context struct {
 	// not wait it out.
 	latencyHook func(rddName string, partition, attempt int) time.Duration
 
-	// retry backoff: retry n waits min(backoffBase << (n-1), backoffMax).
+	// retry backoff: retry n waits min(backoffBase << (n-1), backoffMax),
+	// scaled by a deterministic per-task jitter derived from backoffSeed so
+	// simultaneous failures (a dead worker's whole task batch) do not retry
+	// in lockstep.
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	backoffSeed uint64
+
+	// remote execution hooks (see remote.go); nil = pure local execution.
+	remoteRunner RemoteRunner
+	shuffleSvc   ShuffleService
+	shuffleScope string
+	shuffleSeq   int
 
 	// speculation: when a partition has run longer than specMultiplier
 	// times the median completed-task time of its job (and longer than
@@ -245,10 +256,15 @@ func (c *Context) checkLatency(name string, partition, attempt int) time.Duratio
 	return hook(name, partition, attempt)
 }
 
-// backoffFor returns the deterministic wait before retry n (1-based).
-func (c *Context) backoffFor(retry int) time.Duration {
+// backoffFor returns the wait before retry n (1-based) of one task: the
+// capped exponential min(base << (n-1), max), jittered into [d/2, d] by a
+// hash of (seed, task identity, retry). The jitter is fully deterministic
+// — the same seed reproduces the same schedule — but decorrelates tasks
+// that fail at the same instant, so a worker death failing a whole batch
+// does not hammer the survivors with synchronized retries.
+func (c *Context) backoffFor(name string, partition, retry int) time.Duration {
 	c.mu.Lock()
-	base, max := c.backoffBase, c.backoffMax
+	base, max, seed := c.backoffBase, c.backoffMax, c.backoffSeed
 	c.mu.Unlock()
 	d := base
 	for i := 1; i < retry && d < max; i++ {
@@ -256,6 +272,10 @@ func (c *Context) backoffFor(retry int) time.Duration {
 	}
 	if d > max {
 		d = max
+	}
+	if half := d / 2; half > 0 {
+		h := fnvHash(fmt.Sprintf("%d|%s|%d|%d", seed, name, partition, retry))
+		d = half + time.Duration(h%uint64(half+1))
 	}
 	return d
 }
@@ -394,18 +414,27 @@ func (r *RDD[T]) runTask(jc context.Context, p, firstAttempt int) ([]T, error) {
 	jobID, _ := jobIDFrom(jc)
 	tb := r.ctx.Trace()
 	var lastErr error
+	var lastWorker string
 	for retry := 0; retry < maxTaskAttempts; retry++ {
 		attempt := firstAttempt + retry
 		if retry > 0 {
-			if err := sleepCtx(jc, r.ctx.backoffFor(retry)); err != nil {
+			if err := sleepCtx(jc, r.ctx.backoffFor(r.name, p, retry)); err != nil {
 				return nil, err
 			}
 		} else if err := jc.Err(); err != nil {
 			return nil, err
 		}
 		r.ctx.tasksRun.Add(1)
+		attemptCtx, info := withTaskInfo(jc)
 		start := time.Now()
-		out, err := r.attemptOnce(jc, p, attempt)
+		out, err := r.attemptOnce(attemptCtx, p, attempt)
+		worker := info.get()
+		if worker == "" {
+			var we *WorkerError
+			if errors.As(err, &we) {
+				worker = we.Worker
+			}
+		}
 		if tb != nil {
 			span := metrics.Span{
 				Kind:        metrics.SpanTask,
@@ -414,6 +443,7 @@ func (r *RDD[T]) runTask(jc context.Context, p, firstAttempt int) ([]T, error) {
 				Partition:   p,
 				Attempt:     attempt,
 				Speculative: firstAttempt > maxTaskAttempts,
+				Worker:      worker,
 				Start:       metrics.Since(start),
 				DurNS:       time.Since(start).Nanoseconds(),
 				Records:     int64(len(out)),
@@ -429,10 +459,11 @@ func (r *RDD[T]) runTask(jc context.Context, p, firstAttempt int) ([]T, error) {
 		if terminalErr(err) {
 			return nil, err
 		}
-		lastErr = &TaskError{RDDName: r.name, Partition: p, Attempt: attempt, Cause: err}
+		lastErr = &TaskError{RDDName: r.name, Partition: p, Attempt: attempt, Worker: worker, Cause: err}
+		lastWorker = worker
 		r.ctx.taskRetries.Add(1)
 	}
-	return nil, &JobError{RDDName: r.name, Partition: p, Attempts: maxTaskAttempts, Cause: lastErr}
+	return nil, &JobError{RDDName: r.name, Partition: p, Attempts: maxTaskAttempts, Worker: lastWorker, Cause: lastErr}
 }
 
 // attemptOnce runs one attempt of a task, converting compute panics into

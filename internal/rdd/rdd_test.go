@@ -424,21 +424,64 @@ func TestDeadlineExceeded(t *testing.T) {
 	}
 }
 
-// Backoff schedule is deterministic, exponential and capped.
+// Backoff schedule is deterministic, exponentially bounded and capped,
+// with seeded per-task jitter inside [d/2, d].
 func TestBackoffSchedule(t *testing.T) {
 	ctx := NewContext(1)
 	ctx.SetBackoff(time.Millisecond, 5*time.Millisecond)
-	want := []time.Duration{
+	bounds := []time.Duration{
 		1 * time.Millisecond, // retry 1
 		2 * time.Millisecond, // retry 2
 		4 * time.Millisecond, // retry 3
 		5 * time.Millisecond, // retry 4, capped
 		5 * time.Millisecond, // retry 5, capped
 	}
-	for i, w := range want {
-		if got := ctx.backoffFor(i + 1); got != w {
-			t.Fatalf("backoffFor(%d) = %v, want %v", i+1, got, w)
+	for i, d := range bounds {
+		got := ctx.backoffFor("r", 0, i+1)
+		if got < d/2 || got > d {
+			t.Fatalf("backoffFor(retry %d) = %v, want within [%v, %v]", i+1, got, d/2, d)
 		}
+		if again := ctx.backoffFor("r", 0, i+1); again != got {
+			t.Fatalf("backoffFor(retry %d) not deterministic: %v then %v", i+1, got, again)
+		}
+	}
+}
+
+// Jitter decorrelates tasks that fail simultaneously, and a fixed seed
+// reproduces the exact schedule.
+func TestBackoffJitterSeeded(t *testing.T) {
+	ctx := NewContext(1)
+	ctx.SetBackoff(time.Millisecond, 64*time.Millisecond)
+	ctx.SetBackoffSeed(42)
+	// Across many partitions failing at the same retry, the waits must not
+	// all collapse onto one value (no retry lockstep).
+	seen := map[time.Duration]bool{}
+	for p := 0; p < 32; p++ {
+		seen[ctx.backoffFor("stage", p, 4)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("32 partitions share only %d distinct backoff values — lockstep retries", len(seen))
+	}
+	// Same seed → identical schedule; the schedule is reproducible.
+	other := NewContext(1)
+	other.SetBackoff(time.Millisecond, 64*time.Millisecond)
+	other.SetBackoffSeed(42)
+	for p := 0; p < 32; p++ {
+		for retry := 1; retry <= 4; retry++ {
+			if a, b := ctx.backoffFor("stage", p, retry), other.backoffFor("stage", p, retry); a != b {
+				t.Fatalf("same seed diverged at p=%d retry=%d: %v vs %v", p, retry, a, b)
+			}
+		}
+	}
+	// A different seed shifts the schedule (with overwhelming likelihood
+	// across 32 samples).
+	other.SetBackoffSeed(7)
+	diff := false
+	for p := 0; p < 32 && !diff; p++ {
+		diff = ctx.backoffFor("stage", p, 4) != other.backoffFor("stage", p, 4)
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules")
 	}
 }
 

@@ -1,0 +1,205 @@
+package rdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Remote execution hooks. The rdd package stays transport-agnostic: the
+// cluster layer (internal/cluster, adapted by internal/core) plugs in
+// behind two small interfaces, and with neither installed every code path
+// below is byte-identical to local execution.
+
+// ErrNoWorkers is returned (or wrapped) by a RemoteRunner when no healthy
+// worker is available; RemoteOrLocal RDDs degrade to local compute.
+var ErrNoWorkers = errors.New("rdd: no remote workers available")
+
+// ErrRemoteFallback is returned (or wrapped) by a RemoteRunner when the
+// remote side cannot execute the task at all (unknown task kind, plan
+// mismatch); the task runs locally instead of retrying.
+var ErrRemoteFallback = errors.New("rdd: remote execution not possible")
+
+// RemoteRunner dispatches one task to a remote worker. Implementations
+// return the id of the worker that ran (or died running) the task so
+// failures and trace spans carry worker identity.
+type RemoteRunner interface {
+	// Available reports whether at least one healthy worker is registered.
+	Available() bool
+	// RunTask executes one task remotely. partition is a placement-affinity
+	// hint. The worker id is returned even on failure when known.
+	RunTask(jc context.Context, kind string, partition int, payload []byte) (result []byte, worker string, err error)
+}
+
+// ShuffleService stores and serves encoded shuffle buckets across workers.
+// Map sides Publish their buckets; reduce sides FetchBucket from whichever
+// peer produced them. ok=false (nil error) means the bucket is nowhere to
+// be found — the caller recomputes it from lineage.
+type ShuffleService interface {
+	Publish(jc context.Context, shuffleID string, buckets [][]byte) error
+	FetchBucket(jc context.Context, shuffleID string, bucket int) (data []byte, ok bool, err error)
+}
+
+// SetRemoteRunner installs (or clears, with nil) the remote dispatcher.
+func (c *Context) SetRemoteRunner(r RemoteRunner) {
+	c.mu.Lock()
+	c.remoteRunner = r
+	c.mu.Unlock()
+}
+
+func (c *Context) remote() RemoteRunner {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remoteRunner
+}
+
+// SetShuffleService installs (or clears, with nil) the cross-worker
+// shuffle block service used by codec-enabled shuffles.
+func (c *Context) SetShuffleService(s ShuffleService) {
+	c.mu.Lock()
+	c.shuffleSvc = s
+	c.mu.Unlock()
+}
+
+func (c *Context) shuffleService() ShuffleService {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shuffleSvc
+}
+
+// SetShuffleScope names the current shuffle id namespace and resets the
+// per-scope sequence. Workers executing the same query set the same scope
+// (session, epoch and query hash) before building its RDD graph, so the
+// deterministic build order assigns every shuffle the same id on every
+// worker — the property cross-worker bucket fetches rest on. An empty
+// scope (the default) disables shuffle publishing entirely.
+func (c *Context) SetShuffleScope(scope string) {
+	c.mu.Lock()
+	c.shuffleScope = scope
+	c.shuffleSeq = 0
+	c.mu.Unlock()
+}
+
+// nextShuffleID allocates the next shuffle id in the current scope, or ""
+// when no scope is set (local-only shuffle).
+func (c *Context) nextShuffleID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shuffleScope == "" {
+		return ""
+	}
+	id := fmt.Sprintf("%s/s%d", c.shuffleScope, c.shuffleSeq)
+	c.shuffleSeq++
+	return id
+}
+
+// SetBackoffSeed seeds the deterministic retry-backoff jitter. Two tasks
+// that fail simultaneously back off for different (but reproducible)
+// durations, so a mass failure — a worker death failing a whole batch of
+// tasks — does not retry in lockstep against the surviving workers.
+func (c *Context) SetBackoffSeed(seed uint64) {
+	c.mu.Lock()
+	c.backoffSeed = seed
+	c.mu.Unlock()
+}
+
+// WorkerError tags a task-attempt failure with the remote worker it ran
+// on; the executor lifts the identity into TaskError/JobError and spans.
+type WorkerError struct {
+	Worker string
+	Cause  error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("worker %s: %v", e.Worker, e.Cause)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Cause }
+
+// taskInfo is the per-attempt mailbox a compute function reports its
+// executing worker through; runTask installs one per attempt and reads it
+// back for spans and errors.
+type taskInfo struct {
+	mu     sync.Mutex
+	worker string
+}
+
+func (ti *taskInfo) set(w string) {
+	ti.mu.Lock()
+	ti.worker = w
+	ti.mu.Unlock()
+}
+
+func (ti *taskInfo) get() string {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	return ti.worker
+}
+
+type taskInfoKey struct{}
+
+func withTaskInfo(jc context.Context) (context.Context, *taskInfo) {
+	ti := &taskInfo{}
+	return context.WithValue(jc, taskInfoKey{}, ti), ti
+}
+
+// SetTaskWorker records which remote worker executed the current task
+// attempt; compute functions that dispatch remotely call it on success so
+// the task span carries worker identity.
+func SetTaskWorker(jc context.Context, worker string) {
+	if ti, ok := jc.Value(taskInfoKey{}).(*taskInfo); ok {
+		ti.set(worker)
+	}
+}
+
+// RemoteOrLocal wraps an RDD so each partition is dispatched to a remote
+// worker when a runner is installed and available, and computed locally
+// otherwise. Remote failures flow through the executor's ordinary
+// retry/backoff loop (each retry re-picks a worker, so a dead worker's
+// tasks drain onto survivors); fallback signals (no workers, un-runnable
+// task) switch that partition to local lineage compute. The wrapper has
+// the same partition count and, by construction, the same contents as the
+// local RDD — distribution is an execution detail, not a semantic one.
+func RemoteOrLocal[T any](local *RDD[T], kind string, payload func(p int) []byte, decode func(data []byte) ([]T, error)) *RDD[T] {
+	ctx := local.ctx
+	return newRDD(ctx, local.name+".remote", local.numPart, func(jc context.Context, p int) ([]T, error) {
+		runner := ctx.remote()
+		if runner == nil || !runner.Available() {
+			return local.partition(jc, p)
+		}
+		res, worker, err := runner.RunTask(jc, kind, p, payload(p))
+		if err == nil {
+			SetTaskWorker(jc, worker)
+			out, derr := decode(res)
+			if derr != nil {
+				// A result that does not decode is a failed attempt of this
+				// worker, not a local-fallback signal.
+				return nil, &WorkerError{Worker: worker, Cause: derr}
+			}
+			return out, nil
+		}
+		if errors.Is(err, ErrNoWorkers) || errors.Is(err, ErrRemoteFallback) {
+			return local.partition(jc, p)
+		}
+		if jc.Err() != nil {
+			return nil, jc.Err()
+		}
+		if worker == "" {
+			return nil, err
+		}
+		return nil, &WorkerError{Worker: worker, Cause: err}
+	})
+}
+
+// PartitionContext computes one partition of the RDD under a job context,
+// serving caches and retrying failures exactly like a full action — the
+// entry point worker processes use to execute a single assigned partition
+// of a distributed query.
+func (r *RDD[T]) PartitionContext(jc context.Context, p int) ([]T, error) {
+	if p < 0 || p >= r.numPart {
+		return nil, fmt.Errorf("rdd: partition %d out of range [0,%d)", p, r.numPart)
+	}
+	jc, _, _ = r.ctx.beginJob(jc)
+	return r.partition(jc, p)
+}

@@ -1,0 +1,302 @@
+package rdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// fakeRunner scripts a RemoteRunner for executor-semantics tests.
+type fakeRunner struct {
+	mu        sync.Mutex
+	available bool
+	calls     int
+	run       func(call, partition int) ([]byte, string, error)
+}
+
+func (f *fakeRunner) Available() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.available
+}
+
+func (f *fakeRunner) RunTask(jc context.Context, kind string, partition int, payload []byte) ([]byte, string, error) {
+	f.mu.Lock()
+	f.calls++
+	call := f.calls
+	f.mu.Unlock()
+	return f.run(call, partition)
+}
+
+func remoteWrap(ctx *Context, data []int) *RDD[int] {
+	local := Parallelize(ctx, data, 2)
+	return RemoteOrLocal(local, "test.kind",
+		func(p int) []byte { return []byte{byte(p)} },
+		func(b []byte) ([]int, error) {
+			var out []int
+			for _, s := range strings.Split(string(b), ",") {
+				v, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		})
+}
+
+func TestRemoteOrLocalNoRunnerIsLocal(t *testing.T) {
+	ctx := NewContext(2)
+	r := remoteWrap(ctx, []int{1, 2, 3, 4})
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3 4]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRemoteOrLocalDispatchesAndTagsWorker(t *testing.T) {
+	ctx := NewContext(2)
+	runner := &fakeRunner{available: true}
+	runner.run = func(call, p int) ([]byte, string, error) {
+		if p == 0 {
+			return []byte("10,20"), "w0", nil
+		}
+		return []byte("30,40"), "w1", nil
+	}
+	ctx.SetRemoteRunner(runner)
+	r := remoteWrap(ctx, []int{1, 2, 3, 4})
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[10 20 30 40]" {
+		t.Fatalf("got %v", got)
+	}
+	// Task spans carry the worker identity.
+	workers := map[string]bool{}
+	for _, sp := range ctx.Trace().Snapshot() {
+		if sp.Kind == metrics.SpanTask && sp.Worker != "" {
+			workers[sp.Worker] = true
+		}
+	}
+	if !workers["w0"] || !workers["w1"] {
+		t.Fatalf("span workers = %v, want w0 and w1", workers)
+	}
+}
+
+func TestRemoteOrLocalFallbackSignals(t *testing.T) {
+	for _, sentinel := range []error{ErrNoWorkers, ErrRemoteFallback} {
+		ctx := NewContext(2)
+		runner := &fakeRunner{available: true}
+		runner.run = func(call, p int) ([]byte, string, error) {
+			return nil, "", fmt.Errorf("wrapped: %w", sentinel)
+		}
+		ctx.SetRemoteRunner(runner)
+		r := remoteWrap(ctx, []int{5, 6, 7, 8})
+		got, err := r.Collect()
+		if err != nil {
+			t.Fatalf("%v: %v", sentinel, err)
+		}
+		if fmt.Sprint(got) != "[5 6 7 8]" {
+			t.Fatalf("%v: got %v", sentinel, got)
+		}
+	}
+}
+
+func TestRemoteOrLocalRetriesWorkerLoss(t *testing.T) {
+	ctx := NewContext(2)
+	ctx.SetBackoff(1, 2) // nanoseconds; keep the test fast
+	var firstAttempts atomic.Int64
+	runner := &fakeRunner{available: true}
+	runner.run = func(call, p int) ([]byte, string, error) {
+		if firstAttempts.Add(1) == 1 {
+			return nil, "w-dead", errors.New("worker lost mid-task")
+		}
+		return []byte("1"), "w-alive", nil
+	}
+	ctx.SetRemoteRunner(runner)
+	r := remoteWrap(ctx, []int{0, 0})
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.TaskRetries() == 0 {
+		t.Fatal("worker loss did not register as a retried task attempt")
+	}
+}
+
+func TestRemoteOrLocalExhaustionCarriesWorker(t *testing.T) {
+	ctx := NewContext(1)
+	ctx.SetBackoff(1, 2)
+	runner := &fakeRunner{available: true}
+	runner.run = func(call, p int) ([]byte, string, error) {
+		return nil, "w3", errors.New("persistent failure")
+	}
+	ctx.SetRemoteRunner(runner)
+	r := remoteWrap(ctx, []int{1})
+	_, err := r.Collect()
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v, want JobError", err)
+	}
+	if je.Worker != "w3" {
+		t.Fatalf("JobError.Worker = %q, want w3", je.Worker)
+	}
+	if !strings.Contains(je.Error(), "on w3") {
+		t.Fatalf("JobError text lacks worker: %q", je.Error())
+	}
+}
+
+// shuffle service fakes: an in-memory bucket map shared by "workers".
+type fakeShuffle struct {
+	mu      sync.Mutex
+	buckets map[string][][]byte
+	fetches int
+	hits    int
+}
+
+func (f *fakeShuffle) Publish(jc context.Context, shuffleID string, buckets [][]byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.buckets == nil {
+		f.buckets = make(map[string][][]byte)
+	}
+	f.buckets[shuffleID] = buckets
+	return nil
+}
+
+func (f *fakeShuffle) FetchBucket(jc context.Context, shuffleID string, bucket int) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fetches++
+	bs, ok := f.buckets[shuffleID]
+	if !ok || bucket >= len(bs) || bs[bucket] == nil {
+		return nil, false, nil
+	}
+	f.hits++
+	return bs[bucket], true, nil
+}
+
+var intCodec = &Codec[int]{
+	Encode: func(vs []int) ([]byte, error) {
+		ss := make([]string, len(vs))
+		for i, v := range vs {
+			ss[i] = strconv.Itoa(v)
+		}
+		return []byte(strings.Join(ss, ",")), nil
+	},
+	Decode: func(b []byte) ([]int, error) {
+		if len(b) == 0 {
+			return nil, nil
+		}
+		parts := strings.Split(string(b), ",")
+		out := make([]int, len(parts))
+		for i, s := range parts {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	},
+}
+
+func sortedInts(t *testing.T, r *RDD[int]) []int {
+	t.Helper()
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]int(nil), got...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestCodecShufflePublishesAndServes(t *testing.T) {
+	svc := &fakeShuffle{}
+
+	build := func() (*Context, *RDD[int]) {
+		ctx := NewContext(2)
+		ctx.SetShuffleService(svc)
+		ctx.SetShuffleScope("q1")
+		src := Parallelize(ctx, []int{5, 1, 4, 2, 3, 0}, 3)
+		return ctx, PartitionByHashCodec(src, 2, func(v int) uint64 { return uint64(v) }, intCodec)
+	}
+
+	// First "worker": computes the map side locally, publishes buckets.
+	_, r1 := build()
+	want := fmt.Sprint([]int{0, 1, 2, 3, 4, 5})
+	if got := sortedInts(t, r1); fmt.Sprint(got) != want {
+		t.Fatalf("got %v", got)
+	}
+	svc.mu.Lock()
+	published := len(svc.buckets)
+	svc.mu.Unlock()
+	if published != 1 {
+		t.Fatalf("published %d shuffles, want 1", published)
+	}
+
+	// Second "worker" with the same scope: identical shuffle id, so its
+	// reduce tasks are served from the published buckets.
+	_, r2 := build()
+	if got := sortedInts(t, r2); fmt.Sprint(got) != want {
+		t.Fatalf("fetched results differ: %v", got)
+	}
+	svc.mu.Lock()
+	hits := svc.hits
+	svc.mu.Unlock()
+	if hits == 0 {
+		t.Fatal("second context never fetched a published bucket")
+	}
+}
+
+func TestCodecShuffleMissRecomputes(t *testing.T) {
+	// A service that never has anything (every owner died): results must
+	// still be correct via local recompute.
+	svc := &fakeShuffle{}
+	ctx := NewContext(2)
+	ctx.SetShuffleService(svc)
+	ctx.SetShuffleScope("q-lost")
+	src := Parallelize(ctx, []int{9, 8, 7, 6}, 2)
+	r := PartitionByHashCodec(src, 2, func(v int) uint64 { return uint64(v) }, intCodec)
+	if got := sortedInts(t, r); fmt.Sprint(got) != fmt.Sprint([]int{6, 7, 8, 9}) {
+		t.Fatalf("got %v", got)
+	}
+	svc.mu.Lock()
+	fetches := svc.fetches
+	svc.mu.Unlock()
+	if fetches == 0 {
+		t.Fatal("no fetch was even attempted")
+	}
+}
+
+func TestCodecShuffleWithoutScopeStaysLocal(t *testing.T) {
+	svc := &fakeShuffle{}
+	ctx := NewContext(2)
+	ctx.SetShuffleService(svc)
+	// No scope set: nothing may be published or fetched.
+	src := Parallelize(ctx, []int{1, 2, 3}, 2)
+	r := PartitionByHashCodec(src, 2, func(v int) uint64 { return uint64(v) }, intCodec)
+	if got := sortedInts(t, r); fmt.Sprint(got) != fmt.Sprint([]int{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if svc.fetches != 0 || len(svc.buckets) != 0 {
+		t.Fatalf("scope-less shuffle touched the service: fetches=%d published=%d", svc.fetches, len(svc.buckets))
+	}
+}

@@ -194,6 +194,15 @@ func sampledSize[T any](parts [][]T) int64 {
 	return total
 }
 
+// Codec encodes and decodes record slices for cross-worker transport.
+// Shuffles constructed with a codec publish their map-side buckets to the
+// context's ShuffleService (when one is installed) and try fetching
+// buckets from peer workers before recomputing them locally.
+type Codec[T any] struct {
+	Encode func([]T) ([]byte, error)
+	Decode func([]byte) ([]T, error)
+}
+
 // shuffled builds the reduce-side RDD over a lazily materialized map side.
 func shuffled[T any](parent *RDD[T], name string, numPartitions int, bucket func(T) int) *RDD[T] {
 	return shuffledPrep(parent, name, numPartitions, func([][]T) func(T) int { return bucket })
@@ -205,8 +214,36 @@ func shuffled[T any](parent *RDD[T], name string, numPartitions int, bucket func
 // boundaries from the actual data before bucketing, Spark's
 // RangePartitioner two-pass shape collapsed onto one materialization.
 func shuffledPrep[T any](parent *RDD[T], name string, numPartitions int, prep func(parts [][]T) func(T) int) *RDD[T] {
+	return shuffledPrepCodec(parent, name, numPartitions, prep, nil)
+}
+
+// shuffledPrepCodec is shuffledPrep with optional cross-worker bucket
+// exchange. With a codec and an installed ShuffleService, a reduce task
+// first tries to fetch its bucket from a peer that already ran this
+// shuffle's map side; a miss (nobody ran it, the owner died, the block was
+// evicted, the bytes do not decode) falls back to the local materialize
+// path — exactly the lineage-recompute story, so a lost shuffle output
+// costs recompute time, never correctness. After a local materialization
+// the buckets are published (best effort) for peers working other
+// partitions of the same query.
+func shuffledPrepCodec[T any](parent *RDD[T], name string, numPartitions int, prep func(parts [][]T) func(T) int, codec *Codec[T]) *RDD[T] {
 	st := &shuffleState[T]{}
+	shuffleID := ""
+	var svc ShuffleService
+	if codec != nil {
+		if svc = parent.ctx.shuffleService(); svc != nil {
+			shuffleID = parent.ctx.nextShuffleID()
+		}
+	}
+	var publishOnce sync.Once
 	return newRDD(parent.ctx, name, numPartitions, func(jc context.Context, p int) ([]T, error) {
+		if shuffleID != "" {
+			if data, ok, ferr := svc.FetchBucket(jc, shuffleID, p); ferr == nil && ok {
+				if vals, derr := codec.Decode(data); derr == nil {
+					return vals, nil
+				}
+			}
+		}
 		buckets, err := st.materialize(jc, func(jc context.Context) ([][]T, error) {
 			parts, err := parent.computeAll(jc)
 			if err != nil {
@@ -237,6 +274,19 @@ func shuffledPrep[T any](parent *RDD[T], name string, numPartitions int, prep fu
 		})
 		if err != nil {
 			return nil, err
+		}
+		if shuffleID != "" {
+			publishOnce.Do(func() {
+				enc := make([][]byte, len(buckets))
+				for i, b := range buckets {
+					data, eerr := codec.Encode(b)
+					if eerr != nil {
+						return // unencodable records: peers recompute instead
+					}
+					enc[i] = data
+				}
+				svc.Publish(jc, shuffleID, enc)
+			})
 		}
 		return buckets[p], nil
 	})
@@ -310,12 +360,22 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD
 // PartitionByHash hash-partitions arbitrary records by a caller-supplied
 // hash — the physical layer's Exchange operator uses this with row hashes.
 func PartitionByHash[T any](r *RDD[T], numPartitions int, hash func(T) uint64) *RDD[T] {
+	return PartitionByHashCodec(r, numPartitions, hash, nil)
+}
+
+// PartitionByHashCodec is PartitionByHash with cross-worker bucket
+// exchange for codec-capable record types (the physical layer passes the
+// row codec so workers fetch each other's map outputs instead of
+// recomputing the map side per reduce partition).
+func PartitionByHashCodec[T any](r *RDD[T], numPartitions int, hash func(T) uint64, codec *Codec[T]) *RDD[T] {
 	if numPartitions < 1 {
 		numPartitions = r.ctx.parallelism
 	}
-	return shuffled(r, r.name+".exchange", numPartitions, func(v T) int {
-		return int(hash(v) % uint64(numPartitions))
-	})
+	return shuffledPrepCodec(r, r.name+".exchange", numPartitions, func([][]T) func(T) int {
+		return func(v T) int {
+			return int(hash(v) % uint64(numPartitions))
+		}
+	}, codec)
 }
 
 // PartitionByFunc partitions records by a bucket function derived from the
@@ -325,10 +385,16 @@ func PartitionByHash[T any](r *RDD[T], numPartitions int, hash func(T) uint64) *
 // parallelizes instead of coalescing onto one partition. Bucket values are
 // clamped into [0, numPartitions).
 func PartitionByFunc[T any](r *RDD[T], numPartitions int, prep func(parts [][]T) func(T) int) *RDD[T] {
+	return PartitionByFuncCodec(r, numPartitions, prep, nil)
+}
+
+// PartitionByFuncCodec is PartitionByFunc with cross-worker bucket
+// exchange (see PartitionByHashCodec).
+func PartitionByFuncCodec[T any](r *RDD[T], numPartitions int, prep func(parts [][]T) func(T) int, codec *Codec[T]) *RDD[T] {
 	if numPartitions < 1 {
 		numPartitions = r.ctx.parallelism
 	}
-	return shuffledPrep(r, r.name+".rangeExchange", numPartitions, func(parts [][]T) func(T) int {
+	return shuffledPrepCodec(r, r.name+".rangeExchange", numPartitions, func(parts [][]T) func(T) int {
 		bucket := prep(parts)
 		return func(v T) int {
 			b := bucket(v)
@@ -340,5 +406,5 @@ func PartitionByFunc[T any](r *RDD[T], numPartitions int, prep func(parts [][]T)
 			}
 			return b
 		}
-	})
+	}, codec)
 }

@@ -101,6 +101,9 @@ func DecodeRows(b []byte) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := d.claim(n); err != nil {
+		return nil, err
+	}
 	rows := make([]Row, n)
 	for i := range rows {
 		v, err := d.value()
@@ -143,12 +146,24 @@ func (d *decoder) varint() (int64, error) {
 }
 
 func (d *decoder) take(n int) ([]byte, error) {
-	if d.off+n > len(d.b) {
+	if n < 0 || d.off+n > len(d.b) || d.off+n < 0 {
 		return nil, fmt.Errorf("row: decode: truncated at %d", d.off)
 	}
 	s := d.b[d.off : d.off+n]
 	d.off += n
 	return s, nil
+}
+
+// claim validates a decoded element count or byte length against the
+// remaining input before any allocation sized by it: every element costs
+// at least one byte, so a claim beyond the remaining bytes is corrupt by
+// construction. This is what keeps a bit-flipped length prefix from
+// turning into a multi-gigabyte make().
+func (d *decoder) claim(n uint64) error {
+	if n > uint64(len(d.b)-d.off) {
+		return fmt.Errorf("row: decode: %d claimed at %d, %d bytes remain", n, d.off, len(d.b)-d.off)
+	}
+	return nil
 }
 
 func (d *decoder) value() (any, error) {
@@ -185,6 +200,9 @@ func (d *decoder) value() (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.claim(n); err != nil {
+			return nil, err
+		}
 		s, err := d.take(int(n))
 		return string(s), err
 	case tagDecimal:
@@ -202,6 +220,9 @@ func (d *decoder) value() (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.claim(n); err != nil {
+			return nil, err
+		}
 		s, err := d.take(int(n))
 		if err != nil {
 			return nil, err
@@ -210,6 +231,9 @@ func (d *decoder) value() (any, error) {
 	case tagRow:
 		n, err := d.uvarint()
 		if err != nil {
+			return nil, err
+		}
+		if err := d.claim(n); err != nil {
 			return nil, err
 		}
 		r := make(Row, n)
@@ -222,6 +246,9 @@ func (d *decoder) value() (any, error) {
 	case tagList:
 		n, err := d.uvarint()
 		if err != nil {
+			return nil, err
+		}
+		if err := d.claim(n); err != nil {
 			return nil, err
 		}
 		l := make([]any, n)

@@ -43,6 +43,17 @@ type Server struct {
 	// QueryTimeout bounds each query's execution (0 = unlimited): on
 	// expiry the query's tasks are cancelled and the client gets ERR.
 	QueryTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: Close stops accepting
+	// connections, lets in-flight statements finish for this long, then
+	// force-closes what remains. Zero means close immediately (the old
+	// behavior); statements arriving while draining get
+	// "ERR server shutting down".
+	DrainTimeout time.Duration
+	// ConnTimeout is the per-connection idle deadline: each read of the
+	// next statement and each response write must complete within it, or
+	// the connection is dropped (0 = no deadline). It protects drain from
+	// clients that hold connections open silently.
+	ConnTimeout time.Duration
 	// Logger receives one structured record per statement: query id, plan
 	// hash, elapsed time, and rows returned or the error — with the failing
 	// stage, partition, attempt count and root cause unwrapped from a
@@ -62,6 +73,9 @@ type Server struct {
 	listener net.Listener
 	httpL    net.Listener
 	closed   bool
+	draining bool
+	conns    map[net.Conn]struct{}
+	inflight sync.WaitGroup
 }
 
 // New builds a server over a context.
@@ -73,6 +87,7 @@ func New(ctx *sparksql.Context) *Server {
 		mQueries: scope.Counter("queries"),
 		mErrors:  scope.Counter("errors"),
 		mLatency: scope.Histogram("query.micros"),
+		conns:    make(map[net.Conn]struct{}),
 	}
 }
 
@@ -99,6 +114,14 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		go s.handle(conn)
 	}
 }
@@ -114,18 +137,44 @@ func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
 	return l.Addr(), nil
 }
 
-// Close stops accepting connections (SQL and metrics listeners both).
+// Close shuts the server down gracefully: it stops accepting connections
+// (SQL and metrics listeners both), rejects statements that arrive on
+// open connections with "ERR server shutting down", waits up to
+// DrainTimeout for in-flight statements to finish, then force-closes any
+// connection still open. With DrainTimeout zero everything closes
+// immediately.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
+	s.draining = true
 	if s.httpL != nil {
 		s.httpL.Close()
 	}
+	var err error
 	if s.listener != nil {
-		return s.listener.Close()
+		err = s.listener.Close()
 	}
-	return nil
+	drain := s.DrainTimeout
+	s.mu.Unlock()
+
+	if drain > 0 {
+		done := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(drain):
+		}
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	return err
 }
 
 // MetricsHandler serves the engine's observability surfaces over HTTP:
@@ -161,21 +210,51 @@ func (s *Server) ListenAndServeMetrics(addr string) (net.Addr, error) {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	in := bufio.NewScanner(conn)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	out := bufio.NewWriter(conn)
-	for in.Scan() {
+	for {
+		if s.ConnTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ConnTimeout))
+		}
+		if !in.Scan() {
+			return
+		}
 		query := strings.TrimSpace(in.Text())
 		if query == "" {
 			continue
 		}
+		s.mu.Lock()
+		draining := s.draining
+		if !draining {
+			s.inflight.Add(1)
+		}
+		s.mu.Unlock()
+		if draining {
+			writeErr(out, errShuttingDown)
+			out.Flush()
+			return
+		}
 		s.execute(out, query)
+		s.inflight.Done()
+		if s.ConnTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.ConnTimeout))
+		}
 		if err := out.Flush(); err != nil {
 			return
 		}
 	}
 }
+
+// errShuttingDown is the drain-phase rejection sent to statements that
+// arrive after Close began.
+var errShuttingDown = errors.New("server shutting down")
 
 // execute runs one statement, writes the protocol response, updates the
 // server metrics and emits one structured query-log record.
@@ -216,6 +295,9 @@ func (s *Server) logQuery(qid int64, query string, planHash uint64, elapsed time
 			slog.Int("attempts", je.Attempts),
 			slog.String("cause", fmt.Sprint(je.Cause)),
 		)
+		if je.Worker != "" {
+			attrs = append(attrs, slog.String("worker", je.Worker))
+		}
 	}
 	s.logger().Error("query failed", attrs...)
 }

@@ -475,3 +475,157 @@ func TestAnalyzeAndExplainOverTheWire(t *testing.T) {
 		t.Fatalf("EXPLAIN should reflect analyzed row count:\n%s", text)
 	}
 }
+
+// startServerWith is startServer with configuration applied before the
+// listener starts (fields like DrainTimeout are read by handler
+// goroutines and must not be written once serving).
+func startServerWith(t *testing.T, configure func(*Server)) (*Server, string) {
+	t.Helper()
+	ctx := sparksql.NewContext()
+	df, err := ctx.CreateDataFrame(
+		sparksql.StructType{}.
+			Add("name", sparksql.StringType, false).
+			Add("age", sparksql.IntType, false),
+		[]sparksql.Row{{"Alice", int32(34)}, {"Bob", int32(19)}, {"Carol", int32(52)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.RegisterTempTable("people")
+	srv := New(ctx)
+	configure(srv)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func TestGracefulDrain(t *testing.T) {
+	srv, addr := startServerWith(t, func(s *Server) {
+		s.DrainTimeout = 2 * time.Second
+	})
+
+	// A slow in-flight statement: hold it open with a UDF that blocks
+	// until we release it, so Close must drain it rather than cut it off.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	if err := srv.ctx.RegisterUDF("slow", func(s string) string {
+		once.Do(func() { close(started) })
+		<-release
+		return s
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := c1.Query("SELECT slow(name) FROM people")
+		done <- outcome{res, err}
+	}()
+	<-started
+
+	// Close in the background: it must block on the in-flight statement.
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a statement was in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// A second statement on a pre-existing connection is rejected.
+	c2, err := Dial(addr)
+	if err == nil {
+		defer c2.Close()
+		if _, qerr := c2.Query("SELECT 1"); qerr == nil ||
+			!strings.Contains(qerr.Error(), "shutting down") {
+			t.Fatalf("draining server accepted new statement: %v", qerr)
+		}
+	}
+
+	// Release the slow query: it completes normally and Close returns.
+	close(release)
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("in-flight query failed during drain: %v", out.err)
+	}
+	if len(out.res.Rows) != 3 {
+		t.Fatalf("in-flight query returned %d rows, want 3", len(out.res.Rows))
+	}
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return after drain completed")
+	}
+}
+
+func TestDrainTimeoutForcesClose(t *testing.T) {
+	srv, addr := startServerWith(t, func(s *Server) {
+		s.DrainTimeout = 200 * time.Millisecond
+	})
+
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	var once sync.Once
+	if err := srv.ctx.RegisterUDF("stall", func(s string) string {
+		once.Do(func() { close(started) })
+		<-release
+		return s
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go c.Query("SELECT stall(name) FROM people")
+	<-started
+
+	doneC := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(doneC)
+	}()
+	select {
+	case <-doneC:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung past DrainTimeout on a stuck statement")
+	}
+}
+
+func TestConnTimeoutDropsIdleConnections(t *testing.T) {
+	_, addr := startServerWith(t, func(s *Server) {
+		s.ConnTimeout = 150 * time.Millisecond
+	})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// An active statement works...
+	if _, err := c.Query("SELECT name FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	// ...then the idle connection is dropped at the read deadline.
+	time.Sleep(400 * time.Millisecond)
+	if _, err := c.Query("SELECT name FROM people"); err == nil {
+		t.Fatal("idle connection survived past ConnTimeout")
+	}
+}

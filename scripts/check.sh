@@ -4,26 +4,35 @@
 # caught even when nobody reads the numbers, and the metrics-overhead
 # gate: fail if instrumented Q1 throughput regresses more than 5%
 # against a metrics-off engine on either execution path.
+# Every go test invocation carries an explicit -timeout so a distributed
+# deadlock (a worker wedged mid-handshake, a drain that never finishes)
+# fails the gate in minutes instead of hanging it.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race ./...
-go test -run '^$' -bench . -benchtime 1x ./...
-PERF_GATE=1 go test -run '^TestMetricsOverheadGate$' -v ./internal/experiments/
+go test -race -timeout 10m ./...
+go test -run '^$' -bench . -benchtime 1x -timeout 10m ./...
+PERF_GATE=1 go test -run '^TestMetricsOverheadGate$' -v -timeout 10m ./internal/experiments/
 # Whole-stage fusion gate: fused aggregation must hold its 2x speedup over
 # the unfused vectorized path on the cached Q1 aggregate shape.
-PERF_GATE=1 go test -run '^TestFusionGate$' -v ./internal/experiments/
+PERF_GATE=1 go test -run '^TestFusionGate$' -v -timeout 10m ./internal/experiments/
 
 # Fusion property suite: every fused shape byte-identical to the row path,
 # at budgets down to one byte.
-go test -race -v -run '^TestFused|^TestFusion' .
+go test -race -v -run '^TestFused|^TestFusion' -timeout 10m .
 
 # Small-budget spill suite, explicitly: every blocking operator must stay
 # byte-identical to the in-memory path while spilling under tiny memory
 # budgets (down to one byte), clean up all spill files on completion and
 # cancellation, and survive combined task-failure + spill-write chaos.
-go test -race -v -run '^TestSpill' .
-go test -race -v -run '^TestChaosSpillWorkload$|^TestSpillStudy$' ./internal/experiments/
+go test -race -v -run '^TestSpill' -timeout 10m .
+go test -race -v -run '^TestChaosSpillWorkload$|^TestSpillStudy$' -timeout 10m ./internal/experiments/
+
+# Multi-process distributed chaos: 3 worker processes over real TCP,
+# SIGKILLed mid-query, heartbeat-starved into eviction and fed corrupted
+# frames — every answer byte-identical to a local fault-free run. The
+# schedule is seeded (deterministic) and the 5m timeout bounds wall time.
+go test -race -v -run '^TestMultiproc' -timeout 5m ./internal/experiments/

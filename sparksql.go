@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster/sqlwire"
 	"repro/internal/core"
 	"repro/internal/datasource"
 	"repro/internal/datasource/colfile"
@@ -139,6 +140,31 @@ type Config struct {
 	// the unbounded path at any budget; EXPLAIN ANALYZE reports
 	// `spilled: N B, R runs` per operator.
 	MemoryBudget int64
+	// Cluster, when non-nil, starts a coordinator for multi-process
+	// distributed execution: worker processes (cmd/sqlworker, or any
+	// process calling sqlexec.RunWorker) register over TCP and SQL query
+	// partitions are dispatched to them, with worker loss recovered
+	// through the rdd layer's ordinary retry/lineage machinery. With no
+	// workers registered — or Cluster nil — execution is byte-identical
+	// to the purely local engine.
+	Cluster *ClusterOptions
+}
+
+// ClusterOptions tunes distributed execution (see Config.Cluster). The
+// zero value listens on an ephemeral localhost port with the cluster
+// package's default timeouts.
+type ClusterOptions struct {
+	// Listen is the coordinator's TCP address ("" = 127.0.0.1:0).
+	Listen string
+	// HeartbeatTimeout evicts a worker silent for this long (0 = 5s).
+	HeartbeatTimeout time.Duration
+	// TaskTimeout declares a dispatched task's worker hung after this
+	// long (0 = 2m).
+	TaskTimeout time.Duration
+	// BlacklistThreshold is the consecutive-failure count that benches a
+	// worker (0 = 3); BlacklistCooldown is for how long (0 = 5s).
+	BlacklistThreshold int
+	BlacklistCooldown  time.Duration
 }
 
 // DefaultConfig enables the full Spark SQL feature set.
@@ -208,7 +234,9 @@ type Context struct {
 // NewContext builds a context with DefaultConfig.
 func NewContext() *Context { return NewContextWithConfig(DefaultConfig()) }
 
-// NewContextWithConfig builds a context in the given mode.
+// NewContextWithConfig builds a context in the given mode. A bad
+// Config.Cluster listen address panics — it is a programming error on par
+// with an invalid regexp, and this constructor has no error return.
 func NewContextWithConfig(cfg Config) *Context {
 	ctx := &Context{
 		engine:  core.NewEngine(cfg.toCore()),
@@ -218,7 +246,58 @@ func NewContextWithConfig(cfg Config) *Context {
 	ctx.sources.Register("csv", csvds.Provider())
 	ctx.sources.Register("json", jsonds.Provider())
 	ctx.sources.Register("colfile", colfile.Provider())
+	if cfg.Cluster != nil {
+		ecfg := ctx.engine.Cfg
+		if _, err := core.EnableCluster(ctx.engine, core.ClusterOptions{
+			Listen:             cfg.Cluster.Listen,
+			HeartbeatTimeout:   cfg.Cluster.HeartbeatTimeout,
+			TaskTimeout:        cfg.Cluster.TaskTimeout,
+			BlacklistThreshold: cfg.Cluster.BlacklistThreshold,
+			BlacklistCooldown:  cfg.Cluster.BlacklistCooldown,
+			Session: sqlwire.SessionSpec{
+				Codegen:             cfg.Codegen,
+				LogicalOptimization: cfg.LogicalOptimization,
+				SourcePushdown:      cfg.SourcePushdown,
+				JoinReorder:         cfg.JoinReorder,
+				PipelineCollapse:    cfg.PipelineCollapse,
+				Vectorized:          cfg.Vectorized,
+				Fusion:              cfg.Fusion,
+				BroadcastThreshold:  cfg.BroadcastThreshold,
+				// Ship the engine's *resolved* parallelism: zero values
+				// default to the local GOMAXPROCS, and workers must plan
+				// with the same counts, not their own.
+				ShufflePartitions: ecfg.ShufflePartitions,
+				Parallelism:       ecfg.Parallelism,
+				MemoryBudget:      cfg.MemoryBudget,
+			},
+		}); err != nil {
+			panic(fmt.Sprintf("sparksql: Config.Cluster: %v", err))
+		}
+	}
 	return ctx
+}
+
+// Cluster returns the distributed-execution runtime (nil without
+// Config.Cluster): membership snapshots, chaos hooks, the coordinator.
+func (c *Context) Cluster() *core.ClusterRuntime { return c.engine.Cluster() }
+
+// ClusterAddr returns the coordinator's listen address, or "" when the
+// context runs without a cluster. Workers are pointed at this address.
+func (c *Context) ClusterAddr() string {
+	if rt := c.engine.Cluster(); rt != nil {
+		return rt.Addr()
+	}
+	return ""
+}
+
+// Close releases the context's external resources — today the cluster
+// coordinator, when one is running. Purely local contexts need no Close
+// (and it is a no-op on them, kept for symmetric defer ctx.Close()).
+func (c *Context) Close() error {
+	if rt := c.engine.Cluster(); rt != nil {
+		return rt.Close()
+	}
+	return nil
 }
 
 // Engine exposes the underlying engine for advanced integrations (planner
@@ -253,7 +332,15 @@ func (c *Context) SQL(query string) (*DataFrame, error) {
 	}
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStatement:
-		return c.newDataFrame(s.Plan)
+		df, err := c.newDataFrame(s.Plan)
+		if err != nil {
+			return nil, err
+		}
+		// Remember the SQL text: it is the only form of a query that can
+		// be shipped to cluster workers (closures cannot serialize), so
+		// output actions on this exact frame may execute distributed.
+		df.sqlText = query
+		return df, nil
 	case *sqlparser.AnalyzeTable:
 		if err := c.AnalyzeTable(s.Name); err != nil {
 			return nil, err
