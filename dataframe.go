@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/columnar"
 	"repro/internal/expr"
+	"repro/internal/physical"
 	"repro/internal/plan"
 	"repro/internal/rdd"
 	"repro/internal/row"
@@ -327,6 +328,23 @@ func (df *DataFrame) ToRDD() (*rdd.RDD[Row], error) {
 	return qe.q.RDD(), nil
 }
 
+// AdaptedQuery plans the query, replays a coordinator's adaptive decision
+// list over the static physical plan, and returns the result RDD together
+// with the decision-applied plan's fingerprint. Cluster workers use it to
+// execute the exact plan the coordinator adapted — stages materialize once,
+// on the coordinator, and workers only replay the recorded rewrites. An
+// empty decision list yields the static plan, identical to ToRDD.
+func (df *DataFrame) AdaptedQuery(decisions []physical.Decision) (*rdd.RDD[Row], uint64, error) {
+	qe, err := df.queryExecution()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := qe.q.ApplyDecisions(decisions); err != nil {
+		return nil, 0, err
+	}
+	return qe.q.ExecutedRDD(), qe.q.PlanHash(), nil
+}
+
 // Explain renders the logical, analyzed, optimized and physical plans.
 func (df *DataFrame) Explain() (string, error) {
 	qe, err := df.queryExecution()
@@ -539,6 +557,8 @@ type queryExec struct {
 		PlanHash() uint64
 		CollectDistributedContext(ctx context.Context, sql string) ([]row.Row, error)
 		CountDistributedContext(ctx context.Context, sql string) (int64, error)
+		ApplyDecisions(ds []physical.Decision) error
+		ExecutedRDD() *rdd.RDD[row.Row]
 	}
 }
 

@@ -10,6 +10,7 @@ package sqlexec
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	sparksql "repro"
 	"repro/internal/cluster"
 	"repro/internal/cluster/sqlwire"
+	"repro/internal/core"
 	"repro/internal/columnar"
 	"repro/internal/experiments"
 	"repro/internal/expr"
@@ -105,9 +107,18 @@ func buildContext(w *cluster.Worker, spec *sqlwire.SessionSpec) (*sparksql.Conte
 	if spec.BroadcastThreshold > 0 {
 		cfg.BroadcastThreshold = spec.BroadcastThreshold
 	}
+	if spec.TargetPartitionBytes > 0 {
+		cfg.TargetPartitionBytes = spec.TargetPartitionBytes
+	}
 	cfg.ShufflePartitions = spec.ShufflePartitions
 	cfg.Parallelism = spec.Parallelism
 	cfg.MemoryBudget = spec.MemoryBudget
+	// Workers never adapt: the coordinator materializes stages, takes every
+	// adaptive decision once, and ships the decision list in each task —
+	// this worker replays the rewrites over its statically planned tree. A
+	// worker re-adapting from its own observations could diverge and fail
+	// the plan-hash parity check.
+	cfg.Adaptive = false
 	ctx := sparksql.NewContextWithConfig(cfg)
 
 	rc := ctx.RDDContext()
@@ -198,7 +209,7 @@ func (e *Executor) handlePartition(jc context.Context, payload []byte) ([]byte, 
 	if s == nil || s.epoch != q.Epoch {
 		return nil, fmt.Errorf("sqlexec: %s %s epoch %d", sqlwire.UninitializedMarker, q.SessionID, q.Epoch)
 	}
-	bq, err := s.query(q.SessionID, q.SQL)
+	bq, err := s.query(q.SessionID, q.SQL, q.Decisions)
 	if err != nil {
 		// Parse/analysis/planning failures are not transient: this worker
 		// (and every other) cannot run the query; compute it locally.
@@ -216,15 +227,19 @@ func (e *Executor) handlePartition(jc context.Context, payload []byte) ([]byte, 
 	return row.EncodeRows(rows)
 }
 
-// query plans (or returns the cached plan of) one SQL text under the
-// session's shuffle scope. The scope string is derived from session,
-// epoch and query text only — every worker planning the same query lands
-// on identical shuffle ids, so reduce tasks can fetch map output that a
-// peer already published.
-func (s *session) query(sessionID, sql string) (*builtQuery, error) {
+// query plans (or returns the cached plan of) one SQL text plus adaptive
+// decision list under the session's shuffle scope. The scope string is
+// derived from session, epoch, query text and decisions only — every
+// worker planning the same adapted query lands on identical shuffle ids,
+// so reduce tasks can fetch map output that a peer already published. The
+// cache is keyed the same way: the static and adapted builds of one SQL
+// text are different plans with different shuffle graphs.
+func (s *session) query(sessionID, sql string, decisions []sqlwire.DecisionSpec) (*builtQuery, error) {
+	dfp := decisionFingerprint(decisions)
+	key := fmt.Sprintf("%s\x00%016x", sql, dfp)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if bq, ok := s.built[sql]; ok {
+	if bq, ok := s.built[key]; ok {
 		return bq, nil
 	}
 	df, err := s.ctx.SQL(sql)
@@ -232,22 +247,31 @@ func (s *session) query(sessionID, sql string) (*builtQuery, error) {
 		return nil, err
 	}
 	// Shuffle ids are allocated while the RDD graph is built, so the scope
-	// must be set for the duration of ToRDD and nothing else; planning is
-	// serialized by s.mu.
+	// must be set for the duration of AdaptedQuery and nothing else;
+	// planning is serialized by s.mu.
 	rc := s.ctx.RDDContext()
-	rc.SetShuffleScope(fmt.Sprintf("%s/e%d/q%016x", sessionID, s.epoch, fnv64(sql)))
-	r, err := df.ToRDD()
+	rc.SetShuffleScope(fmt.Sprintf("%s/e%d/q%016x/d%016x", sessionID, s.epoch, fnv64(sql), dfp))
+	r, hash, err := df.AdaptedQuery(core.DecisionsFromSpecs(decisions))
 	rc.SetShuffleScope("")
 	if err != nil {
 		return nil, err
 	}
-	hash, err := df.PlanHash()
-	if err != nil {
-		return nil, err
-	}
 	bq := &builtQuery{rdd: r, numPart: r.NumPartitions(), planHash: hash}
-	s.built[sql] = bq
+	s.built[key] = bq
 	return bq, nil
+}
+
+// decisionFingerprint hashes a decision list's wire encoding; zero for the
+// static plan (no decisions).
+func decisionFingerprint(ds []sqlwire.DecisionSpec) uint64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	b, err := json.Marshal(ds)
+	if err != nil {
+		return 0
+	}
+	return fnv64(string(b))
 }
 
 func fnv64(s string) uint64 {

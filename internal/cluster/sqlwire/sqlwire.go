@@ -71,7 +71,10 @@ type SessionSpec struct {
 	Vectorized          bool  `json:"vectorized"`
 	Fusion              bool  `json:"fusion"`
 	BroadcastThreshold  int64 `json:"broadcastThreshold"`
-	ShufflePartitions   int   `json:"shufflePartitions"`
+	// TargetPartitionBytes feeds static exchange sizing, so it must match
+	// the coordinator's value for plan-hash parity.
+	TargetPartitionBytes int64 `json:"targetPartitionBytes,omitempty"`
+	ShufflePartitions    int   `json:"shufflePartitions"`
 	Parallelism         int   `json:"parallelism"`
 	MemoryBudget        int64 `json:"memoryBudget"`
 
@@ -99,6 +102,22 @@ type QueryTask struct {
 	Partition     int    `json:"partition"`
 	NumPartitions int    `json:"numPartitions"`
 	PlanHash      uint64 `json:"planHash"`
+	// Decisions is the coordinator's adaptive re-planning decision list:
+	// the worker replans SQL statically (adaptation off) and replays these
+	// rewrites, so both processes execute the identical adapted plan
+	// without the worker re-materializing stages. Empty = static plan.
+	Decisions []DecisionSpec `json:"decisions,omitempty"`
+}
+
+// DecisionSpec mirrors physical.Decision on the wire: one pure rewrite of
+// the statically planned tree, addressed by child-index path.
+type DecisionSpec struct {
+	Path       []int  `json:"path,omitempty"`
+	Kind       string `json:"kind"`
+	Parts      int    `json:"parts,omitempty"`
+	BuildRight bool   `json:"buildRight,omitempty"`
+	Splits     []int  `json:"splits,omitempty"`
+	Note       string `json:"note,omitempty"`
 }
 
 // UninitializedMarker appears in the retryable error a worker returns for

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cluster/sqlwire"
 	"repro/internal/expr"
+	"repro/internal/physical"
 	"repro/internal/plan"
 	"repro/internal/rdd"
 	"repro/internal/row"
@@ -367,7 +368,16 @@ func (q *QueryExecution) distributed(ctx context.Context, sql string) (*rdd.RDD[
 		cancel()
 		ec.CleanupSpills()
 	}
-	local := q.Physical.Execute(ec)
+	// Adaptive re-planning runs on the coordinator only: stages materialize
+	// here, decisions are taken once, and the decision list ships in every
+	// task so workers replay — never re-derive — the adapted plan.
+	pp, err := q.prepare(jc, ec)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, false
+	}
+	decisions := decisionSpecs(q.Decisions)
+	local := pp.Execute(ec)
 	np := local.NumPartitions()
 	planHash := q.PlanHash()
 	payload := func(p int) []byte {
@@ -378,6 +388,7 @@ func (q *QueryExecution) distributed(ctx context.Context, sql string) (*rdd.RDD[
 			Partition:     p,
 			NumPartitions: np,
 			PlanHash:      planHash,
+			Decisions:     decisions,
 		})
 		if err != nil {
 			return nil // undecodable payload fails worker-side → fallback
@@ -387,6 +398,63 @@ func (q *QueryExecution) distributed(ctx context.Context, sql string) (*rdd.RDD[
 	return rdd.RemoteOrLocal(local, "sql.partition", payload, row.DecodeRows), cleanup, jc, true
 }
 
+// decisionSpecs converts adaptive decisions to their wire form.
+func decisionSpecs(ds []physical.Decision) []sqlwire.DecisionSpec {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]sqlwire.DecisionSpec, len(ds))
+	for i, d := range ds {
+		out[i] = sqlwire.DecisionSpec{
+			Path: d.Path, Kind: d.Kind, Parts: d.Parts,
+			BuildRight: d.BuildRight, Splits: d.Splits, Note: d.Note,
+		}
+	}
+	return out
+}
+
+// DecisionsFromSpecs is the worker-side inverse of decisionSpecs.
+func DecisionsFromSpecs(ds []sqlwire.DecisionSpec) []physical.Decision {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]physical.Decision, len(ds))
+	for i, d := range ds {
+		out[i] = physical.Decision{
+			Path: d.Path, Kind: d.Kind, Parts: d.Parts,
+			BuildRight: d.BuildRight, Splits: d.Splits, Note: d.Note,
+		}
+	}
+	return out
+}
+
+// ApplyDecisions replays a coordinator's adaptive decision list over this
+// query's static physical plan, recording the adapted tree as Executed so
+// PlanHash and RDD-building reflect it — the worker-side half of adaptive
+// plan parity.
+func (q *QueryExecution) ApplyDecisions(ds []physical.Decision) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	adapted, err := physical.ApplyDecisions(q.Physical, ds)
+	if err != nil {
+		return err
+	}
+	q.Executed = adapted
+	q.Decisions = ds
+	return nil
+}
+
+// ExecutedRDD lazily builds the result RDD of the executed (adapted when
+// present) plan — what a worker runs partitions of.
+func (q *QueryExecution) ExecutedRDD() *rdd.RDD[row.Row] {
+	ec := q.engine.ExecContext()
+	ec.Pool = nil
+	ec.SpillFS = nil
+	ec.Adaptive = nil
+	return q.executedPlan().Execute(ec)
+}
+
 // ClusterSummary renders current membership and per-worker task counts —
 // the "== Cluster ==" section of EXPLAIN ANALYZE under a cluster engine.
 func (rt *ClusterRuntime) ClusterSummary() string {
@@ -394,6 +462,8 @@ func (rt *ClusterRuntime) ClusterSummary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "workers: %d registered\n", len(ws))
 	reg := rt.e.RDDCtx.Metrics()
+	fmt.Fprintf(&sb, "fallbacks: %d tasks computed locally\n",
+		reg.Counter("cluster.fallback").Load())
 	for _, w := range ws {
 		status := ""
 		if w.Banned {

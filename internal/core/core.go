@@ -65,6 +65,15 @@ type Config struct {
 	// the engine's spill DFS when the pool is exhausted, with results
 	// byte-identical to the unbounded path.
 	MemoryBudget int64
+	// Adaptive enables adaptive query execution: plans split into a stage
+	// DAG at their exchanges, stages materialize bottom-up, and observed
+	// output statistics drive re-planning (partition coalescing,
+	// broadcast promotion/demotion, skew-split). Off, plans and results
+	// are byte-identical to static execution.
+	Adaptive bool
+	// SkewFactor is the multiple of the mean reduce-bucket size above which
+	// adaptive execution splits a skewed partition (0 = default 4x).
+	SkewFactor float64
 }
 
 // DefaultConfig is the full Spark SQL feature set.
@@ -76,6 +85,7 @@ func DefaultConfig() Config {
 		ShufflePartitions: runtime.GOMAXPROCS(0),
 		Parallelism:       runtime.GOMAXPROCS(0),
 		Metrics:           true,
+		Adaptive:          true,
 	}
 }
 
@@ -152,6 +162,13 @@ type QueryExecution struct {
 	Analyzed  plan.LogicalPlan
 	Optimized plan.LogicalPlan
 	Physical  physical.SparkPlan
+	// Executed is the adaptively re-planned tree (stage barriers in place)
+	// once a query action has run with Config.Adaptive on; nil means the
+	// static Physical plan is (or will be) what executes. Decisions is the
+	// rewrite list that derives Executed from Physical — the coordinator
+	// ships it so workers reproduce the identical adapted plan.
+	Executed  physical.SparkPlan
+	Decisions []physical.Decision
 }
 
 // Execute runs analysis, optimization and physical planning.
@@ -189,6 +206,14 @@ func (e *Engine) ExecContext() *physical.ExecContext {
 		ShufflePartitions: e.Cfg.ShufflePartitions,
 		Metrics:           e.Cfg.Metrics,
 	}
+	if e.Cfg.Adaptive {
+		ec.Adaptive = &physical.AdaptiveConfig{
+			BroadcastThreshold:   e.Cfg.Planner.BroadcastThreshold,
+			TargetPartitionBytes: e.Cfg.Planner.TargetPartitionBytes,
+			MemoryBudget:         e.Cfg.MemoryBudget,
+			SkewFactor:           e.Cfg.SkewFactor,
+		}
+	}
 	if e.Cfg.MemoryBudget > 0 {
 		ec.Pool = memory.NewPool(e.Cfg.MemoryBudget, e.RDDCtx.Metrics().Scoped("memory"))
 		ec.SpillFS = e.SpillFS
@@ -204,7 +229,40 @@ func (q *QueryExecution) RDD() *rdd.RDD[row.Row] {
 	ec := q.engine.ExecContext()
 	ec.Pool = nil
 	ec.SpillFS = nil
+	// Adaptation is eager (it materializes stages under a job context); a
+	// lazy RDD handle executes the static plan.
+	ec.Adaptive = nil
 	return q.Physical.Execute(ec)
+}
+
+// prepare resolves the plan a query action executes: with adaptation off it
+// is the static Physical plan untouched; with adaptation on the adaptive
+// driver materializes stages bottom-up and re-plans from observed
+// statistics. The adapted tree and its decision list are memoized so every
+// action of this QueryExecution (and the cluster path) runs one plan.
+func (q *QueryExecution) prepare(jc context.Context, ec *physical.ExecContext) (physical.SparkPlan, error) {
+	if ec.Adaptive == nil {
+		return q.Physical, nil
+	}
+	if q.Executed != nil {
+		return q.Executed, nil
+	}
+	adapted, decisions, err := physical.AdaptPlan(jc, ec, q.Physical)
+	if err != nil {
+		return nil, err
+	}
+	q.Executed = adapted
+	q.Decisions = decisions
+	return adapted, nil
+}
+
+// executedPlan is the plan that runs (or ran): the adapted tree when
+// adaptation produced one, the static plan otherwise.
+func (q *QueryExecution) executedPlan() physical.SparkPlan {
+	if q.Executed != nil {
+		return q.Executed
+	}
+	return q.Physical
 }
 
 // queryContext derives the job context for one query execution, applying
@@ -234,7 +292,11 @@ func (q *QueryExecution) CollectContext(ctx context.Context) ([]row.Row, error) 
 	defer ec.CleanupSpills()
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
-	return q.Physical.Execute(ec).CollectContext(jc)
+	p, err := q.prepare(jc, ec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(ec).CollectContext(jc)
 }
 
 // Count counts result rows without materializing them centrally.
@@ -248,7 +310,11 @@ func (q *QueryExecution) CountContext(ctx context.Context) (int64, error) {
 	defer ec.CleanupSpills()
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
-	return q.Physical.Execute(ec).CountContext(jc)
+	p, err := q.prepare(jc, ec)
+	if err != nil {
+		return 0, err
+	}
+	return p.Execute(ec).CountContext(jc)
 }
 
 // Explain renders all plan phases.
@@ -283,7 +349,11 @@ func (q *QueryExecution) ExplainAnalyzeContext(ctx context.Context) (string, err
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
 	start := time.Now()
-	rows, err := q.Physical.Execute(ec).CollectContext(jc)
+	p, err := q.prepare(jc, ec)
+	if err != nil {
+		return "", err
+	}
+	rows, err := p.Execute(ec).CollectContext(jc)
 	if err != nil {
 		return "", err
 	}
@@ -292,7 +362,7 @@ func (q *QueryExecution) ExplainAnalyzeContext(ctx context.Context) (string, err
 	sb.WriteString("== Optimized Plan ==\n")
 	sb.WriteString(plan.FormatEstimated(q.Optimized))
 	sb.WriteString("== Physical Plan ==\n")
-	sb.WriteString(q.Physical.String())
+	sb.WriteString(p.String())
 	fmt.Fprintf(&sb, "== Runtime ==\nresult: %d rows in %.1f ms\n",
 		len(rows), float64(elapsed.Microseconds())/1e3)
 	if q.engine.cluster != nil {
@@ -311,14 +381,23 @@ var planIDs = regexp.MustCompile(`#\d+`)
 // they must not perturb the plan fingerprint.
 var planActuals = regexp.MustCompile(`  \(actual: [^)]*\)`)
 
+// planAdapted matches the adaptive "(adapted: <from> -> <to> (<reason>))"
+// annotations. Unlike actuals, reasons nest one paren level (and a skewed
+// join can carry two adapted segments in one annotation), so the body
+// admits any run of non-paren text or single-level groups.
+var planAdapted = regexp.MustCompile(`  \(adapted: (?:[^()]|\([^()]*\))*\)`)
+
 // PlanHash returns a stable FNV-1a fingerprint of the physical plan with
 // expression IDs normalized out, so identical statements (and identical
 // plan shapes) hash alike across executions — the query log's correlation
-// key for "which plan ran".
+// key for "which plan ran". Runtime annotations (actuals, adapted notes)
+// are stripped: two runs of one adapted plan shape hash alike even when
+// the observed byte counts in their notes differ.
 func (q *QueryExecution) PlanHash() uint64 {
 	h := fnv.New64a()
-	norm := planIDs.ReplaceAllString(q.Physical.String(), "#")
+	norm := planIDs.ReplaceAllString(q.executedPlan().String(), "#")
 	norm = planActuals.ReplaceAllString(norm, "")
+	norm = planAdapted.ReplaceAllString(norm, "")
 	h.Write([]byte(norm))
 	return h.Sum64()
 }

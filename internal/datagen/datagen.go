@@ -123,6 +123,44 @@ func PairRow(seed uint64, i, numKeys int64) row.Row {
 	}
 }
 
+// ZipfKey draws a key in [0, keys) for record i from a Zipf-like power
+// law with exponent s, via the inverse CDF of the continuous density
+// p(x) ∝ x^(-s) on [1, keys+1]. Key 0 is the hottest; s = 0 degenerates
+// to uniform and larger s concentrates more mass on the head (s = 2 puts
+// over half the rows on key 0). Pure in (seed, i) like every generator
+// here, so skewed partitions regenerate identically under lineage
+// recovery.
+func ZipfKey(seed uint64, i, keys int64, s float64) int64 {
+	if keys <= 1 {
+		return 0
+	}
+	u := rngFloat(seed, uint64(i))
+	n := float64(keys + 1)
+	var x float64
+	if s == 1 {
+		x = math.Exp(u * math.Log(n))
+	} else {
+		x = math.Pow(1+u*(math.Pow(n, 1-s)-1), 1/(1-s))
+	}
+	k := int64(x) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= keys {
+		k = keys - 1
+	}
+	return k
+}
+
+// SkewedPairRow is PairRow with a Zipf(s)-distributed join key — the
+// natural input for skew-split tests, where one reduce bucket dominates.
+func SkewedPairRow(seed uint64, i, numKeys int64, s float64) row.Row {
+	return row.Row{
+		int32(ZipfKey(seed, i, numKeys, s)),
+		int32(rng(seed+1, uint64(i)) % 1000),
+	}
+}
+
 // Pair is the unboxed form used by the hand-written RDD baselines.
 type Pair struct{ A, B int32 }
 

@@ -124,3 +124,44 @@ func TestPairValueMatchesPairRow(t *testing.T) {
 		}
 	}
 }
+
+func TestZipfKey(t *testing.T) {
+	const n, keys = 50_000, 64
+	counts := make([]int64, keys)
+	for i := int64(0); i < n; i++ {
+		k := ZipfKey(11, i, keys, 2.0)
+		if k != ZipfKey(11, i, keys, 2.0) {
+			t.Fatalf("zipf not deterministic at %d", i)
+		}
+		if k < 0 || k >= keys {
+			t.Fatalf("key out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// s = 2 must put the majority of rows on the hottest key and keep a
+	// monotone-ish head: that head mass is what makes one hash bucket
+	// blow past the skew threshold in the adaptive skew-split tests.
+	if counts[0] < n/2 {
+		t.Fatalf("key 0 holds %d of %d rows; want a hot majority", counts[0], n)
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[3] {
+		t.Fatalf("head not decreasing: %v", counts[:4])
+	}
+	var tail int64
+	for _, c := range counts[1:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Fatal("degenerate: all rows on one key")
+	}
+	// s = 0 degenerates to uniform: no key should dominate.
+	uni := make([]int64, keys)
+	for i := int64(0); i < n; i++ {
+		uni[ZipfKey(11, i, keys, 0)]++
+	}
+	for k, c := range uni {
+		if c > n/keys*3 {
+			t.Fatalf("uniform mode skewed at key %d: %d", k, c)
+		}
+	}
+}

@@ -327,3 +327,60 @@ func TestSpillStudy(t *testing.T) {
 			r.Mode, r.Budget, r.AggTime, r.JoinTime, r.SpillBytes, r.SpillRuns)
 	}
 }
+
+// TestAdaptiveStudyVerify checks the adaptive ablation's soundness on
+// every run: identical answers with adaptation on and off, and a plan
+// that really was promoted. The speed thresholds live in the PERF_GATE
+// test — a loaded CI machine must not flake this.
+func TestAdaptiveStudyVerify(t *testing.T) {
+	if err := NewAdaptiveStudy(20_000).Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveGate is the perf gate wired into scripts/check.sh: with
+// PERF_GATE=1 it fails the build unless (a) adaptive execution is no
+// slower than static planning on uniform data (within a 1.25x noise
+// bound) and (b) the skewed-join ablation — where the size-blind static
+// plan sorts 200k rows on both sides of the join that adaptation
+// promotes to broadcast — speeds up by at least 2x. Env-gated because
+// thresholds are meaningless on a machine running other work.
+func TestAdaptiveGate(t *testing.T) {
+	if os.Getenv("PERF_GATE") == "" {
+		t.Skip("set PERF_GATE=1 to run the adaptive regression gate")
+	}
+	study := NewAdaptiveStudy(200_000)
+	if err := study.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	measure := func(adaptive, skewed bool) time.Duration {
+		// Best of 3: the gate asks whether the speedup CAN hold, not
+		// whether every noisy sample does.
+		best := time.Duration(1<<63 - 1)
+		for try := 0; try < 3; try++ {
+			d, _, err := study.Run(adaptive, skewed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	uniStatic := measure(false, false)
+	uniAdaptive := measure(true, false)
+	t.Logf("uniform: static=%v adaptive=%v (%.2fx)",
+		uniStatic, uniAdaptive, float64(uniStatic)/float64(uniAdaptive))
+	if float64(uniAdaptive) > 1.25*float64(uniStatic) {
+		t.Fatalf("adaptive execution is %.2fx slower than static on uniform data",
+			float64(uniAdaptive)/float64(uniStatic))
+	}
+	skewStatic := measure(false, true)
+	skewAdaptive := measure(true, true)
+	speedup := float64(skewStatic) / float64(skewAdaptive)
+	t.Logf("skewed join: static=%v adaptive=%v speedup=%.2fx", skewStatic, skewAdaptive, speedup)
+	if speedup < 2.0 {
+		t.Fatalf("skewed-join ablation speedup %.2fx, below the 2x acceptance floor", speedup)
+	}
+}

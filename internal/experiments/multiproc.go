@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -21,6 +23,9 @@ import (
 	sparksql "repro"
 	"repro/internal/cluster"
 	"repro/internal/cluster/sqlwire"
+	"repro/internal/rdd"
+	"repro/internal/row"
+	"repro/internal/types"
 )
 
 // MultiprocConfig shapes one multi-process chaos run.
@@ -65,6 +70,10 @@ type MultiprocResult struct {
 	// FailedDispatches counts dispatches that errored (worker loss,
 	// injected faults, frame faults) and were recovered from.
 	FailedDispatches int64
+	// Fallbacks counts tasks workers refused (ErrRemoteFallback) that
+	// were computed locally — driven nonzero by the unshippable-table
+	// phase and surfaced as the cluster.fallback counter.
+	Fallbacks int64
 	// Kills is how many worker processes were SIGKILLed or evicted.
 	Kills int
 	// RecoveryMillis is, per kill, the time from the fault to the next
@@ -84,6 +93,60 @@ func multiprocQueries() []string {
 		"SELECT DISTINCT pageRank FROM rankings ORDER BY pageRank",
 	}
 }
+
+// runUnshippablePhase registers an RDD-backed temp view (which the
+// session spec cannot encode), runs a distributed query over it, and
+// verifies both the answer and that the refusal surfaced: the
+// cluster.fallback counter rose and EXPLAIN ANALYZE's "== Cluster =="
+// section reports the tasks computed locally.
+func runUnshippablePhase(dist *sparksql.Context, res *MultiprocResult) error {
+	schema := types.StructType{}.
+		Add("k", types.Long, false).
+		Add("v", types.Long, false)
+	rows := make([]row.Row, 64)
+	var wantSum int64
+	for i := range rows {
+		rows[i] = row.Row{int64(i % 8), int64(i)}
+		wantSum += int64(i)
+	}
+	r := rdd.Parallelize(dist.RDDContext(), rows, 4)
+	df, err := dist.CreateDataFrameFromRDD(schema, r)
+	if err != nil {
+		return fmt.Errorf("multiproc unshippable: %w", err)
+	}
+	df.RegisterTempTable("unshippable")
+
+	before := dist.RDDContext().RemoteFallbacks()
+	got, err := collectSQL(dist, "SELECT SUM(v) FROM unshippable")
+	if err != nil {
+		return fmt.Errorf("multiproc unshippable: %w", err)
+	}
+	if len(got) != 1 || fmt.Sprint(got[0][0]) != fmt.Sprint(wantSum) {
+		return fmt.Errorf("multiproc unshippable: got %v, want [[%d]]", got, wantSum)
+	}
+	if dist.RDDContext().RemoteFallbacks() == before {
+		return fmt.Errorf("multiproc: unshippable query never fell back to local compute")
+	}
+	res.Fallbacks = dist.RDDContext().RemoteFallbacks()
+
+	qdf, err := dist.SQL("SELECT COUNT(*) FROM unshippable")
+	if err != nil {
+		return err
+	}
+	ea, err := qdf.ExplainAnalyze()
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(ea, "== Cluster ==") {
+		return fmt.Errorf("multiproc: EXPLAIN ANALYZE missing cluster section:\n%s", ea)
+	}
+	if !fallbackLine.MatchString(ea) {
+		return fmt.Errorf("multiproc: cluster section does not report fallbacks:\n%s", ea)
+	}
+	return nil
+}
+
+var fallbackLine = regexp.MustCompile(`fallbacks: [1-9]\d* tasks computed locally`)
 
 // workerProc is one spawned worker process.
 type workerProc struct {
@@ -229,6 +292,16 @@ func RunMultiprocChaos(cfg MultiprocConfig) (*MultiprocResult, error) {
 		if err := check("distributed", i); err != nil {
 			return nil, err
 		}
+	}
+
+	// Phase 1b: a query over a table the session spec cannot ship. An
+	// RDD-backed temp view is neither a LocalRelation nor a cached
+	// relation, so collectTables skips it; workers fail analysis, refuse
+	// with a fallback error, and every partition computes locally. The
+	// fallback must be visible: the cluster.fallback counter and the
+	// EXPLAIN ANALYZE "== Cluster ==" section both report it.
+	if err := runUnshippablePhase(dist, res); err != nil {
+		return nil, err
 	}
 
 	// Phase 2: SIGKILL one worker while a query is in flight, then verify

@@ -34,8 +34,11 @@ func TestMultiprocChaos(t *testing.T) {
 	if res.Kills < 2 {
 		t.Fatalf("harness reported %d kills, want >= 2 (SIGKILL + eviction)", res.Kills)
 	}
-	t.Logf("multiproc: %d queries verified, %d remote tasks, %d failed dispatches, %d kills, recovery %v ms",
-		res.Queries, res.RemoteTasks, res.FailedDispatches, res.Kills, res.RecoveryMillis)
+	if res.Fallbacks == 0 {
+		t.Fatal("unshippable-table phase recorded no cluster.fallback tasks")
+	}
+	t.Logf("multiproc: %d queries verified, %d remote tasks, %d failed dispatches, %d fallbacks, %d kills, recovery %v ms",
+		res.Queries, res.RemoteTasks, res.FailedDispatches, res.Fallbacks, res.Kills, res.RecoveryMillis)
 }
 
 func TestMultiprocSpill(t *testing.T) {

@@ -1,0 +1,640 @@
+package physical
+
+// Adaptive query execution (ROADMAP item 5, Spark 3.x AQE): instead of
+// executing the statically planned operator tree in one shot, the plan is
+// split at its exchanges into a stage DAG. Stages execute bottom-up; each
+// completed stage's observed output (rows and bytes, measured from the
+// materialized partitions) feeds a re-planning step that re-enters the
+// planner's cost rules over actuals instead of estimates:
+//
+//   - exchange partition counts coalesce to ceil(observedBytes/target)
+//     when that is below the statically chosen count,
+//   - a broadcast hash join whose build side blows past the broadcast
+//     limit demotes to a sort-merge join, and a shuffled join whose input
+//     turns out tiny promotes to a broadcast hash join,
+//   - a shuffled hash join reduce partition whose observed input exceeds
+//     SkewFactor x the mean bucket size splits into chunks that join
+//     independently against the full build bucket (order-preserving, so
+//     results are byte-identical to the unsplit plan).
+//
+// Every decision is a pure rewrite of the static tree addressed by a
+// child-index path, so the coordinator can ship its decisions in the task
+// spec and workers derive the identical adapted plan without re-adapting
+// (keeping the cluster plan-hash parity check sound). EXPLAIN ANALYZE
+// records each decision as `adapted: <from> -> <to> (<reason>)`.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/rdd"
+	"repro/internal/row"
+)
+
+// AdaptiveConfig carries the runtime re-planning knobs onto the
+// ExecContext; nil disables adaptation entirely (plans and results are
+// byte-identical to static execution).
+type AdaptiveConfig struct {
+	// BroadcastThreshold mirrors the planner's broadcast size cap.
+	BroadcastThreshold int64
+	// TargetPartitionBytes sizes coalesced exchanges from observed bytes.
+	TargetPartitionBytes int64
+	// MemoryBudget mirrors the query memory budget: the broadcast limit is
+	// min(BroadcastThreshold, MemoryBudget/2), exactly as in static
+	// planning, so promotion never builds a hash table the budget forbids.
+	MemoryBudget int64
+	// SkewFactor is the multiple of the mean reduce-bucket size above
+	// which a bucket is split (0 = DefaultSkewFactor).
+	SkewFactor float64
+}
+
+// DefaultSkewFactor splits a reduce partition observed at more than 4x the
+// mean bucket size — Spark's skewedPartitionFactor default.
+const DefaultSkewFactor = 4.0
+
+// maxSkewSplits bounds how many chunks one skewed bucket splits into.
+const maxSkewSplits = 16
+
+func (c *AdaptiveConfig) skewFactor() float64 {
+	if c.SkewFactor > 0 {
+		return c.SkewFactor
+	}
+	return DefaultSkewFactor
+}
+
+func (c *AdaptiveConfig) broadcastLimit() int64 {
+	return BroadcastLimit(c.BroadcastThreshold, c.MemoryBudget)
+}
+
+func (c *AdaptiveConfig) partitionsFor(sizeInBytes int64) int {
+	return PartitionsForSize(c.TargetPartitionBytes, sizeInBytes)
+}
+
+// AdaptiveNote carries the `adapted: ...` annotation onto a physical
+// operator; WithNewChildren copy semantics (c := *n) preserve it across
+// rewrites, like PlanEstimate.
+type AdaptiveNote struct {
+	adapted string
+}
+
+// SetAdapted records the decision annotation.
+func (a *AdaptiveNote) SetAdapted(note string) { a.adapted = note }
+
+// Adapted returns the decision annotation ("" = none).
+func (a *AdaptiveNote) Adapted() string { return a.adapted }
+
+// AdaptiveAnnotated is implemented by operators that can carry an adaptive
+// decision annotation (via AdaptiveNote).
+type AdaptiveAnnotated interface {
+	SetAdapted(string)
+	Adapted() string
+}
+
+// Decision is one adaptive re-planning step, expressed as a pure rewrite
+// of the statically planned tree so the coordinator and every worker
+// derive the identical adapted plan from (static plan, decisions).
+type Decision struct {
+	// Path addresses the rewritten node by child indexes from the root of
+	// the static plan (empty = root). Every rewrite kind preserves tree
+	// shape and child counts, so later paths stay valid.
+	Path []int
+	// Kind is "coalesce", "demote", "promote" or "skew".
+	Kind string
+	// Parts is the new exchange partition count (0 = keep current).
+	Parts int
+	// BuildRight selects the broadcast build side for "promote".
+	BuildRight bool
+	// Splits is the per-reduce-partition chunk count for "skew" (length =
+	// the exchange's effective partition count).
+	Splits []int
+	// Note is the EXPLAIN annotation: `adapted: <from> -> <to> (<reason>)`.
+	Note string
+}
+
+// QueryStageExec is a materialization barrier: the subtree below an
+// exchange, already executed by the adaptive driver, held as its computed
+// partitions. It prints as its child — the barrier is an execution
+// detail, which keeps plan strings (and so the cluster plan-hash parity
+// check) identical between the coordinator's stage-materialized tree and
+// a worker's decision-applied live tree — and executes as a partition
+// leaf, so downstream operators never recompute stage output.
+type QueryStageExec struct {
+	PlanEstimate
+	Child SparkPlan
+	// Rows and Bytes are the stage's observed output statistics.
+	Rows, Bytes int64
+	parts       [][]row.Row
+}
+
+func (q *QueryStageExec) Children() []SparkPlan { return []SparkPlan{q.Child} }
+func (q *QueryStageExec) WithNewChildren(children []SparkPlan) SparkPlan {
+	c := *q
+	c.Child = children[0]
+	return &c
+}
+func (q *QueryStageExec) Output() []*expr.AttributeReference { return q.Child.Output() }
+
+// ApplyDecisions replays a decision list over the static plan; applying
+// the decisions AdaptPlan returned reproduces its adapted tree exactly —
+// the worker-side half of the coordinator/worker parity contract.
+func ApplyDecisions(p SparkPlan, ds []Decision) (SparkPlan, error) {
+	var err error
+	for _, d := range ds {
+		p, err = rewriteAt(p, d.Path, func(node SparkPlan) (SparkPlan, error) {
+			return applyDecision(node, d)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// rewriteAt replaces the node at path with f(node), copying spine nodes.
+func rewriteAt(p SparkPlan, path []int, f func(SparkPlan) (SparkPlan, error)) (SparkPlan, error) {
+	if len(path) == 0 {
+		return f(p)
+	}
+	kids := p.Children()
+	i := path[0]
+	if i < 0 || i >= len(kids) {
+		return nil, fmt.Errorf("physical: adaptive path index %d out of range on %T", i, p)
+	}
+	nk, err := rewriteAt(kids[i], path[1:], f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SparkPlan, len(kids))
+	copy(out, kids)
+	out[i] = nk
+	return p.WithNewChildren(out), nil
+}
+
+// applyDecision rewrites one node under one decision.
+func applyDecision(p SparkPlan, d Decision) (SparkPlan, error) {
+	switch d.Kind {
+	case "coalesce":
+		switch n := p.(type) {
+		case *ShuffledHashJoinExec:
+			c := *n
+			c.Partitions = d.Parts
+			c.SetAdapted(d.Note)
+			return &c, nil
+		case *SortMergeJoinExec:
+			c := *n
+			c.Partitions = d.Parts
+			c.SetAdapted(d.Note)
+			return &c, nil
+		case *HashAggregateExec:
+			c := *n
+			c.Partitions = d.Parts
+			c.SetAdapted(d.Note)
+			return &c, nil
+		case *DistinctExec:
+			c := *n
+			c.Partitions = d.Parts
+			c.SetAdapted(d.Note)
+			return &c, nil
+		case *SortExec:
+			c := *n
+			c.Partitions = d.Parts
+			c.SetAdapted(d.Note)
+			return &c, nil
+		}
+		return nil, fmt.Errorf("physical: coalesce decision on %T", p)
+	case "skew":
+		n, ok := p.(*ShuffledHashJoinExec)
+		if !ok {
+			return nil, fmt.Errorf("physical: skew decision on %T", p)
+		}
+		c := *n
+		if d.Parts > 0 {
+			c.Partitions = d.Parts
+		}
+		c.SkewSplits = d.Splits
+		c.SetAdapted(d.Note)
+		return &c, nil
+	case "demote":
+		n, ok := p.(*BroadcastHashJoinExec)
+		if !ok {
+			return nil, fmt.Errorf("physical: demote decision on %T", p)
+		}
+		smj := &SortMergeJoinExec{
+			Left: n.Left, Right: n.Right,
+			LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+			Type: n.Type, Residual: n.Residual,
+			Partitions: d.Parts,
+		}
+		transferEstimate(smj, n)
+		smj.SetAdapted(d.Note)
+		return smj, nil
+	case "promote":
+		var bhj *BroadcastHashJoinExec
+		switch n := p.(type) {
+		case *ShuffledHashJoinExec:
+			bhj = &BroadcastHashJoinExec{
+				Left: n.Left, Right: n.Right,
+				LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+				Type: n.Type, Residual: n.Residual,
+				BuildRight: d.BuildRight,
+			}
+		case *SortMergeJoinExec:
+			bhj = &BroadcastHashJoinExec{
+				Left: n.Left, Right: n.Right,
+				LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+				Type: n.Type, Residual: n.Residual,
+				BuildRight: d.BuildRight,
+			}
+		default:
+			return nil, fmt.Errorf("physical: promote decision on %T", p)
+		}
+		transferEstimate(bhj, p)
+		bhj.SetAdapted(d.Note)
+		return bhj, nil
+	}
+	return nil, fmt.Errorf("physical: unknown decision kind %q", d.Kind)
+}
+
+// AdaptPlan is the stage-graph driver: it walks the static plan bottom-up,
+// materializes each exchange input as a QueryStageExec (through the rdd
+// layer's ordinary job path, so retry, speculation and cancellation apply
+// to stage execution exactly as to final execution), and re-plans each
+// exchange from the observed statistics. It returns the executed tree
+// (stage leaves in place, zero recompute) and the decision list to ship
+// to workers. With ctx.Adaptive == nil the plan is returned untouched.
+func AdaptPlan(jc context.Context, ctx *ExecContext, p SparkPlan) (SparkPlan, []Decision, error) {
+	if ctx.Adaptive == nil {
+		return p, nil, nil
+	}
+	d := &adaptiveDriver{jc: jc, ctx: ctx, cfg: ctx.Adaptive}
+	out, err := d.adapt(p, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, d.decisions, nil
+}
+
+type adaptiveDriver struct {
+	jc        context.Context
+	ctx       *ExecContext
+	cfg       *AdaptiveConfig
+	decisions []Decision
+}
+
+// transparent reports whether the driver may rewrite p's children. Fused
+// and vectorized operators are opaque: their children feed batch-native
+// pipelines that a row-partition stage leaf cannot stand in for, so
+// adaptation treats them as leaves (they still materialize fine as stage
+// *inputs* above them).
+func transparent(p SparkPlan) bool {
+	switch p.(type) {
+	case *ProjectExec, *FilterExec, *SortExec, *LimitExec, *UnionExec, *SampleExec,
+		*DistinctExec, *HashAggregateExec, *ShuffledHashJoinExec, *SortMergeJoinExec,
+		*BroadcastHashJoinExec, *NestedLoopJoinExec:
+		return true
+	}
+	return false
+}
+
+// effectiveParts is the reducer count an exchange will actually use.
+func effectiveParts(session, override int) int {
+	if override > 0 && override < session {
+		return override
+	}
+	return session
+}
+
+func (d *adaptiveDriver) adapt(p SparkPlan, path []int) (SparkPlan, error) {
+	if !transparent(p) {
+		return p, nil
+	}
+	kids := p.Children()
+	if len(kids) > 0 {
+		nk := make([]SparkPlan, len(kids))
+		for i, k := range kids {
+			childPath := append(append([]int(nil), path...), i)
+			a, err := d.adapt(k, childPath)
+			if err != nil {
+				return nil, err
+			}
+			nk[i] = a
+		}
+		p = p.WithNewChildren(nk)
+	}
+	return d.adaptNode(p, path)
+}
+
+// materialize executes one exchange input as a stage and wraps the result.
+func (d *adaptiveDriver) materialize(child SparkPlan) (*QueryStageExec, error) {
+	if qs, ok := child.(*QueryStageExec); ok {
+		return qs, nil
+	}
+	parts, err := child.Execute(d.ctx).CollectPartitionsContext(d.jc)
+	if err != nil {
+		return nil, err
+	}
+	var rows, bytes int64
+	for _, pr := range parts {
+		rows += int64(len(pr))
+		for _, r := range pr {
+			bytes += r.ObjectSize()
+		}
+	}
+	qs := &QueryStageExec{Child: child, Rows: rows, Bytes: bytes, parts: parts}
+	transferEstimate(qs, child)
+	return qs, nil
+}
+
+// record applies a decision to the node, logs it for shipping, and returns
+// the rewritten node.
+func (d *adaptiveDriver) record(p SparkPlan, dec Decision) (SparkPlan, error) {
+	d.decisions = append(d.decisions, dec)
+	return applyDecision(p, dec)
+}
+
+func (d *adaptiveDriver) adaptNode(p SparkPlan, path []int) (SparkPlan, error) {
+	switch n := p.(type) {
+	case *ShuffledHashJoinExec:
+		return d.adaptShuffledJoin(n, path)
+	case *SortMergeJoinExec:
+		return d.adaptSortMergeJoin(n, path)
+	case *HashAggregateExec:
+		if len(n.Grouping) == 0 {
+			// A global aggregate always reduces to one partition; nothing
+			// to re-plan, and materializing its input buys nothing.
+			return p, nil
+		}
+		return d.adaptCoalesceOnly(p, path, n.Child, n.Partitions,
+			func(q SparkPlan, stage *QueryStageExec) SparkPlan {
+				return q.WithNewChildren([]SparkPlan{stage})
+			})
+	case *DistinctExec:
+		return d.adaptCoalesceOnly(p, path, n.Child, n.Partitions,
+			func(q SparkPlan, stage *QueryStageExec) SparkPlan {
+				return q.WithNewChildren([]SparkPlan{stage})
+			})
+	case *SortExec:
+		if !n.Global {
+			return p, nil
+		}
+		return d.adaptCoalesceOnly(p, path, n.Child, n.Partitions,
+			func(q SparkPlan, stage *QueryStageExec) SparkPlan {
+				return q.WithNewChildren([]SparkPlan{stage})
+			})
+	case *BroadcastHashJoinExec:
+		return d.adaptBroadcastJoin(n, path)
+	}
+	return p, nil
+}
+
+// adaptCoalesceOnly materializes a single exchange input and re-sizes the
+// downstream partition count from observed bytes. Coalescing is strictly
+// conservative: it only ever shrinks below the statically chosen count,
+// so accurate estimates see zero adaptations.
+func (d *adaptiveDriver) adaptCoalesceOnly(p SparkPlan, path []int, child SparkPlan,
+	current int, rewrap func(SparkPlan, *QueryStageExec) SparkPlan) (SparkPlan, error) {
+	stage, err := d.materialize(child)
+	if err != nil {
+		return nil, err
+	}
+	eff := effectiveParts(d.ctx.ShufflePartitions, current)
+	if parts := d.cfg.partitionsFor(stage.Bytes); parts > 0 && parts < eff {
+		dec := Decision{
+			Path: path, Kind: "coalesce", Parts: parts,
+			Note: coalesceNote(parts, stage.Bytes),
+		}
+		p, err = d.record(p, dec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rewrap(p, stage), nil
+}
+
+func coalesceNote(parts int, bytes int64) string {
+	return fmt.Sprintf("adapted: shuffle exchange -> %d partitions (observed %d B)", parts, bytes)
+}
+
+// adaptShuffledJoin materializes both shuffle inputs and re-plans: promote
+// to broadcast when a buildable side turns out tiny, otherwise coalesce
+// the reducer count from observed bytes and split skewed reduce buckets.
+func (d *adaptiveDriver) adaptShuffledJoin(n *ShuffledHashJoinExec, path []int) (SparkPlan, error) {
+	ls, err := d.materialize(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := d.materialize(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	if dec, ok := d.promotion("ShuffledHashJoin", n.Type, path, ls.Bytes, rs.Bytes); ok {
+		p, err := d.record(n, dec)
+		if err != nil {
+			return nil, err
+		}
+		return p.WithNewChildren([]SparkPlan{ls, rs}), nil
+	}
+
+	eff := effectiveParts(d.ctx.ShufflePartitions, n.Partitions)
+	newParts := 0
+	if parts := d.cfg.partitionsFor(ls.Bytes + rs.Bytes); parts > 0 && parts < eff {
+		newParts = parts
+		eff = parts
+	}
+	splits, maxBytes, meanBytes := d.detectSkew(n, ls, eff)
+
+	var p SparkPlan = n
+	switch {
+	case splits != nil:
+		note := fmt.Sprintf("adapted: uniform reduce -> skew-split buckets (max bucket %d B over %.1fx mean %d B)",
+			maxBytes, d.cfg.skewFactor(), meanBytes)
+		if newParts > 0 {
+			note += "  " + coalesceNote(newParts, ls.Bytes+rs.Bytes)
+		}
+		dec := Decision{Path: path, Kind: "skew", Parts: newParts, Splits: splits, Note: note}
+		if p, err = d.record(n, dec); err != nil {
+			return nil, err
+		}
+	case newParts > 0:
+		dec := Decision{Path: path, Kind: "coalesce", Parts: newParts,
+			Note: coalesceNote(newParts, ls.Bytes+rs.Bytes)}
+		if p, err = d.record(n, dec); err != nil {
+			return nil, err
+		}
+	}
+	return p.WithNewChildren([]SparkPlan{ls, rs}), nil
+}
+
+// adaptSortMergeJoin: promotion and coalescing only — sort-merge output is
+// key-ordered, so skew splits (which reorder nothing but chunk by input
+// position) do not apply.
+func (d *adaptiveDriver) adaptSortMergeJoin(n *SortMergeJoinExec, path []int) (SparkPlan, error) {
+	ls, err := d.materialize(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := d.materialize(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	if dec, ok := d.promotion("SortMergeJoin", n.Type, path, ls.Bytes, rs.Bytes); ok {
+		p, err := d.record(n, dec)
+		if err != nil {
+			return nil, err
+		}
+		return p.WithNewChildren([]SparkPlan{ls, rs}), nil
+	}
+	var p SparkPlan = n
+	eff := effectiveParts(d.ctx.ShufflePartitions, n.Partitions)
+	if parts := d.cfg.partitionsFor(ls.Bytes + rs.Bytes); parts > 0 && parts < eff {
+		dec := Decision{Path: path, Kind: "coalesce", Parts: parts,
+			Note: coalesceNote(parts, ls.Bytes+rs.Bytes)}
+		if p, err = d.record(n, dec); err != nil {
+			return nil, err
+		}
+	}
+	return p.WithNewChildren([]SparkPlan{ls, rs}), nil
+}
+
+// promotion decides a shuffled-to-broadcast join switch, mirroring the
+// static planner's side preference and build-legality rules over observed
+// bytes instead of estimates.
+func (d *adaptiveDriver) promotion(from string, t plan.JoinType, path []int, leftBytes, rightBytes int64) (Decision, bool) {
+	canRight, canLeft := canBuildSides(t)
+	bcast := d.cfg.broadcastLimit()
+	if bcast <= 0 {
+		return Decision{}, false
+	}
+	switch {
+	case canRight && rightBytes <= bcast &&
+		(rightBytes <= leftBytes || !canLeft || leftBytes > bcast):
+		return Decision{
+			Path: path, Kind: "promote", BuildRight: true,
+			Note: fmt.Sprintf("adapted: %s -> BroadcastHashJoin (build side %d B observed under %d B limit)",
+				from, rightBytes, bcast),
+		}, true
+	case canLeft && leftBytes <= bcast:
+		return Decision{
+			Path: path, Kind: "promote", BuildRight: false,
+			Note: fmt.Sprintf("adapted: %s -> BroadcastHashJoin (build side %d B observed under %d B limit)",
+				from, leftBytes, bcast),
+		}, true
+	}
+	return Decision{}, false
+}
+
+// adaptBroadcastJoin materializes the build side and demotes to sort-merge
+// when the observed build blows past the broadcast limit the static
+// planner believed it fit under.
+func (d *adaptiveDriver) adaptBroadcastJoin(n *BroadcastHashJoinExec, path []int) (SparkPlan, error) {
+	buildChild := n.Right
+	if !n.BuildRight {
+		buildChild = n.Left
+	}
+	stage, err := d.materialize(buildChild)
+	if err != nil {
+		return nil, err
+	}
+	var p SparkPlan = n
+	if bcast := d.cfg.broadcastLimit(); stage.Bytes > bcast {
+		dec := Decision{
+			Path: path, Kind: "demote",
+			Parts: d.cfg.partitionsFor(stage.Bytes),
+			Note: fmt.Sprintf("adapted: BroadcastHashJoin -> SortMergeJoin (build side %d B observed over %d B limit)",
+				stage.Bytes, bcast),
+		}
+		if p, err = d.record(n, dec); err != nil {
+			return nil, err
+		}
+	}
+	kids := []SparkPlan{p.Children()[0], p.Children()[1]}
+	if n.BuildRight {
+		kids[1] = stage
+	} else {
+		kids[0] = stage
+	}
+	return p.WithNewChildren(kids), nil
+}
+
+// detectSkew simulates the exchange's exact bucketing (hash % n, the same
+// formula PartitionByHashCodec uses) over the materialized probe side and
+// proposes per-bucket splits when the largest bucket exceeds
+// skewFactor x mean. Only join types whose reduce output is exactly
+// probe-input order are splittable (Inner/LeftOuter/LeftSemi): chunked
+// probes concatenated in (partition, chunk) order are then byte-identical
+// to the unsplit plan.
+func (d *adaptiveDriver) detectSkew(n *ShuffledHashJoinExec, left *QueryStageExec, eff int) (splits []int, maxBytes, meanBytes int64) {
+	if eff <= 1 || !skewSplittable(n.Type) {
+		return nil, 0, 0
+	}
+	leftKey := keyFunc(bindKeys(d.ctx, n.LeftKeys, n.Left.Output()))
+	bytes := make([]int64, eff)
+	var total int64
+	for _, part := range left.stagePartitions() {
+		for _, r := range part {
+			var h uint64
+			if k, ok := leftKey(r); ok {
+				h = row.HashValue(k)
+			}
+			sz := r.ObjectSize()
+			bytes[int(h%uint64(eff))] += sz
+			total += sz
+		}
+	}
+	mean := total / int64(eff)
+	if mean <= 0 {
+		return nil, 0, 0
+	}
+	factor := d.cfg.skewFactor()
+	threshold := int64(factor * float64(mean))
+	splits = make([]int, eff)
+	var max int64
+	any := false
+	for i, b := range bytes {
+		if b > max {
+			max = b
+		}
+		splits[i] = 1
+		if b > threshold {
+			s := int((b + mean - 1) / mean)
+			if s > maxSkewSplits {
+				s = maxSkewSplits
+			}
+			if s > 1 {
+				splits[i] = s
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil, 0, 0
+	}
+	return splits, max, mean
+}
+
+// skewSplittable reports whether a join type's shuffled-hash reduce output
+// is exactly probe-side input order, making contiguous chunk splits
+// order-preserving. RightOuter re-probes from the right side and FullOuter
+// appends map-ordered unmatched rows — never split those.
+func skewSplittable(t plan.JoinType) bool {
+	switch t {
+	case plan.InnerJoin, plan.CrossJoin, plan.LeftOuterJoin, plan.LeftSemiJoin:
+		return true
+	}
+	return false
+}
+
+// stagePartitions exposes the materialized partitions to the driver.
+func (q *QueryStageExec) stagePartitions() [][]row.Row { return q.parts }
+
+// Execute serves the already-computed stage output as a partition leaf.
+func (q *QueryStageExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
+	return rdd.FromPartitions(ctx.RDD, q.parts)
+}
+
+func (q *QueryStageExec) SimpleString() string {
+	return fmt.Sprintf("QueryStage (%d rows, %d B)", q.Rows, q.Bytes)
+}
+func (q *QueryStageExec) String() string { return Format(q) }

@@ -25,6 +25,7 @@ type HashAggregateExec struct {
 	PlanEstimate
 	PlanMetrics
 	FusionNote
+	AdaptiveNote
 	Grouping []expr.Expression
 	Aggs     []expr.Expression // Named result expressions
 	Child    SparkPlan
@@ -328,6 +329,7 @@ func (h *HashAggregateExec) splitAggregates(input []*expr.AttributeReference) ([
 type DistinctExec struct {
 	PlanEstimate
 	PlanMetrics
+	AdaptiveNote
 	Child SparkPlan
 	// Partitions, when positive, caps the exchange's reducer count below
 	// the session default.

@@ -285,8 +285,11 @@ func (h *mergeHeap) Pop() any {
 // boundary rows and range-partitions every row by binary search, so bucket i
 // holds only rows ordering before every row of bucket i+1. Sorting each
 // bucket then yields a total order across partitions in partition order.
-func rangePartition(ctx *ExecContext, child *rdd.RDD[row.Row], less func(a, b row.Row) bool) *rdd.RDD[row.Row] {
+func rangePartition(ctx *ExecContext, child *rdd.RDD[row.Row], less func(a, b row.Row) bool, partitions int) *rdd.RDD[row.Row] {
 	n := ctx.ShufflePartitions
+	if partitions > 0 && partitions < n {
+		n = partitions
+	}
 	if n <= 1 {
 		return rdd.Coalesce(child, 1)
 	}

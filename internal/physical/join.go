@@ -129,6 +129,7 @@ type BroadcastHashJoinExec struct {
 	PlanEstimate
 	PlanMetrics
 	FusionNote
+	AdaptiveNote
 	Left, Right         SparkPlan
 	LeftKeys, RightKeys []expr.Expression
 	Type                plan.JoinType
@@ -278,6 +279,7 @@ func appendProbeLeft(out []row.Row, r row.Row, table map[string][]row.Row,
 type ShuffledHashJoinExec struct {
 	PlanEstimate
 	PlanMetrics
+	AdaptiveNote
 	Left, Right         SparkPlan
 	LeftKeys, RightKeys []expr.Expression
 	Type                plan.JoinType
@@ -286,6 +288,14 @@ type ShuffledHashJoinExec struct {
 	// the session default (chosen by the planner from the estimated input
 	// size).
 	Partitions int
+	// SkewSplits, when set (length = the exchange's effective reducer
+	// count), splits reduce partition i into SkewSplits[i] contiguous
+	// probe-side chunks, each joined against that partition's full build
+	// bucket as its own task. Chunk outputs concatenated in (partition,
+	// chunk) order are byte-identical to the unsplit join for the probe-
+	// order-preserving types (Inner/Cross/LeftOuter/LeftSemi); the
+	// adaptive driver never splits the others.
+	SkewSplits []int
 }
 
 func (j *ShuffledHashJoinExec) Children() []SparkPlan { return []SparkPlan{j.Left, j.Right} }
@@ -335,7 +345,7 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	nLeft, nRight := len(leftOut), len(rightOut)
 	t := j.Type
 	om := j.EnableMetrics(ctx.Metrics)
-	zipped, err := rdd.ZipPartitions(leftShuf, rightShuf, func(_ int, ls, rs []row.Row) []row.Row {
+	probe := func(ls, rs []row.Row) []row.Row {
 		start := time.Now()
 		if om != nil {
 			om.RecordBuild(len(rs), rowsSize(rs))
@@ -397,6 +407,31 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		}
 		om.RecordPartition(len(out), time.Since(start))
 		return out
+	}
+
+	if refs := skewChunks(j.SkewSplits, n, t); refs != nil {
+		// Skew-split execution: each chunk of an oversized probe bucket
+		// joins against that bucket's full build side as its own task, so
+		// one hot key no longer serializes behind a single reducer. The
+		// memoized shuffles compute their map sides once; chunks fetch.
+		return rdd.GenerateCtx(ctx.RDD, "skewjoin", len(refs), func(jc context.Context, q int) ([]row.Row, error) {
+			ref := refs[q]
+			ls, err := leftShuf.PartitionContext(jc, ref.part)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := rightShuf.PartitionContext(jc, ref.part)
+			if err != nil {
+				return nil, err
+			}
+			lo := len(ls) * ref.idx / ref.of
+			hi := len(ls) * (ref.idx + 1) / ref.of
+			return probe(ls[lo:hi], rs), nil
+		})
+	}
+
+	zipped, err := rdd.ZipPartitions(leftShuf, rightShuf, func(_ int, ls, rs []row.Row) []row.Row {
+		return probe(ls, rs)
 	})
 	if err != nil {
 		// Both sides are hash-partitioned to n above; unequal counts here
@@ -404,6 +439,42 @@ func (j *ShuffledHashJoinExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 		panic(err)
 	}
 	return zipped
+}
+
+// chunkRef addresses one probe-side chunk of one reduce partition.
+type chunkRef struct {
+	part, idx, of int
+}
+
+// skewChunks expands a per-partition split vector into the ordered chunk
+// list, or nil when splitting does not apply (no splits, a count mismatch
+// from a diverged config, or a join type whose reduce output is not
+// probe-input-ordered).
+func skewChunks(splits []int, n int, t plan.JoinType) []chunkRef {
+	if len(splits) != n || !skewSplittable(t) {
+		return nil
+	}
+	any := false
+	total := 0
+	for _, s := range splits {
+		if s < 1 {
+			return nil
+		}
+		if s > 1 {
+			any = true
+		}
+		total += s
+	}
+	if !any {
+		return nil
+	}
+	refs := make([]chunkRef, 0, total)
+	for p, s := range splits {
+		for c := 0; c < s; c++ {
+			refs = append(refs, chunkRef{part: p, idx: c, of: s})
+		}
+	}
+	return refs
 }
 
 // NestedLoopJoinExec handles joins without equi-keys by collecting the

@@ -19,9 +19,14 @@ import (
 type SortExec struct {
 	PlanEstimate
 	PlanMetrics
+	AdaptiveNote
 	Orders []*expr.SortOrder
 	Global bool
 	Child  SparkPlan
+	// Partitions, when positive, caps the global sort's range exchange
+	// below the session default (set by adaptive coalescing from the
+	// observed input size).
+	Partitions int
 }
 
 func (s *SortExec) Children() []SparkPlan { return []SparkPlan{s.Child} }
@@ -62,7 +67,7 @@ func (s *SortExec) Execute(ctx *ExecContext) *rdd.RDD[row.Row] {
 	}
 	child := s.Child.Execute(ctx)
 	if s.Global {
-		child = rangePartition(ctx, child, less)
+		child = rangePartition(ctx, child, less, s.Partitions)
 	}
 	om := s.EnableMetrics(ctx.Metrics)
 	if !ctx.SpillEnabled() {

@@ -37,6 +37,10 @@ type ExecContext struct {
 	// an OperatorMetrics (via its PlanMetrics embed) and records rows,
 	// batches and wall time per partition. EXPLAIN ANALYZE reads them back.
 	Metrics bool
+	// Adaptive enables stage-graph re-planning from runtime statistics
+	// (AdaptPlan); nil executes the static plan unchanged, byte-identical
+	// to pre-adaptive behavior.
+	Adaptive *AdaptiveConfig
 	// Pool is the query's memory budget; when non-nil (and SpillFS is set)
 	// the blocking operators reserve memory through it and spill sorted
 	// runs / hash partitions to SpillFS instead of buffering unbounded.
@@ -139,6 +143,14 @@ func Format(p SparkPlan) string {
 }
 
 func writeTree(sb *strings.Builder, p SparkPlan, depth int) {
+	if qs, ok := p.(*QueryStageExec); ok {
+		// Materialization barriers are an execution detail: print the
+		// subtree they hold at the same depth, so a stage-materialized
+		// tree and the equivalent live tree render identical strings
+		// (the cluster plan-hash parity check depends on this).
+		writeTree(sb, qs.Child, depth)
+		return
+	}
 	for i := 0; i < depth; i++ {
 		sb.WriteString("  ")
 	}
@@ -161,6 +173,13 @@ func writeTree(sb *strings.Builder, p SparkPlan, depth int) {
 		if m := ma.Runtime(); m != nil {
 			sb.WriteString("  (")
 			sb.WriteString(m.ActualString())
+			sb.WriteString(")")
+		}
+	}
+	if aa, ok := p.(AdaptiveAnnotated); ok {
+		if note := aa.Adapted(); note != "" {
+			sb.WriteString("  (")
+			sb.WriteString(note)
 			sb.WriteString(")")
 		}
 	}

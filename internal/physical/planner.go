@@ -297,17 +297,8 @@ func (pl *Planner) planJoin(j *plan.Join) (SparkPlan, error) {
 
 	leftSize := plan.Stats(j.Left).SizeInBytes
 	rightSize := plan.Stats(j.Right).SizeInBytes
-	canBuildRight := j.Type == plan.InnerJoin || j.Type == plan.CrossJoin ||
-		j.Type == plan.LeftOuterJoin || j.Type == plan.LeftSemiJoin
-	canBuildLeft := j.Type == plan.InnerJoin || j.Type == plan.CrossJoin ||
-		j.Type == plan.RightOuterJoin
-
-	// A broadcast hash table is unbounded memory too: under a memory
-	// budget, only sides expected to hash within half of it broadcast.
-	bcast := pl.Cfg.BroadcastThreshold
-	if mb := pl.Cfg.MemoryBudget; mb > 0 && mb/2 < bcast {
-		bcast = mb / 2
-	}
+	canBuildRight, canBuildLeft := canBuildSides(j.Type)
+	bcast := BroadcastLimit(pl.Cfg.BroadcastThreshold, pl.Cfg.MemoryBudget)
 
 	switch {
 	case canBuildRight && rightSize <= bcast &&
@@ -355,11 +346,36 @@ func addKnownSizes(a, b int64) int64 {
 	return a + b
 }
 
-// partitionsFor derives a reducer count from an exchange's estimated input
+// canBuildSides reports which join sides may be the hash-build side for a
+// join type — the legality half of the broadcast/shuffle cost rule,
+// shared by static planning and adaptive promotion.
+func canBuildSides(t plan.JoinType) (canRight, canLeft bool) {
+	canRight = t == plan.InnerJoin || t == plan.CrossJoin ||
+		t == plan.LeftOuterJoin || t == plan.LeftSemiJoin
+	canLeft = t == plan.InnerJoin || t == plan.CrossJoin ||
+		t == plan.RightOuterJoin
+	return canRight, canLeft
+}
+
+// BroadcastLimit is the size cap for broadcasting a join side: the
+// configured threshold, halved-budget-capped. A broadcast hash table is
+// unbounded memory too — under a memory budget, only sides expected to
+// hash within half of it broadcast. The same rule prices broadcasts from
+// estimates (static planning) and from observed bytes (adaptive
+// promotion), so the two can never disagree about legality.
+func BroadcastLimit(threshold, memoryBudget int64) int64 {
+	if memoryBudget > 0 && memoryBudget/2 < threshold {
+		return memoryBudget / 2
+	}
+	return threshold
+}
+
+// PartitionsForSize derives a reducer count from an exchange's input
 // size: ceil(size/target), at least 1. Returns 0 (keep the session
-// default) when sizing is disabled or the estimate is unknown.
-func (pl *Planner) partitionsFor(sizeInBytes int64) int {
-	target := pl.Cfg.TargetPartitionBytes
+// default) when sizing is disabled or the size is unknown. This is the
+// re-entrant costing entry point: the static planner feeds it estimates,
+// the adaptive driver feeds it per-stage observed bytes.
+func PartitionsForSize(target, sizeInBytes int64) int {
 	if target <= 0 || sizeInBytes <= 0 || sizeInBytes >= plan.UnknownSizeInBytes {
 		return 0
 	}
@@ -368,6 +384,11 @@ func (pl *Planner) partitionsFor(sizeInBytes int64) int {
 		n = 1
 	}
 	return int(n)
+}
+
+// partitionsFor sizes an exchange from an estimate.
+func (pl *Planner) partitionsFor(sizeInBytes int64) int {
+	return PartitionsForSize(pl.Cfg.TargetPartitionBytes, sizeInBytes)
 }
 
 // ExtractEquiKeys splits a join condition into equi-key pairs (left key

@@ -22,6 +22,7 @@ import (
 type SortMergeJoinExec struct {
 	PlanEstimate
 	PlanMetrics
+	AdaptiveNote
 	Left, Right         SparkPlan
 	LeftKeys, RightKeys []expr.Expression
 	Type                plan.JoinType

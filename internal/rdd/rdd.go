@@ -52,6 +52,10 @@ type Context struct {
 	shuffleBytes        *metrics.Counter
 	speculativeLaunches *metrics.Counter
 	speculativeWins     *metrics.Counter
+	// remoteFallbacks counts tasks a remote runner refused with
+	// ErrRemoteFallback and that were computed locally instead; registered
+	// under the "cluster." scope because it measures the cluster layer.
+	remoteFallbacks *metrics.Counter
 
 	mu sync.Mutex
 	// failureHook, when set, lets tests inject task failures: return an
@@ -112,6 +116,7 @@ func NewContext(parallelism int) *Context {
 		shuffleBytes:        s.Counter("shuffle.bytes"),
 		speculativeLaunches: s.Counter("speculation.launches"),
 		speculativeWins:     s.Counter("speculation.wins"),
+		remoteFallbacks:     reg.Scoped("cluster").Counter("fallback"),
 		backoffBase:         defaultBackoffBase,
 		backoffMax:          defaultBackoffMax,
 		specMultiplier:      defaultSpecMult,
@@ -172,6 +177,10 @@ func (c *Context) TasksRun() int64 { return c.tasksRun.Load() }
 
 // TaskRetries returns how many task attempts failed and were retried.
 func (c *Context) TaskRetries() int64 { return c.taskRetries.Load() }
+
+// RemoteFallbacks returns how many tasks fell back to local compute after
+// a remote runner refused them with ErrRemoteFallback.
+func (c *Context) RemoteFallbacks() int64 { return c.remoteFallbacks.Load() }
 
 // Recomputes returns how many cached partitions were rebuilt from lineage
 // after being dropped.
@@ -746,6 +755,23 @@ func (r *RDD[T]) CollectContext(jc context.Context) ([]T, error) {
 		out = append(out, p...)
 	}
 	return out, nil
+}
+
+// CollectPartitionsContext materializes the RDD preserving partition
+// boundaries — the adaptive executor's stage action. It shares
+// CollectContext's retry, cancellation and tracing semantics; only the
+// shape of the result differs.
+func (r *RDD[T]) CollectPartitionsContext(jc context.Context) ([][]T, error) {
+	jc, jobID, top := r.ctx.beginJob(jc)
+	start := time.Now()
+	parts, err := r.computeAll(jc)
+	if top {
+		r.emitJobSpan(jobID, "stage", start, parts, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
 }
 
 // Count returns the number of elements.

@@ -179,7 +179,14 @@ func RemoteOrLocal[T any](local *RDD[T], kind string, payload func(p int) []byte
 			}
 			return out, nil
 		}
-		if errors.Is(err, ErrNoWorkers) || errors.Is(err, ErrRemoteFallback) {
+		if errors.Is(err, ErrRemoteFallback) {
+			// An un-runnable task (unshippable plan, stale session) falls
+			// back to local lineage compute; count it so operators can see
+			// distribution silently degrading.
+			ctx.remoteFallbacks.Add(1)
+			return local.partition(jc, p)
+		}
+		if errors.Is(err, ErrNoWorkers) {
 			return local.partition(jc, p)
 		}
 		if jc.Err() != nil {

@@ -110,6 +110,19 @@ func TestRemoteOrLocalFallbackSignals(t *testing.T) {
 		if fmt.Sprint(got) != "[5 6 7 8]" {
 			t.Fatalf("%v: got %v", sentinel, got)
 		}
+		// ErrRemoteFallback counts as a surfaced fallback (the worker
+		// refused the task); ErrNoWorkers is just an idle cluster and
+		// must not inflate the counter.
+		want := int64(0)
+		if sentinel == ErrRemoteFallback {
+			want = int64(r.NumPartitions())
+		}
+		if got := ctx.RemoteFallbacks(); got != want {
+			t.Fatalf("%v: RemoteFallbacks = %d, want %d", sentinel, got, want)
+		}
+		if got := ctx.Metrics().Counter("cluster.fallback").Load(); got != want {
+			t.Fatalf("%v: cluster.fallback counter = %d, want %d", sentinel, got, want)
+		}
 	}
 }
 

@@ -31,6 +31,17 @@ go test -race -v -run '^TestFused|^TestFusion' -timeout 10m .
 go test -race -v -run '^TestSpill' -timeout 10m .
 go test -race -v -run '^TestChaosSpillWorkload$|^TestSpillStudy$' -timeout 10m ./internal/experiments/
 
+# Adaptive regression gate: adaptive execution no slower than static
+# planning on uniform data, and >= 2x faster on the skewed-join ablation
+# where the size-blind static plan sorts both join inputs.
+PERF_GATE=1 go test -run '^TestAdaptiveGate$' -v -timeout 10m ./internal/experiments/
+
+# AQE property suite, explicitly: every adaptation (coalesce, promote,
+# demote, skew split) must fire visibly in EXPLAIN ANALYZE and stay
+# byte-identical to the static plan, including under a 1-byte budget,
+# and plan-hash parity must survive annotation stripping.
+go test -race -v -run '^TestAdaptive|^TestPlanHash' -timeout 10m .
+
 # Multi-process distributed chaos: 3 worker processes over real TCP,
 # SIGKILLed mid-query, heartbeat-starved into eviction and fed corrupted
 # frames — every answer byte-identical to a local fault-free run. The

@@ -111,6 +111,10 @@ type Config struct {
 	// BroadcastThreshold is the max estimated bytes for a broadcast join
 	// side (paper §4.3.3).
 	BroadcastThreshold int64
+	// TargetPartitionBytes is the per-reduce-partition size the planner
+	// aims for when it sizes shuffle exchanges from estimated (and, with
+	// Adaptive, observed) input bytes. 0 means the planner default (4 MB).
+	TargetPartitionBytes int64
 	// ShufflePartitions is the reducer count; Parallelism the worker count.
 	ShufflePartitions int
 	Parallelism       int
@@ -140,6 +144,19 @@ type Config struct {
 	// the unbounded path at any budget; EXPLAIN ANALYZE reports
 	// `spilled: N B, R runs` per operator.
 	MemoryBudget int64
+	// Adaptive enables adaptive query execution (Spark 3.x AQE): plans are
+	// split at their exchanges into a stage DAG, each stage's observed
+	// output statistics feed a re-planning step — shuffle partition counts
+	// coalesce to the observed data size, broadcast joins demote when the
+	// build side blows past its estimate (and shuffled joins promote when
+	// an input turns out tiny), and skewed reduce partitions split into
+	// parallel chunks. On by default; results are byte-identical with it
+	// on or off, and off reproduces today's static plans exactly. EXPLAIN
+	// ANALYZE records every decision as `adapted: <from> -> <to> (<reason>)`.
+	Adaptive bool
+	// SkewFactor is the multiple of the mean reduce-bucket size above which
+	// adaptive execution splits a skewed partition (0 = default 4x).
+	SkewFactor float64
 	// Cluster, when non-nil, starts a coordinator for multi-process
 	// distributed execution: worker processes (cmd/sqlworker, or any
 	// process calling sqlexec.RunWorker) register over TCP and SQL query
@@ -179,6 +196,7 @@ func DefaultConfig() Config {
 		Fusion:              true,
 		BroadcastThreshold:  10 << 20,
 		Metrics:             true,
+		Adaptive:            true,
 	}
 }
 
@@ -209,6 +227,9 @@ func (c Config) toCore() core.Config {
 	if c.BroadcastThreshold > 0 {
 		pcfg.BroadcastThreshold = c.BroadcastThreshold
 	}
+	if c.TargetPartitionBytes > 0 {
+		pcfg.TargetPartitionBytes = c.TargetPartitionBytes
+	}
 	return core.Config{
 		Codegen:               c.Codegen,
 		Optimizer:             opt,
@@ -220,6 +241,8 @@ func (c Config) toCore() core.Config {
 		SpeculationMultiplier: c.SpeculationMultiplier,
 		Metrics:               c.Metrics,
 		MemoryBudget:          c.MemoryBudget,
+		Adaptive:              c.Adaptive,
+		SkewFactor:            c.SkewFactor,
 	}
 }
 
@@ -262,7 +285,8 @@ func NewContextWithConfig(cfg Config) *Context {
 				PipelineCollapse:    cfg.PipelineCollapse,
 				Vectorized:          cfg.Vectorized,
 				Fusion:              cfg.Fusion,
-				BroadcastThreshold:  cfg.BroadcastThreshold,
+				BroadcastThreshold:   cfg.BroadcastThreshold,
+				TargetPartitionBytes: cfg.TargetPartitionBytes,
 				// Ship the engine's *resolved* parallelism: zero values
 				// default to the local GOMAXPROCS, and workers must plan
 				// with the same counts, not their own.
