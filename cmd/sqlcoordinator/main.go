@@ -35,9 +35,11 @@ func (t *tableFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7433", "SQL listen address")
 	clusterAddr := flag.String("cluster", "127.0.0.1:7077", "coordinator listen address for workers")
-	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics and /trace (empty = off)")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics, /trace and /history (empty = off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and expvar under /debug/ on the metrics address")
 	maxRows := flag.Int("maxrows", 10000, "maximum rows returned per query")
 	heartbeat := flag.Duration("heartbeat-timeout", 0, "evict workers silent for this long (0 = default)")
+	harvest := flag.Duration("harvest", 0, "pull worker metrics on this period for the federated /metrics view (0 = on demand only)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 	var tables tableFlags
 	flag.Var(&tables, "table", "name=path registration (csv, json or gcf by extension); repeatable")
@@ -47,6 +49,7 @@ func main() {
 	cfg.Cluster = &sparksql.ClusterOptions{
 		Listen:           *clusterAddr,
 		HeartbeatTimeout: *heartbeat,
+		HarvestInterval:  *harvest,
 	}
 	ctx := sparksql.NewContextWithConfig(cfg)
 	defer ctx.Close()
@@ -78,6 +81,7 @@ func main() {
 	srv := sqlserver.New(ctx)
 	srv.MaxRows = *maxRows
 	srv.DrainTimeout = *drain
+	srv.EnablePprof = *pprofOn
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		fatal("listen: %v", err)
@@ -89,7 +93,7 @@ func main() {
 		if err != nil {
 			fatal("metrics listen: %v", err)
 		}
-		fmt.Printf("serving metrics on http://%s/metrics (trace at /trace)\n", mbound)
+		fmt.Printf("serving metrics on http://%s/metrics (trace at /trace, history at /history)\n", mbound)
 	}
 	select {} // serve forever
 }

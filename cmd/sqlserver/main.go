@@ -29,7 +29,8 @@ func (t *tableFlags) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7433", "listen address")
-	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics and /trace (empty = off)")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics, /trace and /history (empty = off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and expvar under /debug/ on the metrics address")
 	maxRows := flag.Int("maxrows", 10000, "maximum rows returned per query")
 	var tables tableFlags
 	flag.Var(&tables, "table", "name=path registration (csv, json or gcf by extension); repeatable")
@@ -62,6 +63,7 @@ func main() {
 
 	srv := sqlserver.New(ctx)
 	srv.MaxRows = *maxRows
+	srv.EnablePprof = *pprofOn
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		fatal("listen: %v", err)
@@ -72,7 +74,7 @@ func main() {
 		if err != nil {
 			fatal("metrics listen: %v", err)
 		}
-		fmt.Printf("serving metrics on http://%s/metrics (trace at /trace)\n", mbound)
+		fmt.Printf("serving metrics on http://%s/metrics (trace at /trace, history at /history)\n", mbound)
 	}
 	select {} // serve forever
 }

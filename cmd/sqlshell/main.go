@@ -6,6 +6,8 @@
 //	.tables            list registered tables
 //	.schema <table>    print a table's schema
 //	.explain <query>   show all Catalyst plan phases
+//	.history           show the query event log (alias for SHOW HISTORY)
+//	.cluster           show cluster membership (alias for SHOW CLUSTER)
 //	.mode shark|sparksql  switch engine mode
 //	.quit              exit
 package main
@@ -61,7 +63,11 @@ func command(ctx *sparksql.Context, cmd string) bool {
 	case ".quit", ".exit":
 		return false
 	case ".help":
-		fmt.Println(".tables | .schema <t> | .explain <query> | .quit")
+		fmt.Println(".tables | .schema <t> | .explain <query> | .history | .cluster | .quit")
+	case ".history":
+		run(ctx, "SHOW HISTORY")
+	case ".cluster":
+		run(ctx, "SHOW CLUSTER")
 	case ".tables":
 		for _, t := range ctx.TableNames() {
 			fmt.Println(t)

@@ -22,6 +22,8 @@ import (
 func main() {
 	addr := flag.String("addr", "", "coordinator address (host:port)")
 	id := flag.String("id", "", "worker identity (default w-<pid>)")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for this worker's /metrics and /trace (empty = off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and expvar under /debug/ on the metrics address")
 	flag.Parse()
 
 	if env := os.Getenv("REPRO_WORKER_ADDR"); env != "" {
@@ -29,6 +31,14 @@ func main() {
 	}
 	if env := os.Getenv("REPRO_WORKER_ID"); env != "" {
 		*id = env
+	}
+	// RunWorker reads the observability env vars; the flags are the
+	// interactive spelling of the same knobs.
+	if *metricsAddr != "" {
+		os.Setenv("REPRO_WORKER_METRICS_ADDR", *metricsAddr)
+	}
+	if *pprofOn {
+		os.Setenv("REPRO_WORKER_PPROF", "1")
 	}
 	if *addr == "" {
 		flag.Usage()

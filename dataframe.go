@@ -27,11 +27,25 @@ type DataFrame struct {
 	// execution. Derived frames clear it: a DSL transformation on top of
 	// a SQL frame is no longer the statement the text describes.
 	sqlText string
+	// originSQL is the SQL statement this frame descends from, kept across
+	// derivations for the query event log only — a Show/Take on a SQL frame
+	// logs under the user's statement even though the limited plan itself
+	// is no longer shippable as that text.
+	originSQL string
 }
 
 // derive builds a child DataFrame, eagerly analyzing the new plan.
 func (df *DataFrame) derive(lp plan.LogicalPlan) (*DataFrame, error) {
-	return df.ctx.newDataFrame(lp)
+	child, err := df.ctx.newDataFrame(lp)
+	if err != nil {
+		return nil, err
+	}
+	if df.sqlText != "" {
+		child.originSQL = df.sqlText
+	} else {
+		child.originSQL = df.originSQL
+	}
+	return child, nil
 }
 
 // Schema returns the DataFrame's schema.
@@ -263,6 +277,11 @@ func (df *DataFrame) queryExecution() (qe queryExec, err error) {
 	q, err := df.ctx.engine.Execute(df.logical)
 	if err != nil {
 		return queryExec{}, err
+	}
+	if df.sqlText != "" {
+		q.SetSQL(df.sqlText)
+	} else {
+		q.SetSQL(df.originSQL)
 	}
 	return queryExec{q}, nil
 }

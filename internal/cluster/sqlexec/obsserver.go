@@ -1,0 +1,53 @@
+package sqlexec
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// ObsHandler returns the worker-process observability mux: /metrics renders
+// the merged counter/gauge view across every session this worker holds
+// (filterable with ?prefix=, metrics.MatchGlob semantics) and /trace dumps
+// the merged span buffers as JSONL. With pprof enabled the standard
+// net/http/pprof and expvar handlers mount under /debug/ so a CPU or heap
+// profile of any worker is one curl away.
+func (e *Executor) ObsHandler(enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, s := range e.mergedSamples(r.URL.Query().Get("prefix")) {
+			fmt.Fprintf(w, "%s %d\n", s.Name, s.Value)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, s := range e.sessionList() {
+			for _, span := range s.ctx.RDDContext().Trace().Snapshot() {
+				if err := enc.Encode(span); err != nil {
+					return
+				}
+			}
+		}
+	})
+	if enablePprof {
+		metrics.RegisterDebugHandlers(mux)
+	}
+	return mux
+}
+
+// ListenAndServeObs serves the observability endpoints on addr in a
+// background goroutine, returning the listener (close it to stop).
+func (e *Executor) ListenAndServeObs(addr string, enablePprof bool) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: e.ObsHandler(enablePprof)}
+	go srv.Serve(ln)
+	return ln, nil
+}

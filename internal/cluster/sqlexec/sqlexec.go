@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -20,10 +21,11 @@ import (
 	sparksql "repro"
 	"repro/internal/cluster"
 	"repro/internal/cluster/sqlwire"
-	"repro/internal/core"
 	"repro/internal/columnar"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/expr"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/rdd"
 	"repro/internal/row"
@@ -64,7 +66,10 @@ func (e *Executor) Register(w *cluster.Worker) {
 		return e.handleInit(w, t.Payload)
 	})
 	w.Register("sql.partition", func(ctx context.Context, t *cluster.Task) ([]byte, error) {
-		return e.handlePartition(ctx, t.Payload)
+		return e.handlePartition(ctx, w, t.Payload)
+	})
+	w.Register("obs.fetch", func(ctx context.Context, t *cluster.Task) ([]byte, error) {
+		return e.handleObsFetch(w, t.Payload)
 	})
 }
 
@@ -198,7 +203,7 @@ func loadTable(ctx *sparksql.Context, t sqlwire.TableSpec) error {
 // are retryable with the uninitialized marker (the coordinator re-ships
 // the session and retries); plan-shape disagreements are fallback errors;
 // execution failures are plain retryable errors.
-func (e *Executor) handlePartition(jc context.Context, payload []byte) ([]byte, error) {
+func (e *Executor) handlePartition(jc context.Context, w *cluster.Worker, payload []byte) ([]byte, error) {
 	q, err := sqlwire.DecodeQuery(payload)
 	if err != nil {
 		return nil, cluster.Fallback(err)
@@ -220,11 +225,143 @@ func (e *Executor) handlePartition(jc context.Context, payload []byte) ([]byte, 
 			"sqlexec: plan for %q diverges (%d partitions / hash %x here, %d / %x at coordinator)",
 			q.SQL, bq.numPart, bq.planHash, q.NumPartitions, q.PlanHash))
 	}
+	// With a trace id on the task, capture this task's spans in a bounded
+	// sink so they ship back with the rows; without one, execute and reply
+	// byte-identically to the pre-observability protocol.
+	var sink *metrics.TraceBuffer
+	if q.TraceID != "" {
+		sink = metrics.NewTraceBuffer(taskSpanCap)
+		jc = rdd.WithTraceContext(jc, q.TraceID, q.ParentSpan, sink)
+	}
 	rows, err := bq.rdd.PartitionContext(jc, q.Partition)
 	if err != nil {
 		return nil, err
 	}
-	return row.EncodeRows(rows)
+	block, err := row.EncodeRows(rows)
+	if err != nil || q.TraceID == "" {
+		return block, err
+	}
+	reply := &sqlwire.TaskReply{
+		Worker:   w.ID(),
+		Rows:     block,
+		Spans:    stampWorker(sink.Snapshot(), w.ID()),
+		Counters: counterSamples(s.ctx.RDDContext().Metrics(), taskCounterAllowlist),
+	}
+	return sqlwire.EncodeTaskReply(reply)
+}
+
+// taskSpanCap bounds the spans piggybacked on one task reply: a partition's
+// own task/stage/shuffle spans are a handful; retries and nested stages fit
+// comfortably, and a pathological lineage truncates (observable through the
+// worker's trace.dropped) instead of bloating the reply.
+const taskSpanCap = 256
+
+// taskCounterAllowlist names the worker counters piggybacked on every
+// traced task reply — absolute values the coordinator keeps per-worker,
+// last sample wins. Deliberately small: the full registry ships on harvest
+// (obs.fetch), not per task.
+var taskCounterAllowlist = []string{
+	"rdd.tasks.run",
+	"rdd.tasks.retries",
+	"rdd.shuffle.records",
+	"rdd.shuffle.bytes",
+	"rdd.cache.recomputes",
+	"trace.dropped",
+}
+
+// stampWorker fills the worker id into spans that executed locally (empty
+// Worker field) so merged traces attribute them correctly.
+func stampWorker(spans []metrics.Span, id string) []metrics.Span {
+	for i := range spans {
+		if spans[i].Worker == "" {
+			spans[i].Worker = id
+		}
+	}
+	return spans
+}
+
+// counterSamples snapshots the named counters/gauges from a registry. With
+// a nil allowlist every counter and gauge ships (harvest mode).
+func counterSamples(reg *metrics.Registry, allow []string) []sqlwire.CounterSample {
+	var allowed map[string]bool
+	if allow != nil {
+		allowed = make(map[string]bool, len(allow))
+		for _, n := range allow {
+			allowed[n] = true
+		}
+	}
+	var out []sqlwire.CounterSample
+	for _, m := range reg.Snapshot() {
+		if m.Kind == metrics.KindHistogram {
+			continue
+		}
+		if allowed != nil && !allowed[m.Name] {
+			continue
+		}
+		out = append(out, sqlwire.CounterSample{Name: m.Name, Value: m.Value})
+	}
+	return out
+}
+
+// handleObsFetch serves the federation pull: a merged snapshot of every
+// session's registry (same-name samples summed across sessions — counters
+// in different sessions are disjoint increments of one worker-level total)
+// plus up to MaxSpans recent spans.
+func (e *Executor) handleObsFetch(w *cluster.Worker, payload []byte) ([]byte, error) {
+	req, err := sqlwire.DecodeObsRequest(payload)
+	if err != nil {
+		return nil, cluster.Fallback(err)
+	}
+	reply := &sqlwire.ObsReply{Worker: w.ID()}
+	reply.Counters = e.mergedSamples(req.Pattern)
+	if req.MaxSpans > 0 {
+		var spans []metrics.Span
+		for _, s := range e.sessionList() {
+			spans = append(spans, s.ctx.RDDContext().Trace().Snapshot()...)
+		}
+		if len(spans) > req.MaxSpans {
+			spans = spans[len(spans)-req.MaxSpans:]
+		}
+		reply.Spans = stampWorker(spans, w.ID())
+	}
+	return sqlwire.EncodeObsReply(reply)
+}
+
+func (e *Executor) sessionList() []*session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// mergedSamples merges counter/gauge snapshots across all sessions of this
+// worker, filtered by pattern, sorted by name.
+func (e *Executor) mergedSamples(pattern string) []sqlwire.CounterSample {
+	merged := make(map[string]int64)
+	for _, s := range e.sessionList() {
+		for _, m := range s.ctx.RDDContext().Metrics().Snapshot() {
+			if m.Kind == metrics.KindHistogram {
+				continue
+			}
+			if !metrics.MatchGlob(pattern, m.Name) {
+				continue
+			}
+			merged[m.Name] += m.Value
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]sqlwire.CounterSample, len(names))
+	for i, n := range names {
+		out[i] = sqlwire.CounterSample{Name: n, Value: merged[n]}
+	}
+	return out
 }
 
 // query plans (or returns the cached plan of) one SQL text plus adaptive
@@ -297,7 +434,10 @@ func RunIfWorker() {
 }
 
 // RunWorker runs one SQL worker process against the coordinator at addr
-// until the connection ends, returning a process exit code.
+// until the connection ends, returning a process exit code. When
+// REPRO_WORKER_METRICS_ADDR is set the worker also serves its observability
+// HTTP endpoints (/metrics, /trace, and — with REPRO_WORKER_PPROF=1 —
+// pprof/expvar) on that address.
 func RunWorker(addr, id string) int {
 	if id == "" {
 		id = fmt.Sprintf("w-%d", os.Getpid())
@@ -307,7 +447,16 @@ func RunWorker(addr, id string) int {
 		cfg.HeartbeatInterval = time.Duration(ms) * time.Millisecond
 	}
 	w := cluster.NewWorker(cfg)
-	NewExecutor().Register(w)
+	e := NewExecutor()
+	e.Register(w)
+	if maddr := os.Getenv("REPRO_WORKER_METRICS_ADDR"); maddr != "" {
+		ln, err := e.ListenAndServeObs(maddr, os.Getenv("REPRO_WORKER_PPROF") == "1")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqlworker %s: metrics server: %v\n", id, err)
+		} else {
+			defer ln.Close()
+		}
+	}
 	if err := w.Run(context.Background()); err != nil {
 		fmt.Fprintf(os.Stderr, "sqlworker %s: %v\n", id, err)
 		return 1

@@ -1,0 +1,102 @@
+package sqlwire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestQueryTaskWireShape pins the observability-off wire format: a task
+// without a trace id must encode byte-identically to the pre-observability
+// QueryTask — no traceID/parentSpan keys may appear. With a trace id both
+// fields ship and round-trip.
+func TestQueryTaskWireShape(t *testing.T) {
+	task := &QueryTask{
+		SessionID:     "s1",
+		Epoch:         3,
+		SQL:           "SELECT 1",
+		Partition:     2,
+		NumPartitions: 4,
+		PlanHash:      0xBEEF,
+	}
+	off, err := EncodeQuery(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"traceID", "parentSpan"} {
+		if bytes.Contains(off, []byte(key)) {
+			t.Fatalf("untraced task encoding leaks %q: %s", key, off)
+		}
+	}
+
+	task.TraceID = "q-1-7"
+	task.ParentSpan = "q-1-7/p2"
+	on, err := EncodeQuery(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeQuery(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != "q-1-7" || back.ParentSpan != "q-1-7/p2" {
+		t.Fatalf("trace fields mangled in round-trip: %+v", back)
+	}
+}
+
+func TestTaskReplyRoundTrip(t *testing.T) {
+	reply := &TaskReply{
+		Worker: "w1",
+		Rows:   []byte{1, 2, 3},
+		Spans: []metrics.Span{
+			{Kind: metrics.SpanTask, Name: "scan", Partition: 2, Trace: "q-1-7", Parent: "q-1-7/p2", Worker: "w1", Records: 10},
+		},
+		Counters: []CounterSample{{Name: "rdd.tasks.run", Value: 5}},
+	}
+	b, err := EncodeTaskReply(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTaskReply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Worker != "w1" || !bytes.Equal(back.Rows, reply.Rows) {
+		t.Fatalf("reply mangled: %+v", back)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Trace != "q-1-7" || back.Spans[0].Parent != "q-1-7/p2" {
+		t.Fatalf("spans mangled: %+v", back.Spans)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 5 {
+		t.Fatalf("counters mangled: %+v", back.Counters)
+	}
+}
+
+func TestObsRequestReplyRoundTrip(t *testing.T) {
+	req, err := EncodeObsRequest(&ObsRequest{Pattern: "rdd.*", MaxSpans: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := DecodeObsRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Pattern != "rdd.*" || gotReq.MaxSpans != 16 {
+		t.Fatalf("request mangled: %+v", gotReq)
+	}
+	rep, err := EncodeObsReply(&ObsReply{
+		Worker:   "w2",
+		Counters: []CounterSample{{Name: "rdd.shuffle.bytes", Value: 1024}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, err := DecodeObsReply(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep.Worker != "w2" || len(gotRep.Counters) != 1 || gotRep.Counters[0].Value != 1024 {
+		t.Fatalf("reply mangled: %+v", gotRep)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -75,8 +76,8 @@ type SessionSpec struct {
 	// the coordinator's value for plan-hash parity.
 	TargetPartitionBytes int64 `json:"targetPartitionBytes,omitempty"`
 	ShufflePartitions    int   `json:"shufflePartitions"`
-	Parallelism         int   `json:"parallelism"`
-	MemoryBudget        int64 `json:"memoryBudget"`
+	Parallelism          int   `json:"parallelism"`
+	MemoryBudget         int64 `json:"memoryBudget"`
 
 	// Retry shaping, so worker-side internal retries are as deterministic
 	// as the coordinator's.
@@ -107,6 +108,16 @@ type QueryTask struct {
 	// rewrites, so both processes execute the identical adapted plan
 	// without the worker re-materializing stages. Empty = static plan.
 	Decisions []DecisionSpec `json:"decisions,omitempty"`
+	// TraceID propagates the coordinator's query/trace id (Dapper-style):
+	// when set, the worker tags every span it emits for this task with it,
+	// and returns those spans (plus a bounded counter snapshot) wrapped in
+	// a TaskReply instead of raw row blocks. Empty = observability off —
+	// the task encodes and the reply flows byte-identically to before this
+	// field existed.
+	TraceID string `json:"traceID,omitempty"`
+	// ParentSpan is the id of the coordinator-side dispatch span this task
+	// executes under, so merged worker spans parent correctly.
+	ParentSpan string `json:"parentSpan,omitempty"`
 }
 
 // DecisionSpec mirrors physical.Decision on the wire: one pure rewrite of
@@ -149,6 +160,107 @@ func DecodeQuery(b []byte) (*QueryTask, error) {
 		return nil, fmt.Errorf("sqlwire: query task: %w", err)
 	}
 	return &q, nil
+}
+
+// TaskReply is the observability-enabled result of one query task: the row
+// block the worker computed, plus the spans its execution emitted (tagged
+// with the task's trace id) and a bounded snapshot of its metrics counters,
+// piggybacked so the coordinator merges worker-side observability without
+// extra round trips. Only sent when the QueryTask carried a TraceID; with
+// observability off the worker returns the raw row block, byte-identical
+// to the pre-observability wire format.
+type TaskReply struct {
+	Worker   string          `json:"worker"`
+	Rows     []byte          `json:"-"` // framed raw, not JSON — see EncodeTaskReply
+	Spans    []metrics.Span  `json:"spans,omitempty"`
+	Counters []CounterSample `json:"counters,omitempty"`
+}
+
+// CounterSample is one harvested counter: an absolute value, not a delta —
+// the coordinator keeps the latest sample per (worker, name), so concurrent
+// tasks from one worker never double-count.
+type CounterSample struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// ObsRequest asks a worker for a full observability snapshot — the
+// federation pull. Pattern filters metric names (metrics.MatchGlob
+// semantics; "" = all); MaxSpans bounds the trace snapshot (0 = none, so
+// periodic harvests can skip spans that already piggybacked on replies).
+type ObsRequest struct {
+	Pattern  string `json:"pattern,omitempty"`
+	MaxSpans int    `json:"maxSpans,omitempty"`
+}
+
+// ObsReply is a worker's observability snapshot: every counter and gauge in
+// its registry (histograms ship their expfmt pseudo-series) plus up to
+// MaxSpans recent spans.
+type ObsReply struct {
+	Worker   string          `json:"worker"`
+	Counters []CounterSample `json:"counters,omitempty"`
+	Spans    []metrics.Span  `json:"spans,omitempty"`
+}
+
+// EncodeTaskReply marshals a task reply as a 4-byte big-endian row-block
+// length, the raw row block, then the JSON observability trailer. The row
+// block stays raw bytes — running it through JSON would base64-inflate the
+// result payload by a third, which is exactly the kind of observability tax
+// the ≤5% overhead gate exists to forbid.
+func EncodeTaskReply(r *TaskReply) ([]byte, error) {
+	meta, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 4+len(r.Rows)+len(meta))
+	out = append(out,
+		byte(len(r.Rows)>>24), byte(len(r.Rows)>>16), byte(len(r.Rows)>>8), byte(len(r.Rows)))
+	out = append(out, r.Rows...)
+	return append(out, meta...), nil
+}
+
+// DecodeTaskReply is the inverse of EncodeTaskReply, rejecting trailing
+// garbage after the JSON trailer.
+func DecodeTaskReply(b []byte) (*TaskReply, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("sqlwire: task reply: truncated length prefix")
+	}
+	n := int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+	if n < 0 || len(b)-4 < n {
+		return nil, fmt.Errorf("sqlwire: task reply: row block length %d exceeds frame", n)
+	}
+	var r TaskReply
+	if err := strictUnmarshal(b[4+n:], &r); err != nil {
+		return nil, fmt.Errorf("sqlwire: task reply: %w", err)
+	}
+	if n > 0 {
+		r.Rows = b[4 : 4+n]
+	}
+	return &r, nil
+}
+
+// EncodeObsRequest marshals an observability fetch request.
+func EncodeObsRequest(r *ObsRequest) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeObsRequest unmarshals an observability fetch request.
+func DecodeObsRequest(b []byte) (*ObsRequest, error) {
+	var r ObsRequest
+	if err := strictUnmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("sqlwire: obs request: %w", err)
+	}
+	return &r, nil
+}
+
+// EncodeObsReply marshals an observability snapshot.
+func EncodeObsReply(r *ObsReply) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeObsReply unmarshals an observability snapshot.
+func DecodeObsReply(b []byte) (*ObsReply, error) {
+	var r ObsReply
+	if err := strictUnmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("sqlwire: obs reply: %w", err)
+	}
+	return &r, nil
 }
 
 func strictUnmarshal(b []byte, v any) error {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cluster/sqlwire"
 	"repro/internal/expr"
+	"repro/internal/metrics"
 	"repro/internal/physical"
 	"repro/internal/plan"
 	"repro/internal/rdd"
@@ -47,6 +48,11 @@ type ClusterOptions struct {
 	// (sparksql) fills it from its Config so worker contexts plan
 	// identically. ID, Epoch and Tables are overwritten by the runtime.
 	Session sqlwire.SessionSpec
+	// HarvestInterval, when positive, starts a background federation
+	// harvester that pulls every live worker's metrics registry over the
+	// task protocol on this period. Zero leaves harvesting on-demand
+	// (Harvest is called by SHOW CLUSTER and the /metrics endpoint).
+	HarvestInterval time.Duration
 }
 
 // maxSpecBytes caps a shipped session: a spec that does not fit well
@@ -69,6 +75,15 @@ type ClusterRuntime struct {
 	shippable bool
 	inited    map[string]uint64      // workerID → epoch it holds
 	initLocks map[string]*sync.Mutex // serializes init per worker
+
+	// Federated observability: the latest counter samples harvested from
+	// (or piggybacked by) each worker, keyed worker id → metric name →
+	// absolute value. Samples are absolute, so last-write-wins merging
+	// never double-counts concurrent tasks from one worker.
+	obsMu      sync.Mutex
+	obsWorkers map[string]map[string]int64
+	// harvestStop terminates the background harvester (nil = none).
+	harvestStop chan struct{}
 }
 
 // EnableCluster starts a coordinator for the engine and installs the
@@ -89,15 +104,19 @@ func EnableCluster(e *Engine, opts ClusterOptions) (*ClusterRuntime, error) {
 		return nil, fmt.Errorf("core: cluster listen: %w", err)
 	}
 	rt := &ClusterRuntime{
-		e:         e,
-		coord:     coord,
-		template:  opts.Session,
-		sessionID: fmt.Sprintf("s%d-%d", os.Getpid(), sessionSeq.Add(1)),
-		inited:    make(map[string]uint64),
-		initLocks: make(map[string]*sync.Mutex),
+		e:          e,
+		coord:      coord,
+		template:   opts.Session,
+		sessionID:  fmt.Sprintf("s%d-%d", os.Getpid(), sessionSeq.Add(1)),
+		inited:     make(map[string]uint64),
+		initLocks:  make(map[string]*sync.Mutex),
+		obsWorkers: make(map[string]map[string]int64),
 	}
 	e.cluster = rt
 	e.RDDCtx.SetRemoteRunner(rt)
+	if opts.HarvestInterval > 0 {
+		rt.StartHarvester(opts.HarvestInterval)
+	}
 	return rt, nil
 }
 
@@ -112,7 +131,15 @@ func (rt *ClusterRuntime) Coordinator() *cluster.Coordinator { return rt.coord }
 func (rt *ClusterRuntime) Addr() string { return rt.coord.Addr() }
 
 // Close stops the coordinator; workers see a goodbye and exit.
-func (rt *ClusterRuntime) Close() error { return rt.coord.Close() }
+func (rt *ClusterRuntime) Close() error {
+	rt.mu.Lock()
+	if rt.harvestStop != nil {
+		close(rt.harvestStop)
+		rt.harvestStop = nil
+	}
+	rt.mu.Unlock()
+	return rt.coord.Close()
+}
 
 // SetChaos forwards a fault-injection schedule to workers (the next
 // refresh bumps the epoch, re-shipping sessions with the new schedule).
@@ -335,35 +362,46 @@ func translateTaskErr(rt *ClusterRuntime, workerID string, err error) error {
 // query arrived as SQL text (the only form we can ship). Every failure
 // mode degrades to the local path; results are identical either way.
 func (q *QueryExecution) CollectDistributedContext(ctx context.Context, sql string) ([]row.Row, error) {
-	r, cleanup, jc, ok := q.distributed(ctx, sql)
+	r, cleanup, jc, tid, ok := q.distributed(ctx, sql)
 	if !ok {
 		return q.CollectContext(ctx)
 	}
 	defer cleanup()
-	return r.CollectContext(jc)
+	start := time.Now()
+	rows, err := r.CollectContext(jc)
+	q.finishEvent(tid, "collect", start, int64(len(rows)), err)
+	return rows, err
 }
 
 // CountDistributedContext is CountContext over the distributed wrapper.
 func (q *QueryExecution) CountDistributedContext(ctx context.Context, sql string) (int64, error) {
-	r, cleanup, jc, ok := q.distributed(ctx, sql)
+	r, cleanup, jc, tid, ok := q.distributed(ctx, sql)
 	if !ok {
 		return q.CountContext(ctx)
 	}
 	defer cleanup()
-	return r.CountContext(jc)
+	start := time.Now()
+	n, err := r.CountContext(jc)
+	q.finishEvent(tid, "count", start, n, err)
+	return n, err
 }
 
 // distributed builds the RemoteOrLocal wrapper for this query, or reports
-// ok=false when the query must run locally.
-func (q *QueryExecution) distributed(ctx context.Context, sql string) (*rdd.RDD[row.Row], func(), context.Context, bool) {
+// ok=false when the query must run locally. With observability on, the
+// returned trace id tags every span of the query (local and remote) and
+// task payloads carry it so worker replies come back as TaskReply
+// envelopes; with it off the trace id is "" and the wire format is
+// byte-identical to the pre-observability protocol.
+func (q *QueryExecution) distributed(ctx context.Context, sql string) (*rdd.RDD[row.Row], func(), context.Context, string, bool) {
 	rt := q.engine.cluster
 	if rt == nil || sql == "" {
-		return nil, nil, nil, false
+		return nil, nil, nil, "", false
 	}
 	rt.RefreshSession()
 	sessionID, epoch := rt.session()
 	ec := q.engine.ExecContext()
 	jc, cancel := q.engine.queryContext(ctx)
+	jc, traceID := q.engine.beginQuery(jc)
 	cleanup := func() {
 		cancel()
 		ec.CleanupSpills()
@@ -374,14 +412,14 @@ func (q *QueryExecution) distributed(ctx context.Context, sql string) (*rdd.RDD[
 	pp, err := q.prepare(jc, ec)
 	if err != nil {
 		cleanup()
-		return nil, nil, nil, false
+		return nil, nil, nil, "", false
 	}
 	decisions := decisionSpecs(q.Decisions)
 	local := pp.Execute(ec)
 	np := local.NumPartitions()
 	planHash := q.PlanHash()
 	payload := func(p int) []byte {
-		b, err := sqlwire.EncodeQuery(&sqlwire.QueryTask{
+		task := &sqlwire.QueryTask{
 			SessionID:     sessionID,
 			Epoch:         epoch,
 			SQL:           sql,
@@ -389,13 +427,32 @@ func (q *QueryExecution) distributed(ctx context.Context, sql string) (*rdd.RDD[
 			NumPartitions: np,
 			PlanHash:      planHash,
 			Decisions:     decisions,
-		})
+		}
+		if traceID != "" {
+			task.TraceID = traceID
+			task.ParentSpan = fmt.Sprintf("%s/p%d", traceID, p)
+		}
+		b, err := sqlwire.EncodeQuery(task)
 		if err != nil {
 			return nil // undecodable payload fails worker-side → fallback
 		}
 		return b
 	}
-	return rdd.RemoteOrLocal(local, "sql.partition", payload, row.DecodeRows), cleanup, jc, true
+	decode := row.DecodeRows
+	if traceID != "" {
+		// Traced replies arrive as TaskReply envelopes: unwrap the rows and
+		// merge the worker's spans and counter samples into this
+		// coordinator's observability state.
+		decode = func(data []byte) ([]row.Row, error) {
+			reply, err := sqlwire.DecodeTaskReply(data)
+			if err != nil {
+				return nil, err
+			}
+			rt.absorbReply(reply)
+			return row.DecodeRows(reply.Rows)
+		}
+	}
+	return rdd.RemoteOrLocal(local, "sql.partition", payload, decode), cleanup, jc, traceID, true
 }
 
 // decisionSpecs converts adaptive decisions to their wire form.
@@ -457,13 +514,26 @@ func (q *QueryExecution) ExecutedRDD() *rdd.RDD[row.Row] {
 
 // ClusterSummary renders current membership and per-worker task counts —
 // the "== Cluster ==" section of EXPLAIN ANALYZE under a cluster engine.
-func (rt *ClusterRuntime) ClusterSummary() string {
+func (rt *ClusterRuntime) ClusterSummary() string { return rt.ClusterSummaryFor("") }
+
+// ClusterSummaryFor is ClusterSummary with a per-worker rows/bytes/time
+// breakdown derived from merged trace spans; a non-empty trace id restricts
+// the breakdown to that query's spans, "" covers the whole retained trace.
+func (rt *ClusterRuntime) ClusterSummaryFor(traceID string) string {
 	ws := rt.coord.Workers()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "workers: %d registered\n", len(ws))
 	reg := rt.e.RDDCtx.Metrics()
 	fmt.Fprintf(&sb, "fallbacks: %d tasks computed locally\n",
 		reg.Counter("cluster.fallback").Load())
+	byWorker := make(map[string]WorkerActual)
+	spans := rt.e.RDDCtx.Trace().Snapshot()
+	if traceID != "" {
+		spans = filterTrace(spans, traceID)
+	}
+	for _, wa := range workerActuals(spans) {
+		byWorker[wa.Worker] = wa
+	}
 	for _, w := range ws {
 		status := ""
 		if w.Banned {
@@ -472,6 +542,24 @@ func (rt *ClusterRuntime) ClusterSummary() string {
 		fmt.Fprintf(&sb, "  %s pid=%d inflight=%d failures=%d tasks=%d%s\n",
 			w.ID, w.PID, w.Inflight, w.Failures,
 			reg.Counter("cluster.tasks.worker."+w.ID).Load(), status)
+		if wa, ok := byWorker[w.ID]; ok {
+			fmt.Fprintf(&sb, "    spans=%d rows=%d bytes=%d time=%.1fms\n",
+				wa.Tasks, wa.Rows, wa.Bytes, wa.Millis)
+		}
+	}
+	if wa, ok := byWorker[""]; ok {
+		fmt.Fprintf(&sb, "  local spans=%d rows=%d bytes=%d time=%.1fms\n",
+			wa.Tasks, wa.Rows, wa.Bytes, wa.Millis)
 	}
 	return sb.String()
+}
+
+func filterTrace(spans []metrics.Span, traceID string) []metrics.Span {
+	out := spans[:0:0]
+	for _, s := range spans {
+		if s.Trace == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
 }

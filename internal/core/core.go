@@ -13,6 +13,7 @@ import (
 	"regexp"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -74,6 +75,13 @@ type Config struct {
 	// SkewFactor is the multiple of the mean reduce-bucket size above which
 	// adaptive execution splits a skewed partition (0 = default 4x).
 	SkewFactor float64
+	// Observability enables distributed query observability: each action
+	// gets a trace id threaded through its job context (and, under a
+	// cluster, shipped in task specs so worker spans merge back with
+	// attribution), and completed actions append to the engine's query
+	// event log. Off, task payloads and replies are byte-identical to an
+	// engine without this layer.
+	Observability bool
 }
 
 // DefaultConfig is the full Spark SQL feature set.
@@ -86,6 +94,7 @@ func DefaultConfig() Config {
 		Parallelism:       runtime.GOMAXPROCS(0),
 		Metrics:           true,
 		Adaptive:          true,
+		Observability:     true,
 	}
 }
 
@@ -112,11 +121,17 @@ type Engine struct {
 	// simulated DFS shared by all queries so spill I/O is metered and
 	// fault-injectable like any other file traffic.
 	SpillFS *dfs.FileSystem
+	// Events is the append-only query event log (eventlog.go); populated
+	// only when Cfg.Observability is on, but always non-nil so history
+	// surfaces are unconditional.
+	Events  *EventLog
 	planner *physical.Planner
 	opt     *optimizer.Optimizer
 	// cluster is the distributed-execution runtime (nil = local engine);
 	// see cluster.go and EnableCluster.
 	cluster *ClusterRuntime
+	// traceSeq numbers this engine's query traces.
+	traceSeq atomic.Uint64
 }
 
 // NewEngine builds an engine with the given configuration.
@@ -139,6 +154,7 @@ func NewEngine(cfg Config) *Engine {
 		RDDCtx:  rddCtx,
 		Cfg:     cfg,
 		SpillFS: dfs.New(),
+		Events:  NewEventLog(),
 		planner: pl,
 		opt:     optimizer.New(cfg.Optimizer),
 	}
@@ -162,6 +178,9 @@ type QueryExecution struct {
 	Analyzed  plan.LogicalPlan
 	Optimized plan.LogicalPlan
 	Physical  physical.SparkPlan
+	// SQLText is the statement this execution came from (""
+	// for programmatically built plans); the event log records it.
+	SQLText string
 	// Executed is the adaptively re-planned tree (stage barriers in place)
 	// once a query action has run with Config.Adaptive on; nil means the
 	// static Physical plan is (or will be) what executes. Decisions is the
@@ -292,11 +311,16 @@ func (q *QueryExecution) CollectContext(ctx context.Context) ([]row.Row, error) 
 	defer ec.CleanupSpills()
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
+	jc, tid := q.engine.beginQuery(jc)
+	start := time.Now()
 	p, err := q.prepare(jc, ec)
 	if err != nil {
+		q.finishEvent(tid, "collect", start, 0, err)
 		return nil, err
 	}
-	return p.Execute(ec).CollectContext(jc)
+	rows, err := p.Execute(ec).CollectContext(jc)
+	q.finishEvent(tid, "collect", start, int64(len(rows)), err)
+	return rows, err
 }
 
 // Count counts result rows without materializing them centrally.
@@ -310,11 +334,16 @@ func (q *QueryExecution) CountContext(ctx context.Context) (int64, error) {
 	defer ec.CleanupSpills()
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
+	jc, tid := q.engine.beginQuery(jc)
+	start := time.Now()
 	p, err := q.prepare(jc, ec)
 	if err != nil {
+		q.finishEvent(tid, "count", start, 0, err)
 		return 0, err
 	}
-	return p.Execute(ec).CountContext(jc)
+	n, err := p.Execute(ec).CountContext(jc)
+	q.finishEvent(tid, "count", start, n, err)
+	return n, err
 }
 
 // Explain renders all plan phases.
@@ -348,12 +377,15 @@ func (q *QueryExecution) ExplainAnalyzeContext(ctx context.Context) (string, err
 	defer ec.CleanupSpills()
 	jc, cancel := q.engine.queryContext(ctx)
 	defer cancel()
+	jc, tid := q.engine.beginQuery(jc)
 	start := time.Now()
 	p, err := q.prepare(jc, ec)
 	if err != nil {
+		q.finishEvent(tid, "explain-analyze", start, 0, err)
 		return "", err
 	}
 	rows, err := p.Execute(ec).CollectContext(jc)
+	q.finishEvent(tid, "explain-analyze", start, int64(len(rows)), err)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,20 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterDebugHandlers mounts the net/http/pprof and expvar handlers on
+// mux — shared by the SQL server, worker and coordinator observability
+// muxes so every process in the cluster profiles the same way: a CPU or
+// heap profile of any of them is one curl to /debug/pprof/ away.
+func RegisterDebugHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}

@@ -406,12 +406,53 @@ func (r *Registry) Snapshot() []Metric {
 	return out
 }
 
+// MatchGlob reports whether name matches pattern. The empty pattern matches
+// everything; a pattern without '*' is a prefix match (so `SHOW METRICS LIKE
+// 'rdd.'` works without wildcards); a pattern with '*' is an anchored glob
+// where each '*' matches any run of characters.
+func MatchGlob(pattern, name string) bool {
+	if pattern == "" {
+		return true
+	}
+	if !strings.Contains(pattern, "*") {
+		return strings.HasPrefix(name, pattern)
+	}
+	parts := strings.Split(pattern, "*")
+	// Anchored at the front unless the pattern starts with '*'.
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	name = name[len(parts[0]):]
+	for _, part := range parts[1 : len(parts)-1] {
+		if part == "" {
+			continue
+		}
+		i := strings.Index(name, part)
+		if i < 0 {
+			return false
+		}
+		name = name[i+len(part):]
+	}
+	// Anchored at the back unless the pattern ends with '*'.
+	return strings.HasSuffix(name, parts[len(parts)-1])
+}
+
 // WriteText renders the registry in an expfmt-style plain-text form — one
 // metric per line, histograms expanded into _count/_sum/_min/_max/_p50/_p99
 // pseudo-series — served by the SQL server's /metrics endpoint and the
 // SHOW METRICS statement.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.WriteTextFiltered(w, "")
+}
+
+// WriteTextFiltered is WriteText restricted to metrics whose name matches
+// pattern (MatchGlob semantics; "" = all). Histogram pseudo-series match on
+// the base histogram name.
+func (r *Registry) WriteTextFiltered(w io.Writer, pattern string) error {
 	for _, m := range r.Snapshot() {
+		if !MatchGlob(pattern, m.Name) {
+			continue
+		}
 		switch m.Kind {
 		case KindHistogram:
 			s := m.Hist

@@ -29,12 +29,19 @@ type Span struct {
 	Attempt     int      `json:"attempt,omitempty"`
 	Speculative bool     `json:"speculative,omitempty"`
 	Worker      string   `json:"worker,omitempty"` // remote worker id; "" = local
-	Start       int64    `json:"start_us"`            // microseconds since process-start reference
-	QueuedNS    int64    `json:"queued_ns,omitempty"` // time waiting for an executor slot
-	DurNS       int64    `json:"dur_ns"`
-	Records     int64    `json:"records,omitempty"`
-	Bytes       int64    `json:"bytes,omitempty"`
-	Err         string   `json:"err,omitempty"`
+	// Trace is the query/trace id propagated Dapper-style across process
+	// boundaries: every span of one distributed query — coordinator- and
+	// worker-side — carries the same id. Parent is the id of the
+	// coordinator-side dispatch span a remote span executed under; "" for
+	// spans that originated in this process.
+	Trace    string `json:"trace,omitempty"`
+	Parent   string `json:"parent,omitempty"`
+	Start    int64  `json:"start_us"`            // microseconds since process-start reference (origin process's clock for merged spans)
+	QueuedNS int64  `json:"queued_ns,omitempty"` // time waiting for an executor slot
+	DurNS    int64  `json:"dur_ns"`
+	Records  int64  `json:"records,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	Err      string `json:"err,omitempty"`
 }
 
 // traceEpoch anchors Span.Start so timestamps are monotonic within a
@@ -50,10 +57,11 @@ func Since(start time.Time) int64 { return start.Sub(traceEpoch).Microseconds() 
 // cheap relative to the per-partition work each span represents (spans are
 // per task/stage, never per row).
 type TraceBuffer struct {
-	mu    sync.Mutex
-	buf   []Span
-	next  int   // ring cursor
-	total int64 // spans ever appended (>= len(buf) once wrapped)
+	mu      sync.Mutex
+	buf     []Span
+	next    int      // ring cursor
+	total   int64    // spans ever appended (>= len(buf) once wrapped)
+	dropped *Counter // incremented when the ring overwrites an unexported span
 }
 
 // DefaultTraceCapacity bounds the in-memory event log; at ~200 bytes a span
@@ -69,6 +77,18 @@ func NewTraceBuffer(capacity int) *TraceBuffer {
 	return &TraceBuffer{buf: make([]Span, 0, capacity)}
 }
 
+// SetDropCounter registers a counter incremented each time Append evicts a
+// retained span, making ring truncation observable (`trace.dropped`).
+// Nil-safe on both sides.
+func (t *TraceBuffer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropped = c
+	t.mu.Unlock()
+}
+
 // Append records a span, evicting the oldest when full. Nil-safe.
 func (t *TraceBuffer) Append(s Span) {
 	if t == nil {
@@ -80,6 +100,7 @@ func (t *TraceBuffer) Append(s Span) {
 	} else {
 		t.buf[t.next] = s
 		t.next = (t.next + 1) % len(t.buf)
+		t.dropped.Add(1)
 	}
 	t.total++
 	t.mu.Unlock()

@@ -56,6 +56,9 @@ type Context struct {
 	// ErrRemoteFallback and that were computed locally instead; registered
 	// under the "cluster." scope because it measures the cluster layer.
 	remoteFallbacks *metrics.Counter
+	// traceDropped counts spans the fixed-capacity trace ring evicted
+	// unexported ("trace.dropped") so truncation is observable.
+	traceDropped *metrics.Counter
 
 	mu sync.Mutex
 	// failureHook, when set, lets tests inject task failures: return an
@@ -122,7 +125,10 @@ func NewContext(parallelism int) *Context {
 		specMultiplier:      defaultSpecMult,
 		specMin:             defaultSpecMin,
 	}
-	c.trace.Store(metrics.NewTraceBuffer(0))
+	c.traceDropped = reg.Scoped("trace").Counter("dropped")
+	tb := metrics.NewTraceBuffer(0)
+	tb.SetDropCounter(c.traceDropped)
+	c.trace.Store(tb)
 	return c
 }
 
@@ -142,7 +148,9 @@ func (c *Context) Trace() *metrics.TraceBuffer { return c.trace.Load() }
 func (c *Context) SetTracing(enabled bool) {
 	if enabled {
 		if c.trace.Load() == nil {
-			c.trace.Store(metrics.NewTraceBuffer(0))
+			tb := metrics.NewTraceBuffer(0)
+			tb.SetDropCounter(c.traceDropped)
+			c.trace.Store(tb)
 		}
 	} else {
 		c.trace.Store(nil)
@@ -444,7 +452,7 @@ func (r *RDD[T]) runTask(jc context.Context, p, firstAttempt int) ([]T, error) {
 				worker = we.Worker
 			}
 		}
-		if tb != nil {
+		if tb != nil || traceSink(jc) != nil {
 			span := metrics.Span{
 				Kind:        metrics.SpanTask,
 				Name:        r.name,
@@ -460,7 +468,7 @@ func (r *RDD[T]) runTask(jc context.Context, p, firstAttempt int) ([]T, error) {
 			if err != nil {
 				span.Err = err.Error()
 			}
-			tb.Append(span)
+			r.ctx.emitSpan(jc, span)
 		}
 		if err == nil {
 			return out, nil
@@ -613,7 +621,7 @@ func (r *RDD[T]) computeAll(jc context.Context) ([][]T, error) {
 	if err == nil {
 		err = jc.Err()
 	}
-	if tb := r.ctx.Trace(); tb != nil {
+	if r.ctx.Trace() != nil || traceSink(jc) != nil {
 		span := metrics.Span{
 			Kind:     metrics.SpanStage,
 			Name:     r.name,
@@ -629,7 +637,7 @@ func (r *RDD[T]) computeAll(jc context.Context) ([][]T, error) {
 				span.Records += int64(len(part))
 			}
 		}
-		tb.Append(span)
+		r.ctx.emitSpan(jc, span)
 	}
 	if err != nil {
 		return nil, err
@@ -712,9 +720,8 @@ func (r *RDD[T]) Collect() ([]T, error) {
 }
 
 // emitJobSpan records the end-to-end span of one top-level action.
-func (r *RDD[T]) emitJobSpan(job int64, action string, start time.Time, parts [][]T, err error) {
-	tb := r.ctx.Trace()
-	if tb == nil {
+func (r *RDD[T]) emitJobSpan(jc context.Context, job int64, action string, start time.Time, parts [][]T, err error) {
+	if r.ctx.Trace() == nil && traceSink(jc) == nil {
 		return
 	}
 	span := metrics.Span{
@@ -730,7 +737,7 @@ func (r *RDD[T]) emitJobSpan(job int64, action string, start time.Time, parts []
 	if err != nil {
 		span.Err = err.Error()
 	}
-	tb.Append(span)
+	r.ctx.emitSpan(jc, span)
 }
 
 // CollectContext is Collect under a job context: cancelling jc (or its
@@ -741,7 +748,7 @@ func (r *RDD[T]) CollectContext(jc context.Context) ([]T, error) {
 	start := time.Now()
 	parts, err := r.computeAll(jc)
 	if top {
-		r.emitJobSpan(jobID, "collect", start, parts, err)
+		r.emitJobSpan(jc, jobID, "collect", start, parts, err)
 	}
 	if err != nil {
 		return nil, err
@@ -766,7 +773,7 @@ func (r *RDD[T]) CollectPartitionsContext(jc context.Context) ([][]T, error) {
 	start := time.Now()
 	parts, err := r.computeAll(jc)
 	if top {
-		r.emitJobSpan(jobID, "stage", start, parts, err)
+		r.emitJobSpan(jc, jobID, "stage", start, parts, err)
 	}
 	if err != nil {
 		return nil, err
@@ -785,7 +792,7 @@ func (r *RDD[T]) CountContext(jc context.Context) (int64, error) {
 	start := time.Now()
 	parts, err := r.computeAll(jc)
 	if top {
-		r.emitJobSpan(jobID, "count", start, parts, err)
+		r.emitJobSpan(jc, jobID, "count", start, parts, err)
 	}
 	if err != nil {
 		return 0, err
@@ -809,7 +816,7 @@ func (r *RDD[T]) ForeachPartitionContext(jc context.Context, f func(p int, data 
 	start := time.Now()
 	parts, err := r.computeAll(jc)
 	if top {
-		r.emitJobSpan(jobID, "foreach", start, parts, err)
+		r.emitJobSpan(jc, jobID, "foreach", start, parts, err)
 	}
 	if err != nil {
 		return err

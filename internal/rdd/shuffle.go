@@ -252,7 +252,7 @@ func shuffledPrepCodec[T any](parent *RDD[T], name string, numPartitions int, pr
 			start := time.Now()
 			bucket := prep(parts)
 			buckets, berr := bucketize(jc, parent.ctx, parts, numPartitions, bucket)
-			if tb := parent.ctx.Trace(); tb != nil {
+			if parent.ctx.Trace() != nil || traceSink(jc) != nil {
 				span := metrics.Span{
 					Kind:  metrics.SpanShuffle,
 					Name:  name,
@@ -268,7 +268,7 @@ func shuffledPrepCodec[T any](parent *RDD[T], name string, numPartitions int, pr
 				if berr != nil {
 					span.Err = berr.Error()
 				}
-				tb.Append(span)
+				parent.ctx.emitSpan(jc, span)
 			}
 			return buckets, berr
 		})

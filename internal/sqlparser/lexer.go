@@ -44,7 +44,7 @@ var keywords = map[string]bool{
 	"DOUBLE": true, "FLOAT": true, "STRING": true, "BOOLEAN": true,
 	"DATE": true, "TIMESTAMP": true, "DECIMAL": true,
 	"ANALYZE": true, "EXPLAIN": true, "COMPUTE": true, "STATISTICS": true,
-	"SHOW": true, "METRICS": true,
+	"SHOW": true, "METRICS": true, "CLUSTER": true, "HISTORY": true,
 }
 
 type lexError struct {

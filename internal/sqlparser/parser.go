@@ -54,12 +54,27 @@ type ExplainStatement struct {
 
 func (*ExplainStatement) isStatement() {}
 
-// ShowMetrics is SHOW METRICS: it returns the engine's metrics registry —
-// every counter, gauge and histogram accumulated since the context was
-// built — as (metric, value) rows.
-type ShowMetrics struct{}
+// ShowMetrics is SHOW METRICS [LIKE '<glob>']: it returns the engine's
+// metrics registry — every counter, gauge and histogram accumulated since
+// the context was built — as (metric, value) rows. Like filters names
+// (empty = all; no '*' = prefix match; '*' = anchored glob).
+type ShowMetrics struct {
+	Like string
+}
 
 func (*ShowMetrics) isStatement() {}
+
+// ShowCluster is SHOW CLUSTER: one row per registered worker — liveness,
+// blacklist state, task and failure counts, and federated shuffle bytes.
+type ShowCluster struct{}
+
+func (*ShowCluster) isStatement() {}
+
+// ShowHistory is SHOW HISTORY: the query event log replayed as rows,
+// oldest first — the history-server view.
+type ShowHistory struct{}
+
+func (*ShowHistory) isStatement() {}
 
 // Parse parses a single SQL statement.
 func Parse(sql string) (Statement, error) {
@@ -166,7 +181,7 @@ var nonReserved = map[string]bool{
 	"DOUBLE": true, "FLOAT": true, "STRING": true, "BOOLEAN": true,
 	"DATE": true, "TIMESTAMP": true, "DECIMAL": true, "OPTIONS": true,
 	"TABLE": true, "ALL": true, "COMPUTE": true, "STATISTICS": true,
-	"METRICS": true, "SHOW": true,
+	"METRICS": true, "SHOW": true, "CLUSTER": true, "HISTORY": true,
 	// END doubles as a column name (the paper's §7.2 range join uses
 	// a.end); CASE expressions still terminate correctly because END is
 	// only read as a name where an expression may start or after a dot.
@@ -221,10 +236,22 @@ func (p *parser) parseStatement() (Statement, error) {
 	}
 	if p.atKeyword("SHOW") {
 		p.advance()
-		if err := p.expectKeyword("METRICS"); err != nil {
-			return nil, err
+		switch {
+		case p.acceptKeyword("METRICS"):
+			if p.acceptKeyword("LIKE") {
+				t, err := p.expect(tokString, "")
+				if err != nil {
+					return nil, err
+				}
+				return &ShowMetrics{Like: t.text}, nil
+			}
+			return &ShowMetrics{}, nil
+		case p.acceptKeyword("CLUSTER"):
+			return &ShowCluster{}, nil
+		case p.acceptKeyword("HISTORY"):
+			return &ShowHistory{}, nil
 		}
-		return &ShowMetrics{}, nil
+		return nil, p.errorf("expected METRICS, CLUSTER or HISTORY after SHOW, found %q", p.cur().text)
 	}
 	lp, err := p.parseSelect()
 	if err != nil {

@@ -60,6 +60,9 @@ type Server struct {
 	// *rdd.JobError when the failure came from task execution. Defaults to
 	// slog.Default().
 	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof and expvar under /debug/ on the
+	// metrics mux. Off by default: profiling endpoints are opt-in.
+	EnablePprof bool
 
 	// querySeq numbers statements across all connections for log
 	// correlation.
@@ -179,19 +182,34 @@ func (s *Server) Close() error {
 
 // MetricsHandler serves the engine's observability surfaces over HTTP:
 // GET /metrics returns the registry as plain text (one metric per line,
-// histograms expanded into _count/_sum/_min/_max/_p50/_p99), and
+// histograms expanded into _count/_sum/_min/_max/_p50/_p99; ?prefix= filters
+// with glob semantics), with harvested per-worker counters appended as
+// `name{worker=id} value` lines when the context runs a cluster;
 // GET /trace returns the span buffer — the in-memory event log — as JSONL,
-// one job/stage/task/shuffle span per line.
+// one job/stage/task/shuffle span per line; GET /history replays the
+// persistent query event log as JSONL, one completed query per line. With
+// EnablePprof the net/http/pprof and expvar handlers mount under /debug/.
 func (s *Server) MetricsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		s.ctx.Metrics().WriteText(w)
+		pattern := r.URL.Query().Get("prefix")
+		s.ctx.Metrics().WriteTextFiltered(w, pattern)
+		if rt := s.ctx.Cluster(); rt != nil {
+			rt.WriteFederatedMetrics(w, pattern)
+		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 		s.ctx.Trace().ExportJSONL(w)
 	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		s.ctx.EventLog().WriteJSONL(w)
+	})
+	if s.EnablePprof {
+		metrics.RegisterDebugHandlers(mux)
+	}
 	return mux
 }
 

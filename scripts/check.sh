@@ -47,3 +47,14 @@ go test -race -v -run '^TestAdaptive|^TestPlanHash' -timeout 10m .
 # frames — every answer byte-identical to a local fault-free run. The
 # schedule is seeded (deterministic) and the 5m timeout bounds wall time.
 go test -race -v -run '^TestMultiproc' -timeout 5m ./internal/experiments/
+
+# Cluster observability suite: merged-trace golden (worker spans carrying
+# the coordinator's trace id, stable normalized ordering), federation
+# harvest hammered concurrently with queries under -race, a SIGKILLed
+# worker's partial spans leaving the merged trace and event log intact,
+# and strict-JSON validation of the event-log wire form.
+go test -race -v -run '^TestObservability|^TestHarvestUnderLoad$|^TestEventLogStrictJSON$' -timeout 10m ./internal/experiments/
+
+# Observability overhead gate: trace ids + event-log appends must cost
+# <= 5% on cached Q1 against an observability-off engine.
+PERF_GATE=1 go test -run '^TestObservabilityGate$' -v -timeout 10m ./internal/experiments/

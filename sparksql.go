@@ -157,6 +157,14 @@ type Config struct {
 	// SkewFactor is the multiple of the mean reduce-bucket size above which
 	// adaptive execution splits a skewed partition (0 = default 4x).
 	SkewFactor float64
+	// Observability enables distributed query observability (on by
+	// default): every query action gets a trace id threaded through its
+	// spans, completed actions append to the query event log (SHOW
+	// HISTORY, /history), and under a cluster the id ships in task specs
+	// so worker-side spans and counters merge back with attribution. Off,
+	// the wire protocol and all results are byte-identical to an engine
+	// without this layer.
+	Observability bool
 	// Cluster, when non-nil, starts a coordinator for multi-process
 	// distributed execution: worker processes (cmd/sqlworker, or any
 	// process calling sqlexec.RunWorker) register over TCP and SQL query
@@ -182,6 +190,11 @@ type ClusterOptions struct {
 	// worker (0 = 3); BlacklistCooldown is for how long (0 = 5s).
 	BlacklistThreshold int
 	BlacklistCooldown  time.Duration
+	// HarvestInterval, when positive, runs the metrics-federation
+	// harvester on this period (pulling every live worker's registry over
+	// the task protocol). Zero harvests on demand only — SHOW CLUSTER and
+	// the /metrics endpoint trigger a pull themselves.
+	HarvestInterval time.Duration
 }
 
 // DefaultConfig enables the full Spark SQL feature set.
@@ -197,6 +210,7 @@ func DefaultConfig() Config {
 		BroadcastThreshold:  10 << 20,
 		Metrics:             true,
 		Adaptive:            true,
+		Observability:       true,
 	}
 }
 
@@ -243,6 +257,7 @@ func (c Config) toCore() core.Config {
 		MemoryBudget:          c.MemoryBudget,
 		Adaptive:              c.Adaptive,
 		SkewFactor:            c.SkewFactor,
+		Observability:         c.Observability,
 	}
 }
 
@@ -277,14 +292,15 @@ func NewContextWithConfig(cfg Config) *Context {
 			TaskTimeout:        cfg.Cluster.TaskTimeout,
 			BlacklistThreshold: cfg.Cluster.BlacklistThreshold,
 			BlacklistCooldown:  cfg.Cluster.BlacklistCooldown,
+			HarvestInterval:    cfg.Cluster.HarvestInterval,
 			Session: sqlwire.SessionSpec{
-				Codegen:             cfg.Codegen,
-				LogicalOptimization: cfg.LogicalOptimization,
-				SourcePushdown:      cfg.SourcePushdown,
-				JoinReorder:         cfg.JoinReorder,
-				PipelineCollapse:    cfg.PipelineCollapse,
-				Vectorized:          cfg.Vectorized,
-				Fusion:              cfg.Fusion,
+				Codegen:              cfg.Codegen,
+				LogicalOptimization:  cfg.LogicalOptimization,
+				SourcePushdown:       cfg.SourcePushdown,
+				JoinReorder:          cfg.JoinReorder,
+				PipelineCollapse:     cfg.PipelineCollapse,
+				Vectorized:           cfg.Vectorized,
+				Fusion:               cfg.Fusion,
 				BroadcastThreshold:   cfg.BroadcastThreshold,
 				TargetPartitionBytes: cfg.TargetPartitionBytes,
 				// Ship the engine's *resolved* parallelism: zero values
@@ -347,6 +363,17 @@ func (c *Context) RegisterUDT(udt UserDefinedType) error {
 	return c.engine.Catalog.UDTs().Register(udt)
 }
 
+// withOriginSQL stamps the statement text onto a SHOW frame for event-log
+// provenance only — SHOW frames are built from engine state, so the text is
+// never shippable and must not become sqlText.
+func withOriginSQL(df *DataFrame, err error, query string) (*DataFrame, error) {
+	if err != nil {
+		return nil, err
+	}
+	df.originSQL = query
+	return df, nil
+}
+
 // SQL runs a SQL statement. Queries return a DataFrame; CREATE TEMPORARY
 // TABLE statements register the table and return an empty DataFrame.
 func (c *Context) SQL(query string) (*DataFrame, error) {
@@ -392,7 +419,14 @@ func (c *Context) SQL(query string) (*DataFrame, error) {
 		schema := types.NewStruct(types.StructField{Name: "plan", Type: types.String, Nullable: false})
 		return c.CreateDataFrame(schema, rows)
 	case *sqlparser.ShowMetrics:
-		return c.metricsFrame()
+		df, err := c.metricsFrame(s.Like)
+		return withOriginSQL(df, err, query)
+	case *sqlparser.ShowCluster:
+		df, err := c.clusterFrame()
+		return withOriginSQL(df, err, query)
+	case *sqlparser.ShowHistory:
+		df, err := c.historyFrame()
+		return withOriginSQL(df, err, query)
 	case *sqlparser.CreateTempTable:
 		if s.AsSelect != nil {
 			df, err := c.newDataFrame(s.AsSelect)
@@ -459,11 +493,12 @@ func (c *Context) Metrics() *metrics.Registry { return c.engine.RDDCtx.Metrics()
 func (c *Context) Trace() *metrics.TraceBuffer { return c.engine.RDDCtx.Trace() }
 
 // metricsFrame renders the registry as (metric, value) rows — the result
-// of SHOW METRICS. Histograms expand into _count/_sum/_min/_max/_p50/_p99
-// pseudo-metrics, matching the /metrics text endpoint line for line.
-func (c *Context) metricsFrame() (*DataFrame, error) {
+// of SHOW METRICS [LIKE '<glob>']. Histograms expand into
+// _count/_sum/_min/_max/_p50/_p99 pseudo-metrics, matching the /metrics
+// text endpoint line for line.
+func (c *Context) metricsFrame(pattern string) (*DataFrame, error) {
 	var buf strings.Builder
-	if err := c.Metrics().WriteText(&buf); err != nil {
+	if err := c.Metrics().WriteTextFiltered(&buf, pattern); err != nil {
 		return nil, err
 	}
 	var rows []Row
@@ -480,6 +515,72 @@ func (c *Context) metricsFrame() (*DataFrame, error) {
 	)
 	return c.CreateDataFrame(schema, rows)
 }
+
+// clusterFrame renders cluster membership and per-worker health as rows —
+// the result of SHOW CLUSTER. It harvests fresh worker metrics first so
+// shuffle-byte columns reflect the moment of the query, not the last
+// background pull. Without a cluster it returns zero rows.
+func (c *Context) clusterFrame() (*DataFrame, error) {
+	schema := types.NewStruct(
+		types.StructField{Name: "worker", Type: types.String, Nullable: false},
+		types.StructField{Name: "status", Type: types.String, Nullable: false},
+		types.StructField{Name: "pid", Type: types.Long, Nullable: false},
+		types.StructField{Name: "inflight", Type: types.Long, Nullable: false},
+		types.StructField{Name: "failures", Type: types.Long, Nullable: false},
+		types.StructField{Name: "tasks", Type: types.Long, Nullable: false},
+		types.StructField{Name: "shuffle_bytes", Type: types.Long, Nullable: false},
+	)
+	rt := c.engine.Cluster()
+	if rt == nil {
+		return c.CreateDataFrame(schema, nil)
+	}
+	rt.Harvest(nil)
+	reg := c.Metrics()
+	var rows []Row
+	for _, w := range rt.Coordinator().Workers() {
+		status := "live"
+		if w.Banned {
+			status = "blacklisted"
+		}
+		rows = append(rows, Row{
+			w.ID, status, w.PID, int64(w.Inflight), int64(w.Failures),
+			reg.Counter("cluster.tasks.worker." + w.ID).Load(),
+			rt.WorkerCounter(w.ID, "rdd.shuffle.bytes"),
+		})
+	}
+	return c.CreateDataFrame(schema, rows)
+}
+
+// historyFrame renders the query event log as rows, oldest first — the
+// result of SHOW HISTORY. Full entries (plan text, AQE decisions,
+// per-stage and per-worker actuals) are in EventLog().Events() and the
+// server's /history JSONL endpoint; this view keeps one line per query.
+func (c *Context) historyFrame() (*DataFrame, error) {
+	schema := types.NewStruct(
+		types.StructField{Name: "id", Type: types.String, Nullable: false},
+		types.StructField{Name: "query", Type: types.String, Nullable: true},
+		types.StructField{Name: "action", Type: types.String, Nullable: false},
+		types.StructField{Name: "plan_hash", Type: types.String, Nullable: true},
+		types.StructField{Name: "rows", Type: types.Long, Nullable: false},
+		types.StructField{Name: "millis", Type: types.Double, Nullable: false},
+		types.StructField{Name: "status", Type: types.String, Nullable: false},
+	)
+	var rows []Row
+	for _, ev := range c.engine.Events.Events() {
+		status := "ok"
+		if ev.Err != "" {
+			status = "error: " + ev.Err
+		}
+		rows = append(rows, Row{ev.ID, ev.SQL, ev.Action, ev.PlanHash, ev.Rows, ev.Millis, status})
+	}
+	return c.CreateDataFrame(schema, rows)
+}
+
+// EventLog returns the persistent query history: one entry per completed
+// query action with plan, plan hash, AQE decisions, per-stage actuals and
+// per-worker task breakdown. Backs SHOW HISTORY and the server's /history
+// endpoint.
+func (c *Context) EventLog() *core.EventLog { return c.engine.Events }
 
 // Table returns a DataFrame over a registered temp table.
 func (c *Context) Table(name string) (*DataFrame, error) {
