@@ -41,11 +41,13 @@ func main() {
 	heartbeat := flag.Duration("heartbeat-timeout", 0, "evict workers silent for this long (0 = default)")
 	harvest := flag.Duration("harvest", 0, "pull worker metrics on this period for the federated /metrics view (0 = on demand only)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+	dataDir := flag.String("data", "", "data directory for persistent tables (empty = in-memory only)")
 	var tables tableFlags
 	flag.Var(&tables, "table", "name=path registration (csv, json or gcf by extension); repeatable")
 	flag.Parse()
 
 	cfg := sparksql.DefaultConfig()
+	cfg.DataDir = *dataDir
 	cfg.Cluster = &sparksql.ClusterOptions{
 		Listen:           *clusterAddr,
 		HeartbeatTimeout: *heartbeat,

@@ -32,11 +32,15 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics, /trace and /history (empty = off)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and expvar under /debug/ on the metrics address")
 	maxRows := flag.Int("maxrows", 10000, "maximum rows returned per query")
+	dataDir := flag.String("data", "", "data directory for persistent tables (empty = in-memory only)")
 	var tables tableFlags
 	flag.Var(&tables, "table", "name=path registration (csv, json or gcf by extension); repeatable")
 	flag.Parse()
 
-	ctx := sparksql.NewContext()
+	cfg := sparksql.DefaultConfig()
+	cfg.DataDir = *dataDir
+	ctx := sparksql.NewContextWithConfig(cfg)
+	defer ctx.Close()
 	for _, spec := range tables {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -22,7 +23,12 @@ import (
 )
 
 func main() {
-	ctx := sparksql.NewContext()
+	dataDir := flag.String("data", "", "data directory for persistent tables (empty = in-memory only)")
+	flag.Parse()
+	cfg := sparksql.DefaultConfig()
+	cfg.DataDir = *dataDir
+	ctx := sparksql.NewContextWithConfig(cfg)
+	defer ctx.Close()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 

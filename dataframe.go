@@ -272,9 +272,12 @@ func (df *DataFrame) RegisterTempTable(name string) {
 
 // --- output operations (execution happens here) ---
 
-// queryExecution runs the Catalyst phases.
+// queryExecution runs the Catalyst phases over the eagerly analyzed plan:
+// the relation versions resolved when the frame was built are the ones the
+// action reads, so a query pinned before a concurrent UPDATE/DELETE on a
+// persistent table returns the pre-write rows.
 func (df *DataFrame) queryExecution() (qe queryExec, err error) {
-	q, err := df.ctx.engine.Execute(df.logical)
+	q, err := df.ctx.engine.ExecuteResolved(df.logical, df.analyzed)
 	if err != nil {
 		return queryExec{}, err
 	}
@@ -284,6 +287,36 @@ func (df *DataFrame) queryExecution() (qe queryExec, err error) {
 		q.SetSQL(df.originSQL)
 	}
 	return queryExec{q}, nil
+}
+
+// distributable reports whether an action on this frame may ship to
+// cluster workers: it must have originated as SQL text (closures cannot
+// serialize), a cluster must be running, and every pinned persistent-table
+// version must still be the store's current one — workers re-resolve the
+// shipped text against the current catalog, so executing a stale snapshot
+// remotely would silently read the wrong version. Stale frames run
+// locally, preserving snapshot isolation.
+func (df *DataFrame) distributable() bool {
+	if df.sqlText == "" || df.ctx.engine.Cluster() == nil {
+		return false
+	}
+	stale := false
+	var walk func(lp plan.LogicalPlan)
+	walk = func(lp plan.LogicalPlan) {
+		if stale {
+			return
+		}
+		if rel, ok := lp.(*plan.InMemoryRelation); ok && rel.Origin != "" {
+			if df.ctx.store == nil || df.ctx.store.Snapshot(rel.Origin) != rel {
+				stale = true
+			}
+		}
+		for _, child := range lp.Children() {
+			walk(child)
+		}
+	}
+	walk(df.analyzed)
+	return !stale
 }
 
 // Collect materializes all rows. Task failures (including recovered
@@ -305,7 +338,7 @@ func (df *DataFrame) CollectContext(ctx context.Context) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	if df.sqlText != "" && df.ctx.engine.Cluster() != nil {
+	if df.distributable() {
 		return qe.q.CollectDistributedContext(ctx, df.sqlText)
 	}
 	return qe.q.CollectContext(ctx)
@@ -322,7 +355,7 @@ func (df *DataFrame) CountContext(ctx context.Context) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if df.sqlText != "" && df.ctx.engine.Cluster() != nil {
+	if df.distributable() {
 		return qe.q.CountDistributedContext(ctx, df.sqlText)
 	}
 	return qe.q.CountContext(ctx)

@@ -1,0 +1,357 @@
+// DML execution: CREATE TABLE, DROP TABLE, INSERT, UPDATE, DELETE, SHOW
+// TABLES and DESCRIBE against the persistent table store. Statements parse
+// in internal/sqlparser; this file evaluates their expressions through the
+// ordinary analysis machinery (so casts, functions and UDFs all work in
+// VALUES and SET clauses) and commits the row changes through the store's
+// write-ahead log.
+package sparksql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/row"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// affectedFrame reports a DML statement's result as one (rows_affected)
+// row, the feedback INSERT/UPDATE/DELETE give the shell.
+func (c *Context) affectedFrame(n int64) (*DataFrame, error) {
+	schema := types.NewStruct(
+		types.StructField{Name: "rows_affected", Type: types.Long, Nullable: false},
+	)
+	return c.CreateDataFrame(schema, []Row{{n}})
+}
+
+func (c *Context) execCreateTable(s *sqlparser.CreateTable) (*DataFrame, error) {
+	if s.AsSelect != nil {
+		// CREATE TABLE ... AS SELECT: run the query, then create and load.
+		df, err := c.newDataFrame(s.AsSelect)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := df.Collect()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.store.CreateTable(s.Name, df.Schema(), s.IfNotExists); err != nil {
+			return nil, err
+		}
+		if _, err := c.store.Insert(s.Name, rows); err != nil {
+			return nil, err
+		}
+		return c.emptyFrame(), nil
+	}
+	fields := make([]types.StructField, 0, len(s.Cols))
+	for _, col := range s.Cols {
+		fields = append(fields, types.StructField{
+			Name: col.Name, Type: col.Type, Nullable: !col.NotNull,
+		})
+	}
+	if err := c.store.CreateTable(s.Name, types.StructType{Fields: fields}, s.IfNotExists); err != nil {
+		return nil, err
+	}
+	return c.emptyFrame(), nil
+}
+
+// insertColumns resolves an INSERT's column list (or the full schema when
+// absent) to schema ordinals.
+func insertColumns(schema types.StructType, names []string) ([]int, error) {
+	if len(names) == 0 {
+		ordinals := make([]int, len(schema.Fields))
+		for i := range ordinals {
+			ordinals[i] = i
+		}
+		return ordinals, nil
+	}
+	ordinals := make([]int, 0, len(names))
+	for _, name := range names {
+		found := -1
+		for i, f := range schema.Fields {
+			if strings.EqualFold(f.Name, name) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("sparksql: INSERT: unknown column %q", name)
+		}
+		ordinals = append(ordinals, found)
+	}
+	return ordinals, nil
+}
+
+func (c *Context) execInsert(s *sqlparser.InsertStatement) (*DataFrame, error) {
+	info, ok := c.store.Info(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sparksql: INSERT: unknown table %q", s.Table)
+	}
+	ordinals, err := insertColumns(info.Schema, s.Columns)
+	if err != nil {
+		return nil, err
+	}
+
+	var data []Row
+	if s.Query != nil {
+		df, err := c.newDataFrame(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		src := df.Schema()
+		if len(src.Fields) != len(ordinals) {
+			return nil, fmt.Errorf("sparksql: INSERT into %q: query produces %d columns, expected %d",
+				s.Table, len(src.Fields), len(ordinals))
+		}
+		// Cast the query's output by position onto the target columns.
+		attrs := df.analyzed.Output()
+		casts := make([]expr.Expression, len(attrs))
+		for i, a := range attrs {
+			target := info.Schema.Fields[ordinals[i]]
+			casts[i] = expr.NewAlias(expr.NewCast(a, target.Type), target.Name)
+		}
+		cdf, err := c.newDataFrame(&plan.Project{List: casts, Child: df.analyzed})
+		if err != nil {
+			return nil, err
+		}
+		rows, err := cdf.Collect()
+		if err != nil {
+			return nil, err
+		}
+		data = reshapeInsertRows(info.Schema, ordinals, rows)
+	} else {
+		// Evaluate every VALUES tuple through one wide projection over a
+		// one-row relation: each expression is cast to its target column's
+		// type and the single result row is cut back into tuples. One
+		// analysis pass covers every tuple.
+		var wide []expr.Expression
+		for ti, tuple := range s.Values {
+			if len(tuple) != len(ordinals) {
+				return nil, fmt.Errorf("sparksql: INSERT into %q: tuple %d has %d values, expected %d",
+					s.Table, ti+1, len(tuple), len(ordinals))
+			}
+			for vi, e := range tuple {
+				target := info.Schema.Fields[ordinals[vi]]
+				wide = append(wide, expr.NewAlias(
+					expr.NewCast(e, target.Type),
+					fmt.Sprintf("_v%d_%d", ti, vi)))
+			}
+		}
+		df, err := c.newDataFrame(&plan.Project{List: wide, Child: &plan.OneRowRelation{}})
+		if err != nil {
+			return nil, err
+		}
+		rows, err := df.Collect()
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) != 1 {
+			return nil, fmt.Errorf("sparksql: INSERT: VALUES evaluation produced %d rows", len(rows))
+		}
+		flat := rows[0]
+		width := len(ordinals)
+		tuples := make([]Row, len(s.Values))
+		for ti := range s.Values {
+			tuples[ti] = flat[ti*width : (ti+1)*width]
+		}
+		data = reshapeInsertRows(info.Schema, ordinals, tuples)
+	}
+
+	n, err := c.store.Insert(s.Table, data)
+	if err != nil {
+		return nil, err
+	}
+	return c.affectedFrame(n)
+}
+
+// reshapeInsertRows spreads tuple values (one per target ordinal) into
+// full-width schema rows, leaving unlisted columns NULL.
+func reshapeInsertRows(schema types.StructType, ordinals []int, tuples []Row) []Row {
+	out := make([]Row, len(tuples))
+	for i, t := range tuples {
+		r := make(Row, len(schema.Fields))
+		for j, ord := range ordinals {
+			r[ord] = t[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// compilePredicate analyzes a WHERE clause against the pinned relation and
+// returns a row predicate bound to the table's column order. A nil cond
+// matches every row.
+func (c *Context) compilePredicate(rel *plan.InMemoryRelation, cond expr.Expression) (func(row.Row) (bool, error), error) {
+	if cond == nil {
+		return func(row.Row) (bool, error) { return true, nil }, nil
+	}
+	analyzed, err := c.engine.Analyze(&plan.Filter{Cond: cond, Child: rel})
+	if err != nil {
+		return nil, err
+	}
+	filter, ok := analyzed.(*plan.Filter)
+	if !ok {
+		return nil, fmt.Errorf("sparksql: WHERE clause resolved to %T", analyzed)
+	}
+	bound, err := expr.Bind(filter.Cond, rel.Output())
+	if err != nil {
+		return nil, err
+	}
+	return func(r row.Row) (hit bool, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("sparksql: evaluating WHERE: %v", p)
+			}
+		}()
+		return bound.Eval(r) == true, nil
+	}, nil
+}
+
+func (c *Context) execDelete(s *sqlparser.DeleteStatement) (*DataFrame, error) {
+	rel := c.store.Snapshot(s.Table)
+	if rel == nil {
+		return nil, fmt.Errorf("sparksql: DELETE: unknown table %q", s.Table)
+	}
+	pred, err := c.compilePredicate(rel, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.store.Delete(s.Table, pred)
+	if err != nil {
+		return nil, err
+	}
+	return c.affectedFrame(n)
+}
+
+func (c *Context) execUpdate(s *sqlparser.UpdateStatement) (*DataFrame, error) {
+	rel := c.store.Snapshot(s.Table)
+	if rel == nil {
+		return nil, fmt.Errorf("sparksql: UPDATE: unknown table %q", s.Table)
+	}
+	info, _ := c.store.Info(s.Table)
+	schema := info.Schema
+
+	// One projection expression per column: the SET value (cast to the
+	// column type) where assigned, the column itself otherwise. Analyzing
+	// the projection against the pinned relation resolves names in SET
+	// expressions ("a = a + 1" reads the old row).
+	assigned := map[int]expr.Expression{}
+	for _, set := range s.Set {
+		found := -1
+		for i, f := range schema.Fields {
+			if strings.EqualFold(f.Name, set.Column) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("sparksql: UPDATE %q: unknown column %q", s.Table, set.Column)
+		}
+		if _, dup := assigned[found]; dup {
+			return nil, fmt.Errorf("sparksql: UPDATE %q: column %q assigned twice", s.Table, set.Column)
+		}
+		assigned[found] = set.Value
+	}
+	projList := make([]expr.Expression, len(schema.Fields))
+	for i, f := range schema.Fields {
+		if e, ok := assigned[i]; ok {
+			projList[i] = expr.NewAlias(expr.NewCast(e, f.Type), f.Name)
+		} else {
+			projList[i] = expr.UnresolvedAttr(f.Name)
+		}
+	}
+	analyzed, err := c.engine.Analyze(&plan.Project{List: projList, Child: rel})
+	if err != nil {
+		return nil, err
+	}
+	proj, ok := analyzed.(*plan.Project)
+	if !ok {
+		return nil, fmt.Errorf("sparksql: UPDATE projection resolved to %T", analyzed)
+	}
+	bound, err := expr.BindAll(proj.List, rel.Output())
+	if err != nil {
+		return nil, err
+	}
+	pred, err := c.compilePredicate(rel, s.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	n, err := c.store.Update(s.Table, func(r row.Row) (out row.Row, hit bool, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				out, hit, err = nil, false, fmt.Errorf("sparksql: evaluating SET: %v", p)
+			}
+		}()
+		hit, err = pred(r)
+		if err != nil || !hit {
+			return nil, false, err
+		}
+		next := make(row.Row, len(bound))
+		for i, e := range bound {
+			next[i] = e.Eval(r)
+		}
+		return next, true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.affectedFrame(n)
+}
+
+// showTablesFrame is SHOW TABLES: persistent tables with live row counts,
+// on-disk size and MVCC version, then temp tables (catalog views) with
+// NULL metrics.
+func (c *Context) showTablesFrame() (*DataFrame, error) {
+	schema := types.NewStruct(
+		types.StructField{Name: "name", Type: types.String, Nullable: false},
+		types.StructField{Name: "kind", Type: types.String, Nullable: false},
+		types.StructField{Name: "rows", Type: types.Long, Nullable: true},
+		types.StructField{Name: "bytes", Type: types.Long, Nullable: true},
+		types.StructField{Name: "version", Type: types.Long, Nullable: true},
+	)
+	var rows []Row
+	persistent := map[string]bool{}
+	for _, info := range c.store.Tables() {
+		persistent[info.Name] = true
+		rows = append(rows, Row{info.Name, "table", info.Rows, info.Bytes, info.Version})
+	}
+	for _, name := range c.engine.Catalog.TableNames() {
+		if !persistent[name] {
+			rows = append(rows, Row{name, "temp", nil, nil, nil})
+		}
+	}
+	return c.CreateDataFrame(schema, rows)
+}
+
+// describeFrame is DESCRIBE <table>: one row per column plus a trailing
+// version row for persistent tables.
+func (c *Context) describeFrame(name string) (*DataFrame, error) {
+	schema := types.NewStruct(
+		types.StructField{Name: "column", Type: types.String, Nullable: false},
+		types.StructField{Name: "type", Type: types.String, Nullable: false},
+		types.StructField{Name: "nullable", Type: types.String, Nullable: false},
+	)
+	var rows []Row
+	if info, ok := c.store.Info(name); ok {
+		for _, f := range info.Schema.Fields {
+			rows = append(rows, Row{f.Name, f.Type.Name(), fmt.Sprint(f.Nullable)})
+		}
+		rows = append(rows, Row{"# version", fmt.Sprint(info.Version), ""})
+		return c.CreateDataFrame(schema, rows)
+	}
+	lp, ok := c.engine.Catalog.LookupTable(name)
+	if !ok {
+		return nil, fmt.Errorf("sparksql: DESCRIBE: unknown table %q", name)
+	}
+	df, err := c.newDataFrame(lp)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range df.Schema().Fields {
+		rows = append(rows, Row{f.Name, f.Type.Name(), fmt.Sprint(f.Nullable)})
+	}
+	return c.CreateDataFrame(schema, rows)
+}

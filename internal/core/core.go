@@ -196,6 +196,16 @@ func (e *Engine) Execute(lp plan.LogicalPlan) (*QueryExecution, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.ExecuteResolved(lp, analyzed)
+}
+
+// ExecuteResolved runs optimization and physical planning over an
+// already-analyzed plan, keeping logical as the pre-resolution tree for
+// EXPLAIN. DataFrames use it so an action executes against the exact
+// relation versions its eager analysis resolved — for persistent store
+// tables, that pin is what makes reads snapshot-isolated against
+// concurrent DML.
+func (e *Engine) ExecuteResolved(logical, analyzed plan.LogicalPlan) (*QueryExecution, error) {
 	optimized, err := e.opt.Optimize(analyzed)
 	if err != nil {
 		return nil, fmt.Errorf("core: optimization: %w", err)
@@ -206,7 +216,7 @@ func (e *Engine) Execute(lp plan.LogicalPlan) (*QueryExecution, error) {
 	}
 	return &QueryExecution{
 		engine:    e,
-		Logical:   lp,
+		Logical:   logical,
 		Analyzed:  analyzed,
 		Optimized: optimized,
 		Physical:  phys,

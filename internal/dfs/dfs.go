@@ -9,6 +9,7 @@ package dfs
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -17,9 +18,23 @@ import (
 )
 
 // FileSystem is an in-memory partitioned blob store with I/O accounting.
+// Opened with OpenDir it additionally mirrors durable paths to a directory
+// on the host file system (see durable.go), which is what makes the table
+// store's write-ahead log survive process restarts.
 type FileSystem struct {
 	mu    sync.Mutex
 	files map[string][][]byte
+
+	// dir is the host directory durable files mirror to ("" = memory only);
+	// handles caches append-mode OS files so WAL appends don't reopen the
+	// segment on every record.
+	dir     string
+	handles map[string]*os.File
+
+	// protected holds namespace prefixes registered via Protect: files under
+	// them survive DeletePrefix sweeps rooted outside the namespace, so a
+	// broad spill/temp cleanup can never eat WAL segments or checkpoints.
+	protected []string
 
 	// WriteNanosPerByte and ReadNanosPerByte simulate disk+network cost;
 	// defaults model a ~50 MB/s effective write path (HDFS pipeline
@@ -132,8 +147,9 @@ func (fs *FileSystem) Write(path string, partitions [][]byte) error {
 	fs.mu.Lock()
 	fs.files[path] = cp
 	fs.bytesWritten += n
+	err := fs.mirrorWrite(path, cp)
 	fs.mu.Unlock()
-	return nil
+	return err
 }
 
 // AppendBlock appends one block to a file (creating it if absent),
@@ -147,8 +163,9 @@ func (fs *FileSystem) AppendBlock(path string, block []byte) error {
 	fs.mu.Lock()
 	fs.files[path] = append(fs.files[path], cp)
 	fs.bytesWritten += int64(len(block))
+	err := fs.mirrorAppend(path, cp)
 	fs.mu.Unlock()
-	return nil
+	return err
 }
 
 // Read returns a file's blocks, charging the read cost. Injected faults
@@ -236,23 +253,57 @@ func (fs *FileSystem) NumBlocks(path string) (int, error) {
 	return len(parts), nil
 }
 
-// Delete removes a file.
+// Delete removes a file. Exact-path deletes are always honored, protected
+// namespace or not — they are deliberate, file-level operations (the store
+// truncating its own WAL segment), unlike the sweep semantics of
+// DeletePrefix.
 func (fs *FileSystem) Delete(path string) {
 	fs.mu.Lock()
 	delete(fs.files, path)
+	fs.mirrorDelete(path)
 	fs.mu.Unlock()
+}
+
+// Protect registers a namespace prefix whose files survive DeletePrefix
+// sweeps rooted outside it. The table store protects its root so WAL
+// segments and checkpoints can never be collected by a query's spill/temp
+// cleanup; the store's own maintenance still works because a DeletePrefix
+// rooted at or inside the protected prefix is considered deliberate.
+func (fs *FileSystem) Protect(prefix string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, p := range fs.protected {
+		if p == prefix {
+			return
+		}
+	}
+	fs.protected = append(fs.protected, prefix)
+}
+
+// shielded reports whether path sits in a protected namespace that the
+// sweep rooted at prefix is not allowed to touch.
+func (fs *FileSystem) shielded(path, prefix string) bool {
+	for _, prot := range fs.protected {
+		if strings.HasPrefix(path, prot) && !strings.HasPrefix(prefix, prot) {
+			return true
+		}
+	}
+	return false
 }
 
 // DeletePrefix removes every file whose path starts with prefix and
 // returns how many were removed — how a query drops a spill scope's temp
-// files in one call at task close or query end/cancel.
+// files in one call at task close or query end/cancel. Files under a
+// Protect-ed namespace are skipped unless the sweep itself is rooted at or
+// inside that namespace.
 func (fs *FileSystem) DeletePrefix(prefix string) int {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n := 0
 	for p := range fs.files {
-		if strings.HasPrefix(p, prefix) {
+		if strings.HasPrefix(p, prefix) && !fs.shielded(p, prefix) {
 			delete(fs.files, p)
+			fs.mirrorDelete(p)
 			n++
 		}
 	}
@@ -282,9 +333,21 @@ func (fs *FileSystem) NumFiles() int {
 }
 
 // TempPath returns a process-unique path under /tmp for scratch files
-// (spill runs, experiment intermediates).
+// (spill runs, experiment intermediates). /tmp is a memory-only namespace:
+// even on a durable file system its files are never mirrored to disk, so
+// scratch paths can never collide with — or be confused for — WAL segments.
+// Existing paths are skipped: the sequence counter restarts with the
+// process, but files may have survived it.
 func (fs *FileSystem) TempPath(prefix string) string {
-	return fmt.Sprintf("/tmp/%s-%d", prefix, fs.tempSeq.Add(1))
+	for {
+		p := fmt.Sprintf("/tmp/%s-%d", prefix, fs.tempSeq.Add(1))
+		fs.mu.Lock()
+		_, taken := fs.files[p]
+		fs.mu.Unlock()
+		if !taken {
+			return p
+		}
+	}
 }
 
 // Exists reports whether a path is stored.

@@ -384,3 +384,53 @@ func TestAdaptiveGate(t *testing.T) {
 		t.Fatalf("skewed-join ablation speedup %.2fx, below the 2x acceptance floor", speedup)
 	}
 }
+
+func TestIngestStudyVerify(t *testing.T) {
+	cfg := IngestConfig{Dir: t.TempDir(), Rows: 5_000, BatchSize: 500}
+	res, err := RunIngestStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 10 {
+		t.Fatalf("ran %d batches, want 10", res.Batches)
+	}
+	t.Logf("ingest: %.0f rows/s, WAL recovery %.1f ms, checkpoint %.1f ms, ckpt recovery %.1f ms",
+		res.RowsPerSec, res.WALRecoveryMillis, res.CheckpointMillis, res.CkptRecoveryMillis)
+}
+
+// TestIngestGate is the perf gate wired into scripts/check.sh: with
+// PERF_GATE=1 it fails the build when durable ingest throughput falls
+// below the acceptance floor, or when recovery costs more than the ingest
+// that produced the data (replay skips the per-transaction fsyncs, so it
+// must win). Env-gated because thresholds are meaningless on a machine
+// running other work.
+func TestIngestGate(t *testing.T) {
+	if os.Getenv("PERF_GATE") == "" {
+		t.Skip("set PERF_GATE=1 to run the ingest regression gate")
+	}
+	// Best of 3: the gate asks whether the throughput CAN hold, not
+	// whether every noisy sample does.
+	var best *IngestResult
+	for try := 0; try < 3; try++ {
+		res, err := RunIngestStudy(DefaultIngestConfig(t.TempDir()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best == nil || res.RowsPerSec > best.RowsPerSec {
+			best = res
+		}
+	}
+	t.Logf("ingest: %.0f rows/s over %d batches, WAL recovery %.1f ms, ckpt recovery %.1f ms",
+		best.RowsPerSec, best.Batches, best.WALRecoveryMillis, best.CkptRecoveryMillis)
+	if best.RowsPerSec < 100_000 {
+		t.Fatalf("durable ingest %.0f rows/s, below the 100k rows/s acceptance floor", best.RowsPerSec)
+	}
+	if best.WALRecoveryMillis > best.IngestMillis {
+		t.Fatalf("WAL replay (%.1f ms) is slower than the fsync-bound ingest that wrote it (%.1f ms)",
+			best.WALRecoveryMillis, best.IngestMillis)
+	}
+	if best.CkptRecoveryMillis > best.IngestMillis {
+		t.Fatalf("checkpoint recovery (%.1f ms) is slower than the ingest that wrote it (%.1f ms)",
+			best.CkptRecoveryMillis, best.IngestMillis)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+// Ingest study: durable-table write throughput and recovery cost, the
+// numbers EXPERIMENTS.md reports for the storage subsystem. One batch is
+// one transaction — WAL append + fsync — so batch size is the classic
+// durability/throughput dial. Recovery is measured twice: replaying the
+// whole WAL from an empty checkpoint (worst case) and reopening right
+// after a checkpoint (best case, manifest load only).
+
+import (
+	"fmt"
+	"time"
+
+	sparksql "repro"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+// IngestConfig shapes one ingest study run.
+type IngestConfig struct {
+	// Dir is the durable data directory (must start empty).
+	Dir string
+	// Rows is the total row count to ingest.
+	Rows int64
+	// BatchSize is rows per transaction (per WAL fsync).
+	BatchSize int64
+}
+
+// DefaultIngestConfig is what the tests and scripts/check.sh run.
+func DefaultIngestConfig(dir string) IngestConfig {
+	return IngestConfig{Dir: dir, Rows: 100_000, BatchSize: 1_000}
+}
+
+// IngestResult holds one run's measurements.
+type IngestResult struct {
+	Rows    int64
+	Batches int64
+	// IngestMillis is the wall time for all inserts (including fsyncs);
+	// RowsPerSec is the derived throughput.
+	IngestMillis float64
+	RowsPerSec   float64
+	// WALRecoveryMillis is reopening the directory with the entire load in
+	// the WAL (full redo replay).
+	WALRecoveryMillis float64
+	// CheckpointMillis is the cost of writing the checkpoint;
+	// CkptRecoveryMillis is reopening right after it (no replay).
+	CheckpointMillis   float64
+	CkptRecoveryMillis float64
+}
+
+func ingestContext(dir string) *sparksql.Context {
+	cfg := sparksql.DefaultConfig()
+	cfg.DataDir = dir
+	// The study measures explicit phases; keep auto-checkpointing out.
+	cfg.CheckpointBytes = 1 << 62
+	return sparksql.NewContextWithConfig(cfg)
+}
+
+// RunIngestStudy ingests cfg.Rows rows in cfg.BatchSize transactions and
+// measures throughput, then WAL-replay and post-checkpoint recovery times,
+// verifying the recovered row count after each reopen.
+func RunIngestStudy(cfg IngestConfig) (*IngestResult, error) {
+	if cfg.Rows <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("ingest: bad config %+v", cfg)
+	}
+	res := &IngestResult{Rows: cfg.Rows}
+	schema := types.StructType{}.
+		Add("k", types.Long, false).
+		Add("v", types.String, false)
+
+	ctx := ingestContext(cfg.Dir)
+	if err := ctx.Store().CreateTable("ingest", schema, false); err != nil {
+		ctx.Close()
+		return nil, err
+	}
+	batch := make([]row.Row, 0, cfg.BatchSize)
+	start := time.Now()
+	for n := int64(0); n < cfg.Rows; {
+		batch = batch[:0]
+		for int64(len(batch)) < cfg.BatchSize && n < cfg.Rows {
+			batch = append(batch, row.Row{n, fmt.Sprintf("value-%08d", n)})
+			n++
+		}
+		if _, err := ctx.Store().Insert("ingest", batch); err != nil {
+			ctx.Close()
+			return nil, err
+		}
+		res.Batches++
+	}
+	res.IngestMillis = float64(time.Since(start).Microseconds()) / 1000
+	res.RowsPerSec = float64(cfg.Rows) / (res.IngestMillis / 1000)
+	if err := ctx.Close(); err != nil {
+		return nil, err
+	}
+
+	verify := func(ctx *sparksql.Context) error {
+		info, ok := ctx.Store().Info("ingest")
+		if !ok || info.Rows != cfg.Rows {
+			return fmt.Errorf("ingest: recovered %+v, want %d rows", info, cfg.Rows)
+		}
+		return nil
+	}
+
+	// Worst-case recovery: the whole load is still in the WAL.
+	start = time.Now()
+	ctx = ingestContext(cfg.Dir)
+	res.WALRecoveryMillis = float64(time.Since(start).Microseconds()) / 1000
+	if err := verify(ctx); err != nil {
+		ctx.Close()
+		return nil, err
+	}
+
+	start = time.Now()
+	if err := ctx.Store().Checkpoint(); err != nil {
+		ctx.Close()
+		return nil, err
+	}
+	res.CheckpointMillis = float64(time.Since(start).Microseconds()) / 1000
+	if err := ctx.Close(); err != nil {
+		return nil, err
+	}
+
+	// Best-case recovery: manifest + segment load, empty WAL.
+	start = time.Now()
+	ctx = ingestContext(cfg.Dir)
+	res.CkptRecoveryMillis = float64(time.Since(start).Microseconds()) / 1000
+	defer ctx.Close()
+	if err := verify(ctx); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,301 @@
+package experiments
+
+// Kill-and-recover chaos: the durability counterpart of the multiproc
+// study. A child process (this executable re-execed with REPRO_INGEST_DIR
+// set — callers' TestMain must route that through RunIfIngest) opens a
+// durable context on a shared directory and streams INSERT batches into a
+// persistent table, appending one fsync'd ack line per committed batch.
+// The parent SIGKILLs it at a random point, reopens the directory and
+// checks the recovery invariants: every acked batch is present and exact,
+// every committed batch is complete (no torn batch survives replay), the
+// committed batches form a contiguous prefix, and at most one committed
+// batch per kill lacks an ack (the commit→ack window). kill -9 may cost
+// the in-flight batch, never a committed one.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	sparksql "repro"
+)
+
+const (
+	ingestEnvDir   = "REPRO_INGEST_DIR"
+	ingestEnvBatch = "REPRO_INGEST_BATCH"
+)
+
+// ackPath is the ack file for a data directory. It lives NEXT TO the
+// directory, not inside it: dfs.OpenDir owns its directory outright and
+// truncates any file it cannot parse as mirrored frames.
+func ackPath(dir string) string {
+	return filepath.Clean(dir) + ".acks"
+}
+
+// ingestPayload is the deterministic cell content for (batch, i); the
+// verifier regenerates it to check recovered bytes, not just counts.
+func ingestPayload(batch, i int64) string {
+	return fmt.Sprintf("p-%06d-%03d", batch, i)
+}
+
+// RunIfIngest turns this process into an ingest child when
+// REPRO_INGEST_DIR is set; it never returns in that case. Call it from
+// TestMain before running tests, like sqlexec.RunIfWorker.
+func RunIfIngest() {
+	dir := os.Getenv(ingestEnvDir)
+	if dir == "" {
+		return
+	}
+	if err := runIngestChild(dir); err != nil {
+		fmt.Fprintln(os.Stderr, "ingest child:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runIngestChild recovers the table, figures out where the last run
+// stopped, and streams batches until killed. The ack line for a batch is
+// written (and fsync'd) strictly after its INSERT commits, so an acked
+// batch is always a committed batch; the converse can miss by one.
+func runIngestChild(dir string) error {
+	rowsPerBatch := int64(8)
+	if v := os.Getenv(ingestEnvBatch); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad %s=%q", ingestEnvBatch, v)
+		}
+		rowsPerBatch = n
+	}
+	cfg := sparksql.DefaultConfig()
+	cfg.DataDir = dir
+	ctx := sparksql.NewContextWithConfig(cfg)
+	defer ctx.Close()
+	if _, err := ctx.SQL("CREATE TABLE IF NOT EXISTS ingest (batch BIGINT NOT NULL, i BIGINT NOT NULL, payload STRING NOT NULL)"); err != nil {
+		return err
+	}
+	// Batches commit in order, so the next batch is simply MAX+1 — recovery
+	// already dropped any uncommitted tail.
+	next := int64(0)
+	rows, err := collectSQL(ctx, "SELECT MAX(batch) FROM ingest")
+	if err != nil {
+		return err
+	}
+	if len(rows) == 1 && len(rows[0]) == 1 && rows[0][0] != nil {
+		next = rows[0][0].(int64) + 1
+	}
+	ack, err := os.OpenFile(ackPath(dir), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer ack.Close()
+	// Terminate any ack line a previous generation was killed mid-write of,
+	// so its digit fragment cannot merge with our first ack. The fragment
+	// becomes its own line: a (harmless) digit prefix of an already-acked
+	// batch number, or empty.
+	if _, err := ack.WriteString("\n"); err != nil {
+		return err
+	}
+	for b := next; ; b++ {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO ingest VALUES ")
+		for i := int64(0); i < rowsPerBatch; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, '%s')", b, i, ingestPayload(b, i))
+		}
+		if _, err := ctx.SQL(sb.String()); err != nil {
+			return fmt.Errorf("batch %d: %w", b, err)
+		}
+		if _, err := fmt.Fprintf(ack, "%d\n", b); err != nil {
+			return err
+		}
+		if err := ack.Sync(); err != nil {
+			return err
+		}
+	}
+}
+
+// KillRecoverConfig shapes one kill-and-recover run.
+type KillRecoverConfig struct {
+	// Dir is the durable data directory shared by all child generations.
+	Dir string
+	// Kills is how many spawn→SIGKILL→verify rounds to run.
+	Kills int
+	// RowsPerBatch is the per-INSERT batch size.
+	RowsPerBatch int64
+	// Seed drives the deterministic kill-delay sequence.
+	Seed uint64
+}
+
+// DefaultKillRecoverConfig is what the test and scripts/check.sh run.
+func DefaultKillRecoverConfig(dir string) KillRecoverConfig {
+	return KillRecoverConfig{Dir: dir, Kills: 5, RowsPerBatch: 8, Seed: 0xC0FFEE}
+}
+
+// KillRecoverResult summarizes one run for reporting.
+type KillRecoverResult struct {
+	// Kills is how many child processes were SIGKILLed.
+	Kills int
+	// AckedBatches is how many batches the children fsync-acked in total.
+	AckedBatches int
+	// CommittedBatches is how many batches survived the final recovery.
+	CommittedBatches int
+	// Orphans counts committed-but-unacked batches across the whole run
+	// (kill landed in the commit→ack window); bounded by Kills.
+	Orphans int
+	// RecoveryMillis is, per kill, how long reopening the directory took
+	// (WAL replay + catalog rebuild).
+	RecoveryMillis []float64
+}
+
+// readAcks parses the ack file into the set of acked batch numbers,
+// tolerating torn lines (the kill can land mid-write of the ack itself;
+// a digit fragment of batch N parses to a smaller, already-acked number).
+func readAcks(dir string) (map[int64]bool, error) {
+	f, err := os.Open(ackPath(dir))
+	if os.IsNotExist(err) {
+		return map[int64]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	acks := map[int64]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		n, err := strconv.ParseInt(strings.TrimSpace(sc.Text()), 10, 64)
+		if err != nil {
+			continue
+		}
+		acks[n] = true
+	}
+	return acks, sc.Err()
+}
+
+// spawnIngest re-execs the current binary as an ingest child on dir.
+func spawnIngest(dir string, rowsPerBatch int64) (*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		ingestEnvDir+"="+dir,
+		fmt.Sprintf("%s=%d", ingestEnvBatch, rowsPerBatch),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// verifyRecovered reopens dir and checks every durability invariant,
+// returning the committed batch count.
+func verifyRecovered(dir string, rowsPerBatch int64, acks map[int64]bool) (int, error) {
+	cfg := sparksql.DefaultConfig()
+	cfg.DataDir = dir
+	ctx := sparksql.NewContextWithConfig(cfg)
+	defer ctx.Close()
+	rows, err := collectSQL(ctx, "SELECT batch, i, payload FROM ingest ORDER BY batch, i")
+	if err != nil {
+		return 0, err
+	}
+	if len(rows)%int(rowsPerBatch) != 0 {
+		return 0, fmt.Errorf("killrecover: %d recovered rows is not a whole number of %d-row batches — a torn batch survived replay", len(rows), rowsPerBatch)
+	}
+	committed := len(rows) / int(rowsPerBatch)
+	// Contiguous prefix 0..committed-1, every cell byte-exact.
+	for idx, r := range rows {
+		b, i := int64(idx)/rowsPerBatch, int64(idx)%rowsPerBatch
+		if r[0].(int64) != b || r[1].(int64) != i || r[2].(string) != ingestPayload(b, i) {
+			return 0, fmt.Errorf("killrecover: row %d = %v, want [%d %d %s]", idx, r, b, i, ingestPayload(b, i))
+		}
+	}
+	for a := range acks {
+		if a >= int64(committed) {
+			return 0, fmt.Errorf("killrecover: batch %d was acked but only %d batches recovered — a committed batch was lost", a, committed)
+		}
+	}
+	return committed, nil
+}
+
+// RunKillRecover runs the kill-and-recover suite. The calling process
+// must have passed RunIfIngest in its TestMain so the re-exec becomes an
+// ingest child rather than recursing into the harness.
+func RunKillRecover(cfg KillRecoverConfig) (*KillRecoverResult, error) {
+	if cfg.Kills <= 0 {
+		cfg.Kills = 5
+	}
+	if cfg.RowsPerBatch <= 0 {
+		cfg.RowsPerBatch = 8
+	}
+	res := &KillRecoverResult{}
+	rng := cfg.Seed | 1
+	for k := 0; k < cfg.Kills; k++ {
+		child, err := spawnIngest(cfg.Dir, cfg.RowsPerBatch)
+		if err != nil {
+			return nil, fmt.Errorf("killrecover: spawn: %w", err)
+		}
+		// Alternate between killing mid-stream (after at least one new ack
+		// lands, so commits are provably in flight) and killing at a raw
+		// random delay (which can land during recovery, CREATE TABLE or the
+		// very first batch — "at any point").
+		prevAcks, err := readAcks(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if k%2 == 0 {
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				acks, err := readAcks(cfg.Dir)
+				if err != nil {
+					return nil, err
+				}
+				if len(acks) > len(prevAcks) {
+					break
+				}
+				if time.Now().After(deadline) {
+					child.Process.Kill()
+					child.Wait()
+					return nil, fmt.Errorf("killrecover: child made no progress in 10s")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		rng = rng*6364136223846793005 + 1442695040888963407 // LCG: deterministic kill points
+		time.Sleep(time.Duration(rng%20) * time.Millisecond)
+		child.Process.Signal(syscall.SIGKILL)
+		child.Wait()
+		res.Kills++
+
+		acks, err := readAcks(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		committed, err := verifyRecovered(cfg.Dir, cfg.RowsPerBatch, acks)
+		if err != nil {
+			return nil, err
+		}
+		res.RecoveryMillis = append(res.RecoveryMillis,
+			float64(time.Since(start).Microseconds())/1000)
+		res.AckedBatches = len(acks)
+		res.CommittedBatches = committed
+		if orphans := committed - len(acks); orphans > res.Kills {
+			return nil, fmt.Errorf("killrecover: %d committed batches lack acks after %d kills — more than one commit→ack window per kill", orphans, res.Kills)
+		} else if orphans > res.Orphans {
+			res.Orphans = orphans
+		}
+	}
+	return res, nil
+}

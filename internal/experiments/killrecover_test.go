@@ -1,0 +1,27 @@
+// In the external test package so it shares multiproc_test.go's TestMain,
+// which routes re-execed children into experiments.RunIfIngest.
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-and-recover chaos suite in -short mode")
+	}
+	res, err := experiments.RunKillRecover(experiments.DefaultKillRecoverConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills < 5 {
+		t.Fatalf("harness reported %d kills, want 5", res.Kills)
+	}
+	if res.CommittedBatches == 0 {
+		t.Fatal("no batch ever committed — the kill schedule starved ingest")
+	}
+	t.Logf("killrecover: %d kills, %d acked / %d committed batches (%d orphans), recovery %v ms",
+		res.Kills, res.AckedBatches, res.CommittedBatches, res.Orphans, res.RecoveryMillis)
+}

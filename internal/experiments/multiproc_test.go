@@ -17,6 +17,7 @@ import (
 // returns. Without the variable, tests run normally.
 func TestMain(m *testing.M) {
 	sqlexec.RunIfWorker()
+	experiments.RunIfIngest()
 	os.Exit(m.Run())
 }
 

@@ -16,6 +16,7 @@ const (
 	SpanTask    SpanKind = "task"    // one attempt at one partition
 	SpanShuffle SpanKind = "shuffle" // the map side of one shuffle exchange
 	SpanQuery   SpanKind = "query"   // one SQL statement end to end
+	SpanWAL     SpanKind = "wal"     // a table-store WAL commit, checkpoint or recovery
 )
 
 // Span is one structured trace event — the unit of the JSONL event log,

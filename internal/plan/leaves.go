@@ -243,6 +243,12 @@ type InMemoryRelation struct {
 	// TableStats carries per-column statistics collected while building
 	// the columnar cache (nil for pre-statistics relations).
 	TableStats *stats.Table
+	// Origin names the persistent store table this relation is a pinned
+	// version of ("" for cached query results and other in-memory tables).
+	// Queries holding an Origin relation read that exact version — the
+	// snapshot-isolation pin — and the engine checks it against the store's
+	// current version before shipping a query to cluster workers.
+	Origin string
 }
 
 func (m *InMemoryRelation) Children() []LogicalPlan { return nil }

@@ -1,0 +1,311 @@
+// DML and persistent-DDL statements: CREATE TABLE, DROP TABLE, INSERT,
+// UPDATE, DELETE, SHOW TABLES and DESCRIBE. These drive the table store —
+// the writable, durable side of the catalog — while the SELECT grammar in
+// parser.go remains the read side.
+package sqlparser
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// ColumnDef is one column of a CREATE TABLE definition.
+type ColumnDef struct {
+	Name    string
+	Type    types.DataType
+	NotNull bool
+}
+
+// CreateTable is CREATE TABLE name (col type [NOT NULL], ...) or
+// CREATE TABLE name AS SELECT ... — a persistent table, unlike the
+// session-scoped CREATE TEMPORARY TABLE.
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Cols        []ColumnDef
+	AsSelect    plan.LogicalPlan
+}
+
+func (*CreateTable) isStatement() {}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTable) isStatement() {}
+
+// InsertStatement is INSERT INTO name [(cols)] VALUES (...), ... or
+// INSERT INTO name [(cols)] SELECT .... Exactly one of Values and Query
+// is set.
+type InsertStatement struct {
+	Table   string
+	Columns []string // empty = positional, all columns
+	Values  [][]expr.Expression
+	Query   plan.LogicalPlan
+}
+
+func (*InsertStatement) isStatement() {}
+
+// SetClause is one col = expr assignment of an UPDATE.
+type SetClause struct {
+	Column string
+	Value  expr.Expression
+}
+
+// UpdateStatement is UPDATE name SET col = expr, ... [WHERE cond].
+type UpdateStatement struct {
+	Table string
+	Set   []SetClause
+	Where expr.Expression // nil = all rows
+}
+
+func (*UpdateStatement) isStatement() {}
+
+// DeleteStatement is DELETE FROM name [WHERE cond].
+type DeleteStatement struct {
+	Table string
+	Where expr.Expression // nil = all rows
+}
+
+func (*DeleteStatement) isStatement() {}
+
+// ShowTables is SHOW TABLES: one row per table — persistent and temporary
+// — with row counts, on-disk size and version.
+type ShowTables struct{}
+
+func (*ShowTables) isStatement() {}
+
+// DescribeTable is DESCRIBE (or DESC) [TABLE] name: the table's schema,
+// one row per column, plus its current MVCC version.
+type DescribeTable struct {
+	Name string
+}
+
+func (*DescribeTable) isStatement() {}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTable{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	if p.accept(tokOp, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			dt, err := p.parseDataType()
+			if err != nil {
+				return nil, err
+			}
+			def := ColumnDef{Name: col, Type: dt}
+			if p.acceptKeyword("NOT") {
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				def.NotNull = true
+			}
+			stmt.Cols = append(stmt.Cols, def)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, p.errorf("CREATE TABLE needs a column list or AS SELECT")
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt.AsSelect = sel
+	return stmt, nil
+}
+
+func (p *parser) parseDropTable() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	stmt := &DropTable{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	return stmt, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	stmt := &InsertStatement{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = name
+	if p.accept(tokOp, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("VALUES") {
+		for {
+			if _, err := p.expect(tokOp, "("); err != nil {
+				return nil, err
+			}
+			var tuple []expr.Expression
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				tuple = append(tuple, e)
+				if !p.accept(tokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			stmt.Values = append(stmt.Values, tuple)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		return stmt, nil
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Query = sel
+	return stmt, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStatement{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = name
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, SetClause{Column: col, Value: val})
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = cond
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStatement{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = name
+	if p.acceptKeyword("WHERE") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = cond
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDescribe() (Statement, error) {
+	if !p.acceptKeyword("DESCRIBE") {
+		if err := p.expectKeyword("DESC"); err != nil {
+			return nil, err
+		}
+	}
+	p.acceptKeyword("TABLE")
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DescribeTable{Name: name}, nil
+}

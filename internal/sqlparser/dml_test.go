@@ -1,0 +1,183 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE users (id BIGINT NOT NULL, name STRING, score DOUBLE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := stmt.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Name != "users" || ct.IfNotExists || len(ct.Cols) != 3 {
+		t.Fatalf("stmt = %+v", ct)
+	}
+	if ct.Cols[0].Name != "id" || ct.Cols[0].Type != types.Long || !ct.Cols[0].NotNull {
+		t.Fatalf("col 0 = %+v", ct.Cols[0])
+	}
+	if ct.Cols[1].Name != "name" || ct.Cols[1].Type != types.String || ct.Cols[1].NotNull {
+		t.Fatalf("col 1 = %+v", ct.Cols[1])
+	}
+
+	stmt, err = Parse("CREATE TABLE IF NOT EXISTS t (x INT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct = stmt.(*CreateTable); !ct.IfNotExists {
+		t.Fatal("IF NOT EXISTS not parsed")
+	}
+
+	stmt, err = Parse("CREATE TABLE copy AS SELECT a, b FROM src WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct = stmt.(*CreateTable); ct.AsSelect == nil || ct.Name != "copy" {
+		t.Fatalf("CTAS = %+v", ct)
+	}
+
+	// Still the temp-table path when TEMPORARY is present.
+	stmt, err = Parse("CREATE TEMPORARY TABLE v USING json OPTIONS(path 'x')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*CreateTempTable); !ok {
+		t.Fatalf("got %T", stmt)
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	stmt, err := Parse("DROP TABLE users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt := stmt.(*DropTable); dt.Name != "users" || dt.IfExists {
+		t.Fatalf("stmt = %+v", dt)
+	}
+	stmt, err = Parse("DROP TABLE IF EXISTS users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt := stmt.(*DropTable); !dt.IfExists {
+		t.Fatal("IF EXISTS not parsed")
+	}
+}
+
+func TestParseInsertValues(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t VALUES (1, 'a'), (2, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStatement)
+	if ins.Table != "t" || len(ins.Columns) != 0 || len(ins.Values) != 2 || ins.Query != nil {
+		t.Fatalf("stmt = %+v", ins)
+	}
+	if len(ins.Values[0]) != 2 || len(ins.Values[1]) != 2 {
+		t.Fatalf("tuples = %+v", ins.Values)
+	}
+
+	stmt, err = Parse("INSERT INTO t (b, a) VALUES ('x', 1 + 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins = stmt.(*InsertStatement)
+	if len(ins.Columns) != 2 || ins.Columns[0] != "b" || ins.Columns[1] != "a" {
+		t.Fatalf("columns = %v", ins.Columns)
+	}
+}
+
+func TestParseInsertSelect(t *testing.T) {
+	stmt, err := Parse("INSERT INTO dst SELECT a, b FROM src WHERE a > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStatement)
+	if ins.Table != "dst" || ins.Query == nil || ins.Values != nil {
+		t.Fatalf("stmt = %+v", ins)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	stmt, err := Parse("UPDATE t SET a = a + 1, b = 'done' WHERE a < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := stmt.(*UpdateStatement)
+	if up.Table != "t" || len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("stmt = %+v", up)
+	}
+	if up.Set[0].Column != "a" || up.Set[1].Column != "b" {
+		t.Fatalf("set = %+v", up.Set)
+	}
+	stmt, err = Parse("UPDATE t SET a = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up = stmt.(*UpdateStatement); up.Where != nil {
+		t.Fatal("unexpected WHERE")
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	stmt, err := Parse("DELETE FROM t WHERE b IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(*DeleteStatement)
+	if del.Table != "t" || del.Where == nil {
+		t.Fatalf("stmt = %+v", del)
+	}
+	stmt, err = Parse("DELETE FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del = stmt.(*DeleteStatement); del.Where != nil {
+		t.Fatal("unexpected WHERE")
+	}
+}
+
+func TestParseShowTablesAndDescribe(t *testing.T) {
+	stmt, err := Parse("SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*ShowTables); !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	for _, sql := range []string{"DESCRIBE t", "DESC t", "DESCRIBE TABLE t"} {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if d, ok := stmt.(*DescribeTable); !ok || d.Name != "t" {
+			t.Fatalf("%s: got %T %+v", sql, stmt, stmt)
+		}
+	}
+}
+
+// TestDMLKeywordsStayUsableAsNames: the new keywords must not break
+// queries that use them as column or table names.
+func TestDMLKeywordsStayUsableAsNames(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT insert, delete FROM t WHERE update = 1",
+		"SELECT t.values FROM tables t",
+		"SELECT a FROM t WHERE exists = TRUE",
+	} {
+		if _, err := Parse(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	e, err := ParseExpression("set + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*expr.BinaryArith); !ok {
+		t.Fatalf("got %T", e)
+	}
+}

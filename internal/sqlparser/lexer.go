@@ -45,6 +45,9 @@ var keywords = map[string]bool{
 	"DATE": true, "TIMESTAMP": true, "DECIMAL": true,
 	"ANALYZE": true, "EXPLAIN": true, "COMPUTE": true, "STATISTICS": true,
 	"SHOW": true, "METRICS": true, "CLUSTER": true, "HISTORY": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "DROP": true, "DESCRIBE": true,
+	"TABLES": true, "IF": true, "EXISTS": true,
 }
 
 type lexError struct {

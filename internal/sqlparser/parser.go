@@ -182,6 +182,11 @@ var nonReserved = map[string]bool{
 	"DATE": true, "TIMESTAMP": true, "DECIMAL": true, "OPTIONS": true,
 	"TABLE": true, "ALL": true, "COMPUTE": true, "STATISTICS": true,
 	"METRICS": true, "SHOW": true, "CLUSTER": true, "HISTORY": true,
+	// DML words stay usable as column/table names (the paper-era datasets
+	// have columns like `values` and `set`).
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "DROP": true, "DESCRIBE": true,
+	"TABLES": true, "IF": true, "EXISTS": true,
 	// END doubles as a column name (the paper's §7.2 range join uses
 	// a.end); CASE expressions still terminate correctly because END is
 	// only read as a name where an expression may start or after a dot.
@@ -221,7 +226,25 @@ func (p *parser) errorf(format string, args ...any) error {
 
 func (p *parser) parseStatement() (Statement, error) {
 	if p.atKeyword("CREATE") {
-		return p.parseCreateTempTable()
+		if p.peek().kind == tokKeyword && p.peek().text == "TEMPORARY" {
+			return p.parseCreateTempTable()
+		}
+		return p.parseCreateTable()
+	}
+	if p.atKeyword("DROP") {
+		return p.parseDropTable()
+	}
+	if p.atKeyword("INSERT") {
+		return p.parseInsert()
+	}
+	if p.atKeyword("UPDATE") {
+		return p.parseUpdate()
+	}
+	if p.atKeyword("DELETE") {
+		return p.parseDelete()
+	}
+	if p.atKeyword("DESCRIBE") || p.atKeyword("DESC") {
+		return p.parseDescribe()
 	}
 	if p.atKeyword("ANALYZE") {
 		return p.parseAnalyzeTable()
@@ -250,8 +273,10 @@ func (p *parser) parseStatement() (Statement, error) {
 			return &ShowCluster{}, nil
 		case p.acceptKeyword("HISTORY"):
 			return &ShowHistory{}, nil
+		case p.acceptKeyword("TABLES"):
+			return &ShowTables{}, nil
 		}
-		return nil, p.errorf("expected METRICS, CLUSTER or HISTORY after SHOW, found %q", p.cur().text)
+		return nil, p.errorf("expected METRICS, CLUSTER, HISTORY or TABLES after SHOW, found %q", p.cur().text)
 	}
 	lp, err := p.parseSelect()
 	if err != nil {

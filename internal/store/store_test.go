@@ -1,0 +1,226 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/row"
+	"repro/internal/types"
+)
+
+func kvSchema() types.StructType {
+	return types.NewStruct(
+		types.StructField{Name: "k", Type: types.Long, Nullable: false},
+		types.StructField{Name: "v", Type: types.String, Nullable: true},
+	)
+}
+
+func memFS(t *testing.T) *dfs.FileSystem {
+	t.Helper()
+	fs := dfs.New()
+	fs.WriteNanosPerByte = 0
+	fs.ReadNanosPerByte = 0
+	return fs
+}
+
+func openStore(t *testing.T, fs *dfs.FileSystem, opts Options) *Store {
+	t.Helper()
+	s, err := Open(fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// collect reads a relation's rows back through its cached table, sorted by
+// the first column for deterministic comparison.
+func collect(t *testing.T, s *Store, name string) []row.Row {
+	t.Helper()
+	rel := s.Snapshot(name)
+	if rel == nil {
+		t.Fatalf("no snapshot for %q", name)
+	}
+	var out []row.Row
+	for p := range rel.Table.Partitions {
+		out = append(out, rel.Table.ScanPartition(p, nil, nil)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i][0]) < fmt.Sprint(out[j][0])
+	})
+	return out
+}
+
+func TestCreateInsertDeleteUpdate(t *testing.T) {
+	s := openStore(t, memFS(t), Options{})
+	if err := s.CreateTable("kv", kvSchema(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("kv", kvSchema(), false); err == nil {
+		t.Fatal("duplicate CREATE TABLE succeeded")
+	}
+	if err := s.CreateTable("kv", kvSchema(), true); err != nil {
+		t.Fatalf("IF NOT EXISTS: %v", err)
+	}
+
+	n, err := s.Insert("kv", []row.Row{{int64(1), "a"}, {int64(2), "b"}, {int64(3), "c"}})
+	if err != nil || n != 3 {
+		t.Fatalf("insert: n=%d err=%v", n, err)
+	}
+	// Type and NOT NULL validation.
+	if _, err := s.Insert("kv", []row.Row{{nil, "x"}}); err == nil {
+		t.Fatal("NULL into non-nullable column accepted")
+	}
+	if _, err := s.Insert("kv", []row.Row{{int32(1), "x"}}); err == nil {
+		t.Fatal("int32 into BIGINT column accepted")
+	}
+
+	n, err = s.Delete("kv", func(r row.Row) (bool, error) { return r[0].(int64) == 2, nil })
+	if err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	n, err = s.Update("kv", func(r row.Row) (row.Row, bool, error) {
+		if r[0].(int64) == 3 {
+			return row.Row{int64(3), "C"}, true, nil
+		}
+		return nil, false, nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+
+	got := collect(t, s, "kv")
+	want := []row.Row{{int64(1), "a"}, {int64(3), "C"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	info, ok := s.Info("kv")
+	if !ok || info.Rows != 2 || info.Version != 4 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	if err := s.DropTable("kv", false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("kv") {
+		t.Fatal("table survives DROP")
+	}
+	if err := s.DropTable("kv", false); err == nil {
+		t.Fatal("double DROP succeeded")
+	}
+	if err := s.DropTable("kv", true); err != nil {
+		t.Fatalf("IF EXISTS: %v", err)
+	}
+}
+
+// TestSnapshotIsolation: a relation pinned before concurrent DML returns
+// byte-identical pre-write rows, while new snapshots see the writes.
+func TestSnapshotIsolation(t *testing.T) {
+	s := openStore(t, memFS(t), Options{})
+	if err := s.CreateTable("kv", kvSchema(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("kv", []row.Row{{int64(1), "a"}, {int64(2), "b"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	pinned := s.Snapshot("kv")
+	before := collect(t, s, "kv")
+
+	if _, err := s.Delete("kv", func(r row.Row) (bool, error) { return true, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("kv", []row.Row{{int64(9), "z"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned version still reads the pre-write table, row for row.
+	var pinnedRows []row.Row
+	for p := range pinned.Table.Partitions {
+		pinnedRows = append(pinnedRows, pinned.Table.ScanPartition(p, nil, nil)...)
+	}
+	sort.Slice(pinnedRows, func(i, j int) bool {
+		return fmt.Sprint(pinnedRows[i][0]) < fmt.Sprint(pinnedRows[j][0])
+	})
+	if !reflect.DeepEqual(pinnedRows, before) {
+		t.Fatalf("pinned snapshot changed: %v vs %v", pinnedRows, before)
+	}
+	// A fresh snapshot sees the new state.
+	if got := collect(t, s, "kv"); !reflect.DeepEqual(got, []row.Row{{int64(9), "z"}}) {
+		t.Fatalf("current rows = %v", got)
+	}
+}
+
+// TestCopyOnWriteSharesSegments: a delete touching one segment must not
+// rebuild the others — their batch slices stay pointer-identical.
+func TestCopyOnWriteSharesSegments(t *testing.T) {
+	s := openStore(t, memFS(t), Options{})
+	if err := s.CreateTable("kv", kvSchema(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("kv", []row.Row{{int64(1), "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("kv", []row.Row{{int64(2), "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	beforeParts := s.Snapshot("kv").Table.Partitions
+	if _, err := s.Delete("kv", func(r row.Row) (bool, error) { return r[0].(int64) == 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	afterParts := s.Snapshot("kv").Table.Partitions
+	if len(afterParts) != 1 {
+		t.Fatalf("partitions after delete = %d, want 1", len(afterParts))
+	}
+	if &beforeParts[0][0] == nil || beforeParts[0][0] != afterParts[0][0] {
+		t.Fatal("untouched segment was rebuilt, not shared")
+	}
+}
+
+// TestStatsRefreshThreshold: optimizer stats lag until the row delta
+// crosses the threshold, then refresh.
+func TestStatsRefreshThreshold(t *testing.T) {
+	s := openStore(t, memFS(t), Options{StatsRefreshRows: 100})
+	if err := s.CreateTable("kv", kvSchema(), false); err != nil {
+		t.Fatal(err)
+	}
+	small := []row.Row{}
+	for i := 0; i < 10; i++ {
+		small = append(small, row.Row{int64(i), "x"})
+	}
+	if _, err := s.Insert("kv", small); err != nil {
+		t.Fatal(err)
+	}
+	rel := s.Snapshot("kv")
+	if rel.RowCount != 0 || rel.TableStats.RowCount != 0 {
+		t.Fatalf("stats refreshed below threshold: RowCount=%d", rel.RowCount)
+	}
+
+	big := []row.Row{}
+	for i := 0; i < 120; i++ {
+		big = append(big, row.Row{int64(100 + i), "y"})
+	}
+	if _, err := s.Insert("kv", big); err != nil {
+		t.Fatal(err)
+	}
+	rel = s.Snapshot("kv")
+	if rel.RowCount != 130 || rel.TableStats.RowCount != 130 {
+		t.Fatalf("stats not refreshed above threshold: RowCount=%d stats=%d", rel.RowCount, rel.TableStats.RowCount)
+	}
+
+	// Explicit ANALYZE refreshes immediately.
+	if _, err := s.Insert("kv", []row.Row{{int64(999), "z"}}); err != nil {
+		t.Fatal(err)
+	}
+	if rel = s.Snapshot("kv"); rel.RowCount != 130 {
+		t.Fatalf("small insert refreshed stats: %d", rel.RowCount)
+	}
+	if err := s.Analyze("kv"); err != nil {
+		t.Fatal(err)
+	}
+	if rel = s.Snapshot("kv"); rel.RowCount != 131 {
+		t.Fatalf("ANALYZE did not refresh stats: %d", rel.RowCount)
+	}
+}

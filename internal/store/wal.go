@@ -1,0 +1,167 @@
+// Write-ahead log: every DML transaction appends its mutation records plus
+// a commit marker to the log and syncs before the store's in-memory state
+// (and the catalog) advance — the redo log that makes tables durable
+// across crashes. Records are self-delimiting and CRC-checked:
+//
+//	[magic u32][lsn u64][type u8][payload len u32][payload][crc32 u32]
+//
+// all fixed fields big-endian, the CRC covering everything before it. One
+// record occupies one dfs block, so a crash tears at most the final
+// record, and recovery (see recovery.go) replays committed transactions in
+// LSN order, stopping at the first torn or corrupt record.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/dfs"
+)
+
+type recType uint8
+
+const (
+	recCreate recType = iota + 1 // payload: table name + column defs
+	recDrop                      // payload: table name
+	recInsert                    // payload: table name, segment id, rows
+	recDelete                    // payload: table name, old seg, new seg, offsets
+	recCommit                    // transaction boundary: earlier records are durable
+)
+
+func (t recType) String() string {
+	switch t {
+	case recCreate:
+		return "create"
+	case recDrop:
+		return "drop"
+	case recInsert:
+		return "insert"
+	case recDelete:
+		return "delete"
+	case recCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("rec(%d)", uint8(t))
+}
+
+// walMagic opens every record ("SWAL").
+const walMagic uint32 = 0x5357414C
+
+// recHeaderLen is magic + lsn + type + payload length.
+const recHeaderLen = 4 + 8 + 1 + 4
+
+type record struct {
+	lsn     uint64
+	typ     recType
+	payload []byte
+}
+
+// encodeRecord appends the wire form of r to dst.
+func encodeRecord(dst []byte, r record) []byte {
+	start := len(dst)
+	var hdr [recHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], walMagic)
+	binary.BigEndian.PutUint64(hdr[4:12], r.lsn)
+	hdr[12] = byte(r.typ)
+	binary.BigEndian.PutUint32(hdr[13:17], uint32(len(r.payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc)
+	return append(dst, tail[:]...)
+}
+
+// decodeRecord parses one record from the head of b, returning the record
+// and the bytes consumed. Truncation, a bad magic, an unknown type and a
+// CRC mismatch are all errors — recovery treats any of them as the end of
+// the valid log.
+func decodeRecord(b []byte) (record, int, error) {
+	if len(b) < recHeaderLen+4 {
+		return record{}, 0, fmt.Errorf("store: wal record truncated (%d bytes)", len(b))
+	}
+	if m := binary.BigEndian.Uint32(b[0:4]); m != walMagic {
+		return record{}, 0, fmt.Errorf("store: wal record bad magic %#x", m)
+	}
+	typ := recType(b[12])
+	if typ < recCreate || typ > recCommit {
+		return record{}, 0, fmt.Errorf("store: wal record unknown type %d", b[12])
+	}
+	n := binary.BigEndian.Uint32(b[13:17])
+	total := recHeaderLen + int(n) + 4
+	if uint64(len(b)) < uint64(recHeaderLen)+uint64(n)+4 {
+		return record{}, 0, fmt.Errorf("store: wal record payload truncated")
+	}
+	want := binary.BigEndian.Uint32(b[total-4 : total])
+	if got := crc32.ChecksumIEEE(b[:total-4]); got != want {
+		return record{}, 0, fmt.Errorf("store: wal record crc mismatch (got %#x want %#x)", got, want)
+	}
+	return record{
+		lsn:     binary.BigEndian.Uint64(b[4:12]),
+		typ:     typ,
+		payload: append([]byte(nil), b[recHeaderLen:total-4]...),
+	}, total, nil
+}
+
+// decodeStream parses consecutive records from a byte stream, returning
+// every record before the first torn or corrupt one — the recovery
+// contract the fuzz test exercises: a valid prefix always decodes intact,
+// whatever garbage follows.
+func decodeStream(b []byte) []record {
+	var recs []record
+	for len(b) > 0 {
+		r, n, err := decodeRecord(b)
+		if err != nil {
+			break
+		}
+		recs = append(recs, r)
+		b = b[n:]
+	}
+	return recs
+}
+
+// wal is the log writer: an append-only sequence of records over dfs
+// blocks, one record per block, in numbered segment files under
+// <root>/wal-NNNNNN.
+type wal struct {
+	fs      *dfs.FileSystem
+	root    string
+	seg     int64 // current segment number
+	bytes   int64 // bytes appended to the current segment
+	nextLSN uint64
+}
+
+func walPath(root string, seg int64) string {
+	return fmt.Sprintf("%s/wal-%06d", root, seg)
+}
+
+// appendTxn assigns LSNs to the transaction's records, appends each as one
+// block and syncs the segment — the fsync-on-commit point. It returns the
+// encoded byte count. On any error the transaction is not committed (a
+// partial append without a commit record is discarded by recovery).
+func (w *wal) appendTxn(recs []record) (int64, error) {
+	path := walPath(w.root, w.seg)
+	var total int64
+	for i := range recs {
+		recs[i].lsn = w.nextLSN
+		w.nextLSN++
+		b := encodeRecord(nil, recs[i])
+		if err := w.fs.AppendBlock(path, b); err != nil {
+			return total, fmt.Errorf("store: wal append: %w", err)
+		}
+		total += int64(len(b))
+	}
+	if err := w.fs.Sync(path); err != nil {
+		return total, fmt.Errorf("store: wal sync: %w", err)
+	}
+	w.bytes += total
+	return total, nil
+}
+
+// rotate abandons the current segment for a fresh one — called after a
+// checkpoint has made the old segment's records redundant and deleted it.
+func (w *wal) rotate() {
+	w.seg++
+	w.bytes = 0
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dfs"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []record{
+		{lsn: 1, typ: recCreate, payload: []byte("create")},
+		{lsn: 2, typ: recInsert, payload: bytes.Repeat([]byte{0xAB}, 1000)},
+		{lsn: 3, typ: recCommit, payload: nil},
+	}
+	var stream []byte
+	for _, r := range recs {
+		stream = encodeRecord(stream, r)
+	}
+	got := decodeStream(stream)
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.lsn != recs[i].lsn || r.typ != recs[i].typ || !bytes.Equal(r.payload, recs[i].payload) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, recs[i])
+		}
+	}
+}
+
+// TestDecodeStreamStopsAtCorruption: the valid prefix always survives,
+// whatever happens to the tail — truncation, bit flips, garbage.
+func TestDecodeStreamStopsAtCorruption(t *testing.T) {
+	var stream []byte
+	for lsn := uint64(1); lsn <= 5; lsn++ {
+		stream = encodeRecord(stream, record{lsn: lsn, typ: recInsert, payload: []byte("payload")})
+	}
+	recLen := len(stream) / 5
+
+	// Truncate at every byte boundary of the last record: records 1..4 always decode.
+	for cut := len(stream) - recLen + 1; cut < len(stream); cut++ {
+		got := decodeStream(stream[:cut])
+		if len(got) != 4 {
+			t.Fatalf("truncated at %d: decoded %d records, want 4", cut, len(got))
+		}
+	}
+	// Flip one byte in the middle record: records 1..2 survive, nothing after.
+	for off := 2 * recLen; off < 3*recLen; off += 3 {
+		mut := append([]byte(nil), stream...)
+		mut[off] ^= 0x01
+		got := decodeStream(mut)
+		if len(got) > 2 {
+			t.Fatalf("flip at %d: decoded %d records past the corruption", off, len(got))
+		}
+	}
+}
+
+func TestWALAppendAssignsLSNs(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteNanosPerByte = 0
+	fs.ReadNanosPerByte = 0
+	w := &wal{fs: fs, root: "store", nextLSN: 1}
+	if _, err := w.appendTxn([]record{{typ: recCreate}, {typ: recCommit}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.appendTxn([]record{{typ: recInsert}, {typ: recCommit}}); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := fs.Read(walPath("store", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(1)
+	for _, b := range blocks {
+		rec, n, err := decodeRecord(b)
+		if err != nil || n != len(b) {
+			t.Fatalf("block decode: %v", err)
+		}
+		if rec.lsn != want {
+			t.Fatalf("lsn = %d, want %d", rec.lsn, want)
+		}
+		want++
+	}
+	if w.nextLSN != 5 {
+		t.Fatalf("nextLSN = %d, want 5", w.nextLSN)
+	}
+}

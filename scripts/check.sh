@@ -58,3 +58,21 @@ go test -race -v -run '^TestObservability|^TestHarvestUnderLoad$|^TestEventLogSt
 # Observability overhead gate: trace ids + event-log appends must cost
 # <= 5% on cached Q1 against an observability-off engine.
 PERF_GATE=1 go test -run '^TestObservabilityGate$' -v -timeout 10m ./internal/experiments/
+
+# Durable-table suite, explicitly: WAL codec + crash recovery (torn
+# tails, uncommitted tails, deterministic segment ids), SQL DML
+# end-to-end, snapshot isolation, durable round-trip and stats
+# auto-refresh replanning.
+go test -race -v -run '^TestRecover|^TestCheckpoint|^TestWAL' -timeout 10m ./internal/store/
+go test -race -v -run '^TestSQL|^TestStatsAutoRefreshChangesPlan$|^TestDMLErrors$' -timeout 10m .
+
+# Kill-and-recover chaos: an ingest child process SIGKILLed at random
+# points, 5 rounds — every fsync-acked batch must survive recovery
+# exactly, no torn batch may surface, and at most one committed batch
+# per kill may lack an ack (the commit->ack window).
+go test -race -v -run '^TestKillRecover$' -timeout 10m ./internal/experiments/
+
+# Ingest regression gate: durable ingest >= 100k rows/s, and both
+# recovery paths (full WAL replay, post-checkpoint reopen) cheaper than
+# the fsync-bound ingest that produced the data.
+PERF_GATE=1 go test -run '^TestIngestGate$' -v -timeout 10m ./internal/experiments/

@@ -40,6 +40,7 @@ import (
 	"repro/internal/row"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/types"
 )
 
@@ -165,6 +166,22 @@ type Config struct {
 	// the wire protocol and all results are byte-identical to an engine
 	// without this layer.
 	Observability bool
+	// DataDir, when set, makes persistent tables durable: the table store's
+	// write-ahead log and checkpoints mirror to this host directory, and a
+	// new context on the same directory recovers every committed
+	// transaction (crash recovery replays the WAL past the last
+	// checkpoint). Empty means persistent tables live for the process only.
+	DataDir string
+	// StatsRefreshRows is the minimum DML row-delta before a commit to a
+	// persistent table automatically recomputes its optimizer statistics
+	// (0 = default 256; negative = only ANALYZE TABLE refreshes). Large
+	// tables additionally require ~12.5% drift so sustained ingest never
+	// goes quadratic on stats recomputes.
+	StatsRefreshRows int64
+	// CheckpointBytes bounds WAL growth for persistent tables: once a
+	// segment exceeds this many bytes the store checkpoints and truncates
+	// the log (0 = default 4 MB; negative = never automatically).
+	CheckpointBytes int64
 	// Cluster, when non-nil, starts a coordinator for multi-process
 	// distributed execution: worker processes (cmd/sqlworker, or any
 	// process calling sqlexec.RunWorker) register over TCP and SQL query
@@ -267,6 +284,11 @@ func (c Config) toCore() core.Config {
 type Context struct {
 	engine  *core.Engine
 	sources *datasource.Registry
+	// store is the persistent table subsystem (CREATE TABLE / INSERT /
+	// UPDATE / DELETE, WAL, snapshot reads). It publishes every table
+	// version into the catalog, so queries treat persistent tables exactly
+	// like cached temp tables.
+	store *store.Store
 }
 
 // NewContext builds a context with DefaultConfig.
@@ -284,6 +306,36 @@ func NewContextWithConfig(cfg Config) *Context {
 	ctx.sources.Register("csv", csvds.Provider())
 	ctx.sources.Register("json", jsonds.Provider())
 	ctx.sources.Register("colfile", colfile.Provider())
+	// The persistent table store: durable (WAL + checkpoints mirrored to
+	// DataDir) when configured, process-lifetime otherwise. Every committed
+	// version is published into the catalog, so persistent tables are
+	// first-class scan sources for the whole stack — vectorized/fused
+	// pipelines, the cost-based optimizer, cluster shipping.
+	storeFS := ctx.engine.SpillFS
+	if cfg.DataDir != "" {
+		var err error
+		storeFS, err = dfs.OpenDir(cfg.DataDir)
+		if err != nil {
+			panic(fmt.Sprintf("sparksql: Config.DataDir: %v", err))
+		}
+	}
+	st, err := store.Open(storeFS, store.Options{
+		StatsRefreshRows: cfg.StatsRefreshRows,
+		CheckpointBytes:  cfg.CheckpointBytes,
+		Metrics:          ctx.engine.RDDCtx.Metrics(),
+		Trace:            ctx.engine.RDDCtx.Trace(),
+		OnChange: func(name string, rel *plan.InMemoryRelation) {
+			if rel == nil {
+				ctx.engine.Catalog.DropTable(name)
+				return
+			}
+			ctx.engine.Catalog.RegisterTable(name, rel)
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("sparksql: opening table store: %v", err))
+	}
+	ctx.store = st
 	if cfg.Cluster != nil {
 		ecfg := ctx.engine.Cfg
 		if _, err := core.EnableCluster(ctx.engine, core.ClusterOptions{
@@ -330,15 +382,29 @@ func (c *Context) ClusterAddr() string {
 	return ""
 }
 
-// Close releases the context's external resources — today the cluster
-// coordinator, when one is running. Purely local contexts need no Close
-// (and it is a no-op on them, kept for symmetric defer ctx.Close()).
+// Close releases the context's external resources: the cluster
+// coordinator when one is running, and the table store's durable file
+// handles (syncing them) when DataDir is set. Purely local, non-durable
+// contexts need no Close (it is a no-op on them, kept for symmetric
+// defer ctx.Close()).
 func (c *Context) Close() error {
-	if rt := c.engine.Cluster(); rt != nil {
-		return rt.Close()
+	var first error
+	if c.store != nil {
+		if err := c.store.Close(); err != nil {
+			first = err
+		}
 	}
-	return nil
+	if rt := c.engine.Cluster(); rt != nil {
+		if err := rt.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
+
+// Store exposes the persistent table subsystem for tests and tools (WAL
+// checkpointing, table info, direct snapshots).
+func (c *Context) Store() *store.Store { return c.store }
 
 // Engine exposes the underlying engine for advanced integrations (planner
 // strategies, metrics); examples and benches use it, typical callers don't.
@@ -418,6 +484,25 @@ func (c *Context) SQL(query string) (*DataFrame, error) {
 		}
 		schema := types.NewStruct(types.StructField{Name: "plan", Type: types.String, Nullable: false})
 		return c.CreateDataFrame(schema, rows)
+	case *sqlparser.CreateTable:
+		return c.execCreateTable(s)
+	case *sqlparser.DropTable:
+		if err := c.store.DropTable(s.Name, s.IfExists); err != nil {
+			return nil, err
+		}
+		return c.emptyFrame(), nil
+	case *sqlparser.InsertStatement:
+		return c.execInsert(s)
+	case *sqlparser.UpdateStatement:
+		return c.execUpdate(s)
+	case *sqlparser.DeleteStatement:
+		return c.execDelete(s)
+	case *sqlparser.ShowTables:
+		df, err := c.showTablesFrame()
+		return withOriginSQL(df, err, query)
+	case *sqlparser.DescribeTable:
+		df, err := c.describeFrame(s.Name)
+		return withOriginSQL(df, err, query)
 	case *sqlparser.ShowMetrics:
 		df, err := c.metricsFrame(s.Like)
 		return withOriginSQL(df, err, query)
@@ -461,6 +546,12 @@ func (c *Context) SQL(query string) (*DataFrame, error) {
 // the cost-based optimizer reads them — the SQL form is
 // `ANALYZE TABLE name [COMPUTE STATISTICS]`.
 func (c *Context) AnalyzeTable(name string) error {
+	// Persistent tables refresh through the store, which recomputes the
+	// statistics and republishes the relation so the catalog's pinned
+	// version carries them.
+	if c.store.Has(name) {
+		return c.store.Analyze(name)
+	}
 	lp, ok := c.engine.Catalog.LookupTable(name)
 	if !ok {
 		return fmt.Errorf("sparksql: ANALYZE TABLE: unknown table %q", name)
